@@ -1,0 +1,326 @@
+// Benchmark harness: one testing.B benchmark per paper table and figure,
+// plus micro-benchmarks of the TLB designs and the ablation studies called
+// out in DESIGN.md §5. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark regenerates (a scaled-down instance of) its experiment; the
+// cmd/ tools run the full-size versions.
+package securetlb
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+
+	"securetlb/internal/area"
+	"securetlb/internal/attack"
+	"securetlb/internal/capacity"
+	"securetlb/internal/model"
+	"securetlb/internal/perf"
+	"securetlb/internal/secbench"
+	"securetlb/internal/tlb"
+	"securetlb/internal/workload"
+)
+
+// --- Table 2: the three-step model enumeration ------------------------------
+
+func BenchmarkTable2Enumeration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(model.Enumerate()) != 24 {
+			b.Fatal("enumeration broke")
+		}
+	}
+}
+
+// --- Table 7 / Appendix B ----------------------------------------------------
+
+func BenchmarkTable7ExtendedEnumeration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(model.EnumerateExtended()) != 60 {
+			b.Fatal("extended enumeration broke")
+		}
+	}
+}
+
+// --- Appendix A / Algorithm 1 ------------------------------------------------
+
+func BenchmarkAlgorithm1Reduction(b *testing.B) {
+	steps := []model.State{
+		model.Ainv, model.Ad, model.Vu, model.Ad, model.Star,
+		model.Vu, model.Aa, model.Vu, model.Vinv, model.Vu, model.Aa,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(model.Reduce(steps).Effective) == 0 {
+			b.Fatal("reduction lost the embedded vulnerabilities")
+		}
+	}
+}
+
+// --- Table 4: micro security benchmarks --------------------------------------
+
+func benchTable4(b *testing.B, d secbench.Design, trials, wantDefended int) {
+	cfg := secbench.DefaultConfig(d)
+	// Scaled down; cmd/secbench runs the paper's 500 trials. The randomised
+	// RF design needs more trials than the deterministic SA/SP to keep the
+	// empirical capacity below the defended threshold.
+	cfg.Trials = trials
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := cfg.RunAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n := secbench.DefendedCount(results); n != wantDefended {
+			b.Fatalf("defended %d, want %d", n, wantDefended)
+		}
+	}
+}
+
+func BenchmarkTable4SecurityEvalSA(b *testing.B) { benchTable4(b, secbench.DesignSA, 20, 10) }
+func BenchmarkTable4SecurityEvalSP(b *testing.B) { benchTable4(b, secbench.DesignSP, 20, 14) }
+func BenchmarkTable4SecurityEvalRF(b *testing.B) { benchTable4(b, secbench.DesignRF, 120, 24) }
+
+// --- Table 4 theory columns ---------------------------------------------------
+
+func BenchmarkTable4Theory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := capacity.Table4Theory(capacity.DefaultRFParams)
+		if err != nil || len(rows) != 24 {
+			b.Fatalf("theory rows = %d (%v)", len(rows), err)
+		}
+	}
+}
+
+// --- Figures 7a-7f: IPC and MPKI sweeps ----------------------------------------
+
+func benchFigure7(b *testing.B, d perf.Design, secure bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := perf.Figure7(d, secure, 3, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mpki float64
+		for _, r := range rows {
+			mpki += r.Metrics.MPKI
+		}
+		b.ReportMetric(mpki/float64(len(rows)), "avgMPKI")
+	}
+}
+
+func BenchmarkFigure7aSAIPC(b *testing.B)    { benchFigure7(b, perf.SA, false) }
+func BenchmarkFigure7bSPIPC(b *testing.B)    { benchFigure7(b, perf.SP, false) }
+func BenchmarkFigure7cRFIPC(b *testing.B)    { benchFigure7(b, perf.RF, false) }
+func BenchmarkFigure7dSASecRSA(b *testing.B) { benchFigure7(b, perf.SA, true) }
+func BenchmarkFigure7eSPSecRSA(b *testing.B) { benchFigure7(b, perf.SP, true) }
+func BenchmarkFigure7fRFSecRSA(b *testing.B) { benchFigure7(b, perf.RF, true) }
+
+// --- Table 5: area model --------------------------------------------------------
+
+func BenchmarkTable5AreaModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(area.Table5()) != 19 {
+			b.Fatal("table 5 broke")
+		}
+	}
+}
+
+// --- End-to-end attack -----------------------------------------------------------
+
+func BenchmarkTLBleedKeyRecovery(b *testing.B) {
+	rsa, err := NewRSAVictim(64, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := rsa.Encrypt(big.NewInt(12345))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sa, _ := tlb.NewSetAssoc(32, 8, identityWalker())
+		env := attack.Environment{TLB: sa, AttackerASID: 0, VictimASID: 1}
+		res, err := env.TLBleed(rsa, c, 4, 8)
+		if err != nil || res.Accuracy < 0.95 {
+			b.Fatalf("attack degraded: %.2f (%v)", res.Accuracy, err)
+		}
+	}
+}
+
+// --- TLB design micro-benchmarks ---------------------------------------------------
+
+func benchTranslate(b *testing.B, mk func() (tlb.TLB, error)) {
+	t, err := mk()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.Translate(1, tlb.VPN(i%64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTranslateSA4W32(b *testing.B) {
+	benchTranslate(b, func() (tlb.TLB, error) { return tlb.NewSetAssoc(32, 4, identityWalker()) })
+}
+
+func BenchmarkTranslateFA32(b *testing.B) {
+	benchTranslate(b, func() (tlb.TLB, error) { return tlb.NewFullyAssoc(32, identityWalker()) })
+}
+
+func BenchmarkTranslateSP4W32(b *testing.B) {
+	benchTranslate(b, func() (tlb.TLB, error) {
+		sp, err := tlb.NewSP(32, 4, 2, identityWalker())
+		if err == nil {
+			sp.SetVictim(1)
+		}
+		return sp, err
+	})
+}
+
+func BenchmarkTranslateRF8W32Secure(b *testing.B) {
+	benchTranslate(b, func() (tlb.TLB, error) {
+		rf, err := tlb.NewRF(32, 8, identityWalker(), 1)
+		if err == nil {
+			rf.SetVictim(1)
+			rf.SetSecureRegion(0, 31)
+		}
+		return rf, err
+	})
+}
+
+// --- Ablations (DESIGN.md §5) --------------------------------------------------------
+
+// BenchmarkAblationSPPartitionSweep sweeps the victim partition size and
+// reports the co-run MPKI, the design-time trade-off §4.1.2 leaves open.
+func BenchmarkAblationSPPartitionSweep(b *testing.B) {
+	for _, victimWays := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("victimWays=%d", victimWays), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sp, err := tlb.NewSP(32, 4, victimWays, perfWalker())
+				if err != nil {
+					b.Fatal(err)
+				}
+				sp.SetVictim(1)
+				m, err := perf.Run(perf.RunConfig{
+					TLB: sp,
+					Processes: []perf.Process{
+						{ASID: 2, Gen: workload.Povray()},
+					},
+					MaxInstructions: 200_000,
+					Seed:            int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(m.MPKI, "MPKI")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRFLazyFill compares the paper's synchronous random fill
+// against the rejected idle-cycle variant of §4.2.3: under a TLB-intensive
+// secure workload the lazy engine starves and random fills are dropped.
+func BenchmarkAblationRFLazyFill(b *testing.B) {
+	for _, lazy := range []bool{false, true} {
+		b.Run(fmt.Sprintf("lazy=%v", lazy), func(b *testing.B) {
+			skipped := uint64(0)
+			for i := 0; i < b.N; i++ {
+				rf, err := tlb.NewRF(32, 8, identityWalker(), uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rf.SetVictim(1)
+				rf.SetSecureRegion(0x100, 31)
+				rf.LazyFill = lazy
+				rf.LazyFillWindow = 4
+				for k := 0; k < 1000; k++ {
+					if _, err := rf.Translate(1, tlb.VPN(0x100+uint64(k)%31)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				skipped += rf.Stats().RandomFillSkips
+			}
+			b.ReportMetric(float64(skipped)/float64(b.N), "skippedFills")
+		})
+	}
+}
+
+// BenchmarkAblationRFWindowedVsFullRandom compares the footnote 6 windowed
+// set randomisation with a secure region covering all sets versus one set:
+// the window bounds how much of the TLB random fills can disturb.
+func BenchmarkAblationRFWindowedVsFullRandom(b *testing.B) {
+	for _, ssize := range []uint64{1, 4, 31} {
+		b.Run(fmt.Sprintf("ssize=%d", ssize), func(b *testing.B) {
+			evictions := uint64(0)
+			for i := 0; i < b.N; i++ {
+				rf, err := tlb.NewRF(32, 8, identityWalker(), uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rf.SetVictim(1)
+				rf.SetSecureRegion(0x100, ssize)
+				for k := 0; k < 500; k++ {
+					rf.Translate(1, tlb.VPN(0x100+uint64(k)%ssize))
+					rf.Translate(2, tlb.VPN(0x500+uint64(k)%32))
+				}
+				evictions += rf.Stats().Evictions
+			}
+			b.ReportMetric(float64(evictions)/float64(b.N), "evictions")
+		})
+	}
+}
+
+func perfWalker() tlb.Walker {
+	return tlb.WalkerFunc(func(asid tlb.ASID, vpn tlb.VPN) (tlb.PPN, uint64, error) {
+		return tlb.PPN(vpn), 60, nil
+	})
+}
+
+// BenchmarkAblationCoalescedSPReach quantifies the §6.4 suggestion: a
+// COLT-style coalesced, partitioned TLB recovers the MPKI the SP TLB loses
+// to its halved effective capacity.
+func BenchmarkAblationCoalescedSPReach(b *testing.B) {
+	variants := []struct {
+		name string
+		mk   func() (tlb.TLB, error)
+	}{
+		{"SA", func() (tlb.TLB, error) { return tlb.NewSetAssoc(32, 4, perfWalker()) }},
+		{"SP", func() (tlb.TLB, error) {
+			sp, err := tlb.NewSP(32, 4, 2, perfWalker())
+			if err == nil {
+				sp.SetVictim(1)
+			}
+			return sp, err
+		}},
+		{"CoalescedSPx8", func() (tlb.TLB, error) {
+			co, err := tlb.NewCoalescedSP(32, 4, 8, 2, perfWalker())
+			if err == nil {
+				co.SetVictim(1)
+			}
+			return co, err
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t, err := v.mk()
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := perf.Run(perf.RunConfig{
+					TLB:             t,
+					Processes:       []perf.Process{{ASID: 2, Gen: workload.Povray()}},
+					MaxInstructions: 200_000,
+					Seed:            int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(m.MPKI, "MPKI")
+			}
+		})
+	}
+}

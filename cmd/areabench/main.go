@@ -1,0 +1,66 @@
+// Command areabench prints the analytical area model behind the paper's
+// Table 5: Slice LUT and Slice Register estimates for every TLB design and
+// configuration, with deltas against the 32-entry 4-way SA baseline, plus
+// the §6.6 headline overhead percentages.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"securetlb/internal/area"
+	"securetlb/internal/report"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	flag.Parse()
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		type row struct {
+			Design    string `json:"design"`
+			Config    string `json:"config"`
+			LUTs      int    `json:"slice_luts"`
+			DeltaLUTs int    `json:"delta_luts"`
+			Regs      int    `json:"slice_registers"`
+			DeltaRegs int    `json:"delta_registers"`
+		}
+		var rows []row
+		for _, e := range area.Table5() {
+			rows = append(rows, row{e.Design.String(), e.Geometry, e.LUTs, e.DeltaLUTs, e.Registers, e.DeltaRegisters})
+		}
+		if err := enc.Encode(rows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Println("Table 5 — area model (calibrated to the ZC706 4W-32 SA baseline)")
+	rows := make([][]string, 0, 19)
+	for _, e := range area.Table5() {
+		rows = append(rows, []string{
+			e.Design.String(), e.Geometry,
+			fmt.Sprintf("%d", e.LUTs), fmt.Sprintf("%+d", e.DeltaLUTs),
+			fmt.Sprintf("%d", e.Registers), fmt.Sprintf("%+d", e.DeltaRegisters),
+		})
+	}
+	fmt.Print(report.Table(
+		[]string{"Design", "Config", "Slice LUTs", "dLUTs", "Slice Registers", "dRegs"}, rows))
+
+	fmt.Println("\nOverheads vs same-geometry SA (§6.6 headlines):")
+	for _, d := range []area.Design{area.SP, area.RF} {
+		lut, reg, err := area.OverheadPercent(d, "4W 32")
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %s 4W-32: %s LUTs, %s registers", d, report.Pct(lut), report.Pct(reg))
+		if d == area.SP {
+			fmt.Printf("   (paper: +0.4%% / +0.1%%)\n")
+		} else {
+			fmt.Printf("   (paper: +6.2%% / +5.5%%)\n")
+		}
+	}
+}

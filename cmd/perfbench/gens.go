@@ -1,0 +1,8 @@
+package main
+
+import "securetlb/internal/workload"
+
+// perfGen aliases the workload generator interface for the headline sweep.
+type perfGen = workload.Generator
+
+func perfSpecSuite() []perfGen { return workload.SpecSuite() }

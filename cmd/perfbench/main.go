@@ -1,0 +1,131 @@
+// Command perfbench runs the performance evaluation of §6 and prints the
+// IPC and MPKI data behind Figures 7a–7f: each TLB design across the seven
+// configurations, with RSA (or SecRSA) alone and alongside each SPEC 2006
+// stand-in.
+//
+// Usage:
+//
+//	perfbench                         # all designs, RSA and SecRSA, 50 runs
+//	perfbench -design rf -decrypts 150
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"securetlb/internal/perf"
+	"securetlb/internal/report"
+)
+
+func main() {
+	design := flag.String("design", "all", "sa, sp, rf or all")
+	decrypts := flag.Int("decrypts", 50, "RSA decryptions per run (paper: 50/100/150)")
+	sweep := flag.Bool("sweep", false, "run the paper's full 50/100/150 decryption sweep")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	seed := flag.Uint64("seed", 1, "PRNG seed")
+	flag.Parse()
+
+	var designs []perf.Design
+	switch *design {
+	case "sa":
+		designs = []perf.Design{perf.SA}
+	case "sp":
+		designs = []perf.Design{perf.SP}
+	case "rf":
+		designs = []perf.Design{perf.RF}
+	case "all":
+		designs = []perf.Design{perf.SA, perf.SP, perf.RF}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
+		os.Exit(1)
+	}
+
+	runCounts := []int{*decrypts}
+	if *sweep {
+		runCounts = []int{50, 100, 150}
+	}
+	if *jsonOut {
+		var all []perf.Row
+		for _, d := range designs {
+			for _, secure := range []bool{false, true} {
+				for _, n := range runCounts {
+					rows, err := perf.Figure7Parallel(d, secure, n, *seed, 0)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					all = append(all, rows...)
+				}
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, d := range designs {
+		for _, secure := range []bool{false, true} {
+			for _, decrypts := range runCounts {
+				label := "RSA"
+				if secure {
+					label = "SecRSA"
+				}
+				fig := map[perf.Design]string{perf.SA: "7a/7d", perf.SP: "7b/7e", perf.RF: "7c/7f"}[d]
+				fmt.Printf("Figure %s — %s TLB, %s, %d decryptions\n", fig, d, label, decrypts)
+				rows, err := perf.Figure7Parallel(d, secure, decrypts, *seed, 0)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				out := make([][]string, 0, len(rows))
+				for _, r := range rows {
+					out = append(out, []string{
+						r.Geometry, r.Workload,
+						fmt.Sprintf("%.3f", r.Metrics.IPC),
+						fmt.Sprintf("%.2f", r.Metrics.MPKI),
+						fmt.Sprintf("%d", r.Metrics.Instructions),
+						fmt.Sprintf("%d", r.Metrics.TLBMisses),
+					})
+				}
+				fmt.Print(report.Table([]string{"Config", "Workload", "IPC", "MPKI", "Instr", "Misses"}, out))
+				fmt.Println()
+			}
+		}
+	}
+	printHeadlines(runCounts[0], *seed)
+}
+
+// printHeadlines reproduces the §6.3–6.5 summary ratios.
+func printHeadlines(decrypts int, seed uint64) {
+	g4w32 := perf.Geometry{Label: "4W 32", Entries: 32, Ways: 4}
+	mpki := func(d perf.Design, secure bool) float64 {
+		sum, n := 0.0, 0
+		for _, spec := range specsAndNil() {
+			row, err := perf.Cell(d, g4w32, spec, secure, decrypts, seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			sum += row.Metrics.MPKI
+			n++
+		}
+		return sum / float64(n)
+	}
+	sa := mpki(perf.SA, false)
+	sp := mpki(perf.SP, true)
+	rf := mpki(perf.RF, true)
+	fmt.Println("Headline ratios at 4W 32 (cf. §6.4–6.5):")
+	fmt.Printf("  SP/SA MPKI: %.2fx (paper ~3.07x)\n", sp/sa)
+	fmt.Printf("  RF/SA MPKI: %+.1f%% (paper ~+9.0%%)\n", 100*(rf-sa)/sa)
+	fmt.Printf("  RF vs SP MPKI: %+.1f%% (paper ~-64.5%%)\n", 100*(rf-sp)/sp)
+}
+
+func specsAndNil() []perfGen {
+	suite := perfSpecSuite()
+	return append([]perfGen{nil}, suite...)
+}

@@ -1,0 +1,198 @@
+// Command secbench runs the micro security benchmarks of §5 and prints the
+// simulation-vs-theory comparison of the paper's Table 4.
+//
+// Usage:
+//
+//	secbench                       # all three designs, 500 trials each
+//	secbench -design rf -trials 100
+//	secbench -emit "Ad -> Vu -> Ad" -mapped   # print one generated benchmark
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"securetlb/internal/capacity"
+	"securetlb/internal/model"
+	"securetlb/internal/report"
+	"securetlb/internal/secbench"
+)
+
+func main() {
+	design := flag.String("design", "all", "sa, sp, rf or all")
+	trials := flag.Int("trials", 500, "trials per victim behaviour (paper: 500)")
+	extended := flag.Bool("extended", false, "run the Appendix B (Table 7) targeted-invalidation benchmarks instead of the base 24")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	emit := flag.String("emit", "", "print the generated benchmark for a pattern, e.g. \"Ad -> Vu -> Ad\"")
+	mapped := flag.Bool("mapped", true, "with -emit: generate the mapped or not-mapped variant")
+	flag.Parse()
+
+	if *emit != "" {
+		emitBenchmark(*emit, *mapped, parseDesigns(*design)[0], *extended)
+		return
+	}
+	if *jsonOut {
+		emitJSON(parseDesigns(*design), *trials, *extended)
+		return
+	}
+	for _, d := range parseDesigns(*design) {
+		runDesign(d, *trials, *extended)
+	}
+}
+
+// jsonRow is the machine-readable form of one campaign row.
+type jsonRow struct {
+	Design          string  `json:"design"`
+	Strategy        string  `json:"strategy"`
+	Pattern         string  `json:"pattern"`
+	Observation     string  `json:"observation"`
+	Macro           string  `json:"macro"`
+	MappedMisses    int     `json:"n_mapped_misses"`
+	NotMappedMisses int     `json:"n_not_mapped_misses"`
+	Trials          int     `json:"trials_per_behaviour"`
+	P1              float64 `json:"p1_star"`
+	P2              float64 `json:"p2_star"`
+	C               float64 `json:"c_star"`
+	CIHigh          float64 `json:"c_star_ci95_high"`
+	Defended        bool    `json:"defended"`
+}
+
+func emitJSON(designs []secbench.Design, trials int, extended bool) {
+	var rows []jsonRow
+	for _, d := range designs {
+		cfg := secbench.DefaultConfig(d)
+		cfg.Trials = trials
+		var results []secbench.Result
+		var err error
+		if extended {
+			results, err = cfg.RunAllExtendedParallel(0)
+		} else {
+			results, err = cfg.RunAllParallel(0)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			rows = append(rows, jsonRow{
+				Design:          d.String(),
+				Strategy:        r.Vulnerability.Strategy,
+				Pattern:         r.Vulnerability.Pattern.String(),
+				Observation:     r.Vulnerability.Observation.String(),
+				Macro:           r.Vulnerability.Macro,
+				MappedMisses:    r.Counts.MappedMisses,
+				NotMappedMisses: r.Counts.NotMappedMisses,
+				Trials:          trials,
+				P1:              r.P1,
+				P2:              r.P2,
+				C:               r.C,
+				CIHigh:          r.CIHigh,
+				Defended:        r.Defended(),
+			})
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func parseDesigns(s string) []secbench.Design {
+	switch s {
+	case "sa":
+		return []secbench.Design{secbench.DesignSA}
+	case "sp":
+		return []secbench.Design{secbench.DesignSP}
+	case "rf":
+		return []secbench.Design{secbench.DesignRF}
+	case "all":
+		return []secbench.Design{secbench.DesignSA, secbench.DesignSP, secbench.DesignRF}
+	}
+	fmt.Fprintf(os.Stderr, "unknown design %q (want sa, sp, rf or all)\n", s)
+	os.Exit(1)
+	return nil
+}
+
+func theoryFor(d secbench.Design, v model.Vulnerability) (p1, p2 float64) {
+	switch d {
+	case secbench.DesignSA:
+		p1, p2, _ = capacity.DeterministicTheory(v, model.DesignASID)
+	case secbench.DesignSP:
+		p1, p2, _ = capacity.DeterministicTheory(v, model.DesignPartitioned)
+	case secbench.DesignRF:
+		p1, p2 = capacity.RFTheory(v, capacity.DefaultRFParams)
+	}
+	return p1, p2
+}
+
+func runDesign(d secbench.Design, trials int, extended bool) {
+	cfg := secbench.DefaultConfig(d)
+	cfg.Trials = trials
+	var results []secbench.Result
+	var err error
+	title := "Table 4"
+	if extended {
+		title = "Appendix B extension"
+		results, err = cfg.RunAllExtendedParallel(0)
+	} else {
+		results, err = cfg.RunAllParallel(0)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s (%s) — %d mapped + %d not-mapped trials per vulnerability\n", title, d, trials, trials)
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		row := []string{
+			r.Vulnerability.Strategy,
+			r.Vulnerability.String(),
+			fmt.Sprintf("%d", r.Counts.MappedMisses),
+			report.F(r.P1),
+		}
+		if !extended {
+			tp1, tp2 := theoryFor(d, r.Vulnerability)
+			tc := capacity.MutualInformation(tp1, tp2)
+			row = append(row, report.F(tp1),
+				fmt.Sprintf("%d", r.Counts.NotMappedMisses),
+				report.F(r.P2), report.F(tp2),
+				report.F(r.C), report.F(tc))
+		} else {
+			row = append(row,
+				fmt.Sprintf("%d", r.Counts.NotMappedMisses),
+				report.F(r.P2), report.F(r.C))
+		}
+		row = append(row, report.F(r.CIHigh))
+		rows = append(rows, append(row, report.Check(r.Defended())))
+	}
+	headers := []string{"Strategy", "Vulnerability", "nMM", "p1*", "p1", "nNM", "p2*", "p2", "C*", "C", "C*ci95", "verdict"}
+	if extended {
+		headers = []string{"Strategy", "Vulnerability", "nMM", "p1*", "nNM", "p2*", "C*", "C*ci95", "verdict"}
+	}
+	fmt.Print(report.Table(headers, rows))
+	fmt.Printf("%s defends %d/%d vulnerability types\n\n", d, secbench.DefendedCount(results), len(results))
+}
+
+func emitBenchmark(pattern string, mapped bool, d secbench.Design, extended bool) {
+	vulns := model.Enumerate()
+	if extended {
+		vulns = model.EnumerateExtended()
+	}
+	for _, v := range vulns {
+		if v.Pattern.String() == pattern {
+			src, err := secbench.DefaultConfig(d).Generate(v, mapped)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Print(src)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "no vulnerability with pattern %q; run tlbmodel for the list\n", pattern)
+	os.Exit(1)
+}

@@ -1,0 +1,159 @@
+// Command tlbmodel enumerates the timing-based TLB vulnerabilities of the
+// three-step model, regenerating the paper's Table 2 (and, with -extended,
+// the Appendix B Table 7). With -defenses it prints the analytical defense
+// matrix behind Table 4, and with -reduce it applies Appendix A's
+// Algorithm 1 to an arbitrary comma-separated step pattern.
+//
+// Usage:
+//
+//	tlbmodel                 # Table 2: the 24 base vulnerabilities
+//	tlbmodel -extended       # Table 7: targeted-invalidation additions
+//	tlbmodel -defenses       # which design defends which type
+//	tlbmodel -stats          # per-stage candidate counts (1000 → … → 24)
+//	tlbmodel -reduce Ad,Vu,Ad,*,Vd,Vu,Vd
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"securetlb/internal/model"
+	"securetlb/internal/report"
+)
+
+func main() {
+	extended := flag.Bool("extended", false, "enumerate the Appendix B extended vulnerabilities (Table 7)")
+	defenses := flag.Bool("defenses", false, "print the per-design defense matrix")
+	stats := flag.Bool("stats", false, "print enumeration stage counts")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	reduce := flag.String("reduce", "", "comma-separated step pattern to reduce with Algorithm 1")
+	flag.Parse()
+
+	switch {
+	case *reduce != "":
+		runReduce(*reduce)
+	case *jsonOut:
+		emitJSON(*extended)
+	case *defenses:
+		printDefenses()
+	case *extended:
+		printVulns("Table 7 — additional vulnerabilities with targeted invalidation",
+			model.EnumerateExtended())
+	default:
+		printVulns("Table 2 — all timing-based TLB vulnerabilities", model.Enumerate())
+	}
+	if *stats && !*jsonOut {
+		printStats(*extended)
+	}
+}
+
+func emitJSON(extended bool) {
+	type row struct {
+		Strategy    string `json:"strategy"`
+		Step1       string `json:"step1"`
+		Step2       string `json:"step2"`
+		Step3       string `json:"step3"`
+		Observation string `json:"observation"`
+		Macro       string `json:"macro"`
+		KnownAttack string `json:"known_attack,omitempty"`
+		SADefended  bool   `json:"sa_defended"`
+		SPDefended  bool   `json:"sp_defended"`
+		RFDefended  bool   `json:"rf_defended"`
+	}
+	vulns := model.Enumerate()
+	if extended {
+		vulns = model.EnumerateExtended()
+	}
+	var rows []row
+	for _, v := range vulns {
+		r := row{
+			Strategy: v.Strategy,
+			Step1:    v.Pattern[0].String(), Step2: v.Pattern[1].String(), Step3: v.Pattern[2].String(),
+			Observation: v.Observation.String(),
+			Macro:       v.Macro,
+			KnownAttack: v.KnownAttack,
+			SADefended:  !model.ObservationInformative(v.Pattern, model.DesignASID, v.Observation),
+			SPDefended:  !model.ObservationInformative(v.Pattern, model.DesignPartitioned, v.Observation),
+			RFDefended:  !extended, // analytical RF verdict covers the base model only
+		}
+		rows = append(rows, r)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func printVulns(title string, vulns []model.Vulnerability) {
+	fmt.Println(title)
+	rows := make([][]string, 0, len(vulns))
+	for _, v := range vulns {
+		rows = append(rows, []string{
+			v.Strategy,
+			v.Pattern[0].String(), v.Pattern[1].String(),
+			v.Pattern[2].String() + " (" + v.Observation.String() + ")",
+			v.Macro,
+			v.KnownAttack,
+		})
+	}
+	fmt.Print(report.Table(
+		[]string{"Attack Strategy", "Step 1", "Step 2", "Step 3", "Macro", "Known Attack"}, rows))
+	fmt.Printf("total: %d vulnerability types\n", len(vulns))
+}
+
+func printDefenses() {
+	reports := model.AnalyzeDefenses()
+	rows := make([][]string, 0, len(reports))
+	for _, r := range reports {
+		rows = append(rows, []string{
+			r.Vulnerability.String(),
+			r.Vulnerability.Strategy,
+			report.Check(r.SADefended),
+			report.Check(r.SPDefended),
+			report.Check(r.RFDefended),
+		})
+	}
+	fmt.Print(report.Table([]string{"Vulnerability", "Strategy", "SA TLB", "SP TLB", "RF TLB"}, rows))
+	c := model.CountDefenses(reports)
+	fmt.Printf("defended: SA %d/%d, SP %d/%d, RF %d/%d\n", c.SA, c.Total, c.SP, c.Total, c.RF, c.Total)
+}
+
+func printStats(extended bool) {
+	var s model.EnumerationStats
+	if extended {
+		_, s = model.EnumerateExtendedWithStats()
+	} else {
+		_, s = model.EnumerateWithStats()
+	}
+	fmt.Printf("\nenumeration stages: %d combinations -> %d after structural rules -> %d informative -> %d after alias dedup\n",
+		s.Total, s.AfterRules, s.AfterOracle, s.AfterAliasDedup)
+}
+
+func runReduce(arg string) {
+	var steps []model.State
+	for _, tok := range strings.Split(arg, ",") {
+		s, err := model.ParseState(strings.TrimSpace(tok))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		steps = append(steps, s)
+	}
+	red := model.Reduce(steps)
+	fmt.Printf("input pattern (%d steps): %v\n", len(steps), steps)
+	for i, seg := range red.Segments {
+		fmt.Printf("segment %d after Rules 1-3: %v\n", i+1, seg)
+	}
+	if len(red.Effective) == 0 {
+		fmt.Println("no effective three-step vulnerability embedded")
+		return
+	}
+	for _, v := range red.Effective {
+		fmt.Printf("effective: %s  [%s, %s]\n", v, v.Strategy, v.Macro)
+	}
+}

@@ -1,0 +1,125 @@
+// Command tlbsim assembles and runs a program on the simulated processor,
+// with a selectable D-TLB design — the smallest way to experiment with the
+// paper's hardware. Programs use the Figure 6 dialect (see internal/asm):
+// RISC-V-style mnemonics, ldnorm/ldrand, the security CSRs, and .data with
+// .dword/.page/.org directives.
+//
+// Usage:
+//
+//	tlbsim prog.s                          # 4W-32 SA TLB
+//	tlbsim -tlb rf -entries 32 -ways 8 -seed 7 prog.s
+//	tlbsim -tlb sp -victim-ways 4 prog.s
+//	echo 'pass' | tlbsim -                 # read from stdin
+//
+// After the run, the exit code, registers x1-x31 (non-zero only), counters
+// and TLB statistics are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"securetlb/internal/asm"
+	"securetlb/internal/cpu"
+	"securetlb/internal/tlb"
+)
+
+func main() {
+	design := flag.String("tlb", "sa", "D-TLB design: sa, fa, sp, rf, 1e")
+	entries := flag.Int("entries", 32, "TLB entries")
+	ways := flag.Int("ways", 4, "TLB ways (ignored for fa/1e)")
+	victimWays := flag.Int("victim-ways", 0, "SP victim partition ways (default half)")
+	seed := flag.Uint64("seed", 1, "RF PRNG seed")
+	memLatency := flag.Uint64("mem-latency", 20, "memory access latency in cycles (walk = 3x)")
+	maxInstr := flag.Uint64("max-instr", 10_000_000, "instruction budget")
+	varFlush := flag.Bool("variable-flush", false, "enable Appendix B variable-timing invalidation")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tlbsim [flags] prog.s   (use - for stdin)")
+		os.Exit(2)
+	}
+	src, err := readSource(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		fatal(err)
+	}
+
+	machine, err := cpu.NewSystem(*memLatency, func(w tlb.Walker) (tlb.TLB, error) {
+		switch *design {
+		case "sa":
+			return tlb.NewSetAssoc(*entries, *ways, w)
+		case "fa":
+			return tlb.NewFullyAssoc(*entries, w)
+		case "1e":
+			return tlb.NewSingleEntry(w)
+		case "sp":
+			vw := *victimWays
+			if vw == 0 {
+				vw = *ways / 2
+			}
+			return tlb.NewSP(*entries, *ways, vw, w)
+		case "rf":
+			return tlb.NewRF(*entries, *ways, w, *seed)
+		default:
+			return nil, fmt.Errorf("unknown TLB design %q", *design)
+		}
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *varFlush {
+		cfg := cpu.DefaultConfig
+		cfg.VariableFlushTiming = true
+		machine = cpu.New(machine.TLB, machine.PT, machine.Mem, cfg)
+	}
+	// Map the program for the attacker (0) and victim (1) process IDs the
+	// benchmark dialect uses.
+	if err := machine.Load(prog, []tlb.ASID{0, 1}); err != nil {
+		fatal(err)
+	}
+	code, err := machine.Run(*maxInstr)
+	if err != nil {
+		fatal(err)
+	}
+
+	if code == 0 {
+		fmt.Println("exit: PASS (0)")
+	} else {
+		fmt.Printf("exit: FAIL (%d)\n", code)
+	}
+	fmt.Printf("instructions: %d   cycles: %d   IPC: %.3f\n",
+		machine.Instret(), machine.Cycles(),
+		float64(machine.Instret())/float64(machine.Cycles()))
+	st := machine.TLB.Stats()
+	fmt.Printf("%s: lookups %d, hits %d, misses %d (%.1f%%), random fills %d\n",
+		machine.TLB.Name(), st.Lookups, st.Hits, st.Misses, 100*st.MissRate(), st.RandomFills)
+	fmt.Println("registers (non-zero):")
+	for i := 1; i < 32; i++ {
+		if v := machine.Reg(i); v != 0 {
+			fmt.Printf("  x%-2d = %d (%#x)\n", i, v, v)
+		}
+	}
+	if code != 0 {
+		os.Exit(1)
+	}
+}
+
+func readSource(path string) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tlbsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Cache-vs-TLB demo: the paper's §1 motivating claim that "defending cache
+// attacks does not protect against TLB attacks".
+//
+// The same RSA victim runs on a system with an L1 data cache and a D-TLB.
+// The attacker mounts Prime+Probe at both granularities. Hardening the
+// cache (way partitioning, as secure-cache proposals do) kills the
+// cache-line channel — but the page-granular TLB channel still leaks the
+// key until the TLB itself is secured.
+package main
+
+import (
+	"fmt"
+	"math/big"
+
+	"securetlb/internal/attack"
+	"securetlb/internal/cache"
+	"securetlb/internal/tlb"
+	"securetlb/internal/victim"
+)
+
+func walker() tlb.Walker {
+	return tlb.WalkerFunc(func(asid tlb.ASID, vpn tlb.VPN) (tlb.PPN, uint64, error) {
+		return tlb.PPN(vpn), 60, nil
+	})
+}
+
+func main() {
+	rsa, err := victim.NewRSA(64, 31337)
+	if err != nil {
+		panic(err)
+	}
+	ct := rsa.Encrypt(big.NewInt(0xCAFE))
+
+	configs := []struct {
+		name       string
+		cacheVWays int
+		secureTLB  bool
+	}{
+		{"plain cache + plain SA TLB", 0, false},
+		{"partitioned cache + plain SA TLB", 4, false},
+		{"partitioned cache + RF TLB", 4, true},
+	}
+	fmt.Println("key-recovery accuracy by attack granularity (coin flip = ~50%):")
+	fmt.Println()
+	for _, cfg := range configs {
+		l1, err := cache.New(4096, 8, 64, cfg.cacheVWays)
+		if err != nil {
+			panic(err)
+		}
+		var dtlb tlb.TLB
+		if cfg.secureTLB {
+			rf, _ := tlb.NewRF(32, 8, walker(), 9)
+			rf.SetVictim(1)
+			base, size := rsa.Layout.SecureRegion()
+			rf.SetSecureRegion(base, size)
+			dtlb = rf
+		} else {
+			dtlb, _ = tlb.NewSetAssoc(32, 8, walker())
+		}
+		res, err := attack.CacheVsTLB(l1, dtlb, 4, 8, rsa, ct)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-36s cache attack: %3.0f%%   TLB attack: %3.0f%%\n",
+			cfg.name, 100*res.CacheAccuracy, 100*res.TLBAccuracy)
+	}
+	fmt.Println()
+	fmt.Println("Hardening only the cache leaves the TLB channel wide open (§1);")
+	fmt.Println("the RF TLB closes it.")
+}

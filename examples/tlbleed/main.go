@@ -1,0 +1,60 @@
+// TLBleed demo: the paper's motivating attack, end to end.
+//
+// A victim decrypts with libgcrypt-style square-and-multiply RSA; the tp
+// pointer page is touched only on 1 exponent bits (Figure 5). The attacker
+// Prime+Probes tp's TLB set per iteration and reads the key bit for bit —
+// unless the TLB is one of the paper's secure designs.
+package main
+
+import (
+	"fmt"
+	"math/big"
+
+	"securetlb"
+	"securetlb/internal/attack"
+	"securetlb/internal/tlb"
+)
+
+func walker() tlb.Walker {
+	return tlb.WalkerFunc(func(asid tlb.ASID, vpn tlb.VPN) (tlb.PPN, uint64, error) {
+		return tlb.PPN(vpn), 60, nil
+	})
+}
+
+func main() {
+	rsa, err := securetlb.NewRSAVictim(64, 2024)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("victim RSA: n has %d bits, secret d has %d bits\n", rsa.N.BitLen(), rsa.D.BitLen())
+	ciphertext := rsa.Encrypt(big.NewInt(0x5ec7e7))
+
+	run := func(name string, t tlb.TLB, nsets, nways int) {
+		env := attack.Environment{TLB: t, AttackerASID: 0, VictimASID: 1}
+		res, err := env.TLBleed(rsa, ciphertext, nsets, nways)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-28s recovered %3d/%3d key bits  (accuracy %.0f%%)\n",
+			name, res.Correct, len(res.Actual), 100*res.Accuracy)
+	}
+
+	sa, _ := tlb.NewSetAssoc(32, 8, walker())
+	run("standard SA TLB:", sa, 4, 8)
+
+	fa, _ := tlb.NewFullyAssoc(32, walker())
+	run("FA TLB (no sets):", fa, 1, 32)
+
+	sp, _ := tlb.NewSP(32, 8, 4, walker())
+	sp.SetVictim(1)
+	run("SP TLB (partitioned):", sp, 4, 4)
+
+	rf, _ := tlb.NewRF(32, 8, walker(), 99)
+	rf.SetVictim(1)
+	base, size := rsa.Layout.SecureRegion()
+	rf.SetSecureRegion(base, size)
+	run("RF TLB (random fill):", rf, 4, 8)
+
+	fmt.Println("\nA coin-flip attacker scores ~50%: the SP and RF TLBs reduce")
+	fmt.Println("TLBleed to guessing, while the standard SA TLB leaks the key.")
+}

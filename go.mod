@@ -1,0 +1,3 @@
+module securetlb
+
+go 1.22

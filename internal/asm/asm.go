@@ -1,0 +1,512 @@
+// Package asm implements a small two-pass assembler for the simulator ISA.
+//
+// The source syntax mirrors the paper's micro security benchmark listings
+// (Figure 6): a code region using RISC-V-style mnemonics plus the ldnorm /
+// ldrand access types and CSR accesses by name, and a data region of .dword
+// directives whose labels (tdat...) the code references with la. The paper's
+// RVTEST_PASS / RVTEST_FAIL macros are the pass / fail pseudo-instructions.
+//
+// Supported directives:
+//
+//	.text            switch to the code section (default)
+//	.data            switch to the data section
+//	.dword v...      emit 64-bit words
+//	.space n         reserve n zero dwords
+//	.page            align the data cursor to the next page boundary
+//	.org addr        move the data cursor forward to an absolute address
+//
+// Pseudo-instructions: pass (halt 0), fail (halt 1), mv rd,rs (addi rd,rs,0),
+// la rd,label (li rd, address-of-label).
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"securetlb/internal/isa"
+)
+
+// DefaultDataBase is the virtual byte address where the data section starts
+// (page-aligned).
+const DefaultDataBase = 0x100_0000
+
+// Assembler holds assembly options. The zero value uses DefaultDataBase.
+type Assembler struct {
+	// DataBase is the virtual address of the start of the data section.
+	// It must be page-aligned.
+	DataBase uint64
+}
+
+// Assemble parses src with default options.
+func Assemble(src string) (*isa.Program, error) {
+	return (&Assembler{}).Assemble(src)
+}
+
+type lineError struct {
+	line int
+	err  error
+}
+
+func (e *lineError) Error() string { return fmt.Sprintf("asm: line %d: %v", e.line, e.err) }
+func (e *lineError) Unwrap() error { return e.err }
+
+// stmt is a parsed source statement awaiting symbol resolution.
+type stmt struct {
+	line   int
+	mnem   string
+	args   []string
+	isData bool
+	// data statements
+	values []uint64
+	vaddr  uint64
+	// text statements
+	index int // instruction index
+}
+
+// Assemble runs the two passes over src and returns the program.
+func (a *Assembler) Assemble(src string) (*isa.Program, error) {
+	dataBase := a.DataBase
+	if dataBase == 0 {
+		dataBase = DefaultDataBase
+	}
+	if dataBase%(1<<12) != 0 {
+		return nil, fmt.Errorf("asm: DataBase %#x is not page-aligned", dataBase)
+	}
+
+	symbols := map[string]uint64{}
+	var stmts []stmt
+	section := ".text"
+	nInstr := 0
+	dataCursor := dataBase
+
+	// Pass 1: tokenise, assign label values, lay out data.
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly several, possibly with trailing code).
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !isIdent(label) {
+				return nil, &lineError{lineNo + 1, fmt.Errorf("bad label %q", label)}
+			}
+			if _, dup := symbols[label]; dup {
+				return nil, &lineError{lineNo + 1, fmt.Errorf("duplicate label %q", label)}
+			}
+			if section == ".text" {
+				symbols[label] = uint64(nInstr)
+			} else {
+				symbols[label] = dataCursor
+			}
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		mnem, rest := splitMnemonic(line)
+		switch mnem {
+		case ".text", ".data":
+			section = mnem
+			continue
+		case ".dword":
+			if section != ".data" {
+				return nil, &lineError{lineNo + 1, fmt.Errorf(".dword outside .data")}
+			}
+			vals, err := parseValues(rest)
+			if err != nil {
+				return nil, &lineError{lineNo + 1, err}
+			}
+			stmts = append(stmts, stmt{line: lineNo + 1, isData: true, values: vals, vaddr: dataCursor})
+			dataCursor += 8 * uint64(len(vals))
+			continue
+		case ".space":
+			if section != ".data" {
+				return nil, &lineError{lineNo + 1, fmt.Errorf(".space outside .data")}
+			}
+			n, err := parseUint(strings.TrimSpace(rest))
+			if err != nil {
+				return nil, &lineError{lineNo + 1, err}
+			}
+			stmts = append(stmts, stmt{line: lineNo + 1, isData: true, values: make([]uint64, n), vaddr: dataCursor})
+			dataCursor += 8 * n
+			continue
+		case ".page":
+			if section != ".data" {
+				return nil, &lineError{lineNo + 1, fmt.Errorf(".page outside .data")}
+			}
+			if rem := dataCursor % (1 << 12); rem != 0 {
+				dataCursor += (1 << 12) - rem
+			}
+			continue
+		case ".org":
+			if section != ".data" {
+				return nil, &lineError{lineNo + 1, fmt.Errorf(".org outside .data")}
+			}
+			addr, err := parseUint(strings.TrimSpace(rest))
+			if err != nil {
+				return nil, &lineError{lineNo + 1, err}
+			}
+			if addr < dataCursor {
+				return nil, &lineError{lineNo + 1, fmt.Errorf(".org %#x moves backwards (cursor %#x)", addr, dataCursor)}
+			}
+			if addr%8 != 0 {
+				return nil, &lineError{lineNo + 1, fmt.Errorf(".org %#x is not 8-byte aligned", addr)}
+			}
+			dataCursor = addr
+			continue
+		}
+		if strings.HasPrefix(mnem, ".") {
+			return nil, &lineError{lineNo + 1, fmt.Errorf("unknown directive %q", mnem)}
+		}
+		if section != ".text" {
+			return nil, &lineError{lineNo + 1, fmt.Errorf("instruction %q in data section", mnem)}
+		}
+		stmts = append(stmts, stmt{line: lineNo + 1, mnem: mnem, args: splitArgs(rest), index: nInstr})
+		nInstr++
+	}
+
+	// Pass 2: encode.
+	prog := &isa.Program{Symbols: symbols}
+	for _, s := range stmts {
+		if s.isData {
+			for i, v := range s.values {
+				prog.Data = append(prog.Data, isa.DataWord{VAddr: s.vaddr + 8*uint64(i), Value: v})
+			}
+			continue
+		}
+		in, err := encodeInstr(s, symbols)
+		if err != nil {
+			return nil, &lineError{s.line, err}
+		}
+		prog.Instrs = append(prog.Instrs, in)
+	}
+	prog.RecomputeDataPages()
+	return prog, nil
+}
+
+// encodeInstr turns one text statement into an instruction.
+func encodeInstr(s stmt, symbols map[string]uint64) (isa.Instr, error) {
+	need := func(n int) error {
+		if len(s.args) != n {
+			return fmt.Errorf("%s expects %d operands, got %d", s.mnem, n, len(s.args))
+		}
+		return nil
+	}
+	var in isa.Instr
+	switch s.mnem {
+	case "nop":
+		if err := need(0); err != nil {
+			return in, err
+		}
+		in.Op = isa.OpNop
+	case "pass", "fail":
+		if err := need(0); err != nil {
+			return in, err
+		}
+		in.Op = isa.OpHalt
+		if s.mnem == "fail" {
+			in.Imm = 1
+		}
+	case "halt":
+		if err := need(1); err != nil {
+			return in, err
+		}
+		imm, err := parseImm(s.args[0], symbols)
+		if err != nil {
+			return in, err
+		}
+		in.Op, in.Imm = isa.OpHalt, imm
+	case "li", "la":
+		if err := need(2); err != nil {
+			return in, err
+		}
+		rd, err := parseReg(s.args[0])
+		if err != nil {
+			return in, err
+		}
+		imm, err := parseImm(s.args[1], symbols)
+		if err != nil {
+			return in, err
+		}
+		in = isa.Instr{Op: isa.OpLi, Rd: rd, Imm: imm}
+	case "mv":
+		if err := need(2); err != nil {
+			return in, err
+		}
+		rd, err := parseReg(s.args[0])
+		if err != nil {
+			return in, err
+		}
+		rs, err := parseReg(s.args[1])
+		if err != nil {
+			return in, err
+		}
+		in = isa.Instr{Op: isa.OpAddi, Rd: rd, Rs1: rs}
+	case "addi", "slli", "srli":
+		if err := need(3); err != nil {
+			return in, err
+		}
+		rd, err := parseReg(s.args[0])
+		if err != nil {
+			return in, err
+		}
+		rs1, err := parseReg(s.args[1])
+		if err != nil {
+			return in, err
+		}
+		imm, err := parseImm(s.args[2], symbols)
+		if err != nil {
+			return in, err
+		}
+		op := map[string]isa.Op{"addi": isa.OpAddi, "slli": isa.OpSlli, "srli": isa.OpSrli}[s.mnem]
+		in = isa.Instr{Op: op, Rd: rd, Rs1: rs1, Imm: imm}
+	case "add", "sub", "and", "or", "xor", "sltu":
+		if err := need(3); err != nil {
+			return in, err
+		}
+		rd, err := parseReg(s.args[0])
+		if err != nil {
+			return in, err
+		}
+		rs1, err := parseReg(s.args[1])
+		if err != nil {
+			return in, err
+		}
+		rs2, err := parseReg(s.args[2])
+		if err != nil {
+			return in, err
+		}
+		op := map[string]isa.Op{
+			"add": isa.OpAdd, "sub": isa.OpSub, "and": isa.OpAnd,
+			"or": isa.OpOr, "xor": isa.OpXor, "sltu": isa.OpSltu,
+		}[s.mnem]
+		in = isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}
+	case "ld", "ldnorm", "ldrand", "sd":
+		if err := need(2); err != nil {
+			return in, err
+		}
+		r0, err := parseReg(s.args[0])
+		if err != nil {
+			return in, err
+		}
+		off, base, err := parseMemOperand(s.args[1])
+		if err != nil {
+			return in, err
+		}
+		op := map[string]isa.Op{
+			"ld": isa.OpLd, "ldnorm": isa.OpLdNorm, "ldrand": isa.OpLdRand, "sd": isa.OpSd,
+		}[s.mnem]
+		if s.mnem == "sd" {
+			in = isa.Instr{Op: op, Rs2: r0, Rs1: base, Imm: off}
+		} else {
+			in = isa.Instr{Op: op, Rd: r0, Rs1: base, Imm: off}
+		}
+	case "beq", "bne", "bltu":
+		if err := need(3); err != nil {
+			return in, err
+		}
+		rs1, err := parseReg(s.args[0])
+		if err != nil {
+			return in, err
+		}
+		rs2, err := parseReg(s.args[1])
+		if err != nil {
+			return in, err
+		}
+		imm, err := parseImm(s.args[2], symbols)
+		if err != nil {
+			return in, err
+		}
+		op := map[string]isa.Op{"beq": isa.OpBeq, "bne": isa.OpBne, "bltu": isa.OpBltu}[s.mnem]
+		in = isa.Instr{Op: op, Rs1: rs1, Rs2: rs2, Imm: imm}
+	case "j":
+		if err := need(1); err != nil {
+			return in, err
+		}
+		imm, err := parseImm(s.args[0], symbols)
+		if err != nil {
+			return in, err
+		}
+		in = isa.Instr{Op: isa.OpJ, Imm: imm}
+	case "csrr":
+		if err := need(2); err != nil {
+			return in, err
+		}
+		rd, err := parseReg(s.args[0])
+		if err != nil {
+			return in, err
+		}
+		csr, err := parseCSR(s.args[1])
+		if err != nil {
+			return in, err
+		}
+		in = isa.Instr{Op: isa.OpCsrr, Rd: rd, CSR: csr}
+	case "csrw":
+		if err := need(2); err != nil {
+			return in, err
+		}
+		csr, err := parseCSR(s.args[0])
+		if err != nil {
+			return in, err
+		}
+		rs, err := parseReg(s.args[1])
+		if err != nil {
+			return in, err
+		}
+		in = isa.Instr{Op: isa.OpCsrw, CSR: csr, Rs1: rs}
+	case "csrwi":
+		if err := need(2); err != nil {
+			return in, err
+		}
+		csr, err := parseCSR(s.args[0])
+		if err != nil {
+			return in, err
+		}
+		imm, err := parseImm(s.args[1], symbols)
+		if err != nil {
+			return in, err
+		}
+		in = isa.Instr{Op: isa.OpCsrwi, CSR: csr, Imm: imm}
+	default:
+		return in, fmt.Errorf("unknown mnemonic %q", s.mnem)
+	}
+	if in.Rd == 0 && in.Op != isa.OpNop {
+		// Writes to x0 are architectural no-ops but legal; nothing to check.
+		_ = in
+	}
+	return in, nil
+}
+
+// --- token helpers ---------------------------------------------------------
+
+func splitMnemonic(line string) (mnem, rest string) {
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		return strings.ToLower(line[:i]), strings.TrimSpace(line[i+1:])
+	}
+	return strings.ToLower(line), ""
+}
+
+func splitArgs(rest string) []string {
+	if strings.TrimSpace(rest) == "" {
+		return nil
+	}
+	parts := strings.Split(rest, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if !strings.HasPrefix(s, "x") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseCSR(s string) (uint16, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if n, ok := isa.CSRNames[s]; ok {
+		return n, nil
+	}
+	if v, err := strconv.ParseUint(s, 0, 16); err == nil {
+		return uint16(v), nil
+	}
+	return 0, fmt.Errorf("unknown CSR %q", s)
+}
+
+// parseImm accepts integers (decimal, 0x hex, negative) and label names.
+func parseImm(s string, symbols map[string]uint64) (int64, error) {
+	s = strings.TrimSpace(s)
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return v, nil
+	}
+	if v, err := strconv.ParseUint(s, 0, 64); err == nil {
+		return int64(v), nil
+	}
+	if v, ok := symbols[s]; ok {
+		return int64(v), nil
+	}
+	return 0, fmt.Errorf("bad immediate or unknown symbol %q", s)
+}
+
+func parseUint(s string) (uint64, error) {
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad count %q", s)
+	}
+	return v, nil
+}
+
+// parseMemOperand parses "off(xN)".
+func parseMemOperand(s string) (off int64, base uint8, err error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	close_ := strings.IndexByte(s, ')')
+	if open < 0 || close_ != len(s)-1 || close_ < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		offStr = "0"
+	}
+	off, err = strconv.ParseInt(offStr, 0, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad offset in %q", s)
+	}
+	base, err = parseReg(s[open+1 : close_])
+	return off, base, err
+}
+
+func parseValues(rest string) ([]uint64, error) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf(".dword needs at least one value")
+	}
+	out := make([]uint64, len(fields))
+	for i, f := range fields {
+		if v, err := strconv.ParseInt(f, 0, 64); err == nil {
+			out[i] = uint64(v)
+			continue
+		}
+		v, err := strconv.ParseUint(f, 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,292 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"securetlb/internal/isa"
+)
+
+func mustAsm(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestBasicProgram(t *testing.T) {
+	p := mustAsm(t, `
+		# paper Figure 6 style prologue
+		csrwi sbase, 3
+		csrwi ssize, 3
+		csrwi process_id, 0
+		la x1, tdat
+		ldnorm x2, 0(x1)
+		csrr x3, tlb_miss_count
+		pass
+	.data
+	tdat: .dword 1 2 3
+	`)
+	if len(p.Instrs) != 7 {
+		t.Fatalf("got %d instructions", len(p.Instrs))
+	}
+	if p.Instrs[0].Op != isa.OpCsrwi || p.Instrs[0].CSR != isa.CSRSBase || p.Instrs[0].Imm != 3 {
+		t.Errorf("instr 0 = %+v", p.Instrs[0])
+	}
+	la := p.Instrs[3]
+	if la.Op != isa.OpLi || la.Rd != 1 || uint64(la.Imm) != DefaultDataBase {
+		t.Errorf("la = %+v", la)
+	}
+	if p.Instrs[4].Op != isa.OpLdNorm {
+		t.Errorf("ldnorm = %+v", p.Instrs[4])
+	}
+	if p.Instrs[6].Op != isa.OpHalt || p.Instrs[6].Imm != 0 {
+		t.Errorf("pass = %+v", p.Instrs[6])
+	}
+	if len(p.Data) != 3 || p.Data[2].Value != 3 {
+		t.Errorf("data = %+v", p.Data)
+	}
+	if p.Symbols["tdat"] != DefaultDataBase {
+		t.Errorf("tdat = %#x", p.Symbols["tdat"])
+	}
+}
+
+func TestBranchLabels(t *testing.T) {
+	p := mustAsm(t, `
+		li x1, 5
+		li x2, 5
+		beq x1, x2, equal
+		fail
+	equal:
+		pass
+	`)
+	if p.Instrs[2].Op != isa.OpBeq || p.Instrs[2].Imm != 4 {
+		t.Errorf("beq = %+v", p.Instrs[2])
+	}
+	if p.Instrs[3].Op != isa.OpHalt || p.Instrs[3].Imm != 1 {
+		t.Errorf("fail = %+v", p.Instrs[3])
+	}
+}
+
+func TestForwardAndBackwardLabels(t *testing.T) {
+	p := mustAsm(t, `
+	top:
+		addi x1, x1, 1
+		bne x1, x2, top
+		j done
+		nop
+	done:
+		pass
+	`)
+	if p.Instrs[1].Imm != 0 {
+		t.Errorf("backward label = %d", p.Instrs[1].Imm)
+	}
+	if p.Instrs[2].Imm != 4 {
+		t.Errorf("forward label = %d", p.Instrs[2].Imm)
+	}
+}
+
+func TestPageDirectiveAligns(t *testing.T) {
+	p := mustAsm(t, `
+		nop
+	.data
+	a: .dword 1
+	.page
+	b: .dword 2
+	.page
+	c: .dword 3
+	`)
+	if p.Symbols["a"] != DefaultDataBase {
+		t.Errorf("a = %#x", p.Symbols["a"])
+	}
+	if p.Symbols["b"] != DefaultDataBase+0x1000 {
+		t.Errorf("b = %#x", p.Symbols["b"])
+	}
+	if p.Symbols["c"] != DefaultDataBase+0x2000 {
+		t.Errorf("c = %#x", p.Symbols["c"])
+	}
+	if len(p.DataPages) != 3 {
+		t.Errorf("DataPages = %v", p.DataPages)
+	}
+}
+
+func TestSpaceDirective(t *testing.T) {
+	p := mustAsm(t, `
+		nop
+	.data
+	buf: .space 512
+	end: .dword 9
+	`)
+	if p.Symbols["end"]-p.Symbols["buf"] != 512*8 {
+		t.Errorf("space sizing wrong: %#x..%#x", p.Symbols["buf"], p.Symbols["end"])
+	}
+	if len(p.Data) != 513 {
+		t.Errorf("data words = %d", len(p.Data))
+	}
+	// 512 dwords starting page-aligned span exactly one page.
+	if len(p.DataPages) != 2 {
+		t.Errorf("DataPages = %v", p.DataPages)
+	}
+}
+
+func TestMemOperands(t *testing.T) {
+	p := mustAsm(t, `
+		ld x2, 8(x1)
+		sd x3, -16(x4)
+		ldrand x5, (x6)
+	`)
+	if p.Instrs[0] != (isa.Instr{Op: isa.OpLd, Rd: 2, Rs1: 1, Imm: 8}) {
+		t.Errorf("ld = %+v", p.Instrs[0])
+	}
+	if p.Instrs[1] != (isa.Instr{Op: isa.OpSd, Rs2: 3, Rs1: 4, Imm: -16}) {
+		t.Errorf("sd = %+v", p.Instrs[1])
+	}
+	if p.Instrs[2] != (isa.Instr{Op: isa.OpLdRand, Rd: 5, Rs1: 6}) {
+		t.Errorf("ldrand = %+v", p.Instrs[2])
+	}
+}
+
+func TestALUAndPseudo(t *testing.T) {
+	p := mustAsm(t, `
+		mv x1, x2
+		add x3, x1, x2
+		sub x3, x1, x2
+		and x3, x1, x2
+		or x3, x1, x2
+		xor x3, x1, x2
+		sltu x3, x1, x2
+		slli x3, x1, 4
+		srli x3, x1, 4
+		li x4, -1
+		li x5, 0xdeadbeef
+	`)
+	if p.Instrs[0] != (isa.Instr{Op: isa.OpAddi, Rd: 1, Rs1: 2}) {
+		t.Errorf("mv = %+v", p.Instrs[0])
+	}
+	if p.Instrs[10].Imm != 0xdeadbeef {
+		t.Errorf("hex li = %+v", p.Instrs[10])
+	}
+	if p.Instrs[9].Imm != -1 {
+		t.Errorf("negative li = %+v", p.Instrs[9])
+	}
+}
+
+func TestCSRByNumber(t *testing.T) {
+	p := mustAsm(t, `csrr x1, 0xC00`)
+	if p.Instrs[0].CSR != isa.CSRCycle {
+		t.Errorf("csr = %#x", p.Instrs[0].CSR)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"frobnicate x1", "unknown mnemonic"},
+		{"ld x2, 0(x99)", "bad register"},
+		{"addi x1, x2", "expects 3 operands"},
+		{"beq x1, x2, missing", "unknown symbol"},
+		{"csrr x1, nosuchcsr", "unknown CSR"},
+		{".dword 5", ".dword outside .data"},
+		{".data\naddi x1, x1, 1", "in data section"},
+		{"dup:\ndup:\nnop", "duplicate label"},
+		{".bogus", "unknown directive"},
+		{"1bad:\nnop", "bad label"},
+		{"ld x2, 0[x1]", "bad memory operand"},
+		{".data\n.dword zork", "bad value"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Assemble(%q) err = %v, want containing %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus x1\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("err = %v, want line 3", err)
+	}
+}
+
+func TestCustomDataBase(t *testing.T) {
+	a := &Assembler{DataBase: 0x200000}
+	p, err := a.Assemble("nop\n.data\nx: .dword 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["x"] != 0x200000 {
+		t.Errorf("x = %#x", p.Symbols["x"])
+	}
+	if _, err := (&Assembler{DataBase: 0x200001}).Assemble("nop"); err == nil {
+		t.Error("unaligned DataBase should be rejected")
+	}
+}
+
+func TestLabelOnSameLineAsInstr(t *testing.T) {
+	p := mustAsm(t, "start: nop\nj start")
+	if p.Symbols["start"] != 0 || p.Instrs[1].Imm != 0 {
+		t.Error("inline label handling wrong")
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p := mustAsm(t, `
+	# full-line comment
+
+	nop # trailing comment
+	`)
+	if len(p.Instrs) != 1 {
+		t.Errorf("got %d instructions", len(p.Instrs))
+	}
+}
+
+func TestRoundTripThroughEncoding(t *testing.T) {
+	p := mustAsm(t, `
+		li x1, 7
+		la x2, data
+		ld x3, 0(x2)
+		pass
+	.data
+	data: .dword 99
+	`)
+	q, err := isa.Decode(isa.Encode(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Instrs {
+		if q.Instrs[i] != p.Instrs[i] {
+			t.Errorf("instr %d differs after round trip", i)
+		}
+	}
+}
+
+func TestOrgDirective(t *testing.T) {
+	p := mustAsm(t, `
+		nop
+	.data
+	.org 0x2000000
+	a: .dword 1
+	.org 0x2005000
+	b: .dword 2
+	`)
+	if p.Symbols["a"] != 0x2000000 || p.Symbols["b"] != 0x2005000 {
+		t.Errorf("org symbols: a=%#x b=%#x", p.Symbols["a"], p.Symbols["b"])
+	}
+	if len(p.DataPages) != 2 || p.DataPages[0] != 0x2000 || p.DataPages[1] != 0x2005 {
+		t.Errorf("DataPages = %v", p.DataPages)
+	}
+	for _, bad := range []string{
+		".data\n.org 0x100\nx: .dword 1\n.org 0x50", // backwards
+		".data\n.org 0x1003",                        // unaligned
+		".org 0x1000",                               // outside .data
+	} {
+		if _, err := Assemble(bad); err == nil {
+			t.Errorf("Assemble(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package asm
+
+import (
+	"testing"
+
+	"securetlb/internal/isa"
+)
+
+// FuzzAssemble ensures the parser never panics on arbitrary input, and that
+// anything it accepts is a well-formed program (valid registers/opcodes) —
+// in particular it must survive the binary encode/decode round trip.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"nop",
+		"li x1, 5\npass",
+		"la x1, d\nld x2, 0(x1)\n.data\nd: .dword 1",
+		"csrwi process_id, 1\nldrand x3, 8(x4)",
+		"loop: beq x1, x2, loop",
+		".data\n.org 0x2000\nx: .dword 1 2 3",
+		"halt -1",
+		": :",
+		".space",
+		"ld x2, (x1",
+		"# only a comment",
+		"\x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		for i, in := range p.Instrs {
+			if !in.Op.Valid() {
+				t.Fatalf("instr %d has invalid opcode %d", i, in.Op)
+			}
+			if in.Rd >= isa.NumRegs || in.Rs1 >= isa.NumRegs || in.Rs2 >= isa.NumRegs {
+				t.Fatalf("instr %d has out-of-range register", i)
+			}
+		}
+		q, err := isa.Decode(isa.Encode(p))
+		if err != nil {
+			t.Fatalf("accepted program failed encode/decode round trip: %v", err)
+		}
+		if len(q.Instrs) != len(p.Instrs) || len(q.Data) != len(p.Data) {
+			t.Fatal("round trip changed program size")
+		}
+	})
+}

@@ -1,0 +1,153 @@
+// Package attack implements the timing-attack strategies of Table 2 as
+// executable procedures against a TLB, including an end-to-end TLBleed-style
+// key recovery against the RSA victim.
+//
+// TLBleed [8] (the paper's motivating attack, mapping to the TLB Prime +
+// Probe rows of Table 2) watches the TLB set of libgcrypt's tp pointer page:
+// the pointer swap touches tp only on a 1 exponent bit, so, per iteration,
+// the attacker primes tp's set with its own pages, lets the victim advance
+// one bit, and probes — a probe miss means the victim displaced an entry,
+// i.e. tp was touched, i.e. the bit was 1.
+//
+// Against the standard SA TLB the recovery is essentially perfect (the paper
+// reports a 92% success rate on real hardware); against the SP TLB the
+// victim can no longer displace the attacker's partition, and against the RF
+// TLB the displacements are de-correlated random fills, so accuracy collapses
+// to coin-flipping.
+package attack
+
+import (
+	"fmt"
+	"math/big"
+
+	"securetlb/internal/tlb"
+	"securetlb/internal/victim"
+)
+
+// Environment binds a TLB and the two process IDs of the threat model.
+type Environment struct {
+	TLB          tlb.TLB
+	AttackerASID tlb.ASID
+	VictimASID   tlb.ASID
+}
+
+// PrimeProbe executes one Prime+Probe round: the attacker loads primePages,
+// victimFn runs, and the attacker re-touches the pages, returning how many
+// probes missed (non-zero ⇒ the victim displaced attacker entries).
+func (e Environment) PrimeProbe(primePages []tlb.VPN, victimFn func() error) (int, error) {
+	for _, p := range primePages {
+		if _, err := e.TLB.Translate(e.AttackerASID, p); err != nil {
+			return 0, fmt.Errorf("attack: prime %#x: %w", p, err)
+		}
+	}
+	if err := victimFn(); err != nil {
+		return 0, err
+	}
+	before := e.TLB.Stats().Misses
+	for _, p := range primePages {
+		if _, err := e.TLB.Translate(e.AttackerASID, p); err != nil {
+			return 0, fmt.Errorf("attack: probe %#x: %w", p, err)
+		}
+	}
+	return int(e.TLB.Stats().Misses - before), nil
+}
+
+// FlushReload executes one Flush+Reload round against a shared page: flush
+// everything, run the victim, then reload the page and report whether the
+// reload hit (⇒ the victim brought the translation in). Process-ID tagging
+// defeats this: the attacker's reload can never hit the victim's entry.
+func (e Environment) FlushReload(page tlb.VPN, victimFn func() error) (bool, error) {
+	e.TLB.FlushAll()
+	if err := victimFn(); err != nil {
+		return false, err
+	}
+	res, err := e.TLB.Translate(e.AttackerASID, page)
+	if err != nil {
+		return false, err
+	}
+	return res.Hit, nil
+}
+
+// EvictTime executes one Evict+Time round: the victim touches its secret
+// page, the attacker fills evictPages, and the victim's re-access is timed —
+// a miss means the attacker's fills displaced it (set collision).
+func (e Environment) EvictTime(victimPage tlb.VPN, evictPages []tlb.VPN) (slow bool, err error) {
+	if _, err := e.TLB.Translate(e.VictimASID, victimPage); err != nil {
+		return false, err
+	}
+	for _, p := range evictPages {
+		if _, err := e.TLB.Translate(e.AttackerASID, p); err != nil {
+			return false, err
+		}
+	}
+	res, err := e.TLB.Translate(e.VictimASID, victimPage)
+	if err != nil {
+		return false, err
+	}
+	return !res.Hit, nil
+}
+
+// PrimeSetPages returns n attacker-owned pages that map to the same TLB set
+// as target, starting the search at base (pages congruent to target modulo
+// the set count).
+func PrimeSetPages(target tlb.VPN, nsets, n int, base tlb.VPN) []tlb.VPN {
+	if nsets < 1 {
+		nsets = 1
+	}
+	start := base + tlb.VPN((uint64(target)-uint64(base))%uint64(nsets))
+	pages := make([]tlb.VPN, 0, n)
+	for k := 0; k < n; k++ {
+		pages = append(pages, start+tlb.VPN(k*nsets))
+	}
+	return pages
+}
+
+// TLBleedResult summarises a key-recovery attempt.
+type TLBleedResult struct {
+	Guessed  []uint
+	Actual   []uint
+	Correct  int
+	Accuracy float64
+}
+
+// TLBleed runs the full key-recovery attack: the victim decrypts ciphertext
+// bit by bit while the attacker Prime+Probes tp's TLB set. nsets/nways
+// describe the attacked TLB's geometry (the attacker is assumed to know the
+// TLB state machine, per the threat model).
+func (e Environment) TLBleed(r *victim.RSA, ciphertext *big.Int, nsets, nways int) (TLBleedResult, error) {
+	plain, traces := r.Decrypt(ciphertext)
+	// Sanity: the attack must observe a real decryption.
+	if plain == nil {
+		return TLBleedResult{}, fmt.Errorf("attack: decryption failed")
+	}
+	prime := PrimeSetPages(r.Layout.TP, nsets, nways, 0x9000)
+	res := TLBleedResult{Actual: r.KeyBits()}
+	for _, tr := range traces {
+		pages := tr.Pages
+		misses, err := e.PrimeProbe(prime, func() error {
+			for _, p := range pages {
+				if _, err := e.TLB.Translate(e.VictimASID, p); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return res, err
+		}
+		guess := uint(0)
+		if misses > 0 {
+			guess = 1
+		}
+		res.Guessed = append(res.Guessed, guess)
+	}
+	for i := range res.Guessed {
+		if i < len(res.Actual) && res.Guessed[i] == res.Actual[i] {
+			res.Correct++
+		}
+	}
+	if len(res.Actual) > 0 {
+		res.Accuracy = float64(res.Correct) / float64(len(res.Actual))
+	}
+	return res, nil
+}

@@ -1,0 +1,91 @@
+package attack
+
+import (
+	"math/big"
+
+	"securetlb/internal/cache"
+	"securetlb/internal/tlb"
+	"securetlb/internal/victim"
+)
+
+// This file reproduces the paper's §1 motivating claim: "defending cache
+// attacks does not protect against TLB attacks [8]". A system is modelled
+// with both an L1 data cache and a D-TLB; the same RSA victim runs its
+// decryption while the attacker mounts Prime+Probe at either granularity:
+//
+//   - the cache attack watches the cache set of the tp pointer's line;
+//   - the TLB attack watches the TLB set of the tp pointer's page.
+//
+// Hardening the cache (way partitioning, as the secure caches of §2.1 do)
+// kills the cache-side attack — yet, with a standard SA TLB, the TLB-side
+// attack still recovers the key bit for bit. Only a secure TLB closes the
+// remaining channel.
+
+// CacheLineAttack runs the cache-granular TLBleed analogue: per exponent
+// bit, prime tp's cache set, run one iteration's data accesses (the victim's
+// pointer dereferences, at line granularity), probe.
+func CacheLineAttack(c *cache.Cache, r *victim.RSA, ciphertext *big.Int) (TLBleedResult, error) {
+	_, traces := r.Decrypt(ciphertext)
+	res := TLBleedResult{Actual: r.KeyBits()}
+	tpAddr := r.Layout.AddrOf(r.Layout.TP)
+	tpSet := c.SetIndexOf(tpAddr)
+	// Attacker lines mapping to tp's set, far from the victim's pages; the
+	// prime fills the attacker's available ways (its partition, if the
+	// cache is hardened).
+	prime := make([]uint64, c.PartitionWays(false))
+	stride := uint64(c.Sets() * c.LineSize())
+	base := uint64(0x9_000_000) + uint64(tpSet*c.LineSize())
+	for i := range prime {
+		prime[i] = base + uint64(i)*stride
+	}
+	for _, tr := range traces {
+		for _, p := range prime {
+			c.Access(false, p)
+		}
+		for _, page := range tr.Pages {
+			c.Access(true, r.Layout.AddrOf(page))
+		}
+		misses := 0
+		before := c.Stats().Misses
+		for _, p := range prime {
+			c.Access(false, p)
+		}
+		misses = int(c.Stats().Misses - before)
+		guess := uint(0)
+		if misses > 0 {
+			guess = 1
+		}
+		res.Guessed = append(res.Guessed, guess)
+	}
+	for i := range res.Guessed {
+		if i < len(res.Actual) && res.Guessed[i] == res.Actual[i] {
+			res.Correct++
+		}
+	}
+	if len(res.Actual) > 0 {
+		res.Accuracy = float64(res.Correct) / float64(len(res.Actual))
+	}
+	return res, nil
+}
+
+// CacheVsTLBResult compares attack accuracy at the two granularities on the
+// same system configuration.
+type CacheVsTLBResult struct {
+	CacheAccuracy float64
+	TLBAccuracy   float64
+}
+
+// CacheVsTLB mounts both attacks against a system with the given cache and
+// TLB (the TLB attack uses the standard TLBleed procedure).
+func CacheVsTLB(c *cache.Cache, t tlb.TLB, nsets, nways int, r *victim.RSA, ciphertext *big.Int) (CacheVsTLBResult, error) {
+	cacheRes, err := CacheLineAttack(c, r, ciphertext)
+	if err != nil {
+		return CacheVsTLBResult{}, err
+	}
+	env := Environment{TLB: t, AttackerASID: 0, VictimASID: 1}
+	tlbRes, err := env.TLBleed(r, ciphertext, nsets, nways)
+	if err != nil {
+		return CacheVsTLBResult{}, err
+	}
+	return CacheVsTLBResult{CacheAccuracy: cacheRes.Accuracy, TLBAccuracy: tlbRes.Accuracy}, nil
+}

@@ -1,0 +1,136 @@
+package attack
+
+import (
+	"fmt"
+
+	"securetlb/internal/tlb"
+)
+
+// This file implements the covert-channel variant of the threat model
+// (§3.1: "the victim in the side-channel scenario is the sender in the
+// covert-channel scenario"). Sender and receiver are cooperating processes
+// that share no memory and no ASID; they communicate purely through TLB set
+// contention, one bit per Prime+Probe epoch:
+//
+//	bit 1 — the sender touches enough pages mapping to the agreed set to
+//	        displace the receiver's primed entries;
+//	bit 0 — the sender stays idle.
+//
+// The receiver primes the set before each epoch and probes it afterwards; a
+// probe miss decodes as 1. On the standard SA TLB the channel is noiseless;
+// the SP TLB closes it completely (the sender can never displace the
+// receiver's partition), and the RF TLB leaves it open only for non-secure
+// addresses — the designs target victim secrets, not cooperating processes,
+// exactly as the paper scopes them.
+
+// CovertChannel is a one-way TLB covert channel between two process IDs.
+type CovertChannel struct {
+	TLB      tlb.TLB
+	Sender   tlb.ASID
+	Receiver tlb.ASID
+	// NSets/NWays describe the TLB geometry (known to both parties).
+	NSets, NWays int
+	// Set is the agreed channel set index.
+	Set int
+}
+
+// senderPages returns the pages the sender touches to signal a 1.
+func (c CovertChannel) senderPages() []tlb.VPN {
+	return PrimeSetPages(tlb.VPN(c.Set), c.NSets, c.NWays, 0x20000)
+}
+
+// receiverPages returns the receiver's prime/probe pages.
+func (c CovertChannel) receiverPages() []tlb.VPN {
+	return PrimeSetPages(tlb.VPN(c.Set), c.NSets, c.NWays, 0x30000)
+}
+
+// validate checks the channel configuration.
+func (c CovertChannel) validate() error {
+	if c.TLB == nil {
+		return fmt.Errorf("attack: covert channel needs a TLB")
+	}
+	if c.NSets < 1 || c.NWays < 1 {
+		return fmt.Errorf("attack: bad geometry %d/%d", c.NSets, c.NWays)
+	}
+	if c.Set < 0 || c.Set >= c.NSets {
+		return fmt.Errorf("attack: set %d out of range [0,%d)", c.Set, c.NSets)
+	}
+	if c.Sender == c.Receiver {
+		return fmt.Errorf("attack: sender and receiver must be distinct processes")
+	}
+	return nil
+}
+
+// Transmit sends bits over the channel and returns what the receiver
+// decoded. The caller interleaves no other TLB activity, modelling a quiet
+// co-scheduled pair.
+func (c CovertChannel) Transmit(bits []uint) ([]uint, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	env := Environment{TLB: c.TLB, AttackerASID: c.Receiver, VictimASID: c.Sender}
+	send := c.senderPages()
+	prime := c.receiverPages()
+	received := make([]uint, 0, len(bits))
+	for _, bit := range bits {
+		misses, err := env.PrimeProbe(prime, func() error {
+			if bit == 0 {
+				return nil
+			}
+			for _, p := range send {
+				if _, err := c.TLB.Translate(c.Sender, p); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return received, err
+		}
+		got := uint(0)
+		if misses > 0 {
+			got = 1
+		}
+		received = append(received, got)
+	}
+	return received, nil
+}
+
+// TransmitBytes sends a byte string MSB-first and returns the decoded bytes
+// plus the raw bit error count.
+func (c CovertChannel) TransmitBytes(data []byte) (out []byte, bitErrors int, err error) {
+	bits := BytesToBits(data)
+	got, err := c.Transmit(bits)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := range bits {
+		if got[i] != bits[i] {
+			bitErrors++
+		}
+	}
+	return BitsToBytes(got), bitErrors, nil
+}
+
+// BytesToBits expands bytes to bits, MSB first.
+func BytesToBits(data []byte) []uint {
+	bits := make([]uint, 0, 8*len(data))
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			bits = append(bits, uint(b>>i)&1)
+		}
+	}
+	return bits
+}
+
+// BitsToBytes packs bits (MSB first) into bytes; trailing partial bytes are
+// zero-padded.
+func BitsToBytes(bits []uint) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b != 0 {
+			out[i/8] |= 1 << (7 - i%8)
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+// Package cache models a physically-indexed L1 data cache, the substrate
+// for the paper's §1 motivating claim that "defending cache attacks does not
+// protect against TLB attacks": even with a cache hardened against
+// Prime+Probe (here by SecDCP/SP-style way partitioning, or by flushing),
+// the TLB still leaks the victim's page-granular access pattern.
+//
+// The cache is set-associative with true LRU and optional static way
+// partitioning between a victim domain and everyone else — the cache-side
+// analogue of the paper's SP TLB, standing in for the hardened caches of
+// the related work (§2.1).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+	Evicts   uint64
+}
+
+// MissRate returns Misses/Accesses (0 when idle).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	valid  bool
+	tag    uint64
+	victim bool // owning domain, for partition bookkeeping
+	stamp  uint64
+}
+
+// Cache is a set-associative, physically-indexed data cache.
+type Cache struct {
+	lineSize   int
+	sets       [][]line
+	nsets      int
+	ways       int
+	victimWays int // 0 = unpartitioned
+	clock      uint64
+	stats      Stats
+	lineShift  uint
+}
+
+// New builds a cache of sizeBytes with the given associativity and line
+// size (both powers of two). victimWays > 0 reserves that many ways per set
+// for the victim domain (a partitioned, side-channel-hardened cache);
+// 0 disables partitioning.
+func New(sizeBytes, ways, lineSize, victimWays int) (*Cache, error) {
+	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("cache: line size must be a power of two, got %d", lineSize)
+	}
+	if ways <= 0 || sizeBytes <= 0 || sizeBytes%(ways*lineSize) != 0 {
+		return nil, fmt.Errorf("cache: size %d not divisible into %d ways of %dB lines", sizeBytes, ways, lineSize)
+	}
+	nsets := sizeBytes / (ways * lineSize)
+	if victimWays < 0 || victimWays >= ways {
+		if victimWays != 0 {
+			return nil, fmt.Errorf("cache: victimWays must be in [0,%d), got %d", ways, victimWays)
+		}
+	}
+	c := &Cache{
+		lineSize: lineSize, nsets: nsets, ways: ways, victimWays: victimWays,
+		lineShift: uint(bits.TrailingZeros(uint(lineSize))),
+	}
+	c.sets = make([][]line, nsets)
+	backing := make([]line, nsets*ways)
+	for i := range c.sets {
+		c.sets[i], backing = backing[:ways], backing[ways:]
+	}
+	return c, nil
+}
+
+// Sets returns the number of cache sets.
+func (c *Cache) Sets() int { return c.nsets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int { return c.lineSize }
+
+// Stats returns the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// PartitionWays returns how many ways a domain's fills can occupy — the
+// prime size an attacker aware of the design would use.
+func (c *Cache) PartitionWays(victim bool) int {
+	lo, hi := c.partition(victim)
+	return hi - lo
+}
+
+// SetIndexOf returns the set an address maps to (for attack construction).
+func (c *Cache) SetIndexOf(paddr uint64) int {
+	return int((paddr >> c.lineShift) % uint64(c.nsets))
+}
+
+func (c *Cache) tagOf(paddr uint64) uint64 {
+	return paddr >> c.lineShift / uint64(c.nsets)
+}
+
+// partition returns the fill way range for a domain.
+func (c *Cache) partition(victim bool) (lo, hi int) {
+	if c.victimWays == 0 {
+		return 0, c.ways
+	}
+	if victim {
+		return 0, c.victimWays
+	}
+	return c.victimWays, c.ways
+}
+
+// Access touches paddr from the given domain, returning whether it hit.
+// Lookups search all ways; fills are confined to the domain's partition.
+func (c *Cache) Access(victim bool, paddr uint64) bool {
+	c.stats.Accesses++
+	c.clock++
+	s := c.SetIndexOf(paddr)
+	tag := c.tagOf(paddr)
+	for w := range c.sets[s] {
+		l := &c.sets[s][w]
+		if l.valid && l.tag == tag {
+			l.stamp = c.clock
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	lo, hi := c.partition(victim)
+	w, oldest := lo, ^uint64(0)
+	for i := lo; i < hi; i++ {
+		if !c.sets[s][i].valid {
+			w = i
+			oldest = 0
+			break
+		}
+		if c.sets[s][i].stamp < oldest {
+			w, oldest = i, c.sets[s][i].stamp
+		}
+	}
+	if c.sets[s][w].valid {
+		c.stats.Evicts++
+	}
+	c.sets[s][w] = line{valid: true, tag: tag, victim: victim, stamp: c.clock}
+	return false
+}
+
+// Probe reports presence without side effects.
+func (c *Cache) Probe(paddr uint64) bool {
+	s := c.SetIndexOf(paddr)
+	tag := c.tagOf(paddr)
+	for w := range c.sets[s] {
+		if c.sets[s][w].valid && c.sets[s][w].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates the whole cache.
+func (c *Cache) Flush() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = line{}
+		}
+	}
+}

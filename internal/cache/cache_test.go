@@ -1,0 +1,156 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustCache(t *testing.T, size, ways, lineSize, victimWays int) *Cache {
+	t.Helper()
+	c, err := New(size, ways, lineSize, victimWays)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		size, ways, line, vw int
+		ok                   bool
+	}{
+		{4096, 8, 64, 0, true},
+		{4096, 8, 64, 4, true},
+		{4096, 8, 63, 0, false}, // line size not power of two
+		{4000, 8, 64, 0, false}, // size not divisible
+		{4096, 0, 64, 0, false},
+		{4096, 8, 64, 8, false},  // victimWays == ways
+		{4096, 8, 64, -1, false}, // negative
+	}
+	for _, c := range cases {
+		_, err := New(c.size, c.ways, c.line, c.vw)
+		if (err == nil) != c.ok {
+			t.Errorf("New(%d,%d,%d,%d): err=%v want ok=%v", c.size, c.ways, c.line, c.vw, err, c.ok)
+		}
+	}
+	c := mustCache(t, 4096, 8, 64, 0)
+	if c.Sets() != 8 || c.Ways() != 8 || c.LineSize() != 64 {
+		t.Errorf("geometry: %d sets %d ways %dB", c.Sets(), c.Ways(), c.LineSize())
+	}
+}
+
+func TestMissThenHitSameLine(t *testing.T) {
+	c := mustCache(t, 4096, 8, 64, 0)
+	if c.Access(false, 0x1000) {
+		t.Error("cold access should miss")
+	}
+	if !c.Access(false, 0x1000) {
+		t.Error("second access should hit")
+	}
+	if !c.Access(false, 0x103f) {
+		t.Error("same line, different byte should hit")
+	}
+	if c.Access(false, 0x1040) {
+		t.Error("next line should miss")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSetMappingAndLRU(t *testing.T) {
+	c := mustCache(t, 1024, 2, 64, 0) // 8 sets, 2 ways
+	// Three lines in set 0: 0x000, 0x200, 0x400 (stride = sets*line = 512).
+	c.Access(false, 0x000)
+	c.Access(false, 0x200)
+	c.Access(false, 0x000) // touch; 0x200 becomes LRU
+	c.Access(false, 0x400) // evicts 0x200
+	if !c.Probe(0x000) || c.Probe(0x200) || !c.Probe(0x400) {
+		t.Error("LRU eviction order wrong")
+	}
+	if c.SetIndexOf(0x000) != c.SetIndexOf(0x200) {
+		t.Error("stride addressing broken")
+	}
+	if c.SetIndexOf(0x000) == c.SetIndexOf(0x040) {
+		t.Error("adjacent lines should map to different sets")
+	}
+}
+
+func TestPartitionIsolation(t *testing.T) {
+	c := mustCache(t, 1024, 4, 64, 2) // 4 sets, 2+2 ways
+	// Victim fills its partition of set 0.
+	c.Access(true, 0x000)
+	c.Access(true, 0x100)
+	// Attacker hammers set 0.
+	for i := 0; i < 100; i++ {
+		c.Access(false, uint64(0x200+i*0x100))
+	}
+	if !c.Probe(0x000) || !c.Probe(0x100) {
+		t.Error("attacker must not evict the victim partition")
+	}
+	// And vice versa.
+	c.Flush()
+	c.Access(false, 0x000)
+	c.Access(false, 0x100)
+	for i := 0; i < 100; i++ {
+		c.Access(true, uint64(0x200+i*0x100))
+	}
+	if !c.Probe(0x000) || !c.Probe(0x100) {
+		t.Error("victim must not evict the attacker partition")
+	}
+}
+
+func TestFlushAndReset(t *testing.T) {
+	c := mustCache(t, 4096, 8, 64, 0)
+	c.Access(false, 0x40)
+	c.Flush()
+	if c.Probe(0x40) {
+		t.Error("flush should drop lines")
+	}
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Error("ResetStats failed")
+	}
+	if (Stats{}).MissRate() != 0 {
+		t.Error("idle MissRate should be 0")
+	}
+	if s := (Stats{Accesses: 4, Misses: 3}); s.MissRate() != 0.75 {
+		t.Errorf("MissRate = %v", s.MissRate())
+	}
+}
+
+func TestQuickProbeAfterAccess(t *testing.T) {
+	f := func(raws []uint32) bool {
+		c := mustCache(t, 4096, 8, 64, 0)
+		for _, raw := range raws {
+			addr := uint64(raw)
+			c.Access(false, addr)
+			if !c.Probe(addr) {
+				return false // just-accessed line must be resident
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStatsConsistent(t *testing.T) {
+	f := func(raws []uint16, vw uint8) bool {
+		victimWays := int(vw % 4) // 0..3 of 4 ways
+		c, err := New(2048, 4, 64, victimWays)
+		if err != nil {
+			return false
+		}
+		for i, raw := range raws {
+			c.Access(i%2 == 0, uint64(raw)*8)
+		}
+		st := c.Stats()
+		return st.Hits+st.Misses == st.Accesses && st.Evicts <= st.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

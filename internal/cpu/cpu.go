@@ -1,0 +1,409 @@
+// Package cpu implements the in-order, cycle-approximate processor core
+// that executes assembled programs against a D-TLB, page tables and physical
+// memory.
+//
+// The core stands in for the paper's Rocket Core RISC-V processor: it is
+// single-issue and in-order, charges one cycle per instruction, and routes
+// every data access through the L1 D-TLB, whose hit/miss latency difference
+// (one cycle vs. a full three-level page walk) is the timing channel under
+// study. Instruction fetch does not go through the D-TLB, matching the
+// paper's focus on data-TLB channels.
+//
+// The machine exposes the paper's CSR extensions: process_id switches the
+// current ASID (the simulation hack of Figure 6 that lets one benchmark
+// binary play both attacker and victim), sbase/ssize/victim_asid program the
+// secure TLB registers of §4.2.2, tlb_miss_count reads the added TLB miss
+// performance counter, and the tlb_flush_* CSRs model sfence.vma and the
+// targeted invalidations of Appendix B.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"securetlb/internal/isa"
+	"securetlb/internal/mem"
+	"securetlb/internal/ptw"
+	"securetlb/internal/tlb"
+)
+
+// Config carries the core's timing parameters.
+type Config struct {
+	// DataAccessCycles is charged for the cache access of each load/store
+	// after translation (an L1 hit; the cache hierarchy is not modelled
+	// further since the paper isolates the TLB channel).
+	DataAccessCycles uint64
+	// FlushCycles is charged for a full or per-ASID TLB flush.
+	FlushCycles uint64
+	// VariableFlushTiming makes a targeted page invalidation take one extra
+	// cycle when the entry was present — the two-cycle invalidation
+	// optimisation of Appendix B that enables the Flush+Flush strategy.
+	VariableFlushTiming bool
+}
+
+// DefaultConfig mirrors the FPGA setup's relative latencies.
+var DefaultConfig = Config{DataAccessCycles: 1, FlushCycles: 1}
+
+// ErrLimit is returned by Run when the instruction budget is exhausted
+// before the program halts.
+var ErrLimit = errors.New("cpu: instruction limit exceeded")
+
+// Machine is one simulated core wired to its memory subsystem.
+type Machine struct {
+	TLB tlb.TLB
+	PT  *ptw.PageTables
+	Mem *mem.Memory
+
+	// itlb, when installed via SetITLB, translates instruction fetches:
+	// each executed instruction first translates its own virtual page
+	// (textBase + 4*pc). The paper focuses on the L1 D-TLB but notes its
+	// designs "can be applied to instruction TLBs as well" — this is the
+	// hook that makes I-TLB experiments possible.
+	itlb     tlb.TLB
+	textBase uint64
+
+	cfg  Config
+	prog *isa.Program
+
+	regs    [isa.NumRegs]uint64
+	pc      int
+	cycles  uint64
+	instret uint64
+	asid    tlb.ASID
+	halted  bool
+	exit    int64
+
+	// CSR shadows for the security registers, so csrr works even on TLB
+	// designs that do not implement tlb.SecureTLB.
+	sbase, ssize, victim uint64
+}
+
+// New returns a machine with zeroed state.
+func New(t tlb.TLB, pt *ptw.PageTables, m *mem.Memory, cfg Config) *Machine {
+	return &Machine{TLB: t, PT: pt, Mem: m, cfg: cfg}
+}
+
+// NewSystem builds a complete machine: fresh memory (with the given
+// per-access latency), page tables, the provided TLB factory applied to the
+// walker, and a core with the default config. It is the one-call setup used
+// by the security benchmarks and examples.
+func NewSystem(memLatency uint64, makeTLB func(tlb.Walker) (tlb.TLB, error)) (*Machine, error) {
+	m := mem.New(memLatency)
+	pt := ptw.New(m, 0x10000)
+	t, err := makeTLB(pt)
+	if err != nil {
+		return nil, err
+	}
+	return New(t, pt, m, DefaultConfig), nil
+}
+
+// SetITLB installs an instruction TLB and the virtual base address of the
+// text section (each instruction occupies 4 bytes at textBase + 4*index).
+// Call before Load so the text pages get mapped. Pass nil to remove it.
+func (c *Machine) SetITLB(t tlb.TLB, textBase uint64) {
+	c.itlb = t
+	c.textBase = textBase
+}
+
+// ITLB returns the installed instruction TLB, or nil.
+func (c *Machine) ITLB() tlb.TLB { return c.itlb }
+
+// Load installs a program: its data pages are mapped (shared frames) into
+// every listed address space and the initial data values are written to
+// physical memory. With an I-TLB installed, the text pages are mapped too.
+// The PC is reset to 0.
+func (c *Machine) Load(p *isa.Program, asids []tlb.ASID) error {
+	if len(asids) == 0 {
+		return fmt.Errorf("cpu: Load needs at least one address space")
+	}
+	for _, vpn := range p.DataPages {
+		if _, err := c.PT.MapRange(asids, tlb.VPN(vpn), 1); err != nil {
+			return err
+		}
+	}
+	if c.itlb != nil {
+		first := c.textBase >> tlb.PageShift
+		last := (c.textBase + 4*uint64(len(p.Instrs))) >> tlb.PageShift
+		for vpn := first; vpn <= last; vpn++ {
+			if _, err := c.PT.MapRange(asids, tlb.VPN(vpn), 1); err != nil {
+				return err
+			}
+		}
+	}
+	for _, d := range p.Data {
+		ppn, err := c.PT.Translate(asids[0], tlb.VPN(d.VAddr>>tlb.PageShift))
+		if err != nil {
+			return err
+		}
+		paddr := uint64(ppn)<<tlb.PageShift | d.VAddr&(tlb.PageSize-1)
+		if _, err := c.Mem.Store64(paddr, d.Value); err != nil {
+			return err
+		}
+	}
+	c.prog = p
+	c.pc = 0
+	c.halted = false
+	c.exit = 0
+	return nil
+}
+
+// Reset clears the architectural state (registers, PC, counters, halt flag)
+// but leaves memory, page tables and the TLB array untouched.
+func (c *Machine) Reset() {
+	c.regs = [isa.NumRegs]uint64{}
+	c.pc = 0
+	c.cycles, c.instret = 0, 0
+	c.asid = 0
+	c.halted, c.exit = false, 0
+}
+
+// Reg returns the value of register n.
+func (c *Machine) Reg(n int) uint64 { return c.regs[n] }
+
+// SetReg sets register n (writes to x0 are ignored).
+func (c *Machine) SetReg(n int, v uint64) {
+	if n != 0 {
+		c.regs[n] = v
+	}
+}
+
+// Cycles returns the cycle counter.
+func (c *Machine) Cycles() uint64 { return c.cycles }
+
+// Instret returns the retired-instruction counter.
+func (c *Machine) Instret() uint64 { return c.instret }
+
+// ASID returns the current process ID.
+func (c *Machine) ASID() tlb.ASID { return c.asid }
+
+// SetASID switches the current process ID (as csrw process_id would).
+func (c *Machine) SetASID(a tlb.ASID) { c.asid = a }
+
+// Halted reports whether the program has executed halt.
+func (c *Machine) Halted() bool { return c.halted }
+
+// ExitCode returns the halt operand (0 = pass).
+func (c *Machine) ExitCode() int64 { return c.exit }
+
+// PC returns the current instruction index.
+func (c *Machine) PC() int { return c.pc }
+
+// Run executes until halt or until maxInstr instructions have retired,
+// returning the exit code. Exceeding the budget returns ErrLimit.
+func (c *Machine) Run(maxInstr uint64) (int64, error) {
+	for i := uint64(0); i < maxInstr; i++ {
+		if c.halted {
+			return c.exit, nil
+		}
+		if err := c.Step(); err != nil {
+			return 0, err
+		}
+	}
+	if c.halted {
+		return c.exit, nil
+	}
+	return 0, ErrLimit
+}
+
+// Step executes a single instruction.
+func (c *Machine) Step() error {
+	if c.prog == nil {
+		return fmt.Errorf("cpu: no program loaded")
+	}
+	if c.halted {
+		return fmt.Errorf("cpu: machine is halted")
+	}
+	if c.pc < 0 || c.pc >= len(c.prog.Instrs) {
+		return fmt.Errorf("cpu: pc %d outside program (%d instructions)", c.pc, len(c.prog.Instrs))
+	}
+	in := c.prog.Instrs[c.pc]
+	c.cycles++ // base cost of every instruction
+	if c.itlb != nil {
+		// Instruction fetch translates the PC's page through the I-TLB.
+		res, err := c.itlb.Translate(c.asid, tlb.VPN((c.textBase+4*uint64(c.pc))>>tlb.PageShift))
+		c.cycles += res.Cycles
+		if err != nil {
+			return fmt.Errorf("cpu: instruction fetch at pc %d: %w", c.pc, err)
+		}
+	}
+	next := c.pc + 1
+
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpHalt:
+		c.halted, c.exit = true, in.Imm
+	case isa.OpLi:
+		c.SetReg(int(in.Rd), uint64(in.Imm))
+	case isa.OpAddi:
+		c.SetReg(int(in.Rd), c.regs[in.Rs1]+uint64(in.Imm))
+	case isa.OpAdd:
+		c.SetReg(int(in.Rd), c.regs[in.Rs1]+c.regs[in.Rs2])
+	case isa.OpSub:
+		c.SetReg(int(in.Rd), c.regs[in.Rs1]-c.regs[in.Rs2])
+	case isa.OpAnd:
+		c.SetReg(int(in.Rd), c.regs[in.Rs1]&c.regs[in.Rs2])
+	case isa.OpOr:
+		c.SetReg(int(in.Rd), c.regs[in.Rs1]|c.regs[in.Rs2])
+	case isa.OpXor:
+		c.SetReg(int(in.Rd), c.regs[in.Rs1]^c.regs[in.Rs2])
+	case isa.OpSlli:
+		c.SetReg(int(in.Rd), c.regs[in.Rs1]<<uint(in.Imm&63))
+	case isa.OpSrli:
+		c.SetReg(int(in.Rd), c.regs[in.Rs1]>>uint(in.Imm&63))
+	case isa.OpSltu:
+		v := uint64(0)
+		if c.regs[in.Rs1] < c.regs[in.Rs2] {
+			v = 1
+		}
+		c.SetReg(int(in.Rd), v)
+	case isa.OpLd, isa.OpLdNorm, isa.OpLdRand:
+		vaddr := c.regs[in.Rs1] + uint64(in.Imm)
+		v, err := c.load(vaddr)
+		if err != nil {
+			return fmt.Errorf("cpu: pc %d (%s): %w", c.pc, in, err)
+		}
+		c.SetReg(int(in.Rd), v)
+	case isa.OpSd:
+		vaddr := c.regs[in.Rs1] + uint64(in.Imm)
+		if err := c.store(vaddr, c.regs[in.Rs2]); err != nil {
+			return fmt.Errorf("cpu: pc %d (%s): %w", c.pc, in, err)
+		}
+	case isa.OpBeq:
+		if c.regs[in.Rs1] == c.regs[in.Rs2] {
+			next = int(in.Imm)
+		}
+	case isa.OpBne:
+		if c.regs[in.Rs1] != c.regs[in.Rs2] {
+			next = int(in.Imm)
+		}
+	case isa.OpBltu:
+		if c.regs[in.Rs1] < c.regs[in.Rs2] {
+			next = int(in.Imm)
+		}
+	case isa.OpJ:
+		next = int(in.Imm)
+	case isa.OpCsrr:
+		v, err := c.readCSR(in.CSR)
+		if err != nil {
+			return fmt.Errorf("cpu: pc %d: %w", c.pc, err)
+		}
+		c.SetReg(int(in.Rd), v)
+	case isa.OpCsrw:
+		if err := c.writeCSR(in.CSR, c.regs[in.Rs1]); err != nil {
+			return fmt.Errorf("cpu: pc %d: %w", c.pc, err)
+		}
+	case isa.OpCsrwi:
+		if err := c.writeCSR(in.CSR, uint64(in.Imm)); err != nil {
+			return fmt.Errorf("cpu: pc %d: %w", c.pc, err)
+		}
+	default:
+		return fmt.Errorf("cpu: pc %d: invalid opcode %d", c.pc, in.Op)
+	}
+
+	c.instret++
+	c.pc = next
+	return nil
+}
+
+// translate routes a data access through the TLB and charges its latency.
+func (c *Machine) translate(vaddr uint64) (uint64, error) {
+	res, err := c.TLB.Translate(c.asid, tlb.VPN(vaddr>>tlb.PageShift))
+	c.cycles += res.Cycles
+	if err != nil {
+		return 0, err
+	}
+	return uint64(res.PPN)<<tlb.PageShift | vaddr&(tlb.PageSize-1), nil
+}
+
+func (c *Machine) load(vaddr uint64) (uint64, error) {
+	paddr, err := c.translate(vaddr)
+	if err != nil {
+		return 0, err
+	}
+	c.cycles += c.cfg.DataAccessCycles
+	v, _, err := c.Mem.Load64(paddr)
+	return v, err
+}
+
+func (c *Machine) store(vaddr, value uint64) error {
+	paddr, err := c.translate(vaddr)
+	if err != nil {
+		return err
+	}
+	c.cycles += c.cfg.DataAccessCycles
+	_, err = c.Mem.Store64(paddr, value)
+	return err
+}
+
+// ReadCSR reads a CSR from host code (identical to csrr).
+func (c *Machine) ReadCSR(csr uint16) (uint64, error) { return c.readCSR(csr) }
+
+func (c *Machine) readCSR(csr uint16) (uint64, error) {
+	switch csr {
+	case isa.CSRCycle:
+		return c.cycles, nil
+	case isa.CSRInstret:
+		return c.instret, nil
+	case isa.CSRTLBMissCount:
+		return c.TLB.Stats().Misses, nil
+	case isa.CSRTLBHitCount:
+		return c.TLB.Stats().Hits, nil
+	case isa.CSRProcessID:
+		return uint64(c.asid), nil
+	case isa.CSRSBase:
+		return c.sbase, nil
+	case isa.CSRSSize:
+		return c.ssize, nil
+	case isa.CSRVictimASID:
+		return c.victim, nil
+	default:
+		return 0, fmt.Errorf("cpu: read of unknown CSR %#x", csr)
+	}
+}
+
+func (c *Machine) writeCSR(csr uint16, v uint64) error {
+	switch csr {
+	case isa.CSRProcessID:
+		c.asid = tlb.ASID(v)
+	case isa.CSRSBase:
+		c.sbase = v
+		if st, ok := c.TLB.(tlb.SecureTLB); ok {
+			st.SetSecureRegion(tlb.VPN(v), c.ssize)
+		}
+	case isa.CSRSSize:
+		c.ssize = v
+		if st, ok := c.TLB.(tlb.SecureTLB); ok {
+			st.SetSecureRegion(tlb.VPN(c.sbase), v)
+		}
+	case isa.CSRVictimASID:
+		c.victim = v
+		if st, ok := c.TLB.(tlb.SecureTLB); ok {
+			st.SetVictim(tlb.ASID(v))
+		}
+	case isa.CSRTLBFlushAll:
+		c.TLB.FlushAll()
+		c.cycles += c.cfg.FlushCycles
+	case isa.CSRTLBFlushASID:
+		c.TLB.FlushASID(tlb.ASID(v))
+		c.cycles += c.cfg.FlushCycles
+	case isa.CSRTLBFlushPage:
+		present := c.TLB.FlushPage(c.asid, tlb.VPN(v>>tlb.PageShift))
+		c.cycles += c.cfg.FlushCycles
+		if c.cfg.VariableFlushTiming && present {
+			// Appendix B: checking first and invalidating in a second
+			// cycle shortens the common case but leaks presence.
+			c.cycles++
+		}
+	case isa.CSRTLBFlushPageAll:
+		present := c.TLB.FlushPageAllASIDs(tlb.VPN(v >> tlb.PageShift))
+		c.cycles += c.cfg.FlushCycles
+		if c.cfg.VariableFlushTiming && present {
+			c.cycles++
+		}
+	case isa.CSRCycle, isa.CSRInstret, isa.CSRTLBMissCount, isa.CSRTLBHitCount:
+		return fmt.Errorf("cpu: CSR %s is read-only", isa.CSRName(csr))
+	default:
+		return fmt.Errorf("cpu: write of unknown CSR %#x", csr)
+	}
+	return nil
+}

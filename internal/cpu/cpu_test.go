@@ -1,0 +1,611 @@
+package cpu
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"securetlb/internal/asm"
+	"securetlb/internal/isa"
+	"securetlb/internal/tlb"
+)
+
+// newMachine builds a machine with a 4W-32 SA TLB, 20-cycle memory and
+// default core config.
+func newMachine(t *testing.T) *Machine {
+	t.Helper()
+	m, err := NewSystem(20, func(w tlb.Walker) (tlb.TLB, error) {
+		return tlb.NewSetAssoc(32, 4, w)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// runSrc assembles, loads (for ASIDs 0 and 1) and runs src, returning the
+// machine and exit code.
+func runSrc(t *testing.T, src string) (*Machine, int64) {
+	t.Helper()
+	m := newMachine(t)
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if err := m.Load(p, []tlb.ASID{0, 1}); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	code, err := m.Run(1_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m, code
+}
+
+func TestArithmeticAndBranches(t *testing.T) {
+	m, code := runSrc(t, `
+		li x1, 10
+		li x2, 32
+		add x3, x1, x2      # 42
+		sub x4, x3, x1      # 32
+		slli x5, x1, 2      # 40
+		srli x6, x5, 1      # 20
+		and x7, x3, x2      # 42 & 32 = 32
+		or x8, x1, x2       # 42
+		xor x9, x8, x8      # 0
+		sltu x10, x1, x2    # 1
+		li x11, 42
+		bne x3, x11, bad
+		pass
+	bad:
+		fail
+	`)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	want := map[int]uint64{3: 42, 4: 32, 5: 40, 6: 20, 7: 32, 8: 42, 9: 0, 10: 1}
+	for r, v := range want {
+		if m.Reg(r) != v {
+			t.Errorf("x%d = %d, want %d", r, m.Reg(r), v)
+		}
+	}
+}
+
+func TestX0IsHardwiredZero(t *testing.T) {
+	m, _ := runSrc(t, `
+		li x0, 99
+		addi x0, x0, 5
+		pass
+	`)
+	if m.Reg(0) != 0 {
+		t.Errorf("x0 = %d", m.Reg(0))
+	}
+}
+
+func TestLoadStoreThroughTLB(t *testing.T) {
+	m, code := runSrc(t, `
+		la x1, val
+		ld x2, 0(x1)
+		li x3, 123
+		bne x2, x3, bad
+		li x4, 55
+		sd x4, 8(x1)
+		ld x5, 8(x1)
+		bne x5, x4, bad
+		pass
+	bad:
+		fail
+	.data
+	val: .dword 123 0
+	`)
+	if code != 0 {
+		t.Fatalf("exit = %d, x2=%d x5=%d", code, m.Reg(2), m.Reg(5))
+	}
+	st := m.TLB.Stats()
+	if st.Misses != 1 {
+		t.Errorf("TLB misses = %d, want 1 (same page, one walk)", st.Misses)
+	}
+	if st.Hits != 2 {
+		t.Errorf("TLB hits = %d, want 2", st.Hits)
+	}
+}
+
+func TestMissCounterCSR(t *testing.T) {
+	_, code := runSrc(t, `
+		la x1, a
+		ld x2, 0(x1)            # miss 1
+		csrr x3, tlb_miss_count
+		ld x2, 0(x1)            # hit
+		csrr x4, tlb_miss_count
+		bne x3, x4, bad         # counters must be equal
+		la x1, b
+		ld x2, 0(x1)            # miss 2
+		csrr x5, tlb_miss_count
+		beq x4, x5, bad         # counter must have advanced
+		pass
+	bad:
+		fail
+	.data
+	a: .dword 1
+	.page
+	b: .dword 2
+	`)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestProcessIDSwitchAndASIDTagging(t *testing.T) {
+	// The Figure 6 simulation hack: one binary switches process_id between
+	// attacker (0) and victim (1); the same page then misses again under the
+	// other ASID because TLB entries are ASID-tagged.
+	_, code := runSrc(t, `
+		csrwi process_id, 0
+		la x1, a
+		ld x2, 0(x1)            # attacker miss
+		csrr x3, tlb_miss_count
+		csrwi process_id, 1
+		ld x2, 0(x1)            # victim access to same page: must miss
+		csrr x4, tlb_miss_count
+		beq x3, x4, bad
+		pass
+	bad:
+		fail
+	.data
+	a: .dword 7
+	`)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestCycleCounterObservesMissLatency(t *testing.T) {
+	m, code := runSrc(t, `
+		la x1, a
+		csrr x10, cycle
+		ld x2, 0(x1)            # miss: 1 + 60 + 1 cycles
+		csrr x11, cycle
+		ld x2, 0(x1)            # hit: 1 + 1 + 1 cycles
+		csrr x12, cycle
+		pass
+	.data
+	a: .dword 1
+	`)
+	if code != 0 {
+		t.Fatal("failed")
+	}
+	missTime := m.Reg(11) - m.Reg(10)
+	hitTime := m.Reg(12) - m.Reg(11)
+	if missTime <= hitTime {
+		t.Errorf("miss time %d should exceed hit time %d", missTime, hitTime)
+	}
+	// miss: csrr(1) + ld(1+61+1) = 64 between the two csrr reads... the
+	// exact values depend on where csrr samples; assert the difference.
+	if missTime-hitTime != 60 {
+		t.Errorf("timing difference = %d, want the 60-cycle walk", missTime-hitTime)
+	}
+}
+
+func TestTLBFlushCSRs(t *testing.T) {
+	_, code := runSrc(t, `
+		la x1, a
+		ld x2, 0(x1)
+		csrr x3, tlb_miss_count
+		csrwi tlb_flush_all, 0
+		ld x2, 0(x1)            # must miss again
+		csrr x4, tlb_miss_count
+		beq x3, x4, bad
+		csrwi tlb_flush_asid, 0
+		ld x2, 0(x1)            # flushed own ASID: miss again
+		csrr x5, tlb_miss_count
+		beq x4, x5, bad
+		la x6, a
+		csrw tlb_flush_page, x6
+		ld x2, 0(x1)            # flushed the page: miss again
+		csrr x7, tlb_miss_count
+		beq x5, x7, bad
+		pass
+	bad:
+		fail
+	.data
+	a: .dword 1
+	`)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestSecureCSRsProgramRFTLB(t *testing.T) {
+	m, err := NewSystem(20, func(w tlb.Walker) (tlb.TLB, error) {
+		return tlb.NewRF(32, 8, w, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+		csrwi victim_asid, 1
+		la x1, sec
+		srli x2, x1, 12
+		csrw sbase, x2
+		csrwi ssize, 3
+		csrwi process_id, 1
+		ldrand x3, 0(x1)        # secure access: served via buffer
+		csrr x4, tlb_miss_count
+		pass
+	.data
+	sec: .dword 11
+	.page
+	.dword 12
+	.page
+	.dword 13
+	`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(p, []tlb.ASID{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	rf := m.TLB.(*tlb.RF)
+	if rf.Victim() != 1 {
+		t.Errorf("victim = %d", rf.Victim())
+	}
+	sbase, ssize := rf.SecureRegion()
+	if uint64(sbase) != asm.DefaultDataBase>>12 || ssize != 3 {
+		t.Errorf("secure region = (%#x,%d)", sbase, ssize)
+	}
+	if rf.Stats().RandomFills != 1 {
+		t.Errorf("random fills = %d, want 1", rf.Stats().RandomFills)
+	}
+	if m.Reg(3) != 11 {
+		t.Errorf("secure load value = %d, want 11 (served via no-fill buffer)", m.Reg(3))
+	}
+}
+
+func TestVariableFlushTiming(t *testing.T) {
+	// Appendix B: with the two-cycle invalidation optimisation, flushing a
+	// present entry takes one cycle longer than flushing an absent one.
+	run := func(variable bool) (present, absent uint64) {
+		m := newMachine(t)
+		m.cfg.VariableFlushTiming = variable
+		src := `
+			la x1, a
+			ld x2, 0(x1)
+			csrr x10, cycle
+			csrw tlb_flush_page, x1  # entry present
+			csrr x11, cycle
+			csrw tlb_flush_page, x1  # entry now absent
+			csrr x12, cycle
+			pass
+		.data
+		a: .dword 1
+		`
+		p, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Load(p, []tlb.ASID{0}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(1000); err != nil {
+			t.Fatal(err)
+		}
+		return m.Reg(11) - m.Reg(10), m.Reg(12) - m.Reg(11)
+	}
+	p, a := run(false)
+	if p != a {
+		t.Errorf("constant-time flush: present=%d absent=%d", p, a)
+	}
+	p, a = run(true)
+	if p != a+1 {
+		t.Errorf("variable flush: present=%d absent=%d, want present = absent+1", p, a)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	m := newMachine(t)
+	p, _ := asm.Assemble("loop: j loop")
+	if err := m.Load(p, []tlb.ASID{0}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Run(100)
+	if !errors.Is(err, ErrLimit) {
+		t.Errorf("err = %v, want ErrLimit", err)
+	}
+}
+
+func TestPCOutOfRange(t *testing.T) {
+	m := newMachine(t)
+	p, _ := asm.Assemble("nop") // falls off the end
+	if err := m.Load(p, []tlb.ASID{0}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Run(10)
+	if err == nil || !strings.Contains(err.Error(), "outside program") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUnmappedAccessFaults(t *testing.T) {
+	m := newMachine(t)
+	p, _ := asm.Assemble(`
+		li x1, 0x7f000000
+		ld x2, 0(x1)
+		pass
+	`)
+	if err := m.Load(p, []tlb.ASID{0}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Run(10)
+	if err == nil {
+		t.Error("load from unmapped page should fault")
+	}
+}
+
+func TestReadOnlyCSRs(t *testing.T) {
+	m := newMachine(t)
+	p, _ := asm.Assemble("csrwi cycle, 5\npass")
+	if err := m.Load(p, []tlb.ASID{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(10); err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUnknownCSR(t *testing.T) {
+	m := newMachine(t)
+	p := &isa.Program{Instrs: []isa.Instr{{Op: isa.OpCsrr, Rd: 1, CSR: 0x555}}}
+	if err := m.Load(p, []tlb.ASID{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(10); err == nil {
+		t.Error("unknown CSR read should error")
+	}
+}
+
+func TestInstretCounter(t *testing.T) {
+	m, _ := runSrc(t, `
+		nop
+		nop
+		csrr x1, instret
+		pass
+	`)
+	if m.Reg(1) != 2 {
+		t.Errorf("instret at csrr = %d, want 2", m.Reg(1))
+	}
+	if m.Instret() != 4 {
+		t.Errorf("final instret = %d, want 4", m.Instret())
+	}
+}
+
+func TestResetKeepsMemoryAndTLB(t *testing.T) {
+	m, _ := runSrc(t, `
+		la x1, a
+		ld x2, 0(x1)
+		pass
+	.data
+	a: .dword 1
+	`)
+	missesBefore := m.TLB.Stats().Misses
+	m.Reset()
+	if m.Cycles() != 0 || m.PC() != 0 || m.Halted() {
+		t.Error("Reset should clear core state")
+	}
+	if m.TLB.Stats().Misses != missesBefore {
+		t.Error("Reset must not clear the TLB")
+	}
+	// Re-run: the data page is still cached in the TLB.
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.TLB.Stats().Misses != missesBefore {
+		t.Error("re-run after Reset should hit in the warm TLB")
+	}
+}
+
+func TestStepErrors(t *testing.T) {
+	m := newMachine(t)
+	if err := m.Step(); err == nil {
+		t.Error("Step with no program should error")
+	}
+	p, _ := asm.Assemble("pass")
+	if err := m.Load(p, []tlb.ASID{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Step(); err == nil {
+		t.Error("Step after halt should error")
+	}
+}
+
+func TestLoadRequiresASID(t *testing.T) {
+	m := newMachine(t)
+	p, _ := asm.Assemble("pass")
+	if err := m.Load(p, nil); err == nil {
+		t.Error("Load with no address spaces should error")
+	}
+}
+
+func TestFlushPageAllASIDsCSR(t *testing.T) {
+	// The address-based invalidation CSR removes the page for every address
+	// space — the Appendix B shootdown the extended benchmarks rely on.
+	_, code := runSrc(t, `
+		csrwi process_id, 0
+		la x1, a
+		ld x2, 0(x1)            # attacker caches the page
+		csrwi process_id, 1
+		ld x2, 0(x1)            # victim caches the page
+		csrr x3, tlb_miss_count
+		csrw tlb_flush_page_all, x1
+		csrwi process_id, 0
+		ld x2, 0(x1)            # must miss again
+		csrwi process_id, 1
+		ld x2, 0(x1)            # must miss again
+		csrr x4, tlb_miss_count
+		sub x5, x4, x3
+		li x6, 2
+		bne x5, x6, bad
+		pass
+	bad:
+		fail
+	.data
+	a: .dword 7
+	`)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestVariableFlushTimingAllASIDs(t *testing.T) {
+	m := newMachine(t)
+	m.cfg.VariableFlushTiming = true
+	src := `
+		la x1, a
+		ld x2, 0(x1)
+		csrr x10, cycle
+		csrw tlb_flush_page_all, x1  # present: extra cycle
+		csrr x11, cycle
+		csrw tlb_flush_page_all, x1  # absent: quick
+		csrr x12, cycle
+		pass
+	.data
+	a: .dword 1
+	`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(p, []tlb.ASID{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	present, absent := m.Reg(11)-m.Reg(10), m.Reg(12)-m.Reg(11)
+	if present != absent+1 {
+		t.Errorf("present=%d absent=%d, want present = absent+1", present, absent)
+	}
+}
+
+func TestAccessorsAndReadCSR(t *testing.T) {
+	m, _ := runSrc(t, `
+		csrwi process_id, 3
+		pass
+	`)
+	if m.ASID() != 3 {
+		t.Errorf("ASID = %d", m.ASID())
+	}
+	m.SetASID(5)
+	if m.ASID() != 5 {
+		t.Errorf("SetASID failed: %d", m.ASID())
+	}
+	if m.ExitCode() != 0 || !m.Halted() {
+		t.Errorf("exit state: (%d, %v)", m.ExitCode(), m.Halted())
+	}
+	for _, csr := range []uint16{
+		isa.CSRCycle, isa.CSRInstret, isa.CSRTLBMissCount, isa.CSRTLBHitCount,
+		isa.CSRProcessID, isa.CSRSBase, isa.CSRSSize, isa.CSRVictimASID,
+	} {
+		if _, err := m.ReadCSR(csr); err != nil {
+			t.Errorf("ReadCSR(%s): %v", isa.CSRName(csr), err)
+		}
+	}
+	if _, err := m.ReadCSR(0x123); err == nil {
+		t.Error("unknown CSR should error")
+	}
+}
+
+func TestASID3CanRunWhenMapped(t *testing.T) {
+	// Load's ASID list is what makes data visible to a process ID.
+	m := newMachine(t)
+	p, err := asm.Assemble(`
+		csrwi process_id, 3
+		la x1, a
+		ld x2, 0(x1)
+		pass
+	.data
+	a: .dword 77
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(p, []tlb.ASID{3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(2) != 77 {
+		t.Errorf("x2 = %d", m.Reg(2))
+	}
+}
+
+func TestITLBFetchTranslation(t *testing.T) {
+	// With an I-TLB installed, instruction fetches translate the PC's page:
+	// the first fetch walks, subsequent same-page fetches hit.
+	m := newMachine(t)
+	itlb, err := tlb.NewSetAssoc(8, 2, m.PT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const textBase = 0x40_0000
+	m.SetITLB(itlb, textBase)
+	if m.ITLB() != itlb {
+		t.Fatal("ITLB accessor broken")
+	}
+	p, err := asm.Assemble(`
+		nop
+		nop
+		nop
+		pass
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(p, []tlb.ASID{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	st := itlb.Stats()
+	if st.Lookups != 4 {
+		t.Errorf("I-TLB lookups = %d, want 4 (one per instruction)", st.Lookups)
+	}
+	if st.Misses != 1 || st.Hits != 3 {
+		t.Errorf("I-TLB stats = %+v, want 1 miss (compulsory) + 3 hits", st)
+	}
+	// The fetch misses show up in the cycle count: 4 instr + 61 (fetch
+	// walk+probe) + 3*1 (fetch hits) = 68.
+	if m.Cycles() != 68 {
+		t.Errorf("cycles = %d, want 68", m.Cycles())
+	}
+}
+
+func TestITLBTextSpanningPages(t *testing.T) {
+	// A program longer than one page of text touches two I-TLB pages
+	// (4 bytes per instruction, 1024 instructions per page).
+	m := newMachine(t)
+	itlb, _ := tlb.NewSetAssoc(8, 2, m.PT)
+	m.SetITLB(itlb, 0x40_0000)
+	var prog isa.Program
+	for i := 0; i < 1025; i++ {
+		prog.Instrs = append(prog.Instrs, isa.Instr{Op: isa.OpNop})
+	}
+	prog.Instrs = append(prog.Instrs, isa.Instr{Op: isa.OpHalt})
+	if err := m.Load(&prog, []tlb.ASID{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(5000); err != nil {
+		t.Fatal(err)
+	}
+	if itlb.Stats().Misses != 2 {
+		t.Errorf("I-TLB misses = %d, want 2 (two text pages)", itlb.Stats().Misses)
+	}
+}

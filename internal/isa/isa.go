@@ -1,0 +1,333 @@
+// Package isa defines the instruction set of the simulated RISC-V-flavoured
+// processor used to run the paper's micro security benchmarks and
+// performance workloads.
+//
+// The ISA is a small RV64-like subset plus the paper's extensions: the
+// ldnorm/ldrand load variants of Figure 6 (normal vs. randomised secure
+// accesses), CSRs for the security registers (process_id, sbase, ssize,
+// victim_asid) and the TLB performance counters (tlb_miss_count), and TLB
+// flush CSRs standing in for sfence.vma. Programs are sequences of decoded
+// Instr values; a fixed-width binary encoding is provided so generated
+// benchmarks can be stored and replayed byte-identically.
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+const (
+	// OpNop does nothing for one cycle.
+	OpNop Op = iota
+	// OpHalt stops the machine with exit code Imm (0 = RVTEST_PASS,
+	// non-zero = RVTEST_FAIL in the paper's benchmark template).
+	OpHalt
+	// OpLi loads the 64-bit immediate Imm into Rd.
+	OpLi
+	// OpAddi sets Rd = Rs1 + Imm.
+	OpAddi
+	// OpAdd sets Rd = Rs1 + Rs2.
+	OpAdd
+	// OpSub sets Rd = Rs1 - Rs2.
+	OpSub
+	// OpAnd sets Rd = Rs1 & Rs2.
+	OpAnd
+	// OpOr sets Rd = Rs1 | Rs2.
+	OpOr
+	// OpXor sets Rd = Rs1 ^ Rs2.
+	OpXor
+	// OpSlli sets Rd = Rs1 << Imm.
+	OpSlli
+	// OpSrli sets Rd = Rs1 >> Imm (logical).
+	OpSrli
+	// OpSltu sets Rd = 1 if Rs1 < Rs2 (unsigned) else 0.
+	OpSltu
+	// OpLd loads the 64-bit word at Rs1+Imm into Rd (through the D-TLB).
+	OpLd
+	// OpLdNorm is the paper's "norm type" load: identical to OpLd, used for
+	// non-secure page accesses in the micro security benchmarks.
+	OpLdNorm
+	// OpLdRand is the paper's "rand type" load, used for secure page
+	// accesses: the core issues it like a normal load, and the Random-Fill
+	// TLB's secure-region logic provides the randomised behaviour.
+	OpLdRand
+	// OpSd stores Rs2 to the 64-bit word at Rs1+Imm (through the D-TLB).
+	OpSd
+	// OpBeq branches to instruction index Imm when Rs1 == Rs2.
+	OpBeq
+	// OpBne branches to instruction index Imm when Rs1 != Rs2.
+	OpBne
+	// OpBltu branches to instruction index Imm when Rs1 < Rs2 (unsigned).
+	OpBltu
+	// OpJ jumps unconditionally to instruction index Imm.
+	OpJ
+	// OpCsrr reads CSR into Rd.
+	OpCsrr
+	// OpCsrw writes Rs1 to CSR.
+	OpCsrw
+	// OpCsrwi writes the immediate Imm to CSR.
+	OpCsrwi
+	opCount // sentinel
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpHalt: "halt", OpLi: "li", OpAddi: "addi", OpAdd: "add",
+	OpSub: "sub", OpAnd: "and", OpOr: "or", OpXor: "xor", OpSlli: "slli",
+	OpSrli: "srli", OpSltu: "sltu", OpLd: "ld", OpLdNorm: "ldnorm",
+	OpLdRand: "ldrand", OpSd: "sd", OpBeq: "beq", OpBne: "bne",
+	OpBltu: "bltu", OpJ: "j", OpCsrr: "csrr", OpCsrw: "csrw", OpCsrwi: "csrwi",
+}
+
+// String returns the assembler mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < opCount }
+
+// CSR numbers. The security CSRs (0x8xx) model the extra registers of paper
+// §4.2.2 and the benchmark harness of Figure 6; the counters (0xCxx) follow
+// the RISC-V user-level counter convention plus the paper's added TLB miss
+// counter.
+const (
+	// CSRProcessID switches the current process ID (ASID) — the simulation
+	// hack of Figure 6 line 11 that lets one test binary act as attacker
+	// and victim in turn.
+	CSRProcessID uint16 = 0x800
+	// CSRSBase is the secure region base page register (§4.2.2).
+	CSRSBase uint16 = 0x801
+	// CSRSSize is the secure region size register, in pages (§4.2.2).
+	CSRSSize uint16 = 0x802
+	// CSRVictimASID designates the victim process ID for SP/RF TLBs.
+	CSRVictimASID uint16 = 0x803
+	// CSRTLBFlushAll: any write invalidates the whole TLB (sfence.vma).
+	CSRTLBFlushAll uint16 = 0x804
+	// CSRTLBFlushASID: a write invalidates all entries of the written ASID.
+	CSRTLBFlushASID uint16 = 0x805
+	// CSRTLBFlushPage: a write invalidates the entry for the written
+	// virtual address in the current address space (the targeted
+	// invalidation of Appendix B).
+	CSRTLBFlushPage uint16 = 0x806
+	// CSRTLBFlushPageAll: a write invalidates every address space's entry
+	// for the written virtual address — address-based invalidation, as an
+	// mprotect-driven shootdown or TLB coherence would perform (Appendix B).
+	CSRTLBFlushPageAll uint16 = 0x807
+	// CSRCycle is the cycle counter.
+	CSRCycle uint16 = 0xC00
+	// CSRInstret is the retired-instruction counter.
+	CSRInstret uint16 = 0xC02
+	// CSRTLBMissCount is the TLB miss performance counter the paper adds to
+	// the Rocket Core (Figure 6 line 21).
+	CSRTLBMissCount uint16 = 0xC03
+	// CSRTLBHitCount counts TLB hits (companion diagnostic counter).
+	CSRTLBHitCount uint16 = 0xC04
+)
+
+// CSRNames maps assembler names to CSR numbers.
+var CSRNames = map[string]uint16{
+	"process_id":         CSRProcessID,
+	"sbase":              CSRSBase,
+	"ssize":              CSRSSize,
+	"victim_asid":        CSRVictimASID,
+	"tlb_flush_all":      CSRTLBFlushAll,
+	"tlb_flush_asid":     CSRTLBFlushASID,
+	"tlb_flush_page":     CSRTLBFlushPage,
+	"tlb_flush_page_all": CSRTLBFlushPageAll,
+	"cycle":              CSRCycle,
+	"instret":            CSRInstret,
+	"tlb_miss_count":     CSRTLBMissCount,
+	"tlb_hit_count":      CSRTLBHitCount,
+}
+
+// CSRName returns the assembler name of a CSR number, or a hex fallback.
+func CSRName(csr uint16) string {
+	for name, n := range CSRNames {
+		if n == csr {
+			return name
+		}
+	}
+	return fmt.Sprintf("%#x", csr)
+}
+
+// NumRegs is the number of general-purpose registers (x0..x31; x0 is wired
+// to zero).
+const NumRegs = 32
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op           Op
+	Rd, Rs1, Rs2 uint8
+	CSR          uint16
+	Imm          int64
+}
+
+// String renders the instruction in assembler syntax.
+func (i Instr) String() string {
+	r := func(n uint8) string { return fmt.Sprintf("x%d", n) }
+	switch i.Op {
+	case OpNop:
+		return "nop"
+	case OpHalt:
+		return fmt.Sprintf("halt %d", i.Imm)
+	case OpLi:
+		return fmt.Sprintf("li %s, %d", r(i.Rd), i.Imm)
+	case OpAddi, OpSlli, OpSrli:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, r(i.Rd), r(i.Rs1), i.Imm)
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSltu:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, r(i.Rd), r(i.Rs1), r(i.Rs2))
+	case OpLd, OpLdNorm, OpLdRand:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, r(i.Rd), i.Imm, r(i.Rs1))
+	case OpSd:
+		return fmt.Sprintf("sd %s, %d(%s)", r(i.Rs2), i.Imm, r(i.Rs1))
+	case OpBeq, OpBne, OpBltu:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, r(i.Rs1), r(i.Rs2), i.Imm)
+	case OpJ:
+		return fmt.Sprintf("j %d", i.Imm)
+	case OpCsrr:
+		return fmt.Sprintf("csrr %s, %s", r(i.Rd), CSRName(i.CSR))
+	case OpCsrw:
+		return fmt.Sprintf("csrw %s, %s", CSRName(i.CSR), r(i.Rs1))
+	case OpCsrwi:
+		return fmt.Sprintf("csrwi %s, %d", CSRName(i.CSR), i.Imm)
+	default:
+		return i.Op.String()
+	}
+}
+
+// IsLoad reports whether the instruction reads data memory.
+func (i Instr) IsLoad() bool {
+	return i.Op == OpLd || i.Op == OpLdNorm || i.Op == OpLdRand
+}
+
+// IsMemory reports whether the instruction accesses data memory at all.
+func (i Instr) IsMemory() bool { return i.IsLoad() || i.Op == OpSd }
+
+// DataWord is one initialised 64-bit word in the program's data section.
+type DataWord struct {
+	// VAddr is the virtual byte address of the word.
+	VAddr uint64
+	// Value is its initial contents.
+	Value uint64
+}
+
+// Program is an assembled program: a flat instruction sequence (the PC is an
+// instruction index; instruction fetch does not go through the D-TLB, which
+// matches the paper's focus on the L1 D-TLB) plus initialised data and the
+// symbol table of the source.
+type Program struct {
+	Instrs []Instr
+	Data   []DataWord
+	// Symbols maps labels to values: text labels to instruction indices,
+	// data labels to virtual byte addresses.
+	Symbols map[string]uint64
+	// DataPages lists the distinct virtual page numbers touched by Data, in
+	// ascending order; loaders map exactly these.
+	DataPages []uint64
+}
+
+// binary encoding -----------------------------------------------------------
+
+// Magic identifies an encoded program stream.
+const Magic = 0x53544c42 // "STLB"
+
+const instrRecordSize = 16
+
+// Encode serialises the program's instructions and data words into a
+// self-describing little-endian byte stream. Symbols are not encoded; they
+// are an assembler-side artefact.
+func Encode(p *Program) []byte {
+	buf := make([]byte, 0, 16+len(p.Instrs)*instrRecordSize+len(p.Data)*16)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], Magic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(p.Instrs)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(p.Data)))
+	buf = append(buf, hdr[:]...)
+	for _, in := range p.Instrs {
+		var rec [instrRecordSize]byte
+		rec[0] = byte(in.Op)
+		rec[1] = in.Rd
+		rec[2] = in.Rs1
+		rec[3] = in.Rs2
+		binary.LittleEndian.PutUint16(rec[4:], in.CSR)
+		binary.LittleEndian.PutUint64(rec[8:], uint64(in.Imm))
+		buf = append(buf, rec[:]...)
+	}
+	for _, d := range p.Data {
+		var rec [16]byte
+		binary.LittleEndian.PutUint64(rec[0:], d.VAddr)
+		binary.LittleEndian.PutUint64(rec[8:], d.Value)
+		buf = append(buf, rec[:]...)
+	}
+	return buf
+}
+
+// Decode parses a stream produced by Encode. The returned program has a nil
+// symbol table and a recomputed DataPages list.
+func Decode(b []byte) (*Program, error) {
+	if len(b) < 16 {
+		return nil, fmt.Errorf("isa: truncated header (%d bytes)", len(b))
+	}
+	if binary.LittleEndian.Uint32(b[0:]) != Magic {
+		return nil, fmt.Errorf("isa: bad magic %#x", binary.LittleEndian.Uint32(b[0:]))
+	}
+	nInstr := int(binary.LittleEndian.Uint32(b[4:]))
+	nData := int(binary.LittleEndian.Uint32(b[8:]))
+	want := 16 + nInstr*instrRecordSize + nData*16
+	if len(b) != want {
+		return nil, fmt.Errorf("isa: length %d, want %d", len(b), want)
+	}
+	p := &Program{Instrs: make([]Instr, nInstr), Data: make([]DataWord, nData)}
+	off := 16
+	for i := range p.Instrs {
+		rec := b[off : off+instrRecordSize]
+		in := Instr{
+			Op: Op(rec[0]),
+			Rd: rec[1], Rs1: rec[2], Rs2: rec[3],
+			CSR: binary.LittleEndian.Uint16(rec[4:]),
+			Imm: int64(binary.LittleEndian.Uint64(rec[8:])),
+		}
+		if !in.Op.Valid() {
+			return nil, fmt.Errorf("isa: invalid opcode %d at instruction %d", rec[0], i)
+		}
+		if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+			return nil, fmt.Errorf("isa: register out of range at instruction %d", i)
+		}
+		p.Instrs[i] = in
+		off += instrRecordSize
+	}
+	for i := range p.Data {
+		p.Data[i] = DataWord{
+			VAddr: binary.LittleEndian.Uint64(b[off:]),
+			Value: binary.LittleEndian.Uint64(b[off+8:]),
+		}
+		off += 16
+	}
+	p.RecomputeDataPages()
+	return p, nil
+}
+
+// RecomputeDataPages rebuilds the DataPages list from Data.
+func (p *Program) RecomputeDataPages() {
+	seen := map[uint64]bool{}
+	p.DataPages = p.DataPages[:0]
+	for _, d := range p.Data {
+		vpn := d.VAddr >> 12
+		if !seen[vpn] {
+			seen[vpn] = true
+			p.DataPages = append(p.DataPages, vpn)
+		}
+	}
+	// Insertion sort: data sections are small and usually already ordered.
+	for i := 1; i < len(p.DataPages); i++ {
+		for j := i; j > 0 && p.DataPages[j] < p.DataPages[j-1]; j-- {
+			p.DataPages[j], p.DataPages[j-1] = p.DataPages[j-1], p.DataPages[j]
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStrings(t *testing.T) {
+	for op := Op(0); op < opCount; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("op %d has no mnemonic", op)
+		}
+		if !op.Valid() {
+			t.Errorf("op %d should be valid", op)
+		}
+	}
+	if Op(200).Valid() {
+		t.Error("op 200 should be invalid")
+	}
+	if got := Op(200).String(); got != "op(200)" {
+		t.Errorf("invalid op String = %q", got)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpNop}, "nop"},
+		{Instr{Op: OpHalt, Imm: 1}, "halt 1"},
+		{Instr{Op: OpLi, Rd: 3, Imm: -7}, "li x3, -7"},
+		{Instr{Op: OpAddi, Rd: 1, Rs1: 2, Imm: 5}, "addi x1, x2, 5"},
+		{Instr{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, "add x1, x2, x3"},
+		{Instr{Op: OpLdNorm, Rd: 2, Rs1: 1, Imm: 8}, "ldnorm x2, 8(x1)"},
+		{Instr{Op: OpLdRand, Rd: 2, Rs1: 1}, "ldrand x2, 0(x1)"},
+		{Instr{Op: OpSd, Rs2: 4, Rs1: 1, Imm: 16}, "sd x4, 16(x1)"},
+		{Instr{Op: OpBeq, Rs1: 3, Rs2: 4, Imm: 12}, "beq x3, x4, 12"},
+		{Instr{Op: OpJ, Imm: 3}, "j 3"},
+		{Instr{Op: OpCsrr, Rd: 3, CSR: CSRTLBMissCount}, "csrr x3, tlb_miss_count"},
+		{Instr{Op: OpCsrw, CSR: CSRProcessID, Rs1: 5}, "csrw process_id, x5"},
+		{Instr{Op: OpCsrwi, CSR: CSRSBase, Imm: 3}, "csrwi sbase, 3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCSRNamesRoundTrip(t *testing.T) {
+	for name, num := range CSRNames {
+		if got := CSRName(num); got != name {
+			t.Errorf("CSRName(%#x) = %q, want %q", num, got, name)
+		}
+	}
+	if got := CSRName(0x123); got != "0x123" {
+		t.Errorf("unknown CSR name = %q", got)
+	}
+}
+
+func TestIsLoadIsMemory(t *testing.T) {
+	loads := []Op{OpLd, OpLdNorm, OpLdRand}
+	for _, op := range loads {
+		in := Instr{Op: op}
+		if !in.IsLoad() || !in.IsMemory() {
+			t.Errorf("%s should be a load", op)
+		}
+	}
+	if !(Instr{Op: OpSd}).IsMemory() || (Instr{Op: OpSd}).IsLoad() {
+		t.Error("sd is memory but not load")
+	}
+	if (Instr{Op: OpAdd}).IsMemory() {
+		t.Error("add is not memory")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := &Program{
+		Instrs: []Instr{
+			{Op: OpLi, Rd: 1, Imm: 0x1234567},
+			{Op: OpLdNorm, Rd: 2, Rs1: 1, Imm: -8},
+			{Op: OpCsrr, Rd: 3, CSR: CSRTLBMissCount},
+			{Op: OpHalt},
+		},
+		Data: []DataWord{{VAddr: 0x100_0000, Value: 42}, {VAddr: 0x100_2008, Value: 7}},
+	}
+	p.RecomputeDataPages()
+	got, err := Decode(Encode(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Instrs) != len(p.Instrs) {
+		t.Fatalf("instr count %d, want %d", len(got.Instrs), len(p.Instrs))
+	}
+	for i := range p.Instrs {
+		if got.Instrs[i] != p.Instrs[i] {
+			t.Errorf("instr %d: %+v != %+v", i, got.Instrs[i], p.Instrs[i])
+		}
+	}
+	for i := range p.Data {
+		if got.Data[i] != p.Data[i] {
+			t.Errorf("data %d mismatch", i)
+		}
+	}
+	if len(got.DataPages) != 2 || got.DataPages[0] != 0x1000 || got.DataPages[1] != 0x1002 {
+		t.Errorf("DataPages = %v", got.DataPages)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	p := &Program{Instrs: []Instr{{Op: OpNop}}}
+	enc := Encode(p)
+	if _, err := Decode(enc[:10]); err == nil {
+		t.Error("truncated stream should fail")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xff
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad magic should fail")
+	}
+	bad = append([]byte(nil), enc...)
+	bad[16] = 0xff // invalid opcode
+	if _, err := Decode(bad); err == nil {
+		t.Error("invalid opcode should fail")
+	}
+	bad = append([]byte(nil), enc...)
+	bad[17] = 99 // register out of range
+	if _, err := Decode(bad); err == nil {
+		t.Error("register out of range should fail")
+	}
+	if _, err := Decode(append(enc, 0)); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+}
+
+func TestQuickEncodeDecode(t *testing.T) {
+	f := func(ops []uint8, imms []int64, addrs []uint32) bool {
+		p := &Program{}
+		for i, o := range ops {
+			in := Instr{
+				Op: Op(o) % opCount,
+				Rd: uint8(i) % NumRegs, Rs1: uint8(i+1) % NumRegs, Rs2: uint8(i+2) % NumRegs,
+				CSR: uint16(i * 7),
+			}
+			if i < len(imms) {
+				in.Imm = imms[i]
+			}
+			p.Instrs = append(p.Instrs, in)
+		}
+		for i, a := range addrs {
+			p.Data = append(p.Data, DataWord{VAddr: uint64(a) &^ 7, Value: uint64(i) * 0x9e37})
+		}
+		p.RecomputeDataPages()
+		got, err := Decode(Encode(p))
+		if err != nil {
+			return false
+		}
+		if len(got.Instrs) != len(p.Instrs) || len(got.Data) != len(p.Data) {
+			return false
+		}
+		for i := range p.Instrs {
+			if got.Instrs[i] != p.Instrs[i] {
+				return false
+			}
+		}
+		for i := range p.Data {
+			if got.Data[i] != p.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecomputeDataPagesSortedUnique(t *testing.T) {
+	p := &Program{Data: []DataWord{
+		{VAddr: 0x3000, Value: 1},
+		{VAddr: 0x1000, Value: 2},
+		{VAddr: 0x3008, Value: 3},
+		{VAddr: 0x2000, Value: 4},
+	}}
+	p.RecomputeDataPages()
+	want := []uint64{1, 2, 3}
+	if len(p.DataPages) != 3 {
+		t.Fatalf("DataPages = %v", p.DataPages)
+	}
+	for i, w := range want {
+		if p.DataPages[i] != w {
+			t.Errorf("DataPages[%d] = %d, want %d", i, p.DataPages[i], w)
+		}
+	}
+}

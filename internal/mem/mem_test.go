@@ -1,0 +1,105 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := New(20)
+	lat, err := m.Store64(0x1000, 0xdeadbeef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 20 {
+		t.Errorf("store latency = %d, want 20", lat)
+	}
+	v, lat, err := m.Load64(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xdeadbeef || lat != 20 {
+		t.Errorf("load = (%#x, %d)", v, lat)
+	}
+}
+
+func TestUnallocatedReadsZero(t *testing.T) {
+	m := New(0)
+	v, _, err := m.Load64(0x123450)
+	if err != nil || v != 0 {
+		t.Errorf("unallocated load = (%#x, %v), want (0, nil)", v, err)
+	}
+	if m.AllocatedPages() != 0 {
+		t.Error("a load must not allocate")
+	}
+}
+
+func TestMisalignedAccess(t *testing.T) {
+	m := New(0)
+	if _, _, err := m.Load64(0x1001); err == nil {
+		t.Error("misaligned load should error")
+	}
+	if _, err := m.Store64(0x1004, 1); err == nil {
+		t.Error("misaligned (non-8-byte) store should error")
+	}
+}
+
+func TestLazyAllocationGranularity(t *testing.T) {
+	m := New(0)
+	m.Store64(0x0000, 1)
+	m.Store64(0x0ff8, 2) // same page
+	m.Store64(0x1000, 3) // next page
+	if got := m.AllocatedPages(); got != 2 {
+		t.Errorf("allocated pages = %d, want 2", got)
+	}
+}
+
+func TestAccessCounters(t *testing.T) {
+	m := New(0)
+	m.Store64(0, 1)
+	m.Load64(0)
+	m.Load64(8)
+	if m.Writes != 1 || m.Reads != 2 {
+		t.Errorf("counters = (r=%d, w=%d)", m.Reads, m.Writes)
+	}
+	m.Reset()
+	if m.Reads != 0 || m.Writes != 0 || m.AllocatedPages() != 0 {
+		t.Error("Reset should clear everything")
+	}
+	if v, _, _ := m.Load64(0); v != 0 {
+		t.Error("contents should be dropped by Reset")
+	}
+}
+
+func TestQuickStoreThenLoad(t *testing.T) {
+	m := New(0)
+	f := func(addrRaw uint32, val uint64) bool {
+		addr := uint64(addrRaw) &^ 7
+		if _, err := m.Store64(addr, val); err != nil {
+			return false
+		}
+		got, _, err := m.Load64(addr)
+		return err == nil && got == val
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDistinctAddressesIndependent(t *testing.T) {
+	f := func(a32, b32 uint32, va, vb uint64) bool {
+		a, b := uint64(a32)&^7, uint64(b32)&^7
+		if a == b {
+			return true
+		}
+		m := New(0)
+		m.Store64(a, va)
+		m.Store64(b, vb)
+		ga, _, _ := m.Load64(a)
+		gb, _, _ := m.Load64(b)
+		return ga == va && gb == vb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,66 @@
+package model
+
+// This file derives, analytically, which vulnerabilities each TLB design
+// defends, by re-running the symbolic oracle under the design's hit/fill
+// semantics. The result reproduces the zero-capacity (bold) pattern of the
+// paper's Table 4:
+//
+//   - the standard SA TLB (ASID-tagged hits) defends the 10 vulnerabilities
+//     that need a TLB hit, or a probed miss, across process IDs: the 6
+//     TLB Flush + Reload, 2 TLB Evict + Probe and 2 TLB Prime + Time types;
+//   - the SP TLB additionally defends the 4 external miss-based types that
+//     need cross-partition eviction (2 TLB Evict + Time, 2 TLB Prime +
+//     Probe), for 14 in total;
+//   - the RF TLB defends all 24: its random fill de-correlates every
+//     secure-region fill and eviction from the requested address, so the
+//     attacker's observation probabilities no longer depend on the victim's
+//     behaviour. Randomisation is outside the deterministic oracle; the RF
+//     column here records the analytical verdict of §5.3.1, and the
+//     secbench/capacity packages verify it empirically (C* ≈ 0).
+type DefenseReport struct {
+	Vulnerability Vulnerability
+	// SADefended/SPDefended are derived by the oracle under DesignASID /
+	// DesignPartitioned.
+	SADefended bool
+	SPDefended bool
+	// RFDefended is the analytical verdict for the Random-Fill TLB.
+	RFDefended bool
+}
+
+// AnalyzeDefenses runs the design-aware oracle over the base 24
+// vulnerabilities.
+func AnalyzeDefenses() []DefenseReport {
+	vulns := Enumerate()
+	reports := make([]DefenseReport, 0, len(vulns))
+	for _, v := range vulns {
+		reports = append(reports, DefenseReport{
+			Vulnerability: v,
+			SADefended:    !ObservationInformative(v.Pattern, DesignASID, v.Observation),
+			SPDefended:    !ObservationInformative(v.Pattern, DesignPartitioned, v.Observation),
+			RFDefended:    true,
+		})
+	}
+	return reports
+}
+
+// DefenseCounts summarises how many of the 24 types each design defends.
+type DefenseCounts struct {
+	Total, SA, SP, RF int
+}
+
+// CountDefenses aggregates AnalyzeDefenses.
+func CountDefenses(reports []DefenseReport) DefenseCounts {
+	c := DefenseCounts{Total: len(reports)}
+	for _, r := range reports {
+		if r.SADefended {
+			c.SA++
+		}
+		if r.SPDefended {
+			c.SP++
+		}
+		if r.RFDefended {
+			c.RF++
+		}
+	}
+	return c
+}

@@ -1,0 +1,120 @@
+package model
+
+import "testing"
+
+func TestDefenseCountsMatchPaper(t *testing.T) {
+	// Paper §5.3.2 / Table 4: the standard SA TLB defends 10 of the 24
+	// types, the SP TLB 14, and the RF TLB all 24.
+	reports := AnalyzeDefenses()
+	c := CountDefenses(reports)
+	if c.Total != 24 {
+		t.Fatalf("total = %d", c.Total)
+	}
+	if c.SA != 10 {
+		t.Errorf("SA defends %d, want 10", c.SA)
+	}
+	if c.SP != 14 {
+		t.Errorf("SP defends %d, want 14", c.SP)
+	}
+	if c.RF != 24 {
+		t.Errorf("RF defends %d, want 24", c.RF)
+	}
+}
+
+func TestSADefendsExactlyTheCrossProcessTypes(t *testing.T) {
+	// Table 4: the bold (C = 0) SA rows are the 6 TLB Flush + Reload, 2 TLB
+	// Evict + Probe and 2 TLB Prime + Time vulnerabilities.
+	wantDefended := map[string]bool{
+		"TLB Flush + Reload": true,
+		"TLB Evict + Probe":  true,
+		"TLB Prime + Time":   true,
+	}
+	for _, r := range AnalyzeDefenses() {
+		want := wantDefended[r.Vulnerability.Strategy]
+		if r.SADefended != want {
+			t.Errorf("SA defense of %s (%s): %v, want %v",
+				r.Vulnerability, r.Vulnerability.Strategy, r.SADefended, want)
+		}
+	}
+}
+
+func TestSPAddsTheExternalMissBasedTypes(t *testing.T) {
+	// SP defends everything SA does, plus TLB Evict + Time and TLB Prime +
+	// Probe (the 4 external miss-based types), but remains vulnerable to
+	// the victim-internal Bernstein and Internal Collision types.
+	for _, r := range AnalyzeDefenses() {
+		if r.SADefended && !r.SPDefended {
+			t.Errorf("%s: SA defends but SP does not — partitioning must not weaken", r.Vulnerability)
+		}
+		switch r.Vulnerability.Strategy {
+		case "TLB Evict + Time", "TLB Prime + Probe":
+			if !r.SPDefended {
+				t.Errorf("SP should defend %s", r.Vulnerability)
+			}
+		case "TLB version of Bernstein's Attack", "TLB Internal Collision":
+			if r.SPDefended {
+				t.Errorf("SP cannot defend the victim-internal %s", r.Vulnerability)
+			}
+		}
+	}
+}
+
+func TestSPDefendedMacroTypes(t *testing.T) {
+	// §1: "SP TLB is able to further prevent 4 more external miss-based
+	// vulnerabilities (labeled EM)". Everything SP defends beyond SA is EM.
+	for _, r := range AnalyzeDefenses() {
+		if r.SPDefended && !r.SADefended && r.Vulnerability.Macro != "EM" {
+			t.Errorf("%s: SP-only defense should be EM, got %s", r.Vulnerability, r.Vulnerability.Macro)
+		}
+	}
+}
+
+func TestASIDOracleDetails(t *testing.T) {
+	// Flush+Reload under ASID tagging: the attacker's reload of a can never
+	// hit the victim's translation, so the observation is Slow in every
+	// scenario — uninformative.
+	out := Analyze(Pattern{Ad, Vu, Aa}, DesignASID)
+	if out.Effective {
+		t.Fatalf("F+R should be defended by ASIDs: %+v", out)
+	}
+	for sc, obs := range out.PerScenario {
+		if obs != ObsSlow {
+			t.Errorf("scenario %s: obs %s, want slow everywhere", sc, obs)
+		}
+	}
+	// Prime+Probe is NOT defended: eviction still crosses ASIDs.
+	if out := Analyze(Pattern{Ad, Vu, Ad}, DesignASID); !out.Effective {
+		t.Error("P+P must remain effective under ASIDs")
+	}
+}
+
+func TestPartitionedOracleDetails(t *testing.T) {
+	// Under partitioning the victim's u fill cannot evict the attacker's
+	// primed d, so Prime+Probe always hits.
+	out := Analyze(Pattern{Ad, Vu, Ad}, DesignPartitioned)
+	if out.Effective {
+		t.Fatalf("P+P should be defended by partitioning: %+v", out)
+	}
+	for sc, obs := range out.PerScenario {
+		if obs != ObsFast {
+			t.Errorf("scenario %s: obs %s, want fast everywhere", sc, obs)
+		}
+	}
+	// Victim-internal collision remains.
+	if out := Analyze(Pattern{Vd, Vu, Va}, DesignPartitioned); !out.Effective {
+		t.Error("Internal Collision must remain effective under partitioning")
+	}
+}
+
+func TestDesignStrings(t *testing.T) {
+	if DesignShared.String() != "shared" || DesignASID.String() != "asid" ||
+		DesignPartitioned.String() != "partitioned" {
+		t.Error("design names wrong")
+	}
+	if ObsFast.String() != "fast" || ObsSlow.String() != "slow" {
+		t.Error("observation names wrong")
+	}
+	if ScenSameAddr.String() != "same-addr" || !ScenSameAddr.Mapped() || ScenDiff.Mapped() {
+		t.Error("scenario accessors wrong")
+	}
+}

@@ -1,0 +1,250 @@
+package model
+
+import "sort"
+
+// Vulnerability is one effective three-step timing-based TLB vulnerability,
+// i.e. one row of the paper's Table 2 (or Table 7 in extended mode).
+type Vulnerability struct {
+	Pattern     Pattern
+	Observation Observation // ObsFast or ObsSlow
+	// Strategy is the paper's common attack-strategy name, e.g.
+	// "TLB Prime + Probe".
+	Strategy string
+	// Macro is the macro type: "IH", "EH", "IM" or "EM".
+	Macro string
+	// KnownAttack names the previously published attack this vulnerability
+	// corresponds to ("" for the new ones): "Double Page Fault [12]" or
+	// "TLBleed [8]".
+	KnownAttack string
+	// MappedScenarios are the victim behaviours the informative observation
+	// identifies.
+	MappedScenarios []Scenario
+}
+
+// String renders "Ad -> Vu -> Aa (fast)".
+func (v Vulnerability) String() string {
+	return v.Pattern.String() + " (" + v.Observation.String() + ")"
+}
+
+// EnumerationStats reports how many candidates survived each stage of the
+// derivation of §3.3, mirroring the paper's 1000 → 34 → 24 narrative.
+type EnumerationStats struct {
+	Total           int // all |states|^3 combinations
+	AfterRules      int // survivors of the structural rules (1)-(6)
+	AfterOracle     int // patterns the symbolic oracle finds informative
+	AfterAliasDedup int // after reduction rule (5)
+}
+
+// Enumerate derives the complete list of base-model vulnerabilities (the 24
+// rows of Table 2) by exhaustive enumeration over the 10 states of Table 1.
+func Enumerate() []Vulnerability {
+	v, _ := enumerate(BaseStates(), false)
+	return v
+}
+
+// EnumerateWithStats is Enumerate plus per-stage candidate counts.
+func EnumerateWithStats() ([]Vulnerability, EnumerationStats) {
+	return enumerate(BaseStates(), false)
+}
+
+func enumerate(states []State, extended bool) ([]Vulnerability, EnumerationStats) {
+	var stats EnumerationStats
+	stats.Total = len(states) * len(states) * len(states)
+
+	type cand struct {
+		p   Pattern
+		out Outcome
+	}
+	var candidates []cand
+	for _, s1 := range states {
+		for _, s2 := range states {
+			for _, s3 := range states {
+				p := Pattern{s1, s2, s3}
+				if !structuralOK(p, extended) {
+					continue
+				}
+				stats.AfterRules++
+				out := Analyze(p, DesignShared)
+				if !out.Effective {
+					continue
+				}
+				stats.AfterOracle++
+				candidates = append(candidates, cand{p, out})
+			}
+		}
+	}
+
+	// Reduction rule (5): drop an alias-involving pattern when the same
+	// pattern with a in place of a^alias is also effective with the same
+	// observation — they give the same information.
+	effective := map[string]bool{}
+	for _, c := range candidates {
+		effective[c.p.String()+"/"+c.out.Observation.String()] = true
+	}
+	var vulns []Vulnerability
+	for _, c := range candidates {
+		if c.p.hasAlias() {
+			mapped := c.p.mapAliasToA()
+			if mapped != c.p && effective[mapped.String()+"/"+c.out.Observation.String()] {
+				continue
+			}
+		}
+		stats.AfterAliasDedup++
+		vulns = append(vulns, classify(c.p, c.out))
+	}
+
+	sortVulnerabilities(vulns)
+	return vulns, stats
+}
+
+// structuralOK applies the paper's structural reduction rules (1)-(4) and
+// (6); rules (5) and (7) are handled by the alias dedup and the oracle.
+func structuralOK(p Pattern, extended bool) bool {
+	// Rule (1): ★ is not possible in Step 2 or Step 3.
+	if p[1] == Star || p[2] == Star {
+		return false
+	}
+	// Rule (2): a state involving u must be in one of the steps.
+	if !p.hasU() {
+		return false
+	}
+	// Rule (3): ★ immediately followed by V_u cannot lead to an attack.
+	if p[0] == Star && p[1].Class.InvolvesU() {
+		return false
+	}
+	// Rule (4): two adjacent steps repeating, or both known to the
+	// attacker, are eliminated.
+	for i := 0; i < 2; i++ {
+		if p[i] == p[i+1] {
+			return false
+		}
+		if p[i].KnownToAttacker() && p[i+1].KnownToAttacker() {
+			return false
+		}
+	}
+	// Rule (6): whole-TLB invalidation cannot be triggered from user space
+	// in Step 2 or Step 3.
+	if p[1].Class == ClassInvAll || p[2].Class == ClassInvAll {
+		return false
+	}
+	if !extended {
+		// Base model: the targeted invalidations of Appendix B are not
+		// available at all.
+		for _, s := range p {
+			if s.Class.IsTargetedInvalidation() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// classify attaches the strategy name, macro type and known-attack citation
+// to an effective pattern.
+func classify(p Pattern, out Outcome) Vulnerability {
+	v := Vulnerability{
+		Pattern:         p,
+		Observation:     out.Observation,
+		MappedScenarios: out.MappedScenarios,
+	}
+	v.Strategy = strategyName(p, out.Observation)
+	v.Macro = macroType(p, out.Observation)
+	switch v.Strategy {
+	case "TLB Internal Collision":
+		v.KnownAttack = "Double Page Fault [12]"
+	case "TLB Prime + Probe":
+		v.KnownAttack = "TLBleed [8]"
+	}
+	return v
+}
+
+// strategyName reproduces the Attack Strategy column of Table 2 (base
+// patterns only; extended.go has its own naming).
+func strategyName(p Pattern, obs Observation) string {
+	if p[2].Class.IsTargetedInvalidation() || p[1].Class.IsTargetedInvalidation() ||
+		p[0].Class.IsTargetedInvalidation() {
+		return extendedStrategyName(p, obs)
+	}
+	if obs == ObsFast {
+		// Hit-based: the final access hits because the victim's u brought
+		// in the probed translation.
+		if p[2].Actor == ActorV {
+			return "TLB Internal Collision"
+		}
+		return "TLB Flush + Reload"
+	}
+	// Miss-based.
+	if p[0].Class.InvolvesU() && p[2].Class.InvolvesU() {
+		// V_u ⇝ X ⇝ V_u: the middle access may evict u.
+		if p[1].Actor == ActorA {
+			return "TLB Evict + Time"
+		}
+		return "TLB version of Bernstein's Attack"
+	}
+	// X ⇝ V_u ⇝ Y: priming then re-testing.
+	switch {
+	case p[0].Actor == ActorA && p[2].Actor == ActorA:
+		return "TLB Prime + Probe"
+	case p[0].Actor == ActorV && p[2].Actor == ActorA:
+		return "TLB Evict + Probe"
+	case p[0].Actor == ActorA && p[2].Actor == ActorV:
+		return "TLB Prime + Time"
+	default:
+		return "TLB version of Bernstein's Attack"
+	}
+}
+
+// macroType computes the Macro Type column: internal (I) when Steps 2 and 3
+// involve only the victim, external (E) otherwise; hit-based (H) for fast
+// observations, miss-based (M) for slow ones.
+func macroType(p Pattern, obs Observation) string {
+	interference := "E"
+	if p[1].Actor == ActorV && p[2].Actor == ActorV {
+		interference = "I"
+	}
+	timing := "M"
+	if obs == ObsFast {
+		timing = "H"
+	}
+	return interference + timing
+}
+
+// strategyOrder fixes the presentation order of Table 2.
+var strategyOrder = map[string]int{
+	"TLB Internal Collision":            0,
+	"TLB Flush + Reload":                1,
+	"TLB Evict + Time":                  2,
+	"TLB Prime + Probe":                 3,
+	"TLB version of Bernstein's Attack": 4,
+	"TLB Evict + Probe":                 5,
+	"TLB Prime + Time":                  6,
+}
+
+// patternOrderKey gives a stable secondary sort within a strategy.
+func patternOrderKey(p Pattern) string { return p.String() }
+
+func sortVulnerabilities(v []Vulnerability) {
+	sort.Slice(v, func(i, j int) bool {
+		oi, iok := strategyOrder[v[i].Strategy]
+		oj, jok := strategyOrder[v[j].Strategy]
+		switch {
+		case iok && jok && oi != oj:
+			return oi < oj
+		case iok != jok:
+			return iok // base strategies before extended ones
+		case v[i].Strategy != v[j].Strategy:
+			return v[i].Strategy < v[j].Strategy
+		}
+		return patternOrderKey(v[i].Pattern) < patternOrderKey(v[j].Pattern)
+	})
+}
+
+// Find returns the enumerated vulnerability matching a pattern, if any.
+func Find(vulns []Vulnerability, p Pattern) (Vulnerability, bool) {
+	for _, v := range vulns {
+		if v.Pattern == p {
+			return v, true
+		}
+	}
+	return Vulnerability{}, false
+}

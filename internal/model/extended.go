@@ -1,0 +1,98 @@
+package model
+
+// This file implements the Appendix B extension: when an ISA (or a software
+// mechanism such as mprotect()) allows invalidating the TLB entry of one
+// specific address, the additional states of Table 6 become available and
+// the enumeration yields the further vulnerabilities of Table 7, including
+// strategies whose final observation is the timing of an *invalidation*
+// (possible when invalidation is implemented with the two-cycle
+// check-then-clear optimisation, as in TLB Flush + Flush).
+
+// EnumerateExtended returns the additional vulnerabilities enabled by
+// targeted invalidation — the Table 7 rows. Patterns already present in the
+// base Table 2 enumeration are excluded.
+func EnumerateExtended() []Vulnerability {
+	v, _ := EnumerateExtendedWithStats()
+	return v
+}
+
+// EnumerateExtendedWithStats is EnumerateExtended plus stage counts over the
+// enlarged 17-state universe.
+func EnumerateExtendedWithStats() ([]Vulnerability, EnumerationStats) {
+	all, stats := enumerate(ExtendedStates(), true)
+	var extra []Vulnerability
+	for _, v := range all {
+		if hasTargetedInv(v.Pattern) {
+			extra = append(extra, v)
+		}
+	}
+	return extra, stats
+}
+
+func hasTargetedInv(p Pattern) bool {
+	for _, s := range p {
+		if s.Class.IsTargetedInvalidation() {
+			return true
+		}
+	}
+	return false
+}
+
+// accessize replaces each targeted invalidation with the access of the same
+// address by the same actor, for strategy naming by analogy.
+func accessize(p Pattern) Pattern {
+	q := p
+	for i := range q {
+		if q[i].Class.IsTargetedInvalidation() {
+			q[i].Class = q[i].Class.target()
+		}
+	}
+	return q
+}
+
+func flipObs(o Observation) Observation {
+	if o == ObsFast {
+		return ObsSlow
+	}
+	return ObsFast
+}
+
+// extendedStrategyName names the Appendix B strategies. The scheme mirrors
+// Table 7's naming:
+//
+//   - a targeted invalidation in Step 2 gives the Flush + Probe family
+//     (Flush + Time when both ends involve u), with an " Invalidation"
+//     suffix when Step 3's own invalidation timing is what is measured;
+//   - a targeted invalidation in Step 3 names the pattern after the
+//     analogous access-based strategy plus " Invalidation" (a present entry
+//     invalidates slowly, so presence maps to the access-hit case), except
+//     that an invalidation-primed reload probed by invalidation is the
+//     classic TLB Flush + Flush;
+//   - a Step-1-only invalidation keeps the base strategy name (it is just
+//     another way to put the block into a known state), except
+//     V_u^inv ⇝ a ⇝ V_u, which is TLB Reload + Time.
+func extendedStrategyName(p Pattern, obs Observation) string {
+	if p[1].Class.IsTargetedInvalidation() {
+		base := "TLB Flush + Probe"
+		if p[0].Class.InvolvesU() && p[2].Class.InvolvesU() {
+			base = "TLB Flush + Time"
+		}
+		if p[2].Class.IsTargetedInvalidation() {
+			return base + " Invalidation"
+		}
+		return base
+	}
+	if p[2].Class.IsTargetedInvalidation() {
+		base := strategyName(accessize(p), flipObs(obs))
+		if p[0].Class.IsInvalidation() &&
+			(base == "TLB Flush + Reload" || base == "TLB Internal Collision") {
+			return "TLB Flush + Flush"
+		}
+		return base + " Invalidation"
+	}
+	// Targeted invalidation only in Step 1.
+	if p[0].Class == ClassUInv && p[2].Class.InvolvesU() {
+		return "TLB Reload + Time"
+	}
+	return strategyName(accessize(p), obs)
+}

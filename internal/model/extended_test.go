@@ -1,0 +1,214 @@
+package model
+
+import "testing"
+
+func TestExtendedEnumerationBasics(t *testing.T) {
+	extra, stats := EnumerateExtendedWithStats()
+	if stats.Total != 17*17*17 {
+		t.Errorf("total = %d, want 17^3", stats.Total)
+	}
+	// The enlarged universe must still contain the base 24 plus the
+	// additional targeted-invalidation vulnerabilities.
+	if stats.AfterAliasDedup != 24+len(extra) {
+		t.Errorf("dedup count %d != 24 + %d extras", stats.AfterAliasDedup, len(extra))
+	}
+	// Table 7 lists on the order of 50 additional vulnerabilities (after the
+	// paper's manual deduplication); our enumeration finds 60, a strict
+	// superset across the same strategy families (the snapshot below pins
+	// the exact set).
+	if len(extra) != 60 {
+		t.Errorf("extra vulnerabilities = %d, want 60", len(extra))
+	}
+	for _, v := range extra {
+		if !hasTargetedInv(v.Pattern) {
+			t.Errorf("%s claims to be extended but has no targeted invalidation", v)
+		}
+	}
+}
+
+func TestExtendedContainsBase24Unchanged(t *testing.T) {
+	all, _ := enumerate(ExtendedStates(), true)
+	base := Enumerate()
+	found := 0
+	for _, b := range base {
+		if v, ok := Find(all, b.Pattern); ok {
+			found++
+			if v.Observation != b.Observation || v.Strategy != b.Strategy {
+				t.Errorf("%s classified differently in extended mode", b)
+			}
+		} else {
+			t.Errorf("base vulnerability %s missing from extended enumeration", b)
+		}
+	}
+	if found != 24 {
+		t.Errorf("found %d of 24 base vulnerabilities", found)
+	}
+}
+
+// table7Rows spot-checks rows of the paper's Table 7 (Appendix B).
+var table7Rows = []struct {
+	steps    [3]State
+	obs      Observation
+	strategy string
+}{
+	// TLB Internal Collision with invalidation priming (also maps to the
+	// Double Page Fault attack).
+	{[3]State{AaInv, Vu, Va}, ObsFast, "TLB Internal Collision"},
+	// TLB Flush + Reload with invalidation priming.
+	{[3]State{AaInv, Vu, Aa}, ObsFast, "TLB Flush + Reload"},
+	// TLB Reload + Time: invalidate u, reload a, time the victim.
+	{[3]State{VuInv, Aa, Vu}, ObsFast, "TLB Reload + Time"},
+	{[3]State{VuInv, Va, Vu}, ObsFast, "TLB Reload + Time"},
+	// TLB Flush + Probe: prime a, victim invalidates u, probe a.
+	{[3]State{Aa, VuInv, Aa}, ObsSlow, "TLB Flush + Probe"},
+	{[3]State{Va, VuInv, Va}, ObsSlow, "TLB Flush + Probe"},
+	// TLB Flush + Time: victim accesses u, a's entry is invalidated, time u.
+	{[3]State{Vu, AaInv, Vu}, ObsSlow, "TLB Flush + Time"},
+	{[3]State{Vu, VaInv, Vu}, ObsSlow, "TLB Flush + Time"},
+	// TLB Flush + Flush: the final observation is the invalidation's own
+	// timing (present entries invalidate more slowly).
+	{[3]State{Ainv, Vu, AaInv}, ObsSlow, "TLB Flush + Flush"},
+	{[3]State{Vinv, Vu, VaInv}, ObsSlow, "TLB Flush + Flush"},
+	// Invalidation-probed variants of the base strategies.
+	{[3]State{Ad, Vu, AdInv}, ObsFast, "TLB Prime + Probe Invalidation"},
+	{[3]State{Aa, Vu, AaInv}, ObsFast, "TLB Prime + Probe Invalidation"},
+	{[3]State{Vu, Ad, VuInv}, ObsFast, "TLB Evict + Time Invalidation"},
+	{[3]State{Vu, Aa, VuInv}, ObsFast, "TLB Evict + Time Invalidation"},
+	{[3]State{Vd, Vu, AdInv}, ObsFast, "TLB Evict + Probe Invalidation"},
+	{[3]State{Ad, Vu, VdInv}, ObsFast, "TLB Prime + Time Invalidation"},
+	{[3]State{Vu, Vd, VuInv}, ObsFast, "TLB version of Bernstein's Attack Invalidation"},
+	{[3]State{Vu, AaInv, VuInv}, ObsFast, "TLB Flush + Time Invalidation"},
+}
+
+func TestTable7SpotChecks(t *testing.T) {
+	extra := EnumerateExtended()
+	for _, row := range table7Rows {
+		p := Pattern(row.steps)
+		v, ok := Find(extra, p)
+		if !ok {
+			t.Errorf("missing extended vulnerability %s", p)
+			continue
+		}
+		if v.Observation != row.obs {
+			t.Errorf("%s: observation %s, want %s", p, v.Observation, row.obs)
+		}
+		if v.Strategy != row.strategy {
+			t.Errorf("%s: strategy %q, want %q", p, v.Strategy, row.strategy)
+		}
+	}
+}
+
+func TestExtendedStrategyFamilies(t *testing.T) {
+	// Every Table 7 strategy family must be represented.
+	want := []string{
+		"TLB Internal Collision",
+		"TLB Flush + Reload",
+		"TLB Reload + Time",
+		"TLB Flush + Probe",
+		"TLB Flush + Time",
+		"TLB Flush + Flush",
+		"TLB Flush + Probe Invalidation",
+		"TLB Evict + Time Invalidation",
+		"TLB Prime + Probe Invalidation",
+		"TLB version of Bernstein's Attack Invalidation",
+		"TLB Evict + Probe Invalidation",
+		"TLB Prime + Time Invalidation",
+		"TLB Flush + Time Invalidation",
+	}
+	have := map[string]bool{}
+	for _, v := range EnumerateExtended() {
+		have[v.Strategy] = true
+	}
+	for _, s := range want {
+		if !have[s] {
+			t.Errorf("strategy family %q missing from extended enumeration", s)
+		}
+	}
+}
+
+func TestReloadTimeNeedsTargetedInvalidation(t *testing.T) {
+	// The Reload + Time shape without targeted invalidation (Ainv ⇝ Aa ⇝
+	// Vu) is excluded from the base model by rule (4) — the paper's Table 2
+	// has no such row. With the Appendix B state V_u^inv it becomes viable.
+	if structuralOK(Pattern{Ainv, Aa, Vu}, false) {
+		t.Error("rule 4 must reject Ainv ⇝ Aa ⇝ Vu (adjacent knowns)")
+	}
+	out := Analyze(Pattern{VuInv, Aa, Vu}, DesignShared)
+	if !out.Effective || out.Observation != ObsFast {
+		t.Errorf("VuInv ⇝ Aa ⇝ Vu should be effective fast, got %+v", out)
+	}
+}
+
+func TestExclusionSemantics(t *testing.T) {
+	// From an unknown state (★), invalidating u's entry makes a lookup of u
+	// a definite miss while a lookup of d remains unknown.
+	b := newBlockSim(DesignShared, ScenSameSet)
+	b.apply(Star)
+	b.apply(VuInv)
+	if got := b.lookup(ActorV, ClassU); got != lrMiss {
+		t.Errorf("lookup(u) after inv(u) = %v, want miss", got)
+	}
+	if got := b.lookup(ActorA, ClassD); got != lrUnknown {
+		t.Errorf("lookup(d) after inv(u) = %v, want unknown", got)
+	}
+	// In the SameAddr scenario, invalidating u also guarantees a's absence.
+	b = newBlockSim(DesignShared, ScenSameAddr)
+	b.apply(Star)
+	b.apply(VuInv)
+	if got := b.lookup(ActorA, ClassA); got != lrMiss {
+		t.Errorf("SameAddr lookup(a) after inv(u) = %v, want miss", got)
+	}
+	// The initial (flushed) state is a known miss for everything.
+	b = newBlockSim(DesignShared, ScenSameSet)
+	if got := b.lookup(ActorA, ClassD); got != lrMiss {
+		t.Errorf("initial lookup(d) = %v, want miss (flushed start)", got)
+	}
+}
+
+func TestAccessizeAndFlip(t *testing.T) {
+	p := Pattern{AaInv, VuInv, VdInv}
+	q := accessize(p)
+	if q != (Pattern{Aa, Vu, Vd}) {
+		t.Errorf("accessize = %s", q)
+	}
+	if flipObs(ObsFast) != ObsSlow || flipObs(ObsSlow) != ObsFast {
+		t.Error("flipObs wrong")
+	}
+}
+
+func TestExtendedGoldenSnapshot(t *testing.T) {
+	// Pin the full extended enumeration so changes are deliberate.
+	counts := map[string]int{}
+	for _, v := range EnumerateExtended() {
+		counts[v.Strategy]++
+	}
+	want := map[string]int{
+		"TLB Internal Collision":                         5,
+		"TLB Flush + Reload":                             5,
+		"TLB Reload + Time":                              2,
+		"TLB Flush + Probe":                              4,
+		"TLB Flush + Time":                               2,
+		"TLB Flush + Flush":                              16,
+		"TLB Flush + Probe Invalidation":                 4,
+		"TLB Flush + Time Invalidation":                  2,
+		"TLB Internal Collision Invalidation":            4,
+		"TLB Flush + Reload Invalidation":                4,
+		"TLB Evict + Time Invalidation":                  2,
+		"TLB Prime + Probe Invalidation":                 2,
+		"TLB version of Bernstein's Attack Invalidation": 4,
+		"TLB Evict + Probe Invalidation":                 2,
+		"TLB Prime + Time Invalidation":                  2,
+	}
+	for s, n := range want {
+		if counts[s] != n {
+			t.Errorf("strategy %q count = %d, want %d", s, counts[s], n)
+		}
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 60 {
+		t.Errorf("total = %d, want 60; counts = %v", total, counts)
+	}
+}

@@ -1,0 +1,444 @@
+package model
+
+// This file implements the symbolic single-block simulation oracle.
+//
+// The paper models attacks against one TLB block (§3.2): every step either
+// installs a translation into the block, invalidates it, or leaves it
+// unknown, and the final step's timing (hit = fast, miss = slow) may reveal
+// whether the victim's secret address u mapped to the block. The oracle
+// plays each candidate pattern forward under the possible relations between
+// u and the attacker-tested addresses:
+//
+//	SameAddr — u is exactly the known in-range address a;
+//	SameSet  — u is a different page with the same page index, so it
+//	           conflicts with the tested block (evicts / is evicted);
+//	Diff     — u maps somewhere else entirely.
+//
+// A pattern is an effective vulnerability when the final observation is
+// known in every scenario and some observation value occurs only in mapped
+// (SameAddr/SameSet) scenarios — then seeing that value tells the attacker
+// that u mapped, which is exactly the leak (rule (7)'s ambiguity check falls
+// out of this definition, as does rule (3): an un-set block stays Unknown
+// and poisons the observation).
+//
+// Running the same oracle under different hit/fill semantics (Design) models
+// the defenses: ASID tagging (the standard SA TLB) requires the process ID
+// to match on hits, and way partitioning (the SP TLB) confines each actor's
+// fills to its own partition. Vulnerabilities that become non-informative
+// under a design are the ones that design defends, reproducing Table 4's
+// zero-capacity pattern.
+
+// Design selects the TLB semantics the oracle simulates.
+type Design uint8
+
+const (
+	// DesignShared is the generic model of §3: translations are matched by
+	// address alone (attacker and victim may share an address space). This
+	// is the model that yields the 24 vulnerabilities of Table 2.
+	DesignShared Design = iota
+	// DesignASID models the standard SA TLB: a hit additionally requires
+	// the process ID to match (victim and attacker have different ASIDs).
+	DesignASID
+	// DesignPartitioned models the SP TLB: ASID-tagged hits plus statically
+	// partitioned fills — an actor's fill can never evict the other actor's
+	// entry.
+	DesignPartitioned
+)
+
+// String names the design.
+func (d Design) String() string {
+	switch d {
+	case DesignShared:
+		return "shared"
+	case DesignASID:
+		return "asid"
+	case DesignPartitioned:
+		return "partitioned"
+	}
+	return "design?"
+}
+
+// Scenario is the relation between u and the attacker-tested block.
+type Scenario uint8
+
+const (
+	// ScenSameAddr: u == a.
+	ScenSameAddr Scenario = iota
+	// ScenSameSet: u != a but u has the same page index (conflicts).
+	ScenSameSet
+	// ScenDiff: u maps to a different block.
+	ScenDiff
+)
+
+// String names the scenario.
+func (s Scenario) String() string {
+	switch s {
+	case ScenSameAddr:
+		return "same-addr"
+	case ScenSameSet:
+		return "same-set"
+	case ScenDiff:
+		return "diff"
+	}
+	return "scen?"
+}
+
+// Mapped reports whether the scenario is a "mapped" victim behaviour in the
+// sense of Table 3.
+func (s Scenario) Mapped() bool { return s != ScenDiff }
+
+// Observation is the attacker-visible timing of the final step.
+type Observation uint8
+
+const (
+	// ObsNone: the pattern is not a vulnerability.
+	ObsNone Observation = iota
+	// ObsFast: the informative observation is a TLB hit (or, for a
+	// targeted-invalidation step 3, an absent entry's quick invalidation).
+	ObsFast
+	// ObsSlow: the informative observation is a TLB miss (or a present
+	// entry's longer invalidation).
+	ObsSlow
+	// ObsUnknown: the timing cannot be predicted from the pattern.
+	ObsUnknown
+)
+
+// String renders the paper's "(fast)" / "(slow)" annotation content.
+func (o Observation) String() string {
+	switch o {
+	case ObsFast:
+		return "fast"
+	case ObsSlow:
+		return "slow"
+	case ObsUnknown:
+		return "unknown"
+	}
+	return "none"
+}
+
+// contentKind is the knowledge state of one simulated block.
+type contentKind uint8
+
+const (
+	kUnknown contentKind = iota
+	kInvalid
+	kHeld
+)
+
+// content is the symbolic contents of one TLB block. For an unknown block,
+// excl records address tags that are known NOT to be present — a targeted
+// invalidation of address t (Appendix B) guarantees t's absence even when
+// the rest of the block state is unknown, which is what makes strategies
+// like TLB Reload + Time work. Exclusions are tracked in the shared
+// (generic) design only; the ASID-aware designs treat unknown blocks
+// conservatively.
+type content struct {
+	kind  contentKind
+	tag   Class // ClassU, ClassA, ClassAlias or ClassD
+	owner Actor
+	excl  uint16 // bitmask over Class values, valid when kind == kUnknown
+}
+
+// blockSim simulates the tested block (where a, a^alias and d map) and the
+// "other" block (where u maps in the Diff scenario), each split per actor
+// partition when the design is partitioned.
+type blockSim struct {
+	design Design
+	scen   Scenario
+	// blocks[loc][part]: loc 0 = tested block, 1 = u's block in Diff.
+	// part 0 = attacker partition, part 1 = victim partition; designs
+	// without partitioning use part 0 only.
+	blocks [2][2]content
+	nparts int
+}
+
+func newBlockSim(d Design, s Scenario) *blockSim {
+	b := &blockSim{design: d, scen: s, nparts: 1}
+	if d == DesignPartitioned {
+		b.nparts = 2
+	}
+	// The model assumes the analysis starts from a known (flushed) state —
+	// that is what Step 1 establishes and what the ★ state exists to deny
+	// (rule (3)); the micro security benchmarks likewise flush the TLB at
+	// the start of every trial.
+	for l := 0; l < 2; l++ {
+		for p := 0; p < 2; p++ {
+			b.blocks[l][p] = content{kind: kInvalid}
+		}
+	}
+	return b
+}
+
+// loc returns which block an operation on the given target class touches.
+func (b *blockSim) loc(target Class) int {
+	if target == ClassU && b.scen == ScenDiff {
+		return 1
+	}
+	return 0
+}
+
+// partIdx returns the fill partition for an actor.
+func (b *blockSim) partIdx(a Actor) int {
+	if b.nparts == 1 {
+		return 0
+	}
+	if a == ActorV {
+		return 1
+	}
+	return 0
+}
+
+// tagsMatch reports whether a stored tag satisfies a lookup for target,
+// given the scenario's u↔a relation.
+func (b *blockSim) tagsMatch(stored, target Class) bool {
+	if stored == target {
+		return true
+	}
+	uv := (stored == ClassU && target == ClassA) || (stored == ClassA && target == ClassU)
+	return uv && b.scen == ScenSameAddr
+}
+
+// ownerOK applies the design's process-ID check.
+func (b *blockSim) ownerOK(stored, actor Actor) bool {
+	if b.design == DesignShared {
+		return true
+	}
+	return stored == actor
+}
+
+// lookupResult is the tri-state outcome of a symbolic lookup.
+type lookupResult uint8
+
+const (
+	lrMiss lookupResult = iota
+	lrHit
+	lrUnknown
+)
+
+// matchableTags lists the stored tags that would satisfy a lookup for
+// target under the current scenario.
+func (b *blockSim) matchableTags(target Class) []Class {
+	tags := []Class{target}
+	if b.scen == ScenSameAddr {
+		switch target {
+		case ClassU:
+			tags = append(tags, ClassA)
+		case ClassA:
+			tags = append(tags, ClassU)
+		}
+	}
+	return tags
+}
+
+// unknownCouldMatch reports whether an unknown block might still contain a
+// translation satisfying a lookup for target, given its exclusion set.
+// Exclusions come from targeted invalidations, which are address-based
+// (e.g. a TLB shootdown) and therefore valid regardless of the design's
+// ASID semantics.
+func (b *blockSim) unknownCouldMatch(c content, target Class) bool {
+	for _, t := range b.matchableTags(target) {
+		if c.excl&(1<<t) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// lookupForInvalidation checks whether a targeted invalidation of target
+// would find a matching entry, ignoring ownership (invalidation is
+// address-based).
+func (b *blockSim) lookupForInvalidation(target Class) lookupResult {
+	loc := b.loc(target)
+	sawUnknown := false
+	for p := 0; p < b.nparts; p++ {
+		c := b.blocks[loc][p]
+		switch c.kind {
+		case kUnknown:
+			if b.unknownCouldMatch(c, target) {
+				sawUnknown = true
+			}
+		case kHeld:
+			if b.tagsMatch(c.tag, target) {
+				return lrHit
+			}
+		}
+	}
+	if sawUnknown {
+		return lrUnknown
+	}
+	return lrMiss
+}
+
+// lookup searches all partitions of the block that target maps to.
+func (b *blockSim) lookup(actor Actor, target Class) lookupResult {
+	loc := b.loc(target)
+	sawUnknown := false
+	for p := 0; p < b.nparts; p++ {
+		c := b.blocks[loc][p]
+		switch c.kind {
+		case kUnknown:
+			if b.unknownCouldMatch(c, target) {
+				sawUnknown = true
+			}
+		case kHeld:
+			if b.tagsMatch(c.tag, target) && b.ownerOK(c.owner, actor) {
+				return lrHit
+			}
+		}
+	}
+	if sawUnknown {
+		return lrUnknown
+	}
+	return lrMiss
+}
+
+// apply performs one step, returning the observation a timing measurement of
+// that step would yield (only meaningful for step 3).
+func (b *blockSim) apply(s State) Observation {
+	switch {
+	case s == Star:
+		for l := 0; l < 2; l++ {
+			for p := 0; p < b.nparts; p++ {
+				b.blocks[l][p] = content{kind: kUnknown}
+			}
+		}
+		return ObsUnknown
+
+	case s.Class == ClassInvAll:
+		// Whole-TLB invalidation: every block becomes invalid. Its timing
+		// is fixed, so the observation carries no information; we report
+		// Fast (constant).
+		for l := 0; l < 2; l++ {
+			for p := 0; p < b.nparts; p++ {
+				b.blocks[l][p] = content{kind: kInvalid}
+			}
+		}
+		return ObsFast
+
+	case s.Class.IsTargetedInvalidation():
+		// Appendix B: invalidate one address's entry. The invalidation is
+		// address-based — it does not check the process ID, like an
+		// mprotect-driven shootdown — so it removes matching translations
+		// in every partition regardless of owner. With the variable timing
+		// optimisation, a present entry takes longer (slow), an absent one
+		// is quick (fast).
+		target := s.Class.target()
+		loc := b.loc(target)
+		res := b.lookupForInvalidation(target)
+		for p := 0; p < b.nparts; p++ {
+			c := &b.blocks[loc][p]
+			switch c.kind {
+			case kHeld:
+				if b.tagsMatch(c.tag, target) {
+					*c = content{kind: kInvalid}
+				}
+			case kUnknown:
+				// The block's contents stay unknown, but every tag this
+				// invalidation would have matched is now guaranteed absent.
+				for _, t := range b.matchableTags(target) {
+					c.excl |= 1 << t
+				}
+			}
+		}
+		switch res {
+		case lrHit:
+			return ObsSlow
+		case lrMiss:
+			return ObsFast
+		default:
+			return ObsUnknown
+		}
+
+	default: // memory access
+		target := s.Class.target()
+		res := b.lookup(s.Actor, target)
+		// Whether it hit a behaviourally-identical entry or missed and
+		// filled, the actor's partition of the target block now holds this
+		// translation.
+		loc := b.loc(target)
+		b.blocks[loc][b.partIdx(s.Actor)] = content{kind: kHeld, tag: target, owner: s.Actor}
+		switch res {
+		case lrHit:
+			return ObsFast
+		case lrMiss:
+			return ObsSlow
+		default:
+			return ObsUnknown
+		}
+	}
+}
+
+// scenariosFor returns the victim-behaviour scenarios meaningful for a
+// pattern: u == a only makes sense when the pattern mentions a.
+func scenariosFor(p Pattern) []Scenario {
+	if p.mentionsA() {
+		return []Scenario{ScenSameAddr, ScenSameSet, ScenDiff}
+	}
+	return []Scenario{ScenSameSet, ScenDiff}
+}
+
+// Outcome is the oracle's verdict for one pattern under one design.
+type Outcome struct {
+	// Effective reports whether the pattern is an exploitable vulnerability.
+	Effective bool
+	// Observation is the informative timing (fast/slow) when Effective.
+	Observation Observation
+	// MappedScenarios are the victim behaviours that produce the
+	// informative observation (⊆ {SameAddr, SameSet}).
+	MappedScenarios []Scenario
+	// PerScenario records the final-step observation in each scenario, in
+	// the order returned by scenariosFor.
+	PerScenario map[Scenario]Observation
+}
+
+// Analyze runs the symbolic oracle for a pattern under a design.
+func Analyze(p Pattern, d Design) Outcome {
+	out := Outcome{PerScenario: map[Scenario]Observation{}}
+	scens := scenariosFor(p)
+	for _, sc := range scens {
+		sim := newBlockSim(d, sc)
+		var obs Observation
+		for _, step := range p {
+			obs = sim.apply(step)
+		}
+		out.PerScenario[sc] = obs
+		if obs == ObsUnknown {
+			return out // ambiguity: not a vulnerability (rule 7)
+		}
+	}
+	for _, o := range []Observation{ObsFast, ObsSlow} {
+		var got []Scenario
+		diffHasO := false
+		for _, sc := range scens {
+			if out.PerScenario[sc] == o {
+				if sc == ScenDiff {
+					diffHasO = true
+				} else {
+					got = append(got, sc)
+				}
+			}
+		}
+		if len(got) > 0 && !diffHasO {
+			out.Effective = true
+			out.Observation = o
+			out.MappedScenarios = got
+			return out
+		}
+	}
+	return out
+}
+
+// ObservationInformative re-runs the oracle under a design and reports
+// whether the *given* observation still identifies a mapped victim
+// behaviour. This is the defense criterion: a design defends a vulnerability
+// type (pattern, observation) when that observation no longer distinguishes
+// mapped from unmapped behaviour (Table 4's C = 0 rows). The design may
+// still leak through a different observation — that is then a different
+// vulnerability type.
+func ObservationInformative(p Pattern, d Design, o Observation) bool {
+	out := Analyze(p, d)
+	if !out.Effective {
+		return false
+	}
+	return out.Observation == o
+}

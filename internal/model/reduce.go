@@ -1,0 +1,130 @@
+package model
+
+// This file implements Algorithm 1 of Appendix A: reduction of a β-step
+// (β > 3) access pattern to its effective three-step vulnerabilities,
+// demonstrating the soundness of the three-step model — any longer attack is
+// equivalent to one or more of the Table 2 patterns.
+//
+// Rule 1: a ★ in the middle splits the pattern (★ becomes Step 1 of the
+// second part); a trailing ★ is deleted.
+// Rule 2: likewise for whole-TLB invalidations (A_inv / V_inv).
+// Rule 3: two adjacent steps that are both u-operations, or both known to
+// the attacker, collapse into one (the later one — it determines the block's
+// state).
+// Rule 4: each three-step window of the resulting alternating pattern is
+// checked against the effective vulnerability list; two-step remainders are
+// checked with an explicit ★ prepended (footnote 4).
+
+// Reduction is the result of reducing a β-step pattern.
+type Reduction struct {
+	// Segments are the post-split, post-collapse step sequences.
+	Segments [][]State
+	// Effective lists the distinct Table 2 vulnerabilities embedded in the
+	// pattern (empty when the pattern is harmless).
+	Effective []Vulnerability
+}
+
+// Reduce applies Algorithm 1 to an arbitrary-length step sequence.
+func Reduce(steps []State) Reduction {
+	var red Reduction
+
+	// Rules 1 and 2: split at non-initial ★ / inv states.
+	var segments [][]State
+	var cur []State
+	for i, s := range steps {
+		if i > 0 && len(cur) > 0 && (s == Star || s.Class == ClassInvAll) {
+			segments = append(segments, cur)
+			cur = []State{s}
+			continue
+		}
+		cur = append(cur, s)
+	}
+	if len(cur) > 0 {
+		segments = append(segments, cur)
+	}
+	// Trailing ★ / inv in a segment carries no final observation: delete.
+	for i := range segments {
+		seg := segments[i]
+		for len(seg) > 0 {
+			last := seg[len(seg)-1]
+			if last == Star || last.Class == ClassInvAll {
+				seg = seg[:len(seg)-1]
+			} else {
+				break
+			}
+		}
+		segments[i] = collapse(seg)
+	}
+	red.Segments = segments
+
+	// Rule 4: scan windows against the effective list.
+	effective := Enumerate()
+	seen := map[Pattern]bool{}
+	addIfEffective := func(p Pattern) {
+		if seen[p] {
+			return
+		}
+		if v, ok := Find(effective, p); ok {
+			seen[p] = true
+			red.Effective = append(red.Effective, v)
+		}
+	}
+	for _, seg := range segments {
+		switch {
+		case len(seg) >= 3:
+			for i := 0; i+3 <= len(seg); i++ {
+				addIfEffective(Pattern{seg[i], seg[i+1], seg[i+2]})
+			}
+			// A two-step tail after a leading flush-like step was already
+			// covered by the windows; a two-step head is covered below.
+			fallthrough
+		case len(seg) == 2:
+			if len(seg) == 2 {
+				// Footnote 4: two-step attacks are the ★ ⇝ · ⇝ · patterns.
+				addIfEffective(Pattern{Star, seg[0], seg[1]})
+			}
+		}
+	}
+	return red
+}
+
+// collapse applies Rule 3 until the segment alternates between u-operations
+// and attacker-known operations. The later of two same-kind adjacent steps
+// wins, because it determines the resulting block state.
+func collapse(seg []State) []State {
+	out := make([]State, 0, len(seg))
+	for _, s := range seg {
+		if n := len(out); n > 0 {
+			prev := out[n-1]
+			// ★ / inv leaders never merge with what follows... except two
+			// adjacent known operations, where the invalidation is itself
+			// known and superseded by a following known access.
+			sameKind := (prev.Class.InvolvesU() && s.Class.InvolvesU()) ||
+				(prev.KnownToAttacker() && s.KnownToAttacker())
+			if sameKind {
+				out[n-1] = s
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Alternates reports whether a collapsed segment strictly alternates between
+// u-operations and non-u operations (the postcondition of Rule 3). Leading ★
+// states are skipped.
+func Alternates(seg []State) bool {
+	prevU, started := false, false
+	for _, s := range seg {
+		if s == Star {
+			continue
+		}
+		u := s.Class.InvolvesU()
+		if started && u == prevU {
+			return false
+		}
+		prevU, started = u, true
+	}
+	return true
+}

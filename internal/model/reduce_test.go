@@ -1,0 +1,192 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func patternsEqual(a []Vulnerability, want ...Pattern) bool {
+	if len(a) != len(want) {
+		return false
+	}
+	got := map[Pattern]bool{}
+	for _, v := range a {
+		got[v.Pattern] = true
+	}
+	for _, p := range want {
+		if !got[p] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestReduceThreeStepIdentity(t *testing.T) {
+	// Reducing an effective three-step pattern finds exactly itself.
+	for _, v := range Enumerate() {
+		red := Reduce(v.Pattern[:])
+		if !patternsEqual(red.Effective, v.Pattern) {
+			t.Errorf("Reduce(%s) found %v", v.Pattern, red.Effective)
+		}
+	}
+}
+
+func TestReduceRule1StarSplits(t *testing.T) {
+	// {Ad, Vu, Ad, *, Vd, Vu, Vd}: the ★ splits the sequence; both halves
+	// are effective (Prime+Probe, then Bernstein — ★ heads the second
+	// segment and is then irrelevant to its window scan).
+	steps := []State{Ad, Vu, Ad, Star, Vd, Vu, Vd}
+	red := Reduce(steps)
+	if len(red.Segments) != 2 {
+		t.Fatalf("segments = %d, want 2", len(red.Segments))
+	}
+	if !patternsEqual(red.Effective, Pattern{Ad, Vu, Ad}, Pattern{Vd, Vu, Vd}) {
+		t.Errorf("effective = %v", red.Effective)
+	}
+}
+
+func TestReduceRule2InvSplits(t *testing.T) {
+	// An inv in the middle becomes Step 1 of the second pattern — the
+	// Flush + Reload shape.
+	steps := []State{Vd, Vu, Vd, Ainv, Vu, Aa}
+	red := Reduce(steps)
+	if !patternsEqual(red.Effective, Pattern{Vd, Vu, Vd}, Pattern{Ainv, Vu, Aa}) {
+		t.Errorf("effective = %v", red.Effective)
+	}
+}
+
+func TestReduceRule3Collapse(t *testing.T) {
+	// Adjacent knowns collapse to the later one: {Ad, Va, Vu, Va} has the
+	// sub-pattern Ad⇝Va collapsing to Va, leaving Bernstein's Va⇝Vu⇝Va.
+	red := Reduce([]State{Ad, Va, Vu, Va})
+	if !patternsEqual(red.Effective, Pattern{Va, Vu, Va}) {
+		t.Errorf("effective = %v", red.Effective)
+	}
+	// Adjacent u-operations collapse: {Ad, Vu, Vu, Ad}.
+	red = Reduce([]State{Ad, Vu, Vu, Ad})
+	if !patternsEqual(red.Effective, Pattern{Ad, Vu, Ad}) {
+		t.Errorf("effective = %v", red.Effective)
+	}
+}
+
+func TestReduceTrailingStarDeleted(t *testing.T) {
+	red := Reduce([]State{Ad, Vu, Ad, Star})
+	if !patternsEqual(red.Effective, Pattern{Ad, Vu, Ad}) {
+		t.Errorf("effective = %v", red.Effective)
+	}
+}
+
+func TestReduceHarmlessPatterns(t *testing.T) {
+	for _, steps := range [][]State{
+		{},
+		{Vu},
+		{Ad, Vd, Aa},       // no u at all
+		{Star, Vu},         // unknown prior state
+		{Vu, Vu, Vu},       // collapses to a single step
+		{Ainv, Ad, Vd, Aa}, // all known
+	} {
+		red := Reduce(steps)
+		if len(red.Effective) != 0 {
+			t.Errorf("Reduce(%v) found %v, want none", steps, red.Effective)
+		}
+	}
+}
+
+func TestReduceLongAlternating(t *testing.T) {
+	// A long alternating pattern contains several overlapping effective
+	// windows: {Ad, Vu, Ad, Vu, Ad} has Prime+Probe twice (same pattern)
+	// and its windows also include {Vu, Ad, Vu} — Evict+Time.
+	red := Reduce([]State{Ad, Vu, Ad, Vu, Ad})
+	if !patternsEqual(red.Effective, Pattern{Ad, Vu, Ad}, Pattern{Vu, Ad, Vu}) {
+		t.Errorf("effective = %v", red.Effective)
+	}
+}
+
+func TestReduceFourStepFromAppendixA(t *testing.T) {
+	// Appendix A's worked shapes: a β=4 pattern with a redundant prime.
+	// {Vinv, Ad, Vu, Aa}: Vinv and Ad are adjacent knowns → collapse to Ad,
+	// leaving the Flush+Reload variant {Ad, Vu, Aa}.
+	red := Reduce([]State{Vinv, Ad, Vu, Aa})
+	if !patternsEqual(red.Effective, Pattern{Ad, Vu, Aa}) {
+		t.Errorf("effective = %v", red.Effective)
+	}
+}
+
+func TestCollapseAlternates(t *testing.T) {
+	seg := collapse([]State{Ad, Va, Vu, Vu, Vd, Aa, Vu})
+	if !Alternates(seg) {
+		t.Errorf("collapsed segment %v does not alternate", seg)
+	}
+	if len(seg) != 4 { // Va, Vu, Aa, Vu
+		t.Errorf("collapsed = %v", seg)
+	}
+}
+
+func TestQuickReduceProperties(t *testing.T) {
+	universe := BaseStates()
+	f := func(idxs []uint8) bool {
+		steps := make([]State, 0, len(idxs))
+		for _, i := range idxs {
+			steps = append(steps, universe[int(i)%len(universe)])
+		}
+		red := Reduce(steps)
+		// Property 1: every reduced segment strictly alternates.
+		for _, seg := range red.Segments {
+			if !Alternates(seg) {
+				t.Logf("segment %v does not alternate (input %v)", seg, steps)
+				return false
+			}
+		}
+		// Property 2: no segment retains a non-initial ★ or inv.
+		for _, seg := range red.Segments {
+			for i, s := range seg {
+				if i > 0 && (s == Star || s.Class == ClassInvAll) {
+					t.Logf("segment %v retains mid-pattern %s", seg, s)
+					return false
+				}
+			}
+		}
+		// Property 3: everything reported effective is in Table 2.
+		table := Enumerate()
+		for _, v := range red.Effective {
+			if _, ok := Find(table, v.Pattern); !ok {
+				t.Logf("reported non-Table-2 pattern %s", v.Pattern)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEmbeddedVulnerabilityFound(t *testing.T) {
+	// Property: an effective pattern prefixed with a full flush and suffixed
+	// with a trailing star is still found.
+	vulns := Enumerate()
+	f := func(pick uint8) bool {
+		v := vulns[int(pick)%len(vulns)]
+		steps := append([]State{Ainv}, v.Pattern[:]...)
+		steps = append(steps, Star)
+		red := Reduce(steps)
+		for _, e := range red.Effective {
+			if e.Pattern == v.Pattern {
+				return true
+			}
+		}
+		// The flush may merge with a known first step (rule 3) producing an
+		// equivalent variant; accept any effective finding of the same
+		// strategy.
+		for _, e := range red.Effective {
+			if e.Strategy == v.Strategy {
+				return true
+			}
+		}
+		t.Logf("embedded %s lost: %v", v.Pattern, red.Effective)
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

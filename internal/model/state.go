@@ -1,0 +1,273 @@
+// Package model implements the three-step modeling approach of "Secure
+// TLBs" (§3): the TLB block states of Table 1, the exhaustive enumeration of
+// the 10×10×10 step combinations, the reduction rules (1)–(7) of §3.3, and a
+// symbolic single-block simulation oracle that decides whether a surviving
+// pattern leaks information and whether the informative observation is a TLB
+// hit ("fast") or a TLB miss ("slow"). The result reproduces the 24
+// vulnerability types of Table 2 exactly.
+//
+// The package also implements:
+//   - Algorithm 1 of Appendix A, reducing any β-step (β > 3) pattern to its
+//     effective three-step vulnerabilities (reduce.go);
+//   - the extended state set of Appendix B (Table 6) with targeted
+//     invalidations, enumerating the additional vulnerabilities of Table 7
+//     (extended.go);
+//   - design-aware analysis that re-runs the oracle under the SA TLB's
+//     ASID-tagging and the SP TLB's partitioning semantics to derive which
+//     vulnerabilities each design defends (designs.go), matching the
+//     bold/non-bold pattern of Table 4.
+package model
+
+import "fmt"
+
+// Actor identifies who performs a step: the attacker (A), the victim (V), or
+// nobody (the ★ state).
+type Actor uint8
+
+const (
+	// ActorNone is used only by the ★ state.
+	ActorNone Actor = iota
+	// ActorA is the attacker (or the receiver in a covert channel).
+	ActorA
+	// ActorV is the victim (or the sender in a covert channel).
+	ActorV
+)
+
+// String returns "A", "V" or "".
+func (a Actor) String() string {
+	switch a {
+	case ActorA:
+		return "A"
+	case ActorV:
+		return "V"
+	}
+	return ""
+}
+
+// Class identifies which address (or operation) a step involves, following
+// Table 1 (base model) and Table 6 (Appendix B extensions).
+type Class uint8
+
+const (
+	// ClassStar is the ★ state: any data, or no data; the attacker has no
+	// knowledge of the block.
+	ClassStar Class = iota
+	// ClassU is the victim's secret-dependent address u ∈ x.
+	ClassU
+	// ClassA is the attacker-known address a ∈ x.
+	ClassA
+	// ClassAlias is a^alias: a different page with the same page index as a,
+	// mapping to the same TLB block.
+	ClassAlias
+	// ClassD is the attacker-known address d ∉ x.
+	ClassD
+	// ClassInvAll is the whole-block invalidation of Table 1 (A_inv /
+	// V_inv): the block previously holding a translation is now invalid,
+	// e.g. due to an sfence.vma or a context-switch flush.
+	ClassInvAll
+	// The classes below are the targeted invalidations of Appendix B
+	// (Table 6): invalidation of one specific address's entry, e.g. via
+	// mprotect() or a future fine-grained flush instruction.
+
+	// ClassUInv invalidates u's entry (V_u^inv).
+	ClassUInv
+	// ClassAInv invalidates a's entry (A_a^inv / V_a^inv).
+	ClassAInv
+	// ClassAliasInv invalidates a^alias's entry.
+	ClassAliasInv
+	// ClassDInv invalidates d's entry (A_d^inv / V_d^inv).
+	ClassDInv
+	classCount
+)
+
+// IsInvalidation reports whether the class removes (rather than installs)
+// translations.
+func (c Class) IsInvalidation() bool {
+	return c == ClassInvAll || c.IsTargetedInvalidation()
+}
+
+// IsTargetedInvalidation reports whether the class is one of the
+// specific-address invalidations of Appendix B.
+func (c Class) IsTargetedInvalidation() bool {
+	return c >= ClassUInv && c <= ClassDInv
+}
+
+// IsAccess reports whether the class performs a memory access (installs a
+// translation on miss).
+func (c Class) IsAccess() bool {
+	switch c {
+	case ClassU, ClassA, ClassAlias, ClassD:
+		return true
+	}
+	return false
+}
+
+// accessTarget returns the address tag a targeted invalidation refers to,
+// or the class itself for accesses.
+func (c Class) target() Class {
+	switch c {
+	case ClassUInv:
+		return ClassU
+	case ClassAInv:
+		return ClassA
+	case ClassAliasInv:
+		return ClassAlias
+	case ClassDInv:
+		return ClassD
+	}
+	return c
+}
+
+// InvolvesU reports whether the class concerns the unknown address u.
+func (c Class) InvolvesU() bool { return c == ClassU || c == ClassUInv }
+
+// State is one of the TLB-block states of Table 1 / Table 6: an actor
+// performing an operation of a given class. The ★ state is {ActorNone,
+// ClassStar}.
+type State struct {
+	Actor Actor
+	Class Class
+}
+
+// Star is the ★ state.
+var Star = State{ActorNone, ClassStar}
+
+// Convenience constructors matching the paper's notation.
+var (
+	Vu     = State{ActorV, ClassU}
+	Aa     = State{ActorA, ClassA}
+	Va     = State{ActorV, ClassA}
+	Aalias = State{ActorA, ClassAlias}
+	Valias = State{ActorV, ClassAlias}
+	Ainv   = State{ActorA, ClassInvAll}
+	Vinv   = State{ActorV, ClassInvAll}
+	Ad     = State{ActorA, ClassD}
+	Vd     = State{ActorV, ClassD}
+
+	// Appendix B states.
+	VuInv     = State{ActorV, ClassUInv}
+	AaInv     = State{ActorA, ClassAInv}
+	VaInv     = State{ActorV, ClassAInv}
+	AaliasInv = State{ActorA, ClassAliasInv}
+	ValiasInv = State{ActorV, ClassAliasInv}
+	AdInv     = State{ActorA, ClassDInv}
+	VdInv     = State{ActorV, ClassDInv}
+)
+
+// BaseStates returns the 10 states of Table 1, the universe of the base
+// three-step model.
+func BaseStates() []State {
+	return []State{Vu, Aa, Va, Aalias, Valias, Ainv, Vinv, Ad, Vd, Star}
+}
+
+// ExtendedStates returns the enlarged universe of Appendix B: the base
+// states plus the 7 targeted-invalidation states of Table 6.
+func ExtendedStates() []State {
+	return append(BaseStates(),
+		VuInv, AaInv, VaInv, AaliasInv, ValiasInv, AdInv, VdInv)
+}
+
+// String renders the paper's notation: "Vu", "Aa", "Aalias", "Ainv", "*",
+// "Vu^inv", ...
+func (s State) String() string {
+	if s == Star {
+		return "*"
+	}
+	switch s.Class {
+	case ClassU:
+		return s.Actor.String() + "u"
+	case ClassA:
+		return s.Actor.String() + "a"
+	case ClassAlias:
+		return s.Actor.String() + "aalias"
+	case ClassD:
+		return s.Actor.String() + "d"
+	case ClassInvAll:
+		return s.Actor.String() + "inv"
+	case ClassUInv:
+		return s.Actor.String() + "u^inv"
+	case ClassAInv:
+		return s.Actor.String() + "a^inv"
+	case ClassAliasInv:
+		return s.Actor.String() + "aalias^inv"
+	case ClassDInv:
+		return s.Actor.String() + "d^inv"
+	}
+	return fmt.Sprintf("state(%d,%d)", s.Actor, s.Class)
+}
+
+// ParseState parses the String form back into a State.
+func ParseState(s string) (State, error) {
+	if s == "*" {
+		return Star, nil
+	}
+	for _, st := range ExtendedStates() {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	return State{}, fmt.Errorf("model: unknown state %q", s)
+}
+
+// KnownToAttacker reports whether the step's effect leaves the block in a
+// state the attacker can predict (everything except ★ and the u-related
+// states, per reduction rule (4)'s notion of "known").
+func (s State) KnownToAttacker() bool {
+	return s != Star && !s.Class.InvolvesU()
+}
+
+// Pattern is a three-step access pattern: Step1 ⇝ Step2 ⇝ Step3.
+type Pattern [3]State
+
+// String renders "Ad -> Vu -> Aa".
+func (p Pattern) String() string {
+	return p[0].String() + " -> " + p[1].String() + " -> " + p[2].String()
+}
+
+// mapAliasToA returns the pattern with every alias class replaced by the
+// corresponding a class (used by reduction rule (5)).
+func (p Pattern) mapAliasToA() Pattern {
+	q := p
+	for i := range q {
+		switch q[i].Class {
+		case ClassAlias:
+			q[i].Class = ClassA
+		case ClassAliasInv:
+			q[i].Class = ClassAInv
+		}
+	}
+	return q
+}
+
+// hasAlias reports whether the pattern involves an alias state.
+func (p Pattern) hasAlias() bool {
+	for _, s := range p {
+		if s.Class == ClassAlias || s.Class == ClassAliasInv {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsA reports whether the pattern involves the known in-range address
+// a (or its alias, or their invalidations) — which decides whether the
+// "u == a" scenario is meaningful.
+func (p Pattern) mentionsA() bool {
+	for _, s := range p {
+		switch s.Class {
+		case ClassA, ClassAlias, ClassAInv, ClassAliasInv:
+			return true
+		}
+	}
+	return false
+}
+
+// hasU reports whether any step involves the unknown address u.
+func (p Pattern) hasU() bool {
+	for _, s := range p {
+		if s.Class.InvolvesU() {
+			return true
+		}
+	}
+	return false
+}

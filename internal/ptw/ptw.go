@@ -1,0 +1,240 @@
+// Package ptw implements the in-memory page tables and the hardware page
+// table walker of the simulated machine.
+//
+// The layout follows RISC-V Sv39: a 39-bit virtual address with a 27-bit
+// virtual page number split into three 9-bit indices, walked through three
+// levels of 512-entry tables. The tables live inside the simulated physical
+// memory (package mem), so every walk performs three real memory reads and
+// pays three memory latencies — the "slow" timing that TLB attacks observe.
+// Per the paper (footnote 3), there is no page-walk cache: every miss pays
+// the full walk.
+//
+// Each address space (ASID) has its own root table. The micro security
+// benchmarks switch the process ID CSR while executing a single binary, so
+// the same virtual pages are typically mapped into both the attacker's and
+// the victim's address space; MapAll supports that directly.
+package ptw
+
+import (
+	"fmt"
+
+	"securetlb/internal/mem"
+	"securetlb/internal/tlb"
+)
+
+// Levels is the number of page-table levels (Sv39).
+const Levels = 3
+
+// indexBits is the number of VPN bits consumed per level.
+const indexBits = 9
+
+// entriesPerTable is the number of PTEs in one table page.
+const entriesPerTable = 1 << indexBits
+
+// vpnBits is the total virtual page number width.
+const vpnBits = Levels * indexBits
+
+// MaxVPN is the largest representable virtual page number.
+const MaxVPN = (1 << vpnBits) - 1
+
+// PTE bit layout (a simplified Sv39 PTE):
+//
+//	bit 0     V (valid)
+//	bit 1     L (leaf; intermediate entries point at the next table)
+//	bits 10+  PPN
+const (
+	pteValid = 1 << 0
+	pteLeaf  = 1 << 1
+	ppnShift = 10
+)
+
+// ErrPageFault is returned (wrapped) when a translation does not exist.
+var ErrPageFault = fmt.Errorf("ptw: page fault")
+
+// PageTables manages the per-ASID radix page tables inside a physical
+// memory, and implements tlb.Walker.
+type PageTables struct {
+	mem   *mem.Memory
+	roots map[tlb.ASID]uint64 // root table PPN per address space
+	// nextPPN is a bump allocator for physical pages (tables and frames).
+	nextPPN uint64
+	// Walks counts completed walk attempts (faulting or not).
+	Walks uint64
+	// Faults counts walks that ended in a page fault.
+	Faults uint64
+}
+
+// New returns a PageTables allocating physical pages starting at firstPPN.
+func New(m *mem.Memory, firstPPN uint64) *PageTables {
+	return &PageTables{mem: m, roots: make(map[tlb.ASID]uint64), nextPPN: firstPPN}
+}
+
+// AllocPPN hands out a fresh physical page number. Loaders use it to place
+// program data; the walker uses it internally for table pages.
+func (p *PageTables) AllocPPN() uint64 {
+	ppn := p.nextPPN
+	p.nextPPN++
+	return ppn
+}
+
+// root returns (allocating if needed) the root table PPN for an ASID.
+func (p *PageTables) root(asid tlb.ASID) uint64 {
+	r, ok := p.roots[asid]
+	if !ok {
+		r = p.AllocPPN()
+		p.roots[asid] = r
+	}
+	return r
+}
+
+// vpnIndex extracts the level-th 9-bit index (level 0 is the root level).
+func vpnIndex(vpn tlb.VPN, level int) uint64 {
+	shift := uint((Levels - 1 - level) * indexBits)
+	return (uint64(vpn) >> shift) & (entriesPerTable - 1)
+}
+
+// pteAddr is the physical byte address of entry idx in table page tablePPN.
+func pteAddr(tablePPN, idx uint64) uint64 {
+	return tablePPN<<mem.PageShift + idx*8
+}
+
+// Map installs the translation vpn → ppn in asid's address space, creating
+// intermediate tables as needed. Mapping the same page twice overwrites the
+// leaf (remap).
+func (p *PageTables) Map(asid tlb.ASID, vpn tlb.VPN, ppn uint64) error {
+	if uint64(vpn) > MaxVPN {
+		return fmt.Errorf("ptw: vpn %#x exceeds Sv39 range", vpn)
+	}
+	table := p.root(asid)
+	for level := 0; level < Levels-1; level++ {
+		addr := pteAddr(table, vpnIndex(vpn, level))
+		pte, _, err := p.mem.Load64(addr)
+		if err != nil {
+			return err
+		}
+		if pte&pteValid == 0 {
+			next := p.AllocPPN()
+			if _, err := p.mem.Store64(addr, next<<ppnShift|pteValid); err != nil {
+				return err
+			}
+			table = next
+			continue
+		}
+		if pte&pteLeaf != 0 {
+			return fmt.Errorf("ptw: vpn %#x overlaps a superpage mapping", vpn)
+		}
+		table = pte >> ppnShift
+	}
+	addr := pteAddr(table, vpnIndex(vpn, Levels-1))
+	_, err := p.mem.Store64(addr, ppn<<ppnShift|pteValid|pteLeaf)
+	return err
+}
+
+// MapAll installs the same translation in several address spaces, as the
+// micro security benchmarks need when the attacker and victim "processes"
+// share one test binary.
+func (p *PageTables) MapAll(asids []tlb.ASID, vpn tlb.VPN, ppn uint64) error {
+	for _, a := range asids {
+		if err := p.Map(a, vpn, ppn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MapRange maps n consecutive pages starting at vpn to freshly allocated
+// frames, in each listed address space (all spaces share the same frames).
+// It returns the first allocated PPN.
+func (p *PageTables) MapRange(asids []tlb.ASID, vpn tlb.VPN, n uint64) (uint64, error) {
+	if n == 0 {
+		return 0, fmt.Errorf("ptw: MapRange of zero pages")
+	}
+	first := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		ppn := p.AllocPPN()
+		if i == 0 {
+			first = ppn
+		}
+		if err := p.MapAll(asids, vpn+tlb.VPN(i), ppn); err != nil {
+			return 0, err
+		}
+	}
+	return first, nil
+}
+
+// Unmap removes the translation for vpn in asid's space, if present. It
+// reports whether a mapping existed. Intermediate tables are left in place.
+func (p *PageTables) Unmap(asid tlb.ASID, vpn tlb.VPN) (bool, error) {
+	table, ok := p.roots[asid]
+	if !ok {
+		return false, nil
+	}
+	for level := 0; level < Levels-1; level++ {
+		pte, _, err := p.mem.Load64(pteAddr(table, vpnIndex(vpn, level)))
+		if err != nil {
+			return false, err
+		}
+		if pte&pteValid == 0 {
+			return false, nil
+		}
+		table = pte >> ppnShift
+	}
+	addr := pteAddr(table, vpnIndex(vpn, Levels-1))
+	pte, _, err := p.mem.Load64(addr)
+	if err != nil {
+		return false, err
+	}
+	if pte&pteValid == 0 {
+		return false, nil
+	}
+	_, err = p.mem.Store64(addr, 0)
+	return true, err
+}
+
+// Walk implements tlb.Walker: a three-level walk costing one memory access
+// per level. A missing translation returns a wrapped ErrPageFault; the
+// cycles spent on the partial walk are still reported, since a faulting
+// access in hardware pays for the levels it traversed.
+func (p *PageTables) Walk(asid tlb.ASID, vpn tlb.VPN) (tlb.PPN, uint64, error) {
+	p.Walks++
+	var cycles uint64
+	table, ok := p.roots[asid]
+	if !ok {
+		p.Faults++
+		return 0, cycles, fmt.Errorf("%w: no address space for ASID %d", ErrPageFault, asid)
+	}
+	for level := 0; level < Levels; level++ {
+		pte, lat, err := p.mem.Load64(pteAddr(table, vpnIndex(vpn, level)))
+		cycles += lat
+		if err != nil {
+			p.Faults++
+			return 0, cycles, err
+		}
+		if pte&pteValid == 0 {
+			p.Faults++
+			return 0, cycles, fmt.Errorf("%w: vpn %#x (asid %d, level %d)", ErrPageFault, vpn, asid, level)
+		}
+		if level == Levels-1 {
+			if pte&pteLeaf == 0 {
+				p.Faults++
+				return 0, cycles, fmt.Errorf("%w: non-leaf at last level for vpn %#x", ErrPageFault, vpn)
+			}
+			return tlb.PPN(pte >> ppnShift), cycles, nil
+		}
+		if pte&pteLeaf != 0 {
+			p.Faults++
+			return 0, cycles, fmt.Errorf("%w: unexpected superpage for vpn %#x", ErrPageFault, vpn)
+		}
+		table = pte >> ppnShift
+	}
+	panic("unreachable")
+}
+
+// Translate resolves vpn in asid's space without charging cycles, for
+// loaders and tests.
+func (p *PageTables) Translate(asid tlb.ASID, vpn tlb.VPN) (tlb.PPN, error) {
+	ppn, _, err := p.Walk(asid, vpn)
+	return ppn, err
+}
+
+var _ tlb.Walker = (*PageTables)(nil)

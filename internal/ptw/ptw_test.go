@@ -1,0 +1,267 @@
+package ptw
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"securetlb/internal/mem"
+	"securetlb/internal/tlb"
+)
+
+func newPT(latency uint64) *PageTables {
+	return New(mem.New(latency), 0x1000)
+}
+
+func TestMapAndWalk(t *testing.T) {
+	pt := newPT(20)
+	if err := pt.Map(1, 0x42, 0x999); err != nil {
+		t.Fatal(err)
+	}
+	ppn, cycles, err := pt.Walk(1, 0x42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ppn != 0x999 {
+		t.Errorf("ppn = %#x, want 0x999", ppn)
+	}
+	if cycles != 3*20 {
+		t.Errorf("walk cycles = %d, want 60 (3 levels x 20)", cycles)
+	}
+}
+
+func TestWalkUnmappedFaults(t *testing.T) {
+	pt := newPT(20)
+	pt.Map(1, 0x42, 0x999)
+	_, _, err := pt.Walk(1, 0x43)
+	if !errors.Is(err, ErrPageFault) {
+		t.Errorf("err = %v, want page fault", err)
+	}
+	_, _, err = pt.Walk(2, 0x42)
+	if !errors.Is(err, ErrPageFault) {
+		t.Errorf("unknown ASID err = %v, want page fault", err)
+	}
+	if pt.Faults != 2 || pt.Walks != 2 {
+		t.Errorf("counters: walks=%d faults=%d", pt.Walks, pt.Faults)
+	}
+}
+
+func TestASIDIsolation(t *testing.T) {
+	pt := newPT(0)
+	pt.Map(1, 0x100, 0xaaa)
+	pt.Map(2, 0x100, 0xbbb)
+	p1, _ := pt.Translate(1, 0x100)
+	p2, _ := pt.Translate(2, 0x100)
+	if p1 != 0xaaa || p2 != 0xbbb {
+		t.Errorf("translations = %#x, %#x", p1, p2)
+	}
+}
+
+func TestRemapOverwrites(t *testing.T) {
+	pt := newPT(0)
+	pt.Map(1, 0x10, 0x111)
+	pt.Map(1, 0x10, 0x222)
+	p, err := pt.Translate(1, 0x10)
+	if err != nil || p != 0x222 {
+		t.Errorf("after remap: (%#x, %v)", p, err)
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	pt := newPT(0)
+	pt.Map(1, 0x10, 0x111)
+	ok, err := pt.Unmap(1, 0x10)
+	if err != nil || !ok {
+		t.Fatalf("Unmap = (%v, %v)", ok, err)
+	}
+	if _, err := pt.Translate(1, 0x10); !errors.Is(err, ErrPageFault) {
+		t.Error("translation should be gone")
+	}
+	ok, _ = pt.Unmap(1, 0x10)
+	if ok {
+		t.Error("second Unmap should report false")
+	}
+	if ok, _ := pt.Unmap(9, 0x10); ok {
+		t.Error("Unmap in unknown ASID should report false")
+	}
+}
+
+func TestMapAllSharesFrames(t *testing.T) {
+	pt := newPT(0)
+	if err := pt.MapAll([]tlb.ASID{0, 1}, 0x77, 0xccc); err != nil {
+		t.Fatal(err)
+	}
+	p0, _ := pt.Translate(0, 0x77)
+	p1, _ := pt.Translate(1, 0x77)
+	if p0 != 0xccc || p1 != p0 {
+		t.Errorf("shared mapping differs: %#x vs %#x", p0, p1)
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	pt := newPT(0)
+	first, err := pt.MapRange([]tlb.ASID{0, 1}, 0x200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := map[tlb.PPN]bool{}
+	for i := tlb.VPN(0); i < 5; i++ {
+		p0, err := pt.Translate(0, 0x200+i)
+		if err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+		p1, _ := pt.Translate(1, 0x200+i)
+		if p0 != p1 {
+			t.Errorf("page %d not shared", i)
+		}
+		if frames[p0] {
+			t.Errorf("frame %#x reused", p0)
+		}
+		frames[p0] = true
+		if i == 0 && uint64(p0) != first {
+			t.Errorf("first frame %#x, reported %#x", p0, first)
+		}
+	}
+	if _, err := pt.MapRange(nil, 0, 0); err == nil {
+		t.Error("zero-length MapRange should error")
+	}
+}
+
+func TestVPNRangeCheck(t *testing.T) {
+	pt := newPT(0)
+	if err := pt.Map(1, tlb.VPN(MaxVPN)+1, 1); err == nil {
+		t.Error("out-of-range VPN should be rejected")
+	}
+	if err := pt.Map(1, tlb.VPN(MaxVPN), 1); err != nil {
+		t.Errorf("max VPN should map: %v", err)
+	}
+}
+
+func TestWalkerInterfaceWithTLB(t *testing.T) {
+	// End-to-end: a TLB backed by real page tables.
+	pt := newPT(20)
+	pt.Map(1, 0x5, 0x800)
+	sa, err := tlb.NewSetAssoc(8, 2, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sa.Translate(1, 0x5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hit || r.PPN != 0x800 || r.Cycles != 61 {
+		t.Errorf("miss through walker: %+v", r)
+	}
+	r, _ = sa.Translate(1, 0x5)
+	if !r.Hit || r.Cycles != 1 {
+		t.Errorf("hit: %+v", r)
+	}
+}
+
+func TestQuickMapWalkAgree(t *testing.T) {
+	pt := newPT(0)
+	mapped := map[[2]uint64]uint64{}
+	ppnCounter := uint64(0x10000)
+	f := func(asidRaw uint8, vpnRaw uint32) bool {
+		asid := tlb.ASID(asidRaw % 4)
+		vpn := tlb.VPN(uint64(vpnRaw) % (MaxVPN + 1))
+		ppnCounter++
+		if err := pt.Map(asid, vpn, ppnCounter); err != nil {
+			return false
+		}
+		mapped[[2]uint64{uint64(asid), uint64(vpn)}] = ppnCounter
+		// All previously installed mappings must still resolve correctly.
+		for k, want := range mapped {
+			got, err := pt.Translate(tlb.ASID(k[0]), tlb.VPN(k[1]))
+			if err != nil || uint64(got) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableStructureSharing(t *testing.T) {
+	// Mapping pages in the same 512-page region must reuse intermediate
+	// tables: 4 mappings cost 1 root + 2 intermediates + 0 extra frames here.
+	pt := newPT(0)
+	before := pt.nextPPN
+	for i := tlb.VPN(0); i < 4; i++ {
+		pt.Map(1, i, 0x500+uint64(i))
+	}
+	allocated := pt.nextPPN - before
+	if allocated != 3 { // root, level-1 table, level-2 table
+		t.Errorf("allocated %d table pages, want 3", allocated)
+	}
+}
+
+func TestMapAllPropagatesErrors(t *testing.T) {
+	pt := newPT(0)
+	if err := pt.MapAll([]tlb.ASID{1}, tlb.VPN(MaxVPN)+5, 1); err == nil {
+		t.Error("out-of-range vpn should propagate from MapAll")
+	}
+}
+
+func TestWalkSuperpageConflicts(t *testing.T) {
+	// Corrupt the tables by hand: write a leaf PTE at an intermediate level
+	// and check both Map and Walk reject it.
+	m := mem.New(0)
+	pt := New(m, 0x1000)
+	if err := pt.Map(1, 0x42, 0x999); err != nil {
+		t.Fatal(err)
+	}
+	root := pt.roots[1]
+	// Mark the root's level-0 entry (index of vpn 0x42 at level 0 is 0) as
+	// a leaf, simulating a superpage mapping.
+	addr := pteAddr(root, vpnIndex(0x42, 0))
+	pte, _, _ := m.Load64(addr)
+	m.Store64(addr, pte|pteLeaf)
+	if _, _, err := pt.Walk(1, 0x42); err == nil {
+		t.Error("walk through unexpected superpage should fault")
+	}
+	if err := pt.Map(1, 0x42, 0x111); err == nil {
+		t.Error("mapping over a superpage should error")
+	}
+	// Non-leaf at the last level also faults.
+	m.Store64(addr, pte) // restore intermediate
+	pt2 := New(mem.New(0), 0x2000)
+	pt2.Map(2, 0x1, 0x100)
+	leafTable := func() uint64 {
+		table := pt2.roots[2]
+		for level := 0; level < Levels-1; level++ {
+			pte, _, _ := pt2.mem.Load64(pteAddr(table, vpnIndex(0x1, level)))
+			table = pte >> ppnShift
+		}
+		return table
+	}()
+	leafAddr := pteAddr(leafTable, vpnIndex(0x1, Levels-1))
+	lp, _, _ := pt2.mem.Load64(leafAddr)
+	pt2.mem.Store64(leafAddr, lp&^uint64(pteLeaf))
+	if _, _, err := pt2.Walk(2, 0x1); err == nil {
+		t.Error("non-leaf PTE at the last level should fault")
+	}
+}
+
+func TestWalkChargesPartialCycles(t *testing.T) {
+	pt := newPT(20)
+	pt.Map(1, 0x42, 0x999)
+	// Fault at level 2 (sibling page in same 512-group shares two levels).
+	_, cycles, err := pt.Walk(1, 0x43)
+	if err == nil {
+		t.Fatal("expected fault")
+	}
+	if cycles != 60 {
+		t.Errorf("faulting walk charged %d cycles, want 60 (all three reads happened)", cycles)
+	}
+	// Fault at level 0 for a distant address: only one read.
+	_, cycles, err = pt.Walk(1, tlb.VPN(1)<<18)
+	if err == nil {
+		t.Fatal("expected fault")
+	}
+	if cycles != 20 {
+		t.Errorf("level-0 fault charged %d cycles, want 20", cycles)
+	}
+}

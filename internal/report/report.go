@@ -1,0 +1,72 @@
+// Package report renders the experiment results as aligned text tables
+// matching the row/column structure of the paper's tables, for the cmd
+// tools and EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders an aligned text table with a header row and a separator.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, w := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", w, cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteString("\n")
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float with the paper's two-decimal style, rendering exact
+// zeros and ones compactly.
+func F(v float64) string {
+	switch v {
+	case 0:
+		return "0"
+	case 1:
+		return "1"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// Pct formats a percentage with sign.
+func Pct(v float64) string { return fmt.Sprintf("%+.1f%%", v) }
+
+// Check renders a defended/vulnerable marker.
+func Check(defended bool) string {
+	if defended {
+		return "defended"
+	}
+	return "VULNERABLE"
+}

@@ -1,0 +1,52 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"a", "longheader"}, [][]string{
+		{"xxxx", "y"},
+		{"z", "w"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "a   ") {
+		t.Errorf("header misaligned: %q", lines[0])
+	}
+	// All data lines should have identical width for the first column.
+	if lines[2][:6] != "xxxx  " || lines[3][:6] != "z     " {
+		t.Errorf("column misaligned: %q / %q", lines[2], lines[3])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	out := Table([]string{"a", "b"}, [][]string{{"only"}})
+	if !strings.Contains(out, "only") {
+		t.Error("ragged row dropped")
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := map[float64]string{0: "0", 1: "1", 0.5: "0.50", 0.666: "0.67"}
+	for v, want := range cases {
+		if got := F(v); got != want {
+			t.Errorf("F(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestPctAndCheck(t *testing.T) {
+	if Pct(6.23) != "+6.2%" || Pct(-1.04) != "-1.0%" {
+		t.Errorf("Pct wrong: %q %q", Pct(6.23), Pct(-1.04))
+	}
+	if Check(true) != "defended" || Check(false) != "VULNERABLE" {
+		t.Error("Check wrong")
+	}
+}

@@ -1,0 +1,353 @@
+package secbench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"securetlb/internal/asm"
+	"securetlb/internal/capacity"
+	"securetlb/internal/model"
+)
+
+func testConfig(d Design, trials int) Config {
+	cfg := DefaultConfig(d)
+	cfg.Trials = trials
+	return cfg
+}
+
+func TestGenerateAssembles(t *testing.T) {
+	for _, d := range []Design{DesignSA, DesignSP, DesignRF} {
+		cfg := testConfig(d, 1)
+		for _, v := range model.Enumerate() {
+			for _, mapped := range []bool{true, false} {
+				src, err := cfg.Generate(v, mapped)
+				if err != nil {
+					t.Fatalf("%s/%s mapped=%v: %v", d, v, mapped, err)
+				}
+				if _, err := asm.Assemble(src); err != nil {
+					t.Errorf("%s/%s mapped=%v does not assemble: %v\n%s", d, v, mapped, err, src)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateFigure6Structure(t *testing.T) {
+	cfg := testConfig(DesignRF, 1)
+	v, ok := model.Find(model.Enumerate(), model.Pattern{model.Ad, model.Vu, model.Ad})
+	if !ok {
+		t.Fatal("P+P missing")
+	}
+	src, err := cfg.Generate(v, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"csrwi sbase",         // secure region base (Figure 6 line 7)
+		"csrwi ssize",         // secure region size (line 8)
+		"csrwi process_id, 0", // attacker switch (line 11)
+		"csrwi process_id, 1", // victim switch (line 17)
+		"ldnorm",              // norm-type access for d (line 14)
+		"ldrand",              // rand-type access for u (line 19)
+		"csrr x28, tlb_miss_count",
+		"csrr x29, tlb_miss_count",
+		"pass",
+		".data",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated benchmark missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := testConfig(DesignSA, 1)
+	v := model.Enumerate()[0]
+	a, _ := cfg.Generate(v, true)
+	b, _ := cfg.Generate(v, true)
+	if a != b {
+		t.Error("generation must be deterministic")
+	}
+	c, _ := cfg.Generate(v, false)
+	if a == c {
+		t.Error("mapped and unmapped variants must differ")
+	}
+}
+
+func TestGenerateRejectsExtendedPatterns(t *testing.T) {
+	cfg := testConfig(DesignSA, 1)
+	bad := model.Vulnerability{Pattern: model.Pattern{model.VuInv, model.Aa, model.Vu}}
+	if _, err := cfg.Generate(bad, true); err == nil {
+		t.Error("targeted-invalidation patterns are not in the base benchmark set")
+	}
+	star := model.Vulnerability{Pattern: model.Pattern{model.Star, model.Aa, model.Vu}}
+	if _, err := cfg.Generate(star, true); err == nil {
+		t.Error("star patterns cannot be generated")
+	}
+}
+
+func TestSAMatchesDeterministicTheory(t *testing.T) {
+	// The SA TLB is deterministic: every trial gives the same outcome, and
+	// the empirical (p1*, p2*) must equal the oracle-derived theory exactly.
+	cfg := testConfig(DesignSA, 8)
+	results, err := cfg.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := DefendedCount(results); n != 10 {
+		t.Errorf("SA defends %d, want 10", n)
+	}
+	for _, r := range results {
+		p1, p2, err := capacity.DeterministicTheory(r.Vulnerability, model.DesignASID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.P1 != p1 || r.P2 != p2 {
+			t.Errorf("SA %s: empirical (%.2f,%.2f) != theory (%.0f,%.0f)",
+				r.Vulnerability, r.P1, r.P2, p1, p2)
+		}
+	}
+}
+
+func TestSPMatchesDeterministicTheory(t *testing.T) {
+	cfg := testConfig(DesignSP, 8)
+	results, err := cfg.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := DefendedCount(results); n != 14 {
+		t.Errorf("SP defends %d, want 14", n)
+	}
+	for _, r := range results {
+		p1, p2, err := capacity.DeterministicTheory(r.Vulnerability, model.DesignPartitioned)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.P1 != p1 || r.P2 != p2 {
+			t.Errorf("SP %s: empirical (%.2f,%.2f) != theory (%.0f,%.0f)",
+				r.Vulnerability, r.P1, r.P2, p1, p2)
+		}
+	}
+}
+
+func TestRFDefendsAll24(t *testing.T) {
+	cfg := testConfig(DesignRF, 250)
+	results, err := cfg.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Defended() {
+			t.Errorf("RF %s: C* = %.3f (p1=%.2f p2=%.2f), want ~0",
+				r.Vulnerability, r.C, r.P1, r.P2)
+		}
+		if math.Abs(r.P1-r.P2) > 0.17 {
+			t.Errorf("RF %s: |p1-p2| = %.3f too large for de-correlated fills",
+				r.Vulnerability, math.Abs(r.P1-r.P2))
+		}
+	}
+	if n := DefendedCount(results); n != 24 {
+		t.Errorf("RF defends %d, want 24", n)
+	}
+}
+
+func TestRFAliasRowsNearTheory(t *testing.T) {
+	// The alias Internal Collision rows have the sharpest theoretical
+	// prediction (p = 1 - 1/31 ≈ 0.97); check the simulation lands nearby.
+	cfg := testConfig(DesignRF, 300)
+	v, ok := model.Find(model.Enumerate(), model.Pattern{model.Aalias, model.Vu, model.Va})
+	if !ok {
+		t.Fatal("alias IC row missing")
+	}
+	r, err := cfg.RunVulnerability(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - 1.0/31
+	if math.Abs(r.P1-want) > 0.05 || math.Abs(r.P2-want) > 0.05 {
+		t.Errorf("alias IC: (p1,p2) = (%.3f,%.3f), want ≈ %.3f", r.P1, r.P2, want)
+	}
+}
+
+func TestRFTrialsAreSeedDependent(t *testing.T) {
+	// Different base seeds must give (slightly) different counts; identical
+	// seeds identical counts — the campaign is reproducible.
+	v, _ := model.Find(model.Enumerate(), model.Pattern{model.Ad, model.Vu, model.Ad})
+	cfg := testConfig(DesignRF, 60)
+	a, err := cfg.RunVulnerability(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := cfg.RunVulnerability(v)
+	if a.Counts != b.Counts {
+		t.Error("same seed must reproduce the same counts")
+	}
+	cfg.BaseSeed++
+	c, _ := cfg.RunVulnerability(v)
+	if a.Counts == c.Counts {
+		t.Log("note: different seed produced identical counts (possible but unlikely)")
+	}
+}
+
+func TestFlushAndInvariantsAcrossTrials(t *testing.T) {
+	// Trials must be independent: running a campaign twice in a row yields
+	// identical results for the deterministic designs.
+	v, _ := model.Find(model.Enumerate(), model.Pattern{model.Vu, model.Aa, model.Vu})
+	cfg := testConfig(DesignSA, 5)
+	a, err := cfg.RunVulnerability(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts.MappedMisses != 5 || a.Counts.NotMappedMisses != 0 {
+		t.Errorf("E+T SA counts = %+v, want deterministic 5/0", a.Counts)
+	}
+}
+
+func TestPrimeWays(t *testing.T) {
+	sa := testConfig(DesignSA, 1)
+	if sa.primeWays(model.ActorA) != 8 || sa.primeWays(model.ActorV) != 8 {
+		t.Error("SA prime should use all ways")
+	}
+	sp := testConfig(DesignSP, 1)
+	if sp.primeWays(model.ActorV) != 4 || sp.primeWays(model.ActorA) != 4 {
+		t.Error("SP prime should use the partition ways")
+	}
+}
+
+func TestLayoutProperties(t *testing.T) {
+	cfg := testConfig(DesignRF, 1)
+	for _, v := range model.Enumerate() {
+		l := cfg.layoutFor(v)
+		nsets := uint64(4)
+		if l.a != l.sbase {
+			t.Errorf("%s: a should be sbase", v)
+		}
+		if l.alias%nsets != l.a%nsets || l.alias == l.a {
+			t.Errorf("%s: alias must share a's set and differ", v)
+		}
+		if v.Observation == model.ObsSlow {
+			if l.u[true]%nsets != l.a%nsets {
+				t.Errorf("%s: mapped u must share the tested set", v)
+			}
+			if l.u[false]%nsets == l.a%nsets {
+				t.Errorf("%s: unmapped u must not share the tested set", v)
+			}
+		} else {
+			if l.u[true] != l.a {
+				t.Errorf("%s: mapped u must equal a for hit-based types", v)
+			}
+			if l.u[false] == l.a {
+				t.Errorf("%s: unmapped u must differ from a", v)
+			}
+		}
+		secRange := uint64(cfg.Params.SecRangeFor(v))
+		for _, u := range []uint64{l.u[true], l.u[false]} {
+			if u < l.sbase || u >= l.sbase+secRange {
+				t.Errorf("%s: u page %#x outside secure region [%#x,%#x)", v, u, l.sbase, l.sbase+secRange)
+			}
+		}
+		for step := range l.pool {
+			for _, p := range l.pool[step] {
+				if p >= l.sbase && p < l.sbase+secRange {
+					t.Errorf("%s: filler page %#x inside secure region", v, p)
+				}
+				if p%nsets != l.a%nsets {
+					t.Errorf("%s: filler page %#x not in tested set", v, p)
+				}
+			}
+		}
+	}
+}
+
+func TestDesignString(t *testing.T) {
+	if DesignSA.String() != "SA TLB" || DesignSP.String() != "SP TLB" || DesignRF.String() != "RF TLB" {
+		t.Error("design names wrong")
+	}
+	if Design(9).String() != "?" {
+		t.Error("unknown design should render ?")
+	}
+}
+
+func TestResultConfidenceIntervals(t *testing.T) {
+	cfg := testConfig(DesignSA, 12)
+	v, _ := model.Find(model.Enumerate(), model.Pattern{model.Ad, model.Vu, model.Ad})
+	r, err := cfg.RunVulnerability(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic SA outcome: the interval collapses onto C* = 1.
+	if r.CILow != 1 || r.CIHigh != 1 {
+		t.Errorf("SA P+P CI = [%v,%v], want [1,1]", r.CILow, r.CIHigh)
+	}
+	rfCfg := testConfig(DesignRF, 200)
+	r, err = rfCfg.RunVulnerability(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CILow > r.C+1e-9 || r.CIHigh < 0 {
+		t.Errorf("RF CI [%v,%v] inconsistent with C*=%v", r.CILow, r.CIHigh, r.C)
+	}
+	if r.CIHigh > 0.1 {
+		t.Errorf("RF defended row CI upper bound %v too loose at 200 trials", r.CIHigh)
+	}
+}
+
+func TestRFSecureRegionSizeSweep(t *testing.T) {
+	// The RF defense must hold across secure-region sizes, not just the
+	// paper's 3 and 31: sweep ssize for the Prime+Probe row.
+	v, _ := model.Find(model.Enumerate(), model.Pattern{model.Ad, model.Vu, model.Ad})
+	for _, size := range []int{2, 3, 8, 16, 31} {
+		cfg := testConfig(DesignRF, 150)
+		cfg.Params.SecRangeSmall = size
+		cfg.Params.SecRangeBig = size
+		r, err := cfg.RunVulnerability(v)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !r.Defended() {
+			t.Errorf("size %d: C* = %.3f (p1=%.2f p2=%.2f), RF must stay defended", size, r.C, r.P1, r.P2)
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	// The parallel runner must produce byte-identical results to the serial
+	// one (independent campaigns, deterministic seeds).
+	for _, d := range []Design{DesignSA, DesignRF} {
+		cfg := testConfig(d, 25)
+		serial, err := cfg.RunAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := cfg.RunAllParallel(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(serial) != len(parallel) {
+			t.Fatalf("%s: lengths differ", d)
+		}
+		for i := range serial {
+			if serial[i].Counts != parallel[i].Counts ||
+				serial[i].Vulnerability.Pattern != parallel[i].Vulnerability.Pattern {
+				t.Errorf("%s row %d: serial %+v != parallel %+v",
+					d, i, serial[i].Counts, parallel[i].Counts)
+			}
+		}
+	}
+}
+
+func TestParallelExtended(t *testing.T) {
+	cfg := testConfig(DesignSA, 5)
+	serial, err := cfg.RunAllExtended()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := cfg.RunAllExtendedParallel(0) // default parallelism
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DefendedCount(serial) != DefendedCount(parallel) {
+		t.Error("extended parallel verdicts diverge from serial")
+	}
+}

@@ -1,0 +1,315 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustCo(t *testing.T, entries, ways, span int) *Coalesced {
+	t.Helper()
+	co, err := NewCoalesced(entries, ways, span, identityWalker(60))
+	if err != nil {
+		t.Fatalf("NewCoalesced: %v", err)
+	}
+	return co
+}
+
+func TestNewCoalescedValidation(t *testing.T) {
+	w := identityWalker(1)
+	for _, span := range []int{0, 1, 3, 65, 128} {
+		if _, err := NewCoalesced(32, 4, span, w); err == nil {
+			t.Errorf("span %d should be rejected", span)
+		}
+	}
+	if _, err := NewCoalesced(32, 4, 4, nil); err == nil {
+		t.Error("nil walker should be rejected")
+	}
+	if _, err := NewCoalescedSP(32, 4, 4, 0, w); err == nil {
+		t.Error("victimWays 0 should be rejected for the SP variant")
+	}
+	if _, err := NewCoalescedSP(32, 4, 4, 4, w); err == nil {
+		t.Error("victimWays == ways should be rejected")
+	}
+	co := mustCo(t, 32, 4, 4)
+	if co.Name() != "Co x4 4W 32" || co.Span() != 4 {
+		t.Errorf("identity: %q span %d", co.Name(), co.Span())
+	}
+	cosp, err := NewCoalescedSP(32, 4, 4, 2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cosp.Name() != "CoSP x4 4W 32" {
+		t.Errorf("Name = %q", cosp.Name())
+	}
+}
+
+func TestCoalescedContiguousPagesShareEntry(t *testing.T) {
+	// With an identity walker every block is frame-contiguous: 4 pages of
+	// one block coalesce into a single entry (3 coalesced fills).
+	co := mustCo(t, 32, 4, 4)
+	for i := VPN(0); i < 4; i++ {
+		r := translate(t, co, 1, 0x100+i)
+		if r.Hit {
+			t.Fatalf("page %d should miss (first touch)", i)
+		}
+		if r.Evicted {
+			t.Fatal("coalescing fills must not evict")
+		}
+	}
+	st := co.Stats()
+	if st.CoalescedFills != 3 {
+		t.Errorf("coalesced fills = %d, want 3", st.CoalescedFills)
+	}
+	for i := VPN(0); i < 4; i++ {
+		if r := translate(t, co, 1, 0x100+i); !r.Hit {
+			t.Errorf("page %d should now hit", i)
+		}
+		if !co.Probe(1, 0x100+i) {
+			t.Errorf("probe of page %d failed", i)
+		}
+	}
+	if co.CoveredPages() != 4 {
+		t.Errorf("covered pages = %d, want 4", co.CoveredPages())
+	}
+}
+
+func TestCoalescedReachExceedsEntryCount(t *testing.T) {
+	// A sequential sweep of span×entries pages fits entirely: the effective
+	// reach multiplies by the span.
+	co := mustCo(t, 8, 4, 8) // 8 entries, span 8 → up to 64 pages
+	for p := VPN(0); p < 64; p++ {
+		translate(t, co, 1, p)
+	}
+	for p := VPN(0); p < 64; p++ {
+		if !co.Probe(1, p) {
+			t.Fatalf("page %d fell out; reach did not coalesce", p)
+		}
+	}
+	if got := co.CoveredPages(); got != 64 {
+		t.Errorf("covered = %d, want 64", got)
+	}
+}
+
+func TestCoalescedNonContiguousFramesRestart(t *testing.T) {
+	// A walker with a discontinuity inside a block: the entry cannot hold
+	// both sides and restarts around the newest translation.
+	w := WalkerFunc(func(asid ASID, vpn VPN) (PPN, uint64, error) {
+		if vpn >= 0x102 {
+			return PPN(vpn) + 0x1000, 60, nil // frames jump mid-block
+		}
+		return PPN(vpn), 60, nil
+	})
+	co, err := NewCoalesced(32, 4, 4, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	translate(t, co, 1, 0x100)
+	translate(t, co, 1, 0x101)
+	r := translate(t, co, 1, 0x102) // discontinuity
+	if r.PPN != 0x1102 {
+		t.Fatalf("translation wrong: %#x", r.PPN)
+	}
+	// The earlier pages were dropped from the restarted entry.
+	if co.Probe(1, 0x100) || co.Probe(1, 0x101) {
+		t.Error("pre-discontinuity pages must be dropped")
+	}
+	if !co.Probe(1, 0x102) {
+		t.Error("newest page must be resident")
+	}
+	// And the returned translations must always be correct afterwards.
+	if r := translate(t, co, 1, 0x103); r.PPN != 0x1103 {
+		t.Errorf("post-restart translation = %#x", r.PPN)
+	}
+}
+
+func TestCoalescedASIDTagging(t *testing.T) {
+	co := mustCo(t, 32, 4, 4)
+	translate(t, co, 1, 0x40)
+	if r := translate(t, co, 2, 0x40); r.Hit {
+		t.Error("cross-ASID hit must not happen")
+	}
+}
+
+func TestCoalescedSPIsolation(t *testing.T) {
+	// The §6.4 design point: partition isolation is preserved while reach
+	// improves.
+	co, err := NewCoalescedSP(32, 4, 4, 2, identityWalker(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	co.SetVictim(1)
+	// Victim covers pages in set 0's victim partition.
+	translate(t, co, 1, 0)
+	translate(t, co, 1, 1)
+	// Attacker hammers blocks of the same set.
+	for i := 0; i < 200; i++ {
+		translate(t, co, 0, VPN(0x1000+uint64(i)*4*8)) // distinct blocks, set 0
+	}
+	if !co.Probe(1, 0) || !co.Probe(1, 1) {
+		t.Error("attacker thrashing must not evict victim entries")
+	}
+}
+
+func TestCoalescedFlushSemantics(t *testing.T) {
+	co := mustCo(t, 32, 4, 4)
+	for i := VPN(0); i < 4; i++ {
+		translate(t, co, 1, 0x200+i)
+	}
+	if !co.FlushPage(1, 0x201) {
+		t.Error("FlushPage should clear the page bit")
+	}
+	if co.Probe(1, 0x201) {
+		t.Error("flushed page still resident")
+	}
+	if !co.Probe(1, 0x200) || !co.Probe(1, 0x202) {
+		t.Error("other pages of the block must survive a single-page flush")
+	}
+	if co.FlushPage(1, 0x201) {
+		t.Error("second flush should be a no-op")
+	}
+	// Clearing the remaining pages drops the entry entirely.
+	co.FlushPage(1, 0x200)
+	co.FlushPage(1, 0x202)
+	co.FlushPage(1, 0x203)
+	if co.CoveredPages() != 0 {
+		t.Errorf("covered = %d after flushing the block", co.CoveredPages())
+	}
+	// FlushPageAllASIDs crosses address spaces.
+	translate(t, co, 1, 0x300)
+	translate(t, co, 2, 0x300)
+	if !co.FlushPageAllASIDs(0x300) {
+		t.Error("all-ASID flush should clear entries")
+	}
+	if co.Probe(1, 0x300) || co.Probe(2, 0x300) {
+		t.Error("all-ASID flush left residues")
+	}
+	// FlushASID and FlushAll.
+	translate(t, co, 1, 0x400)
+	translate(t, co, 2, 0x404)
+	co.FlushASID(1)
+	if co.Probe(1, 0x400) || !co.Probe(2, 0x404) {
+		t.Error("FlushASID semantics wrong")
+	}
+	co.FlushAll()
+	if co.CoveredPages() != 0 {
+		t.Error("FlushAll left entries")
+	}
+}
+
+func TestCoalescedRecoversSPCapacityLoss(t *testing.T) {
+	// The headline of the §6.4 suggestion: a partitioned coalesced TLB
+	// brings the miss rate of a spatially local workload back down towards
+	// the unpartitioned SA TLB's.
+	run := func(tl TLB) float64 {
+		for pass := 0; pass < 30; pass++ {
+			for p := VPN(0); p < 24; p++ { // 24-page hot loop, as ASID 2
+				if _, err := tl.Translate(2, p); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return tl.Stats().MissRate()
+	}
+	sa := mustSA(t, 32, 4)
+	sp := mustSP(t, 32, 4, 2) // victim partition idle; ASID 2 gets half
+	cosp, err := NewCoalescedSP(32, 4, 8, 2, identityWalker(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cosp.SetVictim(victimID)
+	saRate, spRate, coRate := run(sa), run(sp), run(cosp)
+	if spRate <= saRate {
+		t.Fatalf("setup broken: SP %.3f should exceed SA %.3f", spRate, saRate)
+	}
+	if coRate >= spRate/2 {
+		t.Errorf("coalescing should recover most of SP's loss: SA %.3f, SP %.3f, CoSP %.3f",
+			saRate, spRate, coRate)
+	}
+}
+
+func TestQuickCoalescedTranslationsCorrect(t *testing.T) {
+	// Property: whatever the access pattern, returned PPNs always equal the
+	// walker's translation (coalescing must never fabricate frames).
+	f := func(raws []uint16) bool {
+		co := mustCo(t, 32, 4, 4)
+		for _, raw := range raws {
+			vpn := VPN(raw % 512)
+			r, err := co.Translate(1, vpn)
+			if err != nil {
+				return false
+			}
+			if r.PPN != PPN(vpn) {
+				t.Logf("vpn %#x -> ppn %#x", vpn, r.PPN)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCoalescedAgainstNonContiguousWalker(t *testing.T) {
+	// Same property under a scrambled frame mapping that defeats
+	// coalescing: correctness must not depend on contiguity.
+	scramble := WalkerFunc(func(asid ASID, vpn VPN) (PPN, uint64, error) {
+		return PPN(uint64(vpn)*2654435761 + 12345), 60, nil
+	})
+	f := func(raws []uint16) bool {
+		co, err := NewCoalesced(32, 4, 4, scramble)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, raw := range raws {
+			vpn := VPN(raw % 256)
+			r, err := co.Translate(1, vpn)
+			if err != nil {
+				return false
+			}
+			want := PPN(uint64(vpn)*2654435761 + 12345)
+			if r.PPN != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSPDynamicRepartition(t *testing.T) {
+	sp := mustSP(t, 32, 4, 2)
+	translate(t, sp, victimID, 0)   // victim ways 0-1
+	translate(t, sp, attackerID, 8) // attacker ways 2-3
+	if err := sp.SetVictimWays(3); err != nil {
+		t.Fatal(err)
+	}
+	if sp.VictimWays() != 3 {
+		t.Errorf("victimWays = %d", sp.VictimWays())
+	}
+	// The victim entry (way 0 or 1) is still on the victim side; attacker
+	// entries in way 2 are now stranded in the victim partition and must be
+	// invalidated to preserve isolation.
+	if !sp.Probe(victimID, 0) {
+		t.Error("victim entry should survive a boundary move that keeps it victim-side")
+	}
+	if sp.Probe(attackerID, 8) {
+		t.Error("attacker entry stranded in the victim partition must be invalidated")
+	}
+	// Boundary moves are validated.
+	if err := sp.SetVictimWays(0); err == nil {
+		t.Error("victimWays 0 must be rejected")
+	}
+	if err := sp.SetVictimWays(4); err == nil {
+		t.Error("victimWays == ways must be rejected")
+	}
+	// Isolation still holds after the move.
+	for i := 0; i < 64; i++ {
+		translate(t, sp, attackerID, VPN(8*(i+2)))
+	}
+	if !sp.Probe(victimID, 0) {
+		t.Error("isolation violated after dynamic repartition")
+	}
+}

@@ -1,0 +1,310 @@
+package tlb
+
+import "fmt"
+
+// RF is the Random-Fill TLB of paper §4.2 (Figures 3 and 4).
+//
+// Each entry carries a Sec bit marking translations inside the victim's
+// secure region [sbase, sbase+ssize). Hits behave exactly like the SA TLB.
+// On a miss for translation D, the set's LRU candidate R is probed without
+// filling ("no fill" probe, Figure 4 steps 1–3), and:
+//
+//   - Sec_R = 0 and Sec_D = 0: a normal miss — D is walked and filled,
+//     evicting R.
+//   - Sec_R = 1 and Sec_D = 0: D may not deterministically evict the secure
+//     entry chosen by the replacement policy. Instead a random non-secure
+//     page D' is filled: D' keeps D's upper address bits but its TLB
+//     set-index bits are randomised within the window covered by the secure
+//     region (footnote 6: S_n = log2(min(ssize, nsets)) bits starting at
+//     sbase's low bits). D itself is returned to the CPU through the no-fill
+//     buffer.
+//   - Sec_D = 1: the requested secure translation is never installed.
+//     Instead a random page D' drawn uniformly from the secure region is
+//     walked and filled (evicting that set's LRU candidate R'), and D is
+//     returned through the no-fill buffer. An attacker therefore observes
+//     TLB state changes caused by the random D', never by the secret D.
+//
+// The random fill is performed synchronously within the miss (paper §4.2.3
+// rejects asynchronous idle-cycle filling because TLB-intensive secure code
+// would starve it). LazyFill enables the rejected asynchronous variant for
+// the ablation study: random fills are then dropped whenever the previous
+// miss was "recent" (within LazyFillWindow lookups), modelling starvation.
+type RF struct {
+	geom   geometry
+	timing Timing
+	walker Walker
+	sets   [][]entry
+	clock  uint64
+	stats  Stats
+	rng    *rng
+
+	victim    ASID
+	hasVictim bool
+	sbase     VPN
+	ssize     uint64
+
+	// LazyFill models the asynchronous random-fill alternative of §4.2.3
+	// (ablation only; the paper's design keeps it false).
+	LazyFill bool
+	// LazyFillWindow is the number of lookups that must separate two misses
+	// for a lazy random fill to find an idle cycle. Closer misses starve the
+	// fill engine and the random fill is dropped.
+	LazyFillWindow uint64
+	lastMissAt     uint64
+	hadMiss        bool
+}
+
+var _ SecureTLB = (*RF)(nil)
+
+// NewRF returns an RF TLB seeded with the given PRNG seed.
+func NewRF(entries, ways int, walker Walker, seed uint64) (*RF, error) {
+	g, err := newGeometry(entries, ways)
+	if err != nil {
+		return nil, err
+	}
+	if walker == nil {
+		return nil, fmt.Errorf("tlb: walker must not be nil")
+	}
+	t := &RF{geom: g, timing: DefaultTiming, walker: walker, rng: newRNG(seed), LazyFillWindow: 8}
+	t.sets = make([][]entry, g.sets)
+	backing := make([]entry, g.entries)
+	for i := range t.sets {
+		t.sets[i], backing = backing[:g.ways], backing[g.ways:]
+	}
+	return t, nil
+}
+
+// SetTiming overrides the lookup latency parameters.
+func (t *RF) SetTiming(tm Timing) { t.timing = tm }
+
+// Reseed re-seeds the Random Fill Engine's PRNG.
+func (t *RF) Reseed(seed uint64) { t.rng.Seed(seed) }
+
+// Name implements TLB.
+func (t *RF) Name() string { return "RF " + t.geom.geomName() }
+
+// Entries implements TLB.
+func (t *RF) Entries() int { return t.geom.entries }
+
+// Ways implements TLB.
+func (t *RF) Ways() int { return t.geom.ways }
+
+// Stats implements TLB.
+func (t *RF) Stats() Stats { return t.stats }
+
+// ResetStats implements TLB.
+func (t *RF) ResetStats() { t.stats = Stats{} }
+
+// SetVictim implements SecureTLB (the victim process ID register of §4.2.2).
+func (t *RF) SetVictim(asid ASID) { t.victim, t.hasVictim = asid, true }
+
+// ClearVictim removes the victim designation; with no victim no address is
+// secure and the RF TLB degenerates to the SA TLB.
+func (t *RF) ClearVictim() { t.hasVictim = false }
+
+// Victim implements SecureTLB.
+func (t *RF) Victim() ASID { return t.victim }
+
+// SetSecureRegion implements SecureTLB (the sbase and ssize registers of
+// §4.2.2, in units of pages).
+func (t *RF) SetSecureRegion(sbase VPN, ssize uint64) { t.sbase, t.ssize = sbase, ssize }
+
+// SecureRegion implements SecureTLB.
+func (t *RF) SecureRegion() (VPN, uint64) { return t.sbase, t.ssize }
+
+// secure reports whether (asid, vpn) lies in the victim's secure region.
+func (t *RF) secure(asid ASID, vpn VPN) bool {
+	return t.hasVictim && asid == t.victim && t.ssize > 0 &&
+		vpn >= t.sbase && uint64(vpn-t.sbase) < t.ssize
+}
+
+func (t *RF) find(s int, asid ASID, vpn VPN) int {
+	for w := range t.sets[s] {
+		e := &t.sets[s][w]
+		if e.valid && e.vpn == vpn && e.asid == asid {
+			return w
+		}
+	}
+	return -1
+}
+
+// randomSecureVPN draws D' uniformly from the secure region (Sec_D = 1
+// case).
+func (t *RF) randomSecureVPN() VPN {
+	return t.sbase + VPN(t.rng.Uintn(t.ssize))
+}
+
+// randomAliasVPN draws D' for the Sec_R = 1, Sec_D = 0 case: the requested
+// address with its set-index bits randomised within the secure region's
+// set window (footnote 6).
+func (t *RF) randomAliasVPN(vpn VPN) VPN {
+	window := t.ssize
+	if n := uint64(t.geom.sets); window > n {
+		window = n
+	}
+	base := uint64(t.sbase) % uint64(t.geom.sets)
+	target := (base + t.rng.Uintn(window)) % uint64(t.geom.sets)
+	return vpn - VPN(uint64(vpn)%uint64(t.geom.sets)) + VPN(target)
+}
+
+// fill installs (asid, vpn → ppn, sec) into its set, evicting the LRU
+// candidate if needed, and annotates res with the eviction.
+func (t *RF) fill(asid ASID, vpn VPN, ppn PPN, sec bool, res *Result) {
+	s := t.geom.setIndex(vpn)
+	// If the translation is already present (D' may collide with a cached
+	// entry), just refresh its LRU position.
+	if w := t.find(s, asid, vpn); w >= 0 {
+		t.sets[s][w].stamp = t.clock
+		t.sets[s][w].sec = sec
+		return
+	}
+	w := lruWay(t.sets[s])
+	e := &t.sets[s][w]
+	if e.valid {
+		res.Evicted, res.EvictedVPN, res.EvictedASID = true, e.vpn, e.asid
+		t.stats.Evictions++
+	}
+	*e = entry{valid: true, asid: asid, vpn: vpn, ppn: ppn, sec: sec, stamp: t.clock}
+}
+
+// lazyStarved reports whether the ablation-mode asynchronous fill engine
+// would be starved of idle cycles for this miss.
+func (t *RF) lazyStarved() bool {
+	if !t.LazyFill {
+		return false
+	}
+	starved := t.hadMiss && t.stats.Lookups-t.lastMissAt < t.LazyFillWindow
+	t.lastMissAt, t.hadMiss = t.stats.Lookups, true
+	return starved
+}
+
+// Translate implements TLB, following the access-handling flow of Figure 3.
+func (t *RF) Translate(asid ASID, vpn VPN) (Result, error) {
+	t.stats.Lookups++
+	s := t.geom.setIndex(vpn)
+	t.clock++
+	if w := t.find(s, asid, vpn); w >= 0 {
+		e := &t.sets[s][w]
+		e.stamp = t.clock
+		t.stats.Hits++
+		return Result{PPN: e.ppn, Hit: true, Cycles: t.timing.HitCycles}, nil
+	}
+	t.stats.Misses++
+	// "No fill" probe (Figure 4 steps 1–3): identify the entry R the
+	// requested translation would evict and read its Sec bit.
+	secD := t.secure(asid, vpn)
+	rWay := lruWay(t.sets[s])
+	secR := t.sets[s][rWay].valid && t.sets[s][rWay].sec
+
+	// Walk the requested translation D; its result always goes back to the
+	// processor (directly or through the no-fill buffer).
+	ppn, walkCycles, err := t.walker.Walk(asid, vpn)
+	res := Result{PPN: ppn, Cycles: t.timing.HitCycles + walkCycles}
+	if err != nil {
+		return res, err
+	}
+
+	if !secD && !secR {
+		// Normal TLB miss.
+		res.Filled = true
+		t.fill(asid, vpn, ppn, false, &res)
+		t.stats.Fills++
+		return res, nil
+	}
+
+	// A random fill is required (Figure 4 step 4). Under the ablation-only
+	// lazy mode the fill may be starved and dropped; the request is still
+	// served through the buffer.
+	if t.lazyStarved() {
+		t.stats.NoFills++
+		t.stats.RandomFillSkips++
+		return res, nil
+	}
+
+	var dPrime VPN
+	var dPrimeSec bool
+	if secD {
+		dPrime, dPrimeSec = t.randomSecureVPN(), true
+	} else {
+		dPrime, dPrimeSec = t.randomAliasVPN(vpn), false
+	}
+	pp, wc, werr := t.walker.Walk(asid, dPrime)
+	res.Cycles += wc
+	if werr != nil {
+		// Footnote 5 assumes the OS pre-generates page table entries for
+		// every address the RFE can draw. If a mapping is nevertheless
+		// missing, the random fill is skipped; the requested access still
+		// completes through the buffer.
+		t.stats.NoFills++
+		t.stats.RandomFillSkips++
+		return res, nil
+	}
+	res.RandomFilled, res.RandomVPN = true, dPrime
+	t.fill(asid, dPrime, pp, dPrimeSec, &res)
+	t.stats.RandomFills++
+	if dPrime == vpn {
+		// D and D' may coincide "because of the randomization" (§4.2.1);
+		// then the requested translation did end up in the array.
+		res.Filled = true
+		t.stats.Fills++
+	} else {
+		t.stats.NoFills++
+	}
+	return res, nil
+}
+
+// Probe implements TLB.
+func (t *RF) Probe(asid ASID, vpn VPN) bool {
+	return t.find(t.geom.setIndex(vpn), asid, vpn) >= 0
+}
+
+// FlushAll implements TLB.
+func (t *RF) FlushAll() {
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			t.sets[s][w] = entry{}
+		}
+	}
+	t.stats.Flushes++
+}
+
+// FlushASID implements TLB.
+func (t *RF) FlushASID(asid ASID) {
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			if t.sets[s][w].valid && t.sets[s][w].asid == asid {
+				t.sets[s][w] = entry{}
+			}
+		}
+	}
+	t.stats.Flushes++
+}
+
+// FlushPage implements TLB.
+func (t *RF) FlushPage(asid ASID, vpn VPN) bool {
+	s := t.geom.setIndex(vpn)
+	t.stats.Flushes++
+	if w := t.find(s, asid, vpn); w >= 0 {
+		t.sets[s][w] = entry{}
+		return true
+	}
+	return false
+}
+
+// FlushPageAllASIDs implements TLB. Random filling does not intercept
+// invalidations: a secure entry can be removed by an address-based flush
+// like any other, which is why the Random-Fill design does not by itself
+// defend the targeted-invalidation attacks of Appendix B.
+func (t *RF) FlushPageAllASIDs(vpn VPN) bool {
+	s := t.geom.setIndex(vpn)
+	t.stats.Flushes++
+	any := false
+	for w := range t.sets[s] {
+		e := &t.sets[s][w]
+		if e.valid && e.vpn == vpn {
+			*e = entry{}
+			any = true
+		}
+	}
+	return any
+}

@@ -1,0 +1,380 @@
+package tlb
+
+import (
+	"errors"
+	"testing"
+)
+
+// Paper §5.3 security-evaluation geometry: 32 entries, 8 ways, 4 sets.
+func mustRF(t *testing.T, entries, ways int, seed uint64) *RF {
+	t.Helper()
+	rf, err := NewRF(entries, ways, identityWalker(60), seed)
+	if err != nil {
+		t.Fatalf("NewRF: %v", err)
+	}
+	return rf
+}
+
+func secureRF(t *testing.T, seed uint64) *RF {
+	t.Helper()
+	rf := mustRF(t, 32, 8, seed)
+	rf.SetVictim(victimID)
+	rf.SetSecureRegion(0x100, 3)
+	return rf
+}
+
+func TestRFBehavesLikeSAWithoutSecureRegion(t *testing.T) {
+	rf := mustRF(t, 32, 4, 1)
+	sa := mustSA(t, 32, 4)
+	// Same access stream, same hit/miss outcomes and same contents.
+	stream := []struct {
+		asid ASID
+		vpn  VPN
+	}{{1, 0}, {1, 8}, {1, 16}, {2, 0}, {1, 0}, {1, 24}, {1, 32}, {1, 8}}
+	for _, a := range stream {
+		r1 := translate(t, rf, a.asid, a.vpn)
+		r2 := translate(t, sa, a.asid, a.vpn)
+		if r1.Hit != r2.Hit || r1.Filled != r2.Filled || r1.Evicted != r2.Evicted {
+			t.Errorf("divergence on (%d,%#x): rf=%+v sa=%+v", a.asid, a.vpn, r1, r2)
+		}
+		if r1.RandomFilled {
+			t.Errorf("no secure region configured, yet random fill on (%d,%#x)", a.asid, a.vpn)
+		}
+	}
+}
+
+func TestRFSecureMissNeverFillsRequestedUnlessDrawn(t *testing.T) {
+	// Sec_D = 1: the requested secure translation must not be installed
+	// unless the RFE happens to draw exactly it (D == D').
+	for seed := uint64(0); seed < 50; seed++ {
+		rf := secureRF(t, seed)
+		r := translate(t, rf, victimID, 0x101)
+		if r.Hit {
+			t.Fatal("first secure access cannot hit")
+		}
+		if !r.RandomFilled {
+			t.Fatal("secure miss must trigger a random fill")
+		}
+		if r.RandomVPN < 0x100 || r.RandomVPN >= 0x103 {
+			t.Fatalf("random fill %#x outside secure region", r.RandomVPN)
+		}
+		if r.Filled != (r.RandomVPN == 0x101) {
+			t.Fatalf("Filled=%v inconsistent with RandomVPN=%#x", r.Filled, r.RandomVPN)
+		}
+		if rf.Probe(victimID, 0x101) != (r.RandomVPN == 0x101) {
+			t.Fatal("requested secure page presence must equal the random draw")
+		}
+		if !rf.Probe(victimID, r.RandomVPN) {
+			t.Fatal("randomly filled page must be present")
+		}
+	}
+}
+
+func TestRFRandomFillIsUniformOverSecureRegion(t *testing.T) {
+	// Over many independent trials the RFE must draw every secure page with
+	// roughly equal probability — the uniformity the channel-capacity
+	// analysis of §5.3.1 relies on (p = 1/sec_range).
+	const trials = 3000
+	counts := map[VPN]int{}
+	for seed := uint64(0); seed < trials; seed++ {
+		rf := secureRF(t, seed)
+		r := translate(t, rf, victimID, 0x102)
+		counts[r.RandomVPN]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("expected draws over 3 secure pages, got %v", counts)
+	}
+	for vpn, n := range counts {
+		frac := float64(n) / trials
+		if frac < 0.28 || frac > 0.39 {
+			t.Errorf("page %#x drawn with frequency %.3f, want ~1/3", vpn, frac)
+		}
+	}
+}
+
+func TestRFSecureEntryResistsDeterministicEviction(t *testing.T) {
+	// Sec_R = 1, Sec_D = 0: a non-secure miss whose LRU victim is secure
+	// does not evict it deterministically. Instead a random page D' is
+	// filled whose set is drawn from the secure region's window, so the
+	// secure entry is displaced only when the draw happens to land on its
+	// set and it is that set's LRU — probability 1/nsets here, never 1.
+	const trials = 200
+	evictions := 0
+	for seed := uint64(0); seed < trials; seed++ {
+		rf := mustRF(t, 32, 8, seed) // 4 sets
+		rf.SetVictim(victimID)
+		rf.SetSecureRegion(0x200, 4) // window covers all 4 sets
+		// Install one secure entry via a random fill.
+		translate(t, rf, victimID, 0x200)
+		var securePage VPN
+		for p := VPN(0x200); p < 0x204; p++ {
+			if rf.Probe(victimID, p) {
+				securePage = p
+			}
+		}
+		set := uint64(securePage) % 4
+		// Make the secure entry its set's LRU candidate by filling the
+		// remaining 7 ways with attacker pages.
+		for i := uint64(0); i < 7; i++ {
+			translate(t, rf, attackerID, VPN(0x400+set+4*i))
+		}
+		// One more attacker miss to that set: Sec_R = 1 path.
+		r := translate(t, rf, attackerID, VPN(0x400+set+4*7))
+		if !r.RandomFilled {
+			t.Fatalf("seed %d: expected a random fill, got %+v", seed, r)
+		}
+		if !rf.Probe(victimID, securePage) {
+			evictions++
+		}
+	}
+	frac := float64(evictions) / trials
+	if frac > 0.5 {
+		t.Errorf("secure entry evicted in %.0f%% of trials; eviction must be probabilistic (~25%%)", 100*frac)
+	}
+	if evictions == 0 {
+		t.Error("expected occasional probabilistic displacement (draw landing on the secure set)")
+	}
+}
+
+func TestRFNonSecureAliasFillStaysOutsideSecureRegion(t *testing.T) {
+	// The Sec_R=1/Sec_D=0 random fill keeps the requester's upper address
+	// bits and only randomises the set-index bits, and is not marked secure.
+	rf := mustRF(t, 32, 8, 9) // 4 sets
+	rf.SetVictim(victimID)
+	rf.SetSecureRegion(0x100, 4) // covers all 4 sets
+	translate(t, rf, victimID, 0x100)
+	// Locate the secure fill's set and aim an attacker page at it.
+	var secPage VPN
+	for p := VPN(0x100); p < 0x104; p++ {
+		if rf.Probe(victimID, p) {
+			secPage = p
+		}
+	}
+	set := uint64(secPage) % 4
+	// Fill the remaining 7 ways of that set with attacker pages so the
+	// secure entry becomes the LRU candidate.
+	for i := uint64(0); i < 7; i++ {
+		translate(t, rf, attackerID, VPN(0x400+set+4*i))
+	}
+	r := translate(t, rf, attackerID, VPN(0x400+set+4*7))
+	if !r.RandomFilled {
+		t.Fatalf("expected Sec_R=1 random fill, got %+v", r)
+	}
+	if r.RandomVPN >= 0x100 && r.RandomVPN < 0x104 {
+		t.Errorf("non-secure random fill landed inside the secure region: %#x", r.RandomVPN)
+	}
+	// Upper bits preserved: D' differs from D only in the set-index bits.
+	if r.RandomVPN/4 != (0x400+VPN(set)+4*7)/4 && r.RandomVPN != 0x400+VPN(set)+4*7 {
+		// The set-index substitution may change vpn%4 only.
+		d := uint64(0x400 + set + 4*7)
+		if uint64(r.RandomVPN)-uint64(r.RandomVPN)%4 != d-d%4 {
+			t.Errorf("random alias %#x does not share upper bits with request %#x", r.RandomVPN, d)
+		}
+	}
+}
+
+func TestRFMissCounterCountsRequestedMissesOnly(t *testing.T) {
+	rf := secureRF(t, 3)
+	wantMisses, wantRandomFills := uint64(0), uint64(0)
+	for i := 0; i < 10; i++ {
+		r := translate(t, rf, victimID, 0x100+VPN(i%3))
+		if !r.Hit {
+			wantMisses++
+		}
+		if r.RandomFilled {
+			wantRandomFills++
+		}
+	}
+	st := rf.Stats()
+	if st.Misses != wantMisses {
+		t.Errorf("misses = %d, want %d (random fills are not extra misses)", st.Misses, wantMisses)
+	}
+	if st.RandomFills != wantRandomFills {
+		t.Errorf("random fills = %d, want %d", st.RandomFills, wantRandomFills)
+	}
+	if wantMisses == 0 {
+		t.Error("scenario should contain at least one miss")
+	}
+}
+
+func TestRFSecureMissTimingIncludesRandomWalk(t *testing.T) {
+	rf := secureRF(t, 4)
+	r := translate(t, rf, victimID, 0x100)
+	// Figure 4's flow performs the random fill walk and the original
+	// request's walk sequentially: 1 (array) + 60 (D') + 60 (D).
+	if r.Cycles != 121 {
+		t.Errorf("secure miss cycles = %d, want 121", r.Cycles)
+	}
+	r = translate(t, rf, attackerID, 0x500)
+	if r.Cycles != 61 {
+		t.Errorf("plain miss cycles = %d, want 61", r.Cycles)
+	}
+}
+
+func TestRFAttackerAccessToSecureRangeIsNotSecure(t *testing.T) {
+	// The secure region is defined for the victim's address space only; an
+	// attacker touching the same numeric page range gets normal fills.
+	rf := secureRF(t, 5)
+	r := translate(t, rf, attackerID, 0x101)
+	if r.RandomFilled {
+		t.Errorf("attacker access treated as secure: %+v", r)
+	}
+	if !r.Filled {
+		t.Error("attacker access should fill normally")
+	}
+}
+
+func TestRFRandomFillWalkFailureFallsBack(t *testing.T) {
+	// If the RFE draws a page with no translation (footnote 5's OS
+	// precondition violated), the fill is skipped but the access completes.
+	fail := errors.New("unmapped")
+	walker := WalkerFunc(func(asid ASID, vpn VPN) (PPN, uint64, error) {
+		if vpn != 0x100 {
+			return 0, 5, fail
+		}
+		return PPN(vpn), 60, nil
+	})
+	rf, err := NewRF(32, 8, walker, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf.SetVictim(victimID)
+	rf.SetSecureRegion(0x100, 3)
+	// Retry until a seed draws an unmapped page (0x101 or 0x102).
+	for seed := uint64(0); ; seed++ {
+		rf.Reseed(seed)
+		rf.FlushAll()
+		r, err := rf.Translate(victimID, 0x100)
+		if err != nil {
+			t.Fatalf("request itself is mapped; Translate err = %v", err)
+		}
+		if !r.RandomFilled && r.PPN == 0x100 {
+			if rf.Stats().RandomFillSkips == 0 {
+				t.Error("skip should be counted")
+			}
+			return
+		}
+		if seed > 100 {
+			t.Fatal("never drew an unmapped page in 100 seeds")
+		}
+	}
+}
+
+func TestRFLazyFillStarvation(t *testing.T) {
+	// Ablation for §4.2.3: under the asynchronous variant, back-to-back
+	// secure misses starve the fill engine and random fills are dropped,
+	// leaving the TLB state correlated with nothing at all (no protection
+	// being exercised).
+	rf := secureRF(t, 6)
+	rf.LazyFill = true
+	rf.LazyFillWindow = 1000 // every consecutive miss is starved
+	misses := uint64(0)
+	for _, vpn := range []VPN{0x100, 0x101, 0x102, 0x100, 0x101, 0x102} {
+		if r := translate(t, rf, victimID, vpn); !r.Hit {
+			misses++
+		}
+	}
+	st := rf.Stats()
+	if st.RandomFills != 1 {
+		t.Errorf("lazy mode: random fills = %d, want only the first (rest starved)", st.RandomFills)
+	}
+	if st.RandomFillSkips != misses-1 {
+		t.Errorf("lazy mode: skips = %d, want %d (all misses after the first)", st.RandomFillSkips, misses-1)
+	}
+	if misses < 3 {
+		t.Errorf("starved lazy fills should keep secure pages missing; got %d misses", misses)
+	}
+}
+
+func TestRFDeterministicUnderSeed(t *testing.T) {
+	run := func(seed uint64) []VPN {
+		rf := secureRF(t, seed)
+		var draws []VPN
+		for i := 0; i < 20; i++ {
+			r := translate(t, rf, victimID, 0x100+VPN(i%3))
+			if r.RandomFilled {
+				draws = append(draws, r.RandomVPN)
+			}
+		}
+		return draws
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("draw counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %#x vs %#x", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same && len(a) > 3 {
+		t.Error("different seeds should produce different draw sequences")
+	}
+}
+
+func TestRFFlushes(t *testing.T) {
+	rf := secureRF(t, 8)
+	translate(t, rf, victimID, 0x100)
+	translate(t, rf, attackerID, 0x500)
+	rf.FlushASID(victimID)
+	for p := VPN(0x100); p < 0x103; p++ {
+		if rf.Probe(victimID, p) {
+			t.Errorf("victim page %#x should be flushed", p)
+		}
+	}
+	if !rf.Probe(attackerID, 0x500) {
+		t.Error("attacker entry should survive FlushASID(victim)")
+	}
+	rf.FlushAll()
+	if rf.Probe(attackerID, 0x500) {
+		t.Error("FlushAll should remove everything")
+	}
+	translate(t, rf, attackerID, 0x500)
+	if !rf.FlushPage(attackerID, 0x500) {
+		t.Error("FlushPage should find the entry")
+	}
+}
+
+func TestRFName(t *testing.T) {
+	rf := mustRF(t, 128, 2, 0)
+	if rf.Name() != "RF 2W 128" {
+		t.Errorf("Name = %q", rf.Name())
+	}
+	if rf.Entries() != 128 || rf.Ways() != 2 {
+		t.Error("geometry accessors wrong")
+	}
+}
+
+func TestRNGUintnBounds(t *testing.T) {
+	r := newRNG(1)
+	for n := uint64(1); n <= 17; n++ {
+		for i := 0; i < 200; i++ {
+			if v := r.Uintn(n); v >= n {
+				t.Fatalf("Uintn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Uintn(0) should panic")
+		}
+	}()
+	r.Uintn(0)
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := newRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed must not produce a stuck generator")
+	}
+}

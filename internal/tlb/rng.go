@@ -1,0 +1,59 @@
+package tlb
+
+// rng is a small deterministic pseudo-random number generator used by the
+// Random Fill Engine. It is an xorshift64* generator seeded through a
+// splitmix64 step, which gives good statistical quality for the uniform
+// range draws the RF TLB needs while keeping every experiment exactly
+// reproducible from its seed. (The paper's hardware would use a true or
+// cryptographic RNG; the security analysis only requires uniformity over the
+// documented ranges, which this generator provides.)
+type rng struct {
+	state uint64
+}
+
+// newRNG returns a generator seeded from seed. A zero seed is remapped to a
+// fixed non-zero constant since xorshift has an all-zero fixed point.
+func newRNG(seed uint64) *rng {
+	r := &rng{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed re-seeds the generator.
+func (r *rng) Seed(seed uint64) {
+	// splitmix64 scramble so that close seeds produce unrelated streams.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x2545f4914f6cdd1d
+	}
+	r.state = z
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *rng) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Uintn returns a uniform value in [0, n). n must be positive.
+func (r *rng) Uintn(n uint64) uint64 {
+	if n == 0 {
+		panic("tlb: Uintn with n == 0")
+	}
+	// Rejection sampling to avoid modulo bias; the loop terminates quickly
+	// because the acceptance region covers at least half of the range.
+	max := ^uint64(0) - ^uint64(0)%n
+	for {
+		v := r.Uint64()
+		if v < max {
+			return v % n
+		}
+	}
+}

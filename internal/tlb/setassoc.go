@@ -1,0 +1,190 @@
+package tlb
+
+import "fmt"
+
+// SetAssoc is the standard set-associative TLB of the paper ("SA TLB"),
+// with true LRU replacement within each set. Entries are tagged with the
+// process ID (ASID), so a hit requires both the page number and the ASID to
+// match — this alone is what lets the standard SA TLB defend the paper's 10
+// hit-between-processes vulnerability types (Table 4).
+//
+// A fully-associative TLB ("FA TLB") is a SetAssoc with ways == entries; the
+// paper's TLB-disabled approximation ("1E") is a SetAssoc with one entry.
+type SetAssoc struct {
+	geom   geometry
+	timing Timing
+	walker Walker
+	sets   [][]entry
+	clock  uint64
+	stats  Stats
+}
+
+var _ TLB = (*SetAssoc)(nil)
+
+// NewSetAssoc returns an SA TLB with the given capacity and associativity.
+// entries must be a positive multiple of ways.
+func NewSetAssoc(entries, ways int, walker Walker) (*SetAssoc, error) {
+	g, err := newGeometry(entries, ways)
+	if err != nil {
+		return nil, err
+	}
+	if walker == nil {
+		return nil, fmt.Errorf("tlb: walker must not be nil")
+	}
+	t := &SetAssoc{geom: g, timing: DefaultTiming, walker: walker}
+	t.sets = make([][]entry, g.sets)
+	backing := make([]entry, g.entries)
+	for i := range t.sets {
+		t.sets[i], backing = backing[:g.ways], backing[g.ways:]
+	}
+	return t, nil
+}
+
+// NewFullyAssoc returns an FA TLB: a single set spanning all entries.
+func NewFullyAssoc(entries int, walker Walker) (*SetAssoc, error) {
+	return NewSetAssoc(entries, entries, walker)
+}
+
+// NewSingleEntry returns the paper's "1E" configuration, the closest
+// realisable approximation to disabling the TLB.
+func NewSingleEntry(walker Walker) (*SetAssoc, error) {
+	return NewSetAssoc(1, 1, walker)
+}
+
+// SetTiming overrides the lookup latency parameters.
+func (t *SetAssoc) SetTiming(tm Timing) { t.timing = tm }
+
+// Name implements TLB.
+func (t *SetAssoc) Name() string { return "SA " + t.geom.geomName() }
+
+// Entries implements TLB.
+func (t *SetAssoc) Entries() int { return t.geom.entries }
+
+// Ways implements TLB.
+func (t *SetAssoc) Ways() int { return t.geom.ways }
+
+// Stats implements TLB.
+func (t *SetAssoc) Stats() Stats { return t.stats }
+
+// ResetStats implements TLB.
+func (t *SetAssoc) ResetStats() { t.stats = Stats{} }
+
+// find returns the way index holding (asid, vpn) in set s, or -1.
+func (t *SetAssoc) find(s int, asid ASID, vpn VPN) int {
+	for w := range t.sets[s] {
+		e := &t.sets[s][w]
+		if e.valid && e.vpn == vpn && e.asid == asid {
+			return w
+		}
+	}
+	return -1
+}
+
+// lruWay returns the fill target in set s: an invalid way if one exists,
+// otherwise the least-recently-used way.
+func lruWay(set []entry) int {
+	victim, oldest := 0, ^uint64(0)
+	for w := range set {
+		if !set[w].valid {
+			return w
+		}
+		if set[w].stamp < oldest {
+			victim, oldest = w, set[w].stamp
+		}
+	}
+	return victim
+}
+
+// Translate implements TLB.
+func (t *SetAssoc) Translate(asid ASID, vpn VPN) (Result, error) {
+	t.stats.Lookups++
+	s := t.geom.setIndex(vpn)
+	t.clock++
+	if w := t.find(s, asid, vpn); w >= 0 {
+		e := &t.sets[s][w]
+		e.stamp = t.clock
+		t.stats.Hits++
+		return Result{PPN: e.ppn, Hit: true, Cycles: t.timing.HitCycles}, nil
+	}
+	t.stats.Misses++
+	ppn, walkCycles, err := t.walker.Walk(asid, vpn)
+	if err != nil {
+		return Result{Cycles: t.timing.HitCycles + walkCycles}, err
+	}
+	res := Result{PPN: ppn, Cycles: t.timing.HitCycles + walkCycles, Filled: true}
+	w := lruWay(t.sets[s])
+	e := &t.sets[s][w]
+	if e.valid {
+		res.Evicted, res.EvictedVPN, res.EvictedASID = true, e.vpn, e.asid
+		t.stats.Evictions++
+	}
+	*e = entry{valid: true, asid: asid, vpn: vpn, ppn: ppn, stamp: t.clock}
+	t.stats.Fills++
+	return res, nil
+}
+
+// Probe implements TLB.
+func (t *SetAssoc) Probe(asid ASID, vpn VPN) bool {
+	return t.find(t.geom.setIndex(vpn), asid, vpn) >= 0
+}
+
+// FlushAll implements TLB.
+func (t *SetAssoc) FlushAll() {
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			t.sets[s][w] = entry{}
+		}
+	}
+	t.stats.Flushes++
+}
+
+// FlushASID implements TLB.
+func (t *SetAssoc) FlushASID(asid ASID) {
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			if t.sets[s][w].valid && t.sets[s][w].asid == asid {
+				t.sets[s][w] = entry{}
+			}
+		}
+	}
+	t.stats.Flushes++
+}
+
+// FlushPage implements TLB.
+func (t *SetAssoc) FlushPage(asid ASID, vpn VPN) bool {
+	s := t.geom.setIndex(vpn)
+	t.stats.Flushes++
+	if w := t.find(s, asid, vpn); w >= 0 {
+		t.sets[s][w] = entry{}
+		return true
+	}
+	return false
+}
+
+// valid returns the number of valid entries; used by tests and invariants.
+func (t *SetAssoc) validCount() int {
+	n := 0
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			if t.sets[s][w].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// FlushPageAllASIDs implements TLB.
+func (t *SetAssoc) FlushPageAllASIDs(vpn VPN) bool {
+	s := t.geom.setIndex(vpn)
+	t.stats.Flushes++
+	any := false
+	for w := range t.sets[s] {
+		e := &t.sets[s][w]
+		if e.valid && e.vpn == vpn {
+			*e = entry{}
+			any = true
+		}
+	}
+	return any
+}

@@ -1,0 +1,197 @@
+package tlb
+
+import "testing"
+
+const (
+	victimID   ASID = 1
+	attackerID ASID = 0
+)
+
+func mustSP(t *testing.T, entries, ways, victimWays int) *SP {
+	t.Helper()
+	sp, err := NewSP(entries, ways, victimWays, identityWalker(60))
+	if err != nil {
+		t.Fatalf("NewSP: %v", err)
+	}
+	sp.SetVictim(victimID)
+	return sp
+}
+
+func TestNewSPValidation(t *testing.T) {
+	w := identityWalker(1)
+	if _, err := NewSP(32, 4, 0, w); err == nil {
+		t.Error("victimWays=0 must be rejected (attacker-only partition)")
+	}
+	if _, err := NewSP(32, 4, 4, w); err == nil {
+		t.Error("victimWays=ways must be rejected (victim-only partition)")
+	}
+	if _, err := NewSP(32, 4, 2, nil); err == nil {
+		t.Error("nil walker must be rejected")
+	}
+	if _, err := NewSP(33, 4, 2, w); err == nil {
+		t.Error("non-divisible geometry must be rejected")
+	}
+	sp, err := NewSP(32, 4, 2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name() != "SP 4W 32" {
+		t.Errorf("Name = %q", sp.Name())
+	}
+	if sp.VictimWays() != 2 {
+		t.Errorf("VictimWays = %d", sp.VictimWays())
+	}
+}
+
+func TestSPHitsBehaveLikeSA(t *testing.T) {
+	sp := mustSP(t, 32, 4, 2)
+	r := translate(t, sp, victimID, 0x10)
+	if r.Hit || !r.Filled {
+		t.Errorf("first access: %+v", r)
+	}
+	r = translate(t, sp, victimID, 0x10)
+	if !r.Hit || r.Cycles != 1 {
+		t.Errorf("second access should be a 1-cycle hit: %+v", r)
+	}
+	// Cross-ASID accesses still miss, exactly like the SA TLB.
+	if r := translate(t, sp, attackerID, 0x10); r.Hit {
+		t.Error("attacker must not hit the victim's translation")
+	}
+}
+
+func TestSPAttackerCannotEvictVictim(t *testing.T) {
+	// The defining property of the SP TLB (paper §4.1.1): the attacker's
+	// fills never displace the victim's entries. 8 entries, 4 ways, 2 victim
+	// ways => 2 sets. Pages 0,2,4,... map to set 0.
+	sp := mustSP(t, 8, 4, 2)
+	translate(t, sp, victimID, 0) // victim partition of set 0
+	translate(t, sp, victimID, 2) // victim partition full
+	for i := 0; i < 64; i++ {
+		translate(t, sp, attackerID, VPN(4+2*i)) // hammer set 0 as attacker
+	}
+	if !sp.Probe(victimID, 0) || !sp.Probe(victimID, 2) {
+		t.Error("attacker thrashing must not evict victim entries")
+	}
+}
+
+func TestSPVictimCannotEvictAttacker(t *testing.T) {
+	sp := mustSP(t, 8, 4, 2)
+	translate(t, sp, attackerID, 0)
+	translate(t, sp, attackerID, 2)
+	for i := 0; i < 64; i++ {
+		translate(t, sp, victimID, VPN(4+2*i))
+	}
+	if !sp.Probe(attackerID, 0) || !sp.Probe(attackerID, 2) {
+		t.Error("victim thrashing must not evict attacker entries")
+	}
+}
+
+func TestSPPartitionLRUIsIndependent(t *testing.T) {
+	sp := mustSP(t, 8, 4, 2)
+	// Fill victim partition (2 ways of set 0) with pages 0, 2.
+	translate(t, sp, victimID, 0)
+	translate(t, sp, victimID, 2)
+	// Attacker activity in the same set must not disturb victim LRU.
+	translate(t, sp, attackerID, 4)
+	translate(t, sp, attackerID, 6)
+	// Touch victim page 0 so page 2 is the victim-partition LRU.
+	translate(t, sp, victimID, 0)
+	r := translate(t, sp, victimID, 8)
+	if !r.Evicted || r.EvictedVPN != 2 || r.EvictedASID != victimID {
+		t.Errorf("victim fill should evict victim VPN 2, got %+v", r)
+	}
+}
+
+func TestSPSharedAttackerPartition(t *testing.T) {
+	// All non-victim processes share the attacker partition.
+	sp := mustSP(t, 8, 4, 2)
+	translate(t, sp, 5, 0)
+	translate(t, sp, 6, 2)
+	r := translate(t, sp, 7, 4) // third fill into a 2-way partition evicts
+	if !r.Evicted {
+		t.Error("third non-victim fill into set 0 should evict")
+	}
+	if r.EvictedASID == victimID {
+		t.Error("eviction must stay within the attacker partition")
+	}
+}
+
+func TestSPNoVictimConfigured(t *testing.T) {
+	// With no victim designated (the paper's security-disabled runs), every
+	// process uses the attacker partition: effective capacity is halved,
+	// which is the root cause of the ~3x MPKI of Figure 7e.
+	sp, err := NewSP(8, 4, 2, identityWalker(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	translate(t, sp, 1, 0)
+	translate(t, sp, 1, 2)
+	r := translate(t, sp, 1, 4)
+	if !r.Evicted {
+		t.Error("with no victim, 2 ways per set are usable; third fill must evict")
+	}
+	sp.SetVictim(1)
+	if sp.Victim() != 1 {
+		t.Error("Victim() should report the configured ASID")
+	}
+	r = translate(t, sp, 1, 6)
+	if r.Evicted {
+		t.Error("after SetVictim the victim partition is empty; fill must not evict")
+	}
+	sp.ClearVictim()
+	r = translate(t, sp, 1, 8)
+	if !r.Evicted {
+		t.Error("ClearVictim must send fills back to the attacker partition")
+	}
+}
+
+func TestSPSecureRegionRecorded(t *testing.T) {
+	sp := mustSP(t, 32, 4, 2)
+	sp.SetSecureRegion(0x100, 3)
+	b, s := sp.SecureRegion()
+	if b != 0x100 || s != 3 {
+		t.Errorf("SecureRegion = (%#x,%d)", b, s)
+	}
+}
+
+func TestSPFlushes(t *testing.T) {
+	sp := mustSP(t, 32, 4, 2)
+	translate(t, sp, victimID, 1)
+	translate(t, sp, attackerID, 2)
+	sp.FlushASID(victimID)
+	if sp.Probe(victimID, 1) || !sp.Probe(attackerID, 2) {
+		t.Error("FlushASID should only remove the victim's entries")
+	}
+	translate(t, sp, victimID, 1)
+	sp.FlushAll()
+	if sp.Probe(victimID, 1) || sp.Probe(attackerID, 2) {
+		t.Error("FlushAll should remove everything")
+	}
+	translate(t, sp, victimID, 3)
+	if !sp.FlushPage(victimID, 3) || sp.FlushPage(victimID, 3) {
+		t.Error("FlushPage semantics wrong")
+	}
+}
+
+func TestSPEffectiveCapacityHalved(t *testing.T) {
+	// Quantitative check behind Figure 7e: a working set that fits the SA
+	// TLB but not half of it shows a dramatically higher miss rate under SP.
+	const entries, ways = 32, 4
+	workingSet := 24 // pages; fits in 32, not in 16
+	run := func(tl TLB) float64 {
+		for pass := 0; pass < 50; pass++ {
+			for p := 0; p < workingSet; p++ {
+				if _, err := tl.Translate(2, VPN(p)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return tl.Stats().MissRate()
+	}
+	sa := mustSA(t, entries, ways)
+	sp := mustSP(t, entries, ways, ways/2) // victim=1, workload runs as ASID 2
+	saRate, spRate := run(sa), run(sp)
+	if spRate < 2*saRate {
+		t.Errorf("SP miss rate %.3f should be much higher than SA %.3f", spRate, saRate)
+	}
+}

@@ -1,0 +1,110 @@
+package tlb
+
+import "fmt"
+
+// TwoLevel composes two TLB levels into a hierarchy, the "other levels of
+// TLB" the paper notes its designs apply to (§4). The L1 is looked up
+// first; on an L1 miss the request falls through to the L2, and only an L2
+// miss pays the page walk. Fills propagate to both levels (the common
+// mostly-inclusive arrangement).
+//
+// Any design can sit at either level — including a secure design at L1 over
+// a standard L2. That combination is deliberately constructible because it
+// demonstrates why the paper's remark matters: a Random-Fill L1 stops the
+// L1-granular attacks, but an attacker who can distinguish "L2 hit"
+// (medium) from "page walk" (slow) latencies still sees a standard
+// set-associative structure at L2. Securing one level is not enough; the
+// designs must be applied per level.
+type TwoLevel struct {
+	l1, l2 TLB
+}
+
+var _ TLB = (*TwoLevel)(nil)
+
+// NewTwoLevel builds a hierarchy. mkL1 constructs the L1 over a walker that
+// delegates misses to l2; l2 must already be constructed over the real page
+// table walker.
+func NewTwoLevel(mkL1 func(Walker) (TLB, error), l2 TLB) (*TwoLevel, error) {
+	if l2 == nil {
+		return nil, fmt.Errorf("tlb: two-level hierarchy needs an L2")
+	}
+	l1, err := mkL1(WalkerFunc(func(asid ASID, vpn VPN) (PPN, uint64, error) {
+		r, err := l2.Translate(asid, vpn)
+		return r.PPN, r.Cycles, err
+	}))
+	if err != nil {
+		return nil, err
+	}
+	if l1 == nil {
+		return nil, fmt.Errorf("tlb: mkL1 returned nil")
+	}
+	return &TwoLevel{l1: l1, l2: l2}, nil
+}
+
+// L1 returns the first-level TLB.
+func (t *TwoLevel) L1() TLB { return t.l1 }
+
+// L2 returns the second-level TLB.
+func (t *TwoLevel) L2() TLB { return t.l2 }
+
+// Name implements TLB.
+func (t *TwoLevel) Name() string { return t.l1.Name() + " / " + t.l2.Name() }
+
+// Entries implements TLB (the L1's, the architecturally visible level).
+func (t *TwoLevel) Entries() int { return t.l1.Entries() }
+
+// Ways implements TLB.
+func (t *TwoLevel) Ways() int { return t.l1.Ways() }
+
+// Translate implements TLB. An L1 hit costs the L1 latency; an L1 miss adds
+// the L2 lookup (hit: its array latency; miss: the page walk), because the
+// L1's walker is the L2.
+func (t *TwoLevel) Translate(asid ASID, vpn VPN) (Result, error) {
+	return t.l1.Translate(asid, vpn)
+}
+
+// Probe implements TLB: present anywhere in the hierarchy.
+func (t *TwoLevel) Probe(asid ASID, vpn VPN) bool {
+	return t.l1.Probe(asid, vpn) || t.l2.Probe(asid, vpn)
+}
+
+// ProbeLevel reports presence per level (diagnostics and attacks).
+func (t *TwoLevel) ProbeLevel(asid ASID, vpn VPN) (inL1, inL2 bool) {
+	return t.l1.Probe(asid, vpn), t.l2.Probe(asid, vpn)
+}
+
+// FlushAll implements TLB (both levels, as sfence.vma does).
+func (t *TwoLevel) FlushAll() {
+	t.l1.FlushAll()
+	t.l2.FlushAll()
+}
+
+// FlushASID implements TLB.
+func (t *TwoLevel) FlushASID(asid ASID) {
+	t.l1.FlushASID(asid)
+	t.l2.FlushASID(asid)
+}
+
+// FlushPage implements TLB.
+func (t *TwoLevel) FlushPage(asid ASID, vpn VPN) bool {
+	a := t.l1.FlushPage(asid, vpn)
+	b := t.l2.FlushPage(asid, vpn)
+	return a || b
+}
+
+// FlushPageAllASIDs implements TLB.
+func (t *TwoLevel) FlushPageAllASIDs(vpn VPN) bool {
+	a := t.l1.FlushPageAllASIDs(vpn)
+	b := t.l2.FlushPageAllASIDs(vpn)
+	return a || b
+}
+
+// Stats implements TLB: the L1's counters (what the tlb_miss_count CSR
+// exposes); use L2().Stats() for the inner level.
+func (t *TwoLevel) Stats() Stats { return t.l1.Stats() }
+
+// ResetStats implements TLB (both levels).
+func (t *TwoLevel) ResetStats() {
+	t.l1.ResetStats()
+	t.l2.ResetStats()
+}

@@ -1,0 +1,153 @@
+package tlb
+
+import "testing"
+
+func mustTwoLevel(t *testing.T) *TwoLevel {
+	t.Helper()
+	l2, err := NewSetAssoc(128, 4, identityWalker(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := NewTwoLevel(func(w Walker) (TLB, error) {
+		return NewSetAssoc(32, 4, w)
+	}, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+func TestTwoLevelTimingHierarchy(t *testing.T) {
+	tl := mustTwoLevel(t)
+	// Cold: L1 miss + L2 miss + walk.
+	r := translate(t, tl, 1, 0x42)
+	if r.Hit {
+		t.Fatal("cold access cannot hit")
+	}
+	cold := r.Cycles // 1 (L1) + 1 (L2) + 60 (walk)
+	if cold != 62 {
+		t.Errorf("cold latency = %d, want 62", cold)
+	}
+	// Warm L1.
+	r = translate(t, tl, 1, 0x42)
+	if !r.Hit || r.Cycles != 1 {
+		t.Errorf("L1 hit = %+v", r)
+	}
+	// Evict from L1 only: 8 more pages in L1 set (32/4 → 8 sets; stride 8).
+	for i := 1; i <= 8; i++ {
+		translate(t, tl, 1, VPN(0x42+8*i))
+	}
+	inL1, inL2 := tl.ProbeLevel(1, 0x42)
+	if inL1 || !inL2 {
+		t.Fatalf("expected L1-evicted, L2-resident; got (%v,%v)", inL1, inL2)
+	}
+	r = translate(t, tl, 1, 0x42)
+	if r.Hit {
+		t.Error("L1 was evicted; the L1 lookup must miss")
+	}
+	if r.Cycles != 2 { // L1 array + L2 hit
+		t.Errorf("L2 hit latency = %d, want 2", r.Cycles)
+	}
+	// Three distinguishable latencies: the L2-granular timing channel.
+	if !(1 < r.Cycles && r.Cycles < cold) {
+		t.Error("L1 hit < L2 hit < walk ordering broken")
+	}
+}
+
+func TestTwoLevelFlushes(t *testing.T) {
+	tl := mustTwoLevel(t)
+	translate(t, tl, 1, 0x10)
+	translate(t, tl, 2, 0x10)
+	tl.FlushASID(1)
+	if in1, in2 := tl.ProbeLevel(1, 0x10); in1 || in2 {
+		t.Error("FlushASID must clear both levels")
+	}
+	if !tl.Probe(2, 0x10) {
+		t.Error("other ASID should survive")
+	}
+	tl.FlushAll()
+	if tl.Probe(2, 0x10) {
+		t.Error("FlushAll must clear the hierarchy")
+	}
+	translate(t, tl, 1, 0x20)
+	if !tl.FlushPage(1, 0x20) || tl.Probe(1, 0x20) {
+		t.Error("FlushPage must clear both levels")
+	}
+	translate(t, tl, 1, 0x30)
+	translate(t, tl, 2, 0x30)
+	if !tl.FlushPageAllASIDs(0x30) || tl.Probe(1, 0x30) || tl.Probe(2, 0x30) {
+		t.Error("FlushPageAllASIDs must clear both levels")
+	}
+}
+
+func TestTwoLevelStats(t *testing.T) {
+	tl := mustTwoLevel(t)
+	translate(t, tl, 1, 1)
+	translate(t, tl, 1, 1)
+	st := tl.Stats() // L1 view
+	if st.Lookups != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("L1 stats = %+v", st)
+	}
+	if l2 := tl.L2().Stats(); l2.Lookups != 1 || l2.Misses != 1 {
+		t.Errorf("L2 stats = %+v", l2)
+	}
+	tl.ResetStats()
+	if tl.Stats().Lookups != 0 || tl.L2().Stats().Lookups != 0 {
+		t.Error("ResetStats must clear both levels")
+	}
+	if tl.Entries() != 32 || tl.Ways() != 4 {
+		t.Error("geometry should reflect L1")
+	}
+	if tl.Name() != "SA 4W 32 / SA 4W 128" {
+		t.Errorf("Name = %q", tl.Name())
+	}
+}
+
+func TestTwoLevelConstruction(t *testing.T) {
+	if _, err := NewTwoLevel(func(w Walker) (TLB, error) {
+		return NewSetAssoc(32, 4, w)
+	}, nil); err == nil {
+		t.Error("nil L2 must be rejected")
+	}
+	l2, _ := NewSetAssoc(128, 4, identityWalker(60))
+	if _, err := NewTwoLevel(func(w Walker) (TLB, error) {
+		return nil, nil
+	}, l2); err == nil {
+		t.Error("nil L1 must be rejected")
+	}
+	if _, err := NewTwoLevel(func(w Walker) (TLB, error) {
+		return NewSetAssoc(31, 4, w) // invalid geometry
+	}, l2); err == nil {
+		t.Error("L1 construction errors must propagate")
+	}
+}
+
+func TestSecureL1OverStandardL2LeaksAtL2(t *testing.T) {
+	// Why the paper's "can be applied to other levels" remark matters:
+	// putting the RF design only at L1 leaves a standard set-associative
+	// structure at L2, observable through the L2-hit vs page-walk latency
+	// difference. The victim's secure page still lands in the L2 (the L1's
+	// random fill path walks through it), so an attacker with enough pages
+	// can Prime+Probe the L2 sets.
+	l2, _ := NewSetAssoc(128, 4, identityWalker(60))
+	hier, err := NewTwoLevel(func(w Walker) (TLB, error) {
+		rf, err := NewRF(32, 8, w, 3)
+		if err != nil {
+			return nil, err
+		}
+		rf.SetVictim(victimID)
+		rf.SetSecureRegion(0x100, 3)
+		return rf, nil
+	}, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Victim touches a secure page: the RF L1 hides WHICH page entered the
+	// L1, but the requested page's walk went through the L2 and filled it.
+	translate(t, hier, victimID, 0x101)
+	if !l2.Probe(victimID, 0x101) {
+		t.Fatal("the requested secure translation reaches a standard L2")
+	}
+	// An L2-granular observer therefore sees the true secret page — the
+	// exact leak the RF design prevents at L1.
+}

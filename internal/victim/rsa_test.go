@@ -1,0 +1,167 @@
+package victim
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"securetlb/internal/tlb"
+)
+
+func newRSA(t *testing.T) *RSA {
+	t.Helper()
+	r, err := NewRSA(64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := newRSA(t)
+	m := big.NewInt(0xdeadbeefcafe)
+	c := r.Encrypt(m)
+	got, traces := r.Decrypt(c)
+	if got.Cmp(m) != 0 {
+		t.Fatalf("decrypt = %v, want %v", got, m)
+	}
+	if len(traces) != r.D.BitLen() {
+		t.Errorf("traces = %d, want %d (one per exponent bit)", len(traces), r.D.BitLen())
+	}
+}
+
+func TestMatchesBigExp(t *testing.T) {
+	r := newRSA(t)
+	for i := int64(2); i < 30; i++ {
+		c := big.NewInt(i * 997)
+		want := new(big.Int).Exp(c, r.D, r.N)
+		got, _ := r.exponentiate(c, r.D)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("exponentiate(%v) = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestQuickMatchesBigExp(t *testing.T) {
+	r := newRSA(t)
+	f := func(raw uint64) bool {
+		c := new(big.Int).SetUint64(raw)
+		want := new(big.Int).Exp(c, r.D, r.N)
+		got, _ := r.exponentiate(c, r.D)
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceLeaksKeyBits(t *testing.T) {
+	// The defining property: tp's page appears in an iteration's trace
+	// exactly when that exponent bit is 1, and rp/xp/code appear always.
+	r := newRSA(t)
+	_, traces := r.Decrypt(big.NewInt(123456789))
+	bits := r.KeyBits()
+	if len(bits) != len(traces) {
+		t.Fatalf("bits %d vs traces %d", len(bits), len(traces))
+	}
+	for i, tr := range traces {
+		if tr.Bit != bits[i] {
+			t.Fatalf("trace %d records bit %d, key has %d", i, tr.Bit, bits[i])
+		}
+		sawTP, sawRP, sawXP, sawCode := false, false, false, false
+		for _, p := range tr.Pages {
+			switch p {
+			case r.Layout.TP:
+				sawTP = true
+			case r.Layout.RP:
+				sawRP = true
+			case r.Layout.XP:
+				sawXP = true
+			case r.Layout.Code:
+				sawCode = true
+			}
+		}
+		if sawTP != (bits[i] == 1) {
+			t.Errorf("iteration %d (bit %d): tp touched = %v", i, bits[i], sawTP)
+		}
+		if !sawRP || !sawXP || !sawCode {
+			t.Errorf("iteration %d: rp/xp/code must always be touched", i)
+		}
+	}
+}
+
+func TestKeyHasBothBitValues(t *testing.T) {
+	// The attack demos need a key with a healthy mix of 0s and 1s.
+	r := newRSA(t)
+	ones := 0
+	bits := r.KeyBits()
+	for _, b := range bits {
+		ones += int(b)
+	}
+	if ones < len(bits)/4 || ones > 3*len(bits)/4 {
+		t.Errorf("key bit balance %d/%d is degenerate", ones, len(bits))
+	}
+}
+
+func TestDeterministicKeyGen(t *testing.T) {
+	a, err := NewRSA(32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewRSA(32, 7)
+	if a.N.Cmp(b.N) != 0 || a.D.Cmp(b.D) != 0 {
+		t.Error("same seed must generate the same key")
+	}
+	c, _ := NewRSA(32, 8)
+	if a.N.Cmp(c.N) == 0 {
+		t.Error("different seeds should generate different keys")
+	}
+}
+
+func TestLayoutSecureRegion(t *testing.T) {
+	base, size := DefaultLayout.SecureRegion()
+	if base != DefaultLayout.RP || size != 3 {
+		t.Errorf("secure region = (%#x,%d)", base, size)
+	}
+	// The three MPI pages are contiguous (the paper's 3 .data pages).
+	if DefaultLayout.XP != DefaultLayout.RP+1 || DefaultLayout.TP != DefaultLayout.RP+2 {
+		t.Error("MPI pages must be contiguous")
+	}
+}
+
+func TestFlatTrace(t *testing.T) {
+	r := newRSA(t)
+	_, traces := r.Decrypt(big.NewInt(5))
+	flat := FlatTrace(traces)
+	n := 0
+	for _, tr := range traces {
+		n += len(tr.Pages)
+	}
+	if len(flat) != n {
+		t.Errorf("flat length %d, want %d", len(flat), n)
+	}
+}
+
+func TestNewRSARejectsTinyPrimes(t *testing.T) {
+	if _, err := NewRSA(4, 1); err == nil {
+		t.Error("tiny primes should be rejected")
+	}
+}
+
+func TestAddrOf(t *testing.T) {
+	l := DefaultLayout
+	seen := map[uint64]bool{}
+	for _, p := range []struct {
+		page tlb.VPN
+	}{{l.Code}, {l.RP}, {l.XP}, {l.TP}} {
+		addr := l.AddrOf(p.page)
+		if addr>>tlb.PageShift != uint64(p.page) {
+			t.Errorf("AddrOf(%#x) = %#x not on its page", p.page, addr)
+		}
+		line := (addr >> 6) % 8 // 64B lines, 8 cache sets
+		if seen[line] {
+			t.Errorf("page %#x shares a cache set with another pointer", p.page)
+		}
+		seen[line] = true
+	}
+}

@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"securetlb/internal/tlb"
+)
+
+func TestMixtureMemFraction(t *testing.T) {
+	m := Povray()
+	r := rand.New(rand.NewSource(1))
+	mems := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if mem, _ := m.Step(r); mem {
+			mems++
+		}
+	}
+	frac := float64(mems) / n
+	if frac < m.MemFraction-0.02 || frac > m.MemFraction+0.02 {
+		t.Errorf("memory fraction = %.3f, want ≈ %.2f", frac, m.MemFraction)
+	}
+}
+
+func TestMixtureAddressesInRange(t *testing.T) {
+	for _, g := range []*Mixture{Povray(), Omnetpp(), Xalancbmk()} {
+		r := rand.New(rand.NewSource(2))
+		for i := 0; i < 20000; i++ {
+			mem, vpn := g.Step(r)
+			if !mem {
+				continue
+			}
+			if vpn < g.Base || vpn >= g.Base+tlb.VPN(g.WorkingSet) {
+				t.Fatalf("%s: page %#x outside working set", g.Name(), vpn)
+			}
+		}
+	}
+}
+
+func TestMixtureLocality(t *testing.T) {
+	// Most accesses should land in the hot set.
+	g := Povray()
+	r := rand.New(rand.NewSource(3))
+	hot, total := 0, 0
+	for i := 0; i < 50000; i++ {
+		mem, vpn := g.Step(r)
+		if !mem {
+			continue
+		}
+		total++
+		if vpn < g.Base+tlb.VPN(g.HotPages) {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(total)
+	if frac < g.HotProb-0.05 {
+		t.Errorf("hot fraction %.3f below HotProb %.2f", frac, g.HotProb)
+	}
+}
+
+func TestStreamingSequential(t *testing.T) {
+	s := CactusADM()
+	r := rand.New(rand.NewSource(4))
+	var pages []tlb.VPN
+	for len(pages) < 3*s.PerPage {
+		if mem, vpn := s.Step(r); mem {
+			pages = append(pages, vpn)
+		}
+	}
+	// Pages must be non-decreasing (mod wraparound) and advance in runs of
+	// PerPage.
+	for i := 1; i < len(pages); i++ {
+		d := int64(pages[i]) - int64(pages[i-1])
+		if d != 0 && d != 1 {
+			t.Fatalf("stream jumped by %d at %d", d, i)
+		}
+	}
+	first := pages[0]
+	s.Reset()
+	if mem, vpn := stepUntilMem(s, r); !mem || vpn != s.Base {
+		t.Errorf("Reset should restart the stream at base, got %#x (started %#x)", vpn, first)
+	}
+}
+
+func stepUntilMem(g Generator, r *rand.Rand) (bool, tlb.VPN) {
+	for i := 0; i < 1000; i++ {
+		if mem, vpn := g.Step(r); mem {
+			return true, vpn
+		}
+	}
+	return false, 0
+}
+
+func TestStreamingMissRateInsensitiveToTLBSize(t *testing.T) {
+	// The cactusADM property the paper calls out: MPKI barely moves with
+	// TLB capacity.
+	missRate := func(entries, ways int) float64 {
+		tl, err := tlb.NewSetAssoc(entries, ways, tlb.WalkerFunc(
+			func(asid tlb.ASID, vpn tlb.VPN) (tlb.PPN, uint64, error) { return tlb.PPN(vpn), 60, nil }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := CactusADM()
+		r := rand.New(rand.NewSource(5))
+		for i := 0; i < 200000; i++ {
+			if mem, vpn := s.Step(r); mem {
+				tl.Translate(1, vpn)
+			}
+		}
+		return tl.Stats().MissRate()
+	}
+	small, large := missRate(32, 4), missRate(128, 4)
+	if small == 0 {
+		t.Fatal("expected compulsory misses")
+	}
+	if small > 1.5*large {
+		t.Errorf("streaming miss rate should be size-insensitive: 32→%.4f vs 128→%.4f", small, large)
+	}
+}
+
+func TestOmnetppMoreTLBIntensiveThanPovray(t *testing.T) {
+	missRate := func(g Generator) float64 {
+		tl, _ := tlb.NewSetAssoc(32, 4, tlb.WalkerFunc(
+			func(asid tlb.ASID, vpn tlb.VPN) (tlb.PPN, uint64, error) { return tlb.PPN(vpn), 60, nil }))
+		r := rand.New(rand.NewSource(6))
+		for i := 0; i < 200000; i++ {
+			if mem, vpn := g.Step(r); mem {
+				tl.Translate(1, vpn)
+			}
+		}
+		return tl.Stats().MissRate()
+	}
+	if missRate(Omnetpp()) <= missRate(Povray()) {
+		t.Error("omnetpp should be more TLB-intensive than povray at 32 entries")
+	}
+}
+
+func TestTraceReplayAndDone(t *testing.T) {
+	tr := &Trace{Nm: "t", Pages: []tlb.VPN{1, 2, 3}, InstrPerAccess: 2, Repeats: 2}
+	r := rand.New(rand.NewSource(7))
+	var seen []tlb.VPN
+	steps := 0
+	for !tr.Done() {
+		steps++
+		if steps > 1000 {
+			t.Fatal("trace never completed")
+		}
+		if mem, vpn := tr.Step(r); mem {
+			seen = append(seen, vpn)
+		}
+	}
+	want := []tlb.VPN{1, 2, 3, 1, 2, 3}
+	if len(seen) != len(want) {
+		t.Fatalf("saw %v", seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("saw %v, want %v", seen, want)
+		}
+	}
+	// InstrPerAccess=2 means one gap instruction per access.
+	if steps != 12 {
+		t.Errorf("steps = %d, want 12 (2 per access)", steps)
+	}
+	// After Done, Step idles.
+	if mem, _ := tr.Step(r); mem {
+		t.Error("finished trace must idle")
+	}
+	tr.Reset()
+	if tr.Done() {
+		t.Error("Reset should restart the trace")
+	}
+}
+
+func TestTraceUnbounded(t *testing.T) {
+	tr := &Trace{Nm: "loop", Pages: []tlb.VPN{9}, InstrPerAccess: 1, Repeats: 0}
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		if tr.Done() {
+			t.Fatal("Repeats=0 must never finish")
+		}
+		tr.Step(r)
+	}
+}
+
+func TestSpecSuiteDistinctRanges(t *testing.T) {
+	suite := SpecSuite()
+	if len(suite) != 4 {
+		t.Fatalf("suite size %d", len(suite))
+	}
+	names := map[string]bool{}
+	for _, g := range suite {
+		if names[g.Name()] {
+			t.Errorf("duplicate name %s", g.Name())
+		}
+		names[g.Name()] = true
+	}
+	// Address ranges must not overlap (they share a TLB in co-runs).
+	type span struct{ lo, hi uint64 }
+	var spans []span
+	for _, g := range suite {
+		switch w := g.(type) {
+		case *Mixture:
+			spans = append(spans, span{uint64(w.Base), uint64(w.Base) + uint64(w.WorkingSet)})
+		case *Streaming:
+			spans = append(spans, span{uint64(w.Base), uint64(w.Base) + uint64(w.WorkingSet)})
+		}
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+				t.Errorf("workload ranges %d and %d overlap", i, j)
+			}
+		}
+	}
+}

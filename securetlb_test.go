@@ -1,0 +1,124 @@
+package securetlb
+
+import (
+	"math/big"
+	"testing"
+
+	"securetlb/internal/attack"
+	"securetlb/internal/model"
+)
+
+func identityWalker() Walker {
+	return WalkerFunc(func(asid ASID, vpn VPN) (PPN, uint64, error) {
+		return PPN(vpn), 60, nil
+	})
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	w := identityWalker()
+	sa, err := NewSATLB(32, 4, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := NewFATLB(32, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := NewSPTLB(32, 4, 2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := NewRFTLB(32, 8, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tl := range []TLB{sa, fa, sp, rf} {
+		r, err := tl.Translate(1, 0x42)
+		if err != nil || r.Hit {
+			t.Errorf("%s: first access = (%+v, %v)", tl.Name(), r, err)
+		}
+	}
+	var _ SecureTLB = sp
+	var _ SecureTLB = rf
+}
+
+func TestFacadeEnumeration(t *testing.T) {
+	if n := len(EnumerateVulnerabilities()); n != 24 {
+		t.Errorf("base vulnerabilities = %d, want 24", n)
+	}
+	if n := len(EnumerateExtendedVulnerabilities()); n != 60 {
+		t.Errorf("extended vulnerabilities = %d, want 60", n)
+	}
+	reports := AnalyzeDefenses()
+	c := model.CountDefenses(reports)
+	if c.SA != 10 || c.SP != 14 || c.RF != 24 {
+		t.Errorf("defense counts = %+v", c)
+	}
+}
+
+func TestFacadeReduce(t *testing.T) {
+	found := ReducePattern([]State{model.Ainv, model.Ad, model.Vu, model.Ad})
+	if len(found) != 1 || found[0].Strategy != "TLB Prime + Probe" {
+		t.Errorf("reduce = %v", found)
+	}
+}
+
+func TestFacadeCapacity(t *testing.T) {
+	if MutualInformation(1, 0) != 1 || MutualInformation(0.3, 0.3) != 0 {
+		t.Error("capacity endpoints wrong")
+	}
+}
+
+func TestFacadeSecurityEvaluation(t *testing.T) {
+	results, err := SecurityEvaluation(SA, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 24 {
+		t.Fatalf("results = %d", len(results))
+	}
+	defended := 0
+	for _, r := range results {
+		if r.Defended() {
+			defended++
+		}
+	}
+	if defended != 10 {
+		t.Errorf("SA defends %d, want 10", defended)
+	}
+	src, err := GenerateSecurityBenchmark(RF, results[0].Vulnerability, true)
+	if err != nil || len(src) == 0 {
+		t.Errorf("benchmark generation failed: %v", err)
+	}
+}
+
+func TestFacadeAttack(t *testing.T) {
+	rsa, err := NewRSAVictim(32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := NewSATLB(32, 8, identityWalker())
+	env := AttackEnvironment{TLB: sa, AttackerASID: 0, VictimASID: 1}
+	res, err := env.TLBleed(rsa, rsa.Encrypt(big.NewInt(99)), 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.95 {
+		t.Errorf("accuracy = %.2f", res.Accuracy)
+	}
+	var _ TLBleedResult = res
+	var _ = attack.PrimeSetPages
+}
+
+func TestFacadePerfAndArea(t *testing.T) {
+	rows, err := Figure7(PerfDesign(0), false, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 35 {
+		t.Errorf("figure 7 rows = %d", len(rows))
+	}
+	if n := len(Table5()); n != 19 {
+		t.Errorf("table 5 rows = %d, want 19", n)
+	}
+}
