@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build vet test race bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector exercises the trial-sharded campaign runner, the shared
+# worker pool and the copy-on-write machine clones under contention.
+race:
+	$(GO) test -race ./...
+
+# Serial-vs-parallel campaign engine comparison plus the Clone micro-costs.
+bench:
+	$(GO) test -run xxx -bench 'RunVulnerability|RunAll(Serial|Parallel)' -benchtime 2x .
+	$(GO) test -run xxx -bench Clone ./internal/mem/ ./internal/cpu/
+
+verify: build vet race

@@ -324,3 +324,57 @@ func BenchmarkAblationCoalescedSPReach(b *testing.B) {
 		})
 	}
 }
+
+// --- Trial-sharded parallel runner --------------------------------------------
+
+// The Serial/Parallel pairs below measure the campaign engine both ways on
+// identical configurations; compare them with benchstat (or by eye) to see
+// the trial-sharding speedup on this machine. The RF design is the
+// interesting one: its randomised trials dominate the full sweep's runtime.
+
+func benchRunVulnerability(b *testing.B, parallel bool) {
+	cfg := secbench.DefaultConfig(secbench.DesignRF)
+	cfg.Trials = 250
+	v := model.Enumerate()[11]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if parallel {
+			_, err = cfg.RunVulnerabilityParallel(v, 0)
+		} else {
+			_, err = cfg.RunVulnerability(v)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunVulnerabilitySerial(b *testing.B)   { benchRunVulnerability(b, false) }
+func BenchmarkRunVulnerabilityParallel(b *testing.B) { benchRunVulnerability(b, true) }
+
+func benchRunAll(b *testing.B, parallel bool) {
+	cfg := secbench.DefaultConfig(secbench.DesignRF)
+	cfg.Trials = 120
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var (
+			results []secbench.Result
+			err     error
+		)
+		if parallel {
+			results, err = cfg.RunAllParallel(0)
+		} else {
+			results, err = cfg.RunAll()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n := secbench.DefendedCount(results); n != 24 {
+			b.Fatalf("defended %d, want 24", n)
+		}
+	}
+}
+
+func BenchmarkRunAllSerial(b *testing.B)   { benchRunAll(b, false) }
+func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, true) }

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"securetlb/internal/perf"
+	"securetlb/internal/pool"
 	"securetlb/internal/report"
 )
 
@@ -25,6 +26,7 @@ func main() {
 	sweep := flag.Bool("sweep", false, "run the paper's full 50/100/150 decryption sweep")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	seed := flag.Uint64("seed", 1, "PRNG seed")
+	parallel := flag.Int("parallel", 0, "worker pool size for the cell sweep (0 = all CPUs)")
 	flag.Parse()
 
 	var designs []perf.Design
@@ -51,7 +53,7 @@ func main() {
 		for _, d := range designs {
 			for _, secure := range []bool{false, true} {
 				for _, n := range runCounts {
-					rows, err := perf.Figure7Parallel(d, secure, n, *seed, 0)
+					rows, err := perf.Figure7Parallel(d, secure, n, *seed, *parallel)
 					if err != nil {
 						fmt.Fprintln(os.Stderr, err)
 						os.Exit(1)
@@ -76,8 +78,9 @@ func main() {
 					label = "SecRSA"
 				}
 				fig := map[perf.Design]string{perf.SA: "7a/7d", perf.SP: "7b/7e", perf.RF: "7c/7f"}[d]
-				fmt.Printf("Figure %s — %s TLB, %s, %d decryptions\n", fig, d, label, decrypts)
-				rows, err := perf.Figure7Parallel(d, secure, decrypts, *seed, 0)
+				fmt.Printf("Figure %s — %s TLB, %s, %d decryptions, %d workers\n",
+					fig, d, label, decrypts, pool.Workers(*parallel))
+				rows, err := perf.Figure7Parallel(d, secure, decrypts, *seed, *parallel)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(1)

@@ -16,6 +16,7 @@ import (
 
 	"securetlb/internal/capacity"
 	"securetlb/internal/model"
+	"securetlb/internal/pool"
 	"securetlb/internal/report"
 	"securetlb/internal/secbench"
 )
@@ -27,6 +28,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	emit := flag.String("emit", "", "print the generated benchmark for a pattern, e.g. \"Ad -> Vu -> Ad\"")
 	mapped := flag.Bool("mapped", true, "with -emit: generate the mapped or not-mapped variant")
+	parallel := flag.Int("parallel", 0, "worker pool size for trial sharding (0 = all CPUs)")
 	flag.Parse()
 
 	if *emit != "" {
@@ -34,11 +36,11 @@ func main() {
 		return
 	}
 	if *jsonOut {
-		emitJSON(parseDesigns(*design), *trials, *extended)
+		emitJSON(parseDesigns(*design), *trials, *extended, *parallel)
 		return
 	}
 	for _, d := range parseDesigns(*design) {
-		runDesign(d, *trials, *extended)
+		runDesign(d, *trials, *extended, *parallel)
 	}
 }
 
@@ -59,7 +61,7 @@ type jsonRow struct {
 	Defended        bool    `json:"defended"`
 }
 
-func emitJSON(designs []secbench.Design, trials int, extended bool) {
+func emitJSON(designs []secbench.Design, trials int, extended bool, parallel int) {
 	var rows []jsonRow
 	for _, d := range designs {
 		cfg := secbench.DefaultConfig(d)
@@ -67,9 +69,9 @@ func emitJSON(designs []secbench.Design, trials int, extended bool) {
 		var results []secbench.Result
 		var err error
 		if extended {
-			results, err = cfg.RunAllExtendedParallel(0)
+			results, err = cfg.RunAllExtendedParallel(parallel)
 		} else {
-			results, err = cfg.RunAllParallel(0)
+			results, err = cfg.RunAllParallel(parallel)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -129,7 +131,7 @@ func theoryFor(d secbench.Design, v model.Vulnerability) (p1, p2 float64) {
 	return p1, p2
 }
 
-func runDesign(d secbench.Design, trials int, extended bool) {
+func runDesign(d secbench.Design, trials int, extended bool, parallel int) {
 	cfg := secbench.DefaultConfig(d)
 	cfg.Trials = trials
 	var results []secbench.Result
@@ -137,15 +139,16 @@ func runDesign(d secbench.Design, trials int, extended bool) {
 	title := "Table 4"
 	if extended {
 		title = "Appendix B extension"
-		results, err = cfg.RunAllExtendedParallel(0)
+		results, err = cfg.RunAllExtendedParallel(parallel)
 	} else {
-		results, err = cfg.RunAllParallel(0)
+		results, err = cfg.RunAllParallel(parallel)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s (%s) — %d mapped + %d not-mapped trials per vulnerability\n", title, d, trials, trials)
+	fmt.Printf("%s (%s) — %d mapped + %d not-mapped trials per vulnerability, %d workers\n",
+		title, d, trials, trials, pool.Workers(parallel))
 	rows := make([][]string, 0, len(results))
 	for _, r := range results {
 		row := []string{

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"securetlb/internal/model"
+	"securetlb/internal/pool"
 )
 
 // MutualInformation evaluates Eq. (1): the capacity in bits of the binary
@@ -226,29 +227,24 @@ func (c Counts) BootstrapCI(resamples int, conf float64, seed uint64) (lo, hi fl
 		return v, v
 	}
 	p1, p2 := c.Probabilities()
-	state := seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
-	next := func() float64 {
-		state ^= state << 13
-		state ^= state >> 7
-		state ^= state << 17
-		return float64(state>>11) / float64(1<<53)
-	}
-	binom := func(n int, p float64) int {
-		k := 0
-		for i := 0; i < n; i++ {
-			if next() < p {
-				k++
-			}
-		}
-		return k
-	}
 	caps := make([]float64, resamples)
-	for i := range caps {
-		r := Counts{
-			Mapped: c.Mapped, MappedMisses: binom(c.Mapped, p1),
-			NotMapped: c.NotMapped, NotMappedMisses: binom(c.NotMapped, p2),
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			caps[i] = c.resample(seed, i, p1, p2)
 		}
-		caps[i] = r.Capacity()
+	}
+	// Each resample draws from a PRNG state derived from (seed, index)
+	// alone, so the result is identical however the index range is split;
+	// batch across goroutines only when the binomial draws amount to real
+	// work (resamples × trials), since a campaign's 300×1000 draws matter
+	// but a unit test's 50×20 would be all scheduling overhead.
+	if work := resamples * (c.Mapped + c.NotMapped); work >= 1<<16 {
+		shards := pool.Shards(resamples, pool.Workers(0))
+		pool.New(len(shards)).ForEach(len(shards), func(s int) {
+			fill(shards[s].Lo, shards[s].Hi)
+		})
+	} else {
+		fill(0, resamples)
 	}
 	sortFloats(caps)
 	alpha := (1 - conf) / 2
@@ -258,6 +254,40 @@ func (c Counts) BootstrapCI(resamples int, conf float64, seed uint64) (lo, hi fl
 		hiIdx = resamples - 1
 	}
 	return caps[loIdx], caps[hiIdx]
+}
+
+// resample draws one bootstrap replicate of the capacity. Its xorshift64*
+// state is seeded independently per index with a splitmix64 finaliser, so
+// replicates are order-independent: the serial and batched evaluations of
+// BootstrapCI produce bit-identical intervals.
+func (c Counts) resample(seed uint64, i int, p1, p2 float64) float64 {
+	state := seed + (uint64(i)+1)*0x9e3779b97f4a7c15
+	state = (state ^ (state >> 30)) * 0xbf58476d1ce4e5b9
+	state = (state ^ (state >> 27)) * 0x94d049bb133111eb
+	state ^= state >> 31
+	if state == 0 {
+		state = 0x2545f4914f6cdd1d
+	}
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state>>11) / float64(1<<53)
+	}
+	binom := func(n int, p float64) int {
+		k := 0
+		for j := 0; j < n; j++ {
+			if next() < p {
+				k++
+			}
+		}
+		return k
+	}
+	r := Counts{
+		Mapped: c.Mapped, MappedMisses: binom(c.Mapped, p1),
+		NotMapped: c.NotMapped, NotMappedMisses: binom(c.NotMapped, p2),
+	}
+	return r.Capacity()
 }
 
 func sortFloats(v []float64) {

@@ -1,0 +1,173 @@
+package cpu
+
+import (
+	"testing"
+
+	"securetlb/internal/asm"
+	"securetlb/internal/tlb"
+)
+
+// cloneProbeSrc touches two pages and reports the TLB miss delta of a
+// re-access in x30 (the same shape as the security benchmarks' timed step).
+const cloneProbeSrc = `
+	li x1, 0x1000000
+	ld x2, 0(x1)
+	li x1, 0x1001000
+	ld x3, 0(x1)
+	csrr x28, tlb_miss_count
+	li x1, 0x1000000
+	ld x4, 0(x1)
+	csrr x29, tlb_miss_count
+	sub x30, x29, x28
+	pass
+.data
+.org 0x1000000
+	.dword 111
+.org 0x1001000
+	.dword 222
+`
+
+func loadedMachine(t *testing.T) *Machine {
+	t.Helper()
+	m := newMachine(t)
+	p, err := asm.Assemble(cloneProbeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(p, []tlb.ASID{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCloneRunsIdenticallyToOriginal(t *testing.T) {
+	orig := loadedMachine(t)
+	clone, err := orig.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	codeA, errA := orig.Run(1_000_000)
+	codeB, errB := clone.Run(1_000_000)
+	if errA != nil || errB != nil {
+		t.Fatalf("run errors: %v / %v", errA, errB)
+	}
+	if codeA != codeB || orig.Cycles() != clone.Cycles() || orig.Instret() != clone.Instret() {
+		t.Errorf("clone diverged: code %d/%d cycles %d/%d instret %d/%d",
+			codeA, codeB, orig.Cycles(), clone.Cycles(), orig.Instret(), clone.Instret())
+	}
+	for r := 0; r < 32; r++ {
+		if orig.Reg(r) != clone.Reg(r) {
+			t.Errorf("x%d = %d vs clone %d", r, orig.Reg(r), clone.Reg(r))
+		}
+	}
+	if orig.TLB.Stats() != clone.TLB.Stats() {
+		t.Errorf("TLB stats diverged: %+v vs %+v", orig.TLB.Stats(), clone.TLB.Stats())
+	}
+}
+
+func TestCloneIsIsolatedFromOriginal(t *testing.T) {
+	orig := loadedMachine(t)
+	clone, err := orig.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run only the clone: the original's state must stay untouched.
+	if _, err := clone.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if orig.Cycles() != 0 || orig.Instret() != 0 || orig.PC() != 0 {
+		t.Error("running the clone advanced the original")
+	}
+	if orig.TLB.Stats().Lookups != 0 {
+		t.Error("the clone translated through the original's TLB")
+	}
+	// Dirty the clone's memory; the original must still read the loaded data.
+	paddr, err := orig.PT.Translate(0, tlb.VPN(0x1000000>>tlb.PageShift))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone.Mem.Store64(uint64(paddr)<<tlb.PageShift, 999)
+	v, _, err := orig.Mem.Load64(uint64(paddr) << tlb.PageShift)
+	if err != nil || v != 111 {
+		t.Errorf("original data = %d (%v) after clone store, want 111", v, err)
+	}
+}
+
+func TestCloneSupportsConcurrentTrials(t *testing.T) {
+	// The exact usage pattern of the sharded security runner: the
+	// orchestrator clones one loaded template sequentially (Clone mutates
+	// the source's copy-on-write bookkeeping, so clones of one machine must
+	// not race each other), then the clones run trial loops concurrently.
+	// Under -race this doubles as the machine-level race check.
+	template := loadedMachine(t)
+	const workers = 4
+	type out struct {
+		cycles uint64
+		miss   uint64
+		err    error
+	}
+	machines := make([]*Machine, workers)
+	for w := range machines {
+		m, err := template.Clone()
+		if err != nil {
+			t.Fatal(err)
+		}
+		machines[w] = m
+	}
+	outs := make([]out, workers)
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- w }()
+			m := machines[w]
+			for trial := 0; trial < 10; trial++ {
+				m.Reset()
+				m.TLB.FlushAll()
+				m.TLB.ResetStats()
+				if _, err := m.Run(1_000_000); err != nil {
+					outs[w].err = err
+					return
+				}
+			}
+			outs[w].cycles = m.Cycles()
+			outs[w].miss = m.TLB.Stats().Misses
+		}(w)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	for w := 1; w < workers; w++ {
+		if outs[w].err != nil {
+			t.Fatal(outs[w].err)
+		}
+		if outs[w] != outs[0] {
+			t.Errorf("worker %d diverged: %+v vs %+v", w, outs[w], outs[0])
+		}
+	}
+}
+
+func TestCloneRejectsUnwiredMachine(t *testing.T) {
+	var m Machine
+	if _, err := m.Clone(); err == nil {
+		t.Error("cloning an unwired machine should error")
+	}
+}
+
+func BenchmarkMachineClone(b *testing.B) {
+	t := &testing.T{}
+	m := newMachine(t)
+	p, err := asm.Assemble(cloneProbeSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Load(p, []tlb.ASID{0, 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Clone(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -147,6 +147,42 @@ func (c *Machine) Load(p *isa.Program, asids []tlb.ASID) error {
 	return nil
 }
 
+// Clone returns an isolated replica of the machine: the physical memory is
+// copied copy-on-write (mem.Memory.Clone), the page tables are re-bound to
+// the new memory, the TLB (and I-TLB, if any) is replicated with its full
+// microarchitectural state, and the architectural state (registers, PC,
+// counters, CSR shadows) is copied. The loaded program is shared — it is
+// immutable after Assemble — so cloning costs O(map copies), independent of
+// program or data size.
+//
+// The parallel security campaigns clone one loaded template machine per
+// worker: every clone then runs trials exactly as the original would,
+// with no shared mutable state between workers. Clone updates the source's
+// copy-on-write bookkeeping, so clones of one machine must be taken
+// sequentially; the resulting machines are then independent and each safe
+// for its own goroutine.
+func (c *Machine) Clone() (*Machine, error) {
+	if c.Mem == nil || c.PT == nil || c.TLB == nil {
+		return nil, fmt.Errorf("cpu: cannot clone a partially wired machine")
+	}
+	n := *c
+	n.Mem = c.Mem.Clone()
+	n.PT = c.PT.CloneWith(n.Mem)
+	t, err := tlb.Clone(c.TLB, n.PT)
+	if err != nil {
+		return nil, fmt.Errorf("cpu: %w", err)
+	}
+	n.TLB = t
+	if c.itlb != nil {
+		it, err := tlb.Clone(c.itlb, n.PT)
+		if err != nil {
+			return nil, fmt.Errorf("cpu: I-TLB: %w", err)
+		}
+		n.itlb = it
+	}
+	return &n, nil
+}
+
 // Reset clears the architectural state (registers, PC, counters, halt flag)
 // but leaves memory, page tables and the TLB array untouched.
 func (c *Machine) Reset() {
@@ -190,12 +226,23 @@ func (c *Machine) PC() int { return c.pc }
 
 // Run executes until halt or until maxInstr instructions have retired,
 // returning the exit code. Exceeding the budget returns ErrLimit.
+//
+// This is the interpreter's hot loop: the per-step program/bounds checks are
+// hoisted out of Step and instructions execute by pointer, so a trial's
+// million-instruction budget pays only the dispatch switch per instruction.
 func (c *Machine) Run(maxInstr uint64) (int64, error) {
+	if c.prog == nil {
+		return 0, fmt.Errorf("cpu: no program loaded")
+	}
+	instrs := c.prog.Instrs
 	for i := uint64(0); i < maxInstr; i++ {
 		if c.halted {
 			return c.exit, nil
 		}
-		if err := c.Step(); err != nil {
+		if uint(c.pc) >= uint(len(instrs)) {
+			return 0, fmt.Errorf("cpu: pc %d outside program (%d instructions)", c.pc, len(instrs))
+		}
+		if err := c.exec(&instrs[c.pc]); err != nil {
 			return 0, err
 		}
 	}
@@ -216,7 +263,12 @@ func (c *Machine) Step() error {
 	if c.pc < 0 || c.pc >= len(c.prog.Instrs) {
 		return fmt.Errorf("cpu: pc %d outside program (%d instructions)", c.pc, len(c.prog.Instrs))
 	}
-	in := c.prog.Instrs[c.pc]
+	return c.exec(&c.prog.Instrs[c.pc])
+}
+
+// exec retires one instruction. The caller guarantees the machine is not
+// halted and in points into the loaded program at c.pc.
+func (c *Machine) exec(in *isa.Instr) error {
 	c.cycles++ // base cost of every instruction
 	if c.itlb != nil {
 		// Instruction fetch translates the PC's page through the I-TLB.

@@ -7,6 +7,11 @@
 // walker charges this latency per level, which is what makes a TLB miss
 // "slow" relative to a hit and so creates the timing channel the paper
 // studies.
+//
+// Memories support cheap replication via Clone, which shares page frames
+// copy-on-write: the parallel security campaigns clone one loaded machine
+// per worker, so an N-worker campaign pays the program load once and each
+// clone costs only a map copy until (unless) it writes.
 package mem
 
 import "fmt"
@@ -31,6 +36,17 @@ const DefaultLatency = 20
 type Memory struct {
 	pages   map[uint64]*[WordsPerPage]uint64
 	latency uint64
+	// owned tracks which pages this Memory may mutate in place. nil means
+	// the memory has never been cloned and owns everything (the common,
+	// zero-overhead case); after a Clone both sides start owning nothing and
+	// copy a page on first write.
+	owned map[uint64]bool
+	// lastPPN/lastPage cache the most recently accessed page, short-cutting
+	// the map lookup on the page-walk and data paths where consecutive
+	// accesses hit the same page (e.g. the three PTE reads of a walk within
+	// one table, or a pointer-chasing loop).
+	lastPPN  uint64
+	lastPage *[WordsPerPage]uint64
 	// Reads and Writes count accesses, for diagnostics and tests.
 	Reads  uint64
 	Writes uint64
@@ -46,15 +62,39 @@ func New(latency uint64) *Memory {
 // Latency returns the per-access cost in cycles.
 func (m *Memory) Latency() uint64 { return m.latency }
 
-// page returns the backing page for a physical address, allocating it if
-// alloc is true. Returns nil for absent pages when alloc is false.
-func (m *Memory) page(paddr uint64, alloc bool) *[WordsPerPage]uint64 {
+// page returns the backing page for a physical address for reading, or nil
+// for absent pages. Shared (copy-on-write) pages may be returned; callers
+// must not write through the result.
+func (m *Memory) page(paddr uint64) *[WordsPerPage]uint64 {
+	ppn := paddr >> PageShift
+	if m.lastPage != nil && m.lastPPN == ppn {
+		return m.lastPage
+	}
+	p := m.pages[ppn]
+	if p != nil {
+		m.lastPPN, m.lastPage = ppn, p
+	}
+	return p
+}
+
+// pageForWrite returns a page this Memory may mutate, allocating it if
+// absent and un-sharing it (copying) if it is held copy-on-write.
+func (m *Memory) pageForWrite(paddr uint64) *[WordsPerPage]uint64 {
 	ppn := paddr >> PageShift
 	p := m.pages[ppn]
-	if p == nil && alloc {
+	switch {
+	case p == nil:
 		p = new([WordsPerPage]uint64)
 		m.pages[ppn] = p
+	case m.owned != nil && !m.owned[ppn]:
+		cp := *p
+		p = &cp
+		m.pages[ppn] = p
 	}
+	if m.owned != nil {
+		m.owned[ppn] = true
+	}
+	m.lastPPN, m.lastPage = ppn, p
 	return p
 }
 
@@ -66,7 +106,7 @@ func (m *Memory) Load64(paddr uint64) (uint64, uint64, error) {
 		return 0, 0, fmt.Errorf("mem: misaligned 64-bit load at %#x", paddr)
 	}
 	m.Reads++
-	p := m.page(paddr, false)
+	p := m.page(paddr)
 	if p == nil {
 		return 0, m.latency, nil
 	}
@@ -80,7 +120,7 @@ func (m *Memory) Store64(paddr, value uint64) (uint64, error) {
 		return 0, fmt.Errorf("mem: misaligned 64-bit store at %#x", paddr)
 	}
 	m.Writes++
-	p := m.page(paddr, true)
+	p := m.pageForWrite(paddr)
 	p[(paddr%PageSize)/8] = value
 	return m.latency, nil
 }
@@ -93,5 +133,33 @@ func (m *Memory) AllocatedPages() int { return len(m.pages) }
 // post-New state.
 func (m *Memory) Reset() {
 	m.pages = make(map[uint64]*[WordsPerPage]uint64)
+	m.owned = nil
+	m.lastPage, m.lastPPN = nil, 0
 	m.Reads, m.Writes = 0, 0
+}
+
+// Clone returns a copy-on-write replica: the clone observes exactly the
+// current contents (and inherits the access counters), but writes on either
+// side are private to it. The clone costs one map copy; page frames are
+// shared until first write, which is what makes per-worker machine
+// replication in the parallel campaigns cheap.
+//
+// Clone updates the receiver's copy-on-write bookkeeping, so calls on the
+// same Memory must be serialised by the caller; the returned memories are
+// then fully independent and safe for concurrent use (one goroutine each).
+func (m *Memory) Clone() *Memory {
+	// After a clone neither side owns the shared frames.
+	m.owned = make(map[uint64]bool, len(m.pages))
+	m.lastPage, m.lastPPN = nil, 0
+	pages := make(map[uint64]*[WordsPerPage]uint64, len(m.pages))
+	for ppn, p := range m.pages {
+		pages[ppn] = p
+	}
+	return &Memory{
+		pages:   pages,
+		latency: m.latency,
+		owned:   make(map[uint64]bool, len(pages)),
+		Reads:   m.Reads,
+		Writes:  m.Writes,
+	}
 }

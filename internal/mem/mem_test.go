@@ -86,6 +86,92 @@ func TestQuickStoreThenLoad(t *testing.T) {
 	}
 }
 
+func TestCloneSeesCurrentContents(t *testing.T) {
+	m := New(20)
+	m.Store64(0x1000, 111)
+	m.Store64(0x2000, 222)
+	c := m.Clone()
+	if c.Latency() != 20 {
+		t.Errorf("clone latency = %d, want 20", c.Latency())
+	}
+	for _, addr := range []uint64{0x1000, 0x2000} {
+		want, _, _ := m.Load64(addr)
+		got, _, err := c.Load64(addr)
+		if err != nil || got != want {
+			t.Errorf("clone[%#x] = %d, want %d (%v)", addr, got, want, err)
+		}
+	}
+}
+
+func TestCloneWritesAreIsolated(t *testing.T) {
+	m := New(0)
+	m.Store64(0x1000, 1)
+	c := m.Clone()
+
+	// Clone writes must not leak into the original, in the shared page or in
+	// fresh pages.
+	c.Store64(0x1000, 100)
+	c.Store64(0x3000, 300)
+	if v, _, _ := m.Load64(0x1000); v != 1 {
+		t.Errorf("original[0x1000] = %d after clone write, want 1", v)
+	}
+	if v, _, _ := m.Load64(0x3000); v != 0 {
+		t.Errorf("original[0x3000] = %d after clone write, want 0", v)
+	}
+
+	// And the original's writes must not leak into the clone.
+	m.Store64(0x1008, 2)
+	if v, _, _ := c.Load64(0x1008); v != 0 {
+		t.Errorf("clone[0x1008] = %d after original write, want 0", v)
+	}
+	if v, _, _ := c.Load64(0x1000); v != 100 {
+		t.Errorf("clone[0x1000] = %d, want its own 100", v)
+	}
+}
+
+func TestCloneOfCloneAndInterleavedWrites(t *testing.T) {
+	// A template cloned repeatedly, with writes between clones: each clone
+	// snapshots the template's state at clone time.
+	m := New(0)
+	m.Store64(0x1000, 1)
+	c1 := m.Clone()
+	m.Store64(0x1000, 2)
+	c2 := m.Clone()
+	m.Store64(0x1000, 3)
+	c3 := c2.Clone()
+	c2.Store64(0x1000, 22)
+	for _, tc := range []struct {
+		name string
+		mem  *Memory
+		want uint64
+	}{
+		{"template", m, 3}, {"c1", c1, 1}, {"c2", c2, 22}, {"c3 (clone of c2)", c3, 2},
+	} {
+		if v, _, _ := tc.mem.Load64(0x1000); v != tc.want {
+			t.Errorf("%s[0x1000] = %d, want %d", tc.name, v, tc.want)
+		}
+	}
+}
+
+func TestCloneReadDoesNotCopy(t *testing.T) {
+	m := New(0)
+	for i := uint64(0); i < 8; i++ {
+		m.Store64(i<<PageShift, i)
+	}
+	c := m.Clone()
+	for i := uint64(0); i < 8; i++ {
+		c.Load64(i << PageShift)
+	}
+	// Reads on either side keep sharing frames; only writes un-share.
+	if got := c.AllocatedPages(); got != 8 {
+		t.Errorf("clone pages = %d, want 8 shared", got)
+	}
+	c.Store64(0, 99)
+	if v, _, _ := m.Load64(0); v != 0 {
+		t.Error("write-after-read must still copy-on-write")
+	}
+}
+
 func TestQuickDistinctAddressesIndependent(t *testing.T) {
 	f := func(a32, b32 uint32, va, vb uint64) bool {
 		a, b := uint64(a32)&^7, uint64(b32)&^7
@@ -101,5 +187,32 @@ func TestQuickDistinctAddressesIndependent(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	// A realistic campaign footprint: a few hundred touched pages.
+	m := New(DefaultLatency)
+	for p := 0; p < 300; p++ {
+		m.Store64(uint64(p)<<PageShift, uint64(p))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Clone()
+	}
+}
+
+func BenchmarkCloneThenWrite(b *testing.B) {
+	// Cost of the first post-clone write to a shared page (the copy).
+	m := New(DefaultLatency)
+	for p := 0; p < 300; p++ {
+		m.Store64(uint64(p)<<PageShift, uint64(p))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := m.Clone()
+		c.Store64(0, uint64(i))
 	}
 }

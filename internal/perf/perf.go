@@ -15,9 +15,8 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
-	"runtime"
-	"sync"
 
+	"securetlb/internal/pool"
 	"securetlb/internal/tlb"
 	"securetlb/internal/victim"
 	"securetlb/internal/workload"
@@ -333,23 +332,11 @@ func Figure7Parallel(d Design, secure bool, decrypts int, seed uint64, paralleli
 			cells = append(cells, cellSpec{g, s})
 		}
 	}
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
 	rows := make([]Row, len(cells))
 	errs := make([]error, len(cells))
-	sem := make(chan struct{}, parallelism)
-	var wg sync.WaitGroup
-	for i, c := range cells {
-		wg.Add(1)
-		go func(i int, c cellSpec) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rows[i], errs[i] = Cell(d, c.g, c.spec, secure, decrypts, seed)
-		}(i, c)
-	}
-	wg.Wait()
+	pool.New(parallelism).ForEach(len(cells), func(i int) {
+		rows[i], errs[i] = Cell(d, cells[i].g, cells[i].spec, secure, decrypts, seed)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,0 +1,111 @@
+// Package pool provides the bounded worker pool shared by the repo's
+// parallel sweeps.
+//
+// The security campaigns (internal/secbench) and the performance sweeps
+// (internal/perf) both fan work out at two levels: coarse units
+// (vulnerabilities, Figure 7 cells) and fine units (trial shards). A single
+// Pool bounds the *leaf* concurrency of a whole sweep, so a 24-vulnerability
+// campaign with trial sharding saturates exactly N cores instead of
+// len(vulns) goroutines each running 1,000 serial trials — or, worse, an
+// unbounded goroutine per cell.
+//
+// The pool is a semaphore, not a task queue: Run executes the function on
+// the calling goroutine once a slot is free, and Go spawns a goroutine that
+// does the same. Because slots are held only while a leaf function runs
+// (orchestrating goroutines never hold a slot while waiting on children),
+// nested fan-out cannot deadlock.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool bounds how many submitted functions execute concurrently.
+//
+// The zero value is not ready to use; call New.
+type Pool struct {
+	sem chan struct{}
+}
+
+// Workers normalises a requested parallelism: values <= 0 select
+// runtime.GOMAXPROCS(0), mirroring the CLI convention that -parallel 0
+// means "all cores".
+func Workers(parallelism int) int {
+	if parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// New returns a pool executing at most Workers(parallelism) functions at a
+// time.
+func New(parallelism int) *Pool {
+	return &Pool{sem: make(chan struct{}, Workers(parallelism))}
+}
+
+// Size returns the pool's worker bound.
+func (p *Pool) Size() int { return cap(p.sem) }
+
+// Run executes fn on the calling goroutine once a worker slot is free, and
+// releases the slot when fn returns. fn must not call Run or Go and wait for
+// the result while holding the slot (leaf work only); orchestration code
+// calls Run directly and fans out with Go.
+func (p *Pool) Run(fn func()) {
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	fn()
+}
+
+// Go spawns a goroutine that executes fn under Run, tracked by wg.
+func (p *Pool) Go(wg *sync.WaitGroup, fn func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Run(fn)
+	}()
+}
+
+// ForEach runs fn(i) for i in [0, n) with the pool's concurrency bound and
+// waits for all of them. Each invocation occupies one worker slot; the
+// iteration order across workers is unspecified, so fn must write only to
+// its own index's state.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		p.Go(&wg, func() { fn(i) })
+	}
+	wg.Wait()
+}
+
+// Shard describes a half-open index range [Lo, Hi) of a sharded loop.
+type Shard struct {
+	Lo, Hi int
+}
+
+// Shards splits n items into at most parts contiguous, near-equal ranges,
+// in order. It returns nil when n <= 0. The union of the returned ranges is
+// exactly [0, n), so per-item work partitioned this way is identical to a
+// serial loop — only the grouping changes.
+func Shards(n, parts int) []Shard {
+	if n <= 0 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	out := make([]Shard, 0, parts)
+	lo := 0
+	for i := 0; i < parts; i++ {
+		// Distribute the remainder one item at a time so sizes differ by at
+		// most one.
+		size := (n - lo) / (parts - i)
+		out = append(out, Shard{Lo: lo, Hi: lo + size})
+		lo += size
+	}
+	return out
+}

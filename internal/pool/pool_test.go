@@ -1,0 +1,105 @@
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalisation(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+	if got := New(5).Size(); got != 5 {
+		t.Errorf("Size = %d, want 5", got)
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	p := New(3)
+	const n = 100
+	counts := make([]int32, n)
+	p.ForEach(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestConcurrencyBound(t *testing.T) {
+	p := New(2)
+	var cur, peak int32
+	p.ForEach(20, func(int) {
+		n := atomic.AddInt32(&cur, 1)
+		for {
+			old := atomic.LoadInt32(&peak)
+			if n <= old || atomic.CompareAndSwapInt32(&peak, old, n) {
+				break
+			}
+		}
+		runtime.Gosched()
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > 2 {
+		t.Errorf("observed %d concurrent workers, bound is 2", peak)
+	}
+}
+
+func TestNestedFanOutDoesNotDeadlock(t *testing.T) {
+	// Orchestrators fan out leaves through the same pool; only leaves hold
+	// slots, so a 1-worker pool must still finish.
+	p := New(1)
+	var total int32
+	var outer sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		outer.Add(1)
+		go func() {
+			defer outer.Done()
+			p.ForEach(5, func(int) { atomic.AddInt32(&total, 1) })
+		}()
+	}
+	outer.Wait()
+	if total != 20 {
+		t.Errorf("ran %d leaves, want 20", total)
+	}
+}
+
+func TestShards(t *testing.T) {
+	if got := Shards(0, 4); got != nil {
+		t.Errorf("Shards(0,4) = %v, want nil", got)
+	}
+	for _, tc := range []struct{ n, parts int }{
+		{10, 3}, {10, 10}, {3, 8}, {1, 1}, {500, 7}, {5, 0},
+	} {
+		shards := Shards(tc.n, tc.parts)
+		want := tc.parts
+		if want > tc.n {
+			want = tc.n
+		}
+		if want < 1 {
+			want = 1
+		}
+		if len(shards) != want {
+			t.Errorf("Shards(%d,%d): %d shards, want %d", tc.n, tc.parts, len(shards), want)
+		}
+		next, total := 0, 0
+		for _, s := range shards {
+			if s.Lo != next || s.Hi <= s.Lo {
+				t.Fatalf("Shards(%d,%d): bad range %+v after %d", tc.n, tc.parts, s, next)
+			}
+			total += s.Hi - s.Lo
+			next = s.Hi
+		}
+		if total != tc.n {
+			t.Errorf("Shards(%d,%d) covers %d items", tc.n, tc.parts, total)
+		}
+	}
+}

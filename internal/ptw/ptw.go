@@ -69,6 +69,25 @@ func New(m *mem.Memory, firstPPN uint64) *PageTables {
 	return &PageTables{mem: m, roots: make(map[tlb.ASID]uint64), nextPPN: firstPPN}
 }
 
+// CloneWith returns a replica of the page-table bookkeeping bound to a new
+// physical memory — normally a mem.Memory.Clone() of the original, since
+// the table contents themselves live inside physical memory. Together the
+// two clones give a worker an isolated, fully-mapped address-translation
+// substrate without re-running any Map calls.
+func (p *PageTables) CloneWith(m *mem.Memory) *PageTables {
+	roots := make(map[tlb.ASID]uint64, len(p.roots))
+	for asid, r := range p.roots {
+		roots[asid] = r
+	}
+	return &PageTables{
+		mem:     m,
+		roots:   roots,
+		nextPPN: p.nextPPN,
+		Walks:   p.Walks,
+		Faults:  p.Faults,
+	}
+}
+
 // AllocPPN hands out a fresh physical page number. Loaders use it to place
 // program data; the walker uses it internally for table pages.
 func (p *PageTables) AllocPPN() uint64 {

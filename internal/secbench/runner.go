@@ -2,14 +2,15 @@ package secbench
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"securetlb/internal/asm"
 	"securetlb/internal/capacity"
 	"securetlb/internal/cpu"
+	"securetlb/internal/isa"
 	"securetlb/internal/mem"
 	"securetlb/internal/model"
+	"securetlb/internal/pool"
 	"securetlb/internal/ptw"
 	"securetlb/internal/tlb"
 )
@@ -33,14 +34,58 @@ type Result struct {
 // (the paper's own "about 0" entries are up to 0.01).
 func (r Result) Defended() bool { return r.C <= 0.05 }
 
-// campaign bundles one reusable simulation per (vulnerability, behaviour):
-// the program is assembled once and re-run per trial with a flushed TLB.
-type campaign struct {
-	machine *cpu.Machine
-	rf      *tlb.RF // non-nil for the RF design, for per-trial reseeding
+// trialSeed derives the deterministic per-trial seed. This formula is the
+// runner's seed-derivation contract: it depends only on (BaseSeed, trial
+// index, behaviour), never on scheduling, so the serial and trial-sharded
+// runners draw identical per-trial randomness and produce bit-identical
+// results.
+func (c Config) trialSeed(trial int, mapped bool) uint64 {
+	seed := c.BaseSeed ^ (uint64(trial)+1)*0x9e3779b97f4a7c15
+	if mapped {
+		seed = ^seed
+	}
+	return seed
 }
 
-func (c Config) newCampaign(v model.Vulnerability, mapped bool) (*campaign, error) {
+// --- assembled-program cache ------------------------------------------------
+
+// progKey identifies an assembled benchmark program: everything Generate's
+// output depends on. Campaigns that share a key (re-runs, serial-vs-parallel
+// comparisons, geometry sweeps revisiting a point) reuse the assembly.
+type progKey struct {
+	design                    Design
+	entries, ways, victimWays int
+	params                    capacity.RFParams
+	pattern                   string
+	observation               model.Observation
+	mapped                    bool
+}
+
+// progCache maps progKey to *isa.Program. Assembled programs are immutable
+// (Load copies data into memory and executes instructions by value), so one
+// cached program is safely shared by every campaign and worker.
+var progCache sync.Map
+
+func (c Config) progKeyFor(v model.Vulnerability, mapped bool) progKey {
+	return progKey{
+		design:      c.Design,
+		entries:     c.Entries,
+		ways:        c.Ways,
+		victimWays:  c.VictimWays,
+		params:      c.Params,
+		pattern:     v.Pattern.String(),
+		observation: v.Observation,
+		mapped:      mapped,
+	}
+}
+
+// program returns the assembled benchmark for (v, mapped), generating and
+// assembling it at most once per key process-wide.
+func (c Config) program(v model.Vulnerability, mapped bool) (*isa.Program, error) {
+	key := c.progKeyFor(v, mapped)
+	if p, ok := progCache.Load(key); ok {
+		return p.(*isa.Program), nil
+	}
 	src, err := c.Generate(v, mapped)
 	if err != nil {
 		return nil, err
@@ -48,6 +93,28 @@ func (c Config) newCampaign(v model.Vulnerability, mapped bool) (*campaign, erro
 	prog, err := asm.Assemble(src)
 	if err != nil {
 		return nil, fmt.Errorf("secbench: assembling %s: %w", v, err)
+	}
+	// Concurrent first-comers may assemble twice; both results are
+	// identical, so whichever lands in the cache is fine.
+	progCache.Store(key, prog)
+	return prog, nil
+}
+
+// --- campaigns ---------------------------------------------------------------
+
+// campaign bundles one reusable simulation per (vulnerability, behaviour):
+// the program is assembled once and re-run per trial with a flushed TLB.
+type campaign struct {
+	machine *cpu.Machine
+	rf      *tlb.RF // non-nil for the RF design, for per-trial reseeding
+}
+
+// newCampaign builds the template campaign machine for one behaviour. The
+// returned campaign is the template the sharded runner clones per worker.
+func (c Config) newCampaign(v model.Vulnerability, mapped bool) (*campaign, error) {
+	prog, err := c.program(v, mapped)
+	if err != nil {
+		return nil, err
 	}
 	m := mem.New(c.MemLatency)
 	pt := ptw.New(m, 0x100000)
@@ -65,11 +132,24 @@ func (c Config) newCampaign(v model.Vulnerability, mapped bool) (*campaign, erro
 	if err := mach.Load(prog, []tlb.ASID{attackerASID, victimASID}); err != nil {
 		return nil, err
 	}
+	return wrapCampaign(mach), nil
+}
+
+func wrapCampaign(mach *cpu.Machine) *campaign {
 	camp := &campaign{machine: mach}
-	if rf, ok := t.(*tlb.RF); ok {
+	if rf, ok := mach.TLB.(*tlb.RF); ok {
 		camp.rf = rf
 	}
-	return camp, nil
+	return camp
+}
+
+// clone replicates the campaign machine for an additional worker.
+func (cp *campaign) clone() (*campaign, error) {
+	m, err := cp.machine.Clone()
+	if err != nil {
+		return nil, err
+	}
+	return wrapCampaign(m), nil
 }
 
 // runTrial executes one trial and reports whether the timed step observed a
@@ -91,8 +171,33 @@ func (cp *campaign) runTrial(seed uint64) (miss bool, err error) {
 	return cp.machine.Reg(30) != 0, nil
 }
 
+// runTrials executes trials [lo, hi) for one behaviour and returns how many
+// observed a miss. Each trial reseeds from its own index, so the count is
+// independent of how the trial range is split across workers.
+func (c Config) runTrials(cp *campaign, v model.Vulnerability, mapped bool, lo, hi int) (int, error) {
+	misses := 0
+	for trial := lo; trial < hi; trial++ {
+		miss, err := cp.runTrial(c.trialSeed(trial, mapped))
+		if err != nil {
+			return misses, fmt.Errorf("%s (mapped=%v, trial %d): %w", v, mapped, trial, err)
+		}
+		if miss {
+			misses++
+		}
+	}
+	return misses, nil
+}
+
+// finalize derives the probability, capacity and CI columns from the counts.
+func (c Config) finalize(res *Result) {
+	res.P1, res.P2 = res.Counts.Probabilities()
+	res.C = res.Counts.Capacity()
+	res.CILow, res.CIHigh = res.Counts.BootstrapCI(300, 0.95, c.BaseSeed)
+}
+
 // RunVulnerability executes the full mapped/not-mapped campaign for one
-// vulnerability.
+// vulnerability, serially on a single machine. It is the reference
+// implementation the parallel runner must match bit-for-bit.
 func (c Config) RunVulnerability(v model.Vulnerability) (Result, error) {
 	res := Result{Vulnerability: v}
 	for _, mapped := range []bool{true, false} {
@@ -100,19 +205,9 @@ func (c Config) RunVulnerability(v model.Vulnerability) (Result, error) {
 		if err != nil {
 			return res, err
 		}
-		misses := 0
-		for trial := 0; trial < c.Trials; trial++ {
-			seed := c.BaseSeed ^ (uint64(trial)+1)*0x9e3779b97f4a7c15
-			if mapped {
-				seed = ^seed
-			}
-			miss, err := camp.runTrial(seed)
-			if err != nil {
-				return res, fmt.Errorf("%s (mapped=%v, trial %d): %w", v, mapped, trial, err)
-			}
-			if miss {
-				misses++
-			}
+		misses, err := c.runTrials(camp, v, mapped, 0, c.Trials)
+		if err != nil {
+			return res, err
 		}
 		if mapped {
 			res.Counts.Mapped, res.Counts.MappedMisses = c.Trials, misses
@@ -120,9 +215,66 @@ func (c Config) RunVulnerability(v model.Vulnerability) (Result, error) {
 			res.Counts.NotMapped, res.Counts.NotMappedMisses = c.Trials, misses
 		}
 	}
-	res.P1, res.P2 = res.Counts.Probabilities()
-	res.C = res.Counts.Capacity()
-	res.CILow, res.CIHigh = res.Counts.BootstrapCI(300, 0.95, c.BaseSeed)
+	c.finalize(&res)
+	return res, nil
+}
+
+// RunVulnerabilityParallel is RunVulnerability with the 2×Trials trials
+// sharded over a bounded worker pool (parallelism <= 0 selects GOMAXPROCS).
+// Results are bit-identical to RunVulnerability.
+func (c Config) RunVulnerabilityParallel(v model.Vulnerability, parallelism int) (Result, error) {
+	return c.runVulnerabilitySharded(pool.New(parallelism), v)
+}
+
+// runVulnerabilitySharded runs one vulnerability's two campaigns with trial
+// shards executing on p. The per-trial seed contract (trialSeed) makes the
+// shard split invisible in the results: each shard's misses depend only on
+// its trial indices, and integer summation is order-independent.
+func (c Config) runVulnerabilitySharded(p *pool.Pool, v model.Vulnerability) (Result, error) {
+	res := Result{Vulnerability: v}
+	for _, mapped := range []bool{true, false} {
+		var template *campaign
+		var err error
+		// Build the template under a worker slot: assembly and page-table
+		// setup is real work, and gating it keeps a whole RunAll sweep's
+		// concurrency at exactly the pool bound.
+		p.Run(func() { template, err = c.newCampaign(v, mapped) })
+		if err != nil {
+			return res, err
+		}
+		shards := pool.Shards(c.Trials, p.Size())
+		// The template machine runs the first shard itself; clones (taken
+		// sequentially — Clone mutates the source's copy-on-write state)
+		// serve the rest.
+		camps := make([]*campaign, len(shards))
+		for i := range shards {
+			if i == 0 {
+				camps[i] = template
+				continue
+			}
+			if camps[i], err = template.clone(); err != nil {
+				return res, err
+			}
+		}
+		missesBy := make([]int, len(shards))
+		errsBy := make([]error, len(shards))
+		p.ForEach(len(shards), func(i int) {
+			missesBy[i], errsBy[i] = c.runTrials(camps[i], v, mapped, shards[i].Lo, shards[i].Hi)
+		})
+		misses := 0
+		for i := range shards {
+			if errsBy[i] != nil {
+				return res, errsBy[i]
+			}
+			misses += missesBy[i]
+		}
+		if mapped {
+			res.Counts.Mapped, res.Counts.MappedMisses = c.Trials, misses
+		} else {
+			res.Counts.NotMapped, res.Counts.NotMappedMisses = c.Trials, misses
+		}
+	}
+	c.finalize(&res)
 	return res, nil
 }
 
@@ -161,10 +313,13 @@ func DefendedCount(results []Result) int {
 	return n
 }
 
-// RunAllParallel is RunAll with one goroutine per vulnerability, bounded by
-// parallelism (0 = GOMAXPROCS). Campaigns are fully independent — each
-// builds its own machine and TLB — so results are identical to the serial
-// runner, in the same Table 2 order.
+// RunAllParallel is RunAll parallelised at two levels over one bounded
+// worker pool (parallelism <= 0 selects GOMAXPROCS): every vulnerability's
+// campaigns run concurrently AND each campaign's trials are sharded across
+// workers on cloned machines. Wall-clock therefore scales with cores even
+// when one slow campaign dominates, instead of being bounded by the slowest
+// campaign's serial trial loop. Results are bit-identical to RunAll, in the
+// same Table 2 order — see trialSeed for the determinism contract.
 func (c Config) RunAllParallel(parallelism int) ([]Result, error) {
 	return c.runListParallel(model.Enumerate(), parallelism)
 }
@@ -175,21 +330,20 @@ func (c Config) RunAllExtendedParallel(parallelism int) ([]Result, error) {
 }
 
 func (c Config) runListParallel(vulns []model.Vulnerability, parallelism int) ([]Result, error) {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
+	p := pool.New(parallelism)
 	results := make([]Result, len(vulns))
 	errs := make([]error, len(vulns))
-	sem := make(chan struct{}, parallelism)
 	var wg sync.WaitGroup
 	for i, v := range vulns {
+		i, v := i, v
 		wg.Add(1)
-		go func(i int, v model.Vulnerability) {
+		// One lightweight orchestrator per vulnerability; all actual work
+		// (template builds, trial shards) runs under p's worker bound, so
+		// the sweep's leaf concurrency is exactly the pool size.
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = c.RunVulnerability(v)
-		}(i, v)
+			results[i], errs[i] = c.runVulnerabilitySharded(p, v)
+		}()
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -1,0 +1,138 @@
+package secbench
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"securetlb/internal/model"
+	"securetlb/internal/pool"
+)
+
+// TestShardedBitIdenticalToSerial is the determinism regression test for the
+// trial-sharded runner: for every design and all 24 base vulnerabilities the
+// full Result slices — counts, probabilities, capacities AND bootstrap
+// intervals — must be byte-identical between the serial reference and the
+// sharded pool runner, at several worker counts including sizes that do not
+// divide the trial count.
+func TestShardedBitIdenticalToSerial(t *testing.T) {
+	for _, tc := range []struct {
+		design Design
+		trials int
+	}{
+		{DesignSA, 6},
+		{DesignSP, 6},
+		{DesignRF, 40},
+	} {
+		cfg := testConfig(tc.design, tc.trials)
+		serial, err := cfg.RunAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(serial) != len(model.Enumerate()) {
+			t.Fatalf("%s: expected all %d vulnerabilities, got %d",
+				tc.design, len(model.Enumerate()), len(serial))
+		}
+		for _, workers := range []int{1, 3, 0} {
+			parallel, err := cfg.RunAllParallel(workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Result holds a slice-bearing Vulnerability, so compare deeply.
+			if !reflect.DeepEqual(serial, parallel) {
+				for i := range serial {
+					if !reflect.DeepEqual(serial[i], parallel[i]) {
+						t.Errorf("%s, %d workers, row %d (%s): serial %+v != sharded %+v",
+							tc.design, workers, i, serial[i].Vulnerability,
+							serial[i], parallel[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRunVulnerabilityParallelMatchesSerial(t *testing.T) {
+	cfg := testConfig(DesignRF, 50)
+	v := model.Enumerate()[7]
+	serial, err := cfg.RunVulnerability(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := cfg.RunVulnerabilityParallel(v, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Errorf("serial %+v != sharded %+v", serial, sharded)
+	}
+}
+
+func TestProgramCacheReusesAssembly(t *testing.T) {
+	cfg := testConfig(DesignSA, 1)
+	v := model.Enumerate()[0]
+	p1, err := cfg.program(v, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := cfg.program(v, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("same (config, vulnerability, behaviour) assembled twice")
+	}
+	// Different behaviour, geometry or design must not collide.
+	pm, err := cfg.program(v, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm == p1 {
+		t.Error("mapped and not-mapped variants share a cache entry")
+	}
+	small := cfg
+	small.Entries, small.Ways = 8, 2
+	ps, err := small.program(v, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps == p1 {
+		t.Error("different geometries share a cache entry")
+	}
+}
+
+// TestConcurrentCampaignsOverClonedMachines drives two whole campaigns at
+// once over one shared pool — the cloned machines of both interleave on the
+// same workers. Run with -race this is the pool/clone race check; without it
+// it still verifies both campaigns match their serial references.
+func TestConcurrentCampaignsOverClonedMachines(t *testing.T) {
+	cfgA := testConfig(DesignSA, 8)
+	cfgB := testConfig(DesignRF, 30)
+	vulns := model.Enumerate()
+	vA, vB := vulns[0], vulns[11]
+	wantA, err := cfgA.RunVulnerability(vA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := cfgB.RunVulnerability(vB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pool.New(4)
+	var gotA, gotB Result
+	var errA, errB error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); gotA, errA = cfgA.runVulnerabilitySharded(p, vA) }()
+	go func() { defer wg.Done(); gotB, errB = cfgB.runVulnerabilitySharded(p, vB) }()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("campaign errors: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(gotA, wantA) {
+		t.Errorf("campaign A diverged under contention: %+v != %+v", gotA, wantA)
+	}
+	if !reflect.DeepEqual(gotB, wantB) {
+		t.Errorf("campaign B diverged under contention: %+v != %+v", gotB, wantB)
+	}
+}
