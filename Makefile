@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench verify
+.PHONY: build vet test race bench smoke verify
 
 build:
 	$(GO) build ./...
@@ -12,13 +12,23 @@ test:
 	$(GO) test ./...
 
 # The race detector exercises the trial-sharded campaign runner, the shared
-# worker pool and the copy-on-write machine clones under contention.
+# worker pool, the copy-on-write machine clones and the resilient
+# cancellation/checkpoint paths under contention. The timeout bounds a hung
+# campaign (the exact failure mode the per-trial watchdog exists to prevent)
+# so verify cannot wedge CI.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 10m ./...
 
 # Serial-vs-parallel campaign engine comparison plus the Clone micro-costs.
 bench:
 	$(GO) test -run xxx -bench 'RunVulnerability|RunAll(Serial|Parallel)' -benchtime 2x .
 	$(GO) test -run xxx -bench Clone ./internal/mem/ ./internal/cpu/
+
+# End-to-end resilience smoke: SIGINT a real secbench run, resume it from
+# the checkpoint, and require bit-identical output — plus the in-process
+# quarantine, cancellation and checkpoint determinism tests.
+smoke:
+	$(GO) test -count=1 -timeout 60s ./internal/checkpoint/
+	$(GO) test -count=1 -timeout 60s -run 'InterruptResume|FreshCheckpoint|Resilient|Quarantin|Checkpoint|Cancel' ./internal/secbench/ ./cmd/secbench/
 
 verify: build vet race

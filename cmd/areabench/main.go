@@ -54,7 +54,8 @@ func main() {
 	for _, d := range []area.Design{area.SP, area.RF} {
 		lut, reg, err := area.OverheadPercent(d, "4W 32")
 		if err != nil {
-			panic(err)
+			fmt.Fprintln(os.Stderr, "areabench:", err)
+			os.Exit(1)
 		}
 		fmt.Printf("  %s 4W-32: %s LUTs, %s registers", d, report.Pct(lut), report.Pct(reg))
 		if d == area.SP {

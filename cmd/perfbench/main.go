@@ -7,14 +7,25 @@
 //
 //	perfbench                         # all designs, RSA and SecRSA, 50 runs
 //	perfbench -design rf -decrypts 150
+//	perfbench -sweep -checkpoint sweep.json         # resumable full sweep
+//	perfbench -sweep -checkpoint sweep.json -resume
+//
+// SIGINT/SIGTERM stop the sweep gracefully: no new cells start, running
+// cells drain, completed cells are printed, a final checkpoint is flushed,
+// and the process exits with status 130.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"securetlb/internal/checkpoint"
 	"securetlb/internal/perf"
 	"securetlb/internal/pool"
 	"securetlb/internal/report"
@@ -27,6 +38,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	seed := flag.Uint64("seed", 1, "PRNG seed")
 	parallel := flag.Int("parallel", 0, "worker pool size for the cell sweep (0 = all CPUs)")
+	ckPath := flag.String("checkpoint", "", "checkpoint file: completed Figure 7 cells are recorded here")
+	resume := flag.Bool("resume", false, "with -checkpoint: resume from an existing checkpoint file")
+	ckEvery := flag.Int("checkpoint-every", 4, "flush the checkpoint every N completed cells")
 	flag.Parse()
 
 	var designs []perf.Design
@@ -44,32 +58,55 @@ func main() {
 		os.Exit(1)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var ck *checkpoint.File
+	if *ckPath != "" {
+		var err error
+		if ck, err = checkpoint.Open(*ckPath, perf.SweepFingerprint(*seed), *ckEvery, *resume); err != nil {
+			fatal(err)
+		}
+		if *resume && ck.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "perfbench: resuming from %s (%d cells already complete)\n", *ckPath, ck.Len())
+		}
+	} else if *resume {
+		fatal(errors.New("-resume requires -checkpoint"))
+	}
+
 	runCounts := []int{*decrypts}
 	if *sweep {
 		runCounts = []int{50, 100, 150}
 	}
 	if *jsonOut {
 		var all []perf.Row
+		var interrupted error
+	jsonSweep:
 		for _, d := range designs {
 			for _, secure := range []bool{false, true} {
 				for _, n := range runCounts {
-					rows, err := perf.Figure7Parallel(d, secure, n, *seed, *parallel)
-					if err != nil {
-						fmt.Fprintln(os.Stderr, err)
-						os.Exit(1)
-					}
+					rows, err := perf.Figure7Ctx(ctx, d, secure, n, *seed, *parallel, ck)
 					all = append(all, rows...)
+					if err != nil {
+						if !isInterrupt(err) {
+							fatal(err)
+						}
+						interrupted = err
+						break jsonSweep
+					}
 				}
 			}
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(all); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
+		exitIfInterrupted(interrupted, *ckPath)
 		return
 	}
+	var interrupted error
+sweepLoop:
 	for _, d := range designs {
 		for _, secure := range []bool{false, true} {
 			for _, decrypts := range runCounts {
@@ -80,10 +117,9 @@ func main() {
 				fig := map[perf.Design]string{perf.SA: "7a/7d", perf.SP: "7b/7e", perf.RF: "7c/7f"}[d]
 				fmt.Printf("Figure %s — %s TLB, %s, %d decryptions, %d workers\n",
 					fig, d, label, decrypts, pool.Workers(*parallel))
-				rows, err := perf.Figure7Parallel(d, secure, decrypts, *seed, *parallel)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
+				rows, err := perf.Figure7Ctx(ctx, d, secure, decrypts, *seed, *parallel, ck)
+				if err != nil && !isInterrupt(err) {
+					fatal(err)
 				}
 				out := make([][]string, 0, len(rows))
 				for _, r := range rows {
@@ -97,10 +133,39 @@ func main() {
 				}
 				fmt.Print(report.Table([]string{"Config", "Workload", "IPC", "MPKI", "Instr", "Misses"}, out))
 				fmt.Println()
+				if err != nil {
+					interrupted = err
+					break sweepLoop
+				}
 			}
 		}
 	}
-	printHeadlines(runCounts[0], *seed)
+	if interrupted == nil {
+		printHeadlines(runCounts[0], *seed)
+	}
+	exitIfInterrupted(interrupted, *ckPath)
+}
+
+func isInterrupt(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfbench:", err)
+	os.Exit(1)
+}
+
+func exitIfInterrupted(err error, ckPath string) {
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "perfbench: interrupted — results above cover the completed cells only")
+	if ckPath != "" {
+		fmt.Fprintf(os.Stderr, "perfbench: progress saved; continue with -checkpoint %s -resume\n", ckPath)
+	} else {
+		fmt.Fprintln(os.Stderr, "perfbench: rerun with -checkpoint FILE to make interrupted runs resumable")
+	}
+	os.Exit(130)
 }
 
 // printHeadlines reproduces the §6.3–6.5 summary ratios.
@@ -111,8 +176,7 @@ func printHeadlines(decrypts int, seed uint64) {
 		for _, spec := range specsAndNil() {
 			row, err := perf.Cell(d, g4w32, spec, secure, decrypts, seed)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fatal(err)
 			}
 			sum += row.Metrics.MPKI
 			n++

@@ -6,15 +6,30 @@
 //	secbench                       # all three designs, 500 trials each
 //	secbench -design rf -trials 100
 //	secbench -emit "Ad -> Vu -> Ad" -mapped   # print one generated benchmark
+//	secbench -checkpoint run.json             # checkpoint progress as you go
+//	secbench -checkpoint run.json -resume     # continue an interrupted run
+//
+// SIGINT/SIGTERM stop the campaign gracefully: no new work starts, running
+// trials drain, the completed vulnerabilities are printed, a final
+// checkpoint is flushed, and the process exits with status 130. Trials that
+// panic, exhaust their instruction budget or fault are quarantined (excluded
+// from the statistics) and listed after the result tables with the seed and
+// trial index needed to reproduce them.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"securetlb/internal/capacity"
+	"securetlb/internal/checkpoint"
 	"securetlb/internal/model"
 	"securetlb/internal/pool"
 	"securetlb/internal/report"
@@ -29,78 +44,160 @@ func main() {
 	emit := flag.String("emit", "", "print the generated benchmark for a pattern, e.g. \"Ad -> Vu -> Ad\"")
 	mapped := flag.Bool("mapped", true, "with -emit: generate the mapped or not-mapped variant")
 	parallel := flag.Int("parallel", 0, "worker pool size for trial sharding (0 = all CPUs)")
+	ckPath := flag.String("checkpoint", "", "checkpoint file: completed work units are recorded here")
+	resume := flag.Bool("resume", false, "with -checkpoint: resume from an existing checkpoint file")
+	ckEvery := flag.Int("checkpoint-every", 4, "flush the checkpoint every N completed work units")
 	flag.Parse()
 
 	if *emit != "" {
 		emitBenchmark(*emit, *mapped, parseDesigns(*design)[0], *extended)
 		return
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	designs := parseDesigns(*design)
+	ck := openCheckpoint(designs, *trials, *extended, *ckPath, *resume, *ckEvery)
+
+	var interrupted error
 	if *jsonOut {
-		emitJSON(parseDesigns(*design), *trials, *extended, *parallel)
-		return
+		interrupted = emitJSON(ctx, designs, *trials, *extended, *parallel, ck)
+	} else {
+		for _, d := range designs {
+			err := runDesign(ctx, d, *trials, *extended, *parallel, ck)
+			if err == nil {
+				continue
+			}
+			if !isInterrupt(err) {
+				fatal(err)
+			}
+			interrupted = err
+			break
+		}
 	}
-	for _, d := range parseDesigns(*design) {
-		runDesign(d, *trials, *extended, *parallel)
+	if interrupted != nil {
+		fmt.Fprintln(os.Stderr, "secbench: interrupted — results above cover the completed vulnerabilities only")
+		if *ckPath != "" {
+			fmt.Fprintf(os.Stderr, "secbench: progress saved; continue with -checkpoint %s -resume\n", *ckPath)
+		} else {
+			fmt.Fprintln(os.Stderr, "secbench: rerun with -checkpoint FILE to make interrupted runs resumable")
+		}
+		os.Exit(130)
 	}
+}
+
+func isInterrupt(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "secbench:", err)
+	os.Exit(1)
+}
+
+// campaignFingerprint identifies this invocation's full workload for
+// checkpoint validation: the per-design fingerprints of every campaign the
+// flags select.
+func campaignFingerprint(designs []secbench.Design, trials int, extended bool) string {
+	fps := make([]string, 0, len(designs))
+	for _, d := range designs {
+		cfg := secbench.DefaultConfig(d)
+		cfg.Trials = trials
+		fps = append(fps, cfg.Fingerprint(extended))
+	}
+	return strings.Join(fps, ";")
+}
+
+func openCheckpoint(designs []secbench.Design, trials int, extended bool, path string, resume bool, every int) *checkpoint.File {
+	if path == "" {
+		if resume {
+			fatal(errors.New("-resume requires -checkpoint"))
+		}
+		return nil
+	}
+	ck, err := checkpoint.Open(path, campaignFingerprint(designs, trials, extended), every, resume)
+	if err != nil {
+		fatal(err)
+	}
+	if resume && ck.Len() > 0 {
+		fmt.Fprintf(os.Stderr, "secbench: resuming from %s (%d work units already complete)\n", path, ck.Len())
+	}
+	return ck
+}
+
+func runCampaign(ctx context.Context, d secbench.Design, trials int, extended bool, parallel int, ck *checkpoint.File) (secbench.CampaignReport, error) {
+	cfg := secbench.DefaultConfig(d)
+	cfg.Trials = trials
+	opts := secbench.RunOptions{Parallelism: parallel, Checkpoint: ck}
+	if extended {
+		return cfg.RunAllExtendedCtx(ctx, opts)
+	}
+	return cfg.RunAllCtx(ctx, opts)
 }
 
 // jsonRow is the machine-readable form of one campaign row.
 type jsonRow struct {
-	Design          string  `json:"design"`
-	Strategy        string  `json:"strategy"`
-	Pattern         string  `json:"pattern"`
-	Observation     string  `json:"observation"`
-	Macro           string  `json:"macro"`
-	MappedMisses    int     `json:"n_mapped_misses"`
-	NotMappedMisses int     `json:"n_not_mapped_misses"`
-	Trials          int     `json:"trials_per_behaviour"`
-	P1              float64 `json:"p1_star"`
-	P2              float64 `json:"p2_star"`
-	C               float64 `json:"c_star"`
-	CIHigh          float64 `json:"c_star_ci95_high"`
-	Defended        bool    `json:"defended"`
+	Design          string `json:"design"`
+	Strategy        string `json:"strategy"`
+	Pattern         string `json:"pattern"`
+	Observation     string `json:"observation"`
+	Macro           string `json:"macro"`
+	MappedMisses    int    `json:"n_mapped_misses"`
+	NotMappedMisses int    `json:"n_not_mapped_misses"`
+	Trials          int    `json:"trials_per_behaviour"`
+	// MappedSurvivors/NotMappedSurvivors are the statistics' denominators:
+	// Trials minus the quarantined trials of each behaviour.
+	MappedSurvivors    int     `json:"n_mapped_survivors"`
+	NotMappedSurvivors int     `json:"n_not_mapped_survivors"`
+	P1                 float64 `json:"p1_star"`
+	P2                 float64 `json:"p2_star"`
+	C                  float64 `json:"c_star"`
+	CIHigh             float64 `json:"c_star_ci95_high"`
+	Defended           bool    `json:"defended"`
 }
 
-func emitJSON(designs []secbench.Design, trials int, extended bool, parallel int) {
+func emitJSON(ctx context.Context, designs []secbench.Design, trials int, extended bool, parallel int, ck *checkpoint.File) error {
 	var rows []jsonRow
+	var quarantined []secbench.Quarantined
+	var interrupted error
 	for _, d := range designs {
-		cfg := secbench.DefaultConfig(d)
-		cfg.Trials = trials
-		var results []secbench.Result
-		var err error
-		if extended {
-			results, err = cfg.RunAllExtendedParallel(parallel)
-		} else {
-			results, err = cfg.RunAllParallel(parallel)
+		rep, err := runCampaign(ctx, d, trials, extended, parallel, ck)
+		if err != nil && !isInterrupt(err) {
+			fatal(err)
 		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		for _, r := range results {
+		for _, r := range rep.Results {
 			rows = append(rows, jsonRow{
-				Design:          d.String(),
-				Strategy:        r.Vulnerability.Strategy,
-				Pattern:         r.Vulnerability.Pattern.String(),
-				Observation:     r.Vulnerability.Observation.String(),
-				Macro:           r.Vulnerability.Macro,
-				MappedMisses:    r.Counts.MappedMisses,
-				NotMappedMisses: r.Counts.NotMappedMisses,
-				Trials:          trials,
-				P1:              r.P1,
-				P2:              r.P2,
-				C:               r.C,
-				CIHigh:          r.CIHigh,
-				Defended:        r.Defended(),
+				Design:             d.String(),
+				Strategy:           r.Vulnerability.Strategy,
+				Pattern:            r.Vulnerability.Pattern.String(),
+				Observation:        r.Vulnerability.Observation.String(),
+				Macro:              r.Vulnerability.Macro,
+				MappedMisses:       r.Counts.MappedMisses,
+				NotMappedMisses:    r.Counts.NotMappedMisses,
+				Trials:             trials,
+				MappedSurvivors:    r.Counts.Mapped,
+				NotMappedSurvivors: r.Counts.NotMapped,
+				P1:                 r.P1,
+				P2:                 r.P2,
+				C:                  r.C,
+				CIHigh:             r.CIHigh,
+				Defended:           r.Defended(),
 			})
+		}
+		quarantined = append(quarantined, rep.Quarantined...)
+		if err != nil {
+			interrupted = err
+			break
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rows); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
+	fmt.Fprint(os.Stderr, report.Quarantine(quarantineRows(quarantined)))
+	return interrupted
 }
 
 func parseDesigns(s string) []secbench.Design {
@@ -126,26 +223,43 @@ func theoryFor(d secbench.Design, v model.Vulnerability) (p1, p2 float64) {
 	case secbench.DesignSP:
 		p1, p2, _ = capacity.DeterministicTheory(v, model.DesignPartitioned)
 	case secbench.DesignRF:
-		p1, p2 = capacity.RFTheory(v, capacity.DefaultRFParams)
+		p1, p2, _ = capacity.RFTheory(v, capacity.DefaultRFParams)
 	}
 	return p1, p2
 }
 
-func runDesign(d secbench.Design, trials int, extended bool, parallel int) {
-	cfg := secbench.DefaultConfig(d)
-	cfg.Trials = trials
-	var results []secbench.Result
-	var err error
+func quarantineRows(qs []secbench.Quarantined) [][]string {
+	rows := make([][]string, 0, len(qs))
+	for _, q := range qs {
+		behaviour := "not-mapped"
+		if q.Mapped {
+			behaviour = "mapped"
+		}
+		rows = append(rows, []string{
+			q.Design,
+			fmt.Sprintf("%s (%s)", q.Pattern, q.Observation),
+			behaviour,
+			fmt.Sprintf("%d", q.Trial),
+			fmt.Sprintf("%#x", q.Seed),
+			q.Kind,
+			q.Reason,
+		})
+	}
+	return rows
+}
+
+// runDesign runs one design's campaign and prints its tables. It returns
+// nil on full completion, the context error when interrupted (after
+// printing the completed part), and any infrastructure error verbatim.
+func runDesign(ctx context.Context, d secbench.Design, trials int, extended bool, parallel int, ck *checkpoint.File) error {
+	rep, err := runCampaign(ctx, d, trials, extended, parallel, ck)
+	if err != nil && !isInterrupt(err) {
+		return err
+	}
+	results := rep.Results
 	title := "Table 4"
 	if extended {
 		title = "Appendix B extension"
-		results, err = cfg.RunAllExtendedParallel(parallel)
-	} else {
-		results, err = cfg.RunAllParallel(parallel)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
 	}
 	fmt.Printf("%s (%s) — %d mapped + %d not-mapped trials per vulnerability, %d workers\n",
 		title, d, trials, trials, pool.Workers(parallel))
@@ -177,7 +291,10 @@ func runDesign(d secbench.Design, trials int, extended bool, parallel int) {
 		headers = []string{"Strategy", "Vulnerability", "nMM", "p1*", "nNM", "p2*", "C*", "C*ci95", "verdict"}
 	}
 	fmt.Print(report.Table(headers, rows))
-	fmt.Printf("%s defends %d/%d vulnerability types\n\n", d, secbench.DefendedCount(results), len(results))
+	fmt.Printf("%s defends %d/%d vulnerability types\n", d, secbench.DefendedCount(results), len(results))
+	fmt.Print(report.Quarantine(quarantineRows(rep.Quarantined)))
+	fmt.Println()
+	return err
 }
 
 func emitBenchmark(pattern string, mapped bool, d secbench.Design, extended bool) {
@@ -189,8 +306,7 @@ func emitBenchmark(pattern string, mapped bool, d secbench.Design, extended bool
 		if v.Pattern.String() == pattern {
 			src, err := secbench.DefaultConfig(d).Generate(v, mapped)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fatal(err)
 			}
 			fmt.Print(src)
 			return

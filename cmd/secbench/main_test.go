@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// buildSecbench compiles the secbench binary into a temp dir once per test
+// run.
+func buildSecbench(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "secbench")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestInterruptResumeBitIdentical is the end-to-end acceptance check for
+// the ISSUE's resume contract: a SIGINT-interrupted secbench run resumed
+// via -resume produces stdout bit-identical to an uninterrupted run.
+func TestInterruptResumeBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := buildSecbench(t)
+	// Trials are sized so the campaign runs a few seconds: the SIGINT below
+	// must land while most work units are still outstanding, or the test
+	// would only exercise the finalize path.
+	args := []string{"-design", "rf", "-trials", "20000", "-json"}
+
+	// Reference: one uninterrupted run.
+	var ref bytes.Buffer
+	refCmd := exec.Command(bin, args...)
+	refCmd.Stdout = &ref
+	refCmd.Stderr = os.Stderr
+	if err := refCmd.Run(); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	// Interrupted run: SIGINT as soon as the first checkpoint flush lands.
+	ckPath := filepath.Join(t.TempDir(), "campaign.json")
+	intCmd := exec.Command(bin, append(args, "-checkpoint", ckPath, "-checkpoint-every", "1")...)
+	intCmd.Stdout = new(bytes.Buffer)
+	if err := intCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(ckPath); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			intCmd.Process.Kill()
+			t.Fatal("no checkpoint flush within 30s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := intCmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := intCmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("interrupted run exited without error (%v): campaign finished before the signal landed", err)
+	}
+	if code := ee.ExitCode(); code != 130 {
+		t.Fatalf("interrupted run exit code = %d, want 130", code)
+	}
+	raw, err := os.ReadFile(ckPath)
+	if err != nil {
+		t.Fatalf("checkpoint missing after interrupt: %v", err)
+	}
+	var ck struct {
+		Units map[string]json.RawMessage `json:"units"`
+	}
+	if err := json.Unmarshal(raw, &ck); err != nil {
+		t.Fatalf("checkpoint not parseable: %v", err)
+	}
+	if n := len(ck.Units); n == 0 || n >= 48 {
+		t.Logf("interrupt landed with %d/48 units complete; timing did not split the campaign", n)
+	} else {
+		t.Logf("interrupt landed with %d/48 units complete", n)
+	}
+
+	// Resume: must complete and reproduce the reference byte-for-byte.
+	var res bytes.Buffer
+	resCmd := exec.Command(bin, append(args, "-checkpoint", ckPath, "-resume")...)
+	resCmd.Stdout = &res
+	resCmd.Stderr = os.Stderr
+	if err := resCmd.Run(); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if !bytes.Equal(res.Bytes(), ref.Bytes()) {
+		t.Errorf("resumed stdout differs from uninterrupted run (%d vs %d bytes)", res.Len(), ref.Len())
+	}
+}
+
+// TestFreshCheckpointRefusesExistingFile: starting a new campaign over an
+// existing checkpoint without -resume must fail rather than clobber it.
+func TestFreshCheckpointRefusesExistingFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := buildSecbench(t)
+	ckPath := filepath.Join(t.TempDir(), "ck.json")
+	run := exec.Command(bin, "-design", "sa", "-trials", "2", "-json", "-checkpoint", ckPath)
+	if out, err := run.CombinedOutput(); err != nil {
+		t.Fatalf("first run: %v\n%s", err, out)
+	}
+	again := exec.Command(bin, "-design", "sa", "-trials", "2", "-json", "-checkpoint", ckPath)
+	out, err := again.CombinedOutput()
+	if err == nil {
+		t.Fatalf("second run without -resume succeeded:\n%s", out)
+	}
+}

@@ -84,9 +84,13 @@ func emitJSON(extended bool) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rows); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tlbmodel:", err)
+	os.Exit(1)
 }
 
 func printVulns(title string, vulns []model.Vulnerability) {
@@ -139,8 +143,7 @@ func runReduce(arg string) {
 	for _, tok := range strings.Split(arg, ",") {
 		s, err := model.ParseState(strings.TrimSpace(tok))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		steps = append(steps, s)
 	}

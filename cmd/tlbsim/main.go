@@ -16,10 +16,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"securetlb/internal/asm"
 	"securetlb/internal/cpu"
@@ -83,9 +87,19 @@ func main() {
 	if err := machine.Load(prog, []tlb.ASID{0, 1}); err != nil {
 		fatal(err)
 	}
-	code, err := machine.Run(*maxInstr)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	code, err := machine.RunCtx(ctx, *maxInstr)
 	if err != nil {
-		fatal(err)
+		switch {
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintf(os.Stderr, "tlbsim: interrupted after %d instructions\n", machine.Instret())
+			os.Exit(130)
+		case errors.Is(err, cpu.ErrFuelExhausted):
+			fatal(fmt.Errorf("%w after %d instructions (raise -max-instr)", err, machine.Instret()))
+		default:
+			fatal(err)
+		}
 	}
 
 	if code == 0 {

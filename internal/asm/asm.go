@@ -20,12 +20,20 @@
 package asm
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 
 	"securetlb/internal/isa"
 )
+
+// ErrSyntax matches (via errors.Is) every source-level assembly error — bad
+// mnemonics, malformed operands, directive misuse. Callers that feed
+// generated programs through Assemble can use it to distinguish a malformed
+// benchmark (quarantine the generating configuration) from an internal
+// failure.
+var ErrSyntax = errors.New("asm: syntax error")
 
 // DefaultDataBase is the virtual byte address where the data section starts
 // (page-aligned).
@@ -50,6 +58,9 @@ type lineError struct {
 
 func (e *lineError) Error() string { return fmt.Sprintf("asm: line %d: %v", e.line, e.err) }
 func (e *lineError) Unwrap() error { return e.err }
+
+// Is makes every source-level error match the ErrSyntax sentinel.
+func (e *lineError) Is(target error) bool { return target == ErrSyntax }
 
 // stmt is a parsed source statement awaiting symbol resolution.
 type stmt struct {

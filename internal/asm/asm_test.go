@@ -1,6 +1,7 @@
 package asm
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -202,6 +203,9 @@ func TestErrors(t *testing.T) {
 		_, err := Assemble(c.src)
 		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
 			t.Errorf("Assemble(%q) err = %v, want containing %q", c.src, err, c.wantSub)
+		}
+		if !errors.Is(err, ErrSyntax) {
+			t.Errorf("Assemble(%q) err = %v does not match ErrSyntax", c.src, err)
 		}
 	}
 }

@@ -11,12 +11,19 @@
 package capacity
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"securetlb/internal/model"
 	"securetlb/internal/pool"
 )
+
+// ErrUnmappedPattern is returned by RFTheory for a pattern shape outside the
+// six §5.3.1 collapses — a classification bug or a hand-built vulnerability,
+// either way a condition one caller should handle, not a process panic.
+var ErrUnmappedPattern = errors.New("capacity: pattern has no RF collapse rule")
 
 // MutualInformation evaluates Eq. (1): the capacity in bits of the binary
 // channel from victim behaviour to attacker observation, given miss
@@ -134,12 +141,13 @@ func (p RFParams) SecRangeFor(v model.Vulnerability) int {
 // hits/probes), the observation is constantly a miss: p1 = p2 = 1.
 //
 // In every case p1 == p2, so the RF TLB's theoretical capacity is zero for
-// all 24 vulnerability types.
-func RFTheory(v model.Vulnerability, params RFParams) (p1, p2 float64) {
+// all 24 vulnerability types. A pattern outside the six collapses returns
+// ErrUnmappedPattern.
+func RFTheory(v model.Vulnerability, params RFParams) (p1, p2 float64, err error) {
 	if !model.ObservationInformative(v.Pattern, model.DesignASID, v.Observation) {
 		// Defended by process-ID tagging alone: the final probe always
 		// misses regardless of the victim (Table 4's p1 = p2 = 1 rows).
-		return 1, 1
+		return 1, 1, nil
 	}
 	secRange := float64(params.SecRangeFor(v))
 	nway := float64(params.NWays)
@@ -175,10 +183,10 @@ func RFTheory(v model.Vulnerability, params RFParams) (p1, p2 float64) {
 		p = 1 / secRange
 	default:
 		// Any remaining shape is ASID-defended and handled above; reaching
-		// here would be a classification bug.
-		panic("capacity: unmapped RF pattern " + v.Pattern.String())
+		// here means a classification bug or a hand-built pattern.
+		return 0, 0, fmt.Errorf("%w: %s", ErrUnmappedPattern, v.Pattern)
 	}
-	return p, p
+	return p, p, nil
 }
 
 // TheoryRow bundles the theoretical columns of Table 4 for one
@@ -206,7 +214,9 @@ func Table4Theory(params RFParams) ([]TheoryRow, error) {
 		if r.SPP1, r.SPP2, err = DeterministicTheory(v, model.DesignPartitioned); err != nil {
 			return nil, err
 		}
-		r.RFP1, r.RFP2 = RFTheory(v, params)
+		if r.RFP1, r.RFP2, err = RFTheory(v, params); err != nil {
+			return nil, err
+		}
 		r.SAC = MutualInformation(r.SAP1, r.SAP2)
 		r.SPC = MutualInformation(r.SPP1, r.SPP2)
 		r.RFC = MutualInformation(r.RFP1, r.RFP2)
@@ -222,9 +232,23 @@ func Table4Theory(params RFParams) ([]TheoryRow, error) {
 // sure a 500-trial campaign can be that a "defended" C* ≈ 0 verdict is not
 // sampling luck.
 func (c Counts) BootstrapCI(resamples int, conf float64, seed uint64) (lo, hi float64) {
+	// The background context never cancels, so the error can be discarded.
+	lo, hi, _ = c.BootstrapCICtx(context.Background(), resamples, conf, seed)
+	return lo, hi
+}
+
+// BootstrapCICtx is BootstrapCI with cancellation: a campaign interrupted
+// mid-finalisation stops resampling (checked between shards) and returns the
+// context's error instead of burning the remaining binomial draws. A nil
+// error guarantees the interval is the same bit-identical result BootstrapCI
+// computes.
+func (c Counts) BootstrapCICtx(ctx context.Context, resamples int, conf float64, seed uint64) (lo, hi float64, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
 	if resamples <= 0 || c.Mapped == 0 || c.NotMapped == 0 {
 		v := c.Capacity()
-		return v, v
+		return v, v, nil
 	}
 	p1, p2 := c.Probabilities()
 	caps := make([]float64, resamples)
@@ -240,9 +264,12 @@ func (c Counts) BootstrapCI(resamples int, conf float64, seed uint64) (lo, hi fl
 	// but a unit test's 50×20 would be all scheduling overhead.
 	if work := resamples * (c.Mapped + c.NotMapped); work >= 1<<16 {
 		shards := pool.Shards(resamples, pool.Workers(0))
-		pool.New(len(shards)).ForEach(len(shards), func(s int) {
+		err := pool.New(len(shards)).ForEachCtx(ctx, len(shards), func(s int) {
 			fill(shards[s].Lo, shards[s].Hi)
 		})
+		if err != nil {
+			return 0, 0, err
+		}
 	} else {
 		fill(0, resamples)
 	}
@@ -253,7 +280,7 @@ func (c Counts) BootstrapCI(resamples int, conf float64, seed uint64) (lo, hi fl
 	if hiIdx >= resamples {
 		hiIdx = resamples - 1
 	}
-	return caps[loIdx], caps[hiIdx]
+	return caps[loIdx], caps[hiIdx], nil
 }
 
 // resample draws one bootstrap replicate of the capacity. Its xorshift64*

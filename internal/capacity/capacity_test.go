@@ -1,6 +1,8 @@
 package capacity
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -147,7 +149,10 @@ func TestRFTheoryMatchesPaperNumbers(t *testing.T) {
 		if !ok {
 			continue
 		}
-		p1, p2 := RFTheory(v, DefaultRFParams)
+		p1, p2, err := RFTheory(v, DefaultRFParams)
+		if err != nil {
+			t.Fatalf("RF %s: %v", v, err)
+		}
 		if p1 != p2 {
 			t.Errorf("RF %s: p1 %v != p2 %v (capacity must be 0)", v, p1, p2)
 		}
@@ -159,7 +164,10 @@ func TestRFTheoryMatchesPaperNumbers(t *testing.T) {
 
 func TestRFTheoryZeroCapacityForAll24(t *testing.T) {
 	for _, v := range model.Enumerate() {
-		p1, p2 := RFTheory(v, DefaultRFParams)
+		p1, p2, err := RFTheory(v, DefaultRFParams)
+		if err != nil {
+			t.Fatalf("RF %s: %v", v, err)
+		}
 		if c := MutualInformation(p1, p2); c != 0 {
 			t.Errorf("RF %s: C = %v, want 0", v, c)
 		}
@@ -253,5 +261,22 @@ func TestBootstrapCI(t *testing.T) {
 	lo, hi = Counts{}.BootstrapCI(100, 0.95, 4)
 	if lo != 0 || hi != 0 {
 		t.Errorf("empty counts CI = [%v,%v]", lo, hi)
+	}
+}
+
+func TestBootstrapCICtx(t *testing.T) {
+	c := Counts{Mapped: 500, MappedMisses: 167, NotMapped: 500, NotMappedMisses: 158}
+	// A live context reproduces BootstrapCI bit-for-bit, including at the
+	// large-work sizes that take the parallel path.
+	wantLo, wantHi := c.BootstrapCI(400, 0.95, 2)
+	lo, hi, err := c.BootstrapCICtx(context.Background(), 400, 0.95, 2)
+	if err != nil || lo != wantLo || hi != wantHi {
+		t.Errorf("BootstrapCICtx = (%v,%v,%v), want (%v,%v,nil)", lo, hi, err, wantLo, wantHi)
+	}
+	// A cancelled context stops the resampling with a typed error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.BootstrapCICtx(ctx, 400, 0.95, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled: err = %v, want context.Canceled", err)
 	}
 }

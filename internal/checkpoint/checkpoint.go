@@ -1,0 +1,190 @@
+// Package checkpoint persists partial campaign results so a multi-hour
+// sweep interrupted by a signal, a crash or a cancelled context can resume
+// where it stopped instead of losing all completed work.
+//
+// A checkpoint is a single JSON file holding a fingerprint — a string
+// identifying the exact campaign configuration, so results are never resumed
+// into a differently-parameterised run — and a map of completed work units.
+// Unit keys are chosen by the caller; the campaign runners key units by the
+// program-cache identity of the benchmark plus the trial range it covers,
+// which makes a unit valid exactly as long as its results are bit-identical
+// reproducible.
+//
+// Writes are atomic: the whole state is marshalled to a temporary file in
+// the same directory and renamed over the destination, so a checkpoint file
+// is always a complete, parseable snapshot even if the process dies
+// mid-flush. Flushing happens every Record calls according to the configured
+// interval, plus whenever Flush is called (the runners flush once more on
+// the way out, including on cancellation).
+//
+// All methods are safe for concurrent use and are no-ops on a nil *File, so
+// runners thread an optional checkpoint through without branching.
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// The package's sentinel errors.
+var (
+	// ErrMismatch is returned by Open when resuming from a file whose
+	// fingerprint does not match the requested campaign — the guard against
+	// silently merging results from two different configurations.
+	ErrMismatch = errors.New("checkpoint: fingerprint mismatch")
+	// ErrExists is returned by Open when asked to start a fresh checkpoint
+	// at a path that already holds one, to protect completed work from an
+	// accidental overwrite (resume or delete the file explicitly).
+	ErrExists = errors.New("checkpoint: file exists")
+)
+
+// Version is the checkpoint file format version.
+const Version = 1
+
+// state is the on-disk shape of a checkpoint.
+type state struct {
+	Version     int                        `json:"version"`
+	Fingerprint string                     `json:"fingerprint"`
+	Units       map[string]json.RawMessage `json:"units"`
+}
+
+// File is an open checkpoint. The zero value is not usable; a nil *File is:
+// every method no-ops, which is how runners represent "checkpointing off".
+type File struct {
+	mu      sync.Mutex
+	path    string
+	every   int
+	pending int
+	st      state
+}
+
+// Open opens the checkpoint at path for a campaign identified by
+// fingerprint, flushing automatically every `every` recorded units (values
+// < 1 mean every unit).
+//
+// With resume true an existing file is loaded — its fingerprint must match
+// or Open fails with ErrMismatch — and a missing file starts empty (an
+// interrupted run may have died before its first flush). With resume false
+// the checkpoint starts empty, and an existing file at path is refused with
+// ErrExists rather than clobbered.
+func Open(path, fingerprint string, every int, resume bool) (*File, error) {
+	if every < 1 {
+		every = 1
+	}
+	f := &File{
+		path:  path,
+		every: every,
+		st:    state{Version: Version, Fingerprint: fingerprint, Units: map[string]json.RawMessage{}},
+	}
+	raw, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return f, nil
+	case err != nil:
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	case !resume:
+		return nil, fmt.Errorf("%w: %s holds a previous checkpoint (resume it or delete the file)", ErrExists, path)
+	}
+	var st state
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, fmt.Errorf("checkpoint: parsing %s: %w", path, err)
+	}
+	if st.Version != Version {
+		return nil, fmt.Errorf("checkpoint: %s has format version %d, want %d", path, st.Version, Version)
+	}
+	if st.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("%w: file %q vs campaign %q", ErrMismatch, st.Fingerprint, fingerprint)
+	}
+	if st.Units == nil {
+		st.Units = map[string]json.RawMessage{}
+	}
+	f.st = st
+	return f, nil
+}
+
+// Len returns the number of recorded units.
+func (f *File) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.st.Units)
+}
+
+// Path returns the checkpoint's file path ("" for a nil File).
+func (f *File) Path() string {
+	if f == nil {
+		return ""
+	}
+	return f.path
+}
+
+// Lookup unmarshals the unit recorded under key into out and reports
+// whether it was present. A nil File holds nothing.
+func (f *File) Lookup(key string, out any) (bool, error) {
+	if f == nil {
+		return false, nil
+	}
+	f.mu.Lock()
+	raw, ok := f.st.Units[key]
+	f.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return false, fmt.Errorf("checkpoint: unit %q: %w", key, err)
+	}
+	return true, nil
+}
+
+// Record stores v under key and flushes if the configured interval has
+// elapsed. Recording is a no-op on a nil File.
+func (f *File) Record(key string, v any) error {
+	if f == nil {
+		return nil
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("checkpoint: unit %q: %w", key, err)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.st.Units[key] = raw
+	f.pending++
+	if f.pending >= f.every {
+		return f.flushLocked()
+	}
+	return nil
+}
+
+// Flush writes the current state atomically (temp file + rename). Safe to
+// call at any time, including on a nil File and with nothing pending.
+func (f *File) Flush() error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.flushLocked()
+}
+
+func (f *File) flushLocked() error {
+	raw, err := json.MarshalIndent(&f.st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmp := f.path + ".tmp"
+	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, f.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	f.pending = 0
+	return nil
+}

@@ -1,0 +1,191 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type unit struct {
+	Misses int   `json:"misses"`
+	Seeds  []int `json:"seeds,omitempty"`
+}
+
+func TestRecordLookupRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	f, err := Open(path, "fp-1", 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Record("a|trials[0,10)", unit{Misses: 7, Seeds: []int{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	var got unit
+	ok, err := f.Lookup("a|trials[0,10)", &got)
+	if err != nil || !ok {
+		t.Fatalf("Lookup = %v, %v", ok, err)
+	}
+	if got.Misses != 7 || len(got.Seeds) != 2 {
+		t.Errorf("got %+v", got)
+	}
+	if ok, _ := f.Lookup("missing", &got); ok {
+		t.Error("missing key reported present")
+	}
+}
+
+func TestResumeLoadsUnits(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	f, err := Open(path, "fp-1", 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Record("k", unit{Misses: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := Open(path, "fp-1", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got unit
+	if ok, err := g.Lookup("k", &got); !ok || err != nil || got.Misses != 3 {
+		t.Errorf("resumed Lookup = %v, %v, %+v", ok, err, got)
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+func TestResumeMissingFileStartsEmpty(t *testing.T) {
+	f, err := Open(filepath.Join(t.TempDir(), "absent.json"), "fp", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 0 {
+		t.Errorf("Len = %d", f.Len())
+	}
+}
+
+func TestFingerprintMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	f, _ := Open(path, "fp-old", 1, false)
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, "fp-new", 1, true); !errors.Is(err, ErrMismatch) {
+		t.Errorf("err = %v, want ErrMismatch", err)
+	}
+}
+
+func TestFreshRefusesExistingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	f, _ := Open(path, "fp", 1, false)
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, "fp", 1, false); !errors.Is(err, ErrExists) {
+		t.Errorf("err = %v, want ErrExists", err)
+	}
+}
+
+func TestCorruptFileRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, "fp", 1, true); err == nil {
+		t.Error("corrupt file accepted")
+	}
+}
+
+func TestFlushInterval(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	f, err := Open(path, "fp", 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Record("a", unit{})
+	f.Record("b", unit{})
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("flushed before interval elapsed: %v", err)
+	}
+	f.Record("c", unit{})
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no flush after interval: %v", err)
+	}
+	// The pending counter resets: two more records stay buffered.
+	f.Record("d", unit{})
+	var st state
+	raw, _ := os.ReadFile(path)
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Units) != 3 {
+		t.Errorf("on-disk units = %d, want 3", len(st.Units))
+	}
+}
+
+func TestFlushIsAtomicFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	f, _ := Open(path, "fp-x", 1, false)
+	f.Record("k", unit{Misses: 1})
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st state
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != Version || st.Fingerprint != "fp-x" {
+		t.Errorf("header = %+v", st)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Error("temp file left behind")
+	}
+}
+
+func TestNilFileNoOps(t *testing.T) {
+	var f *File
+	if err := f.Record("k", unit{}); err != nil {
+		t.Errorf("Record = %v", err)
+	}
+	if ok, err := f.Lookup("k", &unit{}); ok || err != nil {
+		t.Errorf("Lookup = %v, %v", ok, err)
+	}
+	if err := f.Flush(); err != nil {
+		t.Errorf("Flush = %v", err)
+	}
+	if f.Len() != 0 || f.Path() != "" {
+		t.Error("nil accessors")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	f, _ := Open(path, "fp", 4, false)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 50; j++ {
+				f.Record(string(rune('a'+i))+"-key", unit{Misses: j})
+			}
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Open(path, "fp", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 8 {
+		t.Errorf("Len = %d, want 8", g.Len())
+	}
+}

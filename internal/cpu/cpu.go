@@ -18,6 +18,7 @@
 package cpu
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -44,9 +45,52 @@ type Config struct {
 // DefaultConfig mirrors the FPGA setup's relative latencies.
 var DefaultConfig = Config{DataAccessCycles: 1, FlushCycles: 1}
 
-// ErrLimit is returned by Run when the instruction budget is exhausted
-// before the program halts.
-var ErrLimit = errors.New("cpu: instruction limit exceeded")
+// The package's sentinel errors. Every error Run, RunCtx or Step returns
+// matches exactly one of these under errors.Is, so campaign watchdogs can
+// classify a failing trial (quarantine a fault or a runaway program, abort
+// on a wiring mistake) without string matching.
+var (
+	// ErrFuelExhausted is returned by Run when the instruction budget is
+	// exhausted before the program halts — the watchdog verdict for a
+	// non-halting (or merely over-budget) program.
+	ErrFuelExhausted = errors.New("cpu: instruction budget exhausted")
+	// ErrHalted is returned by Step when the machine has already executed
+	// halt.
+	ErrHalted = errors.New("cpu: machine is halted")
+	// ErrNoProgram is returned by Run and Step before Load.
+	ErrNoProgram = errors.New("cpu: no program loaded")
+	// ErrFault matches (via errors.Is) every execution fault: a wild PC, a
+	// translation or memory fault, or an invalid instruction or CSR. The
+	// concrete error is always a *FaultError carrying the faulting PC.
+	ErrFault = errors.New("cpu: fault")
+)
+
+// ErrLimit is the historical name of ErrFuelExhausted.
+//
+// Deprecated: use ErrFuelExhausted.
+var ErrLimit = ErrFuelExhausted
+
+// FaultError is an execution fault: the instruction at PC could not retire.
+// It unwraps to the underlying cause (e.g. ptw.ErrPageFault) and matches
+// ErrFault under errors.Is.
+type FaultError struct {
+	PC  int
+	Err error
+}
+
+// Error implements error.
+func (e *FaultError) Error() string { return fmt.Sprintf("cpu: fault at pc %d: %v", e.PC, e.Err) }
+
+// Unwrap exposes the fault's cause to errors.Is/As.
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// Is makes every FaultError match the ErrFault sentinel.
+func (e *FaultError) Is(target error) bool { return target == ErrFault }
+
+// fault wraps cause as a *FaultError at the current PC.
+func (c *Machine) fault(format string, args ...any) error {
+	return &FaultError{PC: c.pc, Err: fmt.Errorf(format, args...)}
+}
 
 // Machine is one simulated core wired to its memory subsystem.
 type Machine struct {
@@ -225,14 +269,17 @@ func (c *Machine) ExitCode() int64 { return c.exit }
 func (c *Machine) PC() int { return c.pc }
 
 // Run executes until halt or until maxInstr instructions have retired,
-// returning the exit code. Exceeding the budget returns ErrLimit.
+// returning the exit code. Exceeding the budget returns ErrFuelExhausted —
+// the per-trial watchdog the campaign runners build on: a generated program
+// that never halts burns its fuel and surfaces as a typed, quarantinable
+// error instead of wedging the sweep.
 //
 // This is the interpreter's hot loop: the per-step program/bounds checks are
 // hoisted out of Step and instructions execute by pointer, so a trial's
 // million-instruction budget pays only the dispatch switch per instruction.
 func (c *Machine) Run(maxInstr uint64) (int64, error) {
 	if c.prog == nil {
-		return 0, fmt.Errorf("cpu: no program loaded")
+		return 0, ErrNoProgram
 	}
 	instrs := c.prog.Instrs
 	for i := uint64(0); i < maxInstr; i++ {
@@ -240,7 +287,7 @@ func (c *Machine) Run(maxInstr uint64) (int64, error) {
 			return c.exit, nil
 		}
 		if uint(c.pc) >= uint(len(instrs)) {
-			return 0, fmt.Errorf("cpu: pc %d outside program (%d instructions)", c.pc, len(instrs))
+			return 0, c.fault("pc outside program (%d instructions)", len(instrs))
 		}
 		if err := c.exec(&instrs[c.pc]); err != nil {
 			return 0, err
@@ -249,19 +296,49 @@ func (c *Machine) Run(maxInstr uint64) (int64, error) {
 	if c.halted {
 		return c.exit, nil
 	}
-	return 0, ErrLimit
+	return 0, ErrFuelExhausted
+}
+
+// ctxCheckStride is how many instructions RunCtx retires between context
+// polls: coarse enough that the poll is invisible next to the dispatch
+// switch, fine enough that cancellation lands within microseconds.
+const ctxCheckStride = 4096
+
+// RunCtx is Run with cooperative cancellation: the context is polled every
+// ctxCheckStride retired instructions, so an interactive run (tlbsim) or a
+// cancelled campaign stops mid-program instead of burning the rest of a
+// multi-million-instruction budget. On cancellation the context's error is
+// returned and the machine keeps its partial state.
+func (c *Machine) RunCtx(ctx context.Context, maxInstr uint64) (int64, error) {
+	for done := uint64(0); done < maxInstr; done += ctxCheckStride {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		chunk := maxInstr - done
+		if chunk > ctxCheckStride {
+			chunk = ctxCheckStride
+		}
+		code, err := c.Run(chunk)
+		if err == nil {
+			return code, nil
+		}
+		if !errors.Is(err, ErrFuelExhausted) {
+			return code, err
+		}
+	}
+	return 0, ErrFuelExhausted
 }
 
 // Step executes a single instruction.
 func (c *Machine) Step() error {
 	if c.prog == nil {
-		return fmt.Errorf("cpu: no program loaded")
+		return ErrNoProgram
 	}
 	if c.halted {
-		return fmt.Errorf("cpu: machine is halted")
+		return ErrHalted
 	}
 	if c.pc < 0 || c.pc >= len(c.prog.Instrs) {
-		return fmt.Errorf("cpu: pc %d outside program (%d instructions)", c.pc, len(c.prog.Instrs))
+		return c.fault("pc outside program (%d instructions)", len(c.prog.Instrs))
 	}
 	return c.exec(&c.prog.Instrs[c.pc])
 }
@@ -275,7 +352,7 @@ func (c *Machine) exec(in *isa.Instr) error {
 		res, err := c.itlb.Translate(c.asid, tlb.VPN((c.textBase+4*uint64(c.pc))>>tlb.PageShift))
 		c.cycles += res.Cycles
 		if err != nil {
-			return fmt.Errorf("cpu: instruction fetch at pc %d: %w", c.pc, err)
+			return c.fault("instruction fetch: %w", err)
 		}
 	}
 	next := c.pc + 1
@@ -312,13 +389,13 @@ func (c *Machine) exec(in *isa.Instr) error {
 		vaddr := c.regs[in.Rs1] + uint64(in.Imm)
 		v, err := c.load(vaddr)
 		if err != nil {
-			return fmt.Errorf("cpu: pc %d (%s): %w", c.pc, in, err)
+			return c.fault("%s: %w", in, err)
 		}
 		c.SetReg(int(in.Rd), v)
 	case isa.OpSd:
 		vaddr := c.regs[in.Rs1] + uint64(in.Imm)
 		if err := c.store(vaddr, c.regs[in.Rs2]); err != nil {
-			return fmt.Errorf("cpu: pc %d (%s): %w", c.pc, in, err)
+			return c.fault("%s: %w", in, err)
 		}
 	case isa.OpBeq:
 		if c.regs[in.Rs1] == c.regs[in.Rs2] {
@@ -337,19 +414,19 @@ func (c *Machine) exec(in *isa.Instr) error {
 	case isa.OpCsrr:
 		v, err := c.readCSR(in.CSR)
 		if err != nil {
-			return fmt.Errorf("cpu: pc %d: %w", c.pc, err)
+			return c.fault("%w", err)
 		}
 		c.SetReg(int(in.Rd), v)
 	case isa.OpCsrw:
 		if err := c.writeCSR(in.CSR, c.regs[in.Rs1]); err != nil {
-			return fmt.Errorf("cpu: pc %d: %w", c.pc, err)
+			return c.fault("%w", err)
 		}
 	case isa.OpCsrwi:
 		if err := c.writeCSR(in.CSR, uint64(in.Imm)); err != nil {
-			return fmt.Errorf("cpu: pc %d: %w", c.pc, err)
+			return c.fault("%w", err)
 		}
 	default:
-		return fmt.Errorf("cpu: pc %d: invalid opcode %d", c.pc, in.Op)
+		return c.fault("invalid opcode %d", in.Op)
 	}
 
 	c.instret++
@@ -409,7 +486,7 @@ func (c *Machine) readCSR(csr uint16) (uint64, error) {
 	case isa.CSRVictimASID:
 		return c.victim, nil
 	default:
-		return 0, fmt.Errorf("cpu: read of unknown CSR %#x", csr)
+		return 0, fmt.Errorf("read of unknown CSR %#x", csr)
 	}
 }
 
@@ -453,9 +530,9 @@ func (c *Machine) writeCSR(csr uint16, v uint64) error {
 			c.cycles++
 		}
 	case isa.CSRCycle, isa.CSRInstret, isa.CSRTLBMissCount, isa.CSRTLBHitCount:
-		return fmt.Errorf("cpu: CSR %s is read-only", isa.CSRName(csr))
+		return fmt.Errorf("CSR %s is read-only", isa.CSRName(csr))
 	default:
-		return fmt.Errorf("cpu: write of unknown CSR %#x", csr)
+		return fmt.Errorf("write of unknown CSR %#x", csr)
 	}
 	return nil
 }

@@ -1,12 +1,14 @@
 package cpu
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
 
 	"securetlb/internal/asm"
 	"securetlb/internal/isa"
+	"securetlb/internal/ptw"
 	"securetlb/internal/tlb"
 )
 
@@ -315,6 +317,40 @@ func TestRunLimit(t *testing.T) {
 	if !errors.Is(err, ErrLimit) {
 		t.Errorf("err = %v, want ErrLimit", err)
 	}
+	// The watchdog sentinel and its historical alias are the same error.
+	if !errors.Is(err, ErrFuelExhausted) {
+		t.Errorf("err = %v, want ErrFuelExhausted", err)
+	}
+	if errors.Is(err, ErrFault) {
+		t.Error("fuel exhaustion must not classify as a fault")
+	}
+}
+
+func TestRunCtx(t *testing.T) {
+	m := newMachine(t)
+	p, _ := asm.Assemble("loop: j loop")
+	if err := m.Load(p, []tlb.ASID{0}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.RunCtx(ctx, 1_000_000_000); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled RunCtx: err = %v, want context.Canceled", err)
+	}
+	// A live context behaves like Run: fuel exhaustion across chunks...
+	m.Reset()
+	if _, err := m.RunCtx(context.Background(), 10_000); !errors.Is(err, ErrFuelExhausted) {
+		t.Errorf("err = %v, want ErrFuelExhausted", err)
+	}
+	// ...and a halting program returns its exit code.
+	halting, _ := asm.Assemble("halt 7")
+	if err := m.Load(halting, []tlb.ASID{0}); err != nil {
+		t.Fatal(err)
+	}
+	code, err := m.RunCtx(context.Background(), 10_000)
+	if err != nil || code != 7 {
+		t.Errorf("RunCtx = (%d, %v), want (7, nil)", code, err)
+	}
 }
 
 func TestPCOutOfRange(t *testing.T) {
@@ -326,6 +362,9 @@ func TestPCOutOfRange(t *testing.T) {
 	_, err := m.Run(10)
 	if err == nil || !strings.Contains(err.Error(), "outside program") {
 		t.Errorf("err = %v", err)
+	}
+	if !errors.Is(err, ErrFault) {
+		t.Errorf("wild PC should classify as ErrFault, got %v", err)
 	}
 }
 
@@ -342,6 +381,39 @@ func TestUnmappedAccessFaults(t *testing.T) {
 	_, err := m.Run(10)
 	if err == nil {
 		t.Error("load from unmapped page should fault")
+	}
+	if !errors.Is(err, ErrFault) {
+		t.Errorf("unmapped access should classify as ErrFault, got %v", err)
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %T, want *FaultError", err)
+	}
+	if fe.PC != 1 {
+		t.Errorf("fault PC = %d, want 1 (the ld)", fe.PC)
+	}
+	if !errors.Is(err, ptw.ErrPageFault) {
+		t.Errorf("fault should unwrap to the page-table cause, got %v", err)
+	}
+}
+
+func TestStepSentinels(t *testing.T) {
+	m := newMachine(t)
+	if err := m.Step(); !errors.Is(err, ErrNoProgram) {
+		t.Errorf("Step before Load: err = %v, want ErrNoProgram", err)
+	}
+	if _, err := m.Run(10); !errors.Is(err, ErrNoProgram) {
+		t.Errorf("Run before Load: err = %v, want ErrNoProgram", err)
+	}
+	p, _ := asm.Assemble("pass")
+	if err := m.Load(p, []tlb.ASID{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Step(); !errors.Is(err, ErrHalted) {
+		t.Errorf("Step after halt: err = %v, want ErrHalted", err)
 	}
 }
 

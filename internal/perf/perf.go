@@ -12,10 +12,12 @@
 package perf
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
 
+	"securetlb/internal/checkpoint"
 	"securetlb/internal/pool"
 	"securetlb/internal/tlb"
 	"securetlb/internal/victim"
@@ -318,10 +320,16 @@ func Aggregate(rows []Row, pred func(Row) bool, metric func(Metrics) float64) (f
 // parallelism (0 = GOMAXPROCS). Row order and contents are identical to
 // Figure7.
 func Figure7Parallel(d Design, secure bool, decrypts int, seed uint64, parallelism int) ([]Row, error) {
-	type cellSpec struct {
-		g    Geometry
-		spec workload.Generator
-	}
+	return Figure7Ctx(context.Background(), d, secure, decrypts, seed, parallelism, nil)
+}
+
+// cellSpec identifies one Figure 7 cell of a design's sweep.
+type cellSpec struct {
+	g    Geometry
+	spec workload.Generator
+}
+
+func cellSpecs(d Design) []cellSpec {
 	var cells []cellSpec
 	for _, g := range Geometries() {
 		if g.Label == "1E" && d != SA {
@@ -332,15 +340,93 @@ func Figure7Parallel(d Design, secure bool, decrypts int, seed uint64, paralleli
 			cells = append(cells, cellSpec{g, s})
 		}
 	}
+	return cells
+}
+
+// cellKey is the checkpoint unit key of one cell: every input the cell's
+// Row depends on, so a checkpoint hit is sound exactly when the rerun would
+// be bit-identical.
+func cellKey(d Design, c cellSpec, secure bool, decrypts int, seed uint64) string {
+	co := "alone"
+	if c.spec != nil {
+		co = c.spec.Name()
+	}
+	return fmt.Sprintf("fig7|%s|%s|%s|secure=%v|decrypts=%d|seed=%d",
+		d, c.g.Label, co, secure, decrypts, seed)
+}
+
+// SweepFingerprint identifies a perf sweep for checkpoint validation. The
+// cell keys carry the per-run parameters (design, geometry, co-runner,
+// security, decrypt count), so one checkpoint file can accumulate a whole
+// multi-design, multi-count sweep; the fingerprint covers only the seed.
+func SweepFingerprint(seed uint64) string {
+	return fmt.Sprintf("perf/v1|seed=%#x", seed)
+}
+
+// Figure7Ctx is Figure7Parallel with the resilience layer: cancellation
+// stops admitting new cells and drains the started ones, a panicking cell
+// surfaces as a *pool.PanicError instead of crashing the sweep, and a
+// non-nil checkpoint is consulted before and fed after every cell.
+//
+// On a clean run the rows are identical to Figure7, in the same order. On
+// cancellation the completed rows (still in sweep order, the incomplete
+// ones compacted away) are returned together with the context error; the
+// checkpoint, if any, already holds them for a later resume.
+func Figure7Ctx(ctx context.Context, d Design, secure bool, decrypts int, seed uint64, parallelism int, ck *checkpoint.File) ([]Row, error) {
+	cells := cellSpecs(d)
 	rows := make([]Row, len(cells))
+	done := make([]bool, len(cells))
 	errs := make([]error, len(cells))
-	pool.New(parallelism).ForEach(len(cells), func(i int) {
-		rows[i], errs[i] = Cell(d, cells[i].g, cells[i].spec, secure, decrypts, seed)
-	})
-	for _, err := range errs {
+	for i, c := range cells {
+		hit, err := ck.Lookup(cellKey(d, c, secure, decrypts, seed), &rows[i])
 		if err != nil {
 			return nil, err
 		}
+		done[i] = hit
+	}
+	complete := true
+	for i := range cells {
+		complete = complete && done[i]
+	}
+	if complete {
+		// Fully resumed from the checkpoint: nothing to execute, so even a
+		// cancelled context yields the complete sweep.
+		return rows, nil
+	}
+	ferr := pool.New(parallelism).ForEachCtx(ctx, len(cells), func(i int) {
+		if done[i] {
+			return
+		}
+		errs[i] = pool.Safely(func() error {
+			var err error
+			rows[i], err = Cell(d, cells[i].g, cells[i].spec, secure, decrypts, seed)
+			return err
+		})
+		if errs[i] == nil {
+			done[i] = true
+			errs[i] = ck.Record(cellKey(d, cells[i], secure, decrypts, seed), rows[i])
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			ck.Flush()
+			return nil, err
+		}
+	}
+	if ferr != nil {
+		var partial []Row
+		for i := range cells {
+			if done[i] {
+				partial = append(partial, rows[i])
+			}
+		}
+		if err := ck.Flush(); err != nil {
+			return partial, err
+		}
+		return partial, ferr
+	}
+	if err := ck.Flush(); err != nil {
+		return rows, err
 	}
 	return rows, nil
 }

@@ -17,7 +17,10 @@
 package pool
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -57,12 +60,43 @@ func (p *Pool) Run(fn func()) {
 	fn()
 }
 
+// RunCtx is Run with cancellation: it waits for a worker slot only as long
+// as ctx is live. When the context is cancelled before a slot frees up, fn is
+// NOT executed and the context's error is returned; once fn has started it
+// always runs to completion (cancellation stops admission, never preempts).
+// A nil return means fn ran.
+func (p *Pool) RunCtx(ctx context.Context, fn func()) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-p.sem }()
+	fn()
+	return nil
+}
+
 // Go spawns a goroutine that executes fn under Run, tracked by wg.
 func (p *Pool) Go(wg *sync.WaitGroup, fn func()) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		p.Run(fn)
+	}()
+}
+
+// GoCtx spawns a goroutine that executes fn under RunCtx, tracked by wg. If
+// the context is cancelled before a slot frees up the function is silently
+// skipped; callers that must distinguish "ran" from "skipped" should use
+// ForEachCtx (which reports the cancellation) or record completion in fn.
+func (p *Pool) GoCtx(ctx context.Context, wg *sync.WaitGroup, fn func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = p.RunCtx(ctx, fn)
 	}()
 }
 
@@ -77,6 +111,49 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 		p.Go(&wg, func() { fn(i) })
 	}
 	wg.Wait()
+}
+
+// ForEachCtx is ForEach with cancellation: it stops admitting new
+// iterations once ctx is cancelled, waits for every iteration already
+// started to drain, and returns the context's error. A nil return guarantees
+// fn(i) ran for every i in [0, n); a non-nil return means at least the
+// iterations not yet started were skipped, so partial per-index results must
+// be discarded (or re-derived) by the caller.
+func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(i int)) error {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			break
+		}
+		i := i
+		p.GoCtx(ctx, &wg, func() { fn(i) })
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// PanicError is a panic recovered from a worker function by Safely: the
+// panic value plus the stack of the panicking goroutine, captured at recover
+// time. It lets a campaign quarantine one crashing trial and keep running
+// while preserving everything needed to debug the crash.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// Safely runs fn, converting a panic into a returned *PanicError instead of
+// unwinding the calling goroutine. Campaign runners wrap each trial in
+// Safely so one crashing trial cannot take down the whole sweep.
+func Safely(fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
 }
 
 // Shard describes a half-open index range [Lo, Hi) of a sharded loop.

@@ -1,7 +1,10 @@
 package pool
 
 import (
+	"context"
+	"errors"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -69,6 +72,86 @@ func TestNestedFanOutDoesNotDeadlock(t *testing.T) {
 	outer.Wait()
 	if total != 20 {
 		t.Errorf("ran %d leaves, want 20", total)
+	}
+}
+
+func TestRunCtxCancelledBeforeSlot(t *testing.T) {
+	p := New(1)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	p.Go(&wg, func() { <-release }) // occupy the only slot
+	for {
+		// Wait until the slot is actually held.
+		if len(p.sem) == 1 {
+			break
+		}
+		runtime.Gosched()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	if err := p.RunCtx(ctx, func() { ran = true }); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("fn ran despite cancelled context")
+	}
+	close(release)
+	wg.Wait()
+	// With the slot free and a live context, RunCtx executes fn.
+	if err := p.RunCtx(context.Background(), func() { ran = true }); err != nil || !ran {
+		t.Errorf("RunCtx after release: err = %v, ran = %v", err, ran)
+	}
+}
+
+func TestForEachCtxStopsAdmittingOnCancel(t *testing.T) {
+	p := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	var started int32
+	err := p.ForEachCtx(ctx, 1000, func(i int) {
+		if atomic.AddInt32(&started, 1) == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Every started iteration drained before ForEachCtx returned, and far
+	// fewer than n iterations were admitted after the cancellation.
+	if n := atomic.LoadInt32(&started); n >= 1000 {
+		t.Errorf("all %d iterations ran despite mid-run cancellation", n)
+	}
+}
+
+func TestForEachCtxCompleteRunReturnsNil(t *testing.T) {
+	p := New(3)
+	var count int32
+	if err := p.ForEachCtx(context.Background(), 50, func(int) { atomic.AddInt32(&count, 1) }); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if count != 50 {
+		t.Errorf("ran %d iterations, want 50", count)
+	}
+}
+
+func TestSafelyCapturesPanic(t *testing.T) {
+	err := Safely(func() error { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PanicError", err, err)
+	}
+	if pe.Value != "boom" || !strings.Contains(pe.Error(), "boom") {
+		t.Errorf("PanicError = %+v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	if err := Safely(func() error { return nil }); err != nil {
+		t.Errorf("clean fn: err = %v", err)
+	}
+	want := errors.New("plain")
+	if err := Safely(func() error { return want }); err != want {
+		t.Errorf("error passthrough: err = %v", err)
 	}
 }
 

@@ -246,7 +246,11 @@ func (p *PageTables) Walk(asid tlb.ASID, vpn tlb.VPN) (tlb.PPN, uint64, error) {
 		}
 		table = pte >> ppnShift
 	}
-	panic("unreachable")
+	// The loop always returns at the leaf level; reaching here would mean a
+	// corrupted level counter. Surface it as a fault rather than a panic so
+	// one bad walk degrades a single trial, not the process.
+	p.Faults++
+	return 0, cycles, fmt.Errorf("%w: walk overran %d levels for vpn %#x", ErrPageFault, Levels, vpn)
 }
 
 // Translate resolves vpn in asid's space without charging cycles, for

@@ -70,3 +70,16 @@ func Check(defended bool) string {
 	}
 	return "VULNERABLE"
 }
+
+// Quarantine renders the quarantined-trials summary the campaign CLIs print
+// after their result tables. It returns "" when nothing was quarantined, so
+// callers can print it unconditionally.
+func Quarantine(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("Quarantined trials (excluded from statistics; reproduce with the recorded seed):\n")
+	b.WriteString(Table([]string{"Design", "Vulnerability", "Behaviour", "Trial", "Seed", "Kind", "Reason"}, rows))
+	return b.String()
+}

@@ -1,0 +1,331 @@
+package secbench
+
+// This file is the resilient execution layer over the trial-sharded runner:
+// context-aware campaigns that stop admitting work on cancellation and drain
+// cleanly, a per-trial fuel watchdog, panic quarantine that lets a campaign
+// survive a single bad trial, and checkpoint/resume keyed by the assembled
+// program's cache identity plus the trial range.
+//
+// The determinism contract extends the one in runner.go: because every
+// trial's seed is derived from its index alone (trialSeed), excluding a
+// quarantined trial changes nothing about the other trials, so the
+// statistics over the surviving trials are bit-identical to a serial run
+// over exactly those trial indices. Counts denominators are survivor
+// counts, keeping the empirical probabilities well-defined under exclusion.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"securetlb/internal/checkpoint"
+	"securetlb/internal/cpu"
+	"securetlb/internal/model"
+	"securetlb/internal/pool"
+)
+
+// ErrBenchFailed reports that a benchmark program halted with a non-zero
+// exit code — its own internal consistency check (the `fail` path) fired.
+var ErrBenchFailed = errors.New("secbench: benchmark signalled failure")
+
+// DefaultTrialFuel is the per-trial instruction budget when Config.MaxInstr
+// is zero. The generated benchmarks execute a few hundred instructions; a
+// million is six orders of safety margin while still bounding a runaway
+// trial to well under a second.
+const DefaultTrialFuel = 1_000_000
+
+// fuel resolves the per-trial instruction budget.
+func (c Config) fuel() uint64 {
+	if c.MaxInstr > 0 {
+		return c.MaxInstr
+	}
+	return DefaultTrialFuel
+}
+
+// Quarantined records one trial excluded from a campaign's statistics. The
+// seed and trial index are enough to replay the trial in isolation (see
+// Config.ReplayTrial) when triaging.
+type Quarantined struct {
+	Design      string `json:"design"`
+	Strategy    string `json:"strategy"`
+	Pattern     string `json:"pattern"`
+	Observation string `json:"observation"`
+	Mapped      bool   `json:"mapped"`
+	Trial       int    `json:"trial"`
+	Seed        uint64 `json:"seed"`
+	// Kind is the failure class: "panic", "fuel-exhausted", "fault" or
+	// "bench-failed".
+	Kind   string `json:"kind"`
+	Reason string `json:"reason"`
+}
+
+// classifyTrialErr maps a trial error to its quarantine kind. Only failures
+// attributable to the trial itself are quarantinable; anything else (a
+// generator or assembly error, an out-of-memory clone, ...) is an
+// infrastructure fault that must abort the campaign rather than silently
+// shrink its sample.
+func classifyTrialErr(err error) (kind string, quarantinable bool) {
+	var pe *pool.PanicError
+	switch {
+	case errors.As(err, &pe):
+		return "panic", true
+	case errors.Is(err, cpu.ErrFuelExhausted):
+		return "fuel-exhausted", true
+	case errors.Is(err, cpu.ErrFault):
+		return "fault", true
+	case errors.Is(err, ErrBenchFailed):
+		return "bench-failed", true
+	}
+	return "", false
+}
+
+// unitCounts is the outcome of one checkpointable work unit — all trials of
+// one (vulnerability, behaviour) pair. It is also the unit value stored in
+// the checkpoint file, so its JSON shape is part of the checkpoint format.
+type unitCounts struct {
+	Misses      int           `json:"misses"`
+	Survivors   int           `json:"survivors"`
+	Quarantined []Quarantined `json:"quarantined,omitempty"`
+}
+
+// unitKey is the checkpoint key for one work unit: the program-cache
+// identity (everything the assembled benchmark depends on) plus the trial
+// range it covers. Two campaigns sharing a key are guaranteed bit-identical
+// results for the unit, which is exactly when resuming is sound.
+func (c Config) unitKey(v model.Vulnerability, mapped bool) string {
+	return fmt.Sprintf("%+v|trials[0,%d)", c.progKeyFor(v, mapped), c.Trials)
+}
+
+// Fingerprint identifies the whole campaign configuration for checkpoint
+// validation: everything that influences any unit's results or keys.
+func (c Config) Fingerprint(extended bool) string {
+	return fmt.Sprintf("secbench/v1|design=%s|geom=%d/%d/%d|trials=%d|seed=%#x|params=%+v|memlat=%d|maxinstr=%d|extended=%v",
+		c.Design, c.Entries, c.Ways, c.VictimWays, c.Trials, c.BaseSeed,
+		c.Params, c.MemLatency, c.fuel(), extended)
+}
+
+// runTrialsResilient executes trials [lo, hi) of one behaviour, quarantining
+// per-trial failures and counting misses and survivors. It returns early
+// with the context error on cancellation (the partial unit is discarded by
+// the caller) and with the original error on infrastructure failure.
+func (c Config) runTrialsResilient(ctx context.Context, cp *campaign, v model.Vulnerability, mapped bool, lo, hi int) (unitCounts, error) {
+	var u unitCounts
+	for trial := lo; trial < hi; trial++ {
+		if err := ctx.Err(); err != nil {
+			return u, err
+		}
+		seed := c.trialSeed(trial, mapped)
+		trial := trial
+		var miss bool
+		err := pool.Safely(func() error {
+			fuel := c.fuel()
+			if c.Inject != nil {
+				if f := c.Inject(v, mapped, trial); f != 0 {
+					fuel = f
+				}
+			}
+			var terr error
+			miss, terr = cp.runTrial(seed, fuel)
+			return terr
+		})
+		if err != nil {
+			kind, ok := classifyTrialErr(err)
+			if !ok {
+				return u, fmt.Errorf("%s (mapped=%v, trial %d): %w", v, mapped, trial, err)
+			}
+			u.Quarantined = append(u.Quarantined, Quarantined{
+				Design:      c.Design.String(),
+				Strategy:    v.Strategy,
+				Pattern:     v.Pattern.String(),
+				Observation: v.Observation.String(),
+				Mapped:      mapped,
+				Trial:       trial,
+				Seed:        seed,
+				Kind:        kind,
+				Reason:      err.Error(),
+			})
+			continue
+		}
+		u.Survivors++
+		if miss {
+			u.Misses++
+		}
+	}
+	return u, nil
+}
+
+// runUnit executes one (vulnerability, behaviour) unit trial-sharded over p,
+// exactly like runVulnerabilitySharded but resilient: per-trial failures
+// land in the unit's quarantine list instead of aborting, and cancellation
+// stops admitting shards and drains the started ones.
+func (c Config) runUnit(ctx context.Context, p *pool.Pool, v model.Vulnerability, mapped bool) (unitCounts, error) {
+	var unit unitCounts
+	var template *campaign
+	var err error
+	if rerr := p.RunCtx(ctx, func() { template, err = c.newCampaign(v, mapped) }); rerr != nil {
+		return unit, rerr
+	}
+	if err != nil {
+		return unit, err
+	}
+	shards := pool.Shards(c.Trials, p.Size())
+	camps := make([]*campaign, len(shards))
+	for i := range shards {
+		if i == 0 {
+			camps[i] = template
+			continue
+		}
+		if camps[i], err = template.clone(); err != nil {
+			return unit, err
+		}
+	}
+	units := make([]unitCounts, len(shards))
+	errsBy := make([]error, len(shards))
+	if ferr := p.ForEachCtx(ctx, len(shards), func(i int) {
+		units[i], errsBy[i] = c.runTrialsResilient(ctx, camps[i], v, mapped, shards[i].Lo, shards[i].Hi)
+	}); ferr != nil {
+		return unit, ferr
+	}
+	// Aggregate in shard order so the quarantine list is ordered by trial
+	// index regardless of scheduling.
+	for i := range shards {
+		if errsBy[i] != nil {
+			return unit, errsBy[i]
+		}
+		unit.Misses += units[i].Misses
+		unit.Survivors += units[i].Survivors
+		unit.Quarantined = append(unit.Quarantined, units[i].Quarantined...)
+	}
+	return unit, nil
+}
+
+// finalizeCtx is finalize with a cancellable bootstrap.
+func (c Config) finalizeCtx(ctx context.Context, res *Result) error {
+	res.P1, res.P2 = res.Counts.Probabilities()
+	res.C = res.Counts.Capacity()
+	var err error
+	res.CILow, res.CIHigh, err = res.Counts.BootstrapCICtx(ctx, 300, 0.95, c.BaseSeed)
+	return err
+}
+
+// runVulnerabilityResilient runs one vulnerability's two units, consulting
+// and feeding the checkpoint (nil-safe) around each.
+func (c Config) runVulnerabilityResilient(ctx context.Context, p *pool.Pool, v model.Vulnerability, ck *checkpoint.File) (Result, []Quarantined, error) {
+	res := Result{Vulnerability: v}
+	var quarantined []Quarantined
+	for _, mapped := range []bool{true, false} {
+		key := c.unitKey(v, mapped)
+		var unit unitCounts
+		hit, err := ck.Lookup(key, &unit)
+		if err != nil {
+			return res, nil, err
+		}
+		if !hit {
+			if unit, err = c.runUnit(ctx, p, v, mapped); err != nil {
+				return res, nil, err
+			}
+			if err := ck.Record(key, unit); err != nil {
+				return res, nil, err
+			}
+		}
+		if mapped {
+			res.Counts.Mapped, res.Counts.MappedMisses = unit.Survivors, unit.Misses
+		} else {
+			res.Counts.NotMapped, res.Counts.NotMappedMisses = unit.Survivors, unit.Misses
+		}
+		quarantined = append(quarantined, unit.Quarantined...)
+	}
+	if err := c.finalizeCtx(ctx, &res); err != nil {
+		return res, nil, err
+	}
+	return res, quarantined, nil
+}
+
+// RunOptions parameterises a resilient campaign run.
+type RunOptions struct {
+	// Parallelism bounds the worker pool (<= 0 selects GOMAXPROCS).
+	Parallelism int
+	// Checkpoint, when non-nil, is consulted before each work unit and fed
+	// each completed one; a final flush happens on every exit path.
+	Checkpoint *checkpoint.File
+}
+
+// CampaignReport is the outcome of a resilient campaign: one Result per
+// completed vulnerability (statistics over surviving trials) plus every
+// quarantined trial, ordered by vulnerability, then behaviour (mapped
+// first), then trial index.
+type CampaignReport struct {
+	Results     []Result
+	Quarantined []Quarantined
+}
+
+// RunCampaign executes a resilient campaign over vulns. Per-trial failures
+// (panics, fuel exhaustion, faults, benchmark-signalled failures) are
+// quarantined and the campaign completes; infrastructure failures abort it.
+//
+// On context cancellation no new work units are admitted, started shards
+// drain, and RunCampaign returns the completed vulnerabilities (in vulns
+// order, incomplete ones compacted away) together with the context error —
+// a partial report the CLIs print before suggesting -resume.
+func (c Config) RunCampaign(ctx context.Context, vulns []model.Vulnerability, opts RunOptions) (CampaignReport, error) {
+	p := pool.New(opts.Parallelism)
+	ck := opts.Checkpoint
+	results := make([]Result, len(vulns))
+	quars := make([][]Quarantined, len(vulns))
+	errs := make([]error, len(vulns))
+	var wg sync.WaitGroup
+	for i, v := range vulns {
+		i, v := i, v
+		wg.Add(1)
+		// One lightweight orchestrator per vulnerability, as in
+		// runListParallel; all real work runs under p's worker bound.
+		go func() {
+			defer wg.Done()
+			results[i], quars[i], errs[i] = c.runVulnerabilityResilient(ctx, p, v, ck)
+		}()
+	}
+	wg.Wait()
+	var report CampaignReport
+	var ctxErr error
+	for i := range vulns {
+		switch {
+		case errs[i] == nil:
+			report.Results = append(report.Results, results[i])
+			report.Quarantined = append(report.Quarantined, quars[i]...)
+		case errors.Is(errs[i], context.Canceled) || errors.Is(errs[i], context.DeadlineExceeded):
+			ctxErr = errs[i]
+		default:
+			ck.Flush()
+			return report, errs[i]
+		}
+	}
+	if err := ck.Flush(); err != nil {
+		return report, err
+	}
+	return report, ctxErr
+}
+
+// RunAllCtx is the resilient form of RunAllParallel: the 24 base
+// vulnerabilities in Table 2 order.
+func (c Config) RunAllCtx(ctx context.Context, opts RunOptions) (CampaignReport, error) {
+	return c.RunCampaign(ctx, model.Enumerate(), opts)
+}
+
+// RunAllExtendedCtx is the resilient form of RunAllExtendedParallel.
+func (c Config) RunAllExtendedCtx(ctx context.Context, opts RunOptions) (CampaignReport, error) {
+	return c.RunCampaign(ctx, model.EnumerateExtended(), opts)
+}
+
+// ReplayTrial re-runs one trial in isolation on a fresh machine — the
+// triage entry point for a quarantined trial: the recorded behaviour and
+// trial index reproduce the trial's exact seed and randomness. The Inject
+// hook is not applied, so injected failures (as opposed to genuine ones) do
+// not reproduce here.
+func (c Config) ReplayTrial(v model.Vulnerability, mapped bool, trial int) (miss bool, err error) {
+	camp, err := c.newCampaign(v, mapped)
+	if err != nil {
+		return false, err
+	}
+	return camp.runTrial(c.trialSeed(trial, mapped), c.fuel())
+}

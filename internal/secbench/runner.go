@@ -152,21 +152,21 @@ func (cp *campaign) clone() (*campaign, error) {
 	return wrapCampaign(m), nil
 }
 
-// runTrial executes one trial and reports whether the timed step observed a
-// TLB miss (the "slow" outcome).
-func (cp *campaign) runTrial(seed uint64) (miss bool, err error) {
+// runTrial executes one trial under the given instruction budget and reports
+// whether the timed step observed a TLB miss (the "slow" outcome).
+func (cp *campaign) runTrial(seed, fuel uint64) (miss bool, err error) {
 	cp.machine.Reset()
 	cp.machine.TLB.FlushAll()
 	cp.machine.TLB.ResetStats()
 	if cp.rf != nil {
 		cp.rf.Reseed(seed)
 	}
-	code, err := cp.machine.Run(1_000_000)
+	code, err := cp.machine.Run(fuel)
 	if err != nil {
 		return false, err
 	}
 	if code != 0 {
-		return false, fmt.Errorf("secbench: benchmark signalled failure (%d)", code)
+		return false, fmt.Errorf("%w (exit code %d)", ErrBenchFailed, code)
 	}
 	return cp.machine.Reg(30) != 0, nil
 }
@@ -177,7 +177,7 @@ func (cp *campaign) runTrial(seed uint64) (miss bool, err error) {
 func (c Config) runTrials(cp *campaign, v model.Vulnerability, mapped bool, lo, hi int) (int, error) {
 	misses := 0
 	for trial := lo; trial < hi; trial++ {
-		miss, err := cp.runTrial(c.trialSeed(trial, mapped))
+		miss, err := cp.runTrial(c.trialSeed(trial, mapped), c.fuel())
 		if err != nil {
 			return misses, fmt.Errorf("%s (mapped=%v, trial %d): %w", v, mapped, trial, err)
 		}

@@ -90,6 +90,17 @@ type Config struct {
 	Params capacity.RFParams
 	// MemLatency is the per-level page walk cost in cycles.
 	MemLatency uint64
+	// MaxInstr is the per-trial instruction budget — the watchdog that turns
+	// a non-halting benchmark into a quarantinable cpu.ErrFuelExhausted
+	// instead of a hung campaign. Zero selects DefaultTrialFuel.
+	MaxInstr uint64
+	// Inject, when non-nil, is a fault-injection hook for the resilient
+	// runner's tests: it runs at the start of each trial and may panic (to
+	// exercise panic quarantine) or return a non-zero instruction budget
+	// overriding MaxInstr for that one trial (to exercise the watchdog).
+	// Returning zero leaves the trial untouched. Production campaigns leave
+	// it nil.
+	Inject func(v model.Vulnerability, mapped bool, trial int) uint64
 }
 
 // DefaultConfig mirrors the paper's §5.3 setup.

@@ -129,22 +129,32 @@ func (t *RF) find(s int, asid ASID, vpn VPN) int {
 }
 
 // randomSecureVPN draws D' uniformly from the secure region (Sec_D = 1
-// case).
-func (t *RF) randomSecureVPN() VPN {
-	return t.sbase + VPN(t.rng.Uintn(t.ssize))
+// case). With an empty region the draw fails with ErrEmptyDraw.
+func (t *RF) randomSecureVPN() (VPN, error) {
+	off, err := t.rng.Uintn(t.ssize)
+	if err != nil {
+		return 0, err
+	}
+	return t.sbase + VPN(off), nil
 }
 
 // randomAliasVPN draws D' for the Sec_R = 1, Sec_D = 0 case: the requested
 // address with its set-index bits randomised within the secure region's
-// set window (footnote 6).
-func (t *RF) randomAliasVPN(vpn VPN) VPN {
+// set window (footnote 6). The window is empty — ErrEmptyDraw — only in a
+// malformed configuration where a secure entry outlived a region reprogram
+// to zero size.
+func (t *RF) randomAliasVPN(vpn VPN) (VPN, error) {
 	window := t.ssize
 	if n := uint64(t.geom.sets); window > n {
 		window = n
 	}
+	draw, err := t.rng.Uintn(window)
+	if err != nil {
+		return 0, err
+	}
 	base := uint64(t.sbase) % uint64(t.geom.sets)
-	target := (base + t.rng.Uintn(window)) % uint64(t.geom.sets)
-	return vpn - VPN(uint64(vpn)%uint64(t.geom.sets)) + VPN(target)
+	target := (base + draw) % uint64(t.geom.sets)
+	return vpn - VPN(uint64(vpn)%uint64(t.geom.sets)) + VPN(target), nil
 }
 
 // fill installs (asid, vpn → ppn, sec) into its set, evicting the LRU
@@ -223,10 +233,20 @@ func (t *RF) Translate(asid ASID, vpn VPN) (Result, error) {
 
 	var dPrime VPN
 	var dPrimeSec bool
+	var derr error
 	if secD {
-		dPrime, dPrimeSec = t.randomSecureVPN(), true
+		dPrime, derr = t.randomSecureVPN()
+		dPrimeSec = true
 	} else {
-		dPrime, dPrimeSec = t.randomAliasVPN(vpn), false
+		dPrime, derr = t.randomAliasVPN(vpn)
+	}
+	if derr != nil {
+		// Misconfigured secure region: the access itself still completes
+		// through the no-fill buffer, but the error is surfaced so the
+		// caller's trial is flagged rather than silently mis-sampled.
+		t.stats.NoFills++
+		t.stats.RandomFillSkips++
+		return res, derr
 	}
 	pp, wc, werr := t.walker.Walk(asid, dPrime)
 	res.Cycles += wc

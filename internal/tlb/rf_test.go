@@ -359,17 +359,48 @@ func TestRNGUintnBounds(t *testing.T) {
 	r := newRNG(1)
 	for n := uint64(1); n <= 17; n++ {
 		for i := 0; i < 200; i++ {
-			if v := r.Uintn(n); v >= n {
+			v, err := r.Uintn(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v >= n {
 				t.Fatalf("Uintn(%d) = %d out of range", n, v)
 			}
 		}
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("Uintn(0) should panic")
+	if _, err := r.Uintn(0); !errors.Is(err, ErrEmptyDraw) {
+		t.Errorf("Uintn(0): err = %v, want ErrEmptyDraw", err)
+	}
+}
+
+// TestRFEmptyDrawDegradesToError sets up the malformed configuration that
+// used to panic the process: a secure entry installed under a non-empty
+// region that survives the region being reprogrammed to zero size. The next
+// conflicting lookup must return a typed error (one failed translation), not
+// unwind the whole campaign.
+func TestRFEmptyDrawDegradesToError(t *testing.T) {
+	rf := mustRF(t, 8, 2, 1)
+	rf.SetVictim(victimID)
+	rf.SetSecureRegion(0x100, 4)
+	// Install a secure entry (Sec_D = 1 fills a random secure page).
+	if _, err := rf.Translate(victimID, 0x100); err != nil {
+		t.Fatal(err)
+	}
+	rf.SetSecureRegion(0x100, 0)
+	// Hammer the sets until a lookup collides with the stale secure entry;
+	// that miss needs a random alias draw from the now-empty window.
+	var sawErr error
+	for vpn := VPN(0x200); vpn < 0x240 && sawErr == nil; vpn++ {
+		if _, err := rf.Translate(attackerID, vpn); err != nil {
+			sawErr = err
 		}
-	}()
-	r.Uintn(0)
+	}
+	if sawErr == nil {
+		t.Skip("no lookup collided with the stale secure entry")
+	}
+	if !errors.Is(sawErr, ErrEmptyDraw) {
+		t.Errorf("err = %v, want ErrEmptyDraw", sawErr)
+	}
 }
 
 func TestRNGZeroSeed(t *testing.T) {

@@ -1,5 +1,14 @@
 package tlb
 
+import "errors"
+
+// ErrEmptyDraw is returned when the Random Fill Engine is asked to draw from
+// an empty range — a malformed secure-region configuration (e.g. a secure
+// entry left behind after the region was reprogrammed to zero size). It is a
+// typed, per-lookup error so one misconfigured trial degrades gracefully
+// instead of panicking the whole campaign process.
+var ErrEmptyDraw = errors.New("tlb: random draw from an empty range")
+
 // rng is a small deterministic pseudo-random number generator used by the
 // Random Fill Engine. It is an xorshift64* generator seeded through a
 // splitmix64 step, which gives good statistical quality for the uniform
@@ -42,10 +51,11 @@ func (r *rng) Uint64() uint64 {
 	return x * 0x2545f4914f6cdd1d
 }
 
-// Uintn returns a uniform value in [0, n). n must be positive.
-func (r *rng) Uintn(n uint64) uint64 {
+// Uintn returns a uniform value in [0, n). A zero n yields ErrEmptyDraw
+// without consuming generator state.
+func (r *rng) Uintn(n uint64) (uint64, error) {
 	if n == 0 {
-		panic("tlb: Uintn with n == 0")
+		return 0, ErrEmptyDraw
 	}
 	// Rejection sampling to avoid modulo bias; the loop terminates quickly
 	// because the acceptance region covers at least half of the range.
@@ -53,7 +63,7 @@ func (r *rng) Uintn(n uint64) uint64 {
 	for {
 		v := r.Uint64()
 		if v < max {
-			return v % n
+			return v % n, nil
 		}
 	}
 }
