@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench smoke verify
+.PHONY: build vet test race bench smoke faults fuzz-smoke verify
 
 build:
 	$(GO) build ./...
@@ -31,4 +31,16 @@ smoke:
 	$(GO) test -count=1 -timeout 60s ./internal/checkpoint/
 	$(GO) test -count=1 -timeout 60s -run 'InterruptResume|FreshCheckpoint|Resilient|Quarantin|Checkpoint|Cancel' ./internal/secbench/ ./cmd/secbench/
 
-verify: build vet race
+# Fast differential fault matrix: every registered fault site injected into
+# real campaigns, exit non-zero on silent corruption or an undetected site.
+faults:
+	$(GO) run ./cmd/faultbench -trials 8 -vulns 2
+
+# Short native-fuzzing pass over the assembler and the binary program
+# decoder (the checked-in corpora under testdata/fuzz run in plain `go
+# test`; this explores beyond them).
+fuzz-smoke:
+	$(GO) test -fuzz FuzzAssemble -fuzztime 30s ./internal/asm/
+	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/isa/
+
+verify: build vet race faults fuzz-smoke

@@ -8,6 +8,8 @@
 //	secbench -emit "Ad -> Vu -> Ad" -mapped   # print one generated benchmark
 //	secbench -checkpoint run.json             # checkpoint progress as you go
 //	secbench -checkpoint run.json -resume     # continue an interrupted run
+//	secbench -invariants                      # runtime invariant checking on
+//	secbench -invariants -inject tlb-tag-flip # fault every trial, detect, quarantine
 //
 // SIGINT/SIGTERM stop the campaign gracefully: no new work starts, running
 // trials drain, the completed vulnerabilities are printed, a final
@@ -30,6 +32,7 @@ import (
 
 	"securetlb/internal/capacity"
 	"securetlb/internal/checkpoint"
+	"securetlb/internal/faultinject"
 	"securetlb/internal/model"
 	"securetlb/internal/pool"
 	"securetlb/internal/report"
@@ -47,7 +50,19 @@ func main() {
 	ckPath := flag.String("checkpoint", "", "checkpoint file: completed work units are recorded here")
 	resume := flag.Bool("resume", false, "with -checkpoint: resume from an existing checkpoint file")
 	ckEvery := flag.Int("checkpoint-every", 4, "flush the checkpoint every N completed work units")
+	invariants := flag.Bool("invariants", false, "wrap every campaign TLB in the runtime invariant checker (violations quarantine the trial)")
+	inject := flag.String("inject", "", "arm a fault-injection site on every trial (see faultbench -list); implies nothing about -invariants")
+	faultSeed := flag.Uint64("fault-seed", 0xfa115eed, "campaign-level seed for -inject's per-trial injectors")
 	flag.Parse()
+
+	campaignCfg = campaignSettings{invariants: *invariants, faultSeed: *faultSeed}
+	if *inject != "" {
+		site, err := faultinject.ParseSite(*inject)
+		if err != nil {
+			fatal(err)
+		}
+		campaignCfg.faultSite = site
+	}
 
 	if *emit != "" {
 		emitBenchmark(*emit, *mapped, parseDesigns(*design)[0], *extended)
@@ -96,15 +111,34 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// campaignSettings carries the flag-selected robustness options into every
+// campaign configuration (and so into the checkpoint fingerprint).
+type campaignSettings struct {
+	invariants bool
+	faultSite  faultinject.Site
+	faultSeed  uint64
+}
+
+var campaignCfg campaignSettings
+
+// configFor builds the campaign configuration for one design under the
+// current flags.
+func configFor(d secbench.Design, trials int) secbench.Config {
+	cfg := secbench.DefaultConfig(d)
+	cfg.Trials = trials
+	cfg.Invariants = campaignCfg.invariants
+	cfg.FaultSite = campaignCfg.faultSite
+	cfg.FaultSeed = campaignCfg.faultSeed
+	return cfg
+}
+
 // campaignFingerprint identifies this invocation's full workload for
 // checkpoint validation: the per-design fingerprints of every campaign the
 // flags select.
 func campaignFingerprint(designs []secbench.Design, trials int, extended bool) string {
 	fps := make([]string, 0, len(designs))
 	for _, d := range designs {
-		cfg := secbench.DefaultConfig(d)
-		cfg.Trials = trials
-		fps = append(fps, cfg.Fingerprint(extended))
+		fps = append(fps, configFor(d, trials).Fingerprint(extended))
 	}
 	return strings.Join(fps, ";")
 }
@@ -127,8 +161,7 @@ func openCheckpoint(designs []secbench.Design, trials int, extended bool, path s
 }
 
 func runCampaign(ctx context.Context, d secbench.Design, trials int, extended bool, parallel int, ck *checkpoint.File) (secbench.CampaignReport, error) {
-	cfg := secbench.DefaultConfig(d)
-	cfg.Trials = trials
+	cfg := configFor(d, trials)
 	opts := secbench.RunOptions{Parallelism: parallel, Checkpoint: ck}
 	if extended {
 		return cfg.RunAllExtendedCtx(ctx, opts)

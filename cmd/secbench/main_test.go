@@ -6,8 +6,12 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
+
+	"securetlb/internal/report"
+	"securetlb/internal/secbench"
 )
 
 // buildSecbench compiles the secbench binary into a temp dir once per test
@@ -99,6 +103,40 @@ func TestInterruptResumeBitIdentical(t *testing.T) {
 	}
 	if !bytes.Equal(res.Bytes(), ref.Bytes()) {
 		t.Errorf("resumed stdout differs from uninterrupted run (%d vs %d bytes)", res.Len(), ref.Len())
+	}
+}
+
+func TestQuarantineRowsRendering(t *testing.T) {
+	qs := []secbench.Quarantined{
+		{
+			Design: "SA TLB", Strategy: "TLB Flush + Reload",
+			Pattern: "Ad -> Vu -> Aa", Observation: "fast",
+			Mapped: true, Trial: 3, Seed: 0x1234,
+			Kind: "invariant", Reason: "invariant violation [SA TLB] fill-present",
+		},
+		{
+			Design: "RF TLB", Strategy: "Evict + Time",
+			Pattern: "Vd -> Vu -> Va", Observation: "slow",
+			Mapped: false, Trial: 17, Seed: 0xbeef,
+			Kind: "panic", Reason: "runtime error: index out of range",
+		},
+	}
+	rows := quarantineRows(qs)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if rows[0][2] != "mapped" || rows[1][2] != "not-mapped" {
+		t.Errorf("behaviour column wrong: %q / %q", rows[0][2], rows[1][2])
+	}
+	out := report.Quarantine(rows)
+	for _, want := range []string{"Ad -> Vu -> Aa (fast)", "0x1234", "invariant", "not-mapped", "17"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered quarantine missing %q:\n%s", want, out)
+		}
+	}
+	// The empty case renders nothing — runDesign prints it unconditionally.
+	if report.Quarantine(quarantineRows(nil)) != "" {
+		t.Error("empty quarantine list produced output")
 	}
 }
 

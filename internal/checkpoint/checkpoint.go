@@ -22,10 +22,13 @@
 package checkpoint
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"os"
+	"sort"
 	"sync"
 )
 
@@ -39,16 +42,50 @@ var (
 	// at a path that already holds one, to protect completed work from an
 	// accidental overwrite (resume or delete the file explicitly).
 	ErrExists = errors.New("checkpoint: file exists")
+	// ErrCorrupt is returned by Open when the file at path is not a whole,
+	// checksum-valid checkpoint: truncated, carrying trailing garbage,
+	// bit-rotted, or otherwise unparseable. Resuming from such a file would
+	// risk silently wrong tables, so the load fails loudly instead.
+	ErrCorrupt = errors.New("checkpoint: corrupt file")
 )
 
-// Version is the checkpoint file format version.
-const Version = 1
+// Version is the checkpoint file format version. Version 2 added the
+// content checksum; files without one are rejected as corrupt rather than
+// trusted blindly.
+const Version = 2
 
 // state is the on-disk shape of a checkpoint.
 type state struct {
-	Version     int                        `json:"version"`
-	Fingerprint string                     `json:"fingerprint"`
-	Units       map[string]json.RawMessage `json:"units"`
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	// Checksum is the FNV-64a digest of the canonical content (version,
+	// fingerprint and units in sorted key order, units compacted). It is the
+	// bit-rot guard: flipped bits that keep the JSON parseable still fail
+	// the resume loudly.
+	Checksum string                     `json:"checksum"`
+	Units    map[string]json.RawMessage `json:"units"`
+}
+
+// digest computes the canonical content checksum of a state, excluding the
+// Checksum field itself. Unit payloads are JSON-compacted first so the
+// digest is stable across re-indentation by the marshaller.
+func digest(st *state) (string, error) {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v%d\x00%s\x00", st.Version, st.Fingerprint)
+	keys := make([]string, 0, len(st.Units))
+	for k := range st.Units {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	for _, k := range keys {
+		buf.Reset()
+		if err := json.Compact(&buf, st.Units[k]); err != nil {
+			return "", fmt.Errorf("unit %q: %w", k, err)
+		}
+		fmt.Fprintf(h, "%s\x00%s\x00", k, buf.Bytes())
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
 }
 
 // File is an open checkpoint. The zero value is not usable; a nil *File is:
@@ -88,12 +125,21 @@ func Open(path, fingerprint string, every int, resume bool) (*File, error) {
 	case !resume:
 		return nil, fmt.Errorf("%w: %s holds a previous checkpoint (resume it or delete the file)", ErrExists, path)
 	}
+	// json.Unmarshal rejects both truncated documents and trailing garbage
+	// after the top-level value, so any torn or appended-to file lands here.
 	var st state
 	if err := json.Unmarshal(raw, &st); err != nil {
-		return nil, fmt.Errorf("checkpoint: parsing %s: %w", path, err)
+		return nil, fmt.Errorf("%w: parsing %s: %v", ErrCorrupt, path, err)
 	}
 	if st.Version != Version {
 		return nil, fmt.Errorf("checkpoint: %s has format version %d, want %d", path, st.Version, Version)
+	}
+	sum, err := digest(&st)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+	}
+	if st.Checksum != sum {
+		return nil, fmt.Errorf("%w: %s checksum %s does not match content digest %s", ErrCorrupt, path, st.Checksum, sum)
 	}
 	if st.Fingerprint != fingerprint {
 		return nil, fmt.Errorf("%w: file %q vs campaign %q", ErrMismatch, st.Fingerprint, fingerprint)
@@ -173,6 +219,11 @@ func (f *File) Flush() error {
 }
 
 func (f *File) flushLocked() error {
+	sum, err := digest(&f.st)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	f.st.Checksum = sum
 	raw, err := json.MarshalIndent(&f.st, "", "  ")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)

@@ -95,8 +95,99 @@ func TestCorruptFileRejected(t *testing.T) {
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(path, "fp", 1, true); err == nil {
-		t.Error("corrupt file accepted")
+	if _, err := Open(path, "fp", 1, true); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// writeValid flushes a small valid checkpoint and returns its path and raw
+// bytes, for the corruption tests to mangle.
+func writeValid(t *testing.T) (string, []byte) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ck.json")
+	f, err := Open(path, "fp", 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Record("unit-a", unit{Misses: 9, Seeds: []int{3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, raw
+}
+
+func TestTruncatedFileRejected(t *testing.T) {
+	path, raw := writeValid(t)
+	for _, cut := range []int{1, len(raw) / 2, len(raw) - 2} {
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(path, "fp", 1, true); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("truncation at %d bytes: err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, "fp", 1, true); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("empty file: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTrailingGarbageRejected(t *testing.T) {
+	path, raw := writeValid(t)
+	if err := os.WriteFile(path, append(raw, []byte(`{"version":2}`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, "fp", 1, true); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing garbage: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBitRotRejected(t *testing.T) {
+	// Flip a character inside a unit payload such that the JSON stays
+	// perfectly parseable: only the checksum can catch this.
+	path, raw := writeValid(t)
+	rotted := []byte(string(raw))
+	idx := -1
+	for i := range rotted {
+		if rotted[i] == '9' { // the Misses value
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("payload digit not found")
+	}
+	rotted[idx] = '8'
+	if err := os.WriteFile(path, rotted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, "fp", 1, true); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bit rot: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestChecksumSurvivesRoundTrips(t *testing.T) {
+	// Resume, record another unit, flush, resume again: re-indentation and
+	// key order must not destabilise the digest.
+	path, _ := writeValid(t)
+	f, err := Open(path, "fp", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Record("unit-b", unit{Misses: 1}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Open(path, "fp", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Errorf("Len = %d, want 2", g.Len())
 	}
 }
 

@@ -13,8 +13,15 @@ package isa
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
+
+// ErrDecode is the sentinel wrapped by every Decode failure: the byte stream
+// is not a canonical Encode output (truncated, bad magic, wrong length,
+// invalid opcode or register, or nonzero padding). Callers branch on it with
+// errors.Is without parsing messages.
+var ErrDecode = errors.New("isa: malformed program stream")
 
 // Op enumerates the instruction opcodes.
 type Op uint8
@@ -270,18 +277,28 @@ func Encode(p *Program) []byte {
 
 // Decode parses a stream produced by Encode. The returned program has a nil
 // symbol table and a recomputed DataPages list.
+//
+// Decode is strict: it accepts exactly the canonical Encode output, so that
+// decode-then-encode reproduces the input byte for byte. In particular the
+// two reserved padding bytes of each instruction record must be zero — a
+// stream with bits set there is corrupt, not merely sloppy, and accepting it
+// would make two different streams decode to the same program. All failures
+// wrap ErrDecode.
 func Decode(b []byte) (*Program, error) {
 	if len(b) < 16 {
-		return nil, fmt.Errorf("isa: truncated header (%d bytes)", len(b))
+		return nil, fmt.Errorf("%w: truncated header (%d bytes)", ErrDecode, len(b))
 	}
 	if binary.LittleEndian.Uint32(b[0:]) != Magic {
-		return nil, fmt.Errorf("isa: bad magic %#x", binary.LittleEndian.Uint32(b[0:]))
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrDecode, binary.LittleEndian.Uint32(b[0:]))
 	}
 	nInstr := int(binary.LittleEndian.Uint32(b[4:]))
 	nData := int(binary.LittleEndian.Uint32(b[8:]))
 	want := 16 + nInstr*instrRecordSize + nData*16
 	if len(b) != want {
-		return nil, fmt.Errorf("isa: length %d, want %d", len(b), want)
+		return nil, fmt.Errorf("%w: length %d, want %d", ErrDecode, len(b), want)
+	}
+	if b[12] != 0 || b[13] != 0 || b[14] != 0 || b[15] != 0 {
+		return nil, fmt.Errorf("%w: nonzero header padding", ErrDecode)
 	}
 	p := &Program{Instrs: make([]Instr, nInstr), Data: make([]DataWord, nData)}
 	off := 16
@@ -294,10 +311,13 @@ func Decode(b []byte) (*Program, error) {
 			Imm: int64(binary.LittleEndian.Uint64(rec[8:])),
 		}
 		if !in.Op.Valid() {
-			return nil, fmt.Errorf("isa: invalid opcode %d at instruction %d", rec[0], i)
+			return nil, fmt.Errorf("%w: invalid opcode %d at instruction %d", ErrDecode, rec[0], i)
 		}
 		if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
-			return nil, fmt.Errorf("isa: register out of range at instruction %d", i)
+			return nil, fmt.Errorf("%w: register out of range at instruction %d", ErrDecode, i)
+		}
+		if rec[6] != 0 || rec[7] != 0 {
+			return nil, fmt.Errorf("%w: nonzero record padding at instruction %d", ErrDecode, i)
 		}
 		p.Instrs[i] = in
 		off += instrRecordSize

@@ -50,7 +50,20 @@ type Memory struct {
 	// Reads and Writes count accesses, for diagnostics and tests.
 	Reads  uint64
 	Writes uint64
+	// loadHook, when set, may rewrite the value returned by Load64 (fault
+	// injection: in-DRAM bit rot). See SetLoadHook.
+	loadHook LoadHook
 }
+
+// LoadHook intercepts 64-bit loads for fault injection: it receives the
+// physical address and true stored value and returns the value actually
+// delivered. It observes every load, including page-table-entry reads.
+type LoadHook func(paddr, value uint64) uint64
+
+// SetLoadHook installs h as the memory's fault-injection hook, or removes it
+// when h is nil. Clones made with Clone do not inherit the hook: fault
+// injection is per-machine campaign state.
+func (m *Memory) SetLoadHook(h LoadHook) { m.loadHook = h }
 
 // New returns an empty memory with the given per-access latency in cycles.
 // A latency of zero is allowed (infinitely fast memory) and useful in unit
@@ -106,11 +119,14 @@ func (m *Memory) Load64(paddr uint64) (uint64, uint64, error) {
 		return 0, 0, fmt.Errorf("mem: misaligned 64-bit load at %#x", paddr)
 	}
 	m.Reads++
-	p := m.page(paddr)
-	if p == nil {
-		return 0, m.latency, nil
+	var v uint64
+	if p := m.page(paddr); p != nil {
+		v = p[(paddr%PageSize)/8]
 	}
-	return p[(paddr%PageSize)/8], m.latency, nil
+	if m.loadHook != nil {
+		v = m.loadHook(paddr, v)
+	}
+	return v, m.latency, nil
 }
 
 // Store64 writes the 64-bit word at physical address paddr, returning the

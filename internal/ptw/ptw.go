@@ -62,7 +62,21 @@ type PageTables struct {
 	Walks uint64
 	// Faults counts walks that ended in a page fault.
 	Faults uint64
+	// walkHook, when set, may rewrite a successful walk's result (fault
+	// injection: a corrupted PTE read). See SetWalkHook.
+	walkHook WalkHook
 }
+
+// WalkHook intercepts successful page-table walks for fault injection. It
+// receives the walk's inputs and the true result and returns the (possibly
+// corrupted) PPN and error actually delivered to the TLB. Faulting walks are
+// not intercepted — they already fail loudly.
+type WalkHook func(asid tlb.ASID, vpn tlb.VPN, ppn tlb.PPN) (tlb.PPN, error)
+
+// SetWalkHook installs h as the walker's fault-injection hook, or removes it
+// when h is nil. Clones made with CloneWith do not inherit the hook: fault
+// injection is per-machine campaign state.
+func (p *PageTables) SetWalkHook(h WalkHook) { p.walkHook = h }
 
 // New returns a PageTables allocating physical pages starting at firstPPN.
 func New(m *mem.Memory, firstPPN uint64) *PageTables {
@@ -238,7 +252,16 @@ func (p *PageTables) Walk(asid tlb.ASID, vpn tlb.VPN) (tlb.PPN, uint64, error) {
 				p.Faults++
 				return 0, cycles, fmt.Errorf("%w: non-leaf at last level for vpn %#x", ErrPageFault, vpn)
 			}
-			return tlb.PPN(pte >> ppnShift), cycles, nil
+			ppn := tlb.PPN(pte >> ppnShift)
+			if p.walkHook != nil {
+				var herr error
+				ppn, herr = p.walkHook(asid, vpn, ppn)
+				if herr != nil {
+					p.Faults++
+					return 0, cycles, herr
+				}
+			}
+			return ppn, cycles, nil
 		}
 		if pte&pteLeaf != 0 {
 			p.Faults++

@@ -83,3 +83,14 @@ func Quarantine(rows [][]string) string {
 	b.WriteString(Table([]string{"Design", "Vulnerability", "Behaviour", "Trial", "Seed", "Kind", "Reason"}, rows))
 	return b.String()
 }
+
+// FaultMatrix renders the differential fault-injection matrix: one row per
+// (site, design) cell with its per-trial classification. The silent column
+// is the acceptance gate — any non-zero entry means a fault changed a
+// trial's outcome without being detected.
+func FaultMatrix(rows [][]string) string {
+	var b strings.Builder
+	b.WriteString("Fault matrix (per injected site: how each faulted trial was accounted for):\n")
+	b.WriteString(Table([]string{"Site", "Design", "Trials", "Detected", "Benign", "Latent", "SILENT", "Example fault"}, rows))
+	return b.String()
+}

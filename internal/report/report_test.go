@@ -50,3 +50,42 @@ func TestPctAndCheck(t *testing.T) {
 		t.Error("Check wrong")
 	}
 }
+
+func TestQuarantineEmpty(t *testing.T) {
+	// Callers print the section unconditionally; with nothing quarantined it
+	// must contribute no output at all, not an empty table.
+	if got := Quarantine(nil); got != "" {
+		t.Errorf("Quarantine(nil) = %q, want empty", got)
+	}
+	if got := Quarantine([][]string{}); got != "" {
+		t.Errorf("Quarantine(empty) = %q, want empty", got)
+	}
+}
+
+func TestQuarantineRendersRows(t *testing.T) {
+	rows := [][]string{
+		{"SA TLB", "Ad -> Vu -> Aa (fast)", "mapped", "3", "0x1234", "invariant", "lru-touch: stamp not refreshed"},
+		{"RF TLB", "Vd -> Vu -> Va (fast)", "not-mapped", "17", "0xbeef", "panic", "runtime error"},
+	}
+	out := Quarantine(rows)
+	for _, want := range []string{"Quarantined trials", "Design", "Kind", "invariant", "0xbeef", "not-mapped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3+len(rows) { // title + header + separator + rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestFaultMatrixRendersRows(t *testing.T) {
+	out := FaultMatrix([][]string{
+		{"tlb-tag-flip", "SA TLB", "16", "invariant:10", "0", "6", "0", "flipped VPN bit 7"},
+	})
+	for _, want := range []string{"Fault matrix", "SILENT", "tlb-tag-flip", "invariant:10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package secbench
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"securetlb/internal/model"
+)
+
+// TestAllTrialsQuarantined drives the degenerate boundary of the resilient
+// runner: an Inject hook that starves every trial of fuel, so every single
+// trial of both behaviours is quarantined. The campaign must still complete
+// (not abort), report zero survivors, and produce finite statistics — zero
+// denominators must render as probability 0, never NaN.
+func TestAllTrialsQuarantined(t *testing.T) {
+	cfg := DefaultConfig(DesignSA)
+	cfg.Trials = 6
+	cfg.Inject = func(v model.Vulnerability, mapped bool, trial int) uint64 { return 1 }
+	v := model.Enumerate()[0]
+	report, err := cfg.RunCampaign(context.Background(), []model.Vulnerability{v}, RunOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(report.Results))
+	}
+	r := report.Results[0]
+	if r.Counts.Mapped != 0 || r.Counts.NotMapped != 0 {
+		t.Errorf("survivors = %+v, want zero", r.Counts)
+	}
+	if len(report.Quarantined) != 2*cfg.Trials {
+		t.Errorf("quarantined = %d, want %d", len(report.Quarantined), 2*cfg.Trials)
+	}
+	for _, q := range report.Quarantined {
+		if q.Kind != "fuel-exhausted" {
+			t.Errorf("trial %d: kind %q, want fuel-exhausted", q.Trial, q.Kind)
+		}
+	}
+	for name, val := range map[string]float64{
+		"P1": r.P1, "P2": r.P2, "C": r.C, "CILow": r.CILow, "CIHigh": r.CIHigh,
+	} {
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			t.Errorf("%s = %v with zero survivors, want finite", name, val)
+		}
+	}
+	if r.P1 != 0 || r.P2 != 0 || r.C != 0 {
+		t.Errorf("zero-survivor statistics not zero: p1=%v p2=%v c=%v", r.P1, r.P2, r.C)
+	}
+}

@@ -21,6 +21,8 @@ import (
 
 	"securetlb/internal/checkpoint"
 	"securetlb/internal/cpu"
+	"securetlb/internal/faultinject"
+	"securetlb/internal/invariant"
 	"securetlb/internal/model"
 	"securetlb/internal/pool"
 )
@@ -54,8 +56,8 @@ type Quarantined struct {
 	Mapped      bool   `json:"mapped"`
 	Trial       int    `json:"trial"`
 	Seed        uint64 `json:"seed"`
-	// Kind is the failure class: "panic", "fuel-exhausted", "fault" or
-	// "bench-failed".
+	// Kind is the failure class: "invariant", "panic", "fuel-exhausted",
+	// "fault" or "bench-failed".
 	Kind   string `json:"kind"`
 	Reason string `json:"reason"`
 }
@@ -70,6 +72,11 @@ func classifyTrialErr(err error) (kind string, quarantinable bool) {
 	switch {
 	case errors.As(err, &pe):
 		return "panic", true
+	// An invariant violation reaches the runner wrapped in a cpu.FaultError
+	// (the core treats a failed translation as a fault), so this case must
+	// precede the generic cpu.ErrFault one to keep the kind precise.
+	case errors.Is(err, invariant.ErrViolation):
+		return "invariant", true
 	case errors.Is(err, cpu.ErrFuelExhausted):
 		return "fuel-exhausted", true
 	case errors.Is(err, cpu.ErrFault):
@@ -100,9 +107,9 @@ func (c Config) unitKey(v model.Vulnerability, mapped bool) string {
 // Fingerprint identifies the whole campaign configuration for checkpoint
 // validation: everything that influences any unit's results or keys.
 func (c Config) Fingerprint(extended bool) string {
-	return fmt.Sprintf("secbench/v1|design=%s|geom=%d/%d/%d|trials=%d|seed=%#x|params=%+v|memlat=%d|maxinstr=%d|extended=%v",
+	return fmt.Sprintf("secbench/v2|design=%s|geom=%d/%d/%d|trials=%d|seed=%#x|params=%+v|memlat=%d|maxinstr=%d|extended=%v|inv=%v|fault=%s:%#x",
 		c.Design, c.Entries, c.Ways, c.VictimWays, c.Trials, c.BaseSeed,
-		c.Params, c.MemLatency, c.fuel(), extended)
+		c.Params, c.MemLatency, c.fuel(), extended, c.Invariants, c.FaultSite, c.FaultSeed)
 }
 
 // runTrialsResilient executes trials [lo, hi) of one behaviour, quarantining
@@ -117,6 +124,17 @@ func (c Config) runTrialsResilient(ctx context.Context, cp *campaign, v model.Vu
 		}
 		seed := c.trialSeed(trial, mapped)
 		trial := trial
+		// Arm the configured hardware-fault site on this trial's machine,
+		// underneath any invariant checker (the detector must observe the
+		// fault, not intercept its injection). An arming failure is an
+		// infrastructure error: the campaign was misconfigured, not the trial.
+		var inj *faultinject.Injector
+		if c.FaultSite != "" {
+			inj = faultinject.New(c.FaultSite, c.faultSeed(trial, mapped))
+			if aerr := inj.Arm(invariant.Unwrap(cp.machine.TLB), cp.machine.PT, cp.machine.Mem); aerr != nil {
+				return u, fmt.Errorf("%s (mapped=%v, trial %d): %w", v, mapped, trial, aerr)
+			}
+		}
 		var miss bool
 		err := pool.Safely(func() error {
 			fuel := c.fuel()
@@ -129,6 +147,9 @@ func (c Config) runTrialsResilient(ctx context.Context, cp *campaign, v model.Vu
 			miss, terr = cp.runTrial(seed, fuel)
 			return terr
 		})
+		if inj != nil {
+			inj.Disarm()
+		}
 		if err != nil {
 			kind, ok := classifyTrialErr(err)
 			if !ok {

@@ -7,6 +7,7 @@ import (
 	"securetlb/internal/asm"
 	"securetlb/internal/capacity"
 	"securetlb/internal/cpu"
+	"securetlb/internal/invariant"
 	"securetlb/internal/isa"
 	"securetlb/internal/mem"
 	"securetlb/internal/model"
@@ -41,6 +42,17 @@ func (r Result) Defended() bool { return r.C <= 0.05 }
 // results.
 func (c Config) trialSeed(trial int, mapped bool) uint64 {
 	seed := c.BaseSeed ^ (uint64(trial)+1)*0x9e3779b97f4a7c15
+	if mapped {
+		seed = ^seed
+	}
+	return seed
+}
+
+// faultSeed derives the per-trial fault-injector seed under the same
+// contract as trialSeed: a pure function of (FaultSeed, trial index,
+// behaviour), so a faulted campaign is exactly replayable trial by trial.
+func (c Config) faultSeed(trial int, mapped bool) uint64 {
+	seed := c.FaultSeed ^ (uint64(trial)+1)*0xd1b54a32d192ed03
 	if mapped {
 		seed = ^seed
 	}
@@ -122,6 +134,15 @@ func (c Config) newCampaign(v model.Vulnerability, mapped bool) (*campaign, erro
 	if err != nil {
 		return nil, err
 	}
+	if c.Invariants {
+		// The checker wraps the design and re-walks returned translations
+		// against the page tables; machine clones re-wrap automatically
+		// (Checker implements tlb.Cloner).
+		t, err = invariant.Wrap(t, pt, invariant.Config{CrossCheck: true})
+		if err != nil {
+			return nil, err
+		}
+	}
 	coreCfg := cpu.DefaultConfig
 	// The Appendix B benchmarks time targeted invalidations, which only
 	// leak when the two-cycle check-then-clear optimisation is present;
@@ -137,7 +158,9 @@ func (c Config) newCampaign(v model.Vulnerability, mapped bool) (*campaign, erro
 
 func wrapCampaign(mach *cpu.Machine) *campaign {
 	camp := &campaign{machine: mach}
-	if rf, ok := mach.TLB.(*tlb.RF); ok {
+	// The RF design may sit under an invariant checker; reseeding (and fault
+	// arming) must reach the raw design either way.
+	if rf, ok := invariant.Unwrap(mach.TLB).(*tlb.RF); ok {
 		camp.rf = rf
 	}
 	return camp

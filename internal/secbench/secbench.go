@@ -43,6 +43,7 @@ import (
 	"strings"
 
 	"securetlb/internal/capacity"
+	"securetlb/internal/faultinject"
 	"securetlb/internal/model"
 	"securetlb/internal/tlb"
 )
@@ -101,6 +102,19 @@ type Config struct {
 	// Returning zero leaves the trial untouched. Production campaigns leave
 	// it nil.
 	Inject func(v model.Vulnerability, mapped bool, trial int) uint64
+	// Invariants enables the runtime invariant checker: every campaign
+	// machine's TLB is wrapped in an invariant.Checker (with the page-table
+	// cross-check on), and any violation quarantines the trial with kind
+	// "invariant". Off by default: an unwrapped design has zero checking
+	// overhead.
+	Invariants bool
+	// FaultSite, when non-empty, arms the named hardware-fault site
+	// (faultinject.MachineSites) on each trial's machine with a fresh
+	// deterministic injector; FaultSeed is the campaign-level fault seed each
+	// trial's injector seed derives from. Faults are injected underneath the
+	// invariant checker, so detection is honest.
+	FaultSite faultinject.Site
+	FaultSeed uint64
 }
 
 // DefaultConfig mirrors the paper's §5.3 setup.

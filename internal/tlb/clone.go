@@ -40,19 +40,22 @@ func cloneSets(sets [][]entry, entries, ways int) [][]entry {
 	return out
 }
 
-// CloneWith implements Cloner.
+// CloneWith implements Cloner. Fault hooks are per-instance campaign state
+// and are deliberately not inherited.
 func (t *SetAssoc) CloneWith(w Walker) TLB {
 	n := *t
 	n.walker = w
 	n.sets = cloneSets(t.sets, t.geom.entries, t.geom.ways)
+	n.hook = nil
 	return &n
 }
 
-// CloneWith implements Cloner.
+// CloneWith implements Cloner. Fault hooks are not inherited.
 func (t *SP) CloneWith(w Walker) TLB {
 	n := *t
 	n.walker = w
 	n.sets = cloneSets(t.sets, t.geom.entries, t.geom.ways)
+	n.hook = nil
 	return &n
 }
 
@@ -65,6 +68,7 @@ func (t *RF) CloneWith(w Walker) TLB {
 	n.sets = cloneSets(t.sets, t.geom.entries, t.geom.ways)
 	rngCopy := *t.rng
 	n.rng = &rngCopy
+	n.hook = nil
 	return &n
 }
 

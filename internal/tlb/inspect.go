@@ -1,0 +1,190 @@
+package tlb
+
+// This file is the introspection and fault-injection surface of the TLB
+// designs: a read-only snapshot of the array (for the runtime invariant
+// checker in internal/invariant), a controlled mutation entry point (for the
+// deterministic fault campaigns in internal/faultinject), and a per-design
+// FaultHook intercepting the microarchitectural events a hardware fault
+// would perturb — fills, LRU touches and Random Fill Engine draws.
+//
+// The hooks are designed to be free when unused: a design pays one nil
+// pointer check per intercepted event, and nothing at all on designs that
+// were never armed. Clones (CloneWith) deliberately do not inherit hooks —
+// fault injection is per-machine state, armed by the campaign runner on each
+// worker's machine for exactly one trial at a time.
+
+// EntrySnapshot is an exported view of one TLB entry, as captured by
+// SnapshotAppend and mutated through CorruptEntry.
+type EntrySnapshot struct {
+	Valid bool
+	ASID  ASID
+	VPN   VPN
+	PPN   PPN
+	// Sec is the RF TLB's Sec bit (always false on SA/SP designs).
+	Sec bool
+	// Stamp is the LRU timestamp; larger is more recent.
+	Stamp uint64
+}
+
+// Inspectable is implemented by designs whose array state can be observed
+// (runtime invariant checking) and perturbed (fault injection). The
+// single-array designs — SetAssoc, SP and RF — implement it; compositions
+// (TwoLevel, Coalesced) do not.
+type Inspectable interface {
+	// SnapshotAppend appends the current array contents to dst in set-major
+	// order (set 0 ways 0..W-1, then set 1, ...) and returns the extended
+	// slice. Invalid ways are included, so the result always holds exactly
+	// Entries() elements beyond len(dst).
+	SnapshotAppend(dst []EntrySnapshot) []EntrySnapshot
+	// CorruptEntry applies f to a snapshot of the valid entry at (set, way)
+	// and writes the mutated snapshot back, modelling an in-array bit error.
+	// It reports whether an entry was corrupted; invalid ways and
+	// out-of-range coordinates are left untouched.
+	CorruptEntry(set, way int, f func(*EntrySnapshot)) bool
+	// SetFaultHook installs h as the design's fault-injection hook, or
+	// removes it when h is nil.
+	SetFaultHook(h *FaultHook)
+}
+
+// FillAction is a FaultHook's verdict on a pending fill.
+type FillAction int
+
+const (
+	// FillProceed installs the fill normally.
+	FillProceed FillAction = iota
+	// FillDrop loses the array write: the entry is not installed, but the
+	// design still reports the fill as performed (a lost valid-bit write —
+	// the control logic believes the fill happened).
+	FillDrop
+	// FillDuplicate installs the fill into the chosen way and a second way
+	// of the same set (partition, for the SP TLB), modelling a decoder fault
+	// that asserts two way-enables at once.
+	FillDuplicate
+)
+
+// FaultHook intercepts microarchitectural events for deterministic fault
+// injection. Every field is optional; a nil field leaves its event
+// untouched. Hooks run synchronously inside Translate, so they must not call
+// back into the TLB's mutating methods (CorruptEntry is safe).
+type FaultHook struct {
+	// OnAccess runs at the start of every Translate, before the lookup.
+	OnAccess func()
+	// OnFill is consulted with the chosen victim coordinates before a fill
+	// (requested or random) is installed.
+	OnFill func(set, way int) FillAction
+	// OnLRUTouch is consulted when a hit would refresh the stamp of the
+	// entry at (set, way); returning false leaves the stamp stuck.
+	OnLRUTouch func(set, way int) bool
+	// OnRNGDraw may bias a Random Fill Engine draw: it receives the window
+	// size n and the fair draw in [0, n) and returns the value actually
+	// used. Out-of-window returns are deliberately not clamped — a stuck
+	// high bit in the RFE's random register produces exactly that.
+	OnRNGDraw func(n, draw uint64) uint64
+}
+
+// fillAction consults h for the pending fill at (set, way); a nil hook (the
+// common case) proceeds.
+func (h *FaultHook) fillAction(set, way int) FillAction {
+	if h == nil || h.OnFill == nil {
+		return FillProceed
+	}
+	return h.OnFill(set, way)
+}
+
+// touchAllowed reports whether the stamp refresh of a hit at (set, way) goes
+// through.
+func (h *FaultHook) touchAllowed(set, way int) bool {
+	if h == nil || h.OnLRUTouch == nil {
+		return true
+	}
+	return h.OnLRUTouch(set, way)
+}
+
+// access fires the OnAccess event.
+func (h *FaultHook) access() {
+	if h != nil && h.OnAccess != nil {
+		h.OnAccess()
+	}
+}
+
+// draw applies the OnRNGDraw bias to a fair draw.
+func (h *FaultHook) draw(n, v uint64) uint64 {
+	if h == nil || h.OnRNGDraw == nil {
+		return v
+	}
+	return h.OnRNGDraw(n, v)
+}
+
+// snapshotAppend converts a design's set array to EntrySnapshots, set-major.
+func snapshotAppend(dst []EntrySnapshot, sets [][]entry) []EntrySnapshot {
+	for s := range sets {
+		for w := range sets[s] {
+			e := &sets[s][w]
+			dst = append(dst, EntrySnapshot{
+				Valid: e.valid, ASID: e.asid, VPN: e.vpn, PPN: e.ppn,
+				Sec: e.sec, Stamp: e.stamp,
+			})
+		}
+	}
+	return dst
+}
+
+// corruptEntry implements CorruptEntry over a design's set array.
+func corruptEntry(sets [][]entry, set, way int, f func(*EntrySnapshot)) bool {
+	if set < 0 || set >= len(sets) || way < 0 || way >= len(sets[set]) {
+		return false
+	}
+	e := &sets[set][way]
+	if !e.valid {
+		return false
+	}
+	s := EntrySnapshot{Valid: e.valid, ASID: e.asid, VPN: e.vpn, PPN: e.ppn, Sec: e.sec, Stamp: e.stamp}
+	f(&s)
+	*e = entry{valid: s.Valid, asid: s.ASID, vpn: s.VPN, ppn: s.PPN, sec: s.Sec, stamp: s.Stamp}
+	return true
+}
+
+// SnapshotAppend implements Inspectable.
+func (t *SetAssoc) SnapshotAppend(dst []EntrySnapshot) []EntrySnapshot {
+	return snapshotAppend(dst, t.sets)
+}
+
+// CorruptEntry implements Inspectable.
+func (t *SetAssoc) CorruptEntry(set, way int, f func(*EntrySnapshot)) bool {
+	return corruptEntry(t.sets, set, way, f)
+}
+
+// SetFaultHook implements Inspectable.
+func (t *SetAssoc) SetFaultHook(h *FaultHook) { t.hook = h }
+
+// SnapshotAppend implements Inspectable.
+func (t *SP) SnapshotAppend(dst []EntrySnapshot) []EntrySnapshot {
+	return snapshotAppend(dst, t.sets)
+}
+
+// CorruptEntry implements Inspectable.
+func (t *SP) CorruptEntry(set, way int, f func(*EntrySnapshot)) bool {
+	return corruptEntry(t.sets, set, way, f)
+}
+
+// SetFaultHook implements Inspectable.
+func (t *SP) SetFaultHook(h *FaultHook) { t.hook = h }
+
+// SnapshotAppend implements Inspectable.
+func (t *RF) SnapshotAppend(dst []EntrySnapshot) []EntrySnapshot {
+	return snapshotAppend(dst, t.sets)
+}
+
+// CorruptEntry implements Inspectable.
+func (t *RF) CorruptEntry(set, way int, f func(*EntrySnapshot)) bool {
+	return corruptEntry(t.sets, set, way, f)
+}
+
+// SetFaultHook implements Inspectable.
+func (t *RF) SetFaultHook(h *FaultHook) { t.hook = h }
+
+var (
+	_ Inspectable = (*SetAssoc)(nil)
+	_ Inspectable = (*SP)(nil)
+	_ Inspectable = (*RF)(nil)
+)

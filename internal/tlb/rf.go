@@ -37,6 +37,7 @@ type RF struct {
 	clock  uint64
 	stats  Stats
 	rng    *rng
+	hook   *FaultHook
 
 	victim    ASID
 	hasVictim bool
@@ -105,6 +106,9 @@ func (t *RF) ClearVictim() { t.hasVictim = false }
 // Victim implements SecureTLB.
 func (t *RF) Victim() ASID { return t.victim }
 
+// HasVictim reports whether a victim process has been designated.
+func (t *RF) HasVictim() bool { return t.hasVictim }
+
 // SetSecureRegion implements SecureTLB (the sbase and ssize registers of
 // §4.2.2, in units of pages).
 func (t *RF) SetSecureRegion(sbase VPN, ssize uint64) { t.sbase, t.ssize = sbase, ssize }
@@ -135,6 +139,7 @@ func (t *RF) randomSecureVPN() (VPN, error) {
 	if err != nil {
 		return 0, err
 	}
+	off = t.hook.draw(t.ssize, off)
 	return t.sbase + VPN(off), nil
 }
 
@@ -152,6 +157,7 @@ func (t *RF) randomAliasVPN(vpn VPN) (VPN, error) {
 	if err != nil {
 		return 0, err
 	}
+	draw = t.hook.draw(window, draw)
 	base := uint64(t.sbase) % uint64(t.geom.sets)
 	target := (base + draw) % uint64(t.geom.sets)
 	return vpn - VPN(uint64(vpn)%uint64(t.geom.sets)) + VPN(target), nil
@@ -169,12 +175,22 @@ func (t *RF) fill(asid ASID, vpn VPN, ppn PPN, sec bool, res *Result) {
 		return
 	}
 	w := lruWay(t.sets[s])
+	action := t.hook.fillAction(s, w)
+	if action == FillDrop {
+		// Lost array write: the caller still counts and reports the fill.
+		return
+	}
 	e := &t.sets[s][w]
 	if e.valid {
 		res.Evicted, res.EvictedVPN, res.EvictedASID = true, e.vpn, e.asid
 		t.stats.Evictions++
 	}
 	*e = entry{valid: true, asid: asid, vpn: vpn, ppn: ppn, sec: sec, stamp: t.clock}
+	if action == FillDuplicate {
+		if w2 := (w + 1) % len(t.sets[s]); w2 != w {
+			t.sets[s][w2] = *e
+		}
+	}
 }
 
 // lazyStarved reports whether the ablation-mode asynchronous fill engine
@@ -190,12 +206,15 @@ func (t *RF) lazyStarved() bool {
 
 // Translate implements TLB, following the access-handling flow of Figure 3.
 func (t *RF) Translate(asid ASID, vpn VPN) (Result, error) {
+	t.hook.access()
 	t.stats.Lookups++
 	s := t.geom.setIndex(vpn)
 	t.clock++
 	if w := t.find(s, asid, vpn); w >= 0 {
 		e := &t.sets[s][w]
-		e.stamp = t.clock
+		if t.hook.touchAllowed(s, w) {
+			e.stamp = t.clock
+		}
 		t.stats.Hits++
 		return Result{PPN: e.ppn, Hit: true, Cycles: t.timing.HitCycles}, nil
 	}
@@ -276,6 +295,57 @@ func (t *RF) Translate(asid ASID, vpn VPN) (Result, error) {
 // Probe implements TLB.
 func (t *RF) Probe(asid ASID, vpn VPN) bool {
 	return t.find(t.geom.setIndex(vpn), asid, vpn) >= 0
+}
+
+// RNG is an exported copy of a Random Fill Engine generator, used by the
+// invariant checker to predict the RFE's next draw without perturbing the
+// live stream.
+type RNG struct {
+	inner rng
+}
+
+// Uintn returns a uniform value in [0, n), advancing only this copy.
+func (g *RNG) Uintn(n uint64) (uint64, error) { return g.inner.Uintn(n) }
+
+// RNGClone returns a copy of the RFE's generator at its current state.
+func (t *RF) RNGClone() RNG { return RNG{inner: *t.rng} }
+
+// PredictRandomFill replays the Random Fill Engine's decision for an access
+// to (asid, vpn) against the TLB's *current* (pre-access) state, drawing
+// from g instead of the live generator. It returns the D' a fault-free RFE
+// would install and whether a random fill would be attempted at all (hits
+// and plain misses attempt none). Call it immediately before Translate with
+// a generator from RNGClone; comparing the prediction against the access's
+// Result exposes a biased or stuck RNG.
+func (t *RF) PredictRandomFill(g *RNG, asid ASID, vpn VPN) (VPN, bool, error) {
+	s := t.geom.setIndex(vpn)
+	if t.find(s, asid, vpn) >= 0 {
+		return 0, false, nil
+	}
+	secD := t.secure(asid, vpn)
+	rWay := lruWay(t.sets[s])
+	secR := t.sets[s][rWay].valid && t.sets[s][rWay].sec
+	if !secD && !secR {
+		return 0, false, nil
+	}
+	if secD {
+		off, err := g.inner.Uintn(t.ssize)
+		if err != nil {
+			return 0, false, err
+		}
+		return t.sbase + VPN(off), true, nil
+	}
+	window := t.ssize
+	if n := uint64(t.geom.sets); window > n {
+		window = n
+	}
+	draw, err := g.inner.Uintn(window)
+	if err != nil {
+		return 0, false, err
+	}
+	base := uint64(t.sbase) % uint64(t.geom.sets)
+	target := (base + draw) % uint64(t.geom.sets)
+	return vpn - VPN(uint64(vpn)%uint64(t.geom.sets)) + VPN(target), true, nil
 }
 
 // FlushAll implements TLB.

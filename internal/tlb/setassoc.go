@@ -17,6 +17,7 @@ type SetAssoc struct {
 	sets   [][]entry
 	clock  uint64
 	stats  Stats
+	hook   *FaultHook
 }
 
 var _ TLB = (*SetAssoc)(nil)
@@ -97,12 +98,15 @@ func lruWay(set []entry) int {
 
 // Translate implements TLB.
 func (t *SetAssoc) Translate(asid ASID, vpn VPN) (Result, error) {
+	t.hook.access()
 	t.stats.Lookups++
 	s := t.geom.setIndex(vpn)
 	t.clock++
 	if w := t.find(s, asid, vpn); w >= 0 {
 		e := &t.sets[s][w]
-		e.stamp = t.clock
+		if t.hook.touchAllowed(s, w) {
+			e.stamp = t.clock
+		}
 		t.stats.Hits++
 		return Result{PPN: e.ppn, Hit: true, Cycles: t.timing.HitCycles}, nil
 	}
@@ -113,6 +117,12 @@ func (t *SetAssoc) Translate(asid ASID, vpn VPN) (Result, error) {
 	}
 	res := Result{PPN: ppn, Cycles: t.timing.HitCycles + walkCycles, Filled: true}
 	w := lruWay(t.sets[s])
+	action := t.hook.fillAction(s, w)
+	if action == FillDrop {
+		// Lost array write: the control logic still counts the fill.
+		t.stats.Fills++
+		return res, nil
+	}
 	e := &t.sets[s][w]
 	if e.valid {
 		res.Evicted, res.EvictedVPN, res.EvictedASID = true, e.vpn, e.asid
@@ -120,6 +130,11 @@ func (t *SetAssoc) Translate(asid ASID, vpn VPN) (Result, error) {
 	}
 	*e = entry{valid: true, asid: asid, vpn: vpn, ppn: ppn, stamp: t.clock}
 	t.stats.Fills++
+	if action == FillDuplicate {
+		if w2 := (w + 1) % len(t.sets[s]); w2 != w {
+			t.sets[s][w2] = *e
+		}
+	}
 	return res, nil
 }
 

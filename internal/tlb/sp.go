@@ -25,6 +25,7 @@ type SP struct {
 	stats      Stats
 	victim     ASID
 	hasVictim  bool
+	hook       *FaultHook
 	// sbase/ssize are accepted for SecureTLB compatibility; the SP design
 	// does not use the secure region, only the victim process ID.
 	sbase VPN
@@ -121,6 +122,9 @@ func (t *SP) ClearVictim() { t.hasVictim = false }
 // Victim implements SecureTLB.
 func (t *SP) Victim() ASID { return t.victim }
 
+// HasVictim reports whether a victim process has been designated.
+func (t *SP) HasVictim() bool { return t.hasVictim }
+
 // SetSecureRegion implements SecureTLB. The SP design does not act on the
 // secure region, but records it so callers can treat SP and RF uniformly.
 func (t *SP) SetSecureRegion(sbase VPN, ssize uint64) { t.sbase, t.ssize = sbase, ssize }
@@ -149,12 +153,15 @@ func (t *SP) find(s int, asid ASID, vpn VPN) int {
 // Translate implements TLB. Hits search all ways (identical to SA); fills
 // choose the LRU way within the requester's partition only (Figure 1).
 func (t *SP) Translate(asid ASID, vpn VPN) (Result, error) {
+	t.hook.access()
 	t.stats.Lookups++
 	s := t.geom.setIndex(vpn)
 	t.clock++
 	if w := t.find(s, asid, vpn); w >= 0 {
 		e := &t.sets[s][w]
-		e.stamp = t.clock
+		if t.hook.touchAllowed(s, w) {
+			e.stamp = t.clock
+		}
 		t.stats.Hits++
 		return Result{PPN: e.ppn, Hit: true, Cycles: t.timing.HitCycles}, nil
 	}
@@ -166,6 +173,12 @@ func (t *SP) Translate(asid ASID, vpn VPN) (Result, error) {
 	res := Result{PPN: ppn, Cycles: t.timing.HitCycles + walkCycles, Filled: true}
 	lo, hi := t.partition(asid)
 	w := lo + lruWay(t.sets[s][lo:hi])
+	action := t.hook.fillAction(s, w)
+	if action == FillDrop {
+		// Lost array write: the control logic still counts the fill.
+		t.stats.Fills++
+		return res, nil
+	}
 	e := &t.sets[s][w]
 	if e.valid {
 		res.Evicted, res.EvictedVPN, res.EvictedASID = true, e.vpn, e.asid
@@ -173,6 +186,13 @@ func (t *SP) Translate(asid ASID, vpn VPN) (Result, error) {
 	}
 	*e = entry{valid: true, asid: asid, vpn: vpn, ppn: ppn, stamp: t.clock}
 	t.stats.Fills++
+	if action == FillDuplicate {
+		// The duplicate stays inside the requester's partition: the decoder
+		// fault asserts a second way-enable of the same partition.
+		if w2 := lo + (w-lo+1)%(hi-lo); w2 != w {
+			t.sets[s][w2] = *e
+		}
+	}
 	return res, nil
 }
 
