@@ -1,6 +1,9 @@
 GO ?= go
+# FUZZTIME bounds each fuzz-smoke target; CI overrides it (e.g. FUZZTIME=10s)
+# to trade exploration depth for turnaround.
+FUZZTIME ?= 30s
 
-.PHONY: build vet test race bench smoke faults fuzz-smoke verify
+.PHONY: build vet test race bench smoke faults fuzz-smoke serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -40,7 +43,15 @@ faults:
 # decoder (the checked-in corpora under testdata/fuzz run in plain `go
 # test`; this explores beyond them).
 fuzz-smoke:
-	$(GO) test -fuzz FuzzAssemble -fuzztime 30s ./internal/asm/
-	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/isa/
+	$(GO) test -fuzz FuzzAssemble -fuzztime $(FUZZTIME) ./internal/asm/
+	$(GO) test -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/isa/
 
-verify: build vet race faults fuzz-smoke
+# End-to-end daemon smoke: start tlbserved, submit a job over HTTP, SIGTERM
+# it mid-run, restart over the same data directory and require the resumed
+# result byte-identical to an uninterrupted daemon's — plus the in-process
+# coalescing/caching/streaming tests.
+serve-smoke:
+	$(GO) test -count=1 -timeout 10m ./internal/job/ ./internal/serve/
+	$(GO) test -count=1 -timeout 10m -run 'SigtermRestart|MetricsAndCleanShutdown|Client' ./cmd/tlbserved/ ./cmd/tlbsim/
+
+verify: build vet race faults fuzz-smoke serve-smoke

@@ -45,6 +45,9 @@ func main() {
 		}
 		return
 	}
+	if err := validateFlags(*trials, *nvulns, *parallel); err != nil {
+		fatal(err)
+	}
 	sites := faultinject.Sites()
 	if *siteFlag != "" {
 		s, err := faultinject.ParseSite(*siteFlag)
@@ -208,6 +211,25 @@ func pickVulns(n int) []model.Vulnerability {
 		}
 	}
 	return out
+}
+
+// validateFlags rejects invalid sampling parameters up front with a clear
+// message, instead of letting a zero-trial matrix report a vacuous pass or
+// a bad pool size fail inside the sweep.
+func validateFlags(trials, nvulns, parallel int) error {
+	if trials <= 0 {
+		return fmt.Errorf("-trials must be positive, got %d", trials)
+	}
+	if nvulns <= 0 {
+		return fmt.Errorf("-vulns must be positive, got %d", nvulns)
+	}
+	if max := len(model.Enumerate()); nvulns > max {
+		return fmt.Errorf("-vulns %d exceeds the %d enumerated vulnerability types", nvulns, max)
+	}
+	if parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0 (0 = all CPUs), got %d", parallel)
+	}
+	return nil
 }
 
 func fatal(err error) {

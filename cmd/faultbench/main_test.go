@@ -1,0 +1,28 @@
+package main
+
+import (
+	"testing"
+
+	"securetlb/internal/model"
+)
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(8, 2, 0); err != nil {
+		t.Fatalf("valid defaults rejected: %v", err)
+	}
+	bad := []struct {
+		name                     string
+		trials, nvulns, parallel int
+	}{
+		{"zero trials", 0, 2, 0},
+		{"negative trials", -1, 2, 0},
+		{"zero vulns", 8, 0, 0},
+		{"vulns beyond enumeration", 8, len(model.Enumerate()) + 1, 0},
+		{"negative parallel", 8, 2, -1},
+	}
+	for _, tc := range bad {
+		if err := validateFlags(tc.trials, tc.nvulns, tc.parallel); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

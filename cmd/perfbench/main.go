@@ -28,7 +28,6 @@ import (
 	"securetlb/internal/checkpoint"
 	"securetlb/internal/perf"
 	"securetlb/internal/pool"
-	"securetlb/internal/report"
 )
 
 func main() {
@@ -43,19 +42,9 @@ func main() {
 	ckEvery := flag.Int("checkpoint-every", 4, "flush the checkpoint every N completed cells")
 	flag.Parse()
 
-	var designs []perf.Design
-	switch *design {
-	case "sa":
-		designs = []perf.Design{perf.SA}
-	case "sp":
-		designs = []perf.Design{perf.SP}
-	case "rf":
-		designs = []perf.Design{perf.RF}
-	case "all":
-		designs = []perf.Design{perf.SA, perf.SP, perf.RF}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
-		os.Exit(1)
+	designs, err := validateFlags(*design, *decrypts, *parallel, *ckEvery, *resume, *ckPath)
+	if err != nil {
+		fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -63,15 +52,12 @@ func main() {
 
 	var ck *checkpoint.File
 	if *ckPath != "" {
-		var err error
 		if ck, err = checkpoint.Open(*ckPath, perf.SweepFingerprint(*seed), *ckEvery, *resume); err != nil {
 			fatal(err)
 		}
 		if *resume && ck.Len() > 0 {
 			fmt.Fprintf(os.Stderr, "perfbench: resuming from %s (%d cells already complete)\n", *ckPath, ck.Len())
 		}
-	} else if *resume {
-		fatal(errors.New("-resume requires -checkpoint"))
 	}
 
 	runCounts := []int{*decrypts}
@@ -110,29 +96,12 @@ sweepLoop:
 	for _, d := range designs {
 		for _, secure := range []bool{false, true} {
 			for _, decrypts := range runCounts {
-				label := "RSA"
-				if secure {
-					label = "SecRSA"
-				}
-				fig := map[perf.Design]string{perf.SA: "7a/7d", perf.SP: "7b/7e", perf.RF: "7c/7f"}[d]
-				fmt.Printf("Figure %s — %s TLB, %s, %d decryptions, %d workers\n",
-					fig, d, label, decrypts, pool.Workers(*parallel))
+				fmt.Print(perf.SweepHeader(d, secure, decrypts, pool.Workers(*parallel)))
 				rows, err := perf.Figure7Ctx(ctx, d, secure, decrypts, *seed, *parallel, ck)
 				if err != nil && !isInterrupt(err) {
 					fatal(err)
 				}
-				out := make([][]string, 0, len(rows))
-				for _, r := range rows {
-					out = append(out, []string{
-						r.Geometry, r.Workload,
-						fmt.Sprintf("%.3f", r.Metrics.IPC),
-						fmt.Sprintf("%.2f", r.Metrics.MPKI),
-						fmt.Sprintf("%d", r.Metrics.Instructions),
-						fmt.Sprintf("%d", r.Metrics.TLBMisses),
-					})
-				}
-				fmt.Print(report.Table([]string{"Config", "Workload", "IPC", "MPKI", "Instr", "Misses"}, out))
-				fmt.Println()
+				fmt.Print(perf.FormatRows(rows))
 				if err != nil {
 					interrupted = err
 					break sweepLoop
@@ -144,6 +113,29 @@ sweepLoop:
 		printHeadlines(runCounts[0], *seed)
 	}
 	exitIfInterrupted(interrupted, *ckPath)
+}
+
+// validateFlags rejects invalid flag combinations up front with a clear
+// message, instead of letting a bad value fail deep inside the sweep. It
+// returns the designs the -design selector names.
+func validateFlags(design string, decrypts, parallel, ckEvery int, resume bool, ckPath string) ([]perf.Design, error) {
+	designs, err := perf.ParseDesigns(design)
+	if err != nil {
+		return nil, err
+	}
+	if decrypts <= 0 {
+		return nil, fmt.Errorf("-decrypts must be positive, got %d", decrypts)
+	}
+	if parallel < 0 {
+		return nil, fmt.Errorf("-parallel must be >= 0 (0 = all CPUs), got %d", parallel)
+	}
+	if ckEvery < 1 {
+		return nil, fmt.Errorf("-checkpoint-every must be >= 1, got %d", ckEvery)
+	}
+	if resume && ckPath == "" {
+		return nil, errors.New("-resume requires -checkpoint")
+	}
+	return designs, nil
 }
 
 func isInterrupt(err error) bool {

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestValidateFlags(t *testing.T) {
+	designs, err := validateFlags("all", 50, 0, 4, false, "")
+	if err != nil {
+		t.Fatalf("valid defaults rejected: %v", err)
+	}
+	if len(designs) == 0 {
+		t.Fatal("no designs resolved for -design all")
+	}
+	bad := []struct {
+		name                        string
+		design                      string
+		decrypts, parallel, ckEvery int
+		resume                      bool
+		ckPath                      string
+	}{
+		{"unknown design", "xx", 50, 0, 4, false, ""},
+		{"zero decrypts", "sa", 0, 0, 4, false, ""},
+		{"negative decrypts", "sa", -3, 0, 4, false, ""},
+		{"negative parallel", "sa", 50, -1, 4, false, ""},
+		{"zero checkpoint-every", "sa", 50, 0, 0, false, ""},
+		{"resume without checkpoint", "sa", 50, 0, 4, true, ""},
+	}
+	for _, tc := range bad {
+		if _, err := validateFlags(tc.design, tc.decrypts, tc.parallel, tc.ckEvery, tc.resume, tc.ckPath); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -30,7 +30,6 @@ import (
 	"strings"
 	"syscall"
 
-	"securetlb/internal/capacity"
 	"securetlb/internal/checkpoint"
 	"securetlb/internal/faultinject"
 	"securetlb/internal/model"
@@ -55,6 +54,11 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 0xfa115eed, "campaign-level seed for -inject's per-trial injectors")
 	flag.Parse()
 
+	designs, err := validateFlags(*design, *trials, *parallel, *ckEvery, *emit, *extended, *resume, *ckPath)
+	if err != nil {
+		fatal(err)
+	}
+
 	campaignCfg = campaignSettings{invariants: *invariants, faultSeed: *faultSeed}
 	if *inject != "" {
 		site, err := faultinject.ParseSite(*inject)
@@ -65,14 +69,12 @@ func main() {
 	}
 
 	if *emit != "" {
-		emitBenchmark(*emit, *mapped, parseDesigns(*design)[0], *extended)
+		emitBenchmark(*emit, *mapped, designs[0], *extended)
 		return
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
-	designs := parseDesigns(*design)
 	ck := openCheckpoint(designs, *trials, *extended, *ckPath, *resume, *ckEvery)
 
 	var interrupted error
@@ -100,6 +102,48 @@ func main() {
 		}
 		os.Exit(130)
 	}
+}
+
+// validateFlags rejects invalid flag combinations up front with a clear
+// message, instead of letting a bad value fail deep inside a campaign.
+// It returns the designs the -design selector names.
+func validateFlags(design string, trials, parallel, ckEvery int, emit string, extended, resume bool, ckPath string) ([]secbench.Design, error) {
+	designs, err := secbench.ParseDesigns(design)
+	if err != nil {
+		return nil, err
+	}
+	if trials <= 0 {
+		return nil, fmt.Errorf("-trials must be positive, got %d", trials)
+	}
+	if parallel < 0 {
+		return nil, fmt.Errorf("-parallel must be >= 0 (0 = all CPUs), got %d", parallel)
+	}
+	if ckEvery < 1 {
+		return nil, fmt.Errorf("-checkpoint-every must be >= 1, got %d", ckEvery)
+	}
+	if resume && ckPath == "" {
+		return nil, errors.New("-resume requires -checkpoint")
+	}
+	if emit != "" {
+		if _, err := findVulnerability(emit, extended); err != nil {
+			return nil, err
+		}
+	}
+	return designs, nil
+}
+
+// findVulnerability resolves an -emit pattern to its vulnerability type.
+func findVulnerability(pattern string, extended bool) (model.Vulnerability, error) {
+	vulns := model.Enumerate()
+	if extended {
+		vulns = model.EnumerateExtended()
+	}
+	for _, v := range vulns {
+		if v.Pattern.String() == pattern {
+			return v, nil
+		}
+	}
+	return model.Vulnerability{}, fmt.Errorf("no vulnerability with pattern %q; run tlbmodel for the list", pattern)
 }
 
 func isInterrupt(err error) bool {
@@ -233,52 +277,8 @@ func emitJSON(ctx context.Context, designs []secbench.Design, trials int, extend
 	return interrupted
 }
 
-func parseDesigns(s string) []secbench.Design {
-	switch s {
-	case "sa":
-		return []secbench.Design{secbench.DesignSA}
-	case "sp":
-		return []secbench.Design{secbench.DesignSP}
-	case "rf":
-		return []secbench.Design{secbench.DesignRF}
-	case "all":
-		return []secbench.Design{secbench.DesignSA, secbench.DesignSP, secbench.DesignRF}
-	}
-	fmt.Fprintf(os.Stderr, "unknown design %q (want sa, sp, rf or all)\n", s)
-	os.Exit(1)
-	return nil
-}
-
-func theoryFor(d secbench.Design, v model.Vulnerability) (p1, p2 float64) {
-	switch d {
-	case secbench.DesignSA:
-		p1, p2, _ = capacity.DeterministicTheory(v, model.DesignASID)
-	case secbench.DesignSP:
-		p1, p2, _ = capacity.DeterministicTheory(v, model.DesignPartitioned)
-	case secbench.DesignRF:
-		p1, p2, _ = capacity.RFTheory(v, capacity.DefaultRFParams)
-	}
-	return p1, p2
-}
-
 func quarantineRows(qs []secbench.Quarantined) [][]string {
-	rows := make([][]string, 0, len(qs))
-	for _, q := range qs {
-		behaviour := "not-mapped"
-		if q.Mapped {
-			behaviour = "mapped"
-		}
-		rows = append(rows, []string{
-			q.Design,
-			fmt.Sprintf("%s (%s)", q.Pattern, q.Observation),
-			behaviour,
-			fmt.Sprintf("%d", q.Trial),
-			fmt.Sprintf("%#x", q.Seed),
-			q.Kind,
-			q.Reason,
-		})
-	}
-	return rows
+	return secbench.QuarantineRows(qs)
 }
 
 // runDesign runs one design's campaign and prints its tables. It returns
@@ -289,62 +289,18 @@ func runDesign(ctx context.Context, d secbench.Design, trials int, extended bool
 	if err != nil && !isInterrupt(err) {
 		return err
 	}
-	results := rep.Results
-	title := "Table 4"
-	if extended {
-		title = "Appendix B extension"
-	}
-	fmt.Printf("%s (%s) — %d mapped + %d not-mapped trials per vulnerability, %d workers\n",
-		title, d, trials, trials, pool.Workers(parallel))
-	rows := make([][]string, 0, len(results))
-	for _, r := range results {
-		row := []string{
-			r.Vulnerability.Strategy,
-			r.Vulnerability.String(),
-			fmt.Sprintf("%d", r.Counts.MappedMisses),
-			report.F(r.P1),
-		}
-		if !extended {
-			tp1, tp2 := theoryFor(d, r.Vulnerability)
-			tc := capacity.MutualInformation(tp1, tp2)
-			row = append(row, report.F(tp1),
-				fmt.Sprintf("%d", r.Counts.NotMappedMisses),
-				report.F(r.P2), report.F(tp2),
-				report.F(r.C), report.F(tc))
-		} else {
-			row = append(row,
-				fmt.Sprintf("%d", r.Counts.NotMappedMisses),
-				report.F(r.P2), report.F(r.C))
-		}
-		row = append(row, report.F(r.CIHigh))
-		rows = append(rows, append(row, report.Check(r.Defended())))
-	}
-	headers := []string{"Strategy", "Vulnerability", "nMM", "p1*", "p1", "nNM", "p2*", "p2", "C*", "C", "C*ci95", "verdict"}
-	if extended {
-		headers = []string{"Strategy", "Vulnerability", "nMM", "p1*", "nNM", "p2*", "C*", "C*ci95", "verdict"}
-	}
-	fmt.Print(report.Table(headers, rows))
-	fmt.Printf("%s defends %d/%d vulnerability types\n", d, secbench.DefendedCount(results), len(results))
-	fmt.Print(report.Quarantine(quarantineRows(rep.Quarantined)))
-	fmt.Println()
+	fmt.Print(secbench.FormatCampaign(d, trials, pool.Workers(parallel), extended, rep))
 	return err
 }
 
 func emitBenchmark(pattern string, mapped bool, d secbench.Design, extended bool) {
-	vulns := model.Enumerate()
-	if extended {
-		vulns = model.EnumerateExtended()
+	v, err := findVulnerability(pattern, extended)
+	if err != nil {
+		fatal(err)
 	}
-	for _, v := range vulns {
-		if v.Pattern.String() == pattern {
-			src, err := secbench.DefaultConfig(d).Generate(v, mapped)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Print(src)
-			return
-		}
+	src, err := secbench.DefaultConfig(d).Generate(v, mapped)
+	if err != nil {
+		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "no vulnerability with pattern %q; run tlbmodel for the list\n", pattern)
-	os.Exit(1)
+	fmt.Print(src)
 }

@@ -106,6 +106,37 @@ func TestInterruptResumeBitIdentical(t *testing.T) {
 	}
 }
 
+func TestValidateFlags(t *testing.T) {
+	designs, err := validateFlags("all", 500, 0, 4, "", false, false, "")
+	if err != nil {
+		t.Fatalf("valid defaults rejected: %v", err)
+	}
+	if len(designs) != 3 {
+		t.Fatalf("designs for all = %d, want 3", len(designs))
+	}
+	bad := []struct {
+		name                      string
+		design                    string
+		trials, parallel, ckEvery int
+		emit                      string
+		extended, resume          bool
+		ckPath                    string
+	}{
+		{"unknown design", "xx", 500, 0, 4, "", false, false, ""},
+		{"zero trials", "sa", 0, 0, 4, "", false, false, ""},
+		{"negative trials", "sa", -5, 0, 4, "", false, false, ""},
+		{"negative parallel", "sa", 500, -1, 4, "", false, false, ""},
+		{"zero checkpoint-every", "sa", 500, 0, 0, "", false, false, ""},
+		{"resume without checkpoint", "sa", 500, 0, 4, "", false, true, ""},
+		{"unknown emit pattern", "sa", 500, 0, 4, "Zz -> Zz -> Zz", false, false, ""},
+	}
+	for _, tc := range bad {
+		if _, err := validateFlags(tc.design, tc.trials, tc.parallel, tc.ckEvery, tc.emit, tc.extended, tc.resume, tc.ckPath); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
 func TestQuarantineRowsRendering(t *testing.T) {
 	qs := []secbench.Quarantined{
 		{

@@ -1,0 +1,105 @@
+// Command tlbserved is the campaign-serving daemon: a long-lived HTTP
+// service that runs secbench/perfbench campaigns from a durable job queue.
+// Identical requests coalesce onto one execution, completed results are
+// cached by the campaign's content fingerprint, progress streams as NDJSON,
+// and every job checkpoints its work units — a daemon killed mid-campaign
+// resumes on restart and finishes bit-identical to an uninterrupted run.
+//
+// Usage:
+//
+//	tlbserved -addr 127.0.0.1:8321 -data ./tlbserved-data -parallel 8
+//
+// The resolved listen address is printed to stderr and written to
+// <data>/tlbserved.addr so scripted clients (and the serve-smoke make
+// target) can find a dynamically chosen port. SIGINT/SIGTERM trigger a
+// graceful drain: the listener stops, live jobs flush their checkpoints and
+// park back in the queue, and the daemon exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"securetlb/internal/job"
+	"securetlb/internal/pool"
+	"securetlb/internal/serve"
+)
+
+// addrFile, under the data directory, records the daemon's resolved listen
+// address.
+const addrFile = "tlbserved.addr"
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port)")
+	data := flag.String("data", "tlbserved-data", "durable directory for job records and checkpoints")
+	parallel := flag.Int("parallel", 0, "worker pool size shared by all jobs (0 = GOMAXPROCS)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: tlbserved [-addr host:port] [-data dir] [-parallel n]")
+		os.Exit(2)
+	}
+	if err := run(*addr, *data, *parallel); err != nil {
+		fmt.Fprintln(os.Stderr, "tlbserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, data string, parallel int) error {
+	runner := &serve.CampaignRunner{Dir: data, Pool: pool.New(parallel)}
+	queue, err := job.Open(data, runner)
+	if err != nil {
+		return err
+	}
+	if n := queue.Metrics().Recovered; n > 0 {
+		fmt.Fprintf(os.Stderr, "tlbserved: resuming %d interrupted job(s)\n", n)
+	}
+	queue.Start()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	resolved := ln.Addr().String()
+	if err := os.WriteFile(filepath.Join(data, addrFile), []byte(resolved+"\n"), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tlbserved: listening on %s (pool %d, data %s)\n",
+		resolved, runner.Pool.Size(), data)
+
+	server := &http.Server{Handler: serve.New(queue, runner).Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- server.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		queue.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain. The queue goes first: live jobs park (started trials
+	// finish, checkpoints flush) and their subscriber channels close, which
+	// ends any open NDJSON streams — so the HTTP shutdown that follows has
+	// no long-lived connections left to wait for. Requests arriving during
+	// the drain are answered (submissions with 503).
+	fmt.Fprintln(os.Stderr, "tlbserved: shutting down, draining jobs")
+	queue.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "tlbserved: shutdown:", err)
+	}
+	fmt.Fprintln(os.Stderr, "tlbserved: drained")
+	return nil
+}

@@ -1,0 +1,188 @@
+package main
+
+// This file is the tlbserved client mode ("tlbctl"): with -server set,
+// tlbsim talks to a running tlbserved daemon instead of simulating locally —
+// submit a campaign and stream its progress, attach to or cancel an existing
+// job, or dump the daemon's metrics.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"securetlb/internal/job"
+	"securetlb/internal/serve"
+)
+
+// clientFlags are the -server mode's inputs, bound in main.
+type clientFlags struct {
+	server     string
+	campaign   string
+	design     string
+	trials     int
+	extended   bool
+	invariants bool
+	secure     bool
+	decrypts   int
+	seed       uint64
+	jobID      string
+	cancelID   string
+	metrics    bool
+}
+
+// runClient executes one client operation and returns the process exit code.
+func runClient(f clientFlags) int {
+	base := strings.TrimRight(f.server, "/")
+	switch {
+	case f.metrics:
+		return clientGet(base + "/metrics")
+	case f.cancelID != "":
+		return clientCancel(base, f.cancelID)
+	case f.jobID != "":
+		return clientAttach(base, f.jobID)
+	case f.campaign != "":
+		return clientSubmit(base, f)
+	default:
+		fmt.Fprintln(os.Stderr, "tlbsim: -server needs one of -campaign, -job, -cancel or -metrics")
+		return 2
+	}
+}
+
+// clientSubmit posts the campaign spec, reports how the daemon served it
+// (fresh, coalesced or cached), then attaches to the job.
+func clientSubmit(base string, f clientFlags) int {
+	spec := job.Spec{
+		Kind:       f.campaign,
+		Design:     f.design,
+		Trials:     f.trials,
+		Extended:   f.extended,
+		Invariants: f.invariants,
+		Secure:     f.secure,
+		Decrypts:   f.decrypts,
+		Seed:       f.seed,
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return clientFatal(err)
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return clientFatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return clientFatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return clientFatal(fmt.Errorf("submit rejected (%s): %s", resp.Status, strings.TrimSpace(string(body))))
+	}
+	var sub serve.SubmitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		return clientFatal(err)
+	}
+	switch {
+	case sub.Cached:
+		fmt.Fprintf(os.Stderr, "tlbsim: job %s served from cache\n", sub.ID)
+	case sub.Coalesced:
+		fmt.Fprintf(os.Stderr, "tlbsim: job %s already in flight, attaching\n", sub.ID)
+	default:
+		fmt.Fprintf(os.Stderr, "tlbsim: job %s submitted\n", sub.ID)
+	}
+	return clientAttach(base, sub.ID)
+}
+
+// clientAttach follows a job's NDJSON stream — progress to stderr — and
+// prints the result's campaign output to stdout. Exit code mirrors the
+// job's fate: 0 done, 1 failed or canceled.
+func clientAttach(base, id string) int {
+	resp, err := http.Get(base + "/jobs/" + id + "/stream")
+	if err != nil {
+		return clientFatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return clientFatal(fmt.Errorf("stream (%s): %s", resp.Status, strings.TrimSpace(string(body))))
+	}
+	var last job.State
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		var ev job.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return clientFatal(fmt.Errorf("bad stream event: %w", err))
+		}
+		switch ev.Type {
+		case "state":
+			last = ev.State
+			if ev.Error != "" {
+				fmt.Fprintf(os.Stderr, "tlbsim: job %s: %s (%s)\n", id, ev.State, ev.Error)
+			} else {
+				fmt.Fprintf(os.Stderr, "tlbsim: job %s: %s\n", id, ev.State)
+			}
+		case "progress":
+			fmt.Fprintf(os.Stderr, "tlbsim: job %s: %d units done\n", id, ev.Units)
+		case "result":
+			var res serve.Result
+			if err := json.Unmarshal(ev.Result, &res); err != nil {
+				return clientFatal(fmt.Errorf("bad result payload: %w", err))
+			}
+			fmt.Print(res.Output)
+			if res.Quarantined > 0 {
+				fmt.Fprintf(os.Stderr, "tlbsim: %d trials quarantined\n", res.Quarantined)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return clientFatal(err)
+	}
+	if last == job.StateDone {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "tlbsim: job %s ended %s\n", id, last)
+	return 1
+}
+
+func clientCancel(base, id string) int {
+	req, err := http.NewRequest(http.MethodDelete, base+"/jobs/"+id, nil)
+	if err != nil {
+		return clientFatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return clientFatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return clientFatal(fmt.Errorf("cancel (%s): %s", resp.Status, strings.TrimSpace(string(body))))
+	}
+	fmt.Fprintf(os.Stderr, "tlbsim: job %s cancel requested\n", id)
+	return 0
+}
+
+func clientGet(url string) int {
+	resp, err := http.Get(url)
+	if err != nil {
+		return clientFatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return clientFatal(fmt.Errorf("GET %s: %s", url, resp.Status))
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		return clientFatal(err)
+	}
+	return 0
+}
+
+func clientFatal(err error) int {
+	fmt.Fprintln(os.Stderr, "tlbsim:", err)
+	return 1
+}

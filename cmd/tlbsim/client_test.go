@@ -1,0 +1,108 @@
+package main
+
+import (
+	"io"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"securetlb/internal/job"
+	"securetlb/internal/pool"
+	"securetlb/internal/serve"
+)
+
+// startServer runs a real tlbserved stack behind httptest for the client to
+// talk to.
+func startServer(t *testing.T) string {
+	t.Helper()
+	runner := &serve.CampaignRunner{Dir: t.TempDir(), Pool: pool.New(2)}
+	q, err := job.Open(runner.Dir, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Start()
+	ts := httptest.NewServer(serve.New(q, runner).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		q.Close()
+	})
+	return ts.URL
+}
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns what
+// it wrote.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string, 1)
+	go func() {
+		raw, _ := io.ReadAll(r)
+		done <- string(raw)
+	}()
+	f()
+	w.Close()
+	return <-done
+}
+
+// TestClientSubmitStreamsResult: the client mode submits a campaign, follows
+// the stream and prints the campaign tables; a second submission of the same
+// spec is served from cache with identical output.
+func TestClientSubmitStreamsResult(t *testing.T) {
+	url := startServer(t)
+	flags := clientFlags{
+		server:   url,
+		campaign: "secbench",
+		design:   "sa",
+		trials:   2,
+		seed:     1,
+	}
+	var code int
+	first := captureStdout(t, func() { code = runClient(flags) })
+	if code != 0 {
+		t.Fatalf("client exit code = %d", code)
+	}
+	if !strings.Contains(first, "Table 4") || !strings.Contains(first, "SA TLB") {
+		t.Errorf("client output missing campaign table:\n%s", first)
+	}
+	second := captureStdout(t, func() { code = runClient(flags) })
+	if code != 0 {
+		t.Fatalf("cached client exit code = %d", code)
+	}
+	if first != second {
+		t.Error("cached run's output differs from the original")
+	}
+}
+
+func TestClientMetrics(t *testing.T) {
+	url := startServer(t)
+	var code int
+	out := captureStdout(t, func() {
+		code = runClient(clientFlags{server: url, metrics: true})
+	})
+	if code != 0 {
+		t.Fatalf("client exit code = %d", code)
+	}
+	if !strings.Contains(out, "tlbserved_pool_workers 2") {
+		t.Errorf("metrics output missing pool gauge:\n%s", out)
+	}
+}
+
+func TestClientRejectsBadUsage(t *testing.T) {
+	if code := runClient(clientFlags{server: "http://127.0.0.1:1"}); code != 2 {
+		t.Errorf("no operation selected: exit = %d, want 2", code)
+	}
+	url := startServer(t)
+	if code := runClient(clientFlags{server: url, campaign: "areabench"}); code != 1 {
+		t.Errorf("bad campaign kind: exit = %d, want 1", code)
+	}
+	if code := runClient(clientFlags{server: url, jobID: "nope"}); code != 1 {
+		t.Errorf("unknown job attach: exit = %d, want 1", code)
+	}
+}

@@ -11,6 +11,14 @@
 //	tlbsim -tlb sp -victim-ways 4 prog.s
 //	echo 'pass' | tlbsim -                 # read from stdin
 //
+// With -server, tlbsim is instead a client for the tlbserved daemon:
+//
+//	tlbsim -server http://host:8321 -campaign secbench -design sa -trials 500
+//	tlbsim -server http://host:8321 -campaign perf -secure
+//	tlbsim -server http://host:8321 -job <id>      # attach to a job's stream
+//	tlbsim -server http://host:8321 -cancel <id>
+//	tlbsim -server http://host:8321 -metrics
+//
 // After the run, the exit code, registers x1-x31 (non-zero only), counters
 // and TLB statistics are printed.
 package main
@@ -39,7 +47,25 @@ func main() {
 	memLatency := flag.Uint64("mem-latency", 20, "memory access latency in cycles (walk = 3x)")
 	maxInstr := flag.Uint64("max-instr", 10_000_000, "instruction budget")
 	varFlush := flag.Bool("variable-flush", false, "enable Appendix B variable-timing invalidation")
+
+	var client clientFlags
+	flag.StringVar(&client.server, "server", "", "tlbserved base URL; switches to client mode")
+	flag.StringVar(&client.campaign, "campaign", "", "campaign kind to submit: secbench or perf (client mode)")
+	flag.StringVar(&client.design, "design", "all", "campaign designs: sa, sp, rf or all (client mode)")
+	flag.IntVar(&client.trials, "trials", 0, "secbench trials per behaviour, 0 = server default (client mode)")
+	flag.BoolVar(&client.extended, "extended", false, "Appendix B benchmark set (client mode)")
+	flag.BoolVar(&client.invariants, "invariants", false, "enable runtime invariant checking (client mode)")
+	flag.BoolVar(&client.secure, "secure", false, "SecRSA perf sweep variant (client mode)")
+	flag.IntVar(&client.decrypts, "decrypts", 0, "perf decryptions per run, 0 = server default (client mode)")
+	flag.StringVar(&client.jobID, "job", "", "attach to an existing job ID (client mode)")
+	flag.StringVar(&client.cancelID, "cancel", "", "cancel a job ID (client mode)")
+	flag.BoolVar(&client.metrics, "metrics", false, "print the daemon's metrics (client mode)")
 	flag.Parse()
+
+	if client.server != "" {
+		client.seed = *seed
+		os.Exit(runClient(client))
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tlbsim [flags] prog.s   (use - for stdin)")

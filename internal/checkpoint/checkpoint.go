@@ -26,10 +26,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"sort"
 	"sync"
+
+	"securetlb/internal/fingerprint"
 )
 
 // The package's sentinel errors.
@@ -68,10 +69,11 @@ type state struct {
 
 // digest computes the canonical content checksum of a state, excluding the
 // Checksum field itself. Unit payloads are JSON-compacted first so the
-// digest is stable across re-indentation by the marshaller.
+// digest is stable across re-indentation by the marshaller. The field
+// sequence (version, fingerprint, sorted key/value pairs) over the shared
+// fingerprint scheme reproduces the format-v2 checksums byte for byte.
 func digest(st *state) (string, error) {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "v%d\x00%s\x00", st.Version, st.Fingerprint)
+	d := fingerprint.New().Fieldf("v%d", st.Version).Field(st.Fingerprint)
 	keys := make([]string, 0, len(st.Units))
 	for k := range st.Units {
 		keys = append(keys, k)
@@ -83,9 +85,9 @@ func digest(st *state) (string, error) {
 		if err := json.Compact(&buf, st.Units[k]); err != nil {
 			return "", fmt.Errorf("unit %q: %w", k, err)
 		}
-		fmt.Fprintf(h, "%s\x00%s\x00", k, buf.Bytes())
+		d.Field(k).Field(buf.String())
 	}
-	return fmt.Sprintf("%016x", h.Sum64()), nil
+	return d.Sum(), nil
 }
 
 // File is an open checkpoint. The zero value is not usable; a nil *File is:

@@ -1,0 +1,65 @@
+// Package fingerprint is the one content-addressing scheme shared by the
+// durable layers: checkpoint files validate their campaign identity with it,
+// and the job queue coalesces identical campaign requests by it.
+//
+// A fingerprint is the FNV-64a digest of a sequence of NUL-terminated
+// fields, rendered as 16 lowercase hex digits. The NUL terminator makes the
+// field boundaries unambiguous (["ab","c"] and ["a","bc"] digest
+// differently), and FNV-64a keeps the scheme dependency-free and stable
+// across releases — the digest is an identity check against accidental
+// mixups, not a cryptographic commitment.
+package fingerprint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"hash/fnv"
+)
+
+// Digest accumulates NUL-terminated fields into an FNV-64a hash.
+// The zero value is not usable; call New.
+type Digest struct {
+	h hash.Hash64
+}
+
+// New returns an empty digest.
+func New() *Digest {
+	return &Digest{h: fnv.New64a()}
+}
+
+// Field appends one field (the field's bytes followed by a NUL terminator).
+// It returns the digest for chaining.
+func (d *Digest) Field(s string) *Digest {
+	d.h.Write([]byte(s))
+	d.h.Write([]byte{0})
+	return d
+}
+
+// Fieldf appends one Sprintf-formatted field.
+func (d *Digest) Fieldf(format string, args ...any) *Digest {
+	return d.Field(fmt.Sprintf(format, args...))
+}
+
+// Sum renders the digest of the fields appended so far as 16 hex digits.
+// The digest remains usable; further fields extend it.
+func (d *Digest) Sum() string {
+	return fmt.Sprintf("%016x", d.h.Sum64())
+}
+
+// JSON content-addresses a value by its compact JSON encoding: the value is
+// marshalled, compacted, and digested as a single field. Map keys are sorted
+// by encoding/json, so two equal values always share an address; struct
+// field order is part of the address, as it is part of the type.
+func JSON(v any) (string, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("fingerprint: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return "", fmt.Errorf("fingerprint: %w", err)
+	}
+	return New().Field(buf.String()).Sum(), nil
+}

@@ -1,0 +1,81 @@
+package fingerprint
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// TestFieldMatchesLegacyEncoding pins the wire format the checkpoint
+// checksums depend on: each field is its bytes plus a NUL terminator, hashed
+// with FNV-64a. Changing this silently would invalidate every existing
+// checkpoint file.
+func TestFieldMatchesLegacyEncoding(t *testing.T) {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v2\x00fp\x00k\x00{}\x00")
+	want := fmt.Sprintf("%016x", h.Sum64())
+	got := New().Fieldf("v%d", 2).Field("fp").Field("k").Field("{}").Sum()
+	if got != want {
+		t.Errorf("digest = %s, want legacy %s", got, want)
+	}
+}
+
+func TestFieldBoundaries(t *testing.T) {
+	a := New().Field("ab").Field("c").Sum()
+	b := New().Field("a").Field("bc").Sum()
+	if a == b {
+		t.Errorf("field boundaries not separated: %s == %s", a, b)
+	}
+}
+
+func TestSumIsIncremental(t *testing.T) {
+	d := New().Field("x")
+	first := d.Sum()
+	if again := d.Sum(); again != first {
+		t.Errorf("Sum changed without new fields: %s then %s", first, again)
+	}
+	if ext := d.Field("y").Sum(); ext == first {
+		t.Error("appending a field did not change the digest")
+	}
+}
+
+func TestJSONEquality(t *testing.T) {
+	type spec struct {
+		Kind   string `json:"kind"`
+		Trials int    `json:"trials"`
+	}
+	a, err := JSON(spec{Kind: "secbench", Trials: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JSON(spec{Kind: "secbench", Trials: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("equal values content-address differently: %s vs %s", a, b)
+	}
+	c, err := JSON(spec{Kind: "secbench", Trials: 501})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different values share a content address")
+	}
+}
+
+// TestJSONMapKeyOrder: encoding/json sorts map keys, so maps populated in
+// different orders must share an address.
+func TestJSONMapKeyOrder(t *testing.T) {
+	a, _ := JSON(map[string]int{"x": 1, "y": 2})
+	b, _ := JSON(map[string]int{"y": 2, "x": 1})
+	if a != b {
+		t.Errorf("map key order leaked into the address: %s vs %s", a, b)
+	}
+}
+
+func TestJSONUnmarshalableValue(t *testing.T) {
+	if _, err := JSON(make(chan int)); err == nil {
+		t.Error("JSON of a channel succeeded")
+	}
+}

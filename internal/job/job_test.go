@@ -1,0 +1,358 @@
+package job
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpecNormalizeClearsForeignFields(t *testing.T) {
+	perf := Spec{Kind: KindPerf, Design: "sa", Trials: 77, Decrypts: 50}
+	clean := Spec{Kind: KindPerf, Design: "sa", Decrypts: 50}
+	a, err := perf.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := clean.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("stray secbench field fragmented the perf fingerprint: %s vs %s", a, b)
+	}
+	sec := Spec{Kind: KindSecbench}.Normalize()
+	if sec.Design != "all" || sec.Trials != 500 {
+		t.Errorf("secbench defaults not filled: %+v", sec)
+	}
+	if p := (Spec{Kind: KindPerf}).Normalize(); p.Decrypts != 50 || p.Seed != 1 {
+		t.Errorf("perf defaults not filled: %+v", p)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Kind: "areabench", Design: "sa", Trials: 1},
+		{Kind: KindSecbench, Design: "xx", Trials: 1},
+		{Kind: KindSecbench, Design: "sa", Trials: -5},
+		{Kind: KindPerf, Design: "sa", Decrypts: -1},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid spec", s)
+		}
+	}
+	if err := (Spec{Kind: KindSecbench, Design: "rf"}).Normalize().Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+// blockingRunner runs jobs that block until released, so tests can observe
+// the live states.
+type blockingRunner struct {
+	mu       sync.Mutex
+	started  chan string // receives the spec kind when a run starts
+	release  chan struct{}
+	runs     int
+	failWith error // when non-nil, runs fail immediately with this error
+}
+
+func newBlockingRunner() *blockingRunner {
+	return &blockingRunner{started: make(chan string, 16), release: make(chan struct{})}
+}
+
+func (r *blockingRunner) Run(ctx context.Context, spec Spec, publish func(Event)) (json.RawMessage, error) {
+	r.mu.Lock()
+	r.runs++
+	fail := r.failWith
+	r.mu.Unlock()
+	r.started <- spec.Kind
+	if fail != nil {
+		return nil, fail
+	}
+	publish(Event{Type: "progress", Units: 1})
+	select {
+	case <-r.release:
+		return json.RawMessage(`{"ok":true}`), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (r *blockingRunner) runCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.runs
+}
+
+func waitState(t *testing.T, q *Queue, id string, want State) Job {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		j, ok := q.Get(id)
+		if ok && j.State == want {
+			return j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached %s (now %s)", id, want, j.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestSubmitCoalesceThenCache(t *testing.T) {
+	r := newBlockingRunner()
+	q, err := Open(t.TempDir(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Start()
+	defer q.Close()
+	spec := Spec{Kind: KindSecbench, Design: "sa", Trials: 3}
+
+	first, coalesced, cached, err := q.Submit(spec)
+	if err != nil || coalesced || cached {
+		t.Fatalf("first submit: coalesced=%v cached=%v err=%v", coalesced, cached, err)
+	}
+	<-r.started
+	second, coalesced, cached, err := q.Submit(spec)
+	if err != nil || !coalesced || cached {
+		t.Fatalf("second submit: coalesced=%v cached=%v err=%v", coalesced, cached, err)
+	}
+	if second.ID != first.ID {
+		t.Fatalf("coalesced submit got a different job: %s vs %s", second.ID, first.ID)
+	}
+	if second.Coalesced != 1 {
+		t.Errorf("coalesce counter = %d, want 1", second.Coalesced)
+	}
+
+	close(r.release)
+	done := waitState(t, q, first.ID, StateDone)
+	if string(done.Result) != `{"ok":true}` {
+		t.Errorf("result = %s", done.Result)
+	}
+	third, coalesced, cached, err := q.Submit(spec)
+	if err != nil || coalesced || !cached {
+		t.Fatalf("third submit: coalesced=%v cached=%v err=%v", coalesced, cached, err)
+	}
+	if string(third.Result) != `{"ok":true}` {
+		t.Errorf("cached result = %s", third.Result)
+	}
+	if r.runCount() != 1 {
+		t.Errorf("runner executed %d times, want exactly 1", r.runCount())
+	}
+	m := q.Metrics()
+	if m.Submissions != 3 || m.CoalesceHits != 1 || m.CacheHits != 1 || m.Executions != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestCancelDrainsToCanceled(t *testing.T) {
+	r := newBlockingRunner()
+	q, err := Open(t.TempDir(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Start()
+	defer q.Close()
+	j, _, _, err := q.Submit(Spec{Kind: KindPerf, Design: "rf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-r.started
+	live, err := q.Cancel(j.ID)
+	if err != nil || !live {
+		t.Fatalf("Cancel: live=%v err=%v", live, err)
+	}
+	waitState(t, q, j.ID, StateCanceled)
+	// A terminal cancel is idempotent and reports not-live.
+	if live, err := q.Cancel(j.ID); err != nil || live {
+		t.Errorf("second Cancel: live=%v err=%v", live, err)
+	}
+	// A fresh submission re-runs a canceled job.
+	if _, coalesced, cached, err := q.Submit(Spec{Kind: KindPerf, Design: "rf"}); err != nil || coalesced || cached {
+		t.Fatalf("resubmit after cancel: coalesced=%v cached=%v err=%v", coalesced, cached, err)
+	}
+	<-r.started
+	close(r.release)
+	waitState(t, q, j.ID, StateDone)
+}
+
+func TestFailedJobIsRerunOnResubmit(t *testing.T) {
+	r := newBlockingRunner()
+	r.failWith = errors.New("boom")
+	q, err := Open(t.TempDir(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Start()
+	defer q.Close()
+	j, _, _, err := q.Submit(Spec{Kind: KindSecbench, Design: "sp", Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-r.started
+	failed := waitState(t, q, j.ID, StateFailed)
+	if failed.Error != "boom" {
+		t.Errorf("failure reason = %q", failed.Error)
+	}
+	r.mu.Lock()
+	r.failWith = nil
+	r.mu.Unlock()
+	if _, coalesced, cached, err := q.Submit(Spec{Kind: KindSecbench, Design: "sp", Trials: 2}); err != nil || coalesced || cached {
+		t.Fatalf("resubmit after failure: coalesced=%v cached=%v err=%v", coalesced, cached, err)
+	}
+	<-r.started
+	close(r.release)
+	done := waitState(t, q, j.ID, StateDone)
+	if done.Executions != 2 {
+		t.Errorf("executions = %d, want 2", done.Executions)
+	}
+}
+
+func TestDrainParksRunningJobAndRestartResumes(t *testing.T) {
+	dir := t.TempDir()
+	r := newBlockingRunner()
+	q, err := Open(dir, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Start()
+	j, _, _, err := q.Submit(Spec{Kind: KindSecbench, Design: "rf", Trials: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-r.started
+	q.Close() // drain: the running job must land back in pending on disk
+
+	if _, _, _, err := q.Submit(Spec{Kind: KindSecbench, Design: "rf", Trials: 4}); !errors.Is(err, ErrDraining) {
+		t.Errorf("submit after Close: err = %v, want ErrDraining", err)
+	}
+
+	r2 := newBlockingRunner()
+	q2, err := Open(dir, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q2.Metrics().Recovered; got != 1 {
+		t.Errorf("recovered jobs = %d, want 1", got)
+	}
+	parked, ok := q2.Get(j.ID)
+	if !ok || parked.State != StatePending {
+		t.Fatalf("parked job state = %v (found %v), want pending", parked.State, ok)
+	}
+	q2.Start()
+	<-r2.started
+	close(r2.release)
+	done := waitState(t, q2, j.ID, StateDone)
+	if done.Executions != 2 {
+		t.Errorf("executions across restart = %d, want 2", done.Executions)
+	}
+	q2.Close()
+}
+
+func TestSubscribeStreamsLifecycle(t *testing.T) {
+	r := newBlockingRunner()
+	q, err := Open(t.TempDir(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Start()
+	defer q.Close()
+	j, _, _, err := q.Submit(Spec{Kind: KindSecbench, Design: "sa", Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, stop, err := q.Subscribe(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	<-r.started
+	close(r.release)
+	var types []string
+	for ev := range ch {
+		if ev.Job != j.ID {
+			t.Errorf("event for job %q, want %q", ev.Job, j.ID)
+		}
+		types = append(types, ev.Type)
+	}
+	// The subscription races the executor, so the exact prefix varies; the
+	// terminal result+state pair must always arrive, in order.
+	if len(types) < 2 {
+		t.Fatalf("got %v, want at least result+state", types)
+	}
+	if types[len(types)-2] != "result" || types[len(types)-1] != "state" {
+		t.Errorf("terminal events = %v, want ...result,state", types)
+	}
+
+	// Subscribing to the completed job replays its state and result.
+	ch2, stop2, err := q.Subscribe(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop2()
+	ev := <-ch2
+	if ev.Type != "state" || ev.State != StateDone {
+		t.Errorf("replay first event = %+v", ev)
+	}
+	ev = <-ch2
+	if ev.Type != "result" || string(ev.Result) != `{"ok":true}` {
+		t.Errorf("replay second event = %+v", ev)
+	}
+	if _, open := <-ch2; open {
+		t.Error("replay channel not closed after the result")
+	}
+}
+
+func TestSubscribeUnknownJob(t *testing.T) {
+	q, err := Open(t.TempDir(), RunnerFunc(func(context.Context, Spec, func(Event)) (json.RawMessage, error) {
+		return nil, nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if _, _, err := q.Subscribe("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+	if _, err := q.Cancel("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Cancel err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestOpenRejectsMismatchedRecord(t *testing.T) {
+	dir := t.TempDir()
+	r := newBlockingRunner()
+	q, err := Open(dir, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Start()
+	spec := Spec{Kind: KindSecbench, Design: "sa", Trials: 1}
+	j, _, _, err := q.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-r.started
+	close(r.release)
+	waitState(t, q, j.ID, StateDone)
+	q.Close()
+
+	// A record whose filename does not match its ID is a corrupted store.
+	src := fmt.Sprintf("%s/%s%s", dir, j.ID, jobSuffix)
+	raw, err := json.Marshal(Job{ID: "elsewhere", Spec: spec, State: StateDone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(src, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, r); err == nil {
+		t.Error("Open accepted a record whose filename disagrees with its ID")
+	}
+}

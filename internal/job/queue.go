@@ -1,0 +1,422 @@
+package job
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Runner executes one campaign. The queue guarantees at most one Run per
+// job ID at a time; publish streams progress events (the queue stamps the
+// job ID and fans them out to subscribers). Run must honour ctx with the
+// repo's drain semantics: stop admitting work, let started trials finish,
+// flush durable state, then return the context error.
+type Runner interface {
+	Run(ctx context.Context, spec Spec, publish func(Event)) (json.RawMessage, error)
+}
+
+// RunnerFunc adapts a function to the Runner interface.
+type RunnerFunc func(ctx context.Context, spec Spec, publish func(Event)) (json.RawMessage, error)
+
+// Run implements Runner.
+func (f RunnerFunc) Run(ctx context.Context, spec Spec, publish func(Event)) (json.RawMessage, error) {
+	return f(ctx, spec, publish)
+}
+
+// Metrics is a point-in-time reading of the queue's counters.
+type Metrics struct {
+	// Submissions counts every Submit call, however it was served.
+	Submissions int64
+	// CoalesceHits counts submissions that attached to an already live
+	// (pending or running) job instead of starting an execution.
+	CoalesceHits int64
+	// CacheHits counts submissions served from a completed job's stored
+	// result.
+	CacheHits int64
+	// Executions counts runner starts.
+	Executions int64
+	// Recovered counts jobs found pending or running on disk at Open —
+	// interrupted work a restarted daemon resumes.
+	Recovered int64
+	// JobsByState counts the known jobs per state.
+	JobsByState map[State]int
+}
+
+// Queue is the durable, coalescing job queue. All methods are safe for
+// concurrent use.
+type Queue struct {
+	dir    string
+	runner Runner
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string // insertion order, for List
+	cancels map[string]context.CancelFunc
+	subs    map[string][]chan Event
+	started bool
+	drain   bool
+	metrics Metrics
+
+	root context.Context
+	stop context.CancelFunc
+	wg   sync.WaitGroup
+}
+
+const jobSuffix = ".job.json"
+
+// Open loads the queue rooted at dir (created if missing). Jobs found
+// pending or running — interrupted by whatever ended the previous daemon —
+// are reset to pending and re-executed when Start is called; their
+// checkpoint files make the re-execution a resume. Completed jobs keep
+// serving cache hits.
+func Open(dir string, r Runner) (*Queue, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("job: %w", err)
+	}
+	q := &Queue{
+		dir:     dir,
+		runner:  r,
+		jobs:    map[string]*Job{},
+		cancels: map[string]context.CancelFunc{},
+		subs:    map[string][]chan Event{},
+	}
+	q.root, q.stop = context.WithCancel(context.Background())
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("job: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), jobSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("job: %w", err)
+		}
+		var j Job
+		if err := json.Unmarshal(raw, &j); err != nil {
+			return nil, fmt.Errorf("job: record %s: %w", name, err)
+		}
+		if j.ID == "" || strings.TrimSuffix(name, jobSuffix) != j.ID {
+			return nil, fmt.Errorf("job: record %s names job %q", name, j.ID)
+		}
+		if !j.State.Terminal() {
+			j.State = StatePending
+			q.metrics.Recovered++
+			if err := q.persist(&j); err != nil {
+				return nil, err
+			}
+		}
+		q.jobs[j.ID] = &j
+		q.order = append(q.order, j.ID)
+	}
+	return q, nil
+}
+
+// Dir returns the queue's durable directory.
+func (q *Queue) Dir() string { return q.dir }
+
+// Start launches every pending job (the recovered backlog) and marks the
+// queue live. It must be called exactly once, before Submit.
+func (q *Queue) Start() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.started = true
+	for _, id := range q.order {
+		if q.jobs[id].State == StatePending {
+			q.launchLocked(id)
+		}
+	}
+}
+
+// Submit enqueues a campaign. The spec is normalised and validated; its
+// fingerprint is the job ID. A live job with the same ID absorbs the
+// submission (coalesced=true), a completed one serves its stored result
+// (cached=true), a failed or canceled one is re-run, and an unknown one
+// starts fresh. The returned Job is a snapshot.
+func (q *Queue) Submit(spec Spec) (Job, bool, bool, error) {
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return Job{}, false, false, err
+	}
+	id, err := spec.ID()
+	if err != nil {
+		return Job{}, false, false, err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.drain {
+		return Job{}, false, false, ErrDraining
+	}
+	q.metrics.Submissions++
+	if j, ok := q.jobs[id]; ok {
+		switch {
+		case j.State.Terminal() && j.State == StateDone:
+			j.CacheHits++
+			q.metrics.CacheHits++
+			return *j, false, true, nil
+		case j.State.Terminal(): // failed or canceled: re-run under the same ID
+			j.State = StatePending
+			j.Error = ""
+			j.Result = nil
+			j.Units = 0
+			if err := q.persist(j); err != nil {
+				return Job{}, false, false, err
+			}
+			q.launchLocked(id)
+			return *j, false, false, nil
+		default: // pending or running: coalesce
+			j.Coalesced++
+			q.metrics.CoalesceHits++
+			return *j, true, false, nil
+		}
+	}
+	j := &Job{ID: id, Spec: spec, State: StatePending}
+	if err := q.persist(j); err != nil {
+		return Job{}, false, false, err
+	}
+	q.jobs[id] = j
+	q.order = append(q.order, id)
+	q.launchLocked(id)
+	return *j, false, false, nil
+}
+
+// Get returns a snapshot of the job with the given ID.
+func (q *Queue) Get(id string) (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// List returns snapshots of every known job, in submission order.
+func (q *Queue) List() []Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Job, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, *q.jobs[id])
+	}
+	return out
+}
+
+// Cancel requests cancellation of a live job: admission stops, started
+// trials drain, and the job lands in StateCanceled. It reports whether the
+// job was live (terminal jobs are left untouched).
+func (q *Queue) Cancel(id string) (bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return false, ErrNotFound
+	}
+	if j.State.Terminal() {
+		return false, nil
+	}
+	if cancel, ok := q.cancels[id]; ok {
+		cancel()
+	}
+	return true, nil
+}
+
+// Subscribe returns a channel of the job's events: first a state snapshot
+// (plus the result, for an already completed job), then live events until
+// the job reaches a terminal state, when the channel closes. The returned
+// stop function detaches the subscriber early; it is always safe to call.
+func (q *Queue) Subscribe(id string) (<-chan Event, func(), error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	ch := make(chan Event, 256)
+	ch <- Event{Job: j.ID, Type: "state", State: j.State, Error: j.Error}
+	if j.State.Terminal() {
+		if j.State == StateDone {
+			ch <- Event{Job: j.ID, Type: "result", Result: j.Result}
+		}
+		close(ch)
+		return ch, func() {}, nil
+	}
+	q.subs[id] = append(q.subs[id], ch)
+	stop := func() {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		for i, c := range q.subs[id] {
+			if c == ch {
+				q.subs[id] = append(q.subs[id][:i], q.subs[id][i+1:]...)
+				close(ch)
+				return
+			}
+		}
+	}
+	return ch, stop, nil
+}
+
+// Metrics returns a point-in-time reading of the queue's counters.
+func (q *Queue) Metrics() Metrics {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	m := q.metrics
+	m.JobsByState = map[State]int{}
+	for _, j := range q.jobs {
+		m.JobsByState[j.State]++
+	}
+	return m
+}
+
+// Close drains the queue: no new submissions are admitted, every live
+// job's context is cancelled (started trials finish — nothing is
+// preempted), executors flush their checkpoints and park their jobs back
+// in StatePending on disk, and Close returns once all of them have. A
+// subsequent Open of the same directory resumes the parked jobs.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.drain = true
+	q.mu.Unlock()
+	q.stop()
+	q.wg.Wait()
+}
+
+// --- internals --------------------------------------------------------------
+
+// launchLocked starts the executor goroutine for a pending job. Callers
+// hold q.mu; the queue must have been started.
+func (q *Queue) launchLocked(id string) {
+	if !q.started {
+		return
+	}
+	ctx, cancel := context.WithCancel(q.root)
+	q.cancels[id] = cancel
+	q.wg.Add(1)
+	go func() {
+		defer q.wg.Done()
+		defer cancel()
+		q.execute(ctx, id)
+	}()
+}
+
+// execute runs one job to a terminal state (or parks it back to pending on
+// a drain).
+func (q *Queue) execute(ctx context.Context, id string) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok || j.State != StatePending {
+		q.mu.Unlock()
+		return
+	}
+	j.State = StateRunning
+	j.Executions++
+	q.metrics.Executions++
+	spec := j.Spec
+	if err := q.persist(j); err != nil {
+		q.failLocked(j, err)
+		q.mu.Unlock()
+		return
+	}
+	q.publishLocked(j.ID, Event{Type: "state", State: StateRunning})
+	q.mu.Unlock()
+
+	result, err := q.runner.Run(ctx, spec, func(ev Event) {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		if ev.Type == "progress" {
+			if jj, ok := q.jobs[id]; ok {
+				jj.Units = ev.Units
+			}
+		}
+		q.publishLocked(id, ev)
+	})
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	switch {
+	case err == nil:
+		j.State = StateDone
+		j.Result = result
+		j.Error = ""
+		if perr := q.persist(j); perr != nil {
+			q.failLocked(j, perr)
+			return
+		}
+		q.publishLocked(id, Event{Type: "result", Result: result})
+		q.publishLocked(id, Event{Type: "state", State: StateDone})
+	case ctx.Err() != nil && q.drain:
+		// Daemon shutdown, not a user cancel: park the job for the next
+		// daemon to resume from its checkpoint.
+		j.State = StatePending
+		_ = q.persist(j)
+		q.publishLocked(id, Event{Type: "state", State: StatePending})
+	case ctx.Err() != nil:
+		j.State = StateCanceled
+		_ = q.persist(j)
+		q.publishLocked(id, Event{Type: "state", State: StateCanceled})
+	default:
+		q.failLocked(j, err)
+		return
+	}
+	q.closeSubsLocked(id)
+	delete(q.cancels, id)
+}
+
+// failLocked records a failed execution. Callers hold q.mu.
+func (q *Queue) failLocked(j *Job, err error) {
+	j.State = StateFailed
+	j.Error = err.Error()
+	_ = q.persist(j)
+	q.publishLocked(j.ID, Event{Type: "state", State: StateFailed, Error: j.Error})
+	q.closeSubsLocked(j.ID)
+	delete(q.cancels, j.ID)
+}
+
+// publishLocked fans an event out to the job's subscribers. Sends never
+// block the queue: a subscriber that has fallen 256 events behind loses
+// the oldest semantics anyway, so the event is dropped for it.
+func (q *Queue) publishLocked(id string, ev Event) {
+	ev.Job = id
+	for _, ch := range q.subs[id] {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+func (q *Queue) closeSubsLocked(id string) {
+	for _, ch := range q.subs[id] {
+		close(ch)
+	}
+	delete(q.subs, id)
+}
+
+// persist writes a job record atomically (temp file + rename), the same
+// torn-write discipline as the checkpoint files. Callers hold q.mu.
+func (q *Queue) persist(j *Job) error {
+	raw, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		return fmt.Errorf("job: %w", err)
+	}
+	path := filepath.Join(q.dir, j.ID+jobSuffix)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("job: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("job: %w", err)
+	}
+	return nil
+}

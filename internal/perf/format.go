@@ -1,0 +1,66 @@
+package perf
+
+// Shared rendering and selector parsing for the Figure 7 sweeps, used by
+// both cmd/perfbench and the tlbserved daemon so a served sweep's table is
+// byte-identical to the direct CLI run.
+
+import (
+	"fmt"
+
+	"securetlb/internal/report"
+)
+
+// ParseDesigns maps the CLI/API design selector to the designs it runs.
+func ParseDesigns(s string) ([]Design, error) {
+	switch s {
+	case "sa":
+		return []Design{SA}, nil
+	case "sp":
+		return []Design{SP}, nil
+	case "rf":
+		return []Design{RF}, nil
+	case "all":
+		return []Design{SA, SP, RF}, nil
+	}
+	return nil, fmt.Errorf("unknown design %q (want sa, sp, rf or all)", s)
+}
+
+// FigureLabel names the paper figure a design's IPC/MPKI pair lands in.
+func FigureLabel(d Design) string {
+	switch d {
+	case SA:
+		return "7a/7d"
+	case SP:
+		return "7b/7e"
+	case RF:
+		return "7c/7f"
+	}
+	return "?"
+}
+
+// SweepHeader renders the per-sweep title line exactly as cmd/perfbench
+// prints it.
+func SweepHeader(d Design, secure bool, decrypts, workers int) string {
+	label := "RSA"
+	if secure {
+		label = "SecRSA"
+	}
+	return fmt.Sprintf("Figure %s — %s TLB, %s, %d decryptions, %d workers\n",
+		FigureLabel(d), d, label, decrypts, workers)
+}
+
+// FormatRows renders a sweep's rows as the perfbench table (plus its
+// trailing blank line).
+func FormatRows(rows []Row) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Geometry, r.Workload,
+			fmt.Sprintf("%.3f", r.Metrics.IPC),
+			fmt.Sprintf("%.2f", r.Metrics.MPKI),
+			fmt.Sprintf("%d", r.Metrics.Instructions),
+			fmt.Sprintf("%d", r.Metrics.TLBMisses),
+		})
+	}
+	return report.Table([]string{"Config", "Workload", "IPC", "MPKI", "Instr", "Misses"}, out) + "\n"
+}

@@ -373,6 +373,13 @@ func SweepFingerprint(seed uint64) string {
 // ones compacted away) are returned together with the context error; the
 // checkpoint, if any, already holds them for a later resume.
 func Figure7Ctx(ctx context.Context, d Design, secure bool, decrypts int, seed uint64, parallelism int, ck *checkpoint.File) ([]Row, error) {
+	return Figure7Pool(ctx, d, secure, decrypts, seed, pool.New(parallelism), ck)
+}
+
+// Figure7Pool is Figure7Ctx executing on a caller-supplied worker pool, so
+// a long-lived server can bound the leaf concurrency of many concurrent
+// sweeps together instead of per sweep.
+func Figure7Pool(ctx context.Context, d Design, secure bool, decrypts int, seed uint64, p *pool.Pool, ck *checkpoint.File) ([]Row, error) {
 	cells := cellSpecs(d)
 	rows := make([]Row, len(cells))
 	done := make([]bool, len(cells))
@@ -393,7 +400,7 @@ func Figure7Ctx(ctx context.Context, d Design, secure bool, decrypts int, seed u
 		// cancelled context yields the complete sweep.
 		return rows, nil
 	}
-	ferr := pool.New(parallelism).ForEachCtx(ctx, len(cells), func(i int) {
+	ferr := p.ForEachCtx(ctx, len(cells), func(i int) {
 		if done[i] {
 			return
 		}

@@ -50,6 +50,12 @@ func New(parallelism int) *Pool {
 // Size returns the pool's worker bound.
 func (p *Pool) Size() int { return cap(p.sem) }
 
+// InFlight returns how many worker slots are currently occupied — an
+// instantaneous utilization reading for monitoring (the daemon's /metrics
+// endpoint reports InFlight over Size). It is inherently racy: by the time
+// the caller acts on the value, workers may have started or finished.
+func (p *Pool) InFlight() int { return len(p.sem) }
+
 // Run executes fn on the calling goroutine once a worker slot is free, and
 // releases the slot when fn returns. fn must not call Run or Go and wait for
 // the result while holding the slot (leaf work only); orchestration code

@@ -25,6 +25,29 @@ func TestWorkersNormalisation(t *testing.T) {
 	}
 }
 
+func TestInFlightTracksOccupiedSlots(t *testing.T) {
+	p := New(2)
+	if got := p.InFlight(); got != 0 {
+		t.Errorf("idle InFlight = %d, want 0", got)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	p.Go(&wg, func() {
+		close(started)
+		<-release
+	})
+	<-started
+	if got := p.InFlight(); got != 1 {
+		t.Errorf("InFlight with one running worker = %d, want 1", got)
+	}
+	close(release)
+	wg.Wait()
+	if got := p.InFlight(); got != 0 {
+		t.Errorf("drained InFlight = %d, want 0", got)
+	}
+}
+
 func TestForEachRunsEveryIndexOnce(t *testing.T) {
 	p := New(3)
 	const n = 100

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update rewrites the golden files from the current renderer output:
+//
+//	go test ./internal/report/ -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenCases pins the exact rendering of every table shape the campaign
+// CLIs and tlbserved emit. The CLIs' output is a published interface — the
+// serve-smoke and resume tests compare it byte-for-byte — so any formatting
+// drift must be a deliberate golden-file update, not an accident.
+var goldenCases = []struct {
+	name   string
+	render func() string
+}{
+	{"table", func() string {
+		return Table(
+			[]string{"Strategy", "Vulnerability", "nMM", "p1*", "p1", "C*", "C", "verdict"},
+			[][]string{
+				{"TLB Flush + Reload", "Ad -> Vu -> Aa (fast)", "500", "1", "1", "0", "0", "defended"},
+				{"Evict + Time", "Vd -> Vu -> Va (slow)", "500", "0.52", "0.49", "1", "0.03", "VULNERABLE"},
+				{"Prime + Probe", "Ad -> Vu -> Aa (fast)", "500", "0", "0", "0.97", "0.95", "VULNERABLE"},
+			},
+		)
+	}},
+	{"table_ragged", func() string {
+		return Table([]string{"a", "b", "c"}, [][]string{{"only"}, {"x", "y", "z"}})
+	}},
+	{"quarantine", func() string {
+		return Quarantine([][]string{
+			{"SA TLB", "TLB Flush + Reload", "mapped", "3", "0x1234", "invariant", "lru-touch: stamp not refreshed"},
+			{"RF TLB", "Evict + Time", "not-mapped", "17", "0xbeef", "panic", "runtime error: index out of range"},
+		})
+	}},
+	{"fault_matrix", func() string {
+		return FaultMatrix([][]string{
+			{"tlb-tag-flip", "SA TLB", "16", "invariant:10", "0", "6", "0", "flipped VPN bit 7"},
+			{"ptw-ppn-flip", "RF TLB", "16", "exit-code:16", "0", "0", "0", "flipped PPN bit 3"},
+			{"timer-skew", "SP TLB", "16", "0", "16", "0", "0", "cycle count +2"},
+		})
+	}},
+}
+
+func TestGolden(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.render()
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("rendering drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

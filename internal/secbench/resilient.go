@@ -267,9 +267,22 @@ func (c Config) runVulnerabilityResilient(ctx context.Context, p *pool.Pool, v m
 type RunOptions struct {
 	// Parallelism bounds the worker pool (<= 0 selects GOMAXPROCS).
 	Parallelism int
+	// Pool, when non-nil, supplies an existing worker pool instead of a
+	// fresh one sized by Parallelism — how the serving daemon bounds the
+	// leaf concurrency of all in-flight jobs together rather than per
+	// campaign.
+	Pool *pool.Pool
 	// Checkpoint, when non-nil, is consulted before each work unit and fed
 	// each completed one; a final flush happens on every exit path.
 	Checkpoint *checkpoint.File
+}
+
+// pool resolves the worker pool a run executes on.
+func (o RunOptions) pool() *pool.Pool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	return pool.New(o.Parallelism)
 }
 
 // CampaignReport is the outcome of a resilient campaign: one Result per
@@ -290,7 +303,7 @@ type CampaignReport struct {
 // order, incomplete ones compacted away) together with the context error —
 // a partial report the CLIs print before suggesting -resume.
 func (c Config) RunCampaign(ctx context.Context, vulns []model.Vulnerability, opts RunOptions) (CampaignReport, error) {
-	p := pool.New(opts.Parallelism)
+	p := opts.pool()
 	ck := opts.Checkpoint
 	results := make([]Result, len(vulns))
 	quars := make([][]Quarantined, len(vulns))

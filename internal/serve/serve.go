@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"securetlb/internal/job"
+	"securetlb/internal/pool"
+)
+
+// Server is the tlbserved HTTP API over a job queue.
+//
+//	POST   /jobs             submit a campaign spec; coalesces/caches by fingerprint
+//	GET    /jobs             list jobs
+//	GET    /jobs/{id}        one job's record (result included when done)
+//	GET    /jobs/{id}/stream NDJSON progress/result stream until terminal
+//	GET    /jobs/{id}/result the completed job's result payload
+//	DELETE /jobs/{id}        cancel a live job (started trials drain)
+//	GET    /metrics          job states, coalesce/cache hits, pool utilization
+//	GET    /healthz          liveness
+type Server struct {
+	queue  *job.Queue
+	runner *CampaignRunner
+	pool   *pool.Pool
+	mux    *http.ServeMux
+}
+
+// New builds the API over a queue executing on runner (whose pool the
+// metrics report).
+func New(q *job.Queue, r *CampaignRunner) *Server {
+	s := &Server{queue: q, runner: r, pool: r.Pool, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// Handler returns the server's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SubmitResponse is the POST /jobs reply.
+type SubmitResponse struct {
+	ID    string    `json:"id"`
+	State job.State `json:"state"`
+	// Coalesced is true when the submission attached to an already live
+	// identical job; Cached when it was served from a completed one.
+	Coalesced bool `json:"coalesced"`
+	Cached    bool `json:"cached"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec job.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("parsing spec: %w", err))
+		return
+	}
+	j, coalesced, cached, err := s.queue.Submit(spec)
+	switch {
+	case errors.Is(err, job.ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusAccepted
+	if cached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, SubmitResponse{ID: j.ID, State: j.State, Coalesced: coalesced, Cached: cached})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.queue.List())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, job.ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, job.ErrNotFound)
+		return
+	}
+	if j.State != job.StateDone {
+		httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s, not done", j.ID, j.State))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(j.Result)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	live, err := s.queue.Cancel(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"canceled": live})
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	events, stop, err := s.queue.Subscribe(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	defer stop()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.queue.Metrics()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, st := range job.States() {
+		fmt.Fprintf(w, "tlbserved_jobs{state=%q} %d\n", st, m.JobsByState[st])
+	}
+	fmt.Fprintf(w, "tlbserved_submissions_total %d\n", m.Submissions)
+	fmt.Fprintf(w, "tlbserved_coalesce_hits_total %d\n", m.CoalesceHits)
+	fmt.Fprintf(w, "tlbserved_cache_hits_total %d\n", m.CacheHits)
+	fmt.Fprintf(w, "tlbserved_executions_total %d\n", m.Executions)
+	fmt.Fprintf(w, "tlbserved_jobs_recovered_total %d\n", m.Recovered)
+	fmt.Fprintf(w, "tlbserved_quarantined_trials_total %d\n", s.runner.Quarantined())
+	fmt.Fprintf(w, "tlbserved_pool_workers %d\n", s.pool.Size())
+	fmt.Fprintf(w, "tlbserved_pool_in_flight %d\n", s.pool.InFlight())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,315 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"securetlb/internal/job"
+	"securetlb/internal/perf"
+	"securetlb/internal/pool"
+	"securetlb/internal/secbench"
+)
+
+// testServer wires a real queue + campaign runner behind httptest. The queue
+// is NOT started: tests that need deterministic coalescing submit first and
+// then call start().
+func testServer(t *testing.T, workers int) (*httptest.Server, *job.Queue, func()) {
+	t.Helper()
+	runner := &CampaignRunner{Dir: t.TempDir(), Pool: pool.New(workers)}
+	q, err := job.Open(runner.Dir, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(q, runner).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		q.Close()
+	})
+	return ts, q, q.Start
+}
+
+func postJSON(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+func waitDone(t *testing.T, url, id string) {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		_, raw := getBody(t, url+"/jobs/"+id)
+		var j job.Job
+		if err := json.Unmarshal(raw, &j); err != nil {
+			t.Fatal(err)
+		}
+		if j.State == job.StateDone {
+			return
+		}
+		if j.State == job.StateFailed {
+			t.Fatalf("job failed: %s", j.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s", id, j.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestCoalesceAndBitIdenticalResult is the tentpole's acceptance test: the
+// same campaign submitted twice runs once (coalesce counter = 1), and both
+// responses carry output byte-identical to a direct library run of the same
+// configuration at the same worker count.
+func TestCoalesceAndBitIdenticalResult(t *testing.T) {
+	const workers, trials = 2, 4
+	ts, q, start := testServer(t, workers)
+	spec := fmt.Sprintf(`{"kind":"secbench","design":"sa","trials":%d}`, trials)
+
+	// Submit twice before the queue starts, so the second request must find
+	// the first one live and coalesce onto it.
+	code, first := postJSON(t, ts.URL, spec)
+	if code != http.StatusAccepted || first["coalesced"] != false {
+		t.Fatalf("first submit: code=%d body=%v", code, first)
+	}
+	code, second := postJSON(t, ts.URL, spec)
+	if code != http.StatusAccepted || second["coalesced"] != true {
+		t.Fatalf("second submit: code=%d body=%v", code, second)
+	}
+	id := first["id"].(string)
+	if second["id"] != id {
+		t.Fatalf("coalesced submit named job %v, want %v", second["id"], id)
+	}
+
+	start()
+	waitDone(t, ts.URL, id)
+
+	_, rawA := getBody(t, ts.URL+"/jobs/"+id+"/result")
+	_, rawB := getBody(t, ts.URL+"/jobs/"+id+"/result")
+	if !bytes.Equal(rawA, rawB) {
+		t.Error("two reads of the stored result differ")
+	}
+	var res Result
+	if err := json.Unmarshal(rawA, &res); err != nil {
+		t.Fatal(err)
+	}
+
+	// The reference: the same campaign run directly through the library at
+	// the same worker count.
+	d := secbench.DesignSA
+	cfg := secbench.DefaultConfig(d)
+	cfg.Trials = trials
+	rep, err := cfg.RunAllCtx(context.Background(), secbench.RunOptions{Pool: pool.New(workers)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := secbench.FormatCampaign(d, trials, workers, false, rep)
+	if res.Output != want {
+		t.Errorf("served output differs from direct run:\n--- served ---\n%s--- direct ---\n%s", res.Output, want)
+	}
+
+	// A post-completion submission is a cache hit served with 200.
+	code, third := postJSON(t, ts.URL, spec)
+	if code != http.StatusOK || third["cached"] != true {
+		t.Errorf("third submit: code=%d body=%v", code, third)
+	}
+
+	m := q.Metrics()
+	if m.Submissions != 3 || m.CoalesceHits != 1 || m.CacheHits != 1 || m.Executions != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`tlbserved_jobs{state="done"} 1`,
+		"tlbserved_submissions_total 3",
+		"tlbserved_coalesce_hits_total 1",
+		"tlbserved_cache_hits_total 1",
+		"tlbserved_executions_total 1",
+		fmt.Sprintf("tlbserved_pool_workers %d", workers),
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestPerfJobMatchesDirectSweep: a perf job's output equals the direct
+// Figure 7 sweep at the same worker count.
+func TestPerfJobMatchesDirectSweep(t *testing.T) {
+	const workers = 2
+	ts, _, start := testServer(t, workers)
+	start()
+	code, sub := postJSON(t, ts.URL, `{"kind":"perf","design":"sa","decrypts":2,"seed":5}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code=%d body=%v", code, sub)
+	}
+	id := sub["id"].(string)
+	waitDone(t, ts.URL, id)
+	_, raw := getBody(t, ts.URL+"/jobs/"+id+"/result")
+	var res Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := perf.Figure7Pool(context.Background(), perf.SA, false, 2, 5, pool.New(workers), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := perf.SweepHeader(perf.SA, false, 2, workers) + perf.FormatRows(rows)
+	if res.Output != want {
+		t.Errorf("served perf output differs from direct sweep:\n--- served ---\n%s--- direct ---\n%s", res.Output, want)
+	}
+}
+
+// TestStreamDeliversTerminalEvents: the NDJSON stream ends with the result
+// and done-state events.
+func TestStreamDeliversTerminalEvents(t *testing.T) {
+	ts, _, start := testServer(t, 2)
+	code, sub := postJSON(t, ts.URL, `{"kind":"secbench","design":"sa","trials":2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code=%d body=%v", code, sub)
+	}
+	id := sub["id"].(string)
+	start()
+
+	resp, err := http.Get(ts.URL + "/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream Content-Type = %q", ct)
+	}
+	var events []job.Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev job.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if ev.Job != id {
+			t.Errorf("event for job %q, want %q", ev.Job, id)
+		}
+		events = append(events, ev)
+	}
+	if len(events) < 2 {
+		t.Fatalf("stream delivered %d events, want at least result+state", len(events))
+	}
+	last, prev := events[len(events)-1], events[len(events)-2]
+	if prev.Type != "result" || last.Type != "state" || last.State != job.StateDone {
+		t.Errorf("terminal events = %+v, %+v", prev, last)
+	}
+}
+
+// TestCancelOverHTTP: DELETE on a running job drains it to canceled; its
+// result endpoint reports the conflict.
+func TestCancelOverHTTP(t *testing.T) {
+	ts, _, start := testServer(t, 2)
+	start()
+	// A job big enough that it cannot finish before the cancel lands;
+	// cancellation only drains the (fast) in-flight trials, so the test
+	// still completes promptly.
+	code, sub := postJSON(t, ts.URL, `{"kind":"secbench","design":"all","trials":100000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code=%d body=%v", code, sub)
+	}
+	id := sub["id"].(string)
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status = %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		_, raw := getBody(t, ts.URL+"/jobs/"+id)
+		var j job.Job
+		if err := json.Unmarshal(raw, &j); err != nil {
+			t.Fatal(err)
+		}
+		if j.State == job.StateCanceled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %s after cancel", j.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	code, raw := getBody(t, ts.URL+"/jobs/"+id+"/result")
+	if code != http.StatusConflict {
+		t.Errorf("result of canceled job: code=%d body=%s", code, raw)
+	}
+}
+
+func TestRejectsBadRequests(t *testing.T) {
+	ts, _, start := testServer(t, 1)
+	start()
+	for _, body := range []string{
+		`{"kind":"areabench"}`,              // unknown kind
+		`{"kind":"secbench","design":"xx"}`, // unknown design
+		`{"kind":"secbench","trials":-3}`,   // negative trials
+		`{"kind":"perf","decrypts":-1}`,     // negative decrypts
+		`{"kind":"secbench","workers":4}`,   // unknown field
+		`{"kind":`,                          // malformed JSON
+	} {
+		code, resp := postJSON(t, ts.URL, body)
+		if code != http.StatusBadRequest {
+			t.Errorf("POST %s: code=%d resp=%v, want 400", body, code, resp)
+		}
+		if resp["error"] == "" {
+			t.Errorf("POST %s: no error message", body)
+		}
+	}
+	for _, url := range []string{"/jobs/unknown", "/jobs/unknown/result", "/jobs/unknown/stream"} {
+		if code, _ := getBody(t, ts.URL+url); code != http.StatusNotFound {
+			t.Errorf("GET %s: code=%d, want 404", url, code)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _, _ := testServer(t, 1)
+	code, raw := getBody(t, ts.URL+"/healthz")
+	if code != http.StatusOK || string(raw) != "ok\n" {
+		t.Errorf("healthz: code=%d body=%q", code, raw)
+	}
+}
