@@ -3,7 +3,7 @@ GO ?= go
 # to trade exploration depth for turnaround.
 FUZZTIME ?= 30s
 
-.PHONY: build vet test race bench smoke faults fuzz-smoke serve-smoke verify
+.PHONY: build vet test race bench bench-smoke smoke faults fuzz-smoke serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -22,10 +22,22 @@ test:
 race:
 	$(GO) test -race -timeout 10m ./...
 
-# Serial-vs-parallel campaign engine comparison plus the Clone micro-costs.
+# Serial-vs-parallel campaign engine comparison plus the Clone micro-costs,
+# then the trace-replay A/B pairs aggregated into BENCH_campaign.json (the
+# checked-in record of the capture-once/replay-everywhere speedup; medians
+# across -count runs, so one noisy run cannot skew it).
 bench:
 	$(GO) test -run xxx -bench 'RunVulnerability|RunAll(Serial|Parallel)' -benchtime 2x .
 	$(GO) test -run xxx -bench Clone ./internal/mem/ ./internal/cpu/
+	$(GO) test -run xxx -bench 'Table4SecurityEvalRF|Campaign(TraceReplay|FullExec)|Figure7(TraceReplay|FullExec)|Translate' \
+		-benchmem -benchtime 20x -count 5 . | $(GO) run ./cmd/benchjson -out BENCH_campaign.json
+
+# One-iteration pass over every benchmark: proves each still assembles its
+# experiment and meets its internal checks (defended counts, row counts)
+# without paying for statistically meaningful timings. Part of verify/CI so
+# a refactor cannot silently break the benchmark harness.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x -timeout 10m ./...
 
 # End-to-end resilience smoke: SIGINT a real secbench run, resume it from
 # the checkpoint, and require bit-identical output — plus the in-process
@@ -54,4 +66,4 @@ serve-smoke:
 	$(GO) test -count=1 -timeout 10m ./internal/job/ ./internal/serve/
 	$(GO) test -count=1 -timeout 10m -run 'SigtermRestart|MetricsAndCleanShutdown|Client' ./cmd/tlbserved/ ./cmd/tlbsim/
 
-verify: build vet race faults fuzz-smoke serve-smoke
+verify: build vet race faults fuzz-smoke bench-smoke serve-smoke

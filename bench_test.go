@@ -60,12 +60,13 @@ func BenchmarkAlgorithm1Reduction(b *testing.B) {
 
 // --- Table 4: micro security benchmarks --------------------------------------
 
-func benchTable4(b *testing.B, d secbench.Design, trials, wantDefended int) {
+func benchTable4(b *testing.B, d secbench.Design, trials, wantDefended int, disableTrace bool) {
 	cfg := secbench.DefaultConfig(d)
 	// Scaled down; cmd/secbench runs the paper's 500 trials. The randomised
 	// RF design needs more trials than the deterministic SA/SP to keep the
 	// empirical capacity below the defended threshold.
 	cfg.Trials = trials
+	cfg.DisableTrace = disableTrace
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		results, err := cfg.RunAll()
@@ -78,9 +79,50 @@ func benchTable4(b *testing.B, d secbench.Design, trials, wantDefended int) {
 	}
 }
 
-func BenchmarkTable4SecurityEvalSA(b *testing.B) { benchTable4(b, secbench.DesignSA, 20, 10) }
-func BenchmarkTable4SecurityEvalSP(b *testing.B) { benchTable4(b, secbench.DesignSP, 20, 14) }
-func BenchmarkTable4SecurityEvalRF(b *testing.B) { benchTable4(b, secbench.DesignRF, 120, 24) }
+func BenchmarkTable4SecurityEvalSA(b *testing.B) { benchTable4(b, secbench.DesignSA, 20, 10, false) }
+func BenchmarkTable4SecurityEvalSP(b *testing.B) { benchTable4(b, secbench.DesignSP, 20, 14, false) }
+func BenchmarkTable4SecurityEvalRF(b *testing.B) { benchTable4(b, secbench.DesignRF, 120, 24, false) }
+
+// BenchmarkTable4SecurityEvalRFFullExec is the full-execution twin of
+// BenchmarkTable4SecurityEvalRF: the identical RF campaign with trace replay
+// disabled, so every trial decodes and executes its program from scratch.
+// The ratio of the two is the campaign replay speedup BENCH_campaign.json
+// records.
+func BenchmarkTable4SecurityEvalRFFullExec(b *testing.B) {
+	benchTable4(b, secbench.DesignRF, 120, 24, true)
+}
+
+// --- trace-compiled campaign replay -------------------------------------------
+
+// benchCampaign is the replay-vs-full A/B pair over the default security
+// campaign (the full Table 4 sweep cmd/secbench runs: all 24 vulnerabilities
+// against the SA, SP and RF designs at 120 trials/behaviour): identical work
+// and identical results, differing only in whether trials replay captured
+// traces or decode and execute every instruction. The defended counts are
+// the Table 4 bottom line (10 + 14 + 24).
+func benchCampaign(b *testing.B, disableTrace bool) {
+	designs := []secbench.Design{secbench.DesignSA, secbench.DesignSP, secbench.DesignRF}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		defended := 0
+		for _, d := range designs {
+			cfg := secbench.DefaultConfig(d)
+			cfg.Trials = 120
+			cfg.DisableTrace = disableTrace
+			results, err := cfg.RunAll()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defended += secbench.DefendedCount(results)
+		}
+		if defended != 10+14+24 {
+			b.Fatalf("defended %d, want %d", defended, 10+14+24)
+		}
+	}
+}
+
+func BenchmarkCampaignTraceReplay(b *testing.B) { benchCampaign(b, false) }
+func BenchmarkCampaignFullExec(b *testing.B)    { benchCampaign(b, true) }
 
 // --- Table 4 theory columns ---------------------------------------------------
 
@@ -109,6 +151,35 @@ func benchFigure7(b *testing.B, d perf.Design, secure bool) {
 		b.ReportMetric(mpki/float64(len(rows)), "avgMPKI")
 	}
 }
+
+// benchFigure7Sweep is the Figure 7 half of the trace-replay A/B pair: the
+// full three-design SecRSA sweep at a fixed seed, so the replay side reuses
+// its captured access streams across iterations exactly as cmd/perfbench
+// reuses them across cells. The guard tests in internal/perf prove the two
+// sides produce bit-identical rows.
+func benchFigure7Sweep(b *testing.B, disableTrace bool) {
+	b.ReportAllocs()
+	prev := perf.DisableTrace
+	perf.DisableTrace = disableTrace
+	defer func() { perf.DisableTrace = prev }()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var rows int
+		for _, d := range []perf.Design{perf.SA, perf.SP, perf.RF} {
+			rs, err := perf.Figure7(d, true, 3, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows += len(rs)
+		}
+		if rows != 35+30+30 {
+			b.Fatalf("rows %d, want %d", rows, 35+30+30)
+		}
+	}
+}
+
+func BenchmarkFigure7TraceReplay(b *testing.B) { benchFigure7Sweep(b, false) }
+func BenchmarkFigure7FullExec(b *testing.B)    { benchFigure7Sweep(b, true) }
 
 func BenchmarkFigure7aSAIPC(b *testing.B)    { benchFigure7(b, perf.SA, false) }
 func BenchmarkFigure7bSPIPC(b *testing.B)    { benchFigure7(b, perf.SP, false) }

@@ -40,7 +40,9 @@ func main() {
 	ckPath := flag.String("checkpoint", "", "checkpoint file: completed Figure 7 cells are recorded here")
 	resume := flag.Bool("resume", false, "with -checkpoint: resume from an existing checkpoint file")
 	ckEvery := flag.Int("checkpoint-every", 4, "flush the checkpoint every N completed cells")
+	noTrace := flag.Bool("no-trace", false, "disable captured-stream replay; run every cell's generators in full (bit-identical, slower)")
 	flag.Parse()
+	perf.DisableTrace = *noTrace
 
 	designs, err := validateFlags(*design, *decrypts, *parallel, *ckEvery, *resume, *ckPath)
 	if err != nil {

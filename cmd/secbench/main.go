@@ -52,6 +52,7 @@ func main() {
 	invariants := flag.Bool("invariants", false, "wrap every campaign TLB in the runtime invariant checker (violations quarantine the trial)")
 	inject := flag.String("inject", "", "arm a fault-injection site on every trial (see faultbench -list); implies nothing about -invariants")
 	faultSeed := flag.Uint64("fault-seed", 0xfa115eed, "campaign-level seed for -inject's per-trial injectors")
+	noTrace := flag.Bool("no-trace", false, "disable trace-compiled trial replay; decode and execute every instruction of every trial (bit-identical, slower)")
 	flag.Parse()
 
 	designs, err := validateFlags(*design, *trials, *parallel, *ckEvery, *emit, *extended, *resume, *ckPath)
@@ -59,7 +60,7 @@ func main() {
 		fatal(err)
 	}
 
-	campaignCfg = campaignSettings{invariants: *invariants, faultSeed: *faultSeed}
+	campaignCfg = campaignSettings{invariants: *invariants, faultSeed: *faultSeed, noTrace: *noTrace}
 	if *inject != "" {
 		site, err := faultinject.ParseSite(*inject)
 		if err != nil {
@@ -161,6 +162,7 @@ type campaignSettings struct {
 	invariants bool
 	faultSite  faultinject.Site
 	faultSeed  uint64
+	noTrace    bool
 }
 
 var campaignCfg campaignSettings
@@ -173,6 +175,10 @@ func configFor(d secbench.Design, trials int) secbench.Config {
 	cfg.Invariants = campaignCfg.invariants
 	cfg.FaultSite = campaignCfg.faultSite
 	cfg.FaultSeed = campaignCfg.faultSeed
+	// Replay is bit-identical to full execution (the guard tests prove it),
+	// so DisableTrace deliberately stays out of the checkpoint fingerprint: a
+	// checkpointed run may be resumed with the other execution mode.
+	cfg.DisableTrace = campaignCfg.noTrace
 	return cfg
 }
 

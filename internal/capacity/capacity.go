@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"securetlb/internal/model"
 	"securetlb/internal/pool"
@@ -250,6 +252,11 @@ func (c Counts) BootstrapCICtx(ctx context.Context, resamples int, conf float64,
 		v := c.Capacity()
 		return v, v, nil
 	}
+	key := bootstrapKey{c, resamples, conf, seed}
+	if v, ok := bootstrapCache.Load(key); ok {
+		cv := v.(bootstrapVal)
+		return cv.lo, cv.hi, nil
+	}
 	p1, p2 := c.Probabilities()
 	caps := make([]float64, resamples)
 	fill := func(lo, hi int) {
@@ -280,8 +287,37 @@ func (c Counts) BootstrapCICtx(ctx context.Context, resamples int, conf float64,
 	if hiIdx >= resamples {
 		hiIdx = resamples - 1
 	}
+	if bootstrapCacheN.Add(1) <= bootstrapCacheCap {
+		bootstrapCache.Store(key, bootstrapVal{caps[loIdx], caps[hiIdx]})
+	} else {
+		bootstrapCacheN.Add(-1)
+	}
 	return caps[loIdx], caps[hiIdx], nil
 }
+
+// bootstrapKey identifies one bootstrap computation. The interval is a pure
+// function of these fields (resample seeds each replicate from (seed, index)
+// alone), so it can be memoized process-wide: campaign re-runs, A/B
+// comparisons and checkpoint resumes re-finalize identical counts, and the
+// 300-resample bootstrap is a dominant fixed cost once trials replay from
+// captured traces.
+type bootstrapKey struct {
+	counts    Counts
+	resamples int
+	conf      float64
+	seed      uint64
+}
+
+type bootstrapVal struct{ lo, hi float64 }
+
+// bootstrapCache maps bootstrapKey to bootstrapVal, bounded to cap memory on
+// adversarial sweeps (beyond the cap every computation just runs).
+var (
+	bootstrapCache  sync.Map
+	bootstrapCacheN atomic.Int32
+)
+
+const bootstrapCacheCap = 1 << 12
 
 // resample draws one bootstrap replicate of the capacity. Its xorshift64*
 // state is seeded independently per index with a splitmix64 finaliser, so

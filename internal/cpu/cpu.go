@@ -92,6 +92,18 @@ func (c *Machine) fault(format string, args ...any) error {
 	return &FaultError{PC: c.pc, Err: fmt.Errorf(format, args...)}
 }
 
+// Recorder observes every instruction the machine is about to execute. It
+// is the capture hook of the trace-compiled execution engine: a recorder is
+// called at the very start of exec, before any architectural state changes,
+// so it sees the pre-execution register file and counters. Returning a
+// non-nil error aborts the run with that error (the machine stops mid-
+// program; capture is abandoned and the caller falls back to full
+// execution). The hook is nil by default and costs one predictable branch
+// per instruction when unset.
+type Recorder interface {
+	OnInstr(m *Machine, in *isa.Instr) error
+}
+
 // Machine is one simulated core wired to its memory subsystem.
 type Machine struct {
 	TLB tlb.TLB
@@ -108,6 +120,7 @@ type Machine struct {
 
 	cfg  Config
 	prog *isa.Program
+	rec  Recorder
 
 	regs    [isa.NumRegs]uint64
 	pc      int
@@ -151,6 +164,16 @@ func (c *Machine) SetITLB(t tlb.TLB, textBase uint64) {
 
 // ITLB returns the installed instruction TLB, or nil.
 func (c *Machine) ITLB() tlb.TLB { return c.itlb }
+
+// SetRecorder installs (or, with nil, removes) an instruction recorder.
+func (c *Machine) SetRecorder(r Recorder) { c.rec = r }
+
+// TextBase returns the virtual base address of the text section (only
+// meaningful when an I-TLB is installed).
+func (c *Machine) TextBase() uint64 { return c.textBase }
+
+// Config returns the core's timing configuration.
+func (c *Machine) Config() Config { return c.cfg }
 
 // Load installs a program: its data pages are mapped (shared frames) into
 // every listed address space and the initial data values are written to
@@ -224,6 +247,8 @@ func (c *Machine) Clone() (*Machine, error) {
 		}
 		n.itlb = it
 	}
+	// A recorder is per-capture state, not machine state.
+	n.rec = nil
 	return &n, nil
 }
 
@@ -346,6 +371,11 @@ func (c *Machine) Step() error {
 // exec retires one instruction. The caller guarantees the machine is not
 // halted and in points into the loaded program at c.pc.
 func (c *Machine) exec(in *isa.Instr) error {
+	if c.rec != nil {
+		if err := c.rec.OnInstr(c, in); err != nil {
+			return err
+		}
+	}
 	c.cycles++ // base cost of every instruction
 	if c.itlb != nil {
 		// Instruction fetch translates the PC's page through the I-TLB.

@@ -1,0 +1,170 @@
+package cpu
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"securetlb/internal/asm"
+	"securetlb/internal/isa"
+	"securetlb/internal/tlb"
+)
+
+// These tests pin RunCtx's chunking arithmetic at the ctxCheckStride
+// boundaries. RunCtx slices the budget into stride-sized Run calls; an
+// off-by-one there would silently give trials one instruction too many or
+// too few of budget — invisible to the coarse cancellation tests, fatal to
+// replay bit-identity, which assumes Run(n) and RunCtx(ctx, n) retire
+// exactly the same instruction sequence.
+
+// loadLoop loads an infinite loop (j loop) for ASID 0.
+func loadLoop(t *testing.T) *Machine {
+	t.Helper()
+	m := newMachine(t)
+	p, err := asm.Assemble("loop: j loop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(p, []tlb.ASID{0}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunCtxStrideBoundaryBudgets(t *testing.T) {
+	// One under, exactly at, and one over the stride — plus multiples, where
+	// the final chunk is empty, full, or a single instruction.
+	budgets := []uint64{
+		0, 1,
+		ctxCheckStride - 1, ctxCheckStride, ctxCheckStride + 1,
+		2*ctxCheckStride - 1, 2 * ctxCheckStride, 2*ctxCheckStride + 1,
+	}
+	for _, budget := range budgets {
+		m := loadLoop(t)
+		_, err := m.RunCtx(context.Background(), budget)
+		if !errors.Is(err, ErrFuelExhausted) {
+			t.Fatalf("budget %d: err = %v, want ErrFuelExhausted", budget, err)
+		}
+		if got := m.Instret(); got != budget {
+			t.Errorf("budget %d: retired %d instructions, want exactly the budget", budget, got)
+		}
+	}
+}
+
+func TestRunCtxMatchesRunAtStrideBoundaries(t *testing.T) {
+	// A program that halts after its busywork; under every boundary budget
+	// the chunked and unchunked runs must agree on exit code, error,
+	// retirement and cycle counts.
+	src := `
+		li x1, 0
+		li x2, 3000
+	loop:
+		addi x1, x1, 1
+		bne x1, x2, loop
+		halt 9
+	`
+	for _, budget := range []uint64{
+		ctxCheckStride - 1, ctxCheckStride, ctxCheckStride + 1, 3 * ctxCheckStride,
+	} {
+		run := func(chunked bool) (int64, error, uint64, uint64) {
+			m := newMachine(t)
+			p, err := asm.Assemble(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Load(p, []tlb.ASID{0}); err != nil {
+				t.Fatal(err)
+			}
+			var code int64
+			if chunked {
+				code, err = m.RunCtx(context.Background(), budget)
+			} else {
+				code, err = m.Run(budget)
+			}
+			return code, err, m.Instret(), m.Cycles()
+		}
+		pc, perr, pinstr, pcyc := run(false)
+		cc, cerr, cinstr, ccyc := run(true)
+		if pc != cc || !errors.Is(cerr, perr) || (perr == nil) != (cerr == nil) {
+			t.Errorf("budget %d: Run = (%d, %v), RunCtx = (%d, %v)", budget, pc, perr, cc, cerr)
+		}
+		if pinstr != cinstr || pcyc != ccyc {
+			t.Errorf("budget %d: Run retired %d/%d cycles, RunCtx %d/%d",
+				budget, pinstr, pcyc, cinstr, ccyc)
+		}
+	}
+}
+
+func TestRunCtxHaltInsideFinalPartialChunk(t *testing.T) {
+	// Halt lands inside a final, shorter-than-stride chunk: the halt code
+	// must come back (not ErrFuelExhausted), with retirement stopped at the
+	// halt.
+	src := `
+		li x1, 0
+		li x2, 2047
+	loop:
+		addi x1, x1, 1
+		bne x1, x2, loop
+		halt 3
+	`
+	m := newMachine(t)
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(p, []tlb.ASID{0}); err != nil {
+		t.Fatal(err)
+	}
+	// The program retires 2 + 2046*2 + 2 = wherever the halt lands — what
+	// matters is that it is past one full stride and short of the budget.
+	budget := uint64(2 * ctxCheckStride)
+	code, err := m.RunCtx(context.Background(), budget)
+	if code != 3 || err != nil {
+		t.Fatalf("RunCtx = (%d, %v), want (3, nil)", code, err)
+	}
+	if got := m.Instret(); got <= ctxCheckStride || got >= budget {
+		t.Errorf("halt retired %d instructions; expected inside the second chunk (%d, %d)",
+			got, ctxCheckStride, budget)
+	}
+}
+
+func TestRunCtxCancellationLandsOnStrideBoundary(t *testing.T) {
+	// A context cancelled before the run starts is seen at the first poll:
+	// nothing retires. One cancelled mid-run stops at the next stride
+	// boundary, not at the end of the budget.
+	m := loadLoop(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.RunCtx(ctx, 10*ctxCheckStride); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := m.Instret(); got != 0 {
+		t.Errorf("pre-cancelled run retired %d instructions, want 0", got)
+	}
+
+	// Cancel from inside the machine: a recorder hook fires partway through
+	// the second chunk; the run must stop at the following boundary.
+	m2 := loadLoop(t)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	fired := 0
+	m2.SetRecorder(recorderFunc(func(*Machine) error {
+		fired++
+		if fired == ctxCheckStride+10 {
+			cancel2()
+		}
+		return nil
+	}))
+	_, err := m2.RunCtx(ctx2, 10*ctxCheckStride)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := m2.Instret(); got != 2*ctxCheckStride {
+		t.Errorf("mid-run cancel stopped after %d instructions, want the 2nd boundary (%d)",
+			got, 2*ctxCheckStride)
+	}
+}
+
+// recorderFunc adapts a func to the Recorder interface's OnInstr.
+type recorderFunc func(*Machine) error
+
+func (f recorderFunc) OnInstr(m *Machine, _ *isa.Instr) error { return f(m) }

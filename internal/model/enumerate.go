@@ -1,6 +1,9 @@
 package model
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Vulnerability is one effective three-step timing-based TLB vulnerability,
 // i.e. one row of the paper's Table 2 (or Table 7 in extended mode).
@@ -35,16 +38,32 @@ type EnumerationStats struct {
 	AfterAliasDedup int // after reduction rule (5)
 }
 
+// enumerateOnce caches the base enumeration: it is deterministic, and hot
+// paths (every campaign sweep iteration, job validation) re-derive it.
+// Callers receive a fresh top-level slice they may reorder or trim; the
+// interior slices (MappedScenarios) are shared and treated as immutable
+// everywhere.
+var enumerateOnce struct {
+	sync.Once
+	vulns []Vulnerability
+	stats EnumerationStats
+}
+
 // Enumerate derives the complete list of base-model vulnerabilities (the 24
 // rows of Table 2) by exhaustive enumeration over the 10 states of Table 1.
 func Enumerate() []Vulnerability {
-	v, _ := enumerate(BaseStates(), false)
+	v, _ := EnumerateWithStats()
 	return v
 }
 
 // EnumerateWithStats is Enumerate plus per-stage candidate counts.
 func EnumerateWithStats() ([]Vulnerability, EnumerationStats) {
-	return enumerate(BaseStates(), false)
+	enumerateOnce.Do(func() {
+		enumerateOnce.vulns, enumerateOnce.stats = enumerate(BaseStates(), false)
+	})
+	out := make([]Vulnerability, len(enumerateOnce.vulns))
+	copy(out, enumerateOnce.vulns)
+	return out, enumerateOnce.stats
 }
 
 func enumerate(states []State, extended bool) ([]Vulnerability, EnumerationStats) {

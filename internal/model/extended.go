@@ -1,5 +1,7 @@
 package model
 
+import "sync"
+
 // This file implements the Appendix B extension: when an ISA (or a software
 // mechanism such as mprotect()) allows invalidating the TLB entry of one
 // specific address, the additional states of Table 6 become available and
@@ -16,17 +18,30 @@ func EnumerateExtended() []Vulnerability {
 	return v
 }
 
+// enumerateExtendedOnce caches the extended enumeration like enumerateOnce
+// caches the base one.
+var enumerateExtendedOnce struct {
+	sync.Once
+	vulns []Vulnerability
+	stats EnumerationStats
+}
+
 // EnumerateExtendedWithStats is EnumerateExtended plus stage counts over the
 // enlarged 17-state universe.
 func EnumerateExtendedWithStats() ([]Vulnerability, EnumerationStats) {
-	all, stats := enumerate(ExtendedStates(), true)
-	var extra []Vulnerability
-	for _, v := range all {
-		if hasTargetedInv(v.Pattern) {
-			extra = append(extra, v)
+	enumerateExtendedOnce.Do(func() {
+		all, stats := enumerate(ExtendedStates(), true)
+		var extra []Vulnerability
+		for _, v := range all {
+			if hasTargetedInv(v.Pattern) {
+				extra = append(extra, v)
+			}
 		}
-	}
-	return extra, stats
+		enumerateExtendedOnce.vulns, enumerateExtendedOnce.stats = extra, stats
+	})
+	out := make([]Vulnerability, len(enumerateExtendedOnce.vulns))
+	copy(out, enumerateExtendedOnce.vulns)
+	return out, enumerateExtendedOnce.stats
 }
 
 func hasTargetedInv(p Pattern) bool {

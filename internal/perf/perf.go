@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
+	"sync"
 
 	"securetlb/internal/checkpoint"
 	"securetlb/internal/pool"
@@ -168,17 +169,24 @@ type RunConfig struct {
 	Seed          int64
 }
 
-// Run executes the multiprogrammed mix and returns whole-system metrics.
-func Run(cfg RunConfig) (Metrics, error) {
-	if cfg.TLB == nil || len(cfg.Processes) == 0 {
-		return Metrics{}, fmt.Errorf("perf: incomplete run config")
-	}
+// normalize applies the documented defaults. Run and the stream-capture
+// path share it so a captured stream's key always matches the schedule Run
+// would execute.
+func (cfg *RunConfig) normalize() {
 	if cfg.Timeslice == 0 {
 		cfg.Timeslice = 5000
 	}
 	if cfg.MaxInstructions == 0 {
 		cfg.MaxInstructions = 50_000_000
 	}
+}
+
+// Run executes the multiprogrammed mix and returns whole-system metrics.
+func Run(cfg RunConfig) (Metrics, error) {
+	if cfg.TLB == nil || len(cfg.Processes) == 0 {
+		return Metrics{}, fmt.Errorf("perf: incomplete run config")
+	}
+	cfg.normalize()
 	r := rand.New(rand.NewSource(cfg.Seed))
 	for _, p := range cfg.Processes {
 		p.Gen.Reset()
@@ -225,18 +233,45 @@ func Run(cfg RunConfig) (Metrics, error) {
 	return finalize(instr, cycles, cfg.TLB.Stats().Misses), nil
 }
 
-// RSATrace builds the RSA workload: `decrypts` back-to-back decryptions of
-// a fixed ciphertext, as a replayable trace process (§6.2's "RSA decryption
-// routine run 50, 100 and 150 times in series").
-func RSATrace(decrypts int, seed uint64) (*workload.Trace, error) {
+// rsaPages caches the decryption page trace per key seed: keygen plus one
+// big.Int decryption is by far the most expensive part of building a cell,
+// and the trace depends only on the seed — the decrypt count is just the
+// Repeats field on the wrapper. The cached slice is shared read-only across
+// Trace instances (Trace never mutates Pages).
+var (
+	rsaPagesMu    sync.Mutex
+	rsaPagesCache = map[uint64][]tlb.VPN{}
+)
+
+func rsaPages(seed uint64) ([]tlb.VPN, error) {
+	rsaPagesMu.Lock()
+	defer rsaPagesMu.Unlock()
+	if pages, ok := rsaPagesCache[seed]; ok {
+		return pages, nil
+	}
 	rsa, err := victim.NewRSA(64, seed)
 	if err != nil {
 		return nil, err
 	}
 	_, traces := rsa.Decrypt(rsa.Encrypt(new(big.Int).SetUint64(0xfeedface)))
+	pages := victim.FlatTrace(traces)
+	if len(rsaPagesCache) < 64 {
+		rsaPagesCache[seed] = pages
+	}
+	return pages, nil
+}
+
+// RSATrace builds the RSA workload: `decrypts` back-to-back decryptions of
+// a fixed ciphertext, as a replayable trace process (§6.2's "RSA decryption
+// routine run 50, 100 and 150 times in series").
+func RSATrace(decrypts int, seed uint64) (*workload.Trace, error) {
+	pages, err := rsaPages(seed)
+	if err != nil {
+		return nil, err
+	}
 	return &workload.Trace{
 		Nm:             "RSA",
-		Pages:          victim.FlatTrace(traces),
+		Pages:          pages,
 		InstrPerAccess: 6,
 		Repeats:        decrypts,
 	}, nil
@@ -253,7 +288,11 @@ type Row struct {
 }
 
 // Cell runs one Figure 7 cell: RSA (optionally SecRSA) with an optional
-// SPEC co-runner on the given design/geometry.
+// SPEC co-runner on the given design/geometry. The access stream of a cell's
+// schedule is TLB-independent, so it is captured once per (workload mix,
+// decrypts, seed) and replayed against every design/geometry/security
+// variant — bit-identical to full execution, with transparent fallback (see
+// runCell); DisableTrace forces the full path.
 func Cell(d Design, g Geometry, spec workload.Generator, secure bool, decrypts int, seed uint64) (Row, error) {
 	row := Row{Design: d, Geometry: g.Label, Workload: "RSA", Secure: secure, Decrypts: decrypts}
 	t, err := BuildTLB(d, g, secure, seed)
@@ -269,7 +308,7 @@ func Cell(d Design, g Geometry, spec workload.Generator, secure bool, decrypts i
 		row.Workload = "RSA+" + spec.Name()
 		procs = append(procs, Process{ASID: specASID, Gen: spec})
 	}
-	m, err := Run(RunConfig{TLB: t, Processes: procs, Seed: int64(seed)})
+	m, err := runCell(RunConfig{TLB: t, Processes: procs, Seed: int64(seed)})
 	if err != nil {
 		return row, err
 	}

@@ -218,6 +218,9 @@ func (c Config) runUnit(ctx context.Context, p *pool.Pool, v model.Vulnerability
 		unit.Survivors += units[i].Survivors
 		unit.Quarantined = append(unit.Quarantined, units[i].Quarantined...)
 	}
+	for _, cp := range camps {
+		cp.release()
+	}
 	return unit, nil
 }
 
@@ -361,5 +364,9 @@ func (c Config) ReplayTrial(v model.Vulnerability, mapped bool, trial int) (miss
 	if err != nil {
 		return false, err
 	}
-	return camp.runTrial(c.trialSeed(trial, mapped), c.fuel())
+	miss, err = camp.runTrial(c.trialSeed(trial, mapped), c.fuel())
+	if err == nil {
+		camp.release()
+	}
+	return miss, err
 }

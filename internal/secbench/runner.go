@@ -3,10 +3,12 @@ package secbench
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"securetlb/internal/asm"
 	"securetlb/internal/capacity"
 	"securetlb/internal/cpu"
+	"securetlb/internal/fingerprint"
 	"securetlb/internal/invariant"
 	"securetlb/internal/isa"
 	"securetlb/internal/mem"
@@ -14,6 +16,7 @@ import (
 	"securetlb/internal/pool"
 	"securetlb/internal/ptw"
 	"securetlb/internal/tlb"
+	"securetlb/internal/trace"
 )
 
 // Result is one row of Table 4's simulation half for one TLB design: the
@@ -41,7 +44,13 @@ func (r Result) Defended() bool { return r.C <= 0.05 }
 // runners draw identical per-trial randomness and produce bit-identical
 // results.
 func (c Config) trialSeed(trial int, mapped bool) uint64 {
-	seed := c.BaseSeed ^ (uint64(trial)+1)*0x9e3779b97f4a7c15
+	return trialSeedFor(c.BaseSeed, trial, mapped)
+}
+
+// trialSeedFor is the seed derivation with only the base passed in, so hot
+// trial loops can call it without copying a Config receiver.
+func trialSeedFor(base uint64, trial int, mapped bool) uint64 {
+	seed := base ^ (uint64(trial)+1)*0x9e3779b97f4a7c15
 	if mapped {
 		seed = ^seed
 	}
@@ -68,7 +77,7 @@ type progKey struct {
 	design                    Design
 	entries, ways, victimWays int
 	params                    capacity.RFParams
-	pattern                   string
+	pattern                   model.Pattern
 	observation               model.Observation
 	mapped                    bool
 }
@@ -85,7 +94,7 @@ func (c Config) progKeyFor(v model.Vulnerability, mapped bool) progKey {
 		ways:        c.Ways,
 		victimWays:  c.VictimWays,
 		params:      c.Params,
-		pattern:     v.Pattern.String(),
+		pattern:     v.Pattern,
 		observation: v.Observation,
 		mapped:      mapped,
 	}
@@ -112,18 +121,271 @@ func (c Config) program(v model.Vulnerability, mapped bool) (*isa.Program, error
 	return prog, nil
 }
 
+// --- replay-template cache ---------------------------------------------------
+
+// campKey identifies a replay template. The progKey pins the generator
+// parameters (collision-free); fp is the internal/fingerprint content address
+// of the assembled program bytes and the initial machine state (seed, memory
+// latency, loaded ASIDs), so a template is reused only when capture would
+// reproduce it bit for bit. fuel matters because capture must run to a clean
+// halt within the trial budget; inv because the template's TLB wrapping
+// differs.
+type campKey struct {
+	pk   progKey
+	fp   string
+	fuel uint64
+	inv  bool
+}
+
+// campTemplate is one cache slot: a captured trace bound to a template
+// machine, cloned (under mu — cloning mutates copy-on-write state) for every
+// campaign that shares the key. camp stays nil after init when the program is
+// not trace-representable, negative-caching the fallback decision. free holds
+// released clones for reuse: a returning campaign carries warm memo-walker
+// caches, so steady-state campaign acquisition allocates nothing.
+type campTemplate struct {
+	mu   sync.Mutex
+	init bool
+	camp *campaign
+	free []*campaign
+}
+
+// campFreeCap bounds each template's free list (one sweep's worth of
+// concurrent workers).
+const campFreeCap = 64
+
+// campCache maps campKey to *campTemplate, bounded by campCacheCap distinct
+// keys process-wide (a geometry sweep revisits few; an adversarial sweep over
+// thousands of configs degrades to per-campaign capture, not unbounded
+// memory).
+var (
+	campCache  sync.Map
+	campCacheN atomic.Int32
+)
+
+const campCacheCap = 512
+
+// newReplayCampaign returns a campaign that replays a cached trace, capturing
+// one (and building its template machine) on first use of the key. Programs a
+// trace cannot represent fall back to full execution.
+func (c Config) newReplayCampaign(v model.Vulnerability, mapped bool) (*campaign, error) {
+	prog, err := c.program(v, mapped)
+	if err != nil {
+		return nil, err
+	}
+	pk := c.progKeyFor(v, mapped)
+	key := campKey{
+		pk:   pk,
+		fp:   c.progFingerprint(pk, prog),
+		fuel: c.fuel(),
+		inv:  c.Invariants,
+	}
+	entAny, ok := campCache.Load(key)
+	if !ok {
+		if campCacheN.Add(1) > campCacheCap {
+			campCacheN.Add(-1)
+			// Cache full: capture a one-off template this campaign owns
+			// outright (no clone needed).
+			tmpl := &campTemplate{}
+			if err := c.buildReplayTemplate(tmpl, prog); err != nil {
+				return nil, err
+			}
+			if tmpl.camp == nil {
+				return c.newFullCampaign(v, mapped)
+			}
+			return tmpl.camp, nil
+		}
+		if entAny, ok = campCache.LoadOrStore(key, &campTemplate{}); ok {
+			campCacheN.Add(-1) // lost the race; the winner's entry counts
+		}
+	}
+	ent := entAny.(*campTemplate)
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if !ent.init {
+		ent.init = true
+		if err := c.buildReplayTemplate(ent, prog); err != nil {
+			// Build errors (bad geometry, OOM programs) reproduce
+			// deterministically; leaving camp nil routes later callers to the
+			// full path, which fails identically.
+			return nil, err
+		}
+	}
+	if ent.camp == nil {
+		return c.newFullCampaign(v, mapped)
+	}
+	if n := len(ent.free); n > 0 {
+		camp := ent.free[n-1]
+		ent.free[n-1] = nil
+		ent.free = ent.free[:n-1]
+		return camp, nil
+	}
+	camp, err := ent.camp.clone()
+	if err != nil {
+		return nil, err
+	}
+	camp.tmpl = ent
+	return camp, nil
+}
+
+// progFingerprint computes (and caches — Generate is deterministic per key)
+// the content address a replay template is keyed by.
+func (c Config) progFingerprint(pk progKey, prog *isa.Program) string {
+	k := fpKey{pk, c.BaseSeed, c.MemLatency}
+	if v, ok := fpCache.Load(k); ok {
+		return v.(string)
+	}
+	fp := fingerprint.New().
+		Field(string(isa.Encode(prog))).
+		Fieldf("%d/%d/%d/%d", c.BaseSeed, c.MemLatency, attackerASID, victimASID).
+		Sum()
+	fpCache.Store(k, fp)
+	return fp
+}
+
+// fpKey indexes cached program fingerprints by the inputs they derive from.
+type fpKey struct {
+	pk        progKey
+	seed, lat uint64
+}
+
+var fpCache sync.Map
+
+// memoWindow chooses the dense memo-walker window for a program: its data
+// pages widened by one set stride each side, covering both the benchmark's
+// own accesses and the aliases the RF engine draws near them. Anything
+// outside spills to the memo's map path, so the window only affects speed.
+func (c Config) memoWindow(prog *isa.Program) (base tlb.VPN, span uint64) {
+	if len(prog.DataPages) == 0 {
+		return 0, 0
+	}
+	sets := uint64(1)
+	if c.Ways > 0 && c.Entries >= c.Ways {
+		sets = uint64(c.Entries / c.Ways)
+	}
+	lo := prog.DataPages[0]                  // DataPages is sorted
+	hi := prog.DataPages[len(prog.DataPages)-1]
+	margin := sets + 1
+	if lo > margin {
+		lo -= margin
+	} else {
+		lo = 0
+	}
+	hi += margin
+	span = hi - lo + 1
+	const maxSpan = 1 << 16
+	if span > maxSpan {
+		span = maxSpan
+	}
+	return tlb.VPN(lo), span
+}
+
+// buildReplayTemplate builds the template machine (with a memoizing walker
+// under the TLB) and captures its trace. An unrepresentable program leaves
+// ent.camp nil; any other failure is returned.
+func (c Config) buildReplayTemplate(ent *campTemplate, prog *isa.Program) error {
+	m := mem.New(c.MemLatency)
+	pt := ptw.New(m, 0x100000)
+	base, span := c.memoWindow(prog)
+	nasid := uint64(victimASID) + 1
+	memo := trace.NewMemoWalker(pt, int(nasid), base, span)
+	t, err := c.NewTLB(memo, c.BaseSeed)
+	if err != nil {
+		return err
+	}
+	if c.Invariants {
+		t, err = invariant.Wrap(t, memo, invariant.Config{CrossCheck: true})
+		if err != nil {
+			return err
+		}
+	}
+	coreCfg := cpu.DefaultConfig
+	coreCfg.VariableFlushTiming = true
+	mach := cpu.New(t, pt, m, coreCfg)
+	if err := mach.Load(prog, []tlb.ASID{attackerASID, victimASID}); err != nil {
+		return err
+	}
+	tr, err := trace.Capture(mach, c.fuel())
+	if err != nil {
+		// Not trace-representable (or no clean halt within the budget):
+		// negative-cache the fallback. Full execution reproduces any capture
+		// -run fault identically on every trial.
+		return nil
+	}
+	camp := wrapCampaign(mach)
+	camp.tr = tr
+	camp.vm = trace.NewVM(mach.TLB, nil, prog, coreCfg)
+	camp.memoBase, camp.memoSpan, camp.memoASID = base, span, nasid
+	camp.skipPreFlush = tr.StartsWithFlushAll()
+	if !c.Invariants {
+		// The invariant checker observes every TLB-facing op; eliding the
+		// per-trial prologue would hide the security-register writes from it,
+		// so prefix-split replay is reserved for unwrapped designs.
+		camp.prefix = trace.SplitPrefix(tr, coreCfg)
+	}
+	ent.camp = camp
+	return nil
+}
+
 // --- campaigns ---------------------------------------------------------------
 
 // campaign bundles one reusable simulation per (vulnerability, behaviour):
 // the program is assembled once and re-run per trial with a flushed TLB.
+// When vm is non-nil the campaign replays a captured trace instead of
+// decoding and executing the program; the two paths are bit-identical.
 type campaign struct {
 	machine *cpu.Machine
 	rf      *tlb.RF // non-nil for the RF design, for per-trial reseeding
+
+	vm                 *trace.VM
+	tr                 *trace.Trace
+	prefix             *trace.Prefix // trial-invariant prologue, nil = replay whole trace
+	tmpl               *campTemplate // owning pool slot, nil for one-offs
+	memoBase           tlb.VPN       // dense memo-walker window, for clone re-wrapping
+	memoSpan, memoASID uint64
+
+	// skipPreFlush elides the harness's between-trial FlushAll because the
+	// program's first TLB-affecting operation is itself a full flush (see
+	// trace.Trace.StartsWithFlushAll); unobservable, but measurable at
+	// campaign scale.
+	skipPreFlush bool
+}
+
+// release returns a pooled replay campaign to its template's free list for
+// reuse (its warm memo-walker caches make the next acquisition free). The
+// per-trial reset protocol erases all cross-trial TLB state, so a reused
+// campaign behaves exactly like a fresh clone. No-op for full-execution and
+// one-off campaigns.
+func (cp *campaign) release() {
+	if cp == nil || cp.tmpl == nil {
+		return
+	}
+	cp.tmpl.mu.Lock()
+	if len(cp.tmpl.free) < campFreeCap {
+		cp.tmpl.free = append(cp.tmpl.free, cp)
+	}
+	cp.tmpl.mu.Unlock()
+}
+
+// traceable reports whether campaigns for this config may replay traces:
+// fault injection rewires translation underneath the trace's assumptions, so
+// it always runs the real pipeline.
+func (c Config) traceable() bool {
+	return !c.DisableTrace && c.FaultSite == ""
 }
 
 // newCampaign builds the template campaign machine for one behaviour. The
 // returned campaign is the template the sharded runner clones per worker.
 func (c Config) newCampaign(v model.Vulnerability, mapped bool) (*campaign, error) {
+	if c.traceable() {
+		return c.newReplayCampaign(v, mapped)
+	}
+	return c.newFullCampaign(v, mapped)
+}
+
+// newFullCampaign builds a campaign that decodes and executes the program on
+// a cpu.Machine every trial — the reference path replay must match.
+func (c Config) newFullCampaign(v model.Vulnerability, mapped bool) (*campaign, error) {
 	prog, err := c.program(v, mapped)
 	if err != nil {
 		return nil, err
@@ -153,7 +415,39 @@ func (c Config) newCampaign(v model.Vulnerability, mapped bool) (*campaign, erro
 	if err := mach.Load(prog, []tlb.ASID{attackerASID, victimASID}); err != nil {
 		return nil, err
 	}
-	return wrapCampaign(mach), nil
+	camp := wrapCampaign(mach)
+	// Fault injection may target flush sites, where eliding a flush would
+	// shift the injector's draw sequence; keep the full protocol there.
+	camp.skipPreFlush = c.FaultSite == "" && progStartsWithFlushAll(prog)
+	return camp, nil
+}
+
+// progStartsWithFlushAll is trace.Trace.StartsWithFlushAll for programs run
+// in full: straight-line from entry, the first TLB-affecting instruction
+// must be a tlb_flush_all CSR write, preceded only by register ALU work,
+// counter reads and TLB-external CSR writes. Branches, memory accesses and
+// anything else end the scan conservatively.
+func progStartsWithFlushAll(p *isa.Program) bool {
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		switch in.Op {
+		case isa.OpCsrw, isa.OpCsrwi:
+			switch in.CSR {
+			case isa.CSRTLBFlushAll:
+				return true
+			case isa.CSRProcessID, isa.CSRSBase, isa.CSRSSize, isa.CSRVictimASID:
+				// TLB-external state.
+			default:
+				return false
+			}
+		case isa.OpNop, isa.OpLi, isa.OpAddi, isa.OpAdd, isa.OpSub, isa.OpAnd,
+			isa.OpOr, isa.OpXor, isa.OpSlli, isa.OpSrli, isa.OpSltu, isa.OpCsrr:
+			// ALU work and CSR reads touch no TLB state.
+		default:
+			return false
+		}
+	}
+	return false
 }
 
 func wrapCampaign(mach *cpu.Machine) *campaign {
@@ -172,14 +466,39 @@ func (cp *campaign) clone() (*campaign, error) {
 	if err != nil {
 		return nil, err
 	}
-	return wrapCampaign(m), nil
+	if cp.vm != nil {
+		// Machine.Clone rebinds the TLB to the clone's raw page tables;
+		// replay campaigns interpose a fresh memoizing walker (each worker
+		// owns its own — the memo is not safe for concurrent use).
+		memo := trace.NewMemoWalker(m.PT, int(cp.memoASID), cp.memoBase, cp.memoSpan)
+		t, err := tlb.Clone(m.TLB, memo)
+		if err != nil {
+			return nil, err
+		}
+		m.TLB = t
+	}
+	n := wrapCampaign(m)
+	n.skipPreFlush = cp.skipPreFlush
+	if cp.vm != nil {
+		n.vm = cp.vm.Fork(m.TLB, nil)
+		n.tr = cp.tr
+		n.prefix = cp.prefix
+		n.tmpl = cp.tmpl
+		n.memoBase, n.memoSpan, n.memoASID = cp.memoBase, cp.memoSpan, cp.memoASID
+	}
+	return n, nil
 }
 
 // runTrial executes one trial under the given instruction budget and reports
 // whether the timed step observed a TLB miss (the "slow" outcome).
 func (cp *campaign) runTrial(seed, fuel uint64) (miss bool, err error) {
+	if cp.vm != nil {
+		return cp.replayTrial(seed, fuel)
+	}
 	cp.machine.Reset()
-	cp.machine.TLB.FlushAll()
+	if !cp.skipPreFlush {
+		cp.machine.TLB.FlushAll()
+	}
 	cp.machine.TLB.ResetStats()
 	if cp.rf != nil {
 		cp.rf.Reseed(seed)
@@ -194,17 +513,91 @@ func (cp *campaign) runTrial(seed, fuel uint64) (miss bool, err error) {
 	return cp.machine.Reg(30) != 0, nil
 }
 
+// replayTrial is runTrial over the captured trace: the same per-trial reset
+// protocol (flush, stats reset, reseed) against the same TLB, with the
+// replay VM standing in for instruction decode and execute.
+func (cp *campaign) replayTrial(seed, fuel uint64) (bool, error) {
+	if !cp.skipPreFlush {
+		cp.machine.TLB.FlushAll()
+	}
+	cp.machine.TLB.ResetStats()
+	if cp.rf != nil {
+		cp.rf.Reseed(seed)
+	}
+	code, err := cp.vm.Run(cp.tr, fuel)
+	if err != nil {
+		return false, err
+	}
+	if code != 0 {
+		return false, fmt.Errorf("%w (exit code %d)", ErrBenchFailed, code)
+	}
+	return cp.vm.Reg(30) != 0, nil
+}
+
 // runTrials executes trials [lo, hi) for one behaviour and returns how many
 // observed a miss. Each trial reseeds from its own index, so the count is
 // independent of how the trial range is split across workers.
 func (c Config) runTrials(cp *campaign, v model.Vulnerability, mapped bool, lo, hi int) (int, error) {
 	misses := 0
+	// Trial-invariant values hoisted out of the loop: the methods copy the
+	// whole Config per call, which showed up as runtime.duffcopy in campaign
+	// profiles.
+	fuel := c.fuel()
+	base := c.BaseSeed
+	if cp.vm != nil {
+		return c.replayTrials(cp, v, mapped, lo, hi, fuel, base)
+	}
 	for trial := lo; trial < hi; trial++ {
-		miss, err := cp.runTrial(c.trialSeed(trial, mapped), c.fuel())
+		miss, err := cp.runTrial(trialSeedFor(base, trial, mapped), fuel)
 		if err != nil {
 			return misses, fmt.Errorf("%s (mapped=%v, trial %d): %w", v, mapped, trial, err)
 		}
 		if miss {
+			misses++
+		}
+	}
+	return misses, nil
+}
+
+// replayTrials is runTrials over a replay campaign, with the per-trial reset
+// protocol of replayTrial unrolled into one loop. At campaign trial counts
+// the two calls and the repeated campaign-field loads of the generic path
+// are a measurable slice of a replayed trial, so the batch loop hoists every
+// loop-invariant — TLB, reseeder, VM, trace, budget — exactly once per
+// shard. Behaviour is identical to calling replayTrial per trial.
+func (c Config) replayTrials(cp *campaign, v model.Vulnerability, mapped bool, lo, hi int, fuel, base uint64) (int, error) {
+	misses := 0
+	vm, tr := cp.vm, cp.tr
+	tl := cp.machine.TLB
+	rf := cp.rf
+	skipFlush := cp.skipPreFlush
+	prefix := cp.prefix
+	// The shard's first trial replays the whole trace — RunBody's register
+	// snapshot is only valid once this VM has run the trace once.
+	ran := false
+	for trial := lo; trial < hi; trial++ {
+		if !skipFlush {
+			tl.FlushAll()
+		}
+		tl.ResetStats()
+		if rf != nil {
+			rf.Reseed(trialSeedFor(base, trial, mapped))
+		}
+		var code int64
+		var err error
+		if ran && prefix != nil {
+			code, err = vm.RunBody(tr, fuel, prefix)
+		} else {
+			code, err = vm.Run(tr, fuel)
+			ran = true
+		}
+		if err != nil {
+			return misses, fmt.Errorf("%s (mapped=%v, trial %d): %w", v, mapped, trial, err)
+		}
+		if code != 0 {
+			return misses, fmt.Errorf("%s (mapped=%v, trial %d): %w (exit code %d)", v, mapped, trial, ErrBenchFailed, code)
+		}
+		if vm.Reg(30) != 0 {
 			misses++
 		}
 	}
@@ -232,6 +625,7 @@ func (c Config) RunVulnerability(v model.Vulnerability) (Result, error) {
 		if err != nil {
 			return res, err
 		}
+		camp.release()
 		if mapped {
 			res.Counts.Mapped, res.Counts.MappedMisses = c.Trials, misses
 		} else {
@@ -290,6 +684,9 @@ func (c Config) runVulnerabilitySharded(p *pool.Pool, v model.Vulnerability) (Re
 				return res, errsBy[i]
 			}
 			misses += missesBy[i]
+		}
+		for _, cp := range camps {
+			cp.release()
 		}
 		if mapped {
 			res.Counts.Mapped, res.Counts.MappedMisses = c.Trials, misses

@@ -115,6 +115,12 @@ type Config struct {
 	// invariant checker, so detection is honest.
 	FaultSite faultinject.Site
 	FaultSeed uint64
+	// DisableTrace forces every trial through full decode-and-execute
+	// instead of trace-compiled replay. Replay is bit-identical to full
+	// execution (the runner falls back automatically for programs a trace
+	// cannot represent, and whenever fault injection is armed), so this knob
+	// exists for A/B verification and benchmarking, not correctness.
+	DisableTrace bool
 }
 
 // DefaultConfig mirrors the paper's §5.3 setup.

@@ -1,0 +1,168 @@
+package secbench
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"securetlb/internal/faultinject"
+	"securetlb/internal/model"
+)
+
+// replayTestConfig is DefaultConfig shrunk to guard-test scale: enough trials
+// for counter divergence to surface, few enough to keep the A/B sweeps fast.
+func replayTestConfig(d Design) Config {
+	c := DefaultConfig(d)
+	c.Trials = 60
+	return c
+}
+
+// replayTestVulns spans the pattern/observation space without running all 24
+// vulnerabilities per design and mode.
+func replayTestVulns(t *testing.T) []model.Vulnerability {
+	t.Helper()
+	all := model.Enumerate()
+	var out []model.Vulnerability
+	for _, i := range []int{0, 5, 11, 17, 23} {
+		if i < len(all) {
+			out = append(out, all[i])
+		}
+	}
+	return out
+}
+
+// TestReplayCampaignActive pins down that the trace path is actually taken:
+// a traceable config's campaigns carry a replay VM, and the two opt-out
+// conditions (DisableTrace, armed fault injection) route to full execution.
+func TestReplayCampaignActive(t *testing.T) {
+	v := model.Enumerate()[0]
+	for _, d := range []Design{DesignSA, DesignSP, DesignRF} {
+		c := replayTestConfig(d)
+		camp, err := c.newCampaign(v, true)
+		if err != nil {
+			t.Fatalf("%s: newCampaign: %v", d, err)
+		}
+		if camp.vm == nil || camp.tr == nil {
+			t.Errorf("%s: traceable campaign did not get a replay VM", d)
+		}
+		clone, err := camp.clone()
+		if err != nil {
+			t.Fatalf("%s: clone: %v", d, err)
+		}
+		if clone.vm == nil || clone.vm == camp.vm || clone.tr != camp.tr {
+			t.Errorf("%s: clone must fork the VM and share the trace", d)
+		}
+
+		c.DisableTrace = true
+		if camp, err = c.newCampaign(v, true); err != nil {
+			t.Fatalf("%s: newCampaign(DisableTrace): %v", d, err)
+		}
+		if camp.vm != nil {
+			t.Errorf("%s: DisableTrace campaign got a replay VM", d)
+		}
+
+		c.DisableTrace = false
+		c.FaultSite = faultinject.SiteDropFill
+		if camp, err = c.newCampaign(v, true); err != nil {
+			t.Fatalf("%s: newCampaign(FaultSite): %v", d, err)
+		}
+		if camp.vm != nil {
+			t.Errorf("%s: fault-injecting campaign got a replay VM", d)
+		}
+	}
+}
+
+// TestReplayMatchesFullExecution is the bit-identity guard: for every design,
+// with and without the invariant checker, replayed campaigns produce Results
+// — counts, probabilities, capacity and bootstrap CIs — identical to full
+// decode-and-execute, serially and under the trial-sharded parallel runner.
+func TestReplayMatchesFullExecution(t *testing.T) {
+	vulns := replayTestVulns(t)
+	for _, d := range []Design{DesignSA, DesignSP, DesignRF} {
+		for _, inv := range []bool{false, true} {
+			for _, v := range vulns {
+				full := replayTestConfig(d)
+				full.Invariants = inv
+				full.DisableTrace = true
+				want, err := full.RunVulnerability(v)
+				if err != nil {
+					t.Fatalf("%s inv=%v %s: full: %v", d, inv, v, err)
+				}
+
+				replay := full
+				replay.DisableTrace = false
+				got, err := replay.RunVulnerability(v)
+				if err != nil {
+					t.Fatalf("%s inv=%v %s: replay: %v", d, inv, v, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s inv=%v %s: replay diverged:\n full:   %+v\n replay: %+v",
+						d, inv, v, want, got)
+				}
+
+				par, err := replay.RunVulnerabilityParallel(v, 4)
+				if err != nil {
+					t.Fatalf("%s inv=%v %s: parallel replay: %v", d, inv, v, err)
+				}
+				if !reflect.DeepEqual(par, want) {
+					t.Errorf("%s inv=%v %s: parallel replay diverged:\n full:   %+v\n replay: %+v",
+						d, inv, v, want, par)
+				}
+			}
+		}
+	}
+}
+
+// TestReplayQuarantineIdentity drives the resilient runner with an injected
+// per-trial fuel squeeze: replay must meter fuel exactly like full execution,
+// quarantining the same trials with the same kinds and completing with the
+// same surviving statistics.
+func TestReplayQuarantineIdentity(t *testing.T) {
+	vulns := replayTestVulns(t)[:2]
+	run := func(disable bool) CampaignReport {
+		t.Helper()
+		c := replayTestConfig(DesignRF)
+		c.DisableTrace = disable
+		c.Inject = func(v model.Vulnerability, mapped bool, trial int) uint64 {
+			if trial%17 == 3 {
+				return 10 // starve the trial: fuel-exhausted quarantine
+			}
+			return 0
+		}
+		rep, err := c.RunCampaign(context.Background(), vulns, RunOptions{Parallelism: 4})
+		if err != nil {
+			t.Fatalf("RunCampaign(disable=%v): %v", disable, err)
+		}
+		return rep
+	}
+	want, got := run(true), run(false)
+	if len(want.Quarantined) == 0 {
+		t.Fatalf("fuel squeeze quarantined nothing; the guard is vacuous")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resilient replay diverged:\n full:   %+v\n replay: %+v", want, got)
+	}
+}
+
+// TestReplayFaultCampaignUnchanged runs a fault-injection campaign (which
+// must bypass tracing) under both settings of DisableTrace; the reports must
+// be identical because both take the full-execution path.
+func TestReplayFaultCampaignUnchanged(t *testing.T) {
+	vulns := replayTestVulns(t)[:1]
+	run := func(disable bool) CampaignReport {
+		t.Helper()
+		c := replayTestConfig(DesignSA)
+		c.DisableTrace = disable
+		c.FaultSite = faultinject.SiteDropFill
+		c.FaultSeed = 0xfa117
+		rep, err := c.RunCampaign(context.Background(), vulns, RunOptions{Parallelism: 2})
+		if err != nil {
+			t.Fatalf("RunCampaign(disable=%v): %v", disable, err)
+		}
+		return rep
+	}
+	want, got := run(true), run(false)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("faulted campaign diverged:\n full:   %+v\n replay: %+v", want, got)
+	}
+}

@@ -30,14 +30,15 @@ func Clone(t TLB, w Walker) (TLB, error) {
 
 // cloneSets deep-copies a set array, preserving the contiguous backing
 // layout of the constructors.
-func cloneSets(sets [][]entry, entries, ways int) [][]entry {
+func cloneSets(sets [][]entry, entries, ways int) ([][]entry, []entry) {
 	out := make([][]entry, len(sets))
 	backing := make([]entry, entries)
+	rest := backing
 	for i := range sets {
-		out[i], backing = backing[:ways], backing[ways:]
+		out[i], rest = rest[:ways], rest[ways:]
 		copy(out[i], sets[i])
 	}
-	return out
+	return out, backing
 }
 
 // CloneWith implements Cloner. Fault hooks are per-instance campaign state
@@ -45,7 +46,7 @@ func cloneSets(sets [][]entry, entries, ways int) [][]entry {
 func (t *SetAssoc) CloneWith(w Walker) TLB {
 	n := *t
 	n.walker = w
-	n.sets = cloneSets(t.sets, t.geom.entries, t.geom.ways)
+	n.sets, n.backing = cloneSets(t.sets, t.geom.entries, t.geom.ways)
 	n.hook = nil
 	return &n
 }
@@ -54,7 +55,7 @@ func (t *SetAssoc) CloneWith(w Walker) TLB {
 func (t *SP) CloneWith(w Walker) TLB {
 	n := *t
 	n.walker = w
-	n.sets = cloneSets(t.sets, t.geom.entries, t.geom.ways)
+	n.sets, n.backing = cloneSets(t.sets, t.geom.entries, t.geom.ways)
 	n.hook = nil
 	return &n
 }
@@ -65,7 +66,7 @@ func (t *SP) CloneWith(w Walker) TLB {
 func (t *RF) CloneWith(w Walker) TLB {
 	n := *t
 	n.walker = w
-	n.sets = cloneSets(t.sets, t.geom.entries, t.geom.ways)
+	n.sets, n.backing = cloneSets(t.sets, t.geom.entries, t.geom.ways)
 	rngCopy := *t.rng
 	n.rng = &rngCopy
 	n.hook = nil

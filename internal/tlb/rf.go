@@ -34,6 +34,7 @@ type RF struct {
 	timing Timing
 	walker Walker
 	sets   [][]entry
+	backing []entry // contiguous storage behind sets, cleared whole on FlushAll
 	clock  uint64
 	stats  Stats
 	rng    *rng
@@ -67,11 +68,7 @@ func NewRF(entries, ways int, walker Walker, seed uint64) (*RF, error) {
 		return nil, fmt.Errorf("tlb: walker must not be nil")
 	}
 	t := &RF{geom: g, timing: DefaultTiming, walker: walker, rng: newRNG(seed), LazyFillWindow: 8}
-	t.sets = make([][]entry, g.sets)
-	backing := make([]entry, g.entries)
-	for i := range t.sets {
-		t.sets[i], backing = backing[:g.ways], backing[g.ways:]
-	}
+	t.sets, t.backing = newSets(g)
 	return t, nil
 }
 
@@ -92,6 +89,9 @@ func (t *RF) Ways() int { return t.geom.ways }
 
 // Stats implements TLB.
 func (t *RF) Stats() Stats { return t.stats }
+
+// MissHitCounts implements CounterReader.
+func (t *RF) MissHitCounts() (uint64, uint64) { return t.stats.Misses, t.stats.Hits }
 
 // ResetStats implements TLB.
 func (t *RF) ResetStats() { t.stats = Stats{} }
@@ -123,8 +123,9 @@ func (t *RF) secure(asid ASID, vpn VPN) bool {
 }
 
 func (t *RF) find(s int, asid ASID, vpn VPN) int {
-	for w := range t.sets[s] {
-		e := &t.sets[s][w]
+	set := t.sets[s]
+	for w := range set {
+		e := &set[w]
 		if e.valid && e.vpn == vpn && e.asid == asid {
 			return w
 		}
@@ -158,9 +159,9 @@ func (t *RF) randomAliasVPN(vpn VPN) (VPN, error) {
 		return 0, err
 	}
 	draw = t.hook.draw(window, draw)
-	base := uint64(t.sbase) % uint64(t.geom.sets)
-	target := (base + draw) % uint64(t.geom.sets)
-	return vpn - VPN(uint64(vpn)%uint64(t.geom.sets)) + VPN(target), nil
+	base := t.geom.setMod(uint64(t.sbase))
+	target := t.geom.setMod(base + draw)
+	return vpn - VPN(t.geom.setMod(uint64(vpn))) + VPN(target), nil
 }
 
 // fill installs (asid, vpn → ppn, sec) into its set, evicting the LRU
@@ -169,12 +170,38 @@ func (t *RF) fill(asid ASID, vpn VPN, ppn PPN, sec bool, res *Result) {
 	s := t.geom.setIndex(vpn)
 	// If the translation is already present (D' may collide with a cached
 	// entry), just refresh its LRU position.
-	if w := t.find(s, asid, vpn); w >= 0 {
-		t.sets[s][w].stamp = t.clock
-		t.sets[s][w].sec = sec
+	hit, victim := findOrVictim(t.sets[s], asid, vpn)
+	if hit >= 0 {
+		t.sets[s][hit].stamp = t.clock
+		t.sets[s][hit].sec = sec
 		return
 	}
-	w := lruWay(t.sets[s])
+	if t.hook != nil && t.hook.OnFill != nil {
+		t.fillWayHooked(s, victim, asid, vpn, ppn, sec, res)
+	} else {
+		t.fillWay(s, victim, asid, vpn, ppn, sec, res)
+	}
+}
+
+// fillWay installs a translation known to be absent from set s into way w.
+// The normal-miss path passes the probe's victim way directly: the set has
+// not changed since the probe (a walk never touches the array), so the
+// fill's own lookup and LRU scan would only recompute the same answer.
+// Callers dispatch to fillWayHooked themselves when an OnFill fault hook is
+// armed — the hook branch lives at the call sites because a call in this
+// body would push it past the inlining budget, and this store is the
+// innermost write of every simulated campaign.
+func (t *RF) fillWay(s, w int, asid ASID, vpn VPN, ppn PPN, sec bool, res *Result) {
+	e := &t.sets[s][w]
+	if e.valid {
+		res.Evicted, res.EvictedVPN, res.EvictedASID = true, e.vpn, e.asid
+		t.stats.Evictions++
+	}
+	*e = entry{valid: true, asid: asid, vpn: vpn, ppn: ppn, sec: sec, stamp: t.clock}
+}
+
+// fillWayHooked is the fill path with an OnFill fault hook armed.
+func (t *RF) fillWayHooked(s, w int, asid ASID, vpn VPN, ppn PPN, sec bool, res *Result) {
 	action := t.hook.fillAction(s, w)
 	if action == FillDrop {
 		// Lost array write: the caller still counts and reports the fill.
@@ -206,39 +233,59 @@ func (t *RF) lazyStarved() bool {
 
 // Translate implements TLB, following the access-handling flow of Figure 3.
 func (t *RF) Translate(asid ASID, vpn VPN) (Result, error) {
+	var res Result
+	err := t.translate(asid, vpn, &res)
+	return res, err
+}
+
+// TranslateCycles implements FastTranslator.
+func (t *RF) TranslateCycles(asid ASID, vpn VPN) (uint64, error) {
+	var res Result
+	err := t.translate(asid, vpn, &res)
+	return res.Cycles, err
+}
+
+func (t *RF) translate(asid ASID, vpn VPN, res *Result) error {
 	t.hook.access()
 	t.stats.Lookups++
 	s := t.geom.setIndex(vpn)
 	t.clock++
-	if w := t.find(s, asid, vpn); w >= 0 {
-		e := &t.sets[s][w]
-		if t.hook.touchAllowed(s, w) {
+	hit, rWay := findOrVictim(t.sets[s], asid, vpn)
+	if hit >= 0 {
+		e := &t.sets[s][hit]
+		if t.hook.touchAllowed(s, hit) {
 			e.stamp = t.clock
 		}
 		t.stats.Hits++
-		return Result{PPN: e.ppn, Hit: true, Cycles: t.timing.HitCycles}, nil
+		res.PPN, res.Hit, res.Cycles = e.ppn, true, t.timing.HitCycles
+		return nil
 	}
 	t.stats.Misses++
-	// "No fill" probe (Figure 4 steps 1–3): identify the entry R the
-	// requested translation would evict and read its Sec bit.
+	// "No fill" probe (Figure 4 steps 1–3): the fused scan already
+	// identified the entry R the requested translation would evict; read
+	// its Sec bit.
 	secD := t.secure(asid, vpn)
-	rWay := lruWay(t.sets[s])
 	secR := t.sets[s][rWay].valid && t.sets[s][rWay].sec
 
 	// Walk the requested translation D; its result always goes back to the
 	// processor (directly or through the no-fill buffer).
 	ppn, walkCycles, err := t.walker.Walk(asid, vpn)
-	res := Result{PPN: ppn, Cycles: t.timing.HitCycles + walkCycles}
+	res.PPN, res.Cycles = ppn, t.timing.HitCycles+walkCycles
 	if err != nil {
-		return res, err
+		return err
 	}
 
 	if !secD && !secR {
-		// Normal TLB miss.
+		// Normal TLB miss. D was absent at the probe and nothing has been
+		// installed since, so the probe's victim way is still current.
 		res.Filled = true
-		t.fill(asid, vpn, ppn, false, &res)
+		if t.hook != nil && t.hook.OnFill != nil {
+			t.fillWayHooked(s, rWay, asid, vpn, ppn, false, res)
+		} else {
+			t.fillWay(s, rWay, asid, vpn, ppn, false, res)
+		}
 		t.stats.Fills++
-		return res, nil
+		return nil
 	}
 
 	// A random fill is required (Figure 4 step 4). Under the ablation-only
@@ -247,7 +294,7 @@ func (t *RF) Translate(asid ASID, vpn VPN) (Result, error) {
 	if t.lazyStarved() {
 		t.stats.NoFills++
 		t.stats.RandomFillSkips++
-		return res, nil
+		return nil
 	}
 
 	var dPrime VPN
@@ -265,7 +312,7 @@ func (t *RF) Translate(asid ASID, vpn VPN) (Result, error) {
 		// caller's trial is flagged rather than silently mis-sampled.
 		t.stats.NoFills++
 		t.stats.RandomFillSkips++
-		return res, derr
+		return derr
 	}
 	pp, wc, werr := t.walker.Walk(asid, dPrime)
 	res.Cycles += wc
@@ -276,10 +323,10 @@ func (t *RF) Translate(asid ASID, vpn VPN) (Result, error) {
 		// completes through the buffer.
 		t.stats.NoFills++
 		t.stats.RandomFillSkips++
-		return res, nil
+		return nil
 	}
 	res.RandomFilled, res.RandomVPN = true, dPrime
-	t.fill(asid, dPrime, pp, dPrimeSec, &res)
+	t.fill(asid, dPrime, pp, dPrimeSec, res)
 	t.stats.RandomFills++
 	if dPrime == vpn {
 		// D and D' may coincide "because of the randomization" (§4.2.1);
@@ -289,7 +336,7 @@ func (t *RF) Translate(asid ASID, vpn VPN) (Result, error) {
 	} else {
 		t.stats.NoFills++
 	}
-	return res, nil
+	return nil
 }
 
 // Probe implements TLB.
@@ -343,18 +390,16 @@ func (t *RF) PredictRandomFill(g *RNG, asid ASID, vpn VPN) (VPN, bool, error) {
 	if err != nil {
 		return 0, false, err
 	}
-	base := uint64(t.sbase) % uint64(t.geom.sets)
-	target := (base + draw) % uint64(t.geom.sets)
-	return vpn - VPN(uint64(vpn)%uint64(t.geom.sets)) + VPN(target), true, nil
+	base := t.geom.setMod(uint64(t.sbase))
+	target := t.geom.setMod(base + draw)
+	return vpn - VPN(t.geom.setMod(uint64(vpn))) + VPN(target), true, nil
 }
 
 // FlushAll implements TLB.
 func (t *RF) FlushAll() {
-	for s := range t.sets {
-		for w := range t.sets[s] {
-			t.sets[s][w] = entry{}
-		}
-	}
+	// The sets share one contiguous backing array (see the constructor),
+	// so the whole TLB clears with a single memclr.
+	clear(t.backing)
 	t.stats.Flushes++
 }
 

@@ -15,6 +15,7 @@ type SetAssoc struct {
 	timing Timing
 	walker Walker
 	sets   [][]entry
+	backing []entry // contiguous storage behind sets, cleared whole on FlushAll
 	clock  uint64
 	stats  Stats
 	hook   *FaultHook
@@ -33,11 +34,7 @@ func NewSetAssoc(entries, ways int, walker Walker) (*SetAssoc, error) {
 		return nil, fmt.Errorf("tlb: walker must not be nil")
 	}
 	t := &SetAssoc{geom: g, timing: DefaultTiming, walker: walker}
-	t.sets = make([][]entry, g.sets)
-	backing := make([]entry, g.entries)
-	for i := range t.sets {
-		t.sets[i], backing = backing[:g.ways], backing[g.ways:]
-	}
+	t.sets, t.backing = newSets(g)
 	return t, nil
 }
 
@@ -67,18 +64,86 @@ func (t *SetAssoc) Ways() int { return t.geom.ways }
 // Stats implements TLB.
 func (t *SetAssoc) Stats() Stats { return t.stats }
 
+// MissHitCounts implements CounterReader.
+func (t *SetAssoc) MissHitCounts() (uint64, uint64) { return t.stats.Misses, t.stats.Hits }
+
 // ResetStats implements TLB.
 func (t *SetAssoc) ResetStats() { t.stats = Stats{} }
 
 // find returns the way index holding (asid, vpn) in set s, or -1.
 func (t *SetAssoc) find(s int, asid ASID, vpn VPN) int {
-	for w := range t.sets[s] {
-		e := &t.sets[s][w]
+	set := t.sets[s]
+	for w := range set {
+		e := &set[w]
 		if e.valid && e.vpn == vpn && e.asid == asid {
 			return w
 		}
 	}
 	return -1
+}
+
+// newSets allocates a set array over one contiguous backing slice; FlushAll
+// clears the backing in a single memclr.
+func newSets(g geometry) ([][]entry, []entry) {
+	sets := make([][]entry, g.sets)
+	backing := make([]entry, g.entries)
+	rest := backing
+	for i := range sets {
+		sets[i], rest = rest[:g.ways], rest[g.ways:]
+	}
+	return sets, backing
+}
+
+// findOrVictim scans set once, returning the way holding (asid, vpn) — with
+// victim == -1 — or hit == -1 together with the fill victim lruWay would
+// choose: the first invalid way, else the least recently used. A miss
+// previously scanned the set twice (lookup, then victim selection); lookups
+// are the simulator's innermost loop, so the fused scan matters.
+func findOrVictim(set []entry, asid ASID, vpn VPN) (hit, victim int) {
+	inv := -1
+	oldest := ^uint64(0)
+	for w := range set {
+		e := &set[w]
+		if e.valid {
+			if e.vpn == vpn && e.asid == asid {
+				return w, -1
+			}
+			if e.stamp < oldest {
+				victim, oldest = w, e.stamp
+			}
+		} else if inv < 0 {
+			inv = w
+		}
+	}
+	if inv >= 0 {
+		return -1, inv
+	}
+	return -1, victim
+}
+
+// findOrVictimIn is findOrVictim with the victim confined to ways [lo, hi):
+// the SP TLB hits on every way but fills within the requester's partition.
+func findOrVictimIn(set []entry, asid ASID, vpn VPN, lo, hi int) (hit, victim int) {
+	inv := -1
+	oldest := ^uint64(0)
+	victim = lo
+	for w := range set {
+		e := &set[w]
+		if e.valid {
+			if e.vpn == vpn && e.asid == asid {
+				return w, -1
+			}
+			if lo <= w && w < hi && e.stamp < oldest {
+				victim, oldest = w, e.stamp
+			}
+		} else if inv < 0 && lo <= w && w < hi {
+			inv = w
+		}
+	}
+	if inv >= 0 {
+		return -1, inv
+	}
+	return -1, victim
 }
 
 // lruWay returns the fill target in set s: an invalid way if one exists,
@@ -98,30 +163,48 @@ func lruWay(set []entry) int {
 
 // Translate implements TLB.
 func (t *SetAssoc) Translate(asid ASID, vpn VPN) (Result, error) {
+	var res Result
+	err := t.translate(asid, vpn, &res)
+	return res, err
+}
+
+// TranslateCycles implements FastTranslator.
+func (t *SetAssoc) TranslateCycles(asid ASID, vpn VPN) (uint64, error) {
+	var res Result
+	err := t.translate(asid, vpn, &res)
+	return res.Cycles, err
+}
+
+func (t *SetAssoc) translate(asid ASID, vpn VPN, res *Result) error {
 	t.hook.access()
 	t.stats.Lookups++
 	s := t.geom.setIndex(vpn)
 	t.clock++
-	if w := t.find(s, asid, vpn); w >= 0 {
-		e := &t.sets[s][w]
-		if t.hook.touchAllowed(s, w) {
+	hit, victim := findOrVictim(t.sets[s], asid, vpn)
+	if hit >= 0 {
+		e := &t.sets[s][hit]
+		if t.hook.touchAllowed(s, hit) {
 			e.stamp = t.clock
 		}
 		t.stats.Hits++
-		return Result{PPN: e.ppn, Hit: true, Cycles: t.timing.HitCycles}, nil
+		res.PPN, res.Hit, res.Cycles = e.ppn, true, t.timing.HitCycles
+		return nil
 	}
 	t.stats.Misses++
 	ppn, walkCycles, err := t.walker.Walk(asid, vpn)
+	res.Cycles = t.timing.HitCycles + walkCycles
 	if err != nil {
-		return Result{Cycles: t.timing.HitCycles + walkCycles}, err
+		return err
 	}
-	res := Result{PPN: ppn, Cycles: t.timing.HitCycles + walkCycles, Filled: true}
-	w := lruWay(t.sets[s])
+	// The walker never touches the array, so the probe's victim way is
+	// still current after the walk.
+	res.PPN, res.Filled = ppn, true
+	w := victim
 	action := t.hook.fillAction(s, w)
 	if action == FillDrop {
 		// Lost array write: the control logic still counts the fill.
 		t.stats.Fills++
-		return res, nil
+		return nil
 	}
 	e := &t.sets[s][w]
 	if e.valid {
@@ -135,7 +218,7 @@ func (t *SetAssoc) Translate(asid ASID, vpn VPN) (Result, error) {
 			t.sets[s][w2] = *e
 		}
 	}
-	return res, nil
+	return nil
 }
 
 // Probe implements TLB.
@@ -145,11 +228,9 @@ func (t *SetAssoc) Probe(asid ASID, vpn VPN) bool {
 
 // FlushAll implements TLB.
 func (t *SetAssoc) FlushAll() {
-	for s := range t.sets {
-		for w := range t.sets[s] {
-			t.sets[s][w] = entry{}
-		}
-	}
+	// The sets share one contiguous backing array (see the constructor),
+	// so the whole TLB clears with a single memclr.
+	clear(t.backing)
 	t.stats.Flushes++
 }
 

@@ -21,6 +21,7 @@ type SP struct {
 	timing     Timing
 	walker     Walker
 	sets       [][]entry
+	backing    []entry // contiguous storage behind sets, cleared whole on FlushAll
 	clock      uint64
 	stats      Stats
 	victim     ASID
@@ -49,11 +50,7 @@ func NewSP(entries, ways, victimWays int, walker Walker) (*SP, error) {
 		return nil, fmt.Errorf("tlb: SP victimWays must be in (0,%d), got %d", ways, victimWays)
 	}
 	t := &SP{geom: g, victimWays: victimWays, timing: DefaultTiming, walker: walker}
-	t.sets = make([][]entry, g.sets)
-	backing := make([]entry, g.entries)
-	for i := range t.sets {
-		t.sets[i], backing = backing[:g.ways], backing[g.ways:]
-	}
+	t.sets, t.backing = newSets(g)
 	return t, nil
 }
 
@@ -105,6 +102,9 @@ func (t *SP) SetVictimWays(n int) error {
 // Stats implements TLB.
 func (t *SP) Stats() Stats { return t.stats }
 
+// MissHitCounts implements CounterReader.
+func (t *SP) MissHitCounts() (uint64, uint64) { return t.stats.Misses, t.stats.Hits }
+
 // ResetStats implements TLB.
 func (t *SP) ResetStats() { t.stats = Stats{} }
 
@@ -141,8 +141,9 @@ func (t *SP) partition(asid ASID) (lo, hi int) {
 }
 
 func (t *SP) find(s int, asid ASID, vpn VPN) int {
-	for w := range t.sets[s] {
-		e := &t.sets[s][w]
+	set := t.sets[s]
+	for w := range set {
+		e := &set[w]
 		if e.valid && e.vpn == vpn && e.asid == asid {
 			return w
 		}
@@ -153,31 +154,49 @@ func (t *SP) find(s int, asid ASID, vpn VPN) int {
 // Translate implements TLB. Hits search all ways (identical to SA); fills
 // choose the LRU way within the requester's partition only (Figure 1).
 func (t *SP) Translate(asid ASID, vpn VPN) (Result, error) {
+	var res Result
+	err := t.translate(asid, vpn, &res)
+	return res, err
+}
+
+// TranslateCycles implements FastTranslator.
+func (t *SP) TranslateCycles(asid ASID, vpn VPN) (uint64, error) {
+	var res Result
+	err := t.translate(asid, vpn, &res)
+	return res.Cycles, err
+}
+
+func (t *SP) translate(asid ASID, vpn VPN, res *Result) error {
 	t.hook.access()
 	t.stats.Lookups++
 	s := t.geom.setIndex(vpn)
 	t.clock++
-	if w := t.find(s, asid, vpn); w >= 0 {
-		e := &t.sets[s][w]
-		if t.hook.touchAllowed(s, w) {
+	lo, hi := t.partition(asid)
+	hit, victim := findOrVictimIn(t.sets[s], asid, vpn, lo, hi)
+	if hit >= 0 {
+		e := &t.sets[s][hit]
+		if t.hook.touchAllowed(s, hit) {
 			e.stamp = t.clock
 		}
 		t.stats.Hits++
-		return Result{PPN: e.ppn, Hit: true, Cycles: t.timing.HitCycles}, nil
+		res.PPN, res.Hit, res.Cycles = e.ppn, true, t.timing.HitCycles
+		return nil
 	}
 	t.stats.Misses++
 	ppn, walkCycles, err := t.walker.Walk(asid, vpn)
+	res.Cycles = t.timing.HitCycles + walkCycles
 	if err != nil {
-		return Result{Cycles: t.timing.HitCycles + walkCycles}, err
+		return err
 	}
-	res := Result{PPN: ppn, Cycles: t.timing.HitCycles + walkCycles, Filled: true}
-	lo, hi := t.partition(asid)
-	w := lo + lruWay(t.sets[s][lo:hi])
+	// The walker never touches the array, so the probe's victim way is
+	// still current after the walk.
+	res.PPN, res.Filled = ppn, true
+	w := victim
 	action := t.hook.fillAction(s, w)
 	if action == FillDrop {
 		// Lost array write: the control logic still counts the fill.
 		t.stats.Fills++
-		return res, nil
+		return nil
 	}
 	e := &t.sets[s][w]
 	if e.valid {
@@ -193,7 +212,7 @@ func (t *SP) Translate(asid ASID, vpn VPN) (Result, error) {
 			t.sets[s][w2] = *e
 		}
 	}
-	return res, nil
+	return nil
 }
 
 // Probe implements TLB.
@@ -203,11 +222,9 @@ func (t *SP) Probe(asid ASID, vpn VPN) bool {
 
 // FlushAll implements TLB.
 func (t *SP) FlushAll() {
-	for s := range t.sets {
-		for w := range t.sets[s] {
-			t.sets[s][w] = entry{}
-		}
-	}
+	// The sets share one contiguous backing array (see the constructor),
+	// so the whole TLB clears with a single memclr.
+	clear(t.backing)
 	t.stats.Flushes++
 }
 

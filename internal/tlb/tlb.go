@@ -161,6 +161,23 @@ type SecureTLB interface {
 	SecureRegion() (sbase VPN, ssize uint64)
 }
 
+// FastTranslator is an optional fast path a TLB design may provide: a
+// Translate that reports only the lookup latency, with the result returned
+// in registers instead of a Result struct copied across the interface
+// boundary. Semantics are identical to Translate — same state changes, same
+// counters, same errors — only the reporting is narrower. Hot replay loops
+// that ignore everything but timing (the trace VM) use it when available.
+type FastTranslator interface {
+	TranslateCycles(asid ASID, vpn VPN) (uint64, error)
+}
+
+// CounterReader is an optional fast path for the two counters the paper's
+// benchmark programs read in their timing loops (the tlb_miss_count and
+// tlb_hit_count CSRs), returned in registers instead of a full Stats copy.
+type CounterReader interface {
+	MissHitCounts() (misses, hits uint64)
+}
+
 // Timing groups the latency parameters of a TLB lookup. The walker supplies
 // the (dominant) miss penalty; HitCycles is the array access time.
 type Timing struct {
@@ -172,14 +189,17 @@ type Timing struct {
 // DefaultTiming mirrors the single-cycle L1 D-TLB of the Rocket Core.
 var DefaultTiming = Timing{HitCycles: 1}
 
-// entry is one TLB block (slot) as described in paper Table 1.
+// entry is one TLB block (slot) as described in paper Table 1. Field order
+// packs the struct into 32 bytes so an 8-way set scan touches four cache
+// lines instead of five — lookups scan sets on every access, so the layout
+// is hot.
 type entry struct {
-	valid bool
-	asid  ASID
 	vpn   VPN
 	ppn   PPN
-	sec   bool   // RF TLB Sec bit (paper §4.2.2)
 	stamp uint64 // LRU timestamp; larger is more recent
+	asid  ASID
+	valid bool
+	sec   bool // RF TLB Sec bit (paper §4.2.2)
 }
 
 // geometry validates and normalises (entries, ways) and precomputes the
@@ -188,6 +208,8 @@ type geometry struct {
 	entries int
 	ways    int
 	sets    int
+	mask    uint64 // sets-1 when sets is a power of two; only then is pow2 set
+	pow2    bool
 }
 
 func newGeometry(entries, ways int) (geometry, error) {
@@ -200,14 +222,34 @@ func newGeometry(entries, ways int) (geometry, error) {
 	if entries%ways != 0 {
 		return geometry{}, fmt.Errorf("tlb: entries (%d) must be a multiple of ways (%d)", entries, ways)
 	}
-	return geometry{entries: entries, ways: ways, sets: entries / ways}, nil
+	g := geometry{entries: entries, ways: ways, sets: entries / ways}
+	if g.sets&(g.sets-1) == 0 {
+		g.mask, g.pow2 = uint64(g.sets-1), true
+	}
+	return g, nil
 }
 
 // setIndex maps a virtual page number to its set. The paper's TLBs index by
 // the low bits of the page number (page index), so pages that share those
-// bits "alias" to the same set (Table 1's a_alias).
+// bits "alias" to the same set (Table 1's a_alias). Every lookup and fill
+// indexes, making this the simulator's hottest division; all the paper's
+// geometries have power-of-two set counts, so it is a mask in practice —
+// the modulo remains only for odd hand-built configurations.
 func (g geometry) setIndex(vpn VPN) int {
+	if g.pow2 {
+		return int(uint64(vpn) & g.mask)
+	}
 	return int(uint64(vpn) % uint64(g.sets))
+}
+
+// setMod reduces an arbitrary value modulo the set count, with the same
+// power-of-two fast path as setIndex (the RF engine's alias arithmetic
+// reduces draws and bases the same way a lookup reduces a page number).
+func (g geometry) setMod(x uint64) uint64 {
+	if g.pow2 {
+		return x & g.mask
+	}
+	return x % uint64(g.sets)
 }
 
 // geomName renders the paper's configuration labels: "FA 32", "2W 32",

@@ -1,0 +1,304 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"securetlb/internal/isa"
+)
+
+// Binary trace format, version 1:
+//
+//	"STRC" | version byte |
+//	zigzag(exit) | uvarint(instret) | uvarint(taintedRegs) | uvarint(dirtyRegs) |
+//	32 × uvarint(finalReg) |
+//	uvarint(len(ops)) | ops... |
+//	8-byte little-endian FNV-64a of everything preceding
+//
+// Each op is: kind byte | flags byte (bit0 SkipBase, bit1 Fold) |
+// uvarint(adv) | kind-specific operands. All varints must be minimally
+// (canonically) encoded and the final op must be the trace's only KindHalt,
+// so every accepted encoding is the unique encoding of its trace:
+// Encode(Decode(b)) == b.
+const (
+	codecMagic   = "STRC"
+	codecVersion = 1
+)
+
+const (
+	flagSkipBase = 1 << iota
+	flagFold
+)
+
+// execOpOK whitelists the opcodes an Exec op may embed (the taint-carrying
+// subset the VM can evaluate).
+func execOpOK(op isa.Op) bool {
+	switch op {
+	case isa.OpAddi, isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpSlli, isa.OpSrli, isa.OpSltu, isa.OpCsrr, isa.OpCsrw, isa.OpCsrwi:
+		return true
+	}
+	return false
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Encode serialises a trace.
+func Encode(tr *Trace) []byte {
+	b := make([]byte, 0, 64+16*len(tr.Ops))
+	b = append(b, codecMagic...)
+	b = append(b, codecVersion)
+	b = binary.AppendUvarint(b, zigzag(tr.Exit))
+	b = binary.AppendUvarint(b, tr.Instret)
+	b = binary.AppendUvarint(b, uint64(tr.TaintedRegs))
+	b = binary.AppendUvarint(b, uint64(tr.DirtyRegs))
+	for _, r := range tr.FinalRegs {
+		b = binary.AppendUvarint(b, r)
+	}
+	b = binary.AppendUvarint(b, uint64(len(tr.Ops)))
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		var flags byte
+		if op.SkipBase {
+			flags |= flagSkipBase
+		}
+		if op.Fold {
+			flags |= flagFold
+		}
+		b = append(b, byte(op.Kind), flags)
+		b = binary.AppendUvarint(b, uint64(op.Adv))
+		switch op.Kind {
+		case KindHalt:
+			b = binary.AppendUvarint(b, uint64(op.PC))
+			b = binary.AppendUvarint(b, zigzag(int64(op.Arg)))
+		case KindDLookup, KindIFetch:
+			b = binary.AppendUvarint(b, uint64(op.PC))
+			b = binary.AppendUvarint(b, op.Arg)
+		case KindFlushAll:
+		case KindSetReg:
+			b = append(b, op.Reg)
+			b = binary.AppendUvarint(b, op.Arg)
+		case KindExec:
+			b = binary.AppendUvarint(b, uint64(op.PC))
+			b = append(b, byte(op.In.Op), op.In.Rd, op.In.Rs1, op.In.Rs2)
+			b = binary.AppendUvarint(b, uint64(op.In.CSR))
+			b = binary.AppendUvarint(b, zigzag(op.In.Imm))
+		default: // single-operand ops
+			b = binary.AppendUvarint(b, op.Arg)
+		}
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return binary.LittleEndian.AppendUint64(b, h.Sum64())
+}
+
+// decoder is a strict cursor over an encoded trace.
+type decoder struct {
+	b   []byte
+	pos int
+}
+
+func (d *decoder) fail(format string, args ...any) error {
+	return fmt.Errorf("%w: offset %d: %s", ErrDecode, d.pos, fmt.Sprintf(format, args...))
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.pos >= len(d.b) {
+		return 0, d.fail("truncated")
+	}
+	v := d.b[d.pos]
+	d.pos++
+	return v, nil
+}
+
+// uvarint reads a canonical (minimal-length) unsigned varint.
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		return 0, d.fail("bad uvarint")
+	}
+	if n > 1 && v < 1<<(7*(n-1)) {
+		return 0, d.fail("non-canonical uvarint")
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) u32(what string) (uint32, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > 1<<32-1 {
+		return 0, d.fail("%s %d overflows uint32", what, v)
+	}
+	return uint32(v), nil
+}
+
+// Decode parses an encoded trace, validating structure strictly: canonical
+// varints, known kinds and flags, a whitelisted Exec opcode set, in-range
+// registers, exactly one halt (last), and an FNV-64a checksum. Every failure
+// wraps ErrDecode.
+func Decode(b []byte) (*Trace, error) {
+	d := &decoder{b: b}
+	if len(b) < len(codecMagic)+1+8 {
+		return nil, d.fail("short input (%d bytes)", len(b))
+	}
+	body, sum := b[:len(b)-8], binary.LittleEndian.Uint64(b[len(b)-8:])
+	h := fnv.New64a()
+	h.Write(body)
+	if h.Sum64() != sum {
+		return nil, d.fail("checksum mismatch")
+	}
+	d.b = body
+	if string(body[:len(codecMagic)]) != codecMagic {
+		return nil, d.fail("bad magic")
+	}
+	d.pos = len(codecMagic)
+	ver, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != codecVersion {
+		return nil, d.fail("unsupported version %d", ver)
+	}
+	tr := &Trace{}
+	exitRaw, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	tr.Exit = unzigzag(exitRaw)
+	if tr.Instret, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if tr.TaintedRegs, err = d.u32("tainted-regs mask"); err != nil {
+		return nil, err
+	}
+	if tr.DirtyRegs, err = d.u32("dirty-regs mask"); err != nil {
+		return nil, err
+	}
+	for i := range tr.FinalRegs {
+		if tr.FinalRegs[i], err = d.uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	nops, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nops == 0 {
+		return nil, d.fail("empty op stream")
+	}
+	if nops > maxOps {
+		return nil, d.fail("op count %d exceeds limit %d", nops, maxOps)
+	}
+	tr.Ops = make([]Op, nops)
+	for i := range tr.Ops {
+		if err := d.op(&tr.Ops[i], i == len(tr.Ops)-1); err != nil {
+			return nil, err
+		}
+	}
+	if d.pos != len(d.b) {
+		return nil, d.fail("%d trailing bytes", len(d.b)-d.pos)
+	}
+	return tr, nil
+}
+
+func (d *decoder) op(op *Op, last bool) error {
+	k, err := d.byte()
+	if err != nil {
+		return err
+	}
+	if Kind(k) >= kindCount {
+		return d.fail("unknown op kind %d", k)
+	}
+	op.Kind = Kind(k)
+	if (op.Kind == KindHalt) != last {
+		return d.fail("halt must be exactly the final op")
+	}
+	flags, err := d.byte()
+	if err != nil {
+		return err
+	}
+	if flags&^(flagSkipBase|flagFold) != 0 {
+		return d.fail("unknown flag bits %#x", flags)
+	}
+	op.SkipBase = flags&flagSkipBase != 0
+	op.Fold = flags&flagFold != 0
+	if op.Fold && op.Kind != KindIFetch {
+		return d.fail("fold flag on non-ifetch op")
+	}
+	if op.SkipBase && op.Kind == KindSetReg {
+		return d.fail("skip-base flag on set-reg op")
+	}
+	if op.Adv, err = d.u32("adv"); err != nil {
+		return err
+	}
+	switch op.Kind {
+	case KindHalt:
+		if op.PC, err = d.u32("pc"); err != nil {
+			return err
+		}
+		raw, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		op.Arg = uint64(unzigzag(raw))
+	case KindDLookup, KindIFetch:
+		if op.PC, err = d.u32("pc"); err != nil {
+			return err
+		}
+		if op.Arg, err = d.uvarint(); err != nil {
+			return err
+		}
+	case KindFlushAll:
+	case KindSetReg:
+		if op.Reg, err = d.byte(); err != nil {
+			return err
+		}
+		if op.Reg == 0 || op.Reg >= isa.NumRegs {
+			return d.fail("set-reg register %d out of range", op.Reg)
+		}
+		if op.Arg, err = d.uvarint(); err != nil {
+			return err
+		}
+	case KindExec:
+		if op.PC, err = d.u32("pc"); err != nil {
+			return err
+		}
+		var fields [4]byte
+		for j := range fields {
+			if fields[j], err = d.byte(); err != nil {
+				return err
+			}
+		}
+		op.In.Op = isa.Op(fields[0])
+		op.In.Rd, op.In.Rs1, op.In.Rs2 = fields[1], fields[2], fields[3]
+		if !execOpOK(op.In.Op) {
+			return d.fail("opcode %d cannot be embedded", fields[0])
+		}
+		if op.In.Rd >= isa.NumRegs || op.In.Rs1 >= isa.NumRegs || op.In.Rs2 >= isa.NumRegs {
+			return d.fail("exec register out of range")
+		}
+		csr, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if csr > 1<<16-1 {
+			return d.fail("csr %d overflows uint16", csr)
+		}
+		op.In.CSR = uint16(csr)
+		raw, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		op.In.Imm = unzigzag(raw)
+	default: // single-operand ops
+		if op.Arg, err = d.uvarint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

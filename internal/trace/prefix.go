@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"securetlb/internal/cpu"
+	"securetlb/internal/isa"
+	"securetlb/internal/tlb"
+)
+
+// Prefix is the precomputed effect of a trace's trial-invariant prologue.
+//
+// Campaign programs all open the same way: register setup, ASID and
+// security-register programming, and a full TLB flush — none of which
+// depends on TLB content, randomness, or anything else that varies between
+// trials. Replaying that prologue per trial recomputes the same values a
+// few hundred thousand times per campaign. SplitPrefix folds it into a
+// constant: VM.RunBody installs the snapshot and dispatches only the body.
+type Prefix struct {
+	// OpStart is the index of the first body op.
+	OpStart int
+	// Cycles and Instret are the cycle and retirement totals the prefix
+	// accumulates (Adv runs, base cycles, flush latencies).
+	Cycles, Instret uint64
+	// Flushes counts the prefix's tlb_flush_all ops; RunBody performs them
+	// physically each trial (they are what makes the body's TLB state
+	// trial-invariant) while their timing is already folded into Cycles.
+	Flushes int
+	// ASID, SBase, SSize and Victim are the VM shadows at the boundary.
+	ASID                 tlb.ASID
+	SBase, SSize, Victim uint64
+	// Regs is the register file at the boundary; BodyDirty marks the
+	// registers body ops overwrite, the only ones RunBody must restore.
+	Regs      [isa.NumRegs]uint64
+	BodyDirty uint32
+}
+
+// SplitPrefix computes tr's trial-invariant prefix, or nil when the trace
+// has no usable one. The prefix is the leading run of ops whose effects are
+// pure register/shadow state (SetReg, SetASID, the security registers) plus
+// full flushes; it must contain at least one flush — that flush is what
+// erases the previous trial's TLB state, making everything after it start
+// from the same point every trial. The body must then keep the invariant
+// invariant: no I-TLB ops (the prefix flush only clears the D-TLB) and no
+// writes to the security registers (RunBody does not re-apply them to the
+// TLB, it relies on their values persisting across trials).
+func SplitPrefix(tr *Trace, cfg cpu.Config) *Prefix {
+	p := &Prefix{}
+	i := 0
+scan:
+	for ; i < len(tr.Ops); i++ {
+		op := &tr.Ops[i]
+		switch op.Kind {
+		case KindSetReg:
+			// Synthetic: no retirement, no cycles.
+			p.Regs[op.Reg] = op.Arg
+			continue
+		case KindSetASID, KindSecVictim, KindSecBase, KindSecSize, KindFlushAll:
+		default:
+			break scan
+		}
+		p.Cycles += uint64(op.Adv)
+		p.Instret += uint64(op.Adv)
+		if !op.SkipBase {
+			p.Cycles++
+		}
+		switch op.Kind {
+		case KindSetASID:
+			p.ASID = tlb.ASID(op.Arg)
+		case KindSecVictim:
+			p.Victim = op.Arg
+		case KindSecBase:
+			p.SBase = op.Arg
+		case KindSecSize:
+			p.SSize = op.Arg
+		case KindFlushAll:
+			p.Flushes++
+			p.Cycles += cfg.FlushCycles
+		}
+		p.Instret++
+	}
+	p.OpStart = i
+	if p.Flushes == 0 || p.OpStart == 0 || p.OpStart >= len(tr.Ops) {
+		return nil
+	}
+	for ; i < len(tr.Ops); i++ {
+		op := &tr.Ops[i]
+		switch op.Kind {
+		case KindIFetch, KindSecVictim, KindSecBase, KindSecSize:
+			return nil
+		case KindSetReg:
+			p.BodyDirty |= uint32(1) << op.Reg
+		case KindExec:
+			in := &op.In
+			switch in.Op {
+			case isa.OpCsrw, isa.OpCsrwi:
+				switch in.CSR {
+				case isa.CSRSBase, isa.CSRSSize, isa.CSRVictimASID:
+					return nil
+				}
+			default:
+				if in.Rd != 0 {
+					p.BodyDirty |= uint32(1) << in.Rd
+				}
+			}
+		}
+	}
+	return p
+}

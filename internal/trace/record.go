@@ -1,0 +1,324 @@
+package trace
+
+import (
+	"fmt"
+
+	"securetlb/internal/cpu"
+	"securetlb/internal/isa"
+	"securetlb/internal/tlb"
+)
+
+// maxOps bounds the captured event stream; programs that unroll past it
+// (long untainted loops over memory) fall back to full execution rather
+// than producing traces whose replay would not be faster.
+const maxOps = 1 << 17
+
+// Shadow-CSR taint bits (the security registers a program can write from a
+// tainted register and later read back).
+const (
+	shASID uint8 = 1 << iota
+	shSBase
+	shSSize
+	shVictim
+)
+
+// recorder is the cpu.Recorder that performs capture. It classifies every
+// instruction before it executes: plain instructions (untainted ALU work,
+// branches with untainted operands, nops) fold into an Adv counter;
+// TLB-relevant instructions emit ops; instructions consuming TLB-dependent
+// (tainted) values are embedded as Exec ops; anything whose TLB-visible
+// behaviour could differ under another design is unrepresentable.
+type recorder struct {
+	ops      []Op
+	adv      uint32
+	skipNext bool // next emitted (non-SetReg) op follows its own IFetch
+
+	// taint has bit n set when register n's value derives from a
+	// TLB-dependent CSR; dirty accumulates every register replay writes.
+	taint uint32
+	dirty uint32
+	// known[n] is the value the replay VM's register n would hold, when
+	// knownOK has bit n set — used to elide redundant SetReg ops.
+	known   [isa.NumRegs]uint64
+	knownOK uint32
+	shTaint uint8
+
+	err error
+}
+
+func (r *recorder) taintBit(reg uint8) bool {
+	return reg != 0 && r.taint&(1<<reg) != 0
+}
+
+// setTaint marks rd as replay-computed: the VM writes it, so its value is
+// no longer statically known.
+func (r *recorder) setTaint(rd uint8) {
+	if rd == 0 {
+		return
+	}
+	b := uint32(1) << rd
+	r.taint |= b
+	r.dirty |= b
+	r.knownOK &^= b
+}
+
+// clearTaint records an untainted machine-side write to rd (the VM does not
+// replay it; its final value is captured in FinalRegs).
+func (r *recorder) clearTaint(rd uint8) {
+	if rd != 0 {
+		r.taint &^= 1 << rd
+	}
+}
+
+// emit appends op, attaching the pending plain-instruction run and, after a
+// non-folding IFetch, the base-cycle skip.
+func (r *recorder) emit(op Op) {
+	op.Adv = r.adv
+	r.adv = 0
+	if r.skipNext && op.Kind != KindSetReg {
+		op.SkipBase = true
+		r.skipNext = false
+	}
+	r.ops = append(r.ops, op)
+}
+
+// materialize ensures the replay VM holds the capture-time value of an
+// untainted source register before an Exec op reads it.
+func (r *recorder) materialize(m *cpu.Machine, reg uint8) {
+	if reg == 0 || r.taintBit(reg) {
+		return
+	}
+	v := m.Reg(int(reg))
+	b := uint32(1) << reg
+	if r.knownOK&b != 0 && r.known[reg] == v {
+		return
+	}
+	r.emit(Op{Kind: KindSetReg, Reg: reg, Arg: v})
+	r.known[reg] = v
+	r.knownOK |= b
+	r.dirty |= b
+}
+
+func (r *recorder) fail(m *cpu.Machine, in *isa.Instr, why string) error {
+	r.err = fmt.Errorf("%w: pc %d: %s: %s", ErrUnrepresentable, m.PC(), *in, why)
+	return r.err
+}
+
+// OnInstr implements cpu.Recorder.
+func (r *recorder) OnInstr(m *cpu.Machine, in *isa.Instr) error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.ops) >= maxOps {
+		return r.fail(m, in, "trace too long")
+	}
+	pc := uint32(m.PC())
+	ifetch := m.ITLB() != nil
+	var fvpn uint64
+	if ifetch {
+		fvpn = (m.TextBase() + 4*uint64(m.PC())) >> tlb.PageShift
+	}
+	// plain folds an instruction with no replay-visible effect beyond its
+	// base cycle and retirement; prefix emits the I-TLB fetch of an
+	// op-carrying instruction.
+	plain := func() {
+		if ifetch {
+			r.emit(Op{Kind: KindIFetch, Fold: true, PC: pc, Arg: fvpn})
+		} else {
+			r.adv++
+		}
+	}
+	prefix := func() {
+		if ifetch {
+			r.emit(Op{Kind: KindIFetch, PC: pc, Arg: fvpn})
+			r.skipNext = true
+		}
+	}
+	alu := func(hasRs2 bool) {
+		if !(r.taintBit(in.Rs1) || (hasRs2 && r.taintBit(in.Rs2))) {
+			plain()
+			r.clearTaint(in.Rd)
+			return
+		}
+		prefix()
+		r.materialize(m, in.Rs1)
+		if hasRs2 {
+			r.materialize(m, in.Rs2)
+		}
+		r.emit(Op{Kind: KindExec, PC: pc, In: *in})
+		r.setTaint(in.Rd)
+	}
+
+	switch in.Op {
+	case isa.OpNop, isa.OpJ:
+		plain()
+	case isa.OpHalt:
+		prefix()
+		r.emit(Op{Kind: KindHalt, PC: pc, Arg: uint64(in.Imm)})
+	case isa.OpLi:
+		plain()
+		r.clearTaint(in.Rd)
+	case isa.OpAddi, isa.OpSlli, isa.OpSrli:
+		alu(false)
+	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpSltu:
+		alu(true)
+	case isa.OpLd, isa.OpLdNorm, isa.OpLdRand:
+		if r.taintBit(in.Rs1) {
+			return r.fail(m, in, "load address depends on TLB state")
+		}
+		prefix()
+		vaddr := m.Reg(int(in.Rs1)) + uint64(in.Imm)
+		r.emit(Op{Kind: KindDLookup, PC: pc, Arg: vaddr >> tlb.PageShift})
+		r.clearTaint(in.Rd)
+	case isa.OpSd:
+		// Stores could make later loads (and page-table state) depend on
+		// execution order; replay does not model memory writes.
+		return r.fail(m, in, "store")
+	case isa.OpBeq, isa.OpBne, isa.OpBltu:
+		if r.taintBit(in.Rs1) || r.taintBit(in.Rs2) {
+			return r.fail(m, in, "control flow depends on TLB state")
+		}
+		plain()
+	case isa.OpCsrr:
+		tainted, ok := r.csrReadTaint(in.CSR)
+		if !ok {
+			return r.fail(m, in, "read of unknown CSR")
+		}
+		if tainted {
+			prefix()
+			r.emit(Op{Kind: KindExec, PC: pc, In: *in})
+			r.setTaint(in.Rd)
+		} else {
+			plain()
+			r.clearTaint(in.Rd)
+		}
+	case isa.OpCsrw, isa.OpCsrwi:
+		return r.csrWrite(m, in, pc, prefix)
+	default:
+		return r.fail(m, in, "invalid opcode")
+	}
+	return nil
+}
+
+// csrReadTaint reports whether reading csr yields a TLB-dependent value.
+// cycle and the TLB counters always do; the security-register shadows do
+// when they were last written from a tainted register; instret never does
+// (the instruction stream is design-invariant).
+func (r *recorder) csrReadTaint(csr uint16) (tainted, ok bool) {
+	switch csr {
+	case isa.CSRCycle, isa.CSRTLBMissCount, isa.CSRTLBHitCount:
+		return true, true
+	case isa.CSRInstret:
+		return false, true
+	case isa.CSRProcessID:
+		return r.shTaint&shASID != 0, true
+	case isa.CSRSBase:
+		return r.shTaint&shSBase != 0, true
+	case isa.CSRSSize:
+		return r.shTaint&shSSize != 0, true
+	case isa.CSRVictimASID:
+		return r.shTaint&shVictim != 0, true
+	}
+	return false, false
+}
+
+func (r *recorder) csrWrite(m *cpu.Machine, in *isa.Instr, pc uint32, prefix func()) error {
+	var val uint64
+	tainted := false
+	if in.Op == isa.OpCsrw {
+		tainted = r.taintBit(in.Rs1)
+		val = m.Reg(int(in.Rs1))
+	} else {
+		val = uint64(in.Imm)
+	}
+	if tainted {
+		switch in.CSR {
+		case isa.CSRProcessID:
+			r.shTaint |= shASID
+		case isa.CSRSBase:
+			r.shTaint |= shSBase
+		case isa.CSRSSize:
+			r.shTaint |= shSSize
+		case isa.CSRVictimASID:
+			r.shTaint |= shVictim
+		case isa.CSRTLBFlushAll, isa.CSRTLBFlushASID, isa.CSRTLBFlushPage, isa.CSRTLBFlushPageAll:
+			// Flushes of replay-computed values: the VM performs them.
+		default:
+			// Unknown or read-only CSR: the capture run faults here, so
+			// Capture fails and the caller falls back to full execution,
+			// which faults identically on every trial.
+			return r.fail(m, in, "tainted write to unknown or read-only CSR")
+		}
+		prefix()
+		r.emit(Op{Kind: KindExec, PC: pc, In: *in})
+		return nil
+	}
+	var k Kind
+	switch in.CSR {
+	case isa.CSRProcessID:
+		k = KindSetASID
+		r.shTaint &^= shASID
+	case isa.CSRSBase:
+		k = KindSecBase
+		r.shTaint &^= shSBase
+	case isa.CSRSSize:
+		k = KindSecSize
+		r.shTaint &^= shSSize
+	case isa.CSRVictimASID:
+		k = KindSecVictim
+		r.shTaint &^= shVictim
+	case isa.CSRTLBFlushAll:
+		k = KindFlushAll
+		val = 0 // the written value is ignored and not serialised
+	case isa.CSRTLBFlushASID:
+		k = KindFlushASID
+	case isa.CSRTLBFlushPage:
+		k = KindFlushPage
+	case isa.CSRTLBFlushPageAll:
+		k = KindFlushPageAll
+	default:
+		return r.fail(m, in, "write to unknown or read-only CSR")
+	}
+	prefix()
+	// Static ops cannot fault, so no PC is recorded (the codec omits it).
+	r.emit(Op{Kind: k, Arg: val})
+	return nil
+}
+
+// Capture resets m, runs its loaded program to completion under the capture
+// recorder, and returns the resulting trace. The machine is left in its
+// post-run state (campaign runners reset per trial anyway). A trace captured
+// with any sufficient budget replays correctly under any budget: the VM
+// meters fuel op by op, so smaller replay budgets exhaust exactly where full
+// execution would.
+//
+// Capture fails — wrapping ErrUnrepresentable — when the program is not
+// trace-representable or does not halt cleanly within fuel; callers fall
+// back to full execution.
+func Capture(m *cpu.Machine, fuel uint64) (*Trace, error) {
+	if fuel >= 1<<32 {
+		return nil, fmt.Errorf("%w: capture budget %d exceeds 2^32", ErrUnrepresentable, fuel)
+	}
+	r := &recorder{}
+	m.Reset()
+	m.SetRecorder(r)
+	_, err := m.Run(fuel)
+	m.SetRecorder(nil)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: capture run: %v", ErrUnrepresentable, err)
+	}
+	tr := &Trace{
+		Ops:         r.ops,
+		TaintedRegs: r.taint,
+		DirtyRegs:   r.dirty,
+		Exit:        m.ExitCode(),
+		Instret:     m.Instret(),
+	}
+	for i := range tr.FinalRegs {
+		tr.FinalRegs[i] = m.Reg(i)
+	}
+	return tr, nil
+}

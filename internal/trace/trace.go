@@ -1,0 +1,161 @@
+// Package trace implements trace-compiled campaign execution: capture once,
+// replay everywhere.
+//
+// A security-campaign trial executes the same straight-line benchmark program
+// against many (TLB design, configuration, seed) combinations; only the TLB's
+// microarchitectural behaviour differs between trials — the instruction
+// stream, its memory accesses and its CSR writes are invariant. Following the
+// trace-driven decoupling of "Fast TLB Simulation for RISC-V Systems", this
+// package records the TLB-relevant events of one full execution (D-TLB and
+// I-TLB lookups with ASID+VPN, CSR-driven flushes and ASID switches, and the
+// cycle-accounting deltas of all the non-memory work in between) and replays
+// them against any tlb.TLB + walker pair, skipping fetch, decode and the ALU
+// entirely. Replay is bit-identical to full execution: cycle counts, counter
+// values, fault messages and fuel-exhaustion behaviour all match exactly.
+//
+// A capture-time taint analysis guarantees soundness: any value derived from
+// a TLB-dependent CSR (cycle, tlb_miss_count, tlb_hit_count) is tainted, and
+// instructions consuming tainted values are embedded in the trace as Exec ops
+// the replay VM evaluates itself (so a different design's miss counts flow
+// into the replayed registers exactly as they would in full execution).
+// Programs whose control flow or memory addresses depend on tainted values —
+// and programs with stores — are unrepresentable; Capture reports
+// ErrUnrepresentable and callers fall back to full execution.
+package trace
+
+import (
+	"errors"
+
+	"securetlb/internal/isa"
+)
+
+// Kind identifies a replay operation.
+type Kind uint8
+
+// The replay op set. Every op except KindSetReg corresponds to exactly one
+// retired instruction (KindIFetch without Fold is the fetch prefix of the
+// instruction carried by the following op). Adv folds the run of plain
+// instructions — untainted ALU work, branches, nops — retired immediately
+// before the op: each advances cycles and instret by one.
+const (
+	// KindHalt ends the trace; Arg is the exit code (zigzag-encoded).
+	KindHalt Kind = iota
+	// KindDLookup is a load: a D-TLB translate of (current ASID, Arg=VPN)
+	// followed by the data-access cycle charge. PC is the instruction index
+	// (for fault attribution). The loaded value is untainted by
+	// construction, so it is not replayed.
+	KindDLookup
+	// KindIFetch is an instruction fetch through the I-TLB (Arg=VPN). With
+	// Fold set it also retires the (plain) instruction it fetched;
+	// otherwise the next op carries the instruction and has SkipBase set.
+	KindIFetch
+	// KindSetASID is csrw process_id with an untainted value (Arg).
+	KindSetASID
+	// KindFlushAll is csrw tlb_flush_all.
+	KindFlushAll
+	// KindFlushASID is csrw tlb_flush_asid with untainted Arg.
+	KindFlushASID
+	// KindFlushPage is csrw tlb_flush_page; Arg is the raw written value
+	// (the virtual address; the VM applies the page shift).
+	KindFlushPage
+	// KindFlushPageAll is csrw tlb_flush_page_all; Arg as KindFlushPage.
+	KindFlushPageAll
+	// KindSecVictim, KindSecBase and KindSecSize are untainted writes to
+	// the victim_asid/sbase/ssize security CSRs (Arg is the raw value).
+	KindSecVictim
+	KindSecBase
+	KindSecSize
+	// KindSetReg is synthetic: it materialises the capture-time value of an
+	// untainted register the following Exec op reads. It retires nothing
+	// and charges no cycles.
+	KindSetReg
+	// KindExec embeds one instruction (In) the VM executes itself because
+	// it consumes or produces tainted state: arithmetic over counter
+	// values, csrr of a TLB-dependent counter, csrw of a tainted value.
+	KindExec
+	kindCount
+)
+
+// Op is one replay operation.
+type Op struct {
+	Kind Kind
+	// SkipBase marks an op whose instruction's base cycle was already
+	// charged by the preceding KindIFetch op.
+	SkipBase bool
+	// Fold (KindIFetch only) folds the fetched plain instruction's
+	// retirement into the fetch op.
+	Fold bool
+	// Reg is the destination register of KindSetReg.
+	Reg uint8
+	// PC is the instruction index, recorded for ops that can fault or
+	// execute (lookups, fetches, Exec).
+	PC uint32
+	// Adv is the number of plain instructions retired before this op.
+	Adv uint32
+	// Arg is the op operand (VPN, ASID, CSR value, exit code).
+	Arg uint64
+	// In is the embedded instruction of KindExec.
+	In isa.Instr
+}
+
+// StartsWithFlushAll reports whether the trace's first TLB-affecting
+// operation is a full flush: every op before it only writes registers or
+// TLB-external CSRs (the ASID and security registers). For such traces a
+// campaign harness's between-trial FlushAll is redundant — the program's own
+// flush erases whatever the previous trial left, the harness flush precedes
+// the stats reset, and flushes outside Run charge no cycles — so skipping it
+// is unobservable.
+func (t *Trace) StartsWithFlushAll() bool {
+	for i := range t.Ops {
+		switch t.Ops[i].Kind {
+		case KindFlushAll:
+			return true
+		case KindSetReg, KindSetASID, KindSecVictim, KindSecBase, KindSecSize:
+			// Register and TLB-external CSR writes: no array or counter
+			// effect. (Adv runs are plain ALU work and equally harmless.)
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// retires reports whether the op retires one instruction of its own.
+func (o *Op) retires() bool {
+	switch o.Kind {
+	case KindSetReg:
+		return false
+	case KindIFetch:
+		return o.Fold
+	default:
+		return true
+	}
+}
+
+// Trace is the captured, replayable form of one program execution.
+type Trace struct {
+	// Ops is the event stream; the last op is always KindHalt.
+	Ops []Op
+	// FinalRegs is the register file at the capture run's halt.
+	FinalRegs [isa.NumRegs]uint64
+	// TaintedRegs has bit n set when register n's final value is
+	// TLB-dependent: replay computes it (via Exec ops) and VM.Reg returns
+	// the replayed value; untainted registers come from FinalRegs.
+	TaintedRegs uint32
+	// DirtyRegs has bit n set when replay writes register n at all
+	// (SetReg or Exec); the VM clears exactly these between runs.
+	DirtyRegs uint32
+	// Exit is the capture run's exit code and Instret its total retired
+	// instructions (diagnostics; replay re-derives both).
+	Exit    int64
+	Instret uint64
+}
+
+// ErrUnrepresentable is wrapped by Capture when the program's TLB-relevant
+// behaviour cannot be expressed as a trace — tainted control flow or memory
+// addresses, stores, or an over-long event stream. Callers fall back to full
+// execution.
+var ErrUnrepresentable = errors.New("trace: program not representable")
+
+// ErrDecode is wrapped by every Decode failure, mirroring isa.ErrDecode.
+var ErrDecode = errors.New("trace: malformed trace")

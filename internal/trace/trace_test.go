@@ -1,0 +1,338 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"securetlb/internal/asm"
+	"securetlb/internal/cpu"
+	"securetlb/internal/isa"
+	"securetlb/internal/mem"
+	"securetlb/internal/ptw"
+	"securetlb/internal/tlb"
+	"securetlb/internal/trace"
+)
+
+var coreCfg = cpu.Config{DataAccessCycles: 1, FlushCycles: 1, VariableFlushTiming: true}
+
+// testSrc exercises every replayable construct: security CSR setup, flushes
+// (full, by ASID, targeted by page with variable timing), ASID switches,
+// normal/random-fill loads, an untainted loop, counter reads and tainted
+// arithmetic. The ldrand page sits in a secure region that extends over
+// unmapped pages, so the RF engine's random fills hit both mapped and
+// unmapped translations.
+const testSrc = `
+	csrwi victim_asid, 1
+	csrwi sbase, 0x1002
+	csrwi ssize, 4
+	csrwi tlb_flush_all, 0
+	csrwi process_id, 1
+	li x1, 0x1002000
+	ldrand x2, 0(x1)
+	li x1, 0x1001000
+	ldnorm x2, 0(x1)
+	csrwi process_id, 0
+	csrr x28, tlb_miss_count
+	li x3, 3
+	li x4, 0
+loop:
+	addi x4, x4, 1
+	ld x5, 0(x1)
+	bltu x4, x3, loop
+	csrr x29, tlb_miss_count
+	sub x30, x29, x28
+	csrr x31, cycle
+	li x6, 0x1003000
+	csrw tlb_flush_page, x6
+	csrwi tlb_flush_asid, 1
+	ld x7, 8(x1)
+	pass
+.data
+	.dword 1 2 3 4
+	.page
+	.dword 5 6
+	.page
+	.dword 7
+	.page
+	.dword 8
+`
+
+type mkTLB func(w tlb.Walker) (tlb.TLB, error)
+
+var designs = map[string]mkTLB{
+	"SA": func(w tlb.Walker) (tlb.TLB, error) { return tlb.NewSetAssoc(32, 8, w) },
+	"FA": func(w tlb.Walker) (tlb.TLB, error) { return tlb.NewFullyAssoc(32, w) },
+	"SP": func(w tlb.Walker) (tlb.TLB, error) { return tlb.NewSP(32, 8, 4, w) },
+	"RF": func(w tlb.Walker) (tlb.TLB, error) { return tlb.NewRF(32, 8, w, 0x5ecbef1) },
+}
+
+func assemble(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return prog
+}
+
+func buildSys(t *testing.T, prog *isa.Program, mk mkTLB, memo bool) *cpu.Machine {
+	t.Helper()
+	m := mem.New(20)
+	pt := ptw.New(m, 0x100000)
+	var w tlb.Walker = pt
+	if memo {
+		w = trace.NewMemoWalker(pt, 2, 0x1000, 0x40)
+	}
+	tl, err := mk(w)
+	if err != nil {
+		t.Fatalf("tlb: %v", err)
+	}
+	core := cpu.New(tl, pt, m, coreCfg)
+	if err := core.Load(prog, []tlb.ASID{0, 1}); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return core
+}
+
+// snapshot compares everything replay promises to reproduce.
+type snapshot struct {
+	code    int64
+	err     string
+	cycles  uint64
+	instret uint64
+	stats   tlb.Stats
+	regs    [isa.NumRegs]uint64
+}
+
+func runFull(m *cpu.Machine, fuel uint64) snapshot {
+	code, err := m.Run(fuel)
+	s := snapshot{code: code, cycles: m.Cycles(), instret: m.Instret(), stats: m.TLB.Stats()}
+	if err != nil {
+		s.err = err.Error()
+	}
+	for i := range s.regs {
+		s.regs[i] = m.Reg(i)
+	}
+	return s
+}
+
+func runReplay(m *cpu.Machine, tr *trace.Trace, prog *isa.Program, fuel uint64) snapshot {
+	vm := trace.NewVM(m.TLB, m.ITLB(), prog, coreCfg)
+	code, err := vm.Run(tr, fuel)
+	s := snapshot{code: code, cycles: vm.Cycles(), instret: vm.Instret(), stats: m.TLB.Stats()}
+	if err != nil {
+		s.err = err.Error()
+	}
+	if err == nil {
+		for i := range s.regs {
+			s.regs[i] = vm.Reg(i)
+		}
+	}
+	return s
+}
+
+func capture(t *testing.T, prog *isa.Program, mk mkTLB, fuel uint64) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Capture(buildSys(t, prog, mk, false), fuel)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	return tr
+}
+
+// TestReplayBitIdentity proves replay equals full execution — exit code,
+// cycle count, retired instructions, every TLB counter and every final
+// register — on all four designs, both with the raw walker and the
+// memoizing walker.
+func TestReplayBitIdentity(t *testing.T) {
+	prog := assemble(t, testSrc)
+	for name, mk := range designs {
+		for _, memo := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/memo=%v", name, memo), func(t *testing.T) {
+				tr := capture(t, prog, mk, 10_000)
+				want := runFull(buildSys(t, prog, mk, false), 10_000)
+				got := runReplay(buildSys(t, prog, mk, memo), tr, prog, 10_000)
+				if got != want {
+					t.Errorf("replay diverged:\n got %+v\nwant %+v", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestReplayFuelIdentity sweeps every instruction budget from zero to past
+// the program's length: replay must exhaust fuel (or halt) exactly where
+// full execution does, with identical partial cycle and counter state.
+func TestReplayFuelIdentity(t *testing.T) {
+	prog := assemble(t, testSrc)
+	for name, mk := range designs {
+		t.Run(name, func(t *testing.T) {
+			tr := capture(t, prog, mk, 10_000)
+			full := runFull(buildSys(t, prog, mk, false), 10_000)
+			for fuel := uint64(0); fuel <= full.instret+2; fuel++ {
+				want := runFull(buildSys(t, prog, mk, false), fuel)
+				got := runReplay(buildSys(t, prog, mk, true), tr, prog, fuel)
+				// Registers are only defined after a clean halt.
+				if want.err != "" {
+					want.regs = [isa.NumRegs]uint64{}
+				}
+				if got != want {
+					t.Errorf("fuel %d: replay diverged:\n got %+v\nwant %+v", fuel, got, want)
+				}
+				if fuel < full.instret && !errors.Is(func() error {
+					vm := trace.NewVM(buildSys(t, prog, mk, false).TLB, nil, prog, coreCfg)
+					_, err := vm.Run(tr, fuel)
+					return err
+				}(), cpu.ErrFuelExhausted) {
+					t.Errorf("fuel %d: want ErrFuelExhausted", fuel)
+				}
+			}
+		})
+	}
+}
+
+// TestCaptureFaultFallback: Capture refuses programs that fault, and the
+// caller's fallback (full execution) reproduces the fault.
+func TestCaptureFaultFallback(t *testing.T) {
+	src := `
+	li x1, 0x2000000
+	ld x2, 0(x1)
+	pass
+.data
+	.dword 1
+`
+	prog := assemble(t, src)
+	mk := designs["SA"]
+	_, err := trace.Capture(buildSys(t, prog, mk, false), 1000)
+	if !errors.Is(err, trace.ErrUnrepresentable) {
+		t.Fatalf("capture of faulting program: got %v, want ErrUnrepresentable", err)
+	}
+}
+
+// TestUnrepresentable enumerates the soundness limits: stores, tainted
+// control flow, tainted addresses, over-long traces, fuel exhaustion.
+func TestUnrepresentable(t *testing.T) {
+	cases := map[string]string{
+		"store":          "li x1, 0x1000000\n sd x2, 0(x1)\n pass\n.data\n .dword 1",
+		"tainted-branch": "csrr x1, cycle\n beq x1, x0, done\ndone: pass",
+		"tainted-load":   "li x1, 0x1000000\n csrr x2, cycle\n add x1, x1, x2\n ld x3, 0(x1)\n pass\n.data\n .dword 1",
+		"no-halt":        "li x1, 1\nloop: j loop",
+	}
+	mk := designs["SA"]
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			prog := assemble(t, src)
+			_, err := trace.Capture(buildSys(t, prog, mk, false), 100_000)
+			if !errors.Is(err, trace.ErrUnrepresentable) {
+				t.Fatalf("got %v, want ErrUnrepresentable", err)
+			}
+		})
+	}
+}
+
+// TestReplayWithITLB covers the I-TLB path: every instruction fetch
+// translates through a second TLB, folded into the op stream.
+func TestReplayWithITLB(t *testing.T) {
+	prog := assemble(t, testSrc)
+	const textBase = 0x400000
+	build := func() *cpu.Machine {
+		m := mem.New(20)
+		pt := ptw.New(m, 0x100000)
+		dt, err := tlb.NewSetAssoc(32, 8, pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it, err := tlb.NewSetAssoc(8, 4, pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core := cpu.New(dt, pt, m, coreCfg)
+		core.SetITLB(it, textBase)
+		if err := core.Load(prog, []tlb.ASID{0, 1}); err != nil {
+			t.Fatal(err)
+		}
+		return core
+	}
+	tr, err := trace.Capture(build(), 10_000)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	want := runFull(build(), 10_000)
+	m := build()
+	got := runReplay(m, tr, prog, 10_000)
+	if got != want {
+		t.Errorf("replay diverged:\n got %+v\nwant %+v", got, want)
+	}
+	// The I-TLB's own counters must match too.
+	if is, ws := m.ITLB().Stats(), func() tlb.Stats { f := build(); f.Run(10_000); return f.ITLB().Stats() }(); is != ws {
+		t.Errorf("itlb stats: got %+v want %+v", is, ws)
+	}
+	// Fuel sweep with the I-TLB in place.
+	for fuel := uint64(0); fuel <= want.instret+1; fuel++ {
+		w := runFull(build(), fuel)
+		g := runReplay(build(), tr, prog, fuel)
+		if w.err != "" {
+			w.regs = [isa.NumRegs]uint64{}
+		}
+		if g != w {
+			t.Errorf("fuel %d: replay diverged:\n got %+v\nwant %+v", fuel, g, w)
+		}
+	}
+}
+
+// TestMemoWalker checks memoized results (positive and negative) match the
+// raw walker exactly, including error identity across repeats.
+func TestMemoWalker(t *testing.T) {
+	m := mem.New(20)
+	pt := ptw.New(m, 0x100000)
+	if _, err := pt.MapRange([]tlb.ASID{0}, 0x1000, 4); err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewMemoWalker(pt, 1, 0x1000, 8)
+	for _, vpn := range []tlb.VPN{0x1000, 0x1003, 0x1004, 0x2000, 0x1000, 0x1004, 0x2000} {
+		wantPPN, wantCyc, wantErr := pt.Walk(0, vpn)
+		gotPPN, gotCyc, gotErr := w.Walk(0, vpn)
+		if gotPPN != wantPPN || gotCyc != wantCyc || (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("vpn %#x: got (%v %v %v) want (%v %v %v)", vpn, gotPPN, gotCyc, gotErr, wantPPN, wantCyc, wantErr)
+		}
+		if gotErr != nil && gotErr.Error() != wantErr.Error() {
+			t.Fatalf("vpn %#x: error %q != %q", vpn, gotErr, wantErr)
+		}
+	}
+	// Repeated misses return the identical error value.
+	_, _, e1 := w.Walk(0, 0x1004)
+	_, _, e2 := w.Walk(0, 0x1004)
+	if e1 != e2 {
+		t.Fatal("memoized errors should be the same value")
+	}
+	// Unknown ASIDs take the overflow-map path.
+	if _, _, err := w.Walk(7, 0x1000); err == nil {
+		t.Fatal("want error for unmapped ASID")
+	}
+}
+
+// TestCodecRoundTrip: a captured trace survives Encode/Decode exactly, and
+// the decoded trace replays identically to the original.
+func TestCodecRoundTrip(t *testing.T) {
+	prog := assemble(t, testSrc)
+	tr := capture(t, prog, designs["RF"], 10_000)
+	enc := trace.Encode(tr)
+	dec, err := trace.Decode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(tr, dec) {
+		t.Fatalf("decode(encode(tr)) != tr:\n got %+v\nwant %+v", dec, tr)
+	}
+	if re := trace.Encode(dec); !bytes.Equal(re, enc) {
+		t.Fatal("re-encode not byte-identical")
+	}
+	want := runReplay(buildSys(t, prog, designs["RF"], false), tr, prog, 10_000)
+	got := runReplay(buildSys(t, prog, designs["RF"], false), dec, prog, 10_000)
+	if got != want {
+		t.Errorf("decoded trace replays differently:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -1,0 +1,377 @@
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+
+	"securetlb/internal/cpu"
+	"securetlb/internal/isa"
+	"securetlb/internal/tlb"
+)
+
+// VM replays a captured trace against a TLB (and optional I-TLB). Replay is
+// bit-identical to cpu.Machine.Run of the same program under the same
+// instruction budget: cycles, retired-instruction counts, TLB counter
+// values, fault errors (message for message) and fuel exhaustion all match.
+// Like the machine it mirrors, a VM keeps its security-register shadows
+// across runs (Machine.Reset does not clear them) and is not safe for
+// concurrent use; campaign workers each own a forked VM.
+//
+// The VM is arena-style: all replay state lives inline in the struct and Run
+// allocates nothing, so batch-replaying thousands of seeds generates no
+// garbage beyond what the TLB design itself allocates.
+type VM struct {
+	dtlb  tlb.TLB
+	fast  tlb.FastTranslator // dtlb's register-return fast path, or nil
+	ctr   tlb.CounterReader  // dtlb's counter fast path, or nil
+	sec   tlb.SecureTLB      // dtlb's security interface, or nil
+	itlb  tlb.TLB
+	ifast tlb.FastTranslator // itlb's fast path, or nil
+	prog  *isa.Program
+	cfg   cpu.Config
+
+	regs    [isa.NumRegs]uint64
+	dirty   uint32 // registers the previous Run wrote
+	cycles  uint64
+	instret uint64
+	asid    tlb.ASID
+	halted  bool
+	exit    int64
+	tr      *Trace
+
+	sbase, ssize, victim uint64
+}
+
+// NewVM binds a replay VM to a TLB pair. prog is the program the trace was
+// captured from (needed only to reproduce fault messages); cfg must be the
+// capture machine's timing configuration.
+func NewVM(dtlb, itlb tlb.TLB, prog *isa.Program, cfg cpu.Config) *VM {
+	v := &VM{dtlb: dtlb, itlb: itlb, prog: prog, cfg: cfg}
+	if st, ok := dtlb.(tlb.SecureTLB); ok {
+		v.sec = st
+	}
+	// The fast paths are semantically identical to Translate; wrappers that
+	// interpose on Translate (the invariant checker) deliberately don't
+	// implement them, so their interception stays complete.
+	v.fast, _ = dtlb.(tlb.FastTranslator)
+	v.ctr, _ = dtlb.(tlb.CounterReader)
+	v.ifast, _ = itlb.(tlb.FastTranslator)
+	return v
+}
+
+// Fork returns a fresh VM for the same program and timing bound to a
+// different TLB pair — how per-worker campaign clones get their replayer.
+func (v *VM) Fork(dtlb, itlb tlb.TLB) *VM {
+	return NewVM(dtlb, itlb, v.prog, v.cfg)
+}
+
+// Reg returns register n after a completed Run: replay-computed (tainted)
+// registers come from the VM, all others from the capture's final state.
+func (v *VM) Reg(n int) uint64 {
+	if v.tr != nil && v.tr.TaintedRegs&(uint32(1)<<uint(n)) == 0 {
+		return v.tr.FinalRegs[n]
+	}
+	return v.regs[n]
+}
+
+// Cycles returns the replayed cycle counter.
+func (v *VM) Cycles() uint64 { return v.cycles }
+
+// Instret returns the replayed retired-instruction counter.
+func (v *VM) Instret() uint64 { return v.instret }
+
+// Halted reports whether the last Run reached the trace's halt.
+func (v *VM) Halted() bool { return v.halted }
+
+// Run replays tr with the given instruction budget, returning the exit code
+// exactly as cpu.Machine.Run would.
+func (v *VM) Run(tr *Trace, fuel uint64) (int64, error) {
+	for m := v.dirty; m != 0; m &= m - 1 {
+		v.regs[bits.TrailingZeros32(m)] = 0
+	}
+	v.dirty = tr.DirtyRegs
+	v.cycles, v.instret = 0, 0
+	v.asid = 0
+	v.halted, v.exit = false, 0
+	v.tr = tr
+	return v.dispatch(tr.Ops, fuel)
+}
+
+// RunBody replays tr from its trial-invariant prefix boundary (see
+// SplitPrefix): the prefix's architectural effects are installed from the
+// precomputed snapshot — its flushes performed, its cycle/retirement totals
+// credited, its register, ASID and security-shadow values restored — and
+// only the body ops are dispatched. Bit-identical to Run of the whole trace,
+// PROVIDED this VM has already replayed tr once (Run establishes the
+// prefix-set registers RunBody does not rewrite); budgets that would exhaust
+// inside the prefix are delegated to Run wholesale.
+func (v *VM) RunBody(tr *Trace, fuel uint64, p *Prefix) (int64, error) {
+	if fuel < p.Instret {
+		return v.Run(tr, fuel)
+	}
+	for i := 0; i < p.Flushes; i++ {
+		// The physical flush effect; the cycle charge is in p.Cycles.
+		v.dtlb.FlushAll()
+	}
+	// Only body-written registers can have drifted from the prefix snapshot.
+	for m := p.BodyDirty; m != 0; m &= m - 1 {
+		r := bits.TrailingZeros32(m)
+		v.regs[r] = p.Regs[r]
+	}
+	v.dirty = tr.DirtyRegs
+	v.cycles, v.instret = p.Cycles, p.Instret
+	v.asid = p.ASID
+	v.sbase, v.ssize, v.victim = p.SBase, p.SSize, p.Victim
+	v.halted, v.exit = false, 0
+	v.tr = tr
+	return v.dispatch(tr.Ops[p.OpStart:], fuel-p.Instret)
+}
+
+// dispatch is the replay loop shared by Run and RunBody: execute ops with
+// `left` retirements of budget remaining.
+func (v *VM) dispatch(ops []Op, left uint64) (int64, error) {
+	// Loop invariants hoisted out of the dispatch loop; fast is nil when the
+	// D-TLB has no register-return path (e.g. under the invariant checker).
+	fast := v.fast
+	dataCycles := v.cfg.DataAccessCycles
+	for i := range ops {
+		op := &ops[i]
+		if op.Kind == KindSetReg {
+			// Synthetic: retires nothing and consumes no fuel, so it runs
+			// even with the budget exhausted, exactly like the register
+			// state it stands in for.
+			v.regs[op.Reg] = op.Arg
+			continue
+		}
+		// A run of op.Adv plain instructions precedes this op: one cycle
+		// and one retirement each, clipped to the remaining budget. The op
+		// itself then needs fuel of its own, so a >= left exhausts either
+		// way — one branch covers both checks.
+		if a := uint64(op.Adv); a < left {
+			v.cycles += a
+			v.instret += a
+			left -= a
+		} else {
+			if a > left {
+				a = left
+			}
+			v.cycles += a
+			v.instret += a
+			return 0, cpu.ErrFuelExhausted
+		}
+		if !op.SkipBase {
+			v.cycles++
+		}
+		switch op.Kind {
+		case KindHalt:
+			v.halted, v.exit = true, int64(op.Arg)
+		case KindDLookup:
+			var cyc uint64
+			var err error
+			if fast != nil {
+				cyc, err = fast.TranslateCycles(v.asid, tlb.VPN(op.Arg))
+			} else {
+				var res tlb.Result
+				res, err = v.dtlb.Translate(v.asid, tlb.VPN(op.Arg))
+				cyc = res.Cycles
+			}
+			v.cycles += cyc
+			if err != nil {
+				return 0, &cpu.FaultError{PC: int(op.PC), Err: fmt.Errorf("%s: %w", v.prog.Instrs[op.PC], err)}
+			}
+			v.cycles += dataCycles
+		case KindIFetch:
+			var cyc uint64
+			var err error
+			if v.ifast != nil {
+				cyc, err = v.ifast.TranslateCycles(v.asid, tlb.VPN(op.Arg))
+			} else {
+				var res tlb.Result
+				res, err = v.itlb.Translate(v.asid, tlb.VPN(op.Arg))
+				cyc = res.Cycles
+			}
+			v.cycles += cyc
+			if err != nil {
+				return 0, &cpu.FaultError{PC: int(op.PC), Err: fmt.Errorf("instruction fetch: %w", err)}
+			}
+			if !op.Fold {
+				// The fetched instruction's own op follows (SkipBase set);
+				// retirement happens there.
+				continue
+			}
+		case KindSetASID:
+			v.asid = tlb.ASID(op.Arg)
+		case KindFlushAll:
+			v.dtlb.FlushAll()
+			v.cycles += v.cfg.FlushCycles
+		case KindFlushASID:
+			v.dtlb.FlushASID(tlb.ASID(op.Arg))
+			v.cycles += v.cfg.FlushCycles
+		case KindFlushPage:
+			present := v.dtlb.FlushPage(v.asid, tlb.VPN(op.Arg>>tlb.PageShift))
+			v.cycles += v.cfg.FlushCycles
+			if v.cfg.VariableFlushTiming && present {
+				v.cycles++
+			}
+		case KindFlushPageAll:
+			present := v.dtlb.FlushPageAllASIDs(tlb.VPN(op.Arg >> tlb.PageShift))
+			v.cycles += v.cfg.FlushCycles
+			if v.cfg.VariableFlushTiming && present {
+				v.cycles++
+			}
+		case KindSecVictim:
+			v.victim = op.Arg
+			if v.sec != nil {
+				v.sec.SetVictim(tlb.ASID(op.Arg))
+			}
+		case KindSecBase:
+			v.sbase = op.Arg
+			if v.sec != nil {
+				v.sec.SetSecureRegion(tlb.VPN(op.Arg), v.ssize)
+			}
+		case KindSecSize:
+			v.ssize = op.Arg
+			if v.sec != nil {
+				v.sec.SetSecureRegion(tlb.VPN(v.sbase), op.Arg)
+			}
+		case KindExec:
+			if err := v.exec(&op.In); err != nil {
+				return 0, &cpu.FaultError{PC: int(op.PC), Err: fmt.Errorf("%w", err)}
+			}
+		default:
+			return 0, &cpu.FaultError{PC: int(op.PC), Err: fmt.Errorf("trace: invalid op kind %d", op.Kind)}
+		}
+		v.instret++
+		left--
+		if v.halted {
+			return v.exit, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: truncated trace (no halt op)")
+}
+
+func (v *VM) setReg(n uint8, val uint64) {
+	if n != 0 {
+		v.regs[n] = val
+	}
+}
+
+// exec evaluates an embedded (tainted) instruction, mirroring the subset of
+// cpu.Machine.exec that can appear in a trace.
+func (v *VM) exec(in *isa.Instr) error {
+	switch in.Op {
+	case isa.OpAddi:
+		v.setReg(in.Rd, v.regs[in.Rs1]+uint64(in.Imm))
+	case isa.OpAdd:
+		v.setReg(in.Rd, v.regs[in.Rs1]+v.regs[in.Rs2])
+	case isa.OpSub:
+		v.setReg(in.Rd, v.regs[in.Rs1]-v.regs[in.Rs2])
+	case isa.OpAnd:
+		v.setReg(in.Rd, v.regs[in.Rs1]&v.regs[in.Rs2])
+	case isa.OpOr:
+		v.setReg(in.Rd, v.regs[in.Rs1]|v.regs[in.Rs2])
+	case isa.OpXor:
+		v.setReg(in.Rd, v.regs[in.Rs1]^v.regs[in.Rs2])
+	case isa.OpSlli:
+		v.setReg(in.Rd, v.regs[in.Rs1]<<uint(in.Imm&63))
+	case isa.OpSrli:
+		v.setReg(in.Rd, v.regs[in.Rs1]>>uint(in.Imm&63))
+	case isa.OpSltu:
+		val := uint64(0)
+		if v.regs[in.Rs1] < v.regs[in.Rs2] {
+			val = 1
+		}
+		v.setReg(in.Rd, val)
+	case isa.OpCsrr:
+		val, err := v.readCSR(in.CSR)
+		if err != nil {
+			return err
+		}
+		v.setReg(in.Rd, val)
+	case isa.OpCsrw:
+		return v.writeCSR(in.CSR, v.regs[in.Rs1])
+	case isa.OpCsrwi:
+		return v.writeCSR(in.CSR, uint64(in.Imm))
+	default:
+		return fmt.Errorf("trace: op %s cannot be embedded", in.Op)
+	}
+	return nil
+}
+
+// readCSR mirrors cpu.Machine.readCSR, message for message.
+func (v *VM) readCSR(csr uint16) (uint64, error) {
+	switch csr {
+	case isa.CSRCycle:
+		return v.cycles, nil
+	case isa.CSRInstret:
+		return v.instret, nil
+	case isa.CSRTLBMissCount:
+		if v.ctr != nil {
+			m, _ := v.ctr.MissHitCounts()
+			return m, nil
+		}
+		return v.dtlb.Stats().Misses, nil
+	case isa.CSRTLBHitCount:
+		if v.ctr != nil {
+			_, h := v.ctr.MissHitCounts()
+			return h, nil
+		}
+		return v.dtlb.Stats().Hits, nil
+	case isa.CSRProcessID:
+		return uint64(v.asid), nil
+	case isa.CSRSBase:
+		return v.sbase, nil
+	case isa.CSRSSize:
+		return v.ssize, nil
+	case isa.CSRVictimASID:
+		return v.victim, nil
+	default:
+		return 0, fmt.Errorf("read of unknown CSR %#x", csr)
+	}
+}
+
+// writeCSR mirrors cpu.Machine.writeCSR, message for message.
+func (v *VM) writeCSR(csr uint16, val uint64) error {
+	switch csr {
+	case isa.CSRProcessID:
+		v.asid = tlb.ASID(val)
+	case isa.CSRSBase:
+		v.sbase = val
+		if v.sec != nil {
+			v.sec.SetSecureRegion(tlb.VPN(val), v.ssize)
+		}
+	case isa.CSRSSize:
+		v.ssize = val
+		if v.sec != nil {
+			v.sec.SetSecureRegion(tlb.VPN(v.sbase), val)
+		}
+	case isa.CSRVictimASID:
+		v.victim = val
+		if v.sec != nil {
+			v.sec.SetVictim(tlb.ASID(val))
+		}
+	case isa.CSRTLBFlushAll:
+		v.dtlb.FlushAll()
+		v.cycles += v.cfg.FlushCycles
+	case isa.CSRTLBFlushASID:
+		v.dtlb.FlushASID(tlb.ASID(val))
+		v.cycles += v.cfg.FlushCycles
+	case isa.CSRTLBFlushPage:
+		present := v.dtlb.FlushPage(v.asid, tlb.VPN(val>>tlb.PageShift))
+		v.cycles += v.cfg.FlushCycles
+		if v.cfg.VariableFlushTiming && present {
+			v.cycles++
+		}
+	case isa.CSRTLBFlushPageAll:
+		present := v.dtlb.FlushPageAllASIDs(tlb.VPN(val >> tlb.PageShift))
+		v.cycles += v.cfg.FlushCycles
+		if v.cfg.VariableFlushTiming && present {
+			v.cycles++
+		}
+	case isa.CSRCycle, isa.CSRInstret, isa.CSRTLBMissCount, isa.CSRTLBHitCount:
+		return fmt.Errorf("CSR %s is read-only", isa.CSRName(csr))
+	default:
+		return fmt.Errorf("write of unknown CSR %#x", csr)
+	}
+	return nil
+}

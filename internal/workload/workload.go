@@ -111,6 +111,7 @@ type Trace struct {
 	Repeats        int
 
 	pos, gap, done int
+	fp             string // memoized WorkloadFingerprint
 }
 
 // Name implements Generator.
