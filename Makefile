@@ -3,7 +3,7 @@ GO ?= go
 # to trade exploration depth for turnaround.
 FUZZTIME ?= 30s
 
-.PHONY: build vet test race bench bench-smoke smoke faults fuzz-smoke serve-smoke verify
+.PHONY: build vet test race bench bench-smoke smoke faults assert-smoke fuzz-smoke serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,13 @@ smoke:
 faults:
 	$(GO) run ./cmd/faultbench -trials 8 -vulns 2
 
+# Assertion-layer smoke: the full design x fault-site matrix in one
+# invocation at one trial per cell. Detection is not required at this depth
+# (-require-detect=false) but any silent corruption still fails, proving the
+# one-shot battery wiring end to end in seconds.
+assert-smoke:
+	$(GO) run ./cmd/faultbench -trials 1 -vulns 1 -require-detect=false
+
 # Short native-fuzzing pass over the assembler and the binary program
 # decoder (the checked-in corpora under testdata/fuzz run in plain `go
 # test`; this explores beyond them).
@@ -66,4 +73,4 @@ serve-smoke:
 	$(GO) test -count=1 -timeout 10m ./internal/job/ ./internal/serve/
 	$(GO) test -count=1 -timeout 10m -run 'SigtermRestart|MetricsAndCleanShutdown|Client' ./cmd/tlbserved/ ./cmd/tlbsim/
 
-verify: build vet race faults fuzz-smoke bench-smoke serve-smoke
+verify: build vet race faults assert-smoke fuzz-smoke bench-smoke serve-smoke

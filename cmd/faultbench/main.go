@@ -1,10 +1,13 @@
-// Command faultbench runs the differential fault-injection matrix: for
-// every registered fault site it executes a clean and a faulted security
-// campaign over identical trial seeds and classifies each faulted trial as
-// detected (quarantined with a reported kind), benign (fault landed, outcome
-// bit-identical to the clean run) or latent (trigger never reached). The two
-// at-rest checkpoint sites are exercised by corrupting a freshly written
-// checkpoint file and requiring the resume to fail loudly.
+// Command faultbench runs the differential fault-injection matrix in one
+// invocation: for every registered fault site and every TLB design (SA, FA,
+// SP, RF — any design implementing tlb.TLB gets the battery for free via the
+// assertion layer) it executes a clean and a faulted security campaign over
+// identical trial seeds and classifies each faulted trial as detected
+// (quarantined with a reported kind, broken down by the declarative
+// assertion that fired), benign (fault landed, outcome bit-identical to the
+// clean run) or latent (trigger never reached). The two at-rest checkpoint
+// sites are exercised by corrupting a freshly written checkpoint file and
+// requiring the resume to fail loudly.
 //
 // Usage:
 //
@@ -14,8 +17,9 @@
 //	faultbench -list                # print the registered sites
 //
 // The exit status is the acceptance verdict: non-zero if any fault changed a
-// trial's outcome without being detected (silent corruption) or if any site
-// was never detected at all.
+// trial's outcome without being detected (silent corruption) or — unless
+// -require-detect=false — if any site was never detected at all (useful for
+// smoke runs whose trial counts are too small to trigger every site).
 package main
 
 import (
@@ -25,9 +29,6 @@ import (
 
 	"securetlb/internal/faultinject"
 	"securetlb/internal/model"
-	"securetlb/internal/pool"
-	"securetlb/internal/report"
-	"securetlb/internal/secbench"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 	siteFlag := flag.String("site", "", "run a single site instead of the full matrix")
 	seed := flag.Uint64("fault-seed", 0xfa115eed, "campaign-level fault seed")
 	parallel := flag.Int("parallel", 0, "worker pool size for the matrix cells (0 = all CPUs)")
+	requireDetect := flag.Bool("require-detect", true, "fail if a site is never detected (silent corruption always fails)")
 	list := flag.Bool("list", false, "print the registered fault sites and exit")
 	flag.Parse()
 
@@ -56,161 +58,45 @@ func main() {
 		}
 		sites = []faultinject.Site{s}
 	}
-	vulns := pickVulns(*nvulns)
 
-	// Build the cell list: machine sites run on every applicable design,
-	// at-rest sites are verified separately below.
-	type cellSpec struct {
-		site   faultinject.Site
-		design secbench.Design
-		vuln   model.Vulnerability
-	}
-	var specs []cellSpec
-	var restSites []faultinject.Site
-	for _, s := range sites {
-		if s == faultinject.SiteCheckpointTruncate || s == faultinject.SiteCheckpointBitRot {
-			restSites = append(restSites, s)
-			continue
-		}
-		designs := []secbench.Design{secbench.DesignSA, secbench.DesignSP, secbench.DesignRF}
-		if s.RFOnly() {
-			designs = []secbench.Design{secbench.DesignRF}
-		}
-		for _, d := range designs {
-			for _, v := range vulns {
-				specs = append(specs, cellSpec{s, d, v})
-			}
-		}
-	}
-
-	cells := make([]secbench.FaultCell, len(specs))
-	errs := make([]error, len(specs))
-	pool.New(*parallel).ForEach(len(specs), func(i int) {
-		cfg := secbench.DefaultConfig(specs[i].design)
-		cfg.Trials = *trials
-		cfg.Invariants = true
-		cfg.FaultSeed = *seed
-		cells[i], errs[i] = cfg.RunFaultCell(specs[i].vuln, true, specs[i].site, *trials)
+	res, err := runMatrix(matrixConfig{
+		Trials:   *trials,
+		NVulns:   *nvulns,
+		Seed:     *seed,
+		Parallel: *parallel,
+		Sites:    sites,
+		Designs:  allDesigns(),
 	})
-	for _, err := range errs {
-		if err != nil {
-			fatal(err)
-		}
+	if err != nil {
+		fatal(err)
 	}
-
-	// Aggregate per (site, design) for the report; track per-site detection
-	// and global silence for the verdict.
-	type key struct {
-		site   faultinject.Site
-		design string
-	}
-	agg := map[key]*secbench.FaultCell{}
-	var order []key
-	detectedBySite := map[faultinject.Site]int{}
-	silent := 0
-	for _, c := range cells {
-		k := key{c.Site, c.Design}
-		a, ok := agg[k]
-		if !ok {
-			a = &secbench.FaultCell{Site: c.Site, Design: c.Design, Detected: map[string]int{}}
-			agg[k] = a
-			order = append(order, k)
-		}
-		a.Trials += c.Trials
-		for kind, n := range c.Detected {
-			a.Detected[kind] += n
-		}
-		a.Benign += c.Benign
-		a.Latent += c.Latent
-		a.Silent = append(a.Silent, c.Silent...)
-		if a.Detail == "" {
-			a.Detail = c.Detail
-		}
-		detectedBySite[c.Site] += c.DetectedTotal()
-		silent += len(c.Silent)
-	}
-	rows := make([][]string, 0, len(order))
-	for _, k := range order {
-		a := agg[k]
-		rows = append(rows, []string{
-			string(a.Site), a.Design,
-			fmt.Sprintf("%d", a.Trials),
-			a.Kinds(),
-			fmt.Sprintf("%d", a.Benign),
-			fmt.Sprintf("%d", a.Latent),
-			fmt.Sprintf("%d", len(a.Silent)),
-			a.Detail,
-		})
-	}
-
-	// At-rest checkpoint sites.
-	for _, s := range restSites {
-		dir, err := os.MkdirTemp("", "faultbench")
-		if err != nil {
-			fatal(err)
-		}
-		defer os.RemoveAll(dir)
-		cfg := secbench.DefaultConfig(secbench.DesignSA)
-		cfg.Trials = *trials
-		loud, benign := 0, 0
-		detail := ""
-		for i := uint64(0); i < 8; i++ {
-			detected, d, err := cfg.VerifyCheckpointFault(dir, s, *seed+i)
-			if err != nil {
-				fatal(err)
-			}
-			if detected {
-				loud++
-			} else {
-				benign++
-			}
-			if detail == "" {
-				detail = d
-			}
-		}
-		detectedBySite[s] += loud
-		rows = append(rows, []string{
-			string(s), "checkpoint", "8",
-			fmt.Sprintf("corrupt-refused:%d", loud),
-			fmt.Sprintf("%d", benign), "0", "0", detail,
-		})
-	}
-
-	fmt.Print(report.FaultMatrix(rows))
+	fmt.Print(renderMatrix(res))
 
 	failed := false
-	if silent > 0 {
-		fmt.Fprintf(os.Stderr, "faultbench: FAIL: %d silent corruption(s) — a fault changed an outcome without detection\n", silent)
+	if res.Silent > 0 {
+		fmt.Fprintf(os.Stderr, "faultbench: FAIL: %d silent corruption(s) — a fault changed an outcome without detection\n", res.Silent)
 		failed = true
 	}
+	undetected := 0
 	for _, s := range sites {
-		if detectedBySite[s] == 0 {
-			fmt.Fprintf(os.Stderr, "faultbench: FAIL: site %s was never detected\n", s)
-			failed = true
+		if res.DetectedBySite[s] == 0 {
+			undetected++
+			if *requireDetect {
+				fmt.Fprintf(os.Stderr, "faultbench: FAIL: site %s was never detected\n", s)
+				failed = true
+			} else {
+				fmt.Fprintf(os.Stderr, "faultbench: note: site %s was never detected at this sampling depth\n", s)
+			}
 		}
 	}
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("all %d sites detected, no silent corruption\n", len(sites))
-}
-
-// pickVulns selects the first n vulnerabilities that include a victim access
-// step (secure-region traffic, so the RF-only sites can fire).
-func pickVulns(n int) []model.Vulnerability {
-	var out []model.Vulnerability
-	for _, v := range model.Enumerate() {
-		for _, s := range v.Pattern {
-			if s.Actor == model.ActorV && (s.Class == model.ClassU || s.Class == model.ClassA) {
-				out = append(out, v)
-				break
-			}
-		}
-		if len(out) == n {
-			break
-		}
+	if undetected == 0 {
+		fmt.Printf("all %d sites detected, no silent corruption\n", len(sites))
+	} else {
+		fmt.Printf("%d/%d sites detected, no silent corruption\n", len(sites)-undetected, len(sites))
 	}
-	return out
 }
 
 // validateFlags rejects invalid sampling parameters up front with a clear

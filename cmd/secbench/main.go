@@ -39,7 +39,7 @@ import (
 )
 
 func main() {
-	design := flag.String("design", "all", "sa, sp, rf or all")
+	design := flag.String("design", "all", "sa, sp, rf, fa or all (all = the paper's sa,sp,rf)")
 	trials := flag.Int("trials", 500, "trials per victim behaviour (paper: 500)")
 	extended := flag.Bool("extended", false, "run the Appendix B (Table 7) targeted-invalidation benchmarks instead of the base 24")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")

@@ -1,0 +1,622 @@
+// Package assert is the design-agnostic security-assertion layer of the
+// simulator, in the spirit of "Translating Common Security Assertions Across
+// Processor Designs": the microarchitectural guarantees the paper's security
+// claims rest on are written once, as declarative properties over a typed TLB
+// event stream, and bound per design by capability instead of hard-coded per
+// design.
+//
+// The Monitor wraps any tlb.Inspectable design and, around every instrumented
+// operation, snapshots the array, derives the operation's event stream
+// (hit/miss/fill/evict/flush/..., each tagged with set, way and security
+// domain) and evaluates the design's assertion binding over it. Which
+// assertions bind is decided by the capabilities the design declares:
+//
+//   - every inspectable design gets the core battery — single-transition,
+//     lru-freshness, no-duplicate-tag, set-index-consistency,
+//     sec-bit-confinement, stats-tally, flush-completeness;
+//   - designs exposing a fill partition (assert.Partitioner, the SP TLB) add
+//     partition-confinement and no-cross-domain-eviction;
+//   - designs exposing a random-fill prediction (assert.RandomFillPredictor,
+//     the RF TLB) add rng-stream-integrity and no-fill-on-secure-miss;
+//   - translation-cross-check joins any binding when Options.CrossCheck is
+//     set.
+//
+// A new design therefore gets the whole robustness battery — and faultbench
+// coverage — for free the moment it implements tlb.Inspectable, and tightens
+// its own binding simply by declaring more capabilities.
+//
+// Violations surface as a *Violation error satisfying
+// errors.Is(err, ErrViolation), which the resilient campaign runner
+// quarantines under the "invariant" kind. The layer is strictly opt-in: an
+// unwrapped design pays nothing, and a wrapped design with a nil event Tap
+// allocates nothing per access (benchmark-guarded).
+package assert
+
+import (
+	"errors"
+	"fmt"
+
+	"securetlb/internal/tlb"
+)
+
+// ErrViolation is the sentinel matched by errors.Is for every assertion
+// violation.
+var ErrViolation = errors.New("assert: security assertion violated")
+
+// Violation describes one detected assertion violation.
+type Violation struct {
+	// Assertion is the name of the violated assertion, e.g. "lru-freshness"
+	// or "partition-confinement".
+	Assertion string
+	// Design is the wrapped TLB's Name().
+	Design string
+	// Detail is a human-readable description of the violation.
+	Detail string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("assertion %s violated on %s: %s", v.Assertion, v.Design, v.Detail)
+}
+
+// Is reports errors.Is equivalence with ErrViolation.
+func (v *Violation) Is(target error) bool { return target == ErrViolation }
+
+// Assertion names, as they appear in Violation.Assertion and faultbench's
+// Assertions column.
+const (
+	NameSingleTransition      = "single-transition"
+	NameLRUFreshness          = "lru-freshness"
+	NameNoDuplicateTag        = "no-duplicate-tag"
+	NameSetIndexConsistency   = "set-index-consistency"
+	NameSecBitConfinement     = "sec-bit-confinement"
+	NameStatsTally            = "stats-tally"
+	NameFlushCompleteness     = "flush-completeness"
+	NamePartitionConfinement  = "partition-confinement"
+	NameNoCrossDomainEviction = "no-cross-domain-eviction"
+	NameRNGStreamIntegrity    = "rng-stream-integrity"
+	NameNoFillOnSecureMiss    = "no-fill-on-secure-miss"
+	NameTranslationCrossCheck = "translation-cross-check"
+)
+
+// Assertion is one declarative property over the TLB event stream. Check
+// validates a Translate transition, CheckFlush a flush operation; either may
+// be nil when the property does not speak about that operation. Assertions
+// are stateless — all state lives in the Access/FlushInfo context — so the
+// package-level catalog is shared by every monitor.
+type Assertion struct {
+	Name string
+	// Desc is a one-line statement of the property, for docs and listings.
+	Desc       string
+	Check      func(a *Access) error
+	CheckFlush func(f *FlushInfo) error
+}
+
+// Binding is the ordered list of assertions one design must satisfy.
+type Binding struct {
+	// Design is the bound TLB's Name().
+	Design     string
+	Assertions []Assertion
+}
+
+// Names returns the bound assertion names in evaluation order.
+func (b Binding) Names() []string {
+	names := make([]string, len(b.Assertions))
+	for i, a := range b.Assertions {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// BindingFor composes the assertion binding for a design from the
+// capabilities it declares. Evaluation order matters for violation naming:
+// the transition-shape check runs first, then the design-specific security
+// properties (so a partition or RNG escape is named as such rather than as a
+// generic LRU anomaly), then the structural array properties, with the
+// optional page-table cross-check last (it is the only one that pays an
+// extra walk).
+func BindingFor(t tlb.TLB, crossCheck bool) Binding {
+	b := Binding{Design: t.Name()}
+	b.Assertions = append(b.Assertions, SingleTransition)
+	if _, ok := t.(RandomFillPredictor); ok {
+		b.Assertions = append(b.Assertions, RNGStreamIntegrity, NoFillOnSecureMiss)
+	}
+	if _, ok := t.(Partitioner); ok {
+		// Displacement first, so evicting a resident cross-partition entry
+		// is named as the eviction breach it is; installs into empty
+		// out-of-range ways then fall to partition-confinement.
+		b.Assertions = append(b.Assertions, NoCrossDomainEviction, PartitionConfinement)
+	}
+	b.Assertions = append(b.Assertions,
+		LRUFreshness, NoDuplicateTag, SetIndexConsistency,
+		SecBitConfinement, StatsTally, FlushCompleteness)
+	if crossCheck {
+		b.Assertions = append(b.Assertions, TranslationCrossCheck)
+	}
+	return b
+}
+
+// The assertion catalog. Each is a package-level value so bindings share one
+// copy and listings (faultbench -list-assertions, DESIGN.md) can enumerate
+// them.
+var (
+	// SingleTransition: every access performs exactly the one array
+	// transition its Result claims — a hit touches only the hit slot and
+	// returns the resident PPN, a fill installs exactly the requested
+	// translation with a consistent eviction report, a random fill installs
+	// exactly the reported D', a buffered no-fill or erroring access leaves
+	// the array untouched and never leaks the request into it.
+	SingleTransition = Assertion{
+		Name:  NameSingleTransition,
+		Desc:  "each access performs exactly the one array transition its Result claims",
+		Check: checkSingleTransition,
+	}
+
+	// LRUFreshness: recency state moves the way true LRU requires — a hit
+	// refreshes its entry's stamp to the array-wide maximum, a fill lands on
+	// the policy's victim way (first invalid, else least recent, within the
+	// design's fill range) with a stamp newer than every resident entry, and
+	// per-set stamps always form a strict order.
+	LRUFreshness = Assertion{
+		Name:  NameLRUFreshness,
+		Desc:  "hits refresh LRU stamps, fills take the true LRU victim, per-set stamps stay a strict order",
+		Check: checkLRUFreshness,
+	}
+
+	// NoDuplicateTag: no (ASID, VPN) translation appears twice in a set.
+	NoDuplicateTag = Assertion{
+		Name:  NameNoDuplicateTag,
+		Desc:  "no (ASID, VPN) tag is duplicated within a set",
+		Check: checkNoDuplicateTag,
+	}
+
+	// SetIndexConsistency: every valid entry resides in the set its VPN
+	// indexes under the design's own set mapping.
+	SetIndexConsistency = Assertion{
+		Name:  NameSetIndexConsistency,
+		Desc:  "every entry resides in the set its VPN indexes",
+		Check: checkSetIndexConsistency,
+	}
+
+	// SecBitConfinement: Sec bits appear only on entries of the designated
+	// victim inside the secure region.
+	SecBitConfinement = Assertion{
+		Name:  NameSecBitConfinement,
+		Desc:  "Sec bits appear only on in-region victim entries",
+		Check: checkSecBitConfinement,
+	}
+
+	// StatsTally: the hit and miss counters partition the lookup counter.
+	StatsTally = Assertion{
+		Name:  NameStatsTally,
+		Desc:  "hits + misses == lookups",
+		Check: checkStatsTally,
+	}
+
+	// FlushCompleteness: no entry matching the flushed key survives the
+	// flush.
+	FlushCompleteness = Assertion{
+		Name:       NameFlushCompleteness,
+		Desc:       "no surviving entry matches the flushed key",
+		CheckFlush: checkFlushCompleteness,
+	}
+
+	// PartitionConfinement (Partitioner designs): every install lands inside
+	// the filling process's declared way range.
+	PartitionConfinement = Assertion{
+		Name:  NamePartitionConfinement,
+		Desc:  "fills land inside the requester's partition way range",
+		Check: checkPartitionConfinement,
+	}
+
+	// NoCrossDomainEviction (Partitioner designs): an access never displaces
+	// an entry from a slot outside the requester's own partition.
+	NoCrossDomainEviction = Assertion{
+		Name:  NameNoCrossDomainEviction,
+		Desc:  "no access displaces an entry outside the requester's partition",
+		Check: checkNoCrossDomainEviction,
+	}
+
+	// RNGStreamIntegrity (RandomFillPredictor designs): every random fill
+	// installs exactly the D' the engine's PRNG stream prescribes.
+	RNGStreamIntegrity = Assertion{
+		Name:  NameRNGStreamIntegrity,
+		Desc:  "random fills install exactly the D' the RNG stream prescribes",
+		Check: checkRNGStreamIntegrity,
+	}
+
+	// NoFillOnSecureMiss (RandomFillPredictor designs): a secure-region miss
+	// never installs the requested secret translation.
+	NoFillOnSecureMiss = Assertion{
+		Name:  NameNoFillOnSecureMiss,
+		Desc:  "a secure-region miss never installs the requested translation",
+		Check: checkNoFillOnSecureMiss,
+	}
+
+	// TranslationCrossCheck: the returned PPN matches an independent page
+	// walk. The only assertion that catches a corrupted walk whose wrong
+	// result the TLB installed faithfully; costs one extra walk per access.
+	TranslationCrossCheck = Assertion{
+		Name:  NameTranslationCrossCheck,
+		Desc:  "returned translations match an independent page-table walk",
+		Check: checkTranslationCrossCheck,
+	}
+)
+
+// Catalog returns every assertion in the library, for listings.
+func Catalog() []Assertion {
+	return []Assertion{
+		SingleTransition, LRUFreshness, NoDuplicateTag, SetIndexConsistency,
+		SecBitConfinement, StatsTally, FlushCompleteness,
+		PartitionConfinement, NoCrossDomainEviction,
+		RNGStreamIntegrity, NoFillOnSecureMiss, TranslationCrossCheck,
+	}
+}
+
+func checkSingleTransition(a *Access) error {
+	m := a.m
+	if a.Err != nil {
+		// Every error path leaves the array untouched.
+		if n := a.NDiffs(); n != 0 {
+			first := a.diffs[0]
+			return a.failf(NameSingleTransition, "erroring access (%v) mutated %d slot(s), first at set %d way %d", a.Err, n, first/m.ways, first%m.ways)
+		}
+		return nil
+	}
+	switch {
+	case a.Res.Hit:
+		idx := a.findPost(a.ASID, a.VPN)
+		if idx < 0 {
+			return a.failf(NameSingleTransition, "hit reported for asid %d vpn %#x but the translation is not in the array", a.ASID, a.VPN)
+		}
+		// Zero diffs (a stuck LRU stamp) is lru-freshness's finding, not a
+		// shape violation.
+		if n := a.NDiffs(); n > 1 || (n == 1 && a.diffs[0] != idx) {
+			return a.failf(NameSingleTransition, "hit on asid %d vpn %#x changed %d slot(s), first at set %d way %d (want only set %d way %d)",
+				a.ASID, a.VPN, n, a.diffs[0]/m.ways, a.diffs[0]%m.ways, idx/m.ways, idx%m.ways)
+		}
+		if a.NDiffs() == 1 {
+			p, q := m.pre[idx], m.post[idx]
+			p.Stamp = q.Stamp
+			if p != q {
+				return a.failf(NameSingleTransition, "hit on asid %d vpn %#x changed fields beyond the LRU stamp: %+v -> %+v", a.ASID, a.VPN, m.pre[idx], q)
+			}
+		}
+		if q := m.post[idx]; a.Res.PPN != q.PPN {
+			return a.failf(NameSingleTransition, "hit returned ppn %#x but the array holds %#x", a.Res.PPN, q.PPN)
+		}
+		return nil
+	case a.Res.RandomFilled:
+		if !a.PredOK {
+			return a.failf(NameSingleTransition, "%s reported a random fill but declares no random-fill engine", m.design)
+		}
+		idx := a.findPost(a.ASID, a.Res.RandomVPN)
+		if idx < 0 {
+			return a.failf(NameSingleTransition, "random fill reported for vpn %#x but the translation is not in the array (dropped fill)", a.Res.RandomVPN)
+		}
+		if n := a.NDiffs(); n != 1 || a.diffs[0] != idx {
+			return a.failf(NameSingleTransition, "random fill of vpn %#x changed %d slot(s) (want only the D' slot)", a.Res.RandomVPN, n)
+		}
+		if !a.Res.Filled && a.findPost(a.ASID, a.VPN) >= 0 {
+			return a.failf(NameSingleTransition, "buffered request asid %d vpn %#x leaked into the array alongside its random fill", a.ASID, a.VPN)
+		}
+		if p := m.pre[idx]; p.Valid && p.ASID == a.ASID && p.VPN == a.Res.RandomVPN {
+			// D' collided with a resident entry: a refresh, not an install.
+			q := m.post[idx]
+			p.Stamp, p.Sec = q.Stamp, q.Sec
+			if p != q {
+				return a.failf(NameSingleTransition, "random-fill refresh of vpn %#x changed fields beyond stamp and Sec", a.Res.RandomVPN)
+			}
+			return nil
+		}
+		return a.checkEvictReport(idx)
+	case a.Res.Filled:
+		idx := a.findPost(a.ASID, a.VPN)
+		if idx < 0 {
+			return a.failf(NameSingleTransition, "fill reported for asid %d vpn %#x but the translation is not in the array (dropped fill)", a.ASID, a.VPN)
+		}
+		if n := a.NDiffs(); n != 1 || a.diffs[0] != idx {
+			first := -1
+			if n > 0 {
+				first = a.diffs[0]
+			}
+			return a.failf(NameSingleTransition, "fill of asid %d vpn %#x changed %d slot(s), first at flat index %d (want only %d)", a.ASID, a.VPN, n, first, idx)
+		}
+		if q := m.post[idx]; q.PPN != a.Res.PPN {
+			return a.failf(NameSingleTransition, "fill installed ppn %#x but the access returned %#x", q.PPN, a.Res.PPN)
+		}
+		return a.checkEvictReport(idx)
+	default:
+		// No-install access (RF no-fill service, or a skipped random fill):
+		// nothing may change, and the requested translation — absent before,
+		// or it would have hit — must not have leaked out of the buffer.
+		if n := a.NDiffs(); n != 0 {
+			return a.failf(NameSingleTransition, "buffered no-fill access mutated %d slot(s)", n)
+		}
+		if a.findPost(a.ASID, a.VPN) >= 0 {
+			return a.failf(NameSingleTransition, "no-fill buffer leaked asid %d vpn %#x into the array", a.ASID, a.VPN)
+		}
+		return nil
+	}
+}
+
+// checkEvictReport validates the Result's eviction fields against the
+// pre-access occupant of the install slot.
+func (a *Access) checkEvictReport(idx int) error {
+	p := a.m.pre[idx]
+	if p.Valid && (!a.Res.Evicted || a.Res.EvictedVPN != p.VPN || a.Res.EvictedASID != p.ASID) {
+		return a.failf(NameSingleTransition, "fill displaced asid %d vpn %#x but reported Evicted=%v vpn %#x asid %d", p.ASID, p.VPN, a.Res.Evicted, a.Res.EvictedVPN, a.Res.EvictedASID)
+	}
+	if !p.Valid && a.Res.Evicted {
+		return a.failf(NameSingleTransition, "fill into an invalid way reported an eviction")
+	}
+	return nil
+}
+
+func checkLRUFreshness(a *Access) error {
+	m := a.m
+	// Per-set stamps must form a strict order (a permutation): two valid
+	// entries of one set never share a stamp.
+	for s := 0; s < m.sets; s++ {
+		for w := 0; w < m.ways; w++ {
+			p := &m.post[s*m.ways+w]
+			if !p.Valid {
+				continue
+			}
+			for w2 := w + 1; w2 < m.ways; w2++ {
+				q := &m.post[s*m.ways+w2]
+				if q.Valid && p.Stamp == q.Stamp {
+					return a.failf(NameLRUFreshness, "set %d ways %d and %d share LRU stamp %d (order is not a permutation)", s, w, w2, p.Stamp)
+				}
+			}
+		}
+	}
+	if a.Err != nil {
+		return nil
+	}
+	switch {
+	case a.Res.Hit:
+		idx := a.findPost(a.ASID, a.VPN)
+		if idx < 0 {
+			return nil // single-transition's finding
+		}
+		if a.NDiffs() == 0 {
+			return a.failf(NameLRUFreshness, "hit on asid %d vpn %#x did not refresh the LRU stamp (stuck LRU)", a.ASID, a.VPN)
+		}
+		q := m.post[idx]
+		if q.Stamp <= m.pre[idx].Stamp {
+			return a.failf(NameLRUFreshness, "hit stamp went %d -> %d (not monotonic)", m.pre[idx].Stamp, q.Stamp)
+		}
+		for i := range m.post {
+			if i != idx && m.post[i].Valid && m.post[i].Stamp >= q.Stamp {
+				return a.failf(NameLRUFreshness, "hit entry's stamp %d is not the most recent (set %d way %d holds %d)", q.Stamp, i/m.ways, i%m.ways, m.post[i].Stamp)
+			}
+		}
+		return nil
+	case a.Res.RandomFilled:
+		idx := a.findPost(a.ASID, a.Res.RandomVPN)
+		if idx < 0 {
+			return nil
+		}
+		if p := m.pre[idx]; p.Valid && p.ASID == a.ASID && p.VPN == a.Res.RandomVPN {
+			return nil // collision refresh, not an install
+		}
+		return a.checkInstallLRU(idx, 0, m.ways)
+	case a.Res.Filled:
+		idx := a.findPost(a.ASID, a.VPN)
+		if idx < 0 {
+			return nil
+		}
+		lo, hi := a.fillRange(a.ASID)
+		return a.checkInstallLRU(idx, lo, hi)
+	}
+	return nil
+}
+
+// checkInstallLRU validates a fresh install at flat index idx: the policy's
+// victim way within [lo, hi) of the install set, and a stamp newer than the
+// whole pre-access array.
+func (a *Access) checkInstallLRU(idx, lo, hi int) error {
+	m := a.m
+	s := idx / m.ways
+	if want := a.lruIndex(s, lo, hi); idx != want {
+		return a.failf(NameLRUFreshness, "fill chose set %d way %d, LRU policy requires way %d", s, idx%m.ways, want%m.ways)
+	}
+	q := m.post[idx]
+	for i := range m.pre {
+		if i != idx && m.pre[i].Valid && m.pre[i].Stamp >= q.Stamp {
+			return a.failf(NameLRUFreshness, "fill stamp %d is not newer than resident stamp %d (set %d way %d)", q.Stamp, m.pre[i].Stamp, i/m.ways, i%m.ways)
+		}
+	}
+	return nil
+}
+
+func checkNoDuplicateTag(a *Access) error {
+	m := a.m
+	for s := 0; s < m.sets; s++ {
+		for w := 0; w < m.ways; w++ {
+			p := &m.post[s*m.ways+w]
+			if !p.Valid {
+				continue
+			}
+			for w2 := w + 1; w2 < m.ways; w2++ {
+				q := &m.post[s*m.ways+w2]
+				if q.Valid && p.ASID == q.ASID && p.VPN == q.VPN {
+					return a.failf(NameNoDuplicateTag, "asid %d vpn %#x duplicated in set %d ways %d and %d", p.ASID, p.VPN, s, w, w2)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkSetIndexConsistency(a *Access) error {
+	m := a.m
+	for i := range m.post {
+		e := &m.post[i]
+		if !e.Valid {
+			continue
+		}
+		if want := m.setIdx(e.VPN); i/m.ways != want {
+			return a.failf(NameSetIndexConsistency, "entry for vpn %#x resides in set %d, indexes set %d", e.VPN, i/m.ways, want)
+		}
+	}
+	return nil
+}
+
+func checkSecBitConfinement(a *Access) error {
+	m := a.m
+	for i := range m.post {
+		e := &m.post[i]
+		if !e.Valid || !e.Sec {
+			continue
+		}
+		if m.sec == nil || m.vic == nil || !m.vic.HasVictim() {
+			return a.failf(NameSecBitConfinement, "Sec bit set on asid %d vpn %#x but no victim is designated", e.ASID, e.VPN)
+		}
+		if victim := m.sec.Victim(); e.ASID != victim {
+			return a.failf(NameSecBitConfinement, "Sec bit set on asid %d entry (victim is %d) for vpn %#x", e.ASID, victim, e.VPN)
+		}
+		if sbase, ssize := m.sec.SecureRegion(); ssize == 0 || e.VPN < sbase || uint64(e.VPN-sbase) >= ssize {
+			return a.failf(NameSecBitConfinement, "Sec-bit entry vpn %#x lies outside the secure region [%#x,%#x)", e.VPN, sbase, uint64(sbase)+ssize)
+		}
+	}
+	return nil
+}
+
+func checkStatsTally(a *Access) error {
+	if s := a.m.inner.Stats(); s.Hits+s.Misses != s.Lookups {
+		return a.failf(NameStatsTally, "hits (%d) + misses (%d) != lookups (%d)", s.Hits, s.Misses, s.Lookups)
+	}
+	return nil
+}
+
+func checkFlushCompleteness(f *FlushInfo) error {
+	m := f.m
+	for i := range m.post {
+		e := &m.post[i]
+		if !e.Valid {
+			continue
+		}
+		switch f.Kind {
+		case KindFlushAll:
+			return f.failf("entry for asid %d vpn %#x survived FlushAll", e.ASID, e.VPN)
+		case KindFlushASID:
+			if e.ASID == f.ASID {
+				return f.failf("asid %d entry for vpn %#x survived FlushASID", f.ASID, e.VPN)
+			}
+		case KindFlushPage:
+			if e.ASID == f.ASID && e.VPN == f.VPN {
+				return f.failf("asid %d vpn %#x still present after FlushPage", f.ASID, f.VPN)
+			}
+		case KindFlushPageAll:
+			if e.VPN == f.VPN {
+				return f.failf("vpn %#x (asid %d) survived FlushPageAllASIDs", f.VPN, e.ASID)
+			}
+		}
+	}
+	return nil
+}
+
+func checkPartitionConfinement(a *Access) error {
+	if a.Err != nil {
+		return nil
+	}
+	for _, e := range a.Events() {
+		if e.Kind != KindFill && e.Kind != KindRandomFill {
+			continue
+		}
+		if e.Way < 0 {
+			continue // dropped install: single-transition's finding
+		}
+		lo, hi := a.m.part.FillRange(e.ASID)
+		if e.Way < lo || e.Way >= hi {
+			return a.failf(NamePartitionConfinement, "%s for asid %d vpn %#x landed in way %d, outside its partition [%d,%d)", e.Kind, e.ASID, e.VPN, e.Way, lo, hi)
+		}
+	}
+	return nil
+}
+
+func checkNoCrossDomainEviction(a *Access) error {
+	if a.Err != nil {
+		return nil
+	}
+	m := a.m
+	lo, hi := m.part.FillRange(a.ASID)
+	for _, i := range a.Diffs() {
+		p := &m.pre[i]
+		if !p.Valid {
+			continue
+		}
+		if q := &m.post[i]; q.Valid && q.ASID == p.ASID && q.VPN == p.VPN {
+			continue // same translation still resident: a refresh, not a displacement
+		}
+		if w := i % m.ways; w < lo || w >= hi {
+			return a.failf(NameNoCrossDomainEviction, "access by asid %d displaced asid %d vpn %#x from way %d, outside the requester's partition [%d,%d)", a.ASID, p.ASID, p.VPN, w, lo, hi)
+		}
+	}
+	return nil
+}
+
+func checkRNGStreamIntegrity(a *Access) error {
+	if a.Err != nil || !a.PredOK {
+		return nil
+	}
+	if !a.Res.RandomFilled {
+		if !a.PredFill || a.Res.Hit {
+			return nil
+		}
+		// The RFE stream prescribes a random fill here and none happened.
+		// Legal only when D' is unmapped (footnote 5 mappings missing — the
+		// fill is skipped by design) or the lazy ablation engine may starve
+		// fills; anything else is a suppressed fill that silently skews the
+		// array's occupancy. The monitor's own walk of D' distinguishes the
+		// two — it never touches TLB state.
+		if a.m.starver != nil && a.m.starver.RandomFillMayStarve() {
+			return nil
+		}
+		if a.m.walker == nil {
+			return nil
+		}
+		if _, _, werr := a.m.walker.Walk(a.ASID, a.PredVPN); werr != nil {
+			return nil
+		}
+		return a.failf(NameRNGStreamIntegrity, "prescribed random fill of mapped vpn %#x was suppressed", a.PredVPN)
+	}
+	if !a.PredFill {
+		return a.failf(NameRNGStreamIntegrity, "random fill of vpn %#x occurred where the RFE stream prescribes none", a.Res.RandomVPN)
+	}
+	if a.Res.RandomVPN != a.PredVPN {
+		return a.failf(NameRNGStreamIntegrity, "random fill chose vpn %#x, the RFE stream prescribes %#x (biased RNG)", a.Res.RandomVPN, a.PredVPN)
+	}
+	return nil
+}
+
+func checkNoFillOnSecureMiss(a *Access) error {
+	if a.Err != nil || a.Res.Hit || a.Domain != DomainSecure {
+		return nil
+	}
+	// D and D' may coincide "because of the randomization" (§4.2.1); only
+	// then may the requested secure translation legitimately be installed.
+	if a.Res.Filled && !(a.Res.RandomFilled && a.Res.RandomVPN == a.VPN) {
+		return a.failf(NameNoFillOnSecureMiss, "secure-region miss for asid %d vpn %#x installed the requested translation", a.ASID, a.VPN)
+	}
+	if !a.Res.Filled && a.findPost(a.ASID, a.VPN) >= 0 {
+		return a.failf(NameNoFillOnSecureMiss, "secure-region request asid %d vpn %#x leaked into the array", a.ASID, a.VPN)
+	}
+	return nil
+}
+
+func checkTranslationCrossCheck(a *Access) error {
+	if a.Err != nil {
+		return nil
+	}
+	ppn, _, werr := a.m.walker.Walk(a.ASID, a.VPN)
+	if werr != nil {
+		return a.failf(NameTranslationCrossCheck, "TLB returned %#x for asid %d vpn %#x but the page walk faults: %v", a.Res.PPN, a.ASID, a.VPN, werr)
+	}
+	if ppn != a.Res.PPN {
+		return a.failf(NameTranslationCrossCheck, "TLB returned ppn %#x for asid %d vpn %#x, page tables say %#x", a.Res.PPN, a.ASID, a.VPN, ppn)
+	}
+	return nil
+}

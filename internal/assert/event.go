@@ -1,0 +1,128 @@
+package assert
+
+import (
+	"fmt"
+
+	"securetlb/internal/tlb"
+)
+
+// Kind classifies one event in the instrumented TLB event stream.
+type Kind uint8
+
+const (
+	// KindHit is a lookup satisfied from the array.
+	KindHit Kind = iota
+	// KindMiss is a lookup that required a page walk for the request.
+	KindMiss
+	// KindFill is the install of the requested translation.
+	KindFill
+	// KindRandomFill is the install of the RF engine's random D'.
+	KindRandomFill
+	// KindNoFill is a miss served through the RF no-fill buffer with no
+	// install of the requested translation.
+	KindNoFill
+	// KindEvict is the displacement of a valid entry by an install. The
+	// event carries the displaced entry's identity and the slot it lost.
+	KindEvict
+	// KindError is an access that failed (page-walk fault or design error).
+	KindError
+	// KindFlushAll / KindFlushASID / KindFlushPage / KindFlushPageAll are
+	// the four invalidation operations of tlb.TLB.
+	KindFlushAll
+	KindFlushASID
+	KindFlushPage
+	KindFlushPageAll
+	// KindSetVictim and KindSetSecureRegion are writes to the security
+	// registers of paper §4.2.2.
+	KindSetVictim
+	KindSetSecureRegion
+)
+
+var kindNames = [...]string{
+	KindHit:             "hit",
+	KindMiss:            "miss",
+	KindFill:            "fill",
+	KindRandomFill:      "random-fill",
+	KindNoFill:          "no-fill",
+	KindEvict:           "evict",
+	KindError:           "error",
+	KindFlushAll:        "flush-all",
+	KindFlushASID:       "flush-asid",
+	KindFlushPage:       "flush-page",
+	KindFlushPageAll:    "flush-page-all",
+	KindSetVictim:       "set-victim",
+	KindSetSecureRegion: "set-secure-region",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Domain is the security domain of an event's subject, derived from the
+// design's security registers: the designated victim process, everything
+// else ("attacker" under the paper's threat model), and — within the victim —
+// the secure virtual page region [sbase, sbase+ssize).
+type Domain uint8
+
+const (
+	// DomainNone means the design has no victim designated (or tracks no
+	// security state at all), so every process is an ordinary process.
+	DomainNone Domain = iota
+	// DomainAttacker is any process other than the designated victim.
+	DomainAttacker
+	// DomainVictim is the designated victim outside its secure region.
+	DomainVictim
+	// DomainSecure is the designated victim inside its secure region.
+	DomainSecure
+)
+
+var domainNames = [...]string{
+	DomainNone:     "none",
+	DomainAttacker: "attacker",
+	DomainVictim:   "victim",
+	DomainSecure:   "secure",
+}
+
+// String implements fmt.Stringer.
+func (d Domain) String() string {
+	if int(d) < len(domainNames) {
+		return domainNames[d]
+	}
+	return fmt.Sprintf("domain(%d)", uint8(d))
+}
+
+// Event is one element of the typed TLB event stream the Monitor derives
+// from each instrumented operation. A single Translate emits one hit event,
+// or a miss event followed by the install events it caused (evict before the
+// fill that displaced it); flushes and security-register writes emit one
+// event each.
+type Event struct {
+	Kind Kind
+	// ASID and VPN identify the event's subject: the requested translation
+	// for hit/miss/fill/no-fill/error, the installed D' for random-fill, the
+	// displaced translation for evict, the flushed key for flushes, and the
+	// written register value for set-victim.
+	ASID tlb.ASID
+	VPN  tlb.VPN
+	// PPN is the translation returned or installed (zero when not
+	// applicable).
+	PPN tlb.PPN
+	// Set and Way locate the event in the array; -1 when unknown or not
+	// applicable (a miss has no way until its fill lands; a dropped fill
+	// has Way -1).
+	Set int
+	Way int
+	// Domain is the security domain of (ASID, VPN) at the time of the event.
+	Domain Domain
+	// Size is the region size for set-secure-region events.
+	Size uint64
+}
+
+// String implements fmt.Stringer, for logs and event-tap debugging.
+func (e Event) String() string {
+	return fmt.Sprintf("%s asid=%d vpn=%#x set=%d way=%d dom=%s", e.Kind, e.ASID, e.VPN, e.Set, e.Way, e.Domain)
+}

@@ -1,0 +1,533 @@
+package assert
+
+import (
+	"errors"
+	"fmt"
+
+	"securetlb/internal/tlb"
+)
+
+// SetMapper is the capability exposing a design's VPN-to-set mapping. The
+// monitor validates set placement with the design's own mapping — never a
+// private re-derivation — so checker and design cannot disagree (a
+// power-of-two geometry masks, others reduce modulo, and a future
+// randomized-index design will hash; all are equally checkable).
+type SetMapper interface {
+	SetIndex(vpn tlb.VPN) int
+}
+
+// Partitioner is the capability exposing a design's fill-confinement policy:
+// the way range [lo, hi) that installs (and therefore evictions) caused by
+// asid must stay inside. Declaring it binds the partition-confinement and
+// no-cross-domain-eviction assertions.
+type Partitioner interface {
+	FillRange(asid tlb.ASID) (lo, hi int)
+}
+
+// RandomFillPredictor is the capability exposing a random-fill engine's next
+// decision without perturbing it. Declaring it binds the
+// rng-stream-integrity and no-fill-on-secure-miss assertions.
+type RandomFillPredictor interface {
+	PredictNextRandomFill(asid tlb.ASID, vpn tlb.VPN) (tlb.VPN, bool, error)
+}
+
+// victimReporter reports whether a security design currently has a victim
+// designated (SP and RF both expose HasVictim).
+type victimReporter interface {
+	HasVictim() bool
+}
+
+// fillStarver reports whether a random-fill engine may currently starve
+// (skip) a prescribed fill for legitimate reasons — the RF design's
+// ablation-only lazy mode. While it may, the suppressed-fill arm of the
+// rng-stream-integrity assertion stands down.
+type fillStarver interface {
+	RandomFillMayStarve() bool
+}
+
+// Options configures a Monitor.
+type Options struct {
+	// CrossCheck binds the translation-cross-check assertion: every
+	// successful translation is re-walked against the walker and the
+	// physical page numbers compared. It costs one extra page walk per
+	// access but is the only check that catches a corrupted walk whose
+	// wrong result the TLB installed faithfully.
+	CrossCheck bool
+	// Tap, when non-nil, observes every derived event as it is emitted,
+	// before the assertions run. Taps are per-monitor observers and are
+	// deliberately not inherited by CloneWith clones (which may run
+	// concurrently on worker machines).
+	Tap func(Event)
+}
+
+// Monitor wraps an inspectable TLB design, derives the typed event stream
+// from every instrumented operation, and evaluates the design's assertion
+// binding over it. It implements tlb.TLB, tlb.SecureTLB (forwarding to the
+// inner design, or no-ops for a non-secure design, so a wrapped TLB drops
+// into any machine unchanged) and tlb.Cloner.
+//
+// Monitor deliberately does NOT implement tlb.FastTranslator or
+// tlb.CounterReader: the trace-replay VM promotes designs exposing those to
+// its register-level fast path, which would bypass the snapshotting here.
+// Their absence is what forces assertion-enabled runs back to the
+// interpreter, exactly as the invariant checker always has.
+type Monitor struct {
+	inner  tlb.TLB
+	insp   tlb.Inspectable
+	walker tlb.Walker
+	opts   Options
+	design string
+
+	// Capability views of the inner design; nil when not declared.
+	sec     tlb.SecureTLB
+	part    Partitioner
+	pred    RandomFillPredictor
+	vic     victimReporter
+	starver fillStarver
+
+	setIdx              func(tlb.VPN) int
+	entries, ways, sets int
+
+	binding   Binding
+	pre, post []tlb.EntrySnapshot
+	events    []Event
+
+	// acc and fl are the reused per-operation assertion contexts. They live
+	// in the Monitor so passing their address to assertion functions does
+	// not allocate.
+	acc Access
+	fl  FlushInfo
+
+	// pending holds a violation found on a path that cannot return an error
+	// (the flush operations); it is surfaced by the next Translate.
+	pending error
+
+	// Checks counts completed per-access validations, for tests and reports.
+	Checks uint64
+}
+
+var (
+	_ tlb.SecureTLB = (*Monitor)(nil)
+	_ tlb.Cloner    = (*Monitor)(nil)
+)
+
+// Wrap returns a Monitor around t with the binding BindingFor derives from
+// t's capabilities. The walker is used only for the optional translation
+// cross-check and may be nil when opts.CrossCheck is false. It fails for
+// designs that do not expose their array (tlb.Inspectable).
+func Wrap(t tlb.TLB, walker tlb.Walker, opts Options) (*Monitor, error) {
+	insp, ok := t.(tlb.Inspectable)
+	if !ok {
+		return nil, fmt.Errorf("assert: %s does not support inspection", t.Name())
+	}
+	if opts.CrossCheck && walker == nil {
+		return nil, errors.New("assert: cross-check requires a walker")
+	}
+	m := &Monitor{
+		inner:   t,
+		insp:    insp,
+		walker:  walker,
+		opts:    opts,
+		design:  t.Name(),
+		entries: t.Entries(),
+		ways:    t.Ways(),
+	}
+	m.sets = m.entries / m.ways
+	m.sec, _ = t.(tlb.SecureTLB)
+	m.part, _ = t.(Partitioner)
+	m.pred, _ = t.(RandomFillPredictor)
+	m.vic, _ = t.(victimReporter)
+	m.starver, _ = t.(fillStarver)
+	if sm, ok := t.(SetMapper); ok {
+		m.setIdx = sm.SetIndex
+	} else {
+		sets := uint64(m.sets)
+		m.setIdx = func(vpn tlb.VPN) int { return int(uint64(vpn) % sets) }
+	}
+	m.binding = BindingFor(t, opts.CrossCheck)
+	m.pre = make([]tlb.EntrySnapshot, 0, m.entries)
+	m.post = make([]tlb.EntrySnapshot, 0, m.entries)
+	m.events = make([]Event, 0, 8)
+	m.acc.m = m
+	m.fl.m = m
+	return m, nil
+}
+
+// Unwrap returns the design inside a Monitor, or t itself when it is not
+// wrapped. Campaign code that needs the concrete design (e.g. to reseed the
+// RF TLB per trial) must go through Unwrap so it works identically with
+// checking on or off.
+func Unwrap(t tlb.TLB) tlb.TLB {
+	if m, ok := t.(*Monitor); ok {
+		return m.inner
+	}
+	return t
+}
+
+// Inner returns the wrapped design.
+func (m *Monitor) Inner() tlb.TLB { return m.inner }
+
+// Binding returns the assertion binding in effect for the wrapped design.
+func (m *Monitor) Binding() Binding { return m.binding }
+
+// domainOf derives the security domain of (asid, vpn) from the inner
+// design's security registers.
+func (m *Monitor) domainOf(asid tlb.ASID, vpn tlb.VPN) Domain {
+	if m.sec == nil || m.vic == nil || !m.vic.HasVictim() {
+		return DomainNone
+	}
+	if asid != m.sec.Victim() {
+		return DomainAttacker
+	}
+	if sbase, ssize := m.sec.SecureRegion(); ssize > 0 && vpn >= sbase && uint64(vpn-sbase) < ssize {
+		return DomainSecure
+	}
+	return DomainVictim
+}
+
+// emit appends an event to the current operation's stream and feeds the tap.
+func (m *Monitor) emit(e Event) {
+	m.events = append(m.events, e)
+	if m.opts.Tap != nil {
+		m.opts.Tap(e)
+	}
+}
+
+// Access is the assertion context for one Translate: the request, its
+// Result, the derived events, the pre/post array snapshots and the diff set.
+// The same Access value is reused across calls — assertions must not retain
+// it or any slice obtained from it past their return.
+type Access struct {
+	ASID   tlb.ASID
+	VPN    tlb.VPN
+	Domain Domain
+	Res    tlb.Result
+	Err    error
+
+	// PredVPN/PredFill hold the random-fill engine's predicted next
+	// decision; PredOK reports that the design declared a predictor.
+	PredVPN  tlb.VPN
+	PredFill bool
+	PredOK   bool
+
+	m      *Monitor
+	diffs  [4]int // flat indices that changed, capped (one is already the legal max)
+	ndiffs int
+}
+
+// Pre returns the pre-access array snapshot, set-major.
+func (a *Access) Pre() []tlb.EntrySnapshot { return a.m.pre }
+
+// Post returns the post-access array snapshot, set-major.
+func (a *Access) Post() []tlb.EntrySnapshot { return a.m.post }
+
+// Events returns the event stream derived from this access.
+func (a *Access) Events() []Event { return a.m.events }
+
+// Diffs returns the flat indices whose snapshot changed, capped at 4 (any
+// count past the legal maximum of one is already a violation; the extras
+// only improve messages).
+func (a *Access) Diffs() []int { return a.diffs[:a.ndiffs] }
+
+// NDiffs returns the (capped) number of changed slots.
+func (a *Access) NDiffs() int { return a.ndiffs }
+
+// findPost returns the flat index of the valid entry for (asid, vpn) in the
+// post-access snapshot, or -1. It searches the set the design's own mapping
+// indexes.
+func (a *Access) findPost(asid tlb.ASID, vpn tlb.VPN) int {
+	m := a.m
+	s := m.setIdx(vpn)
+	for w := 0; w < m.ways; w++ {
+		i := s*m.ways + w
+		e := &m.post[i]
+		if e.Valid && e.ASID == asid && e.VPN == vpn {
+			return i
+		}
+	}
+	return -1
+}
+
+// fillRange returns the way range [lo, hi) a fill from asid must target: the
+// design's declared partition when it has one, the whole set otherwise.
+func (a *Access) fillRange(asid tlb.ASID) (lo, hi int) {
+	if a.m.part != nil {
+		return a.m.part.FillRange(asid)
+	}
+	return 0, a.m.ways
+}
+
+// lruIndex recomputes the replacement policy's victim choice over the
+// pre-access snapshot: the first invalid way in [lo, hi) of set s, else the
+// way with the smallest stamp. Returned as a flat index.
+func (a *Access) lruIndex(s, lo, hi int) int {
+	m := a.m
+	victim, oldest := lo, ^uint64(0)
+	for w := lo; w < hi; w++ {
+		e := &m.pre[s*m.ways+w]
+		if !e.Valid {
+			return s*m.ways + w
+		}
+		if e.Stamp < oldest {
+			victim, oldest = w, e.Stamp
+		}
+	}
+	return s*m.ways + victim
+}
+
+// failf builds a Violation for the named assertion.
+func (a *Access) failf(assertion, format string, args ...any) error {
+	return &Violation{Assertion: assertion, Design: a.m.design, Detail: fmt.Sprintf(format, args...)}
+}
+
+// FlushInfo is the assertion context for one flush operation. Like Access it
+// is reused across calls and must not be retained.
+type FlushInfo struct {
+	// Kind is one of the four flush kinds.
+	Kind Kind
+	// ASID/VPN are the flushed key's components (meaningful per Kind).
+	ASID tlb.ASID
+	VPN  tlb.VPN
+
+	m *Monitor
+}
+
+// Post returns the post-flush array snapshot, set-major.
+func (f *FlushInfo) Post() []tlb.EntrySnapshot { return f.m.post }
+
+// failf builds a flush-completeness Violation.
+func (f *FlushInfo) failf(format string, args ...any) error {
+	return &Violation{Assertion: NameFlushCompleteness, Design: f.m.design, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Translate implements tlb.TLB: it forwards the access to the wrapped
+// design, derives the event stream, and evaluates the binding over the
+// transition. A detected violation is returned in place of the design's own
+// (nil) error.
+func (m *Monitor) Translate(asid tlb.ASID, vpn tlb.VPN) (tlb.Result, error) {
+	if p := m.pending; p != nil {
+		m.pending = nil
+		return tlb.Result{}, p
+	}
+	m.pre = m.insp.SnapshotAppend(m.pre[:0])
+
+	a := &m.acc
+	a.ASID, a.VPN = asid, vpn
+	a.PredVPN, a.PredFill, a.PredOK = 0, false, false
+	if m.pred != nil {
+		// Predict the Random Fill Engine's draw before the access so a
+		// biased or stuck RNG is exposed by comparing prediction and
+		// outcome.
+		a.PredVPN, a.PredFill, _ = m.pred.PredictNextRandomFill(asid, vpn)
+		a.PredOK = true
+	}
+
+	res, err := m.inner.Translate(asid, vpn)
+	m.post = m.insp.SnapshotAppend(m.post[:0])
+	m.Checks++
+
+	a.Res, a.Err = res, err
+	a.Domain = m.domainOf(asid, vpn)
+	a.ndiffs = 0
+	for i := range m.post {
+		if m.post[i] != m.pre[i] {
+			if a.ndiffs == len(a.diffs) {
+				break
+			}
+			a.diffs[a.ndiffs] = i
+			a.ndiffs++
+		}
+	}
+	m.deriveEvents(a)
+
+	for i := range m.binding.Assertions {
+		as := &m.binding.Assertions[i]
+		if as.Check == nil {
+			continue
+		}
+		if v := as.Check(a); v != nil {
+			return res, v
+		}
+	}
+	return res, err
+}
+
+// deriveEvents translates one access's Result into the typed event stream.
+func (m *Monitor) deriveEvents(a *Access) {
+	m.events = m.events[:0]
+	set := m.setIdx(a.VPN)
+	switch {
+	case a.Err != nil:
+		m.emit(Event{Kind: KindError, ASID: a.ASID, VPN: a.VPN, Set: set, Way: -1, Domain: a.Domain})
+	case a.Res.Hit:
+		way := -1
+		if i := a.findPost(a.ASID, a.VPN); i >= 0 {
+			way = i % m.ways
+		}
+		m.emit(Event{Kind: KindHit, ASID: a.ASID, VPN: a.VPN, PPN: a.Res.PPN, Set: set, Way: way, Domain: a.Domain})
+	default:
+		m.emit(Event{Kind: KindMiss, ASID: a.ASID, VPN: a.VPN, PPN: a.Res.PPN, Set: set, Way: -1, Domain: a.Domain})
+		switch {
+		case a.Res.RandomFilled:
+			// The RF TLB reports at most one eviction per access: the one
+			// its D' install caused.
+			rset, rway := m.setIdx(a.Res.RandomVPN), -1
+			if i := a.findPost(a.ASID, a.Res.RandomVPN); i >= 0 {
+				rset, rway = i/m.ways, i%m.ways
+			}
+			m.emitEvict(a, rset, rway)
+			m.emit(Event{Kind: KindRandomFill, ASID: a.ASID, VPN: a.Res.RandomVPN, Set: rset, Way: rway, Domain: m.domainOf(a.ASID, a.Res.RandomVPN)})
+		case a.Res.Filled:
+			way := -1
+			if i := a.findPost(a.ASID, a.VPN); i >= 0 {
+				way = i % m.ways
+			}
+			m.emitEvict(a, set, way)
+			m.emit(Event{Kind: KindFill, ASID: a.ASID, VPN: a.VPN, PPN: a.Res.PPN, Set: set, Way: way, Domain: a.Domain})
+		default:
+			m.emit(Event{Kind: KindNoFill, ASID: a.ASID, VPN: a.VPN, PPN: a.Res.PPN, Set: set, Way: -1, Domain: a.Domain})
+		}
+	}
+}
+
+// emitEvict emits the eviction event for an install at (set, way), carrying
+// the displaced translation's identity and domain.
+func (m *Monitor) emitEvict(a *Access, set, way int) {
+	if !a.Res.Evicted {
+		return
+	}
+	m.emit(Event{
+		Kind: KindEvict, ASID: a.Res.EvictedASID, VPN: a.Res.EvictedVPN,
+		Set: set, Way: way, Domain: m.domainOf(a.Res.EvictedASID, a.Res.EvictedVPN),
+	})
+}
+
+// recordPending stores the first violation found on an error-less path; it
+// is surfaced by the next Translate.
+func (m *Monitor) recordPending(v error) {
+	if v != nil && m.pending == nil {
+		m.pending = v
+	}
+}
+
+// afterFlush re-snapshots the array, emits the flush event and evaluates the
+// binding's flush assertions, recording the first violation as pending.
+func (m *Monitor) afterFlush(kind Kind, asid tlb.ASID, vpn tlb.VPN) {
+	m.post = m.insp.SnapshotAppend(m.post[:0])
+	m.events = m.events[:0]
+	m.emit(Event{Kind: kind, ASID: asid, VPN: vpn, Set: -1, Way: -1, Domain: m.domainOf(asid, vpn)})
+	f := &m.fl
+	f.Kind, f.ASID, f.VPN = kind, asid, vpn
+	for i := range m.binding.Assertions {
+		as := &m.binding.Assertions[i]
+		if as.CheckFlush == nil {
+			continue
+		}
+		if v := as.CheckFlush(f); v != nil {
+			m.recordPending(v)
+			return
+		}
+	}
+}
+
+// Probe implements tlb.TLB.
+func (m *Monitor) Probe(asid tlb.ASID, vpn tlb.VPN) bool { return m.inner.Probe(asid, vpn) }
+
+// FlushAll implements tlb.TLB.
+func (m *Monitor) FlushAll() {
+	m.inner.FlushAll()
+	m.afterFlush(KindFlushAll, 0, 0)
+}
+
+// FlushASID implements tlb.TLB.
+func (m *Monitor) FlushASID(asid tlb.ASID) {
+	m.inner.FlushASID(asid)
+	m.afterFlush(KindFlushASID, asid, 0)
+}
+
+// FlushPage implements tlb.TLB.
+func (m *Monitor) FlushPage(asid tlb.ASID, vpn tlb.VPN) bool {
+	r := m.inner.FlushPage(asid, vpn)
+	m.afterFlush(KindFlushPage, asid, vpn)
+	return r
+}
+
+// FlushPageAllASIDs implements tlb.TLB.
+func (m *Monitor) FlushPageAllASIDs(vpn tlb.VPN) bool {
+	r := m.inner.FlushPageAllASIDs(vpn)
+	m.afterFlush(KindFlushPageAll, 0, vpn)
+	return r
+}
+
+// Stats implements tlb.TLB.
+func (m *Monitor) Stats() tlb.Stats { return m.inner.Stats() }
+
+// ResetStats implements tlb.TLB.
+func (m *Monitor) ResetStats() { m.inner.ResetStats() }
+
+// Entries implements tlb.TLB.
+func (m *Monitor) Entries() int { return m.inner.Entries() }
+
+// Ways implements tlb.TLB.
+func (m *Monitor) Ways() int { return m.inner.Ways() }
+
+// Name implements tlb.TLB. The inner name is kept verbatim so wrapped and
+// unwrapped runs render identical tables.
+func (m *Monitor) Name() string { return m.design }
+
+// SetVictim implements tlb.SecureTLB, forwarding to the inner design when it
+// is secure and doing nothing otherwise (the SA TLB ignores the security
+// CSRs exactly the same way). The register write is emitted as an event
+// either way — the stream reflects what software requested.
+func (m *Monitor) SetVictim(asid tlb.ASID) {
+	if m.sec != nil {
+		m.sec.SetVictim(asid)
+	}
+	m.events = m.events[:0]
+	m.emit(Event{Kind: KindSetVictim, ASID: asid, Set: -1, Way: -1})
+}
+
+// SetSecureRegion implements tlb.SecureTLB.
+func (m *Monitor) SetSecureRegion(sbase tlb.VPN, ssize uint64) {
+	if m.sec != nil {
+		m.sec.SetSecureRegion(sbase, ssize)
+	}
+	m.events = m.events[:0]
+	m.emit(Event{Kind: KindSetSecureRegion, VPN: sbase, Size: ssize, Set: -1, Way: -1})
+}
+
+// Victim implements tlb.SecureTLB.
+func (m *Monitor) Victim() tlb.ASID {
+	if m.sec != nil {
+		return m.sec.Victim()
+	}
+	return 0
+}
+
+// SecureRegion implements tlb.SecureTLB.
+func (m *Monitor) SecureRegion() (tlb.VPN, uint64) {
+	if m.sec != nil {
+		return m.sec.SecureRegion()
+	}
+	return 0, 0
+}
+
+// CloneWith implements tlb.Cloner: the inner design is cloned onto the new
+// walker and wrapped in a fresh Monitor with the same configuration (minus
+// the Tap — see Options.Tap), so per-worker machine clones keep checking
+// independently.
+func (m *Monitor) CloneWith(w tlb.Walker) tlb.TLB {
+	cl, ok := m.inner.(tlb.Cloner)
+	if !ok {
+		return nil
+	}
+	inner := cl.CloneWith(w)
+	if inner == nil {
+		return nil
+	}
+	n, err := Wrap(inner, w, Options{CrossCheck: m.opts.CrossCheck})
+	if err != nil {
+		return nil
+	}
+	return n
+}

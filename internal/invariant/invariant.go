@@ -1,588 +1,44 @@
-// Package invariant provides a runtime structural-invariant checker for the
-// TLB designs, in the spirit of the security-assertion checking of
-// "Translating Common Security Assertions Across Processor Designs": the
-// microarchitectural guarantees the paper's security claims rest on are
-// re-validated after every access, so corrupted simulator state is detected
-// at the access that exposes it instead of silently skewing result tables.
+// Package invariant is a thin compatibility shim over the design-agnostic
+// security-assertion layer in internal/assert, which replaced this package's
+// original per-design checker. The hard-coded SP/RF check bodies that used to
+// live here are now declarative assertions bound per design by capability
+// (see assert.BindingFor); existing callers keep their API — Wrap/Unwrap,
+// Config, Checker, ErrViolation — and get the new layer underneath.
 //
-// The Checker wraps an inspectable TLB design (SA, SP or RF) and, around
-// every Translate, snapshots the array and validates that exactly one legal
-// transition occurred:
-//
-//   - a hit refreshes only the hit entry's LRU stamp, which becomes the most
-//     recent in the array (a stuck LRU update is a violation);
-//   - a fill installs the requested translation at the true LRU way of the
-//     correct set — inside the requester's partition on the SP TLB — with a
-//     consistent eviction report;
-//   - an RF random fill installs exactly the D' the Random Fill Engine's
-//     PRNG stream prescribes (a biased RNG is a violation), and a no-fill
-//     access never leaks the requested translation into the array;
-//   - an error leaves the array untouched.
-//
-// Global checks then confirm the array itself is well-formed: entries sit in
-// the set their page number indexes, no translation is duplicated, per-set
-// LRU stamps form a valid order, Sec bits appear only on in-region victim
-// entries, and the hit/miss counters tally. An optional cross-check re-walks
-// the returned translation against the page tables, which is what catches a
-// corrupted page-table walk whose wrong PPN the TLB faithfully installed.
-//
-// Violations surface as a *Violation error satisfying
-// errors.Is(err, ErrViolation), so the resilient campaign runner quarantines
-// the trial with a dedicated "invariant" kind. The checker is strictly
-// opt-in: an unwrapped design pays nothing, which keeps the hot path free of
-// overhead when checking is disabled.
+// New code should import internal/assert directly.
 package invariant
 
 import (
-	"errors"
-	"fmt"
-
+	"securetlb/internal/assert"
 	"securetlb/internal/tlb"
 )
 
-// ErrViolation is the sentinel matched by errors.Is for every invariant
-// violation.
-var ErrViolation = errors.New("invariant: violation")
+// ErrViolation is the sentinel matched by errors.Is for every assertion
+// violation. It is the assert layer's sentinel, so errors.Is works
+// identically whichever package a caller matched against.
+var ErrViolation = assert.ErrViolation
 
-// Violation describes one detected invariant violation.
-type Violation struct {
-	// Invariant is the short name of the violated invariant, e.g. "lru-touch"
-	// or "sp-partition".
-	Invariant string
-	// Design is the wrapped TLB's Name().
-	Design string
-	// Detail is a human-readable description of the violation.
-	Detail string
-}
+// Violation is the assert layer's violation error.
+type Violation = assert.Violation
 
-// Error implements error.
-func (v *Violation) Error() string {
-	return fmt.Sprintf("invariant %s violated on %s: %s", v.Invariant, v.Design, v.Detail)
-}
-
-// Is reports errors.Is equivalence with ErrViolation.
-func (v *Violation) Is(target error) bool { return target == ErrViolation }
+// Checker is the assert layer's monitor.
+type Checker = assert.Monitor
 
 // Config selects the optional (more expensive) checks.
 type Config struct {
 	// CrossCheck re-walks every successful translation against the walker
-	// and compares physical page numbers. It costs one extra page walk per
-	// access but is the only check that catches a corrupted walk whose wrong
-	// result the TLB installed faithfully.
+	// and compares physical page numbers (assert.Options.CrossCheck).
 	CrossCheck bool
 }
 
-// Checker wraps an inspectable TLB design and validates the structural
-// invariants after every access. It implements tlb.TLB, tlb.SecureTLB
-// (forwarding to the inner design, or no-ops for a non-secure design, so a
-// wrapped TLB drops into any machine unchanged) and tlb.Cloner.
-type Checker struct {
-	inner  tlb.TLB
-	insp   tlb.Inspectable
-	walker tlb.Walker
-	cfg    Config
-
-	sp *tlb.SP
-	rf *tlb.RF
-
-	entries, ways, sets int
-	prev, cur           []tlb.EntrySnapshot
-
-	// pending holds a violation found on a path that cannot return an error
-	// (the flush operations); it is surfaced by the next Translate.
-	pending error
-
-	// Checks counts completed per-access validations, for tests and reports.
-	Checks uint64
-}
-
-var (
-	_ tlb.SecureTLB = (*Checker)(nil)
-	_ tlb.Cloner    = (*Checker)(nil)
-)
-
-// Wrap returns a Checker around t. The walker is used only for the optional
-// translation cross-check and may be nil when cfg.CrossCheck is false. It
-// fails for designs that do not expose their array (tlb.Inspectable).
+// Wrap returns a monitor around t with the assertion binding its
+// capabilities select. The walker is used only for the optional translation
+// cross-check and may be nil when cfg.CrossCheck is false. It fails for
+// designs that do not expose their array (tlb.Inspectable).
 func Wrap(t tlb.TLB, walker tlb.Walker, cfg Config) (*Checker, error) {
-	insp, ok := t.(tlb.Inspectable)
-	if !ok {
-		return nil, fmt.Errorf("invariant: %s does not support inspection", t.Name())
-	}
-	if cfg.CrossCheck && walker == nil {
-		return nil, errors.New("invariant: cross-check requires a walker")
-	}
-	c := &Checker{
-		inner:   t,
-		insp:    insp,
-		walker:  walker,
-		cfg:     cfg,
-		entries: t.Entries(),
-		ways:    t.Ways(),
-	}
-	c.sets = c.entries / c.ways
-	c.sp, _ = t.(*tlb.SP)
-	c.rf, _ = t.(*tlb.RF)
-	c.prev = make([]tlb.EntrySnapshot, 0, c.entries)
-	c.cur = make([]tlb.EntrySnapshot, 0, c.entries)
-	return c, nil
+	return assert.Wrap(t, walker, assert.Options{CrossCheck: cfg.CrossCheck})
 }
 
-// Unwrap returns the design inside a Checker, or t itself when it is not
-// wrapped. Campaign code that needs the concrete design (e.g. to reseed the
-// RF TLB per trial) must go through Unwrap so it works identically with
-// checking on or off.
-func Unwrap(t tlb.TLB) tlb.TLB {
-	if c, ok := t.(*Checker); ok {
-		return c.inner
-	}
-	return t
-}
-
-// Inner returns the wrapped design.
-func (c *Checker) Inner() tlb.TLB { return c.inner }
-
-func (c *Checker) violation(invariant, format string, args ...any) error {
-	return &Violation{Invariant: invariant, Design: c.inner.Name(), Detail: fmt.Sprintf(format, args...)}
-}
-
-// setIndex mirrors the designs' VPN-to-set mapping.
-func (c *Checker) setIndex(vpn tlb.VPN) int { return int(uint64(vpn) % uint64(c.sets)) }
-
-// findCur returns the flat index of the valid entry for (asid, vpn) in the
-// post-access snapshot, or -1.
-func (c *Checker) findCur(asid tlb.ASID, vpn tlb.VPN) int {
-	s := c.setIndex(vpn)
-	for w := 0; w < c.ways; w++ {
-		i := s*c.ways + w
-		e := &c.cur[i]
-		if e.Valid && e.ASID == asid && e.VPN == vpn {
-			return i
-		}
-	}
-	return -1
-}
-
-// lruIndex recomputes the designs' fill-victim choice over the pre-access
-// snapshot: the first invalid way in [lo, hi) of set s, else the way with
-// the smallest stamp. Returned as a flat index.
-func (c *Checker) lruIndex(snap []tlb.EntrySnapshot, s, lo, hi int) int {
-	victim, oldest := lo, ^uint64(0)
-	for w := lo; w < hi; w++ {
-		e := &snap[s*c.ways+w]
-		if !e.Valid {
-			return s*c.ways + w
-		}
-		if e.Stamp < oldest {
-			victim, oldest = w, e.Stamp
-		}
-	}
-	return s*c.ways + victim
-}
-
-// diffIndices collects the flat indices whose snapshot changed across the
-// access (capped — any count past the legal maximum of one is already a
-// violation, the extra indices only improve the message).
-func (c *Checker) diffIndices() []int {
-	var d []int
-	for i := range c.cur {
-		if c.cur[i] != c.prev[i] {
-			d = append(d, i)
-			if len(d) == 4 {
-				break
-			}
-		}
-	}
-	return d
-}
-
-// Translate implements tlb.TLB: it forwards the access to the wrapped design
-// and validates the resulting state transition. A detected violation is
-// returned in place of the design's own (nil) error.
-func (c *Checker) Translate(asid tlb.ASID, vpn tlb.VPN) (tlb.Result, error) {
-	if p := c.pending; p != nil {
-		c.pending = nil
-		return tlb.Result{}, p
-	}
-	c.prev = c.insp.SnapshotAppend(c.prev[:0])
-
-	// Predict the Random Fill Engine's draw before the access so a biased
-	// or stuck RNG is exposed by comparing prediction and outcome.
-	var predVPN tlb.VPN
-	var predFill bool
-	if c.rf != nil {
-		g := c.rf.RNGClone()
-		predVPN, predFill, _ = c.rf.PredictRandomFill(&g, asid, vpn)
-	}
-
-	res, err := c.inner.Translate(asid, vpn)
-	c.cur = c.insp.SnapshotAppend(c.cur[:0])
-	c.Checks++
-
-	if v := c.checkTransition(asid, vpn, res, err, predVPN, predFill); v != nil {
-		return res, v
-	}
-	if v := c.checkGlobal(); v != nil {
-		return res, v
-	}
-	if err == nil && c.cfg.CrossCheck {
-		ppn, _, werr := c.walker.Walk(asid, vpn)
-		if werr != nil {
-			return res, c.violation("xlate-cross", "TLB returned %#x for asid %d vpn %#x but the page walk faults: %v", res.PPN, asid, vpn, werr)
-		}
-		if ppn != res.PPN {
-			return res, c.violation("xlate-cross", "TLB returned ppn %#x for asid %d vpn %#x, page tables say %#x", res.PPN, asid, vpn, ppn)
-		}
-	}
-	return res, err
-}
-
-// checkTransition validates that the access performed exactly one legal
-// state transition.
-func (c *Checker) checkTransition(asid tlb.ASID, vpn tlb.VPN, res tlb.Result, err error, predVPN tlb.VPN, predFill bool) error {
-	diffs := c.diffIndices()
-
-	if err != nil {
-		// Every error path leaves the array untouched.
-		if len(diffs) != 0 {
-			return c.violation("error-mutation", "erroring access (%v) mutated %d slot(s), first at set %d way %d", err, len(diffs), diffs[0]/c.ways, diffs[0]%c.ways)
-		}
-		return nil
-	}
-
-	switch {
-	case res.Hit:
-		return c.checkHit(asid, vpn, res, diffs)
-	case res.RandomFilled:
-		return c.checkRandomFill(asid, vpn, res, diffs, predVPN, predFill)
-	case res.Filled:
-		return c.checkFill(asid, vpn, res, diffs)
-	default:
-		// RF no-fill service (random fill skipped): nothing may change, and
-		// the requested translation — absent before, or it would have hit —
-		// must not have leaked out of the no-fill buffer.
-		if len(diffs) != 0 {
-			return c.violation("nofill-delta", "buffered no-fill access mutated %d slot(s)", len(diffs))
-		}
-		if c.findCur(asid, vpn) >= 0 {
-			return c.violation("nofill-leak", "no-fill buffer leaked asid %d vpn %#x into the array", asid, vpn)
-		}
-		return nil
-	}
-}
-
-func (c *Checker) checkHit(asid tlb.ASID, vpn tlb.VPN, res tlb.Result, diffs []int) error {
-	idx := c.findCur(asid, vpn)
-	if idx < 0 {
-		return c.violation("hit-present", "hit reported for asid %d vpn %#x but the translation is not in the array", asid, vpn)
-	}
-	if len(diffs) == 0 {
-		return c.violation("lru-touch", "hit on asid %d vpn %#x did not refresh the LRU stamp (stuck LRU)", asid, vpn)
-	}
-	if len(diffs) != 1 || diffs[0] != idx {
-		return c.violation("hit-delta", "hit on asid %d vpn %#x changed %d slot(s), first at set %d way %d (want only set %d way %d)",
-			asid, vpn, len(diffs), diffs[0]/c.ways, diffs[0]%c.ways, idx/c.ways, idx%c.ways)
-	}
-	p, q := c.prev[idx], c.cur[idx]
-	p.Stamp = q.Stamp
-	if p != q {
-		return c.violation("hit-delta", "hit on asid %d vpn %#x changed fields beyond the LRU stamp: %+v -> %+v", asid, vpn, c.prev[idx], q)
-	}
-	if q.Stamp <= c.prev[idx].Stamp {
-		return c.violation("lru-touch", "hit stamp went %d -> %d (not monotonic)", c.prev[idx].Stamp, q.Stamp)
-	}
-	for i := range c.cur {
-		if i != idx && c.cur[i].Valid && c.cur[i].Stamp >= q.Stamp {
-			return c.violation("lru-order", "hit entry's stamp %d is not the most recent (set %d way %d holds %d)", q.Stamp, i/c.ways, i%c.ways, c.cur[i].Stamp)
-		}
-	}
-	if res.PPN != q.PPN {
-		return c.violation("hit-ppn", "hit returned ppn %#x but the array holds %#x", res.PPN, q.PPN)
-	}
-	return nil
-}
-
-// fillRange returns the way range [lo, hi) a fill from asid must target: the
-// requester's partition on an SP TLB with an active victim, the whole set
-// otherwise.
-func (c *Checker) fillRange(asid tlb.ASID) (lo, hi int) {
-	if c.sp != nil && c.sp.HasVictim() {
-		if asid == c.sp.Victim() {
-			return 0, c.sp.VictimWays()
-		}
-		return c.sp.VictimWays(), c.ways
-	}
-	return 0, c.ways
-}
-
-// checkInstall validates a fresh install at flat index idx: correct set,
-// LRU-chosen victim within [lo, hi), consistent eviction report, and a stamp
-// newer than the whole pre-access array.
-func (c *Checker) checkInstall(idx int, vpn tlb.VPN, lo, hi int, res tlb.Result, reportEvict bool) error {
-	s := c.setIndex(vpn)
-	if idx/c.ways != s {
-		return c.violation("set-index", "vpn %#x installed in set %d, indexes set %d", vpn, idx/c.ways, s)
-	}
-	if w := idx % c.ways; w < lo || w >= hi {
-		return c.violation("sp-partition", "fill landed in way %d, outside the requester's partition [%d,%d)", w, lo, hi)
-	}
-	if want := c.lruIndex(c.prev, s, lo, hi); idx != want {
-		return c.violation("lru-victim", "fill chose set %d way %d, LRU policy requires way %d", s, idx%c.ways, want%c.ways)
-	}
-	p := c.prev[idx]
-	if reportEvict {
-		if p.Valid && (!res.Evicted || res.EvictedVPN != p.VPN || res.EvictedASID != p.ASID) {
-			return c.violation("evict-report", "fill displaced asid %d vpn %#x but reported Evicted=%v vpn %#x asid %d", p.ASID, p.VPN, res.Evicted, res.EvictedVPN, res.EvictedASID)
-		}
-		if !p.Valid && res.Evicted {
-			return c.violation("evict-report", "fill into an invalid way reported an eviction")
-		}
-	}
-	q := c.cur[idx]
-	for i := range c.prev {
-		if i != idx && c.prev[i].Valid && c.prev[i].Stamp >= q.Stamp {
-			return c.violation("lru-order", "fill stamp %d is not newer than resident stamp %d (set %d way %d)", q.Stamp, c.prev[i].Stamp, i/c.ways, i%c.ways)
-		}
-	}
-	return nil
-}
-
-func (c *Checker) checkFill(asid tlb.ASID, vpn tlb.VPN, res tlb.Result, diffs []int) error {
-	idx := c.findCur(asid, vpn)
-	if idx < 0 {
-		return c.violation("fill-present", "fill reported for asid %d vpn %#x but the translation is not in the array (dropped fill)", asid, vpn)
-	}
-	if len(diffs) != 1 || diffs[0] != idx {
-		first := -1
-		if len(diffs) > 0 {
-			first = diffs[0]
-		}
-		return c.violation("fill-delta", "fill of asid %d vpn %#x changed %d slot(s), first at flat index %d (want only %d)", asid, vpn, len(diffs), first, idx)
-	}
-	if q := c.cur[idx]; q.PPN != res.PPN {
-		return c.violation("fill-ppn", "fill installed ppn %#x but the access returned %#x", q.PPN, res.PPN)
-	}
-	lo, hi := c.fillRange(asid)
-	return c.checkInstall(idx, vpn, lo, hi, res, true)
-}
-
-func (c *Checker) checkRandomFill(asid tlb.ASID, vpn tlb.VPN, res tlb.Result, diffs []int, predVPN tlb.VPN, predFill bool) error {
-	if c.rf == nil {
-		return c.violation("rfill-design", "%s reported a random fill but is not an RF TLB", c.inner.Name())
-	}
-	if !predFill {
-		return c.violation("rng-stream", "random fill of vpn %#x occurred where the RFE stream prescribes none", res.RandomVPN)
-	}
-	if res.RandomVPN != predVPN {
-		return c.violation("rng-stream", "random fill chose vpn %#x, the RFE stream prescribes %#x (biased RNG)", res.RandomVPN, predVPN)
-	}
-	idx := c.findCur(asid, res.RandomVPN)
-	if idx < 0 {
-		return c.violation("rfill-present", "random fill reported for vpn %#x but the translation is not in the array (dropped fill)", res.RandomVPN)
-	}
-	if len(diffs) != 1 || diffs[0] != idx {
-		return c.violation("rfill-delta", "random fill of vpn %#x changed %d slot(s) (want only the D' slot)", res.RandomVPN, len(diffs))
-	}
-	if !res.Filled && c.findCur(asid, vpn) >= 0 {
-		return c.violation("nofill-leak", "secure request asid %d vpn %#x leaked into the array alongside its random fill", asid, vpn)
-	}
-	p := c.prev[idx]
-	if p.Valid && p.ASID == asid && p.VPN == res.RandomVPN {
-		// D' collided with a resident entry: a refresh, not an install.
-		q := c.cur[idx]
-		p.Stamp, p.Sec = q.Stamp, q.Sec
-		if p != q {
-			return c.violation("rfill-delta", "random-fill refresh of vpn %#x changed fields beyond stamp and Sec", res.RandomVPN)
-		}
-		return nil
-	}
-	// The RF TLB reports at most one eviction per access; when the random
-	// fill follows a buffered request the Result's eviction fields describe
-	// the D' install, so they are checked like a normal fill's.
-	return c.checkInstall(idx, res.RandomVPN, 0, c.ways, res, true)
-}
-
-// checkGlobal validates whole-array well-formedness after the access.
-func (c *Checker) checkGlobal() error {
-	for i := range c.cur {
-		e := &c.cur[i]
-		if !e.Valid {
-			continue
-		}
-		if want := c.setIndex(e.VPN); i/c.ways != want {
-			return c.violation("set-index", "entry for vpn %#x resides in set %d, indexes set %d", e.VPN, i/c.ways, want)
-		}
-	}
-	for s := 0; s < c.sets; s++ {
-		for w := 0; w < c.ways; w++ {
-			a := &c.cur[s*c.ways+w]
-			if !a.Valid {
-				continue
-			}
-			for w2 := w + 1; w2 < c.ways; w2++ {
-				b := &c.cur[s*c.ways+w2]
-				if !b.Valid {
-					continue
-				}
-				if a.ASID == b.ASID && a.VPN == b.VPN {
-					return c.violation("dup-entry", "asid %d vpn %#x duplicated in set %d ways %d and %d", a.ASID, a.VPN, s, w, w2)
-				}
-				if a.Stamp == b.Stamp {
-					return c.violation("lru-perm", "set %d ways %d and %d share LRU stamp %d (order is not a permutation)", s, w, w2, a.Stamp)
-				}
-			}
-		}
-	}
-	if c.rf != nil && c.rf.HasVictim() {
-		victim := c.rf.Victim()
-		sbase, ssize := c.rf.SecureRegion()
-		for i := range c.cur {
-			e := &c.cur[i]
-			if !e.Valid || !e.Sec {
-				continue
-			}
-			if e.ASID != victim {
-				return c.violation("sec-confine", "Sec bit set on asid %d entry (victim is %d) for vpn %#x", e.ASID, victim, e.VPN)
-			}
-			if ssize == 0 || e.VPN < sbase || uint64(e.VPN-sbase) >= ssize {
-				return c.violation("sec-confine", "Sec-bit entry vpn %#x lies outside the secure region [%#x,%#x)", e.VPN, sbase, uint64(sbase)+ssize)
-			}
-		}
-	}
-	if s := c.inner.Stats(); s.Hits+s.Misses != s.Lookups {
-		return c.violation("stats", "hits (%d) + misses (%d) != lookups (%d)", s.Hits, s.Misses, s.Lookups)
-	}
-	return nil
-}
-
-// recordPending stores the first violation found on an error-less path; it
-// is surfaced by the next Translate.
-func (c *Checker) recordPending(v error) {
-	if v != nil && c.pending == nil {
-		c.pending = v
-	}
-}
-
-// afterFlush validates that a flush actually removed what it claims to.
-func (c *Checker) afterFlush(check func(e *tlb.EntrySnapshot) error) {
-	c.cur = c.insp.SnapshotAppend(c.cur[:0])
-	for i := range c.cur {
-		if !c.cur[i].Valid {
-			continue
-		}
-		if v := check(&c.cur[i]); v != nil {
-			c.recordPending(v)
-			return
-		}
-	}
-}
-
-// Probe implements tlb.TLB.
-func (c *Checker) Probe(asid tlb.ASID, vpn tlb.VPN) bool { return c.inner.Probe(asid, vpn) }
-
-// FlushAll implements tlb.TLB.
-func (c *Checker) FlushAll() {
-	c.inner.FlushAll()
-	c.afterFlush(func(e *tlb.EntrySnapshot) error {
-		return c.violation("flush", "entry for asid %d vpn %#x survived FlushAll", e.ASID, e.VPN)
-	})
-}
-
-// FlushASID implements tlb.TLB.
-func (c *Checker) FlushASID(asid tlb.ASID) {
-	c.inner.FlushASID(asid)
-	c.afterFlush(func(e *tlb.EntrySnapshot) error {
-		if e.ASID == asid {
-			return c.violation("flush", "asid %d entry for vpn %#x survived FlushASID", asid, e.VPN)
-		}
-		return nil
-	})
-}
-
-// FlushPage implements tlb.TLB.
-func (c *Checker) FlushPage(asid tlb.ASID, vpn tlb.VPN) bool {
-	r := c.inner.FlushPage(asid, vpn)
-	if c.inner.Probe(asid, vpn) {
-		c.recordPending(c.violation("flush", "asid %d vpn %#x still present after FlushPage", asid, vpn))
-	}
-	return r
-}
-
-// FlushPageAllASIDs implements tlb.TLB.
-func (c *Checker) FlushPageAllASIDs(vpn tlb.VPN) bool {
-	r := c.inner.FlushPageAllASIDs(vpn)
-	c.afterFlush(func(e *tlb.EntrySnapshot) error {
-		if e.VPN == vpn {
-			return c.violation("flush", "vpn %#x (asid %d) survived FlushPageAllASIDs", vpn, e.ASID)
-		}
-		return nil
-	})
-	return r
-}
-
-// Stats implements tlb.TLB.
-func (c *Checker) Stats() tlb.Stats { return c.inner.Stats() }
-
-// ResetStats implements tlb.TLB.
-func (c *Checker) ResetStats() { c.inner.ResetStats() }
-
-// Entries implements tlb.TLB.
-func (c *Checker) Entries() int { return c.inner.Entries() }
-
-// Ways implements tlb.TLB.
-func (c *Checker) Ways() int { return c.inner.Ways() }
-
-// Name implements tlb.TLB. The inner name is kept verbatim so wrapped and
-// unwrapped runs render identical tables.
-func (c *Checker) Name() string { return c.inner.Name() }
-
-// SetVictim implements tlb.SecureTLB, forwarding to the inner design when it
-// is secure and doing nothing otherwise (the SA TLB ignores the security
-// CSRs exactly the same way).
-func (c *Checker) SetVictim(asid tlb.ASID) {
-	if s, ok := c.inner.(tlb.SecureTLB); ok {
-		s.SetVictim(asid)
-	}
-}
-
-// SetSecureRegion implements tlb.SecureTLB.
-func (c *Checker) SetSecureRegion(sbase tlb.VPN, ssize uint64) {
-	if s, ok := c.inner.(tlb.SecureTLB); ok {
-		s.SetSecureRegion(sbase, ssize)
-	}
-}
-
-// Victim implements tlb.SecureTLB.
-func (c *Checker) Victim() tlb.ASID {
-	if s, ok := c.inner.(tlb.SecureTLB); ok {
-		return s.Victim()
-	}
-	return 0
-}
-
-// SecureRegion implements tlb.SecureTLB.
-func (c *Checker) SecureRegion() (tlb.VPN, uint64) {
-	if s, ok := c.inner.(tlb.SecureTLB); ok {
-		return s.SecureRegion()
-	}
-	return 0, 0
-}
-
-// CloneWith implements tlb.Cloner: the inner design is cloned onto the new
-// walker and wrapped in a fresh Checker with the same configuration, so
-// per-worker machine clones keep checking independently.
-func (c *Checker) CloneWith(w tlb.Walker) tlb.TLB {
-	cl, ok := c.inner.(tlb.Cloner)
-	if !ok {
-		return nil
-	}
-	inner := cl.CloneWith(w)
-	if inner == nil {
-		return nil
-	}
-	n, err := Wrap(inner, w, c.cfg)
-	if err != nil {
-		return nil
-	}
-	return n
-}
+// Unwrap returns the design inside a monitor, or t itself when it is not
+// wrapped.
+func Unwrap(t tlb.TLB) tlb.TLB { return assert.Unwrap(t) }

@@ -41,9 +41,9 @@ var goldenCases = []struct {
 	}},
 	{"fault_matrix", func() string {
 		return FaultMatrix([][]string{
-			{"tlb-tag-flip", "SA TLB", "16", "invariant:10", "0", "6", "0", "flipped VPN bit 7"},
-			{"ptw-ppn-flip", "RF TLB", "16", "exit-code:16", "0", "0", "0", "flipped PPN bit 3"},
-			{"timer-skew", "SP TLB", "16", "0", "16", "0", "0", "cycle count +2"},
+			{"tlb-tag-flip", "SA TLB", "16", "invariant:10", "single-transition:10", "0", "6", "0", "flipped VPN bit 7"},
+			{"ptw-ppn-flip", "RF TLB", "16", "exit-code:16", "-", "0", "0", "0", "flipped PPN bit 3"},
+			{"timer-skew", "SP TLB", "16", "0", "-", "16", "0", "0", "cycle count +2"},
 		})
 	}},
 }

@@ -91,6 +91,6 @@ func Quarantine(rows [][]string) string {
 func FaultMatrix(rows [][]string) string {
 	var b strings.Builder
 	b.WriteString("Fault matrix (per injected site: how each faulted trial was accounted for):\n")
-	b.WriteString(Table([]string{"Site", "Design", "Trials", "Detected", "Benign", "Latent", "SILENT", "Example fault"}, rows))
+	b.WriteString(Table([]string{"Site", "Design", "Trials", "Detected", "Assertions", "Benign", "Latent", "SILENT", "Example fault"}, rows))
 	return b.String()
 }

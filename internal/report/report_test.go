@@ -81,7 +81,7 @@ func TestQuarantineRendersRows(t *testing.T) {
 
 func TestFaultMatrixRendersRows(t *testing.T) {
 	out := FaultMatrix([][]string{
-		{"tlb-tag-flip", "SA TLB", "16", "invariant:10", "0", "6", "0", "flipped VPN bit 7"},
+		{"tlb-tag-flip", "SA TLB", "16", "invariant:10", "single-transition:10", "0", "6", "0", "flipped VPN bit 7"},
 	})
 	for _, want := range []string{"Fault matrix", "SILENT", "tlb-tag-flip", "invariant:10"} {
 		if !strings.Contains(out, want) {

@@ -22,9 +22,9 @@ import (
 	"fmt"
 	"path/filepath"
 
+	"securetlb/internal/assert"
 	"securetlb/internal/checkpoint"
 	"securetlb/internal/faultinject"
-	"securetlb/internal/invariant"
 	"securetlb/internal/model"
 	"securetlb/internal/pool"
 )
@@ -39,6 +39,10 @@ type FaultCell struct {
 	Trials int
 	// Detected counts quarantined trials by kind ("invariant", "fault", ...).
 	Detected map[string]int
+	// Assertions counts "invariant"-kind detections by the name of the
+	// declarative assertion that fired (assert.Violation.Assertion) — the
+	// matrix's answer to "which property caught this fault".
+	Assertions map[string]int
 	// Benign counts trials where the fault fired but the outcome matched the
 	// clean run bit-for-bit; Latent counts trials where it never fired.
 	Benign, Latent int
@@ -62,12 +66,30 @@ func (fc FaultCell) DetectedTotal() int {
 // Kinds renders the detection map compactly in a stable order.
 func (fc FaultCell) Kinds() string {
 	s := ""
-	for _, k := range []string{"invariant", "fault", "panic", "fuel-exhausted", "bench-failed"} {
+	for _, k := range []string{"invariant", "fault", "panic", "fuel-exhausted", "bench-failed", "corrupt-refused"} {
 		if n := fc.Detected[k]; n > 0 {
 			if s != "" {
 				s += " "
 			}
 			s += fmt.Sprintf("%s:%d", k, n)
+		}
+	}
+	if s == "" {
+		s = "-"
+	}
+	return s
+}
+
+// AssertionNames renders the assertion tally compactly, ordered as the
+// catalog declares the assertions (a stable, meaningful order).
+func (fc FaultCell) AssertionNames() string {
+	s := ""
+	for _, a := range assert.Catalog() {
+		if n := fc.Assertions[a.Name]; n > 0 {
+			if s != "" {
+				s += " "
+			}
+			s += fmt.Sprintf("%s:%d", a.Name, n)
 		}
 	}
 	if s == "" {
@@ -89,8 +111,9 @@ func (c Config) RunFaultCell(v model.Vulnerability, mapped bool, site faultinjec
 		Design:   c.Design.String(),
 		Vuln:     v.String(),
 		Mapped:   mapped,
-		Trials:   trials,
-		Detected: map[string]int{},
+		Trials:     trials,
+		Detected:   map[string]int{},
+		Assertions: map[string]int{},
 	}
 
 	// Clean reference: every trial must complete; a clean failure means the
@@ -119,7 +142,7 @@ func (c Config) RunFaultCell(v model.Vulnerability, mapped bool, site faultinjec
 	}
 	for trial := 0; trial < trials; trial++ {
 		inj := faultinject.New(site, faulted.faultSeed(trial, mapped))
-		if err := inj.Arm(invariant.Unwrap(fp.machine.TLB), fp.machine.PT, fp.machine.Mem); err != nil {
+		if err := inj.Arm(assert.Unwrap(fp.machine.TLB), fp.machine.PT, fp.machine.Mem); err != nil {
 			return cell, err
 		}
 		var miss bool
@@ -139,6 +162,10 @@ func (c Config) RunFaultCell(v model.Vulnerability, mapped bool, site faultinjec
 				return cell, fmt.Errorf("faulted trial %d: infrastructure error: %w", trial, err)
 			}
 			cell.Detected[kind]++
+			var av *assert.Violation
+			if errors.As(err, &av) {
+				cell.Assertions[av.Assertion]++
+			}
 		case miss != ref[trial]:
 			cell.Silent = append(cell.Silent, trial)
 		case inj.Fired():

@@ -43,7 +43,7 @@ func TestFaultMatrix(t *testing.T) {
 	for _, site := range faultinject.MachineSites() {
 		site := site
 		t.Run(string(site), func(t *testing.T) {
-			designs := []Design{DesignSA, DesignSP, DesignRF}
+			designs := []Design{DesignSA, DesignFA, DesignSP, DesignRF}
 			if site.RFOnly() {
 				designs = []Design{DesignRF}
 			}
@@ -192,7 +192,7 @@ func TestCampaignWithFaultsQuarantines(t *testing.T) {
 // real benchmark traffic) and the statistics must equal the unchecked run.
 func TestInvariantsCleanCampaign(t *testing.T) {
 	v := matrixVuln(t)
-	for _, d := range []Design{DesignSA, DesignSP, DesignRF} {
+	for _, d := range []Design{DesignSA, DesignFA, DesignSP, DesignRF} {
 		cfg := DefaultConfig(d)
 		cfg.Trials = 24
 		checked := cfg
@@ -207,6 +207,91 @@ func TestInvariantsCleanCampaign(t *testing.T) {
 		}
 		if base.Counts != got.Counts {
 			t.Errorf("%s: invariant checking changed the statistics: %+v vs %+v", d, base.Counts, got.Counts)
+		}
+	}
+}
+
+// TestEverySiteCaughtByAnAssertion is the cross-matrix coverage gate of the
+// assertion layer: every registered fault site must be detected by at least
+// one *named* declarative assertion on at least one design (for the two
+// at-rest checkpoint sites, by the corrupt-checkpoint refusal, which is their
+// detection surface). A site that only ever surfaces as a generic fault or
+// stays latent at this sampling depth fails the test.
+func TestEverySiteCaughtByAnAssertion(t *testing.T) {
+	v := matrixVuln(t)
+	for _, site := range faultinject.Sites() {
+		site := site
+		t.Run(string(site), func(t *testing.T) {
+			if site == faultinject.SiteCheckpointTruncate || site == faultinject.SiteCheckpointBitRot {
+				cfg := matrixConfig(DesignSA)
+				dir := t.TempDir()
+				for seed := uint64(1); seed <= 8; seed++ {
+					detected, _, err := cfg.VerifyCheckpointFault(dir, site, seed)
+					if err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+					if detected {
+						return
+					}
+				}
+				t.Fatalf("at-rest site %s never refused a corrupted checkpoint in 8 seeds", site)
+			}
+			designs := []Design{DesignSA, DesignFA, DesignSP, DesignRF}
+			if site.RFOnly() {
+				designs = []Design{DesignRF}
+			}
+			// Escalate the sampling depth before declaring a coverage hole:
+			// some sites need more trials for the trigger ordinal to land on
+			// an assertion-visible operation.
+			for _, trials := range []int{12, 32, 96} {
+				for _, d := range designs {
+					cfg := matrixConfig(d)
+					cell, err := cfg.RunFaultCell(v, true, site, trials)
+					if err != nil {
+						t.Fatalf("%s on %s: %v", site, d, err)
+					}
+					for name, n := range cell.Assertions {
+						if n > 0 {
+							t.Logf("%s caught by %s on %s (%d/%d trials)", site, name, d, n, trials)
+							return
+						}
+					}
+				}
+			}
+			t.Fatalf("site %s was never attributed to a named assertion on any design", site)
+		})
+	}
+}
+
+// TestInvariantsDisableTraceBitIdentity pins the -invariants x -no-trace
+// interaction: assertions force the interpreter (the monitor implements
+// neither FastTranslator nor CounterReader), so all four combinations of
+// {Invariants, DisableTrace} must produce bit-identical statistics on every
+// design.
+func TestInvariantsDisableTraceBitIdentity(t *testing.T) {
+	v := matrixVuln(t)
+	for _, d := range []Design{DesignSA, DesignFA, DesignSP, DesignRF} {
+		var ref *Result
+		for _, inv := range []bool{false, true} {
+			for _, noTrace := range []bool{false, true} {
+				cfg := DefaultConfig(d)
+				cfg.Trials = 12
+				cfg.Invariants = inv
+				cfg.DisableTrace = noTrace
+				res, err := cfg.RunVulnerability(v)
+				if err != nil {
+					t.Fatalf("%s inv=%v noTrace=%v: %v", d, inv, noTrace, err)
+				}
+				if ref == nil {
+					r := res
+					ref = &r
+					continue
+				}
+				if res.Counts != ref.Counts {
+					t.Errorf("%s inv=%v noTrace=%v: counts %+v differ from baseline %+v",
+						d, inv, noTrace, res.Counts, ref.Counts)
+				}
+			}
 		}
 	}
 }

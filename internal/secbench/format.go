@@ -24,10 +24,14 @@ func ParseDesigns(s string) ([]Design, error) {
 		return []Design{DesignSP}, nil
 	case "rf":
 		return []Design{DesignRF}, nil
+	case "fa":
+		return []Design{DesignFA}, nil
 	case "all":
+		// "all" keeps meaning the paper's three Table 4 designs; the FA TLB
+		// is opt-in (it is a robustness-battery subject, not a paper row).
 		return []Design{DesignSA, DesignSP, DesignRF}, nil
 	}
-	return nil, fmt.Errorf("unknown design %q (want sa, sp, rf or all)", s)
+	return nil, fmt.Errorf("unknown design %q (want sa, sp, rf, fa or all)", s)
 }
 
 // Theory returns the analytical p1/p2 of §5.3.1 for one (design,
@@ -40,6 +44,11 @@ func Theory(d Design, v model.Vulnerability) (p1, p2 float64) {
 		p1, p2, _ = capacity.DeterministicTheory(v, model.DesignPartitioned)
 	case DesignRF:
 		p1, p2, _ = capacity.RFTheory(v, capacity.DefaultRFParams)
+	case DesignFA:
+		// Fully associative behaves as an unpartitioned deterministic-ASID
+		// design for the analytical model: same LRU state machine as SA, one
+		// set instead of several.
+		p1, p2, _ = capacity.DeterministicTheory(v, model.DesignASID)
 	}
 	return p1, p2
 }

@@ -22,7 +22,7 @@ import (
 	"securetlb/internal/checkpoint"
 	"securetlb/internal/cpu"
 	"securetlb/internal/faultinject"
-	"securetlb/internal/invariant"
+	"securetlb/internal/assert"
 	"securetlb/internal/model"
 	"securetlb/internal/pool"
 )
@@ -72,10 +72,11 @@ func classifyTrialErr(err error) (kind string, quarantinable bool) {
 	switch {
 	case errors.As(err, &pe):
 		return "panic", true
-	// An invariant violation reaches the runner wrapped in a cpu.FaultError
+	// An assertion violation reaches the runner wrapped in a cpu.FaultError
 	// (the core treats a failed translation as a fault), so this case must
-	// precede the generic cpu.ErrFault one to keep the kind precise.
-	case errors.Is(err, invariant.ErrViolation):
+	// precede the generic cpu.ErrFault one to keep the kind precise. The
+	// kind string stays "invariant" for checkpoint/report compatibility.
+	case errors.Is(err, assert.ErrViolation):
 		return "invariant", true
 	case errors.Is(err, cpu.ErrFuelExhausted):
 		return "fuel-exhausted", true
@@ -131,7 +132,7 @@ func (c Config) runTrialsResilient(ctx context.Context, cp *campaign, v model.Vu
 		var inj *faultinject.Injector
 		if c.FaultSite != "" {
 			inj = faultinject.New(c.FaultSite, c.faultSeed(trial, mapped))
-			if aerr := inj.Arm(invariant.Unwrap(cp.machine.TLB), cp.machine.PT, cp.machine.Mem); aerr != nil {
+			if aerr := inj.Arm(assert.Unwrap(cp.machine.TLB), cp.machine.PT, cp.machine.Mem); aerr != nil {
 				return u, fmt.Errorf("%s (mapped=%v, trial %d): %w", v, mapped, trial, aerr)
 			}
 		}

@@ -9,7 +9,7 @@ import (
 	"securetlb/internal/capacity"
 	"securetlb/internal/cpu"
 	"securetlb/internal/fingerprint"
-	"securetlb/internal/invariant"
+	"securetlb/internal/assert"
 	"securetlb/internal/isa"
 	"securetlb/internal/mem"
 	"securetlb/internal/model"
@@ -294,7 +294,7 @@ func (c Config) buildReplayTemplate(ent *campTemplate, prog *isa.Program) error 
 		return err
 	}
 	if c.Invariants {
-		t, err = invariant.Wrap(t, memo, invariant.Config{CrossCheck: true})
+		t, err = assert.Wrap(t, memo, assert.Options{CrossCheck: true})
 		if err != nil {
 			return err
 		}
@@ -318,7 +318,7 @@ func (c Config) buildReplayTemplate(ent *campTemplate, prog *isa.Program) error 
 	camp.memoBase, camp.memoSpan, camp.memoASID = base, span, nasid
 	camp.skipPreFlush = tr.StartsWithFlushAll()
 	if !c.Invariants {
-		// The invariant checker observes every TLB-facing op; eliding the
+		// The assertion monitor observes every TLB-facing op; eliding the
 		// per-trial prologue would hide the security-register writes from it,
 		// so prefix-split replay is reserved for unwrapped designs.
 		camp.prefix = trace.SplitPrefix(tr, coreCfg)
@@ -397,10 +397,10 @@ func (c Config) newFullCampaign(v model.Vulnerability, mapped bool) (*campaign, 
 		return nil, err
 	}
 	if c.Invariants {
-		// The checker wraps the design and re-walks returned translations
+		// The monitor wraps the design and re-walks returned translations
 		// against the page tables; machine clones re-wrap automatically
-		// (Checker implements tlb.Cloner).
-		t, err = invariant.Wrap(t, pt, invariant.Config{CrossCheck: true})
+		// (assert.Monitor implements tlb.Cloner).
+		t, err = assert.Wrap(t, pt, assert.Options{CrossCheck: true})
 		if err != nil {
 			return nil, err
 		}
@@ -452,9 +452,9 @@ func progStartsWithFlushAll(p *isa.Program) bool {
 
 func wrapCampaign(mach *cpu.Machine) *campaign {
 	camp := &campaign{machine: mach}
-	// The RF design may sit under an invariant checker; reseeding (and fault
+	// The RF design may sit under an assertion monitor; reseeding (and fault
 	// arming) must reach the raw design either way.
-	if rf, ok := invariant.Unwrap(mach.TLB).(*tlb.RF); ok {
+	if rf, ok := assert.Unwrap(mach.TLB).(*tlb.RF); ok {
 		camp.rf = rf
 	}
 	return camp

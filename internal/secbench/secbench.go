@@ -58,6 +58,10 @@ const (
 	DesignSP
 	// DesignRF is the Random-Fill TLB.
 	DesignRF
+	// DesignFA is the fully-associative TLB (one set, ways == entries).
+	// Appended after the paper's three designs so the enum values above stay
+	// stable in checkpoints and saved configs.
+	DesignFA
 )
 
 // String names the design as in the paper's tables.
@@ -69,6 +73,8 @@ func (d Design) String() string {
 		return "SP TLB"
 	case DesignRF:
 		return "RF TLB"
+	case DesignFA:
+		return "FA TLB"
 	}
 	return "?"
 }
@@ -125,7 +131,7 @@ type Config struct {
 
 // DefaultConfig mirrors the paper's §5.3 setup.
 func DefaultConfig(d Design) Config {
-	return Config{
+	c := Config{
 		Design:     d,
 		Entries:    32,
 		Ways:       8,
@@ -135,6 +141,11 @@ func DefaultConfig(d Design) Config {
 		Params:     capacity.DefaultRFParams,
 		MemLatency: 20,
 	}
+	if d == DesignFA {
+		// Fully associative: one set holding every entry.
+		c.Ways = c.Entries
+	}
+	return c
 }
 
 const (
@@ -447,6 +458,8 @@ func (c Config) NewTLB(w tlb.Walker, seed uint64) (tlb.TLB, error) {
 		return sp, nil
 	case DesignRF:
 		return tlb.NewRF(c.Entries, c.Ways, w, seed)
+	case DesignFA:
+		return tlb.NewFullyAssoc(c.Entries, w)
 	}
 	return nil, fmt.Errorf("secbench: unknown design %d", c.Design)
 }

@@ -1,0 +1,44 @@
+package tlb
+
+// This file is the design-capability surface consumed by the declarative
+// security-assertion layer (internal/assert). Each method exposes one piece
+// of a design's policy — the set mapping, the fill partition, the random-fill
+// prediction — so assertions written once against these capabilities apply to
+// any design that declares them, instead of the checker re-deriving (and
+// possibly contradicting) the policy from the outside.
+
+// SetIndex exposes the design's VPN-to-set mapping, including the
+// power-of-two mask fast path of geometry.setIndex. External observers
+// (the assertion monitor) must use this rather than computing their own
+// modulo so checker and design can never disagree on set placement.
+func (t *SetAssoc) SetIndex(vpn VPN) int { return t.geom.setIndex(vpn) }
+
+// SetIndex exposes the SP TLB's VPN-to-set mapping (see SetAssoc.SetIndex).
+func (t *SP) SetIndex(vpn VPN) int { return t.geom.setIndex(vpn) }
+
+// SetIndex exposes the RF TLB's VPN-to-set mapping (see SetAssoc.SetIndex).
+func (t *RF) SetIndex(vpn VPN) int { return t.geom.setIndex(vpn) }
+
+// FillRange exposes the SP TLB's partition policy: the way range [lo, hi)
+// that fills (and therefore evictions) from asid must stay inside. This is
+// the design's own partition function, so the assertion layer checks the
+// policy the hardware actually enforces — with no victim designated, every
+// process fills the attacker partition, exactly as Translate does.
+func (t *SP) FillRange(asid ASID) (lo, hi int) { return t.partition(asid) }
+
+// PredictNextRandomFill replays the Random Fill Engine's decision for an
+// access to (asid, vpn) against the TLB's current state on a clone of the
+// generator, leaving the live RNG stream untouched. It returns the D' a
+// fault-free RFE would install next and whether a random fill would be
+// attempted at all. Call it immediately before Translate; comparing the
+// prediction against the access's Result exposes a biased or stuck RNG.
+func (t *RF) PredictNextRandomFill(asid ASID, vpn VPN) (VPN, bool, error) {
+	g := t.RNGClone()
+	return t.PredictRandomFill(&g, asid, vpn)
+}
+
+// RandomFillMayStarve reports whether the ablation-only lazy fill engine is
+// enabled, in which case a prescribed random fill may legitimately be
+// starved and skipped. The assertion layer's suppressed-fill check stands
+// down while this is true.
+func (t *RF) RandomFillMayStarve() bool { return t.LazyFill }

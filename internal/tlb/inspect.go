@@ -1,8 +1,8 @@
 package tlb
 
 // This file is the introspection and fault-injection surface of the TLB
-// designs: a read-only snapshot of the array (for the runtime invariant
-// checker in internal/invariant), a controlled mutation entry point (for the
+// designs: a read-only snapshot of the array (for the security-assertion
+// monitor in internal/assert), a controlled mutation entry point (for the
 // deterministic fault campaigns in internal/faultinject), and a per-design
 // FaultHook intercepting the microarchitectural events a hardware fault
 // would perturb — fills, LRU touches and Random Fill Engine draws.
