@@ -3,7 +3,7 @@ GO ?= go
 # to trade exploration depth for turnaround.
 FUZZTIME ?= 30s
 
-.PHONY: build vet test race bench bench-smoke smoke faults assert-smoke fuzz-smoke serve-smoke verify
+.PHONY: build vet test race bench bench-smoke smoke faults assert-smoke fuzz-smoke serve-smoke chaos-smoke verify
 
 build:
 	$(GO) build ./...
@@ -70,7 +70,15 @@ fuzz-smoke:
 # result byte-identical to an uninterrupted daemon's — plus the in-process
 # coalescing/caching/streaming tests.
 serve-smoke:
-	$(GO) test -count=1 -timeout 10m ./internal/job/ ./internal/serve/
+	$(GO) test -count=1 -race -timeout 10m ./internal/job/ ./internal/serve/
 	$(GO) test -count=1 -timeout 10m -run 'SigtermRestart|MetricsAndCleanShutdown|Client' ./cmd/tlbserved/ ./cmd/tlbsim/
 
-verify: build vet race faults assert-smoke fuzz-smoke bench-smoke serve-smoke
+# Service-layer chaos smoke: a real tlbserved daemon (built with -race)
+# under concurrent clients and seeded SIGKILLs mid-campaign; asserts zero
+# lost jobs, duplication within the retry budget, and results bit-identical
+# to direct runs. The full acceptance run is `go run ./cmd/tlbchaos` with
+# its defaults (32 clients, 5 kills).
+chaos-smoke:
+	$(GO) run ./cmd/tlbchaos -clients 8 -kills 2 -specs 4 -trials 15000 -race -timeout 5m
+
+verify: build vet race faults assert-smoke fuzz-smoke bench-smoke serve-smoke chaos-smoke

@@ -1,0 +1,707 @@
+// Command tlbchaos is the service-layer chaos harness: it drives a fleet
+// of concurrent clients against a real tlbserved daemon while killing the
+// daemon with SIGKILL — no drain, no warning — on a seeded schedule, then
+// proves the hardening did its job:
+//
+//   - zero lost jobs: every submission eventually reaches a done result,
+//     across every crash, restart and quarantine;
+//   - bounded duplication: no job record exceeds one execution per crash
+//     resume plus its persisted retry/stall budget;
+//   - bit-identical results: every served payload equals an in-process
+//     run of the same spec through the same CampaignRunner at the same
+//     worker count — a crashed-and-resumed campaign is indistinguishable
+//     from an undisturbed one.
+//
+// Everything is deterministic from -seed: the spec mix, the kill schedule,
+// and (with -inject) the service-layer fault site armed inside each daemon
+// generation. Usage:
+//
+//	tlbchaos -clients 32 -kills 5 -seed 1            # full acceptance run
+//	tlbchaos -clients 8 -kills 2 -trials 4000 -race  # make chaos-smoke
+//
+// Exit status 0 means every assertion held; 1 means jobs were lost,
+// duplicated beyond budget, or answered with non-identical bytes.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"securetlb/internal/job"
+	"securetlb/internal/pool"
+	"securetlb/internal/serve"
+)
+
+func main() {
+	cfg := chaosConfig{}
+	flag.IntVar(&cfg.clients, "clients", 32, "concurrent clients")
+	flag.IntVar(&cfg.kills, "kills", 5, "seeded SIGKILLs delivered mid-campaign")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "seed for the spec mix and kill schedule")
+	flag.IntVar(&cfg.specs, "specs", 8, "distinct campaign specs across the fleet (clients coalesce onto them)")
+	flag.IntVar(&cfg.trials, "trials", 8000, "base secbench trials per spec (sets how long a campaign runs)")
+	flag.IntVar(&cfg.parallel, "parallel", 2, "daemon worker pool size (the reference runs at the same size)")
+	flag.IntVar(&cfg.retries, "retries", 3, "daemon retry budget per job")
+	flag.StringVar(&cfg.daemon, "daemon", "", "tlbserved binary (default: build ./cmd/tlbserved)")
+	flag.BoolVar(&cfg.race, "race", false, "build the daemon with -race")
+	flag.StringVar(&cfg.inject, "inject", "", "arm a service fault site in every daemon generation")
+	flag.DurationVar(&cfg.timeout, "timeout", 10*time.Minute, "overall harness deadline")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: tlbchaos [flags]")
+		os.Exit(2)
+	}
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "tlbchaos: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("tlbchaos: PASS")
+}
+
+type chaosConfig struct {
+	clients  int
+	kills    int
+	seed     uint64
+	specs    int
+	trials   int
+	parallel int
+	retries  int
+	daemon   string
+	race     bool
+	inject   string
+	timeout  time.Duration
+}
+
+// splitmix64 matches internal/faultinject's seed expansion, so schedules
+// here are reproducible from the same arithmetic.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// pickSpecs derives the deterministic campaign mix: mostly secbench cells
+// across the three designs with varied trial counts (long enough for kills
+// to land mid-run), plus a perf sweep cell for every fourth spec.
+func pickSpecs(seed uint64, n, baseTrials int) []job.Spec {
+	state := seed ^ 0xc4a5
+	specs := make([]job.Spec, 0, n)
+	designs := []string{"sa", "sp", "rf"}
+	for i := 0; i < n; i++ {
+		if i%4 == 3 {
+			specs = append(specs, job.Spec{
+				Kind:     job.KindPerf,
+				Design:   designs[i%len(designs)],
+				Decrypts: 2,
+				Seed:     1 + splitmix64(&state)%3,
+			})
+			continue
+		}
+		specs = append(specs, job.Spec{
+			Kind:   job.KindSecbench,
+			Design: designs[splitmix64(&state)%uint64(len(designs))],
+			Trials: baseTrials + int(splitmix64(&state)%4)*500,
+		})
+	}
+	return specs
+}
+
+// killDelays derives the seeded schedule: how long each daemon generation
+// lives before its SIGKILL.
+func killDelays(seed uint64, kills int) []time.Duration {
+	state := seed ^ 0xdead
+	out := make([]time.Duration, kills)
+	for i := range out {
+		out[i] = time.Duration(300+splitmix64(&state)%700) * time.Millisecond
+	}
+	return out
+}
+
+func run(cfg chaosConfig) error {
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
+	defer cancel()
+
+	bin := cfg.daemon
+	if bin == "" {
+		var err error
+		if bin, err = buildDaemon(cfg.race); err != nil {
+			return err
+		}
+	}
+	dataDir, err := os.MkdirTemp("", "tlbchaos-data-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
+	port, err := freePort()
+	if err != nil {
+		return err
+	}
+
+	specs := pickSpecs(cfg.seed, cfg.specs, cfg.trials)
+	delays := killDelays(cfg.seed, cfg.kills)
+	ctl := &controller{
+		bin:  bin,
+		dir:  dataDir,
+		addr: fmt.Sprintf("127.0.0.1:%d", port),
+		args: []string{
+			"-parallel", fmt.Sprint(cfg.parallel),
+			"-retries", fmt.Sprint(cfg.retries),
+			"-max-pending", fmt.Sprint(4 * cfg.specs),
+			"-max-per-client", "0",
+			"-stall-timeout", "2m",
+		},
+		inject: cfg.inject,
+		seed:   cfg.seed,
+	}
+	defer ctl.killCurrent()
+
+	if err := ctl.start(ctx); err != nil {
+		return err
+	}
+	fmt.Printf("tlbchaos: daemon up on %s (pool %d), %d clients x %d specs, %d kills scheduled\n",
+		ctl.addr, cfg.parallel, cfg.clients, len(specs), cfg.kills)
+
+	// The client fleet: client i drives specs[i%len(specs)], so several
+	// clients coalesce onto each job, and every client survives crashes by
+	// retrying, re-polling and (after a quarantine) resubmitting.
+	fleet := &fleet{base: "http://" + ctl.addr, resubmits: map[string]int{}}
+	var wg sync.WaitGroup
+	results := make([]clientResult, cfg.clients)
+	for i := 0; i < cfg.clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = fleet.drive(ctx, fmt.Sprintf("client-%02d", i), specs[i%len(specs)])
+		}(i)
+	}
+
+	// The kill schedule runs against live traffic: let each generation
+	// serve for its seeded interval, SIGKILL it, restart over the same
+	// data directory.
+	for k, delay := range delays {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return fmt.Errorf("deadline before kill %d", k+1)
+		}
+		ctl.kill(k + 1)
+		if err := ctl.start(ctx); err != nil {
+			return fmt.Errorf("restart after kill %d: %w", k+1, err)
+		}
+	}
+	fmt.Printf("tlbchaos: kill schedule complete (%d SIGKILLs), waiting for the fleet\n", len(delays))
+
+	wg.Wait()
+	if ctx.Err() != nil {
+		return fmt.Errorf("harness deadline hit with clients outstanding")
+	}
+
+	// --- assertions over the survivors ---------------------------------
+	var lost int
+	for _, r := range results {
+		if r.err != nil {
+			lost++
+			fmt.Printf("tlbchaos: %s LOST: %v\n", r.name, r.err)
+		}
+	}
+	if lost > 0 {
+		return fmt.Errorf("%d of %d clients never got a result", lost, len(results))
+	}
+
+	metrics, _ := httpGetString(ctx, fleet.base+"/metrics")
+	ctl.stopGracefully()
+
+	records, err := finalRecords(ctl, cfg)
+	if err != nil {
+		return err
+	}
+	if err := checkBudgets(records, specs, cfg); err != nil {
+		return err
+	}
+	if err := checkBitIdentity(ctx, specs, results, cfg); err != nil {
+		return err
+	}
+
+	summarize(records, results, metrics, cfg)
+	return nil
+}
+
+// buildDaemon compiles ./cmd/tlbserved into a temp dir.
+func buildDaemon(race bool) (string, error) {
+	dir, err := os.MkdirTemp("", "tlbchaos-bin-")
+	if err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "tlbserved")
+	args := []string{"build"}
+	if race {
+		args = append(args, "-race")
+	}
+	args = append(args, "-o", bin, "./cmd/tlbserved")
+	cmd := exec.Command("go", args...)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("go build ./cmd/tlbserved: %v\n%s", err, out)
+	}
+	return bin, nil
+}
+
+// freePort reserves then releases an ephemeral port; every daemon
+// generation rebinds the same address so clients need no rediscovery.
+func freePort() (int, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer ln.Close()
+	return ln.Addr().(*net.TCPAddr).Port, nil
+}
+
+// controller owns the daemon process across generations.
+type controller struct {
+	bin    string
+	dir    string
+	addr   string
+	args   []string
+	inject string
+	seed   uint64
+
+	mu         sync.Mutex
+	cmd        *exec.Cmd
+	generation int
+}
+
+// start launches a daemon generation and waits until /healthz answers.
+// Bind races with the freshly killed predecessor are retried.
+func (c *controller) start(ctx context.Context) error {
+	c.mu.Lock()
+	c.generation++
+	gen := c.generation
+	args := append([]string{"-addr", c.addr, "-data", c.dir}, c.args...)
+	if c.inject != "" {
+		args = append(args, "-inject", c.inject, "-fault-seed", fmt.Sprint(c.seed+uint64(gen)))
+	}
+	c.mu.Unlock()
+
+	for attempt := 0; ; attempt++ {
+		cmd := exec.Command(c.bin, args...)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			if _, err := httpGetString(ctx, "http://"+c.addr+"/healthz"); err == nil {
+				c.mu.Lock()
+				c.cmd = cmd
+				c.mu.Unlock()
+				fmt.Printf("tlbchaos: generation %d serving\n", gen)
+				return nil
+			}
+			if exited := cmd.ProcessState; exited != nil || time.Now().After(deadline) {
+				break
+			}
+			if err := cmd.Process.Signal(syscall.Signal(0)); err != nil {
+				break // process died (e.g. lost the bind race)
+			}
+			select {
+			case <-ctx.Done():
+				cmd.Process.Kill()
+				return ctx.Err()
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+		cmd.Process.Kill()
+		cmd.Wait()
+		if attempt >= 5 {
+			return fmt.Errorf("generation %d never became healthy", gen)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// kill SIGKILLs the current generation — the crash under test, so no
+// drain, no checkpoint flush beyond what already hit disk.
+func (c *controller) kill(n int) {
+	c.mu.Lock()
+	cmd := c.cmd
+	c.mu.Unlock()
+	if cmd == nil {
+		return
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	fmt.Printf("tlbchaos: SIGKILL %d delivered\n", n)
+}
+
+func (c *controller) killCurrent() {
+	c.mu.Lock()
+	cmd := c.cmd
+	c.cmd = nil
+	c.mu.Unlock()
+	if cmd != nil && cmd.ProcessState == nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+}
+
+// stopGracefully SIGTERMs the final generation so its drain path also gets
+// exercised once per run.
+func (c *controller) stopGracefully() {
+	c.mu.Lock()
+	cmd := c.cmd
+	c.cmd = nil
+	c.mu.Unlock()
+	if cmd == nil {
+		return
+	}
+	cmd.Process.Signal(syscall.SIGTERM)
+	cmd.Wait()
+}
+
+// clientResult is one fleet member's outcome.
+type clientResult struct {
+	name   string
+	specIx int
+	id     string
+	result []byte
+	err    error
+}
+
+// fleet is the shared client-side state.
+type fleet struct {
+	base string
+
+	mu        sync.Mutex
+	resubmits map[string]int // job ID -> resubmissions after loss/quarantine
+}
+
+var chaosHTTP = &http.Client{
+	Transport: &http.Transport{
+		DialContext:           (&net.Dialer{Timeout: 2 * time.Second}).DialContext,
+		ResponseHeaderTimeout: 5 * time.Second,
+	},
+}
+
+// drive is one client's life: submit the spec (retrying connection
+// failures and backpressure), poll the job to done (resubmitting if a
+// crash quarantined the record), fetch the result.
+func (f *fleet) drive(ctx context.Context, name string, spec job.Spec) clientResult {
+	res := clientResult{name: name}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	id, err := f.submit(ctx, name, raw)
+	if err != nil {
+		res.err = fmt.Errorf("submit: %w", err)
+		return res
+	}
+	res.id = id
+	for {
+		j, code, err := f.poll(ctx, id)
+		switch {
+		case err != nil:
+			res.err = fmt.Errorf("poll: %w", err)
+			return res
+		case code == http.StatusNotFound:
+			// The record was quarantined by a crash mid-write: the job is
+			// gone, so the client's contract is to submit again.
+			f.mu.Lock()
+			f.resubmits[id]++
+			f.mu.Unlock()
+			if _, err := f.submit(ctx, name, raw); err != nil {
+				res.err = fmt.Errorf("resubmit: %w", err)
+				return res
+			}
+		case j.State == job.StateDone:
+			body, code, err := f.get(ctx, name, f.base+"/jobs/"+id+"/result")
+			if err != nil || code != http.StatusOK {
+				res.err = fmt.Errorf("result: code=%d err=%v", code, err)
+				return res
+			}
+			res.result = body
+			return res
+		case j.State == job.StateFailed:
+			res.err = fmt.Errorf("job %s failed terminally: %s", id, j.Error)
+			return res
+		case j.State == job.StateCanceled:
+			res.err = fmt.Errorf("job %s canceled unexpectedly", id)
+			return res
+		}
+		select {
+		case <-ctx.Done():
+			res.err = ctx.Err()
+			return res
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// submit POSTs the spec until the daemon accepts it, backing off on
+// connection failures (daemon mid-restart) and 429/503 (backpressure).
+func (f *fleet) submit(ctx context.Context, name string, raw []byte) (string, error) {
+	delay := 50 * time.Millisecond
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, f.base+"/jobs", bytes.NewReader(raw))
+		if err != nil {
+			return "", err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Client-ID", name)
+		resp, err := chaosHTTP.Do(req)
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch {
+			case rerr != nil:
+				err = rerr
+			case resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK:
+				var sub serve.SubmitResponse
+				if err := json.Unmarshal(body, &sub); err != nil {
+					return "", err
+				}
+				return sub.ID, nil
+			case resp.StatusCode == http.StatusTooManyRequests ||
+				resp.StatusCode == http.StatusServiceUnavailable:
+				err = fmt.Errorf("backpressure: %s", resp.Status)
+			default:
+				return "", fmt.Errorf("submit rejected (%s): %s", resp.Status, strings.TrimSpace(string(body)))
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return "", fmt.Errorf("%v (last: %v)", ctx.Err(), err)
+		case <-time.After(delay):
+		}
+		if delay < time.Second {
+			delay *= 2
+		}
+	}
+}
+
+// poll GETs the job record, retrying connection failures.
+func (f *fleet) poll(ctx context.Context, id string) (job.Job, int, error) {
+	body, code, err := f.get(ctx, "", f.base+"/jobs/"+id)
+	if err != nil {
+		return job.Job{}, 0, err
+	}
+	if code != http.StatusOK {
+		return job.Job{}, code, nil
+	}
+	var j job.Job
+	if err := json.Unmarshal(body, &j); err != nil {
+		return job.Job{}, 0, err
+	}
+	return j, code, nil
+}
+
+// get GETs url, retrying connection-level failures until ctx expires.
+func (f *fleet) get(ctx context.Context, client, url string) ([]byte, int, error) {
+	delay := 50 * time.Millisecond
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		if client != "" {
+			req.Header.Set("X-Client-ID", client)
+		}
+		resp, err := chaosHTTP.Do(req)
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil {
+				return body, resp.StatusCode, nil
+			}
+			err = rerr
+		}
+		select {
+		case <-ctx.Done():
+			return nil, 0, fmt.Errorf("%v (last: %v)", ctx.Err(), err)
+		case <-time.After(delay):
+		}
+		if delay < time.Second {
+			delay *= 2
+		}
+	}
+}
+
+func httpGetString(ctx context.Context, url string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := chaosHTTP.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return string(raw), nil
+}
+
+// finalRecords parses every job record left in the data directory after the
+// daemon has drained. An unparseable record is only legal when a torn-write
+// fault was armed and the tear landed in the final generation (earlier tears
+// are healed by the next restart); in that case the recovery contract is
+// proved directly — a fresh Open over the directory must quarantine it —
+// and the record is excluded from the budget audit. The client that owned
+// it already produced a result (checked above), so nothing was lost.
+func finalRecords(c *controller, cfg chaosConfig) (map[string]job.Job, error) {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]job.Job{}
+	var torn []string
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".job.json") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(c.dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var j job.Job
+		if err := json.Unmarshal(raw, &j); err != nil {
+			if cfg.inject != "" {
+				torn = append(torn, e.Name())
+				continue
+			}
+			return nil, fmt.Errorf("final record %s unparseable: %w", e.Name(), err)
+		}
+		out[j.ID] = j
+	}
+	if len(torn) > 0 {
+		if err := checkQuarantineHeals(c.dir, torn); err != nil {
+			return nil, err
+		}
+		fmt.Printf("tlbchaos: %d torn record(s) from injected %s quarantined on reopen\n",
+			len(torn), cfg.inject)
+	}
+	return out, nil
+}
+
+// checkQuarantineHeals reopens the drained data directory the way a
+// restarted daemon would and requires every torn record to be moved aside
+// to <name>.corrupt rather than wedging or surviving as-is.
+func checkQuarantineHeals(dir string, torn []string) error {
+	nop := job.RunnerFunc(func(context.Context, job.Spec, func(job.Event)) (json.RawMessage, error) {
+		return nil, fmt.Errorf("audit queue never runs jobs")
+	})
+	q, err := job.Open(dir, nop)
+	if err != nil {
+		return fmt.Errorf("reopen over torn records: %w", err)
+	}
+	defer q.Close()
+	if got := q.Metrics().Quarantined; got < int64(len(torn)) {
+		return fmt.Errorf("reopen quarantined %d record(s), want >= %d", got, len(torn))
+	}
+	for _, name := range torn {
+		if _, err := os.Stat(filepath.Join(dir, name+".corrupt")); err != nil {
+			return fmt.Errorf("torn record %s not quarantined on reopen: %v", name, err)
+		}
+	}
+	return nil
+}
+
+// checkBudgets asserts bounded duplication: one execution per crash resume
+// plus the consumed retry/stall budget — nothing silently re-ran beyond
+// that, and no record overdrew its persisted budget.
+func checkBudgets(records map[string]job.Job, specs []job.Spec, cfg chaosConfig) error {
+	for id, j := range records {
+		if j.Retries > cfg.retries {
+			return fmt.Errorf("job %s consumed %d retries, budget %d", id, j.Retries, cfg.retries)
+		}
+		maxExec := 1 + cfg.kills + j.Retries + j.Stalls
+		if j.Executions > maxExec {
+			return fmt.Errorf("job %s executed %d times, max allowed %d (kills %d, retries %d, stalls %d)",
+				id, j.Executions, maxExec, cfg.kills, j.Retries, j.Stalls)
+		}
+	}
+	return nil
+}
+
+// checkBitIdentity runs every distinct spec through an in-process
+// CampaignRunner at the daemon's worker count and requires the daemon's
+// served bytes to match exactly.
+func checkBitIdentity(ctx context.Context, specs []job.Spec, results []clientResult, cfg chaosConfig) error {
+	refDir, err := os.MkdirTemp("", "tlbchaos-ref-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(refDir)
+	runner := &serve.CampaignRunner{Dir: refDir, Pool: pool.New(cfg.parallel)}
+	refs := map[string][]byte{}
+	for _, spec := range specs {
+		id, err := spec.ID()
+		if err != nil {
+			return err
+		}
+		if _, ok := refs[id]; ok {
+			continue
+		}
+		raw, err := runner.Run(ctx, spec.Normalize(), func(job.Event) {})
+		if err != nil {
+			return fmt.Errorf("reference run %s: %w", id, err)
+		}
+		refs[id] = raw
+	}
+	for _, r := range results {
+		want, ok := refs[r.id]
+		if !ok {
+			return fmt.Errorf("%s holds unknown job %s", r.name, r.id)
+		}
+		if !bytes.Equal(r.result, want) {
+			servedPath := filepath.Join(os.TempDir(), "tlbchaos-served-"+r.id+".json")
+			directPath := filepath.Join(os.TempDir(), "tlbchaos-direct-"+r.id+".json")
+			os.WriteFile(servedPath, r.result, 0o644)
+			os.WriteFile(directPath, want, 0o644)
+			return fmt.Errorf("%s: job %s served %d bytes differing from the direct run's %d — results are not bit-identical (dumped to %s, %s)",
+				r.name, r.id, len(r.result), len(want), servedPath, directPath)
+		}
+	}
+	return nil
+}
+
+func summarize(records map[string]job.Job, results []clientResult, metrics string, cfg chaosConfig) {
+	var exec, retries, stalls int
+	for _, j := range records {
+		exec += j.Executions
+		retries += j.Retries
+		stalls += j.Stalls
+	}
+	fmt.Printf("tlbchaos: %d clients served, %d jobs, %d executions, %d retries, %d stalls, %d kills\n",
+		len(results), len(records), exec, retries, stalls, cfg.kills)
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "tlbserved_jobs_quarantined_total") ||
+			strings.HasPrefix(line, "tlbserved_retries_total") ||
+			strings.HasPrefix(line, "tlbserved_rejected_total") ||
+			strings.HasPrefix(line, "tlbserved_jobs_recovered_total") {
+			fmt.Println("tlbchaos:   " + line)
+		}
+	}
+	fmt.Println("tlbchaos: zero lost jobs, duplication within budget, results bit-identical")
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterminism: the spec mix and kill schedule are pure
+// functions of the seed — a chaos run can be replayed exactly.
+func TestScheduleDeterminism(t *testing.T) {
+	a := pickSpecs(7, 8, 4000)
+	b := pickSpecs(7, 8, 4000)
+	if len(a) != 8 {
+		t.Fatalf("pickSpecs returned %d specs, want 8", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("spec %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+		if err := a[i].Normalize().Validate(); err != nil {
+			t.Errorf("spec %d invalid: %v", i, err)
+		}
+	}
+	if c := pickSpecs(8, 8, 4000); a[0] == c[0] && a[1] == c[1] && a[2] == c[2] {
+		t.Error("different seeds produced the same leading specs")
+	}
+
+	d1, d2 := killDelays(7, 5), killDelays(7, 5)
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Errorf("kill %d differs across identical seeds: %v vs %v", i, d1[i], d2[i])
+		}
+		if d1[i] < 300*time.Millisecond || d1[i] >= time.Second {
+			t.Errorf("kill %d delay %v outside [300ms, 1s)", i, d1[i])
+		}
+	}
+}

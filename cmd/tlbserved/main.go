@@ -14,6 +14,16 @@
 // target) can find a dynamically chosen port. SIGINT/SIGTERM trigger a
 // graceful drain: the listener stops, live jobs flush their checkpoints and
 // park back in the queue, and the daemon exits 0.
+//
+// The daemon is hardened for hostile conditions: admission control bounds
+// the live-job depth (-max-pending) and each client's in-flight jobs
+// (-max-per-client), transiently failed jobs retry with exponential
+// backoff within a persisted budget (-retries), a watchdog re-parks jobs
+// whose progress stalls (-stall-timeout), and a corrupt job record found
+// at startup is quarantined to <id>.job.json.corrupt instead of refusing
+// to serve. -inject arms one seeded service-layer fault site
+// (job-write-fail, job-rename-fail, job-torn-write) for the chaos
+// harness's differential matrix.
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"securetlb/internal/faultinject"
 	"securetlb/internal/job"
 	"securetlb/internal/pool"
 	"securetlb/internal/serve"
@@ -42,22 +53,47 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port)")
 	data := flag.String("data", "tlbserved-data", "durable directory for job records and checkpoints")
 	parallel := flag.Int("parallel", 0, "worker pool size shared by all jobs (0 = GOMAXPROCS)")
+	lim := job.Limits{}
+	flag.IntVar(&lim.MaxPending, "max-pending", 256, "live (pending+running) job depth before submissions get 429 (0 = unbounded)")
+	flag.IntVar(&lim.MaxPerClient, "max-per-client", 16, "live jobs one client may hold before 429 (0 = unbounded)")
+	flag.IntVar(&lim.RetryBudget, "retries", 3, "transient-failure retries per job, persisted across restarts (0 = fail fast)")
+	flag.DurationVar(&lim.RetryBase, "retry-base", 100*time.Millisecond, "first retry backoff step (doubles per attempt, capped at 5s, jittered)")
+	flag.DurationVar(&lim.StallTimeout, "stall-timeout", 2*time.Minute, "re-park a running job whose progress stalls this long (0 = no watchdog)")
+	inject := flag.String("inject", "", "arm one seeded service fault site: job-write-fail, job-rename-fail or job-torn-write")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for -inject")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: tlbserved [-addr host:port] [-data dir] [-parallel n]")
+		fmt.Fprintln(os.Stderr, "usage: tlbserved [-addr host:port] [-data dir] [-parallel n] [limit flags]")
 		os.Exit(2)
 	}
-	if err := run(*addr, *data, *parallel); err != nil {
+	if *inject != "" {
+		site, err := faultinject.ParseServiceSite(*inject)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tlbserved:", err)
+			os.Exit(2)
+		}
+		in, err := faultinject.NewService(site, *faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tlbserved:", err)
+			os.Exit(2)
+		}
+		lim.PersistHook = &job.PersistHook{OnWrite: in.OnWrite, OnRename: in.OnRename}
+		fmt.Fprintf(os.Stderr, "tlbserved: armed fault site %s (seed %d)\n", site, *faultSeed)
+	}
+	if err := run(*addr, *data, *parallel, lim); err != nil {
 		fmt.Fprintln(os.Stderr, "tlbserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, data string, parallel int) error {
+func run(addr, data string, parallel int, lim job.Limits) error {
 	runner := &serve.CampaignRunner{Dir: data, Pool: pool.New(parallel)}
-	queue, err := job.Open(data, runner)
+	queue, err := job.OpenLimits(data, runner, lim)
 	if err != nil {
 		return err
+	}
+	if n := queue.Metrics().Quarantined; n > 0 {
+		fmt.Fprintf(os.Stderr, "tlbserved: quarantined %d corrupt job record(s)\n", n)
 	}
 	if n := queue.Metrics().Recovered; n > 0 {
 		fmt.Fprintf(os.Stderr, "tlbserved: resuming %d interrupted job(s)\n", n)

@@ -4,6 +4,13 @@ package main
 // tlbsim talks to a running tlbserved daemon instead of simulating locally —
 // submit a campaign and stream its progress, attach to or cancel an existing
 // job, or dump the daemon's metrics.
+//
+// The client never trusts the daemon to be healthy: every request carries a
+// connect timeout and a response-header timeout (so an unresponsive or
+// stalled daemon fails the call instead of hanging it forever), and
+// connection-level failures — refused, reset, timed out before headers —
+// are retried a bounded number of times with exponential backoff, since a
+// daemon mid-restart comes back on the same address within moments.
 
 import (
 	"bufio"
@@ -11,13 +18,19 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"securetlb/internal/job"
 	"securetlb/internal/serve"
 )
+
+// clientBackoffBase is the first retry delay; each attempt doubles it.
+// A variable so tests can compress the schedule.
+var clientBackoffBase = 250 * time.Millisecond
 
 // clientFlags are the -server mode's inputs, bound in main.
 type clientFlags struct {
@@ -33,6 +46,57 @@ type clientFlags struct {
 	jobID      string
 	cancelID   string
 	metrics    bool
+	timeout    time.Duration // connect + response-header timeout
+	retries    int           // connection-failure retries per request
+}
+
+// httpClient builds the timeout-bounded transport. No overall request
+// timeout is set: a campaign's NDJSON stream legitimately lasts as long as
+// the campaign, so only the dial and the wait for headers are bounded.
+func (f clientFlags) httpClient() *http.Client {
+	timeout := f.timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: timeout}).DialContext,
+			ResponseHeaderTimeout: timeout,
+		},
+	}
+}
+
+// do issues req-building function's request, retrying connection-level
+// failures (refused, reset, header timeout) up to f.retries times with
+// exponential backoff. The builder is called per attempt so request bodies
+// are fresh.
+func (f clientFlags) do(hc *http.Client, build func() (*http.Request, error)) (*http.Response, error) {
+	var lastErr error
+	delay := clientBackoffBase
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := hc.Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if attempt >= f.retries {
+			break
+		}
+		fmt.Fprintf(os.Stderr, "tlbsim: %v; retrying in %s (%d/%d)\n", err, delay, attempt+1, f.retries)
+		time.Sleep(delay)
+		delay *= 2
+	}
+	return nil, fmt.Errorf("after %d attempt(s): %w", f.retries+1, lastErr)
+}
+
+func (f clientFlags) get(hc *http.Client, url string) (*http.Response, error) {
+	return f.do(hc, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, url, nil)
+	})
 }
 
 // runClient executes one client operation and returns the process exit code.
@@ -40,13 +104,13 @@ func runClient(f clientFlags) int {
 	base := strings.TrimRight(f.server, "/")
 	switch {
 	case f.metrics:
-		return clientGet(base + "/metrics")
+		return clientGet(f, base+"/metrics")
 	case f.cancelID != "":
-		return clientCancel(base, f.cancelID)
+		return clientCancel(f, base, f.cancelID)
 	case f.jobID != "":
-		return clientAttach(base, f.jobID)
+		return clientAttach(f, base, f.jobID)
 	case f.campaign != "":
-		return clientSubmit(base, f)
+		return clientSubmit(f, base)
 	default:
 		fmt.Fprintln(os.Stderr, "tlbsim: -server needs one of -campaign, -job, -cancel or -metrics")
 		return 2
@@ -54,8 +118,10 @@ func runClient(f clientFlags) int {
 }
 
 // clientSubmit posts the campaign spec, reports how the daemon served it
-// (fresh, coalesced or cached), then attaches to the job.
-func clientSubmit(base string, f clientFlags) int {
+// (fresh, coalesced or cached), then attaches to the job. A 429/503 with a
+// Retry-After — the daemon applying backpressure — is retried within the
+// same bounded schedule as a connection failure.
+func clientSubmit(f clientFlags, base string) int {
 	spec := job.Spec{
 		Kind:       f.campaign,
 		Design:     f.design,
@@ -70,21 +136,44 @@ func clientSubmit(base string, f clientFlags) int {
 	if err != nil {
 		return clientFatal(err)
 	}
-	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(raw))
-	if err != nil {
-		return clientFatal(err)
-	}
-	body, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		return clientFatal(err)
-	}
-	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
-		return clientFatal(fmt.Errorf("submit rejected (%s): %s", resp.Status, strings.TrimSpace(string(body))))
-	}
+	hc := f.httpClient()
 	var sub serve.SubmitResponse
-	if err := json.Unmarshal(body, &sub); err != nil {
-		return clientFatal(err)
+	delay := clientBackoffBase
+	for attempt := 0; ; attempt++ {
+		resp, err := f.do(hc, func() (*http.Request, error) {
+			req, err := http.NewRequest(http.MethodPost, base+"/jobs", bytes.NewReader(raw))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			return req, nil
+		})
+		if err != nil {
+			return clientFatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return clientFatal(err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable {
+			if attempt >= f.retries {
+				return clientFatal(fmt.Errorf("submit rejected (%s): %s", resp.Status, strings.TrimSpace(string(body))))
+			}
+			fmt.Fprintf(os.Stderr, "tlbsim: daemon busy (%s); retrying in %s (%d/%d)\n",
+				resp.Status, delay, attempt+1, f.retries)
+			time.Sleep(delay)
+			delay *= 2
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			return clientFatal(fmt.Errorf("submit rejected (%s): %s", resp.Status, strings.TrimSpace(string(body))))
+		}
+		if err := json.Unmarshal(body, &sub); err != nil {
+			return clientFatal(err)
+		}
+		break
 	}
 	switch {
 	case sub.Cached:
@@ -94,14 +183,14 @@ func clientSubmit(base string, f clientFlags) int {
 	default:
 		fmt.Fprintf(os.Stderr, "tlbsim: job %s submitted\n", sub.ID)
 	}
-	return clientAttach(base, sub.ID)
+	return clientAttach(f, base, sub.ID)
 }
 
 // clientAttach follows a job's NDJSON stream — progress to stderr — and
 // prints the result's campaign output to stdout. Exit code mirrors the
 // job's fate: 0 done, 1 failed or canceled.
-func clientAttach(base, id string) int {
-	resp, err := http.Get(base + "/jobs/" + id + "/stream")
+func clientAttach(f clientFlags, base, id string) int {
+	resp, err := f.get(f.httpClient(), base+"/jobs/"+id+"/stream")
 	if err != nil {
 		return clientFatal(err)
 	}
@@ -128,6 +217,10 @@ func clientAttach(base, id string) int {
 			}
 		case "progress":
 			fmt.Fprintf(os.Stderr, "tlbsim: job %s: %d units done\n", id, ev.Units)
+		case "retry":
+			fmt.Fprintf(os.Stderr, "tlbsim: job %s: transient failure, retry %d scheduled (%s)\n", id, ev.Attempt, ev.Error)
+		case "stall":
+			fmt.Fprintf(os.Stderr, "tlbsim: job %s: progress stalled, re-parked (stall %d)\n", id, ev.Attempt)
 		case "result":
 			var res serve.Result
 			if err := json.Unmarshal(ev.Result, &res); err != nil {
@@ -149,12 +242,10 @@ func clientAttach(base, id string) int {
 	return 1
 }
 
-func clientCancel(base, id string) int {
-	req, err := http.NewRequest(http.MethodDelete, base+"/jobs/"+id, nil)
-	if err != nil {
-		return clientFatal(err)
-	}
-	resp, err := http.DefaultClient.Do(req)
+func clientCancel(f clientFlags, base, id string) int {
+	resp, err := f.do(f.httpClient(), func() (*http.Request, error) {
+		return http.NewRequest(http.MethodDelete, base+"/jobs/"+id, nil)
+	})
 	if err != nil {
 		return clientFatal(err)
 	}
@@ -167,8 +258,8 @@ func clientCancel(base, id string) int {
 	return 0
 }
 
-func clientGet(url string) int {
-	resp, err := http.Get(url)
+func clientGet(f clientFlags, url string) int {
+	resp, err := f.get(f.httpClient(), url)
 	if err != nil {
 		return clientFatal(err)
 	}

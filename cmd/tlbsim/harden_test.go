@@ -1,0 +1,138 @@
+package main
+
+// Tests for the client mode's robustness: a stalled or absent daemon fails
+// fast within the bounded retry schedule instead of hanging the client.
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// shrinkBackoff compresses the client's retry schedule for the test.
+func shrinkBackoff(t *testing.T) {
+	t.Helper()
+	old := clientBackoffBase
+	clientBackoffBase = time.Millisecond
+	t.Cleanup(func() { clientBackoffBase = old })
+}
+
+// TestClientStalledListenerTimesOut: a listener that accepts connections
+// but never writes headers — a wedged daemon — must not hang the client:
+// every attempt times out at the response-header deadline, each retry
+// dials a fresh connection, and the client gives up after its budget.
+func TestClientStalledListenerTimesOut(t *testing.T) {
+	shrinkBackoff(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var accepted atomic.Int64
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted.Add(1)
+			defer conn.Close() // hold the connection open, write nothing
+		}
+	}()
+
+	const retries = 2
+	flags := clientFlags{
+		server:  "http://" + ln.Addr().String(),
+		metrics: true,
+		timeout: 50 * time.Millisecond,
+		retries: retries,
+	}
+	start := time.Now()
+	if code := runClient(flags); code != 1 {
+		t.Errorf("client exit = %d against a stalled daemon, want 1", code)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("client took %v to fail, the timeout is not biting", elapsed)
+	}
+	if got := accepted.Load(); got != retries+1 {
+		t.Errorf("stalled listener saw %d connections, want %d (1 try + %d retries)",
+			got, retries+1, retries)
+	}
+}
+
+// TestClientRefusedConnectionRetriesThenFails: nothing listening at all —
+// the bounded schedule still applies, and the failure names the attempts.
+func TestClientRefusedConnectionRetriesThenFails(t *testing.T) {
+	shrinkBackoff(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // the port is now dead
+
+	flags := clientFlags{
+		server:  "http://" + addr,
+		metrics: true,
+		timeout: 50 * time.Millisecond,
+		retries: 1,
+	}
+	if code := runClient(flags); code != 1 {
+		t.Errorf("client exit = %d against a dead address, want 1", code)
+	}
+}
+
+// TestClientRetriesBackpressuredSubmit: a 429 with Retry-After is retried
+// within the same schedule; once the daemon admits the job the submission
+// succeeds end to end.
+func TestClientRetriesBackpressuredSubmit(t *testing.T) {
+	shrinkBackoff(t)
+	upstream := startServer(t)
+	var rejections atomic.Int64
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && rejections.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"job: queue is full"}`, http.StatusTooManyRequests)
+			return
+		}
+		req, err := http.NewRequest(r.Method, upstream+r.URL.Path, r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		req.Header = r.Header
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	defer proxy.Close()
+
+	flags := clientFlags{
+		server:   proxy.URL,
+		campaign: "secbench",
+		design:   "sa",
+		trials:   2,
+		timeout:  5 * time.Second,
+		retries:  4,
+	}
+	out := captureStdout(t, func() {
+		if code := runClient(flags); code != 0 {
+			t.Errorf("client exit = %d through backpressure, want 0", code)
+		}
+	})
+	if rejections.Load() <= 2 {
+		t.Errorf("proxy rejected %d submits, the retry path never ran", rejections.Load())
+	}
+	if out == "" {
+		t.Error("no campaign output reached stdout after the retried submit")
+	}
+}

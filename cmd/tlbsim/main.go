@@ -32,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"securetlb/internal/asm"
 	"securetlb/internal/cpu"
@@ -60,6 +61,8 @@ func main() {
 	flag.StringVar(&client.jobID, "job", "", "attach to an existing job ID (client mode)")
 	flag.StringVar(&client.cancelID, "cancel", "", "cancel a job ID (client mode)")
 	flag.BoolVar(&client.metrics, "metrics", false, "print the daemon's metrics (client mode)")
+	flag.DurationVar(&client.timeout, "timeout", 10*time.Second, "connect and response-header timeout (client mode)")
+	flag.IntVar(&client.retries, "retries", 4, "connection-failure retries per request, with backoff (client mode)")
 	flag.Parse()
 
 	if client.server != "" {

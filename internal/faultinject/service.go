@@ -1,0 +1,125 @@
+package faultinject
+
+import (
+	"fmt"
+)
+
+// The service-layer fault sites: failures of the job queue's durable
+// record writes, the exact I/O the daemon's crash-safety rests on. They
+// are injected through internal/job's PersistHook (wire OnWrite/OnRename
+// to a ServiceInjector's methods), not through Arm — they corrupt the
+// service's persistence layer, not a machine.
+const (
+	// SiteJobWriteFail fails one job-record temp-file write outright, as a
+	// full disk or I/O error would. Detected at the write: the queue
+	// classifies it transient and retries within budget.
+	SiteJobWriteFail Site = "job-write-fail"
+	// SiteJobRenameFail fails the atomic rename installing one job record.
+	// Detected at the rename, same retry path.
+	SiteJobRenameFail Site = "job-rename-fail"
+	// SiteJobTornWrite truncates one job record's bytes mid-JSON while
+	// reporting the write successful — the silent at-rest case. Undetected
+	// until the next Open, which must quarantine the torn record and keep
+	// serving.
+	SiteJobTornWrite Site = "job-torn-write"
+)
+
+// ServiceSites returns the service-layer sites, in stable order.
+func ServiceSites() []Site {
+	return []Site{SiteJobWriteFail, SiteJobRenameFail, SiteJobTornWrite}
+}
+
+// ParseServiceSite validates a service-site name.
+func ParseServiceSite(s string) (Site, error) {
+	for _, site := range ServiceSites() {
+		if s == string(site) {
+			return site, nil
+		}
+	}
+	return "", fmt.Errorf("faultinject: unknown service site %q (want one of %v)", s, ServiceSites())
+}
+
+// ServiceInjector injects one seeded fault at one service site. Like the
+// machine Injector, every decision is a pure function of (site, seed): the
+// persist ordinal it fires at and, for torn writes, where the record is
+// cut. It fires at most once.
+type ServiceInjector struct {
+	site    Site
+	trigger uint64
+	r1      uint64
+
+	count  uint64
+	fired  bool
+	detail string
+}
+
+// NewService returns a service injector for site derived from seed.
+func NewService(site Site, seed uint64) (*ServiceInjector, error) {
+	if _, err := ParseServiceSite(string(site)); err != nil {
+		return nil, err
+	}
+	state := seed ^ uint64(len(site))<<56
+	for _, b := range []byte(site) {
+		state = state*0x100000001b3 + uint64(b)
+	}
+	in := &ServiceInjector{site: site}
+	// A job's lifecycle is a handful of persists (pending, running,
+	// terminal); a window of 6 lands the fault inside the first couple of
+	// jobs' records.
+	in.trigger = 1 + splitmix64(&state)%6
+	in.r1 = splitmix64(&state)
+	return in, nil
+}
+
+// Site returns the injector's site.
+func (in *ServiceInjector) Site() Site { return in.site }
+
+// Fired reports whether the fault actually landed.
+func (in *ServiceInjector) Fired() bool { return in.fired }
+
+// Detail describes the landed fault ("" until Fired).
+func (in *ServiceInjector) Detail() string { return in.detail }
+
+// OnWrite implements job.PersistHook.OnWrite: it counts persist attempts
+// and, at the trigger ordinal, either fails the write (SiteJobWriteFail)
+// or tears the record (SiteJobTornWrite).
+func (in *ServiceInjector) OnWrite(path string, data []byte) ([]byte, error) {
+	if in.site == SiteJobRenameFail {
+		return data, nil // counted at the rename, not the write
+	}
+	in.count++
+	if in.fired || in.count != in.trigger {
+		return data, nil
+	}
+	switch in.site {
+	case SiteJobWriteFail:
+		in.fire("failed record write %d to %s", in.count, path)
+		return nil, fmt.Errorf("faultinject: injected write failure (persist %d)", in.count)
+	case SiteJobTornWrite:
+		// Cut strictly inside the record so the remainder is unparseable
+		// JSON, never an empty or complete file.
+		cut := 1 + int(in.r1%uint64(len(data)-1))
+		in.fire("tore record write %d to %s at byte %d of %d", in.count, path, cut, len(data))
+		return data[:cut], nil
+	}
+	return data, nil
+}
+
+// OnRename implements job.PersistHook.OnRename: at the trigger ordinal,
+// SiteJobRenameFail refuses the rename installing the record.
+func (in *ServiceInjector) OnRename(tmp, final string) error {
+	if in.site != SiteJobRenameFail {
+		return nil
+	}
+	in.count++
+	if in.fired || in.count != in.trigger {
+		return nil
+	}
+	in.fire("failed rename %d of %s", in.count, final)
+	return fmt.Errorf("faultinject: injected rename failure (persist %d)", in.count)
+}
+
+func (in *ServiceInjector) fire(format string, args ...any) {
+	in.fired = true
+	in.detail = fmt.Sprintf(format, args...)
+}

@@ -1,0 +1,81 @@
+package job
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"syscall"
+)
+
+// FailureKind classifies a runner or persistence error for the retry
+// policy: transient failures (disk hiccups, torn I/O) are worth re-running
+// from the checkpoint; deterministic campaign errors never are — the same
+// spec would fail the same way every time, so retrying only burns the pool.
+type FailureKind int
+
+const (
+	// FailPermanent is a deterministic failure: a campaign error that is a
+	// pure function of the spec. Retrying cannot change the outcome.
+	FailPermanent FailureKind = iota
+	// FailTransient is an environmental failure: I/O errors, torn writes,
+	// anything the typed taxonomy below recognises as likely to succeed on
+	// a re-run.
+	FailTransient
+)
+
+// String names the kind for logs and events.
+func (k FailureKind) String() string {
+	if k == FailTransient {
+		return "transient"
+	}
+	return "permanent"
+}
+
+// errTransient is the sentinel Transient wraps with; IsTransient and
+// Classify recognise it via errors.Is.
+var errTransient = errors.New("job: transient failure")
+
+// transientError marks an error as transient while preserving the wrapped
+// chain for errors.Is/As.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() []error {
+	return []error{e.err, errTransient}
+}
+
+// Transient marks err as a transient failure: Classify will recommend a
+// retry. The queue's own persistence layer and any runner that hits a
+// recoverable environmental error (as opposed to a deterministic campaign
+// error) should wrap with this.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err was marked by Transient.
+func IsTransient(err error) bool { return errors.Is(err, errTransient) }
+
+// Classify applies the failure taxonomy. Explicitly marked errors win;
+// otherwise filesystem and syscall errors — the classic torn-disk cases a
+// checkpoint resume exists for — are transient, and everything else
+// (campaign errors, bad specs, invariant violations) is permanent.
+func Classify(err error) FailureKind {
+	if err == nil {
+		return FailPermanent
+	}
+	if IsTransient(err) {
+		return FailTransient
+	}
+	var pathErr *fs.PathError
+	var linkErr *os.LinkError
+	var sysErr *os.SyscallError
+	var errno syscall.Errno
+	if errors.As(err, &pathErr) || errors.As(err, &linkErr) ||
+		errors.As(err, &sysErr) || errors.As(err, &errno) {
+		return FailTransient
+	}
+	return FailPermanent
+}

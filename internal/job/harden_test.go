@@ -1,0 +1,622 @@
+package job
+
+// Tests for the queue's fault-hardening layer: admission control,
+// transient-failure retries, the stuck-job watchdog, crash quarantine,
+// subscriber-overflow isolation, cancel/complete races, and the service
+// fault-injection matrix.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"securetlb/internal/faultinject"
+)
+
+// instantRunner completes immediately with a fixed payload.
+func instantRunner() Runner {
+	return RunnerFunc(func(ctx context.Context, spec Spec, publish func(Event)) (json.RawMessage, error) {
+		return json.RawMessage(`{"ok":true}`), nil
+	})
+}
+
+// countingRunner fails its first fails runs with err, then succeeds.
+type countingRunner struct {
+	mu    sync.Mutex
+	calls int
+	fails int
+	err   error
+}
+
+func (r *countingRunner) Run(ctx context.Context, spec Spec, publish func(Event)) (json.RawMessage, error) {
+	r.mu.Lock()
+	r.calls++
+	n := r.calls
+	r.mu.Unlock()
+	if n <= r.fails {
+		return nil, r.err
+	}
+	return json.RawMessage(`{"ok":true}`), nil
+}
+
+func (r *countingRunner) callCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.calls
+}
+
+// wedgeRunner blocks without publishing progress for its first wedges
+// runs (honouring ctx, like a drain-aware runner that stopped advancing),
+// then succeeds.
+type wedgeRunner struct {
+	mu     sync.Mutex
+	calls  int
+	wedges int
+}
+
+func (r *wedgeRunner) Run(ctx context.Context, spec Spec, publish func(Event)) (json.RawMessage, error) {
+	r.mu.Lock()
+	r.calls++
+	n := r.calls
+	r.mu.Unlock()
+	if n <= r.wedges {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	return json.RawMessage(`{"ok":true}`), nil
+}
+
+func waitTerminal(t *testing.T, q *Queue, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		j, ok := q.Get(id)
+		if ok && j.State.Terminal() {
+			return j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached a terminal state (now %s)", id, j.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestOpenQuarantinesTornRecord: a record torn mid-JSON (the crash-mid-
+// write artifact) is moved to <name>.corrupt at Open and the queue keeps
+// serving the intact records alongside it.
+func TestOpenQuarantinesTornRecord(t *testing.T) {
+	dir := t.TempDir()
+	q, err := Open(dir, instantRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Start()
+	good, _, _, err := q.Submit(Spec{Kind: KindSecbench, Design: "sa", Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, good.ID, StateDone)
+	q.Close()
+
+	// Tear a second, fake record and leave a stale temp file behind, as a
+	// SIGKILL between write and rename would.
+	torn := filepath.Join(dir, "feedfacecafebeef"+jobSuffix)
+	if err := os.WriteFile(torn, []byte(`{"id":"feedfacecafebeef","state":"pen`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "feedfacecafebeef"+jobSuffix+".tmp")
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	q2, err := Open(dir, instantRunner())
+	if err != nil {
+		t.Fatalf("Open refused to serve over a torn record: %v", err)
+	}
+	defer q2.Close()
+	if n := q2.Metrics().Quarantined; n != 1 {
+		t.Errorf("Quarantined = %d, want 1", n)
+	}
+	if _, err := os.Stat(torn + corruptSuffix); err != nil {
+		t.Errorf("torn record not preserved for forensics: %v", err)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("stale temp file survived Open: %v", err)
+	}
+	if j, ok := q2.Get(good.ID); !ok || j.State != StateDone {
+		t.Errorf("intact record lost alongside the quarantine: ok=%v state=%s", ok, j.State)
+	}
+}
+
+// TestReloadedResultIsByteIdentical: the record file is stored indented,
+// which re-indents the embedded result payload; a restart must still serve
+// the exact bytes the runner produced. Caught by cmd/tlbchaos.
+func TestReloadedResultIsByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	want := `{"kind":"perf","output":"Figure 7 — nested \"quotes\" and unicode —"}`
+	r := RunnerFunc(func(ctx context.Context, spec Spec, publish func(Event)) (json.RawMessage, error) {
+		return json.RawMessage(want), nil
+	})
+	q, err := Open(dir, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Start()
+	j, _, _, err := q.Submit(Spec{Kind: KindPerf, Design: "sa", Decrypts: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, j.ID, StateDone)
+	q.Close()
+
+	q2, err := Open(dir, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	got, ok := q2.Get(j.ID)
+	if !ok {
+		t.Fatal("done job lost across restart")
+	}
+	if string(got.Result) != want {
+		t.Errorf("reloaded result bytes differ:\n got:  %s\n want: %s", got.Result, want)
+	}
+}
+
+// TestAdmissionQueueFull: MaxPending bounds the live-job depth; attaching
+// to an already live job stays free, and the slot frees on completion.
+func TestAdmissionQueueFull(t *testing.T) {
+	r := newBlockingRunner()
+	q, err := OpenLimits(t.TempDir(), r, Limits{MaxPending: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	q.Start()
+
+	first := Spec{Kind: KindSecbench, Design: "sa", Trials: 1}
+	j, _, _, err := q.Submit(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-r.started
+
+	if _, _, _, err := q.Submit(Spec{Kind: KindSecbench, Design: "rf", Trials: 1}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("second spec admitted past MaxPending: err = %v", err)
+	}
+	if _, coalesced, _, err := q.Submit(first); err != nil || !coalesced {
+		t.Errorf("re-attaching to the live job should be free: coalesced=%v err=%v", coalesced, err)
+	}
+	if ready, reason := q.Ready(); ready {
+		t.Errorf("Ready() = true at capacity (%s)", reason)
+	}
+	if m := q.Metrics(); m.RejectedFull != 1 || m.Live != 1 {
+		t.Errorf("RejectedFull = %d, Live = %d; want 1, 1", m.RejectedFull, m.Live)
+	}
+
+	close(r.release)
+	waitState(t, q, j.ID, StateDone)
+	if ready, reason := q.Ready(); !ready {
+		t.Errorf("Ready() = false after the queue drained below capacity (%s)", reason)
+	}
+	if _, _, _, err := q.Submit(Spec{Kind: KindSecbench, Design: "rf", Trials: 1}); err != nil {
+		t.Errorf("completion did not free the admission slot: %v", err)
+	}
+}
+
+// TestAdmissionPerClient: one client's in-flight cap does not tax other
+// clients, and re-attaching to a job the client already holds is free.
+func TestAdmissionPerClient(t *testing.T) {
+	r := newBlockingRunner()
+	q, err := OpenLimits(t.TempDir(), r, Limits{MaxPerClient: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	q.Start()
+
+	first := Spec{Kind: KindSecbench, Design: "sa", Trials: 1}
+	second := Spec{Kind: KindSecbench, Design: "rf", Trials: 1}
+	jA, _, _, err := q.SubmitFrom("alice", first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-r.started
+
+	if _, _, _, err := q.SubmitFrom("alice", second); !errors.Is(err, ErrClientBusy) {
+		t.Fatalf("alice exceeded her cap: err = %v", err)
+	}
+	if _, coalesced, _, err := q.SubmitFrom("alice", first); err != nil || !coalesced {
+		t.Errorf("alice re-attaching to her own job should be free: coalesced=%v err=%v", coalesced, err)
+	}
+	jB, _, _, err := q.SubmitFrom("bob", second)
+	if err != nil {
+		t.Fatalf("bob was taxed for alice's jobs: %v", err)
+	}
+	<-r.started
+	if m := q.Metrics(); m.RejectedClient != 1 {
+		t.Errorf("RejectedClient = %d, want 1", m.RejectedClient)
+	}
+
+	close(r.release)
+	waitState(t, q, jA.ID, StateDone)
+	waitState(t, q, jB.ID, StateDone)
+	if _, _, _, err := q.SubmitFrom("alice", Spec{Kind: KindSecbench, Design: "sp", Trials: 1}); err != nil {
+		t.Errorf("alice's slot did not free on completion: %v", err)
+	}
+}
+
+// TestTransientRetryRecovers: a transient failure consumes one retry,
+// backs off, re-runs and completes; the consumed budget is persisted.
+func TestTransientRetryRecovers(t *testing.T) {
+	r := &countingRunner{fails: 1, err: Transient(errors.New("disk hiccup"))}
+	q, err := OpenLimits(t.TempDir(), r, Limits{RetryBudget: 3, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	q.Start()
+
+	j, _, _, err := q.Submit(Spec{Kind: KindSecbench, Design: "sa", Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, stop, err := q.Subscribe(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	final := waitState(t, q, j.ID, StateDone)
+	if final.Retries != 1 {
+		t.Errorf("Retries = %d, want 1", final.Retries)
+	}
+	if got := r.callCount(); got != 2 {
+		t.Errorf("runner ran %d times, want 2", got)
+	}
+	if m := q.Metrics(); m.Retried != 1 {
+		t.Errorf("metrics.Retried = %d, want 1", m.Retried)
+	}
+	var sawRetry bool
+	for ev := range events { // closed at the terminal transition
+		if ev.Type == "retry" && ev.Attempt == 1 {
+			sawRetry = true
+		}
+	}
+	if !sawRetry {
+		t.Error("no retry event reached the subscriber")
+	}
+}
+
+// TestPermanentFailureDoesNotRetry: a deterministic campaign error fails
+// fast — re-running it would burn budget to reproduce the same answer.
+func TestPermanentFailureDoesNotRetry(t *testing.T) {
+	r := &countingRunner{fails: 100, err: errors.New("design disagreement: sa != rf")}
+	q, err := OpenLimits(t.TempDir(), r, Limits{RetryBudget: 3, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	q.Start()
+
+	j, _, _, err := q.Submit(Spec{Kind: KindSecbench, Design: "sa", Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, q, j.ID)
+	if final.State != StateFailed || final.Retries != 0 {
+		t.Errorf("state = %s, Retries = %d; want failed with 0 retries", final.State, final.Retries)
+	}
+	if got := r.callCount(); got != 1 {
+		t.Errorf("runner ran %d times, want 1", got)
+	}
+}
+
+// TestRetryBudgetExhaustedFails: transient failures beyond the budget
+// surface as a terminal failure carrying the last error.
+func TestRetryBudgetExhaustedFails(t *testing.T) {
+	r := &countingRunner{fails: 100, err: Transient(errors.New("disk still gone"))}
+	q, err := OpenLimits(t.TempDir(), r, Limits{RetryBudget: 2, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	q.Start()
+
+	j, _, _, err := q.Submit(Spec{Kind: KindSecbench, Design: "sa", Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, q, j.ID)
+	if final.State != StateFailed || final.Retries != 2 {
+		t.Errorf("state = %s, Retries = %d; want failed after 2 retries", final.State, final.Retries)
+	}
+	if got := r.callCount(); got != 3 {
+		t.Errorf("runner ran %d times, want 3 (first try + 2 retries)", got)
+	}
+}
+
+// TestRetryBudgetSurvivesRestart: a job recovered from disk with its
+// budget already consumed must not be granted a fresh allowance.
+func TestRetryBudgetSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Kind: KindSecbench, Design: "sa", Trials: 1}.Normalize()
+	id, err := spec.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(Job{ID: id, Spec: spec, State: StatePending, Retries: 2, Executions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, id+jobSuffix), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := &countingRunner{fails: 100, err: Transient(errors.New("still failing"))}
+	q, err := OpenLimits(dir, r, Limits{RetryBudget: 2, RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	q.Start()
+
+	final := waitTerminal(t, q, id)
+	if final.State != StateFailed {
+		t.Errorf("state = %s, want failed (budget was already spent)", final.State)
+	}
+	if m := q.Metrics(); m.Retried != 0 {
+		t.Errorf("restart granted %d fresh retries, want 0", m.Retried)
+	}
+}
+
+// TestWatchdogReparksStalledJob: a running job whose Units counter stops
+// advancing is cancelled, re-parked and re-run; the re-run completes.
+func TestWatchdogReparksStalledJob(t *testing.T) {
+	r := &wedgeRunner{wedges: 1}
+	q, err := OpenLimits(t.TempDir(), r, Limits{
+		RetryBudget:  3,
+		RetryBase:    time.Millisecond,
+		StallTimeout: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	q.Start()
+
+	j, _, _, err := q.Submit(Spec{Kind: KindSecbench, Design: "sa", Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, q, j.ID, StateDone)
+	if final.Stalls != 1 {
+		t.Errorf("Stalls = %d, want 1", final.Stalls)
+	}
+	if m := q.Metrics(); m.Stalled != 1 {
+		t.Errorf("metrics.Stalled = %d, want 1", m.Stalled)
+	}
+}
+
+// TestWatchdogStallBudgetExhausted: a deterministically wedged runner is
+// bounded — the watchdog re-parks it only stallBudget times before the
+// job fails terminally instead of looping forever.
+func TestWatchdogStallBudgetExhausted(t *testing.T) {
+	r := &wedgeRunner{wedges: 100}
+	q, err := OpenLimits(t.TempDir(), r, Limits{
+		RetryBudget:  1, // stall budget follows the retry budget
+		RetryBase:    time.Millisecond,
+		StallTimeout: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	q.Start()
+
+	j, _, _, err := q.Submit(Spec{Kind: KindSecbench, Design: "sa", Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, q, j.ID)
+	if final.State != StateFailed {
+		t.Fatalf("state = %s, want failed", final.State)
+	}
+	if final.Stalls != 2 {
+		t.Errorf("Stalls = %d, want 2 (budget 1 + the failing one)", final.Stalls)
+	}
+}
+
+// TestSubscriberOverflowDoesNotBlockQueue: a subscriber that stops
+// reading loses events past its 256-slot buffer but never blocks the
+// publisher — the job still completes and the channel still closes.
+func TestSubscriberOverflowDoesNotBlockQueue(t *testing.T) {
+	const published = 400
+	r := RunnerFunc(func(ctx context.Context, spec Spec, publish func(Event)) (json.RawMessage, error) {
+		for i := 1; i <= published; i++ {
+			publish(Event{Type: "progress", Units: i})
+		}
+		return json.RawMessage(`{"ok":true}`), nil
+	})
+	q, err := Open(t.TempDir(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	j, _, _, err := q.Submit(Spec{Kind: KindSecbench, Design: "sa", Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, stop, err := q.Subscribe(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	// Only now start the queue: the subscriber is attached but not
+	// reading, so the publisher overruns its buffer while it runs.
+	q.Start()
+	waitState(t, q, j.ID, StateDone)
+
+	var drained int
+	for range events { // the channel must close despite the overflow
+		drained++
+	}
+	if drained != 256 {
+		t.Errorf("drained %d events, want exactly the 256-slot buffer", drained)
+	}
+}
+
+// TestCancelRacesCompletion: hammering Cancel against an instantly
+// completing job must always land in a consistent terminal state and
+// release the admission slot, whichever side wins.
+func TestCancelRacesCompletion(t *testing.T) {
+	q, err := OpenLimits(t.TempDir(), instantRunner(), Limits{MaxPending: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	q.Start()
+
+	for i := 0; i < 40; i++ {
+		j, _, _, err := q.Submit(Spec{Kind: KindSecbench, Design: "sa", Trials: i + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if _, err := q.Cancel(j.ID); err != nil && !errors.Is(err, ErrNotFound) {
+				t.Errorf("Cancel: %v", err)
+			}
+		}()
+		final := waitTerminal(t, q, j.ID)
+		<-done
+		if final.State != StateDone && final.State != StateCanceled {
+			t.Fatalf("race left job %s in %s", j.ID, final.State)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Metrics().Live != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Live = %d after all races settled, want 0", q.Metrics().Live)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestServiceFaultMatrix drives every service fault site over several
+// seeds and requires no silent cell: the injected fault must land, and
+// afterwards every submitted job must be either intact on disk or
+// explicitly quarantined — never present-and-wrong, never lost without
+// trace. Fail-type sites must additionally have been detected in flight
+// (a typed submission error or a consumed retry).
+func TestServiceFaultMatrix(t *testing.T) {
+	specs := make([]Spec, 6)
+	for i := range specs {
+		specs[i] = Spec{Kind: KindSecbench, Design: "sa", Trials: 10 + i}.Normalize()
+	}
+	for _, site := range faultinject.ServiceSites() {
+		for seed := uint64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", site, seed), func(t *testing.T) {
+				in, err := faultinject.NewService(site, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dir := t.TempDir()
+				q, err := OpenLimits(dir, instantRunner(), Limits{
+					RetryBudget: 3,
+					RetryBase:   time.Millisecond,
+					PersistHook: &PersistHook{OnWrite: in.OnWrite, OnRename: in.OnRename},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				q.Start()
+
+				var submitErrs int
+				for _, spec := range specs {
+					j, _, _, err := q.Submit(spec)
+					if err != nil {
+						// The fault rejected the submission itself; it must
+						// be typed transient, and the retried submission —
+						// the injector fires once — must get through.
+						if !IsTransient(err) {
+							t.Fatalf("submission error not typed transient: %v", err)
+						}
+						submitErrs++
+						if j, _, _, err = q.Submit(spec); err != nil {
+							t.Fatalf("resubmission after transient rejection: %v", err)
+						}
+					}
+					waitTerminal(t, q, j.ID)
+				}
+				retried := q.Metrics().Retried
+				q.Close()
+
+				if !in.Fired() {
+					t.Fatalf("fault never landed within the workload (%d persists too few)", len(specs))
+				}
+				if site != faultinject.SiteJobTornWrite && submitErrs == 0 && retried == 0 {
+					t.Errorf("silent cell: %s fired (%s) but no rejection or retry observed", site, in.Detail())
+				}
+
+				// Reopen: every record must be intact (parsed, done) or
+				// quarantined with the original bytes preserved.
+				q2, err := Open(dir, instantRunner())
+				if err != nil {
+					t.Fatalf("reopen over the faulted store: %v", err)
+				}
+				defer q2.Close()
+				for _, spec := range specs {
+					id, err := spec.ID()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if j, ok := q2.Get(id); ok {
+						if j.State != StateDone {
+							t.Errorf("job %s recovered as %s, want done", id, j.State)
+						}
+						continue
+					}
+					if _, err := os.Stat(filepath.Join(dir, id+jobSuffix+corruptSuffix)); err != nil {
+						t.Errorf("job %s neither recovered nor quarantined: %v (fault: %s)", id, err, in.Detail())
+					}
+				}
+				if torn := in.Site() == faultinject.SiteJobTornWrite; !torn && q2.Metrics().Quarantined != 0 {
+					t.Errorf("fail-type site %s left %d corrupt records", site, q2.Metrics().Quarantined)
+				}
+			})
+		}
+	}
+}
+
+// TestBackoffDeterministicAndBounded: the retry delay doubles per attempt
+// within [base/2, cap] and is a pure function of (job ID, attempt) — two
+// daemons replaying the same history schedule identically.
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	q := &Queue{lim: Limits{RetryBase: 100 * time.Millisecond, RetryMax: 5 * time.Second}.withDefaults()}
+	for attempt := 1; attempt <= 10; attempt++ {
+		d := q.backoff("93256aa5b28380a5", attempt)
+		if d != q.backoff("93256aa5b28380a5", attempt) {
+			t.Fatalf("attempt %d: backoff is not deterministic", attempt)
+		}
+		step := 100 * time.Millisecond << (attempt - 1)
+		if step > 5*time.Second {
+			step = 5 * time.Second
+		}
+		if d < step/2 || d > step {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v]", attempt, d, step/2, step)
+		}
+	}
+	if a, b := q.backoff("aaaa", 1), q.backoff("bbbb", 1); a == b {
+		t.Errorf("distinct jobs share a jitter phase: %v", a)
+	}
+}

@@ -29,6 +29,12 @@ var (
 	// ErrDraining is returned by Submit once the queue has begun shutting
 	// down; the daemon maps it to 503.
 	ErrDraining = errors.New("job: queue is draining")
+	// ErrQueueFull is returned by Submit when the live-job depth is at
+	// Limits.MaxPending; the daemon maps it to 429 with a Retry-After.
+	ErrQueueFull = errors.New("job: queue is full")
+	// ErrClientBusy is returned by Submit when the client is already
+	// attached to Limits.MaxPerClient live jobs; the daemon maps it to 429.
+	ErrClientBusy = errors.New("job: client has too many jobs in flight")
 )
 
 // Spec kinds.
@@ -146,7 +152,8 @@ type Job struct {
 	ID    string `json:"id"`
 	Spec  Spec   `json:"spec"`
 	State State  `json:"state"`
-	// Error holds the failure reason for StateFailed.
+	// Error holds the failure reason for StateFailed, or the last
+	// transient failure while a retry is parked pending.
 	Error string `json:"error,omitempty"`
 	// Result is the runner's payload for StateDone.
 	Result json.RawMessage `json:"result,omitempty"`
@@ -162,6 +169,12 @@ type Job struct {
 	Executions int `json:"executions"`
 	// Units is the last progress reading: completed checkpoint units.
 	Units int `json:"units,omitempty"`
+	// Retries counts the transient-failure retries this job has consumed.
+	// It is persisted so a daemon restart cannot reset the retry budget.
+	Retries int `json:"retries,omitempty"`
+	// Stalls counts the watchdog re-parks this job has consumed (also
+	// persisted, bounding a deterministically wedged runner).
+	Stalls int `json:"stalls,omitempty"`
 }
 
 // Event is one NDJSON line of a job's progress stream.
@@ -169,11 +182,15 @@ type Event struct {
 	// Job is the job ID; the queue stamps it on every published event.
 	Job string `json:"job,omitempty"`
 	// Type is "state" (State carries the new state, Error the reason for
-	// failures), "progress" (Units carries completed checkpoint units), or
-	// "result" (Result carries the final payload).
+	// failures), "progress" (Units carries completed checkpoint units),
+	// "result" (Result carries the final payload), "retry" (Error carries
+	// the transient failure, Attempt the retry ordinal), or "stall"
+	// (Attempt carries the watchdog re-park ordinal).
 	Type   string          `json:"type"`
 	State  State           `json:"state,omitempty"`
 	Units  int             `json:"units,omitempty"`
 	Error  string          `json:"error,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
+	// Attempt is the 1-based retry or stall ordinal for those event types.
+	Attempt int `json:"attempt,omitempty"`
 }

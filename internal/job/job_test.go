@@ -290,18 +290,19 @@ func TestSubscribeStreamsLifecycle(t *testing.T) {
 		t.Errorf("terminal events = %v, want ...result,state", types)
 	}
 
-	// Subscribing to the completed job replays its state and result.
+	// Subscribing to the completed job replays its result and state in the
+	// live stream's terminal order, so late attachers see the same shape.
 	ch2, stop2, err := q.Subscribe(j.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer stop2()
 	ev := <-ch2
-	if ev.Type != "state" || ev.State != StateDone {
+	if ev.Type != "result" || string(ev.Result) != `{"ok":true}` {
 		t.Errorf("replay first event = %+v", ev)
 	}
 	ev = <-ch2
-	if ev.Type != "result" || string(ev.Result) != `{"ok":true}` {
+	if ev.Type != "state" || ev.State != StateDone {
 		t.Errorf("replay second event = %+v", ev)
 	}
 	if _, open := <-ch2; open {
@@ -325,7 +326,7 @@ func TestSubscribeUnknownJob(t *testing.T) {
 	}
 }
 
-func TestOpenRejectsMismatchedRecord(t *testing.T) {
+func TestOpenQuarantinesMismatchedRecord(t *testing.T) {
 	dir := t.TempDir()
 	r := newBlockingRunner()
 	q, err := Open(dir, r)
@@ -352,7 +353,24 @@ func TestOpenRejectsMismatchedRecord(t *testing.T) {
 	if err := os.WriteFile(src, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(dir, r); err == nil {
-		t.Error("Open accepted a record whose filename disagrees with its ID")
+	q2, err := Open(dir, r)
+	if err != nil {
+		t.Fatalf("Open refused to serve over a corrupt record: %v", err)
+	}
+	defer q2.Close()
+	if _, ok := q2.Get(j.ID); ok {
+		t.Error("mismatched record survived into the recovered queue")
+	}
+	if _, ok := q2.Get("elsewhere"); ok {
+		t.Error("mismatched record was adopted under its claimed ID")
+	}
+	if n := q2.Metrics().Quarantined; n != 1 {
+		t.Errorf("Quarantined = %d, want 1", n)
+	}
+	if _, err := os.Stat(src + corruptSuffix); err != nil {
+		t.Errorf("quarantined record not preserved at %s%s: %v", src, corruptSuffix, err)
+	}
+	if _, err := os.Stat(src); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("corrupt record still in place: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package job
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Runner executes one campaign. The queue guarantees at most one Run per
@@ -30,7 +32,7 @@ func (f RunnerFunc) Run(ctx context.Context, spec Spec, publish func(Event)) (js
 
 // Metrics is a point-in-time reading of the queue's counters.
 type Metrics struct {
-	// Submissions counts every Submit call, however it was served.
+	// Submissions counts every admitted Submit call, however it was served.
 	Submissions int64
 	// CoalesceHits counts submissions that attached to an already live
 	// (pending or running) job instead of starting an execution.
@@ -43,8 +45,99 @@ type Metrics struct {
 	// Recovered counts jobs found pending or running on disk at Open —
 	// interrupted work a restarted daemon resumes.
 	Recovered int64
+	// Quarantined counts corrupt job records Open moved aside to
+	// <id>.job.json.corrupt instead of refusing to start.
+	Quarantined int64
+	// Retried counts transient-failure retries the queue scheduled.
+	Retried int64
+	// Stalled counts watchdog re-parks of jobs whose progress stalled.
+	Stalled int64
+	// RejectedFull counts submissions refused because the live-job depth
+	// was at Limits.MaxPending.
+	RejectedFull int64
+	// RejectedClient counts submissions refused by the per-client
+	// in-flight cap.
+	RejectedClient int64
+	// RejectedDraining counts submissions refused during shutdown.
+	RejectedDraining int64
+	// Live is the current pending+running job count (the admission gauge).
+	Live int
 	// JobsByState counts the known jobs per state.
 	JobsByState map[State]int
+}
+
+// Limits is the queue's admission-control and self-healing policy. The
+// zero value reproduces the unhardened behaviour: unbounded admission, no
+// retries, no watchdog.
+type Limits struct {
+	// MaxPending bounds the live (pending+running) job depth; submissions
+	// that would start new work beyond it get ErrQueueFull. 0 = unbounded.
+	MaxPending int
+	// MaxPerClient bounds the live jobs any one client may be attached to;
+	// further submissions get ErrClientBusy. 0 = unbounded. Attachment is
+	// tracked in memory only — a daemon restart grants a fresh allowance.
+	MaxPerClient int
+	// RetryBudget is how many transient failures (FailTransient under the
+	// Classify taxonomy) each job may retry with exponential backoff. The
+	// consumed count is persisted in the job record, so a daemon restart
+	// does not reset it. 0 = fail on the first error.
+	RetryBudget int
+	// RetryBase is the first backoff step (default 100ms); successive
+	// retries double it, capped at RetryMax (default 5s), with ±50%
+	// deterministic jitter derived from the job ID.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// StallTimeout arms the stuck-job watchdog: a running job whose Units
+	// counter does not advance for this long is cancelled and re-parked to
+	// pending (its checkpoint makes the re-run a resume). 0 = disabled.
+	StallTimeout time.Duration
+	// StallPoll is the watchdog's poll interval (default StallTimeout/4).
+	StallPoll time.Duration
+	// PersistHook, when set, intercepts the queue's durable record writes —
+	// the fault-injection seam internal/faultinject's service sites use.
+	PersistHook *PersistHook
+}
+
+// stallBudget bounds how many times the watchdog re-parks one job before
+// declaring it failed, so a deterministically wedged runner cannot loop
+// forever.
+func (l Limits) stallBudget() int {
+	if l.RetryBudget > 0 {
+		return l.RetryBudget
+	}
+	return 3
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.RetryBase <= 0 {
+		l.RetryBase = 100 * time.Millisecond
+	}
+	if l.RetryMax <= 0 {
+		l.RetryMax = 5 * time.Second
+	}
+	if l.StallPoll <= 0 {
+		if l.StallPoll = l.StallTimeout / 4; l.StallPoll <= 0 {
+			l.StallPoll = 10 * time.Millisecond
+		}
+	}
+	return l
+}
+
+// PersistHook intercepts the queue's durable job-record writes, for fault
+// injection. Both callbacks are optional.
+type PersistHook struct {
+	// OnWrite sees the record bytes about to be written and may transform
+	// them (a torn write) or refuse them (a failed write).
+	OnWrite func(path string, data []byte) ([]byte, error)
+	// OnRename may refuse the atomic rename that installs the record.
+	OnRename func(tmp, final string) error
+}
+
+// progressMark is the watchdog's view of one running job: the last Units
+// reading and when it changed.
+type progressMark struct {
+	units int
+	at    time.Time
 }
 
 // Queue is the durable, coalescing job queue. All methods are safe for
@@ -52,38 +145,61 @@ type Metrics struct {
 type Queue struct {
 	dir    string
 	runner Runner
+	lim    Limits
 
-	mu      sync.Mutex
-	jobs    map[string]*Job
-	order   []string // insertion order, for List
-	cancels map[string]context.CancelFunc
-	subs    map[string][]chan Event
-	started bool
-	drain   bool
-	metrics Metrics
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // insertion order, for List
+	cancels  map[string]context.CancelFunc
+	subs     map[string][]chan Event
+	attached map[string]map[string]bool // job ID -> clients holding a slot
+	clients  map[string]int             // client -> live jobs attached
+	progress map[string]progressMark
+	stalled  map[string]bool
+	live     int // pending+running jobs, the admission gauge
+	started  bool
+	drain    bool
+	metrics  Metrics
 
 	root context.Context
 	stop context.CancelFunc
 	wg   sync.WaitGroup
 }
 
-const jobSuffix = ".job.json"
+const (
+	jobSuffix = ".job.json"
+	// corruptSuffix is appended to a quarantined record's filename.
+	corruptSuffix = ".corrupt"
+)
 
-// Open loads the queue rooted at dir (created if missing). Jobs found
+// Open loads the queue rooted at dir (created if missing) with the zero
+// Limits. See OpenLimits.
+func Open(dir string, r Runner) (*Queue, error) {
+	return OpenLimits(dir, r, Limits{})
+}
+
+// OpenLimits loads the queue rooted at dir (created if missing). Jobs found
 // pending or running — interrupted by whatever ended the previous daemon —
 // are reset to pending and re-executed when Start is called; their
 // checkpoint files make the re-execution a resume. Completed jobs keep
-// serving cache hits.
-func Open(dir string, r Runner) (*Queue, error) {
+// serving cache hits. A corrupt or torn record is quarantined to
+// <name>.corrupt and counted, never a reason to refuse startup: one bad
+// file must not take down the whole daemon.
+func OpenLimits(dir string, r Runner, lim Limits) (*Queue, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("job: %w", err)
 	}
 	q := &Queue{
-		dir:     dir,
-		runner:  r,
-		jobs:    map[string]*Job{},
-		cancels: map[string]context.CancelFunc{},
-		subs:    map[string][]chan Event{},
+		dir:      dir,
+		runner:   r,
+		lim:      lim.withDefaults(),
+		jobs:     map[string]*Job{},
+		cancels:  map[string]context.CancelFunc{},
+		subs:     map[string][]chan Event{},
+		attached: map[string]map[string]bool{},
+		clients:  map[string]int{},
+		progress: map[string]progressMark{},
+		stalled:  map[string]bool{},
 	}
 	q.root, q.stop = context.WithCancel(context.Background())
 	entries, err := os.ReadDir(dir)
@@ -92,7 +208,16 @@ func Open(dir string, r Runner) (*Queue, error) {
 	}
 	names := make([]string, 0, len(entries))
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), jobSuffix) {
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), jobSuffix+".tmp") {
+			// A crash between temp write and rename leaves the temp file;
+			// the record it was replacing is still intact.
+			os.Remove(filepath.Join(dir, e.Name()))
+			continue
+		}
+		if strings.HasSuffix(e.Name(), jobSuffix) {
 			names = append(names, e.Name())
 		}
 	}
@@ -104,17 +229,40 @@ func Open(dir string, r Runner) (*Queue, error) {
 		}
 		var j Job
 		if err := json.Unmarshal(raw, &j); err != nil {
-			return nil, fmt.Errorf("job: record %s: %w", name, err)
+			if qerr := q.quarantine(name); qerr != nil {
+				return nil, qerr
+			}
+			continue
 		}
 		if j.ID == "" || strings.TrimSuffix(name, jobSuffix) != j.ID {
-			return nil, fmt.Errorf("job: record %s names job %q", name, j.ID)
+			if qerr := q.quarantine(name); qerr != nil {
+				return nil, qerr
+			}
+			continue
+		}
+		if len(j.Result) > 0 {
+			// The record is stored indented for humans, which re-indents the
+			// embedded result payload. Re-compact it so a job served after a
+			// restart returns the exact bytes the runner produced.
+			var buf bytes.Buffer
+			if err := json.Compact(&buf, j.Result); err != nil {
+				if qerr := q.quarantine(name); qerr != nil {
+					return nil, qerr
+				}
+				continue
+			}
+			j.Result = append(json.RawMessage(nil), buf.Bytes()...)
 		}
 		if !j.State.Terminal() {
 			j.State = StatePending
 			q.metrics.Recovered++
-			if err := q.persist(&j); err != nil {
-				return nil, err
-			}
+			// Best-effort: a transient write failure here must not stop the
+			// daemon from coming up — the record still reads as live on
+			// disk, and the next successful persist re-parks it.
+			_ = q.persist(&j)
+		}
+		if !j.State.Terminal() {
+			q.live++
 		}
 		q.jobs[j.ID] = &j
 		q.order = append(q.order, j.ID)
@@ -122,11 +270,22 @@ func Open(dir string, r Runner) (*Queue, error) {
 	return q, nil
 }
 
+// quarantine moves a corrupt record aside so the queue can keep serving.
+func (q *Queue) quarantine(name string) error {
+	src := filepath.Join(q.dir, name)
+	if err := os.Rename(src, src+corruptSuffix); err != nil {
+		return fmt.Errorf("job: quarantining record %s: %w", name, err)
+	}
+	q.metrics.Quarantined++
+	return nil
+}
+
 // Dir returns the queue's durable directory.
 func (q *Queue) Dir() string { return q.dir }
 
-// Start launches every pending job (the recovered backlog) and marks the
-// queue live. It must be called exactly once, before Submit.
+// Start launches every pending job (the recovered backlog), arms the
+// stall watchdog if configured, and marks the queue live. It must be
+// called exactly once, before Submit.
 func (q *Queue) Start() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -136,14 +295,27 @@ func (q *Queue) Start() {
 			q.launchLocked(id)
 		}
 	}
+	if q.lim.StallTimeout > 0 {
+		q.wg.Add(1)
+		go q.watchdog()
+	}
 }
 
-// Submit enqueues a campaign. The spec is normalised and validated; its
-// fingerprint is the job ID. A live job with the same ID absorbs the
-// submission (coalesced=true), a completed one serves its stored result
-// (cached=true), a failed or canceled one is re-run, and an unknown one
-// starts fresh. The returned Job is a snapshot.
+// Submit enqueues a campaign with no client attribution. See SubmitFrom.
 func (q *Queue) Submit(spec Spec) (Job, bool, bool, error) {
+	return q.SubmitFrom("", spec)
+}
+
+// SubmitFrom enqueues a campaign on behalf of client (an opaque caller
+// identity; "" opts out of per-client accounting). The spec is normalised
+// and validated; its fingerprint is the job ID. A live job with the same
+// ID absorbs the submission (coalesced=true), a completed one serves its
+// stored result (cached=true), a failed or canceled one is re-run, and an
+// unknown one starts fresh. Submissions that would start or attach to live
+// work pass admission control first: ErrQueueFull when the live depth is
+// at Limits.MaxPending, ErrClientBusy when the client holds MaxPerClient
+// live jobs. The returned Job is a snapshot.
+func (q *Queue) SubmitFrom(client string, spec Spec) (Job, bool, bool, error) {
 	spec = spec.Normalize()
 	if err := spec.Validate(); err != nil {
 		return Job{}, false, false, err
@@ -155,39 +327,104 @@ func (q *Queue) Submit(spec Spec) (Job, bool, bool, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.drain {
+		q.metrics.RejectedDraining++
 		return Job{}, false, false, ErrDraining
 	}
-	q.metrics.Submissions++
 	if j, ok := q.jobs[id]; ok {
 		switch {
-		case j.State.Terminal() && j.State == StateDone:
+		case j.State == StateDone:
+			// Cache hits cost nothing: always admitted.
+			q.metrics.Submissions++
 			j.CacheHits++
 			q.metrics.CacheHits++
 			return *j, false, true, nil
 		case j.State.Terminal(): // failed or canceled: re-run under the same ID
+			if err := q.admitLocked(client, id); err != nil {
+				return Job{}, false, false, err
+			}
+			q.metrics.Submissions++
+			prev := *j
 			j.State = StatePending
 			j.Error = ""
 			j.Result = nil
 			j.Units = 0
+			j.Retries = 0
+			j.Stalls = 0
 			if err := q.persist(j); err != nil {
+				*j = prev
 				return Job{}, false, false, err
 			}
+			q.live++
+			q.attachLocked(client, id)
 			q.launchLocked(id)
 			return *j, false, false, nil
 		default: // pending or running: coalesce
+			if err := q.admitClientLocked(client, id); err != nil {
+				return Job{}, false, false, err
+			}
+			q.metrics.Submissions++
+			q.attachLocked(client, id)
 			j.Coalesced++
 			q.metrics.CoalesceHits++
 			return *j, true, false, nil
 		}
 	}
+	if err := q.admitLocked(client, id); err != nil {
+		return Job{}, false, false, err
+	}
 	j := &Job{ID: id, Spec: spec, State: StatePending}
 	if err := q.persist(j); err != nil {
 		return Job{}, false, false, err
 	}
+	q.metrics.Submissions++
+	q.live++
+	q.attachLocked(client, id)
 	q.jobs[id] = j
 	q.order = append(q.order, id)
 	q.launchLocked(id)
 	return *j, false, false, nil
+}
+
+// admitLocked applies both admission gates for a submission that starts
+// new live work. Callers hold q.mu.
+func (q *Queue) admitLocked(client, id string) error {
+	if q.lim.MaxPending > 0 && q.live >= q.lim.MaxPending {
+		q.metrics.RejectedFull++
+		return ErrQueueFull
+	}
+	return q.admitClientLocked(client, id)
+}
+
+// admitClientLocked applies the per-client in-flight cap. Attaching again
+// to a job the client already holds is free. Callers hold q.mu.
+func (q *Queue) admitClientLocked(client, id string) error {
+	if client == "" || q.lim.MaxPerClient <= 0 {
+		return nil
+	}
+	if q.attached[id][client] {
+		return nil
+	}
+	if q.clients[client] >= q.lim.MaxPerClient {
+		q.metrics.RejectedClient++
+		return ErrClientBusy
+	}
+	return nil
+}
+
+// attachLocked records that client holds a slot on the live job id.
+func (q *Queue) attachLocked(client, id string) {
+	if client == "" {
+		return
+	}
+	set := q.attached[id]
+	if set == nil {
+		set = map[string]bool{}
+		q.attached[id] = set
+	}
+	if !set[client] {
+		set[client] = true
+		q.clients[client]++
+	}
 }
 
 // Get returns a snapshot of the job with the given ID.
@@ -212,9 +449,26 @@ func (q *Queue) List() []Job {
 	return out
 }
 
+// Ready reports whether the queue can accept new work, with a reason when
+// it cannot — the daemon's readiness probe, distinct from liveness: a
+// draining or saturated daemon is alive but should receive no new traffic.
+func (q *Queue) Ready() (bool, string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	switch {
+	case q.drain:
+		return false, "draining"
+	case q.lim.MaxPending > 0 && q.live >= q.lim.MaxPending:
+		return false, fmt.Sprintf("at capacity (%d live jobs)", q.live)
+	}
+	return true, "ok"
+}
+
 // Cancel requests cancellation of a live job: admission stops, started
-// trials drain, and the job lands in StateCanceled. It reports whether the
-// job was live (terminal jobs are left untouched).
+// trials drain, and the job lands in StateCanceled. A pending job with no
+// executor (queued behind Start, or waiting out a retry backoff) is
+// cancelled immediately. It reports whether the job was live (terminal
+// jobs are left untouched).
 func (q *Queue) Cancel(id string) (bool, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -227,7 +481,12 @@ func (q *Queue) Cancel(id string) (bool, error) {
 	}
 	if cancel, ok := q.cancels[id]; ok {
 		cancel()
+		return true, nil
 	}
+	j.State = StateCanceled
+	_ = q.persist(j)
+	q.publishLocked(id, Event{Type: "state", State: StateCanceled})
+	q.finishLocked(id)
 	return true, nil
 }
 
@@ -243,14 +502,17 @@ func (q *Queue) Subscribe(id string) (<-chan Event, func(), error) {
 		return nil, nil, ErrNotFound
 	}
 	ch := make(chan Event, 256)
-	ch <- Event{Job: j.ID, Type: "state", State: j.State, Error: j.Error}
 	if j.State.Terminal() {
+		// Match the live stream's terminal ordering — result, then the
+		// closing state event — so late subscribers see the same shape.
 		if j.State == StateDone {
 			ch <- Event{Job: j.ID, Type: "result", Result: j.Result}
 		}
+		ch <- Event{Job: j.ID, Type: "state", State: j.State, Error: j.Error}
 		close(ch)
 		return ch, func() {}, nil
 	}
+	ch <- Event{Job: j.ID, Type: "state", State: j.State, Error: j.Error}
 	q.subs[id] = append(q.subs[id], ch)
 	stop := func() {
 		q.mu.Lock()
@@ -271,6 +533,7 @@ func (q *Queue) Metrics() Metrics {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	m := q.metrics
+	m.Live = q.live
 	m.JobsByState = map[State]int{}
 	for _, j := range q.jobs {
 		m.JobsByState[j.State]++
@@ -299,6 +562,9 @@ func (q *Queue) launchLocked(id string) {
 	if !q.started {
 		return
 	}
+	if _, running := q.cancels[id]; running {
+		return
+	}
 	ctx, cancel := context.WithCancel(q.root)
 	q.cancels[id] = cancel
 	q.wg.Add(1)
@@ -310,7 +576,7 @@ func (q *Queue) launchLocked(id string) {
 }
 
 // execute runs one job to a terminal state (or parks it back to pending on
-// a drain).
+// a drain, watchdog stall, or retryable failure).
 func (q *Queue) execute(ctx context.Context, id string) {
 	q.mu.Lock()
 	j, ok := q.jobs[id]
@@ -322,8 +588,9 @@ func (q *Queue) execute(ctx context.Context, id string) {
 	j.Executions++
 	q.metrics.Executions++
 	spec := j.Spec
+	q.progress[id] = progressMark{units: j.Units, at: time.Now()}
 	if err := q.persist(j); err != nil {
-		q.failLocked(j, err)
+		q.settleFailureLocked(j, err)
 		q.mu.Unlock()
 		return
 	}
@@ -334,8 +601,9 @@ func (q *Queue) execute(ctx context.Context, id string) {
 		q.mu.Lock()
 		defer q.mu.Unlock()
 		if ev.Type == "progress" {
-			if jj, ok := q.jobs[id]; ok {
+			if jj, ok := q.jobs[id]; ok && jj.Units != ev.Units {
 				jj.Units = ev.Units
+				q.progress[id] = progressMark{units: ev.Units, at: time.Now()}
 			}
 		}
 		q.publishLocked(id, ev)
@@ -349,37 +617,185 @@ func (q *Queue) execute(ctx context.Context, id string) {
 		j.Result = result
 		j.Error = ""
 		if perr := q.persist(j); perr != nil {
-			q.failLocked(j, perr)
+			q.settleFailureLocked(j, perr)
 			return
 		}
 		q.publishLocked(id, Event{Type: "result", Result: result})
 		q.publishLocked(id, Event{Type: "state", State: StateDone})
+		q.finishLocked(id)
 	case ctx.Err() != nil && q.drain:
 		// Daemon shutdown, not a user cancel: park the job for the next
 		// daemon to resume from its checkpoint.
 		j.State = StatePending
 		_ = q.persist(j)
 		q.publishLocked(id, Event{Type: "state", State: StatePending})
+		q.closeSubsLocked(id)
+		delete(q.cancels, id)
+		delete(q.progress, id)
+		delete(q.stalled, id)
+	case ctx.Err() != nil && q.stalled[id]:
+		q.settleStallLocked(j)
 	case ctx.Err() != nil:
 		j.State = StateCanceled
 		_ = q.persist(j)
 		q.publishLocked(id, Event{Type: "state", State: StateCanceled})
+		q.finishLocked(id)
 	default:
-		q.failLocked(j, err)
-		return
+		q.settleFailureLocked(j, err)
 	}
-	q.closeSubsLocked(id)
-	delete(q.cancels, id)
 }
 
-// failLocked records a failed execution. Callers hold q.mu.
+// settleFailureLocked applies the retry policy to a failed execution:
+// transient failures with budget left re-park the job pending and schedule
+// a backed-off relaunch (subscribers stay attached); everything else is a
+// terminal failure. Callers hold q.mu.
+func (q *Queue) settleFailureLocked(j *Job, err error) {
+	if q.lim.RetryBudget > 0 && j.Retries < q.lim.RetryBudget && Classify(err) == FailTransient {
+		j.Retries++
+		q.metrics.Retried++
+		j.State = StatePending
+		j.Result = nil
+		j.Error = err.Error()
+		_ = q.persist(j)
+		q.publishLocked(j.ID, Event{Type: "retry", Error: err.Error(), Attempt: j.Retries})
+		q.publishLocked(j.ID, Event{Type: "state", State: StatePending})
+		delete(q.cancels, j.ID)
+		delete(q.progress, j.ID)
+		q.relaunchAfterLocked(j.ID, q.backoff(j.ID, j.Retries))
+		return
+	}
+	q.failLocked(j, err)
+}
+
+// settleStallLocked re-parks a job the watchdog cancelled for stalled
+// progress — unless it has exhausted its stall budget, in which case a
+// wedged runner becomes a terminal failure rather than an infinite loop.
+// Callers hold q.mu.
+func (q *Queue) settleStallLocked(j *Job) {
+	delete(q.stalled, j.ID)
+	j.Stalls++
+	q.metrics.Stalled++
+	if j.Stalls > q.lim.stallBudget() {
+		q.failLocked(j, fmt.Errorf("job: stalled %d times (no progress within %s)", j.Stalls, q.lim.StallTimeout))
+		return
+	}
+	j.State = StatePending
+	_ = q.persist(j)
+	q.publishLocked(j.ID, Event{Type: "stall", Attempt: j.Stalls})
+	q.publishLocked(j.ID, Event{Type: "state", State: StatePending})
+	delete(q.cancels, j.ID)
+	delete(q.progress, j.ID)
+	q.relaunchAfterLocked(j.ID, q.backoff(j.ID, j.Stalls))
+}
+
+// relaunchAfterLocked schedules a parked job's relaunch after delay. A
+// drain during the wait leaves the job parked pending on disk — exactly
+// the state a restarted daemon resumes. Callers hold q.mu.
+func (q *Queue) relaunchAfterLocked(id string, delay time.Duration) {
+	q.wg.Add(1)
+	go func() {
+		defer q.wg.Done()
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-q.root.Done():
+			return
+		case <-t.C:
+		}
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		if q.drain {
+			return
+		}
+		if j, ok := q.jobs[id]; ok && j.State == StatePending {
+			q.launchLocked(id)
+		}
+	}()
+}
+
+// backoff computes the delay before attempt (1-based): exponential from
+// RetryBase, capped at RetryMax, with deterministic ±50% jitter derived
+// from the job ID so a fleet of retrying jobs never thunders in lockstep
+// yet every run of the same schedule is reproducible.
+func (q *Queue) backoff(id string, attempt int) time.Duration {
+	shift := attempt - 1
+	if shift > 16 {
+		shift = 16
+	}
+	d := q.lim.RetryBase << shift
+	if d > q.lim.RetryMax {
+		d = q.lim.RetryMax
+	}
+	state := uint64(attempt)
+	for _, b := range []byte(id) {
+		state = state*0x100000001b3 + uint64(b)
+	}
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if half := d / 2; half > 0 {
+		d = half + time.Duration(z%uint64(half))
+	}
+	return d
+}
+
+// watchdog is the stuck-job monitor: a running job whose progress mark has
+// not moved within StallTimeout gets its context cancelled; execute then
+// re-parks it via settleStallLocked.
+func (q *Queue) watchdog() {
+	defer q.wg.Done()
+	ticker := time.NewTicker(q.lim.StallPoll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-q.root.Done():
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		q.mu.Lock()
+		for id, mark := range q.progress {
+			j, ok := q.jobs[id]
+			if !ok || j.State != StateRunning || q.stalled[id] {
+				continue
+			}
+			if now.Sub(mark.at) > q.lim.StallTimeout {
+				q.stalled[id] = true
+				if cancel, ok := q.cancels[id]; ok {
+					cancel()
+				}
+			}
+		}
+		q.mu.Unlock()
+	}
+}
+
+// failLocked records a terminally failed execution. Callers hold q.mu.
 func (q *Queue) failLocked(j *Job, err error) {
 	j.State = StateFailed
 	j.Error = err.Error()
 	_ = q.persist(j)
 	q.publishLocked(j.ID, Event{Type: "state", State: StateFailed, Error: j.Error})
-	q.closeSubsLocked(j.ID)
-	delete(q.cancels, j.ID)
+	q.finishLocked(j.ID)
+}
+
+// finishLocked releases everything a job's terminal transition frees: its
+// live-depth slot, its clients' in-flight slots, its subscribers and its
+// watchdog state. Callers hold q.mu.
+func (q *Queue) finishLocked(id string) {
+	q.live--
+	for c := range q.attached[id] {
+		if q.clients[c]--; q.clients[c] <= 0 {
+			delete(q.clients, c)
+		}
+	}
+	delete(q.attached, id)
+	q.closeSubsLocked(id)
+	delete(q.cancels, id)
+	delete(q.progress, id)
+	delete(q.stalled, id)
 }
 
 // publishLocked fans an event out to the job's subscribers. Sends never
@@ -403,20 +819,34 @@ func (q *Queue) closeSubsLocked(id string) {
 }
 
 // persist writes a job record atomically (temp file + rename), the same
-// torn-write discipline as the checkpoint files. Callers hold q.mu.
+// torn-write discipline as the checkpoint files. Failures are marked
+// transient: a disk hiccup is exactly what the retry budget is for.
+// Callers hold q.mu.
 func (q *Queue) persist(j *Job) error {
 	raw, err := json.MarshalIndent(j, "", "  ")
 	if err != nil {
 		return fmt.Errorf("job: %w", err)
 	}
+	data := append(raw, '\n')
 	path := filepath.Join(q.dir, j.ID+jobSuffix)
+	if h := q.lim.PersistHook; h != nil && h.OnWrite != nil {
+		if data, err = h.OnWrite(path, data); err != nil {
+			return Transient(fmt.Errorf("job: record %s: %w", j.ID, err))
+		}
+	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
-		return fmt.Errorf("job: %w", err)
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return Transient(fmt.Errorf("job: %w", err))
+	}
+	if h := q.lim.PersistHook; h != nil && h.OnRename != nil {
+		if err := h.OnRename(tmp, path); err != nil {
+			os.Remove(tmp)
+			return Transient(fmt.Errorf("job: record %s: %w", j.ID, err))
+		}
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("job: %w", err)
+		return Transient(fmt.Errorf("job: %w", err))
 	}
 	return nil
 }

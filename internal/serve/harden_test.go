@@ -1,0 +1,150 @@
+package serve
+
+// Tests for the HTTP hardening layer: typed overload answers with
+// Retry-After, client attribution, the readiness probe, and the new
+// robustness metrics.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"securetlb/internal/job"
+	"securetlb/internal/pool"
+)
+
+// limitServer is testServer with an explicit admission policy.
+func limitServer(t *testing.T, workers int, lim job.Limits) (*httptest.Server, *job.Queue, func()) {
+	t.Helper()
+	runner := &CampaignRunner{Dir: t.TempDir(), Pool: pool.New(workers)}
+	q, err := job.OpenLimits(runner.Dir, runner, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(q, runner).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		q.Close()
+	})
+	return ts, q, q.Start
+}
+
+// postAs submits a spec under an explicit client identity.
+func postAs(t *testing.T, url, client, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client-ID", client)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestSubmitBackpressure: past MaxPending the daemon answers 429 with a
+// Retry-After instead of queueing unboundedly, and /readyz flips to 503;
+// both recover once the queue drains.
+func TestSubmitBackpressure(t *testing.T) {
+	ts, _, start := limitServer(t, 2, job.Limits{MaxPending: 1})
+	// Not started: the first job stays pending, holding the only slot.
+	code, sub := postJSON(t, ts.URL, `{"kind":"secbench","design":"sa","trials":2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: code=%d body=%v", code, sub)
+	}
+	id := sub["id"].(string)
+
+	resp := postAs(t, ts.URL, "other", `{"kind":"secbench","design":"rf","trials":2}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("over-capacity submit: code=%d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without a Retry-After header")
+	}
+
+	if code, body := getBody(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz at capacity: code=%d body=%s, want 503", code, body)
+	}
+	if code, body := getBody(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz must stay 200 while merely busy: code=%d body=%s", code, body)
+	}
+
+	start()
+	waitDone(t, ts.URL, id)
+	if code, body := getBody(t, ts.URL+"/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz after drain: code=%d body=%s, want 200", code, body)
+	}
+	resp = postAs(t, ts.URL, "other", `{"kind":"secbench","design":"rf","trials":2}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("submit after drain: code=%d, want 202", resp.StatusCode)
+	}
+}
+
+// TestPerClientCapKeysOnHeader: the X-Client-ID header is the admission
+// identity — one saturated client gets 429 while another is served.
+func TestPerClientCapKeysOnHeader(t *testing.T) {
+	ts, _, _ := limitServer(t, 2, job.Limits{MaxPerClient: 1})
+	// Not started: jobs hold their slots as pending.
+	resp := postAs(t, ts.URL, "alice", `{"kind":"secbench","design":"sa","trials":2}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("alice's first submit: code=%d", resp.StatusCode)
+	}
+
+	resp = postAs(t, ts.URL, "alice", `{"kind":"secbench","design":"rf","trials":2}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("alice's second submit: code=%d, want 429", resp.StatusCode)
+	}
+	resp = postAs(t, ts.URL, "bob", `{"kind":"secbench","design":"rf","trials":2}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("bob taxed for alice's jobs: code=%d, want 202", resp.StatusCode)
+	}
+	// Re-submitting a job alice already holds coalesces without a new slot.
+	resp = postAs(t, ts.URL, "alice", `{"kind":"secbench","design":"sa","trials":2}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("alice re-attaching to her own job: code=%d, want 202", resp.StatusCode)
+	}
+}
+
+// TestMetricsExposeHardeningCounters: the robustness counters and gauges
+// are published for scraping.
+func TestMetricsExposeHardeningCounters(t *testing.T) {
+	ts, _, start := limitServer(t, 2, job.Limits{MaxPending: 1})
+	code, sub := postJSON(t, ts.URL, `{"kind":"secbench","design":"sa","trials":2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code=%d body=%v", code, sub)
+	}
+	resp := postAs(t, ts.URL, "other", `{"kind":"secbench","design":"rf","trials":2}`)
+	resp.Body.Close()
+
+	_, raw := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`tlbserved_rejected_total{reason="queue-full"} 1`,
+		`tlbserved_rejected_total{reason="client-busy"} 0`,
+		`tlbserved_rejected_total{reason="draining"} 0`,
+		"tlbserved_jobs_quarantined_total 0",
+		"tlbserved_retries_total 0",
+		"tlbserved_stalls_total 0",
+		"tlbserved_jobs_live 1",
+		"tlbserved_ready 0",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	start()
+	waitDone(t, ts.URL, sub["id"].(string))
+	_, raw = getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(string(raw), "tlbserved_ready 1") {
+		t.Error("tlbserved_ready did not recover after the drain")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 
 	"securetlb/internal/job"
@@ -19,7 +20,15 @@ import (
 //	GET    /jobs/{id}/result the completed job's result payload
 //	DELETE /jobs/{id}        cancel a live job (started trials drain)
 //	GET    /metrics          job states, coalesce/cache hits, pool utilization
-//	GET    /healthz          liveness
+//	GET    /healthz          liveness (the process is up)
+//	GET    /readyz           readiness (the queue accepts new work; 503
+//	                         while draining or at the admission limit)
+//
+// Submissions are attributed to a client identity — the X-Client-ID
+// header when present, else the connection's remote host — which the
+// queue's per-client in-flight cap keys on. Overload answers are typed:
+// 429 with a Retry-After for a full queue or a saturated client, 503 with
+// a Retry-After while draining or on a transient persistence failure.
 type Server struct {
 	queue  *job.Queue
 	runner *CampaignRunner
@@ -41,6 +50,7 @@ func New(q *job.Queue, r *CampaignRunner) *Server {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	return s
 }
 
@@ -57,6 +67,20 @@ type SubmitResponse struct {
 	Cached    bool `json:"cached"`
 }
 
+// clientID attributes a request to a caller for the per-client in-flight
+// cap: the X-Client-ID header when the client names itself, else the
+// remote host.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec job.Spec
 	dec := json.NewDecoder(r.Body)
@@ -65,9 +89,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("parsing spec: %w", err))
 		return
 	}
-	j, coalesced, cached, err := s.queue.Submit(spec)
+	j, coalesced, cached, err := s.queue.SubmitFrom(clientID(r), spec)
 	switch {
+	case errors.Is(err, job.ErrQueueFull), errors.Is(err, job.ErrClientBusy):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err)
+		return
 	case errors.Is(err, job.ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case job.IsTransient(err):
+		// A persistence hiccup rejected the submission; the same request
+		// is safe to retry against the same daemon.
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
@@ -146,8 +181,21 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleReady is the readiness probe: distinct from /healthz, it answers
+// 503 while the queue is draining or at its admission limit, so a load
+// balancer stops routing new work to a daemon that would only reject it.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	ready, reason := s.queue.Ready()
+	if !ready {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	fmt.Fprintln(w, reason)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m := s.queue.Metrics()
+	ready, _ := s.queue.Ready()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	for _, st := range job.States() {
 		fmt.Fprintf(w, "tlbserved_jobs{state=%q} %d\n", st, m.JobsByState[st])
@@ -157,9 +205,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "tlbserved_cache_hits_total %d\n", m.CacheHits)
 	fmt.Fprintf(w, "tlbserved_executions_total %d\n", m.Executions)
 	fmt.Fprintf(w, "tlbserved_jobs_recovered_total %d\n", m.Recovered)
+	fmt.Fprintf(w, "tlbserved_jobs_quarantined_total %d\n", m.Quarantined)
+	fmt.Fprintf(w, "tlbserved_retries_total %d\n", m.Retried)
+	fmt.Fprintf(w, "tlbserved_stalls_total %d\n", m.Stalled)
+	fmt.Fprintf(w, "tlbserved_rejected_total{reason=\"queue-full\"} %d\n", m.RejectedFull)
+	fmt.Fprintf(w, "tlbserved_rejected_total{reason=\"client-busy\"} %d\n", m.RejectedClient)
+	fmt.Fprintf(w, "tlbserved_rejected_total{reason=\"draining\"} %d\n", m.RejectedDraining)
+	fmt.Fprintf(w, "tlbserved_jobs_live %d\n", m.Live)
+	fmt.Fprintf(w, "tlbserved_ready %d\n", boolGauge(ready))
 	fmt.Fprintf(w, "tlbserved_quarantined_trials_total %d\n", s.runner.Quarantined())
 	fmt.Fprintf(w, "tlbserved_pool_workers %d\n", s.pool.Size())
 	fmt.Fprintf(w, "tlbserved_pool_in_flight %d\n", s.pool.InFlight())
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
