@@ -3,13 +3,28 @@ GO ?= go
 # to trade exploration depth for turnaround.
 FUZZTIME ?= 30s
 
-.PHONY: build vet test race bench bench-smoke smoke faults assert-smoke fuzz-smoke serve-smoke chaos-smoke verify
+# CHAOS_DATA names a directory the cluster chaos drill runs in and keeps
+# (CI sets it and uploads the directory as an artifact when the audit
+# fails). Empty, the default, uses a temp dir removed on success.
+CHAOS_DATA ?=
+
+.PHONY: build vet staticcheck test race bench bench-smoke smoke faults assert-smoke fuzz-smoke serve-smoke chaos-smoke verify
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. The tool is not vendored, so the target
+# no-ops with a notice when it is absent (CI installs it; locally:
+# go install honnef.co/go/tools/cmd/staticcheck@2024.1.1).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -76,9 +91,14 @@ serve-smoke:
 # Service-layer chaos smoke: a real tlbserved daemon (built with -race)
 # under concurrent clients and seeded SIGKILLs mid-campaign; asserts zero
 # lost jobs, duplication within the retry budget, and results bit-identical
-# to direct runs. The full acceptance run is `go run ./cmd/tlbchaos` with
-# its defaults (32 clients, 5 kills).
+# to direct runs. The second drill runs a 3-node lease-fenced cluster over
+# one data directory, SIGKILLs individual lease-holding nodes past the
+# lease TTL, and additionally audits the hand-offs: at least one genuine
+# adoption, gapless lease-epoch histories, the terminal record owned at the
+# newest epoch. The full acceptance run is `go run ./cmd/tlbchaos` with its
+# defaults (32 clients, 5 kills).
 chaos-smoke:
 	$(GO) run ./cmd/tlbchaos -clients 8 -kills 2 -specs 4 -trials 15000 -race -timeout 5m
+	$(GO) run ./cmd/tlbchaos -nodes 3 -clients 6 -kills 2 -specs 3 -trials 30000 -lease-ttl 1s -min-handoffs 1 -race -timeout 8m $(if $(CHAOS_DATA),-data $(CHAOS_DATA))
 
-verify: build vet race faults assert-smoke fuzz-smoke bench-smoke serve-smoke chaos-smoke
+verify: build vet staticcheck race faults assert-smoke fuzz-smoke bench-smoke serve-smoke chaos-smoke

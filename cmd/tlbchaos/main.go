@@ -12,15 +12,33 @@
 //     worker count — a crashed-and-resumed campaign is indistinguishable
 //     from an undisturbed one.
 //
+// With -nodes N (N >= 2) the harness becomes a cluster drill: N daemons
+// share one data directory as a lease-fenced cluster, the seeded SIGKILLs
+// hit individual nodes which stay down past the lease TTL — so surviving
+// peers genuinely reap and adopt the dead node's jobs — and the audit
+// extends to the cluster invariants: the executions bound gains the
+// hand-off term (<= 1 + kills + retries + stalls + handoffs), and every
+// job's lease-epoch history must be gapless from 1 with the terminal
+// record owned at the newest epoch — the on-disk proof that every
+// execution ran under exactly one exclusively-claimed lease and no stale
+// writer got the last word.
+//
 // Everything is deterministic from -seed: the spec mix, the kill schedule,
-// and (with -inject) the service-layer fault site armed inside each daemon
-// generation. Usage:
+// the victim of each kill (drawn seeded from the nodes currently holding
+// job leases, so a kill interrupts real work instead of an idle peer), and
+// (with -inject) the service-layer fault site armed inside each daemon
+// generation. -min-handoffs fails a cluster run that produced fewer
+// hand-offs than expected — the audit that the drill actually drilled.
+// Usage:
 //
 //	tlbchaos -clients 32 -kills 5 -seed 1            # full acceptance run
 //	tlbchaos -clients 8 -kills 2 -trials 4000 -race  # make chaos-smoke
+//	tlbchaos -nodes 3 -clients 8 -kills 2 -race      # cluster node-kill drill
 //
 // Exit status 0 means every assertion held; 1 means jobs were lost,
-// duplicated beyond budget, or answered with non-identical bytes.
+// duplicated beyond budget, or answered with non-identical bytes. -data
+// names a directory to run in and keep (CI uploads it when the audit
+// fails); by default a temp directory is used and removed.
 package main
 
 import (
@@ -35,8 +53,11 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -58,6 +79,10 @@ func main() {
 	flag.BoolVar(&cfg.race, "race", false, "build the daemon with -race")
 	flag.StringVar(&cfg.inject, "inject", "", "arm a service fault site in every daemon generation")
 	flag.DurationVar(&cfg.timeout, "timeout", 10*time.Minute, "overall harness deadline")
+	flag.IntVar(&cfg.nodes, "nodes", 1, "daemon nodes over one data directory (>= 2 runs a lease-fenced cluster)")
+	flag.DurationVar(&cfg.leaseTTL, "lease-ttl", time.Second, "cluster lease TTL (kills keep a node down past it to force hand-offs)")
+	flag.IntVar(&cfg.minHandoffs, "min-handoffs", 0, "fail a cluster run with fewer hand-offs than this (proves kills landed on owned jobs)")
+	flag.StringVar(&cfg.data, "data", "", "data directory to use and keep (default: a removed temp dir); kept for CI artifacts")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: tlbchaos [flags]")
@@ -82,6 +107,10 @@ type chaosConfig struct {
 	race     bool
 	inject   string
 	timeout  time.Duration
+	nodes       int
+	leaseTTL    time.Duration
+	minHandoffs int
+	data        string
 }
 
 // splitmix64 matches internal/faultinject's seed expansion, so schedules
@@ -132,6 +161,9 @@ func killDelays(seed uint64, kills int) []time.Duration {
 }
 
 func run(cfg chaosConfig) error {
+	if cfg.nodes < 1 {
+		cfg.nodes = 1
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
 	defer cancel()
 
@@ -142,65 +174,117 @@ func run(cfg chaosConfig) error {
 			return err
 		}
 	}
-	dataDir, err := os.MkdirTemp("", "tlbchaos-data-")
-	if err != nil {
+	dataDir := cfg.data
+	if dataDir == "" {
+		var err error
+		dataDir, err = os.MkdirTemp("", "tlbchaos-data-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dataDir)
+	} else if err := os.MkdirAll(dataDir, 0o755); err != nil {
 		return err
 	}
-	defer os.RemoveAll(dataDir)
-	port, err := freePort()
+	addrs, err := freeAddrs(cfg.nodes)
 	if err != nil {
 		return err
 	}
 
 	specs := pickSpecs(cfg.seed, cfg.specs, cfg.trials)
 	delays := killDelays(cfg.seed, cfg.kills)
-	ctl := &controller{
-		bin:  bin,
-		dir:  dataDir,
-		addr: fmt.Sprintf("127.0.0.1:%d", port),
-		args: []string{
-			"-parallel", fmt.Sprint(cfg.parallel),
-			"-retries", fmt.Sprint(cfg.retries),
-			"-max-pending", fmt.Sprint(4 * cfg.specs),
-			"-max-per-client", "0",
-			"-stall-timeout", "2m",
-		},
-		inject: cfg.inject,
-		seed:   cfg.seed,
+	common := []string{
+		"-parallel", fmt.Sprint(cfg.parallel),
+		"-retries", fmt.Sprint(cfg.retries),
+		"-max-pending", fmt.Sprint(4 * cfg.specs),
+		"-max-per-client", "0",
+		"-stall-timeout", "2m",
 	}
-	defer ctl.killCurrent()
-
-	if err := ctl.start(ctx); err != nil {
-		return err
+	clustered := cfg.nodes > 1
+	ctls := make([]*controller, cfg.nodes)
+	for i, addr := range addrs {
+		args := append([]string(nil), common...)
+		name := "daemon"
+		if clustered {
+			name = fmt.Sprintf("node-%d", i)
+			args = append(args,
+				"-node-id", addr,
+				"-peers", strings.Join(addrs, ","),
+				"-lease-ttl", cfg.leaseTTL.String(),
+			)
+		}
+		ctls[i] = &controller{
+			name:   name,
+			bin:    bin,
+			dir:    dataDir,
+			addr:   addr,
+			args:   args,
+			inject: cfg.inject,
+			seed:   cfg.seed + uint64(i)*101,
+		}
+		defer ctls[i].killCurrent()
 	}
-	fmt.Printf("tlbchaos: daemon up on %s (pool %d), %d clients x %d specs, %d kills scheduled\n",
-		ctl.addr, cfg.parallel, cfg.clients, len(specs), cfg.kills)
+	for _, c := range ctls {
+		if err := c.start(ctx); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("tlbchaos: %d node(s) up (pool %d, data %s), %d clients x %d specs, %d kills scheduled\n",
+		cfg.nodes, cfg.parallel, dataDir, cfg.clients, len(specs), cfg.kills)
 
 	// The client fleet: client i drives specs[i%len(specs)], so several
 	// clients coalesce onto each job, and every client survives crashes by
-	// retrying, re-polling and (after a quarantine) resubmitting.
-	fleet := &fleet{base: "http://" + ctl.addr, resubmits: map[string]int{}}
+	// retrying, re-polling, rotating to a surviving node, and (after a
+	// quarantine) resubmitting.
+	fl := &fleet{resubmits: map[string]int{}}
+	for _, addr := range addrs {
+		fl.bases = append(fl.bases, "http://"+addr)
+	}
 	var wg sync.WaitGroup
 	results := make([]clientResult, cfg.clients)
 	for i := 0; i < cfg.clients; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = fleet.drive(ctx, fmt.Sprintf("client-%02d", i), specs[i%len(specs)])
+			results[i] = fl.drive(ctx, fmt.Sprintf("client-%02d", i), specs[i%len(specs)])
 		}(i)
 	}
 
-	// The kill schedule runs against live traffic: let each generation
-	// serve for its seeded interval, SIGKILL it, restart over the same
-	// data directory.
+	// The kill schedule runs against live traffic. Single daemon: SIGKILL
+	// and restart immediately, the classic crash-resume drill. Cluster:
+	// pick a seeded victim node, SIGKILL it, and keep it down past the
+	// lease TTL so its jobs' leases genuinely expire and surviving peers
+	// adopt them — then resurrect it as the same identity, which also
+	// exercises the zombie fencing path on its recovery claims.
+	killState := cfg.seed ^ 0xbeef
 	for k, delay := range delays {
 		select {
 		case <-time.After(delay):
 		case <-ctx.Done():
 			return fmt.Errorf("deadline before kill %d", k+1)
 		}
-		ctl.kill(k + 1)
-		if err := ctl.start(ctx); err != nil {
+		victim := ctls[0]
+		if clustered {
+			// Draw the seeded victim from the nodes currently holding job
+			// leases: killing an idle peer proves nothing about hand-off.
+			// Only when no node owns anything (all jobs already terminal)
+			// does the pick fall back to the whole cluster.
+			candidates := leaseHolders(ctx, ctls)
+			if len(candidates) == 0 {
+				candidates = ctls
+			}
+			victim = candidates[splitmix64(&killState)%uint64(len(candidates))]
+		}
+		victim.kill(k + 1)
+		if clustered {
+			down := cfg.leaseTTL + time.Duration(500+splitmix64(&killState)%1000)*time.Millisecond
+			fmt.Printf("tlbchaos: %s down for %s (lease TTL %s)\n", victim.name, down, cfg.leaseTTL)
+			select {
+			case <-time.After(down):
+			case <-ctx.Done():
+				return fmt.Errorf("deadline during %s's downtime", victim.name)
+			}
+		}
+		if err := victim.start(ctx); err != nil {
 			return fmt.Errorf("restart after kill %d: %w", k+1, err)
 		}
 	}
@@ -223,15 +307,37 @@ func run(cfg chaosConfig) error {
 		return fmt.Errorf("%d of %d clients never got a result", lost, len(results))
 	}
 
-	metrics, _ := httpGetString(ctx, fleet.base+"/metrics")
-	ctl.stopGracefully()
+	var metrics string
+	for _, c := range ctls {
+		if m, err := httpGetString(ctx, "http://"+c.addr+"/metrics"); err == nil {
+			metrics += m
+		}
+	}
+	for _, c := range ctls {
+		c.stopGracefully()
+	}
 
-	records, err := finalRecords(ctl, cfg)
+	records, err := finalRecords(dataDir, cfg)
 	if err != nil {
 		return err
 	}
 	if err := checkBudgets(records, specs, cfg); err != nil {
 		return err
+	}
+	if clustered {
+		if err := checkLeaseHistory(dataDir, records); err != nil {
+			return err
+		}
+		if cfg.minHandoffs > 0 {
+			var handoffs int
+			for _, j := range records {
+				handoffs += j.Handoffs
+			}
+			if handoffs < cfg.minHandoffs {
+				return fmt.Errorf("cluster drill produced %d hand-off(s), want >= %d — the kills never interrupted an owned job",
+					handoffs, cfg.minHandoffs)
+			}
+		}
 	}
 	if err := checkBitIdentity(ctx, specs, results, cfg); err != nil {
 		return err
@@ -260,19 +366,31 @@ func buildDaemon(race bool) (string, error) {
 	return bin, nil
 }
 
-// freePort reserves then releases an ephemeral port; every daemon
-// generation rebinds the same address so clients need no rediscovery.
-func freePort() (int, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return 0, err
+// freeAddrs reserves n distinct ephemeral ports (held concurrently so no
+// two picks collide) then releases them; every generation of a node
+// rebinds its own address so clients and peers need no rediscovery.
+func freeAddrs(n int) ([]string, error) {
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
 	}
-	defer ln.Close()
-	return ln.Addr().(*net.TCPAddr).Port, nil
+	return addrs, nil
 }
 
-// controller owns the daemon process across generations.
+// controller owns one node's daemon process across generations.
 type controller struct {
+	name   string
 	bin    string
 	dir    string
 	addr   string
@@ -309,7 +427,7 @@ func (c *controller) start(ctx context.Context) error {
 				c.mu.Lock()
 				c.cmd = cmd
 				c.mu.Unlock()
-				fmt.Printf("tlbchaos: generation %d serving\n", gen)
+				fmt.Printf("tlbchaos: %s generation %d serving\n", c.name, gen)
 				return nil
 			}
 			if exited := cmd.ProcessState; exited != nil || time.Now().After(deadline) {
@@ -328,7 +446,7 @@ func (c *controller) start(ctx context.Context) error {
 		cmd.Process.Kill()
 		cmd.Wait()
 		if attempt >= 5 {
-			return fmt.Errorf("generation %d never became healthy", gen)
+			return fmt.Errorf("%s generation %d never became healthy", c.name, gen)
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
@@ -345,7 +463,7 @@ func (c *controller) kill(n int) {
 	}
 	cmd.Process.Kill()
 	cmd.Wait()
-	fmt.Printf("tlbchaos: SIGKILL %d delivered\n", n)
+	fmt.Printf("tlbchaos: SIGKILL %d delivered to %s\n", n, c.name)
 }
 
 func (c *controller) killCurrent() {
@@ -382,12 +500,25 @@ type clientResult struct {
 	err    error
 }
 
-// fleet is the shared client-side state.
+// fleet is the shared client-side state. bases lists every node's URL;
+// a connection failure rotates the fleet to the next node, so clients ride
+// out any single node's death the way a load balancer would move them.
 type fleet struct {
-	base string
+	bases []string
+	next  atomic.Uint32
 
 	mu        sync.Mutex
 	resubmits map[string]int // job ID -> resubmissions after loss/quarantine
+}
+
+// base is the fleet's current preferred node.
+func (f *fleet) base() string { return f.bases[int(f.next.Load())%len(f.bases)] }
+
+// rotate moves the fleet to the next node after a connection failure.
+func (f *fleet) rotate() {
+	if len(f.bases) > 1 {
+		f.next.Add(1)
+	}
 }
 
 var chaosHTTP = &http.Client{
@@ -430,7 +561,7 @@ func (f *fleet) drive(ctx context.Context, name string, spec job.Spec) clientRes
 				return res
 			}
 		case j.State == job.StateDone:
-			body, code, err := f.get(ctx, name, f.base+"/jobs/"+id+"/result")
+			body, code, err := f.get(ctx, name, "/jobs/"+id+"/result")
 			if err != nil || code != http.StatusOK {
 				res.err = fmt.Errorf("result: code=%d err=%v", code, err)
 				return res
@@ -453,12 +584,13 @@ func (f *fleet) drive(ctx context.Context, name string, spec job.Spec) clientRes
 	}
 }
 
-// submit POSTs the spec until the daemon accepts it, backing off on
-// connection failures (daemon mid-restart) and 429/503 (backpressure).
+// submit POSTs the spec until a daemon accepts it, backing off on
+// connection failures (a node mid-restart rotates the fleet to a peer)
+// and 429/503 (backpressure).
 func (f *fleet) submit(ctx context.Context, name string, raw []byte) (string, error) {
 	delay := 50 * time.Millisecond
 	for {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, f.base+"/jobs", bytes.NewReader(raw))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, f.base()+"/jobs", bytes.NewReader(raw))
 		if err != nil {
 			return "", err
 		}
@@ -471,6 +603,7 @@ func (f *fleet) submit(ctx context.Context, name string, raw []byte) (string, er
 			switch {
 			case rerr != nil:
 				err = rerr
+				f.rotate()
 			case resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK:
 				var sub serve.SubmitResponse
 				if err := json.Unmarshal(body, &sub); err != nil {
@@ -483,6 +616,8 @@ func (f *fleet) submit(ctx context.Context, name string, raw []byte) (string, er
 			default:
 				return "", fmt.Errorf("submit rejected (%s): %s", resp.Status, strings.TrimSpace(string(body)))
 			}
+		} else {
+			f.rotate()
 		}
 		select {
 		case <-ctx.Done():
@@ -497,7 +632,7 @@ func (f *fleet) submit(ctx context.Context, name string, raw []byte) (string, er
 
 // poll GETs the job record, retrying connection failures.
 func (f *fleet) poll(ctx context.Context, id string) (job.Job, int, error) {
-	body, code, err := f.get(ctx, "", f.base+"/jobs/"+id)
+	body, code, err := f.get(ctx, "", "/jobs/"+id)
 	if err != nil {
 		return job.Job{}, 0, err
 	}
@@ -511,11 +646,12 @@ func (f *fleet) poll(ctx context.Context, id string) (job.Job, int, error) {
 	return j, code, nil
 }
 
-// get GETs url, retrying connection-level failures until ctx expires.
-func (f *fleet) get(ctx context.Context, client, url string) ([]byte, int, error) {
+// get GETs path from the fleet's current node, retrying connection-level
+// failures (rotating nodes) until ctx expires.
+func (f *fleet) get(ctx context.Context, client, path string) ([]byte, int, error) {
 	delay := 50 * time.Millisecond
 	for {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.base()+path, nil)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -531,6 +667,7 @@ func (f *fleet) get(ctx context.Context, client, url string) ([]byte, int, error
 			}
 			err = rerr
 		}
+		f.rotate()
 		select {
 		case <-ctx.Done():
 			return nil, 0, fmt.Errorf("%v (last: %v)", ctx.Err(), err)
@@ -540,6 +677,30 @@ func (f *fleet) get(ctx context.Context, client, url string) ([]byte, int, error
 			delay *= 2
 		}
 	}
+}
+
+// leaseHolders returns the controllers whose current generation reports at
+// least one held job lease. A node that is down or unreachable is simply
+// not a candidate.
+func leaseHolders(ctx context.Context, ctls []*controller) []*controller {
+	var out []*controller
+	for _, c := range ctls {
+		m, err := httpGetString(ctx, "http://"+c.addr+"/metrics")
+		if err != nil {
+			continue
+		}
+		for _, line := range strings.Split(m, "\n") {
+			rest, ok := strings.CutPrefix(line, "tlbserved_leases_held ")
+			if !ok {
+				continue
+			}
+			if n, err := strconv.Atoi(strings.TrimSpace(rest)); err == nil && n > 0 {
+				out = append(out, c)
+			}
+			break
+		}
+	}
+	return out
 }
 
 func httpGetString(ctx context.Context, url string) (string, error) {
@@ -569,8 +730,8 @@ func httpGetString(ctx context.Context, url string) (string, error) {
 // proved directly — a fresh Open over the directory must quarantine it —
 // and the record is excluded from the budget audit. The client that owned
 // it already produced a result (checked above), so nothing was lost.
-func finalRecords(c *controller, cfg chaosConfig) (map[string]job.Job, error) {
-	entries, err := os.ReadDir(c.dir)
+func finalRecords(dir string, cfg chaosConfig) (map[string]job.Job, error) {
+	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -580,7 +741,7 @@ func finalRecords(c *controller, cfg chaosConfig) (map[string]job.Job, error) {
 		if !strings.HasSuffix(e.Name(), ".job.json") {
 			continue
 		}
-		raw, err := os.ReadFile(filepath.Join(c.dir, e.Name()))
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
 			return nil, err
 		}
@@ -595,7 +756,7 @@ func finalRecords(c *controller, cfg chaosConfig) (map[string]job.Job, error) {
 		out[j.ID] = j
 	}
 	if len(torn) > 0 {
-		if err := checkQuarantineHeals(c.dir, torn); err != nil {
+		if err := checkQuarantineHeals(dir, torn); err != nil {
 			return nil, err
 		}
 		fmt.Printf("tlbchaos: %d torn record(s) from injected %s quarantined on reopen\n",
@@ -627,20 +788,72 @@ func checkQuarantineHeals(dir string, torn []string) error {
 	return nil
 }
 
-// checkBudgets asserts bounded duplication: one execution per crash resume
-// plus the consumed retry/stall budget — nothing silently re-ran beyond
-// that, and no record overdrew its persisted budget.
+// checkBudgets asserts bounded duplication: one execution per crash
+// resume, hand-off adoption, or consumed retry/stall — nothing silently
+// re-ran beyond that, and no record overdrew its persisted budget.
 func checkBudgets(records map[string]job.Job, specs []job.Spec, cfg chaosConfig) error {
 	for id, j := range records {
 		if j.Retries > cfg.retries {
 			return fmt.Errorf("job %s consumed %d retries, budget %d", id, j.Retries, cfg.retries)
 		}
-		maxExec := 1 + cfg.kills + j.Retries + j.Stalls
+		maxExec := 1 + cfg.kills + j.Retries + j.Stalls + j.Handoffs
 		if j.Executions > maxExec {
-			return fmt.Errorf("job %s executed %d times, max allowed %d (kills %d, retries %d, stalls %d)",
-				id, j.Executions, maxExec, cfg.kills, j.Retries, j.Stalls)
+			return fmt.Errorf("job %s executed %d times, max allowed %d (kills %d, retries %d, stalls %d, handoffs %d)",
+				id, j.Executions, maxExec, cfg.kills, j.Retries, j.Stalls, j.Handoffs)
 		}
 	}
+	return nil
+}
+
+// checkLeaseHistory audits the cluster's on-disk ownership trail. Lease
+// files are never deleted and every claim takes exactly disk-max+1 via an
+// exclusive create, so a correct run leaves, for every job, a gapless
+// epoch sequence 1..max with no duplicates possible — a gap would mean an
+// epoch was claimed against a stale view of the history, exactly the dual-
+// ownership fencing exists to prevent. The terminal record must carry the
+// newest epoch's lease: the job's last durable write came from the one
+// node that owned it at the end, not from a fenced zombie.
+func checkLeaseHistory(dir string, records map[string]job.Job) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	epochs := map[string][]uint64{}
+	for _, e := range entries {
+		name := e.Name()
+		i := strings.Index(name, ".lease.")
+		if i < 0 || strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		epoch, err := strconv.ParseUint(name[i+len(".lease."):], 10, 64)
+		if err != nil {
+			return fmt.Errorf("unparseable lease filename %s: %v", name, err)
+		}
+		epochs[name[:i]] = append(epochs[name[:i]], epoch)
+	}
+	if len(epochs) == 0 {
+		return fmt.Errorf("cluster run left no lease files — leases were never active")
+	}
+	for id, es := range epochs {
+		sort.Slice(es, func(a, b int) bool { return es[a] < es[b] })
+		for k, e := range es {
+			if e != uint64(k+1) {
+				return fmt.Errorf("job %s lease history has a gap: epochs %v (want 1..%d gapless)", id, es, len(es))
+			}
+		}
+		j, ok := records[id]
+		if !ok {
+			continue // quarantined or torn record, audited separately
+		}
+		if j.Lease == nil {
+			return fmt.Errorf("job %s record carries no lease despite %d claimed epoch(s)", id, len(es))
+		}
+		if max := es[len(es)-1]; j.Lease.Epoch != max {
+			return fmt.Errorf("job %s final record written under epoch %d but newest claimed epoch is %d — a stale write got the last word",
+				id, j.Lease.Epoch, max)
+		}
+	}
+	fmt.Printf("tlbchaos: lease histories gapless for %d job(s), every final record owned at its newest epoch\n", len(epochs))
 	return nil
 }
 
@@ -687,21 +900,29 @@ func checkBitIdentity(ctx context.Context, specs []job.Spec, results []clientRes
 }
 
 func summarize(records map[string]job.Job, results []clientResult, metrics string, cfg chaosConfig) {
-	var exec, retries, stalls int
+	var exec, retries, stalls, handoffs int
 	for _, j := range records {
 		exec += j.Executions
 		retries += j.Retries
 		stalls += j.Stalls
+		handoffs += j.Handoffs
 	}
-	fmt.Printf("tlbchaos: %d clients served, %d jobs, %d executions, %d retries, %d stalls, %d kills\n",
-		len(results), len(records), exec, retries, stalls, cfg.kills)
+	fmt.Printf("tlbchaos: %d clients served, %d jobs, %d executions, %d retries, %d stalls, %d handoffs, %d kills across %d node(s)\n",
+		len(results), len(records), exec, retries, stalls, handoffs, cfg.kills, cfg.nodes)
 	for _, line := range strings.Split(metrics, "\n") {
 		if strings.HasPrefix(line, "tlbserved_jobs_quarantined_total") ||
 			strings.HasPrefix(line, "tlbserved_retries_total") ||
 			strings.HasPrefix(line, "tlbserved_rejected_total") ||
-			strings.HasPrefix(line, "tlbserved_jobs_recovered_total") {
+			strings.HasPrefix(line, "tlbserved_jobs_recovered_total") ||
+			strings.HasPrefix(line, "tlbserved_handoffs_total") ||
+			strings.HasPrefix(line, "tlbserved_fenced_writes_total") ||
+			strings.HasPrefix(line, "tlbserved_node_info") {
 			fmt.Println("tlbchaos:   " + line)
 		}
+	}
+	if cfg.nodes > 1 {
+		fmt.Println("tlbchaos: zero lost jobs, duplication within budget, lease histories sound, results bit-identical")
+		return
 	}
 	fmt.Println("tlbchaos: zero lost jobs, duplication within budget, results bit-identical")
 }

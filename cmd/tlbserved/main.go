@@ -22,8 +22,19 @@
 // whose progress stalls (-stall-timeout), and a corrupt job record found
 // at startup is quarantined to <id>.job.json.corrupt instead of refusing
 // to serve. -inject arms one seeded service-layer fault site
-// (job-write-fail, job-rename-fail, job-torn-write) for the chaos
-// harness's differential matrix.
+// (job-write-fail, job-rename-fail, job-torn-write, or in cluster mode
+// lease-renew-fail, lease-expired-mid-write, stale-epoch-write) for the
+// chaos harness's differential matrix.
+//
+// Cluster mode (-node-id and/or -peers) runs several daemons over one
+// shared data directory as a fault-tolerant cluster: each running job is
+// owned via a renewed lease record, an expired lease (its node died or
+// wedged) is handed off to a peer, and a fencing epoch refuses a
+// resurrected node's stale writes. Submissions route to an owner node by
+// the spec's content address so coalescing and result caching stay
+// global; every node answers reads from the shared directory. The node's
+// identity defaults to its resolved listen address, which is what peers
+// use to reach it.
 package main
 
 import (
@@ -36,6 +47,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -59,8 +71,11 @@ func main() {
 	flag.IntVar(&lim.RetryBudget, "retries", 3, "transient-failure retries per job, persisted across restarts (0 = fail fast)")
 	flag.DurationVar(&lim.RetryBase, "retry-base", 100*time.Millisecond, "first retry backoff step (doubles per attempt, capped at 5s, jittered)")
 	flag.DurationVar(&lim.StallTimeout, "stall-timeout", 2*time.Minute, "re-park a running job whose progress stalls this long (0 = no watchdog)")
-	inject := flag.String("inject", "", "arm one seeded service fault site: job-write-fail, job-rename-fail or job-torn-write")
+	inject := flag.String("inject", "", "arm one seeded service fault site: job-write-fail, job-rename-fail, job-torn-write, lease-renew-fail, lease-expired-mid-write or stale-epoch-write")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for -inject")
+	nodeID := flag.String("node-id", "", "cluster identity for this node (default: the resolved listen address); setting it or -peers enables cluster mode")
+	peers := flag.String("peers", "", "comma-separated peer node addresses sharing this data directory (enables cluster mode)")
+	flag.DurationVar(&lim.Cluster.LeaseTTL, "lease-ttl", 3*time.Second, "cluster job-lease TTL: a node silent this long is presumed dead and its jobs hand off")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: tlbserved [-addr host:port] [-data dir] [-parallel n] [limit flags]")
@@ -77,19 +92,36 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tlbserved:", err)
 			os.Exit(2)
 		}
-		lim.PersistHook = &job.PersistHook{OnWrite: in.OnWrite, OnRename: in.OnRename}
+		lim.PersistHook = &job.PersistHook{OnWrite: in.OnWrite, OnRename: in.OnRename, OnLease: in.OnLease}
 		fmt.Fprintf(os.Stderr, "tlbserved: armed fault site %s (seed %d)\n", site, *faultSeed)
 	}
-	if err := run(*addr, *data, *parallel, lim); err != nil {
+	if err := run(*addr, *data, *parallel, lim, *nodeID, *peers); err != nil {
 		fmt.Fprintln(os.Stderr, "tlbserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, data string, parallel int, lim job.Limits) error {
+func run(addr, data string, parallel int, lim job.Limits, nodeID, peersCSV string) error {
+	// The listener comes up before the queue opens: a cluster node's
+	// identity defaults to its resolved address, and the queue needs that
+	// identity to claim leases during recovery.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	resolved := ln.Addr().String()
+	clustered := nodeID != "" || peersCSV != ""
+	if clustered {
+		if nodeID == "" {
+			nodeID = resolved
+		}
+		lim.Cluster.Node = nodeID
+	}
+
 	runner := &serve.CampaignRunner{Dir: data, Pool: pool.New(parallel)}
 	queue, err := job.OpenLimits(data, runner, lim)
 	if err != nil {
+		ln.Close()
 		return err
 	}
 	if n := queue.Metrics().Quarantined; n > 0 {
@@ -100,18 +132,25 @@ func run(addr, data string, parallel int, lim job.Limits) error {
 	}
 	queue.Start()
 
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
-	resolved := ln.Addr().String()
 	if err := os.WriteFile(filepath.Join(data, addrFile), []byte(resolved+"\n"), 0o644); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "tlbserved: listening on %s (pool %d, data %s)\n",
 		resolved, runner.Pool.Size(), data)
 
-	server := &http.Server{Handler: serve.New(queue, runner).Handler()}
+	api := serve.New(queue, runner)
+	if clustered {
+		var peerList []string
+		for _, p := range strings.Split(peersCSV, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		api.EnableCluster(serve.Cluster{Node: nodeID, Peers: peerList})
+		fmt.Fprintf(os.Stderr, "tlbserved: cluster node %s (%d peer(s), lease TTL %s)\n",
+			nodeID, len(peerList), lim.Cluster.LeaseTTL)
+	}
+	server := &http.Server{Handler: api.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- server.Serve(ln) }()
 

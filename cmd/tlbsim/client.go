@@ -21,6 +21,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -117,10 +118,28 @@ func runClient(f clientFlags) int {
 	}
 }
 
+// retryAfter parses a 429/503 response's Retry-After header as delay
+// seconds. ok=false when the header is absent or unusable (the HTTP-date
+// form included — the internal schedule is a saner fallback than clock
+// math against an arbitrary server clock).
+func retryAfter(resp *http.Response) (time.Duration, bool) {
+	v := strings.TrimSpace(resp.Header.Get("Retry-After"))
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
 // clientSubmit posts the campaign spec, reports how the daemon served it
-// (fresh, coalesced or cached), then attaches to the job. A 429/503 with a
-// Retry-After — the daemon applying backpressure — is retried within the
-// same bounded schedule as a connection failure.
+// (fresh, coalesced or cached), then attaches to the job. A 429/503 — the
+// daemon applying backpressure — is retried within the same bounded
+// schedule as a connection failure, waiting the server's Retry-After
+// seconds when it names them (the daemon knows its drain and admission
+// state better than our blind exponential guess does).
 func clientSubmit(f clientFlags, base string) int {
 	spec := job.Spec{
 		Kind:       f.campaign,
@@ -161,9 +180,13 @@ func clientSubmit(f clientFlags, base string) int {
 			if attempt >= f.retries {
 				return clientFatal(fmt.Errorf("submit rejected (%s): %s", resp.Status, strings.TrimSpace(string(body))))
 			}
+			wait := delay
+			if server, ok := retryAfter(resp); ok {
+				wait = server
+			}
 			fmt.Fprintf(os.Stderr, "tlbsim: daemon busy (%s); retrying in %s (%d/%d)\n",
-				resp.Status, delay, attempt+1, f.retries)
-			time.Sleep(delay)
+				resp.Status, wait, attempt+1, f.retries)
+			time.Sleep(wait)
 			delay *= 2
 			continue
 		}
@@ -188,24 +211,42 @@ func clientSubmit(f clientFlags, base string) int {
 
 // clientAttach follows a job's NDJSON stream — progress to stderr — and
 // prints the result's campaign output to stdout. Exit code mirrors the
-// job's fate: 0 done, 1 failed or canceled.
+// job's fate: 0 done, 1 failed or canceled. A stream ending on a hand-off
+// (the serving node lost the job's lease to a peer) is reattached within
+// the retry budget: the daemon then follows the job's shared record, so
+// the same endpoint keeps working wherever the job runs next.
 func clientAttach(f clientFlags, base, id string) int {
-	resp, err := f.get(f.httpClient(), base+"/jobs/"+id+"/stream")
+	hc := f.httpClient()
+	for attempt := 0; ; attempt++ {
+		code, handedOff := clientFollow(f, hc, base, id)
+		if !handedOff || attempt >= f.retries {
+			return code
+		}
+		fmt.Fprintf(os.Stderr, "tlbsim: job %s: reattaching after hand-off (%d/%d)\n", id, attempt+1, f.retries)
+	}
+}
+
+// clientFollow consumes one stream connection. handedOff=true means the
+// stream ended because the job moved to another node and the caller should
+// reattach.
+func clientFollow(f clientFlags, hc *http.Client, base, id string) (code int, handedOff bool) {
+	resp, err := f.get(hc, base+"/jobs/"+id+"/stream")
 	if err != nil {
-		return clientFatal(err)
+		return clientFatal(err), false
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(resp.Body)
-		return clientFatal(fmt.Errorf("stream (%s): %s", resp.Status, strings.TrimSpace(string(body))))
+		return clientFatal(fmt.Errorf("stream (%s): %s", resp.Status, strings.TrimSpace(string(body)))), false
 	}
 	var last job.State
+	sawHandoff := false
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
 	for sc.Scan() {
 		var ev job.Event
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-			return clientFatal(fmt.Errorf("bad stream event: %w", err))
+			return clientFatal(fmt.Errorf("bad stream event: %w", err)), false
 		}
 		switch ev.Type {
 		case "state":
@@ -221,10 +262,13 @@ func clientAttach(f clientFlags, base, id string) int {
 			fmt.Fprintf(os.Stderr, "tlbsim: job %s: transient failure, retry %d scheduled (%s)\n", id, ev.Attempt, ev.Error)
 		case "stall":
 			fmt.Fprintf(os.Stderr, "tlbsim: job %s: progress stalled, re-parked (stall %d)\n", id, ev.Attempt)
+		case "handoff":
+			sawHandoff = true
+			fmt.Fprintf(os.Stderr, "tlbsim: job %s: handed off to another node (handoff %d)\n", id, ev.Attempt)
 		case "result":
 			var res serve.Result
 			if err := json.Unmarshal(ev.Result, &res); err != nil {
-				return clientFatal(fmt.Errorf("bad result payload: %w", err))
+				return clientFatal(fmt.Errorf("bad result payload: %w", err)), false
 			}
 			fmt.Print(res.Output)
 			if res.Quarantined > 0 {
@@ -233,13 +277,16 @@ func clientAttach(f clientFlags, base, id string) int {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return clientFatal(err)
+		return clientFatal(err), false
 	}
 	if last == job.StateDone {
-		return 0
+		return 0, false
+	}
+	if sawHandoff && !last.Terminal() {
+		return 1, true
 	}
 	fmt.Fprintf(os.Stderr, "tlbsim: job %s ended %s\n", id, last)
-	return 1
+	return 1, false
 }
 
 func clientCancel(f clientFlags, base, id string) int {

@@ -136,3 +136,83 @@ func TestClientRetriesBackpressuredSubmit(t *testing.T) {
 		t.Error("no campaign output reached stdout after the retried submit")
 	}
 }
+
+// TestClientHonorsRetryAfter: when a 429 names Retry-After seconds, the
+// client waits that long instead of its internal backoff step. The
+// internal schedule is compressed to 1ms, so the observed ≥1s gap between
+// the rejection and the retry can only come from the header.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	shrinkBackoff(t)
+	var submits atomic.Int64
+	var rejectedAt, retriedAt time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost:
+			if submits.Add(1) == 1 {
+				rejectedAt = time.Now()
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, `{"error":"job: queue is full"}`, http.StatusTooManyRequests)
+				return
+			}
+			retriedAt = time.Now()
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusAccepted)
+			io.WriteString(w, `{"id":"feedfeedfeedfeed","state":"pending"}`)
+		default: // the stream attach that follows the accepted submit
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			io.WriteString(w, `{"type":"result","result":{"kind":"secbench","output":"ok\n"}}`+"\n")
+			io.WriteString(w, `{"type":"state","state":"done"}`+"\n")
+		}
+	}))
+	defer srv.Close()
+
+	flags := clientFlags{
+		server:   srv.URL,
+		campaign: "secbench",
+		design:   "sa",
+		trials:   2,
+		timeout:  5 * time.Second,
+		retries:  3,
+	}
+	out := captureStdout(t, func() {
+		if code := runClient(flags); code != 0 {
+			t.Errorf("client exit = %d, want 0", code)
+		}
+	})
+	if got := submits.Load(); got != 2 {
+		t.Fatalf("server saw %d submits, want 2 (reject, then retry)", got)
+	}
+	if wait := retriedAt.Sub(rejectedAt); wait < time.Second {
+		t.Errorf("client retried after %v, want >= 1s (the server's Retry-After)", wait)
+	}
+	if out != "ok\n" {
+		t.Errorf("campaign output = %q, want %q", out, "ok\n")
+	}
+}
+
+// TestRetryAfterParsing: only a plain non-negative seconds value is used;
+// anything else falls back to the internal schedule.
+func TestRetryAfterParsing(t *testing.T) {
+	cases := []struct {
+		header string
+		want   time.Duration
+		ok     bool
+	}{
+		{"", 0, false},
+		{"2", 2 * time.Second, true},
+		{"0", 0, true},
+		{"-1", 0, false},
+		{"soon", 0, false},
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0, false},
+	}
+	for _, c := range cases {
+		resp := &http.Response{Header: http.Header{}}
+		if c.header != "" {
+			resp.Header.Set("Retry-After", c.header)
+		}
+		got, ok := retryAfter(resp)
+		if got != c.want || ok != c.ok {
+			t.Errorf("retryAfter(%q) = (%v, %v), want (%v, %v)", c.header, got, ok, c.want, c.ok)
+		}
+	}
+}

@@ -24,19 +24,49 @@ const (
 	SiteJobTornWrite Site = "job-torn-write"
 )
 
-// ServiceSites returns the service-layer sites, in stable order.
+// The cluster-layer fault sites: failures of the lease machinery that
+// arbitrates job ownership across nodes. Wire OnLease alongside
+// OnWrite/OnRename; they only fire on a clustered queue (a single-node
+// queue never renews or fences).
+const (
+	// SiteLeaseRenewFail fails one lease renewal, as a transient I/O error
+	// on the shared directory would. Absorbed: the keeper's next tick (or
+	// the next checkpoint) renews again well inside the TTL, so the job
+	// must complete with no hand-off at all.
+	SiteLeaseRenewFail Site = "lease-renew-fail"
+	// SiteLeaseExpireMidWrite fails every renewal of one job's lease from
+	// the trigger on, so the lease genuinely expires while its executor is
+	// still making progress. A reaper must hand the job off and the old
+	// owner's next record write must be refused as stale.
+	SiteLeaseExpireMidWrite Site = "lease-expired-mid-write"
+	// SiteStaleEpochWrite refuses one fencing check, making a persist
+	// behave exactly as a zombie's stale-epoch write: the record write is
+	// refused, the local executor abandons, and a reaper hands the job off
+	// to finish under a fresh epoch.
+	SiteStaleEpochWrite Site = "stale-epoch-write"
+)
+
+// ServiceSites returns the single-daemon service-layer sites, in stable
+// order. Lease sites are listed separately (LeaseSites) because they
+// require a clustered queue to reach.
 func ServiceSites() []Site {
 	return []Site{SiteJobWriteFail, SiteJobRenameFail, SiteJobTornWrite}
 }
 
-// ParseServiceSite validates a service-site name.
+// LeaseSites returns the cluster-layer lease sites, in stable order.
+func LeaseSites() []Site {
+	return []Site{SiteLeaseRenewFail, SiteLeaseExpireMidWrite, SiteStaleEpochWrite}
+}
+
+// ParseServiceSite validates a service- or lease-site name.
 func ParseServiceSite(s string) (Site, error) {
-	for _, site := range ServiceSites() {
+	for _, site := range append(ServiceSites(), LeaseSites()...) {
 		if s == string(site) {
 			return site, nil
 		}
 	}
-	return "", fmt.Errorf("faultinject: unknown service site %q (want one of %v)", s, ServiceSites())
+	return "", fmt.Errorf("faultinject: unknown service site %q (want one of %v)",
+		s, append(ServiceSites(), LeaseSites()...))
 }
 
 // ServiceInjector injects one seeded fault at one service site. Like the
@@ -51,6 +81,10 @@ type ServiceInjector struct {
 	count  uint64
 	fired  bool
 	detail string
+	// victim is the job whose lease SiteLeaseExpireMidWrite starves: once
+	// captured at the trigger, every later renewal of that job fails too,
+	// so the expiry is real rather than a one-tick blip.
+	victim string
 }
 
 // NewService returns a service injector for site derived from seed.
@@ -117,6 +151,55 @@ func (in *ServiceInjector) OnRename(tmp, final string) error {
 	}
 	in.fire("failed rename %d of %s", in.count, final)
 	return fmt.Errorf("faultinject: injected rename failure (persist %d)", in.count)
+}
+
+// OnLease implements job.PersistHook.OnLease: op is "renew" for lease
+// renewals and "fence" for persist-time fencing checks. Each lease site
+// counts only its own op, so the trigger ordinal stays a pure function of
+// (site, seed) regardless of how the two interleave.
+func (in *ServiceInjector) OnLease(op, id string, epoch uint64) error {
+	switch in.site {
+	case SiteLeaseRenewFail:
+		if op != "renew" {
+			return nil
+		}
+		in.count++
+		if in.fired || in.count != in.trigger {
+			return nil
+		}
+		in.fire("failed lease renewal %d of %s (epoch %d)", in.count, id, epoch)
+		return fmt.Errorf("faultinject: injected lease renewal failure (renewal %d)", in.count)
+	case SiteLeaseExpireMidWrite:
+		if op != "renew" {
+			return nil
+		}
+		if in.fired {
+			if id == in.victim {
+				return fmt.Errorf("faultinject: lease renewals suppressed for %s", id)
+			}
+			return nil
+		}
+		in.count++
+		if in.count != in.trigger {
+			return nil
+		}
+		in.victim = id
+		in.fire("starving lease renewals of %s from renewal %d (epoch %d)", id, in.count, epoch)
+		return fmt.Errorf("faultinject: injected lease expiry (renewal %d)", in.count)
+	case SiteStaleEpochWrite:
+		// Only a lease-holder's write (epoch > 0) can be a zombie write; a
+		// fresh record's first persist has no epoch to be stale against.
+		if op != "fence" || epoch == 0 {
+			return nil
+		}
+		in.count++
+		if in.fired || in.count != in.trigger {
+			return nil
+		}
+		in.fire("refused fencing check %d of %s (epoch %d)", in.count, id, epoch)
+		return fmt.Errorf("faultinject: injected stale-epoch write (fence %d)", in.count)
+	}
+	return nil
 }
 
 func (in *ServiceInjector) fire(format string, args ...any) {

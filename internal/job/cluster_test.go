@@ -1,0 +1,337 @@
+package job
+
+// Tests for the cluster layer: lease-expiry boundaries, fencing of stale
+// (zombie) writes, the reaper racing a final checkpoint, graceful hand-off
+// on drain, and the lease fault-injection matrix. All of them run two
+// queues over one shared directory — the real multi-node arrangement, in
+// one process — and all must pass under -race.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"securetlb/internal/faultinject"
+)
+
+// openClusterQueue opens a started cluster queue named node over dir.
+func openClusterQueue(t *testing.T, dir, node string, r Runner, c Cluster, hook *PersistHook) *Queue {
+	t.Helper()
+	c.Node = node
+	q, err := OpenLimits(dir, r, Limits{MaxPending: 64, Cluster: c, PersistHook: hook})
+	if err != nil {
+		t.Fatalf("open cluster node %s: %v", node, err)
+	}
+	t.Cleanup(q.Close)
+	q.Start()
+	return q
+}
+
+// tickRunner publishes one progress unit per slice until d has elapsed,
+// then succeeds. Cancellation (a lost lease, a drain) is honoured
+// immediately, like the real checkpointing CampaignRunner.
+func tickRunner(d, slice time.Duration) Runner {
+	return RunnerFunc(func(ctx context.Context, spec Spec, publish func(Event)) (json.RawMessage, error) {
+		deadline := time.Now().Add(d)
+		units := 0
+		for time.Now().Before(deadline) {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(slice):
+			}
+			units++
+			publish(Event{Type: "progress", Units: units})
+		}
+		return json.RawMessage(`{"ok":true}`), nil
+	})
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestLeaseExpiryBoundary pins the deadline semantics: a lease is live
+// through its deadline instant and expired strictly after it, so a renewal
+// that lands exactly at the deadline is still in time.
+func TestLeaseExpiryBoundary(t *testing.T) {
+	d := time.Now()
+	l := Lease{Node: "a", Epoch: 1, Deadline: d}
+	if l.Expired(d) {
+		t.Fatal("lease expired exactly at its deadline; renewal at the deadline must be in time")
+	}
+	if l.Expired(d.Add(-time.Nanosecond)) {
+		t.Fatal("lease expired before its deadline")
+	}
+	if !l.Expired(d.Add(time.Nanosecond)) {
+		t.Fatal("lease still live after its deadline")
+	}
+}
+
+// TestAcquireReusesUnexpiredLease: re-acquiring a job we already own (a
+// retry or stall re-park) renews the held epoch instead of burning a new
+// one; an expired hold claims the next epoch.
+func TestAcquireReusesUnexpiredLease(t *testing.T) {
+	dir := t.TempDir()
+	q := openClusterQueue(t, dir, "a", instantRunner(), Cluster{LeaseTTL: time.Minute, ReapPoll: time.Minute}, nil)
+	const id = "feedfacecafe0001"
+	lease, ok := q.claimLease(id, 1)
+	if !ok {
+		t.Fatal("initial claim of epoch 1 lost with no competitor")
+	}
+	j := &Job{ID: id, Lease: &lease}
+
+	q.mu.Lock()
+	ok = q.acquireLocked(j)
+	q.mu.Unlock()
+	if !ok || j.Lease.Epoch != 1 {
+		t.Fatalf("re-acquire of an unexpired lease: ok=%v epoch=%d, want reuse of epoch 1", ok, j.Lease.Epoch)
+	}
+
+	j.Lease.Deadline = time.Now().Add(-time.Millisecond)
+	q.mu.Lock()
+	ok = q.acquireLocked(j)
+	q.mu.Unlock()
+	if !ok || j.Lease.Epoch != 2 {
+		t.Fatalf("re-acquire of an expired lease: ok=%v epoch=%d, want a fresh claim of epoch 2", ok, j.Lease.Epoch)
+	}
+}
+
+// TestFencedZombieWriteRefused: after a job hands off (a peer claimed a
+// newer epoch), the old owner's persist is refused with ErrStaleEpoch and
+// the new owner's record survives untouched.
+func TestFencedZombieWriteRefused(t *testing.T) {
+	dir := t.TempDir()
+	quiet := Cluster{LeaseTTL: time.Minute, ReapPoll: time.Minute}
+	qa := openClusterQueue(t, dir, "a", instantRunner(), quiet, nil)
+	qb := openClusterQueue(t, dir, "b", instantRunner(), quiet, nil)
+
+	const id = "feedfacecafe0002"
+	leaseA, ok := qa.claimLease(id, 1)
+	if !ok {
+		t.Fatal("node a lost the claim of epoch 1")
+	}
+	leaseB, ok := qb.claimLease(id, 2)
+	if !ok {
+		t.Fatal("node b lost the claim of epoch 2")
+	}
+
+	jb := &Job{ID: id, State: StateRunning, Lease: &leaseB}
+	qb.mu.Lock()
+	err := qb.persist(jb)
+	qb.mu.Unlock()
+	if err != nil {
+		t.Fatalf("the current owner's write was refused: %v", err)
+	}
+
+	ja := &Job{ID: id, State: StateDone, Result: json.RawMessage(`{"stale":true}`), Lease: &leaseA}
+	qa.mu.Lock()
+	err = qa.persist(ja)
+	qa.mu.Unlock()
+	if !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("zombie write under epoch 1 got %v, want ErrStaleEpoch", err)
+	}
+	if got := qa.Metrics().FencedWrites; got < 1 {
+		t.Fatalf("FencedWrites = %d after a fenced write, want >= 1", got)
+	}
+
+	j, ok := qb.readRecordLocked(id)
+	if !ok || j.State != StateRunning || j.Lease == nil || j.Lease.Epoch != 2 {
+		t.Fatalf("record after the refused write: %+v, want node b's running record at epoch 2", j)
+	}
+}
+
+// TestReaperRacesFinalCheckpoint: node a's executor holds a job whose
+// renewals are all blackholed, so the lease genuinely expires mid-run and
+// node b adopts it. When a's executor finally finishes, its terminal write
+// must lose — the record ends done under b's newer epoch, and a accounts a
+// lost lease, never a completed job.
+func TestReaperRacesFinalCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	gatedRunner := RunnerFunc(func(ctx context.Context, spec Spec, publish func(Event)) (json.RawMessage, error) {
+		<-gate // hold the execution open; ignore cancellation, like a wedged worker
+		return json.RawMessage(`{"ok":true}`), nil
+	})
+	blackhole := &PersistHook{OnLease: func(op, id string, epoch uint64) error {
+		if op == "renew" {
+			return errors.New("renewals blackholed")
+		}
+		return nil
+	}}
+	qa := openClusterQueue(t, dir, "a", gatedRunner,
+		Cluster{LeaseTTL: 250 * time.Millisecond, ReapPoll: time.Minute}, blackhole)
+	qb := openClusterQueue(t, dir, "b", instantRunner(),
+		Cluster{LeaseTTL: 250 * time.Millisecond, ReapPoll: 100 * time.Millisecond}, nil)
+
+	j, _, _, err := qa.Submit(Spec{Kind: KindSecbench, Design: "sa", Trials: 1})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// b adopts once a's never-renewed lease expires, and finishes the job
+	// while a's executor is still wedged.
+	final := waitTerminal(t, qb, j.ID)
+	if final.State != StateDone {
+		t.Fatalf("adopted job ended %s, want done", final.State)
+	}
+	if final.Handoffs < 1 {
+		t.Fatalf("adopted record shows %d hand-offs, want >= 1", final.Handoffs)
+	}
+
+	// Release a's executor: its terminal write races the settled record and
+	// must be fenced off (or the keeper's zombie check abandons it first).
+	close(gate)
+	waitFor(t, "node a to account its lost lease", 10*time.Second, func() bool {
+		return qa.Metrics().LeasesLost >= 1
+	})
+
+	got, ok := qb.readRecordLocked(j.ID)
+	if !ok || got.State != StateDone || got.Lease == nil {
+		t.Fatalf("final record: %+v, want done with a lease", got)
+	}
+	if got.Lease.Node != "b" || got.Lease.Epoch < 2 {
+		t.Fatalf("final record owned by %s at epoch %d, want node b at epoch >= 2 — a stale write got the last word",
+			got.Lease.Node, got.Lease.Epoch)
+	}
+}
+
+// TestGracefulCloseHandsOff: a draining node releases its leases (deadline
+// = now) so a peer adopts its parked jobs immediately instead of waiting
+// out the TTL.
+func TestGracefulCloseHandsOff(t *testing.T) {
+	dir := t.TempDir()
+	qa := openClusterQueue(t, dir, "a", tickRunner(time.Minute, 10*time.Millisecond),
+		Cluster{LeaseTTL: 500 * time.Millisecond, ReapPoll: time.Minute}, nil)
+	qb := openClusterQueue(t, dir, "b", instantRunner(),
+		Cluster{LeaseTTL: 500 * time.Millisecond, ReapPoll: 50 * time.Millisecond}, nil)
+
+	j, _, _, err := qa.Submit(Spec{Kind: KindSecbench, Design: "sa", Trials: 1})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitFor(t, "the job to start running on a", 10*time.Second, func() bool {
+		cur, ok := qa.Get(j.ID)
+		return ok && cur.State == StateRunning
+	})
+
+	qa.Close() // drain: the job parks pending and its lease is released
+
+	final := waitTerminal(t, qb, j.ID)
+	if final.State != StateDone {
+		t.Fatalf("handed-off job ended %s, want done", final.State)
+	}
+	if final.Handoffs != 1 {
+		t.Fatalf("record shows %d hand-offs, want exactly 1", final.Handoffs)
+	}
+	if final.Lease == nil || final.Lease.Node != "b" {
+		t.Fatalf("final record's lease is %+v, want node b's", final.Lease)
+	}
+	if got := qb.Metrics().Handoffs; got != 1 {
+		t.Fatalf("node b accounts %d hand-offs, want 1", got)
+	}
+}
+
+// TestLeaseFaultMatrix drives every lease fault site at several seeds
+// through a two-node cluster — node a armed, node b clean — and requires
+// every cell to be non-silent: the fault fires, the injected failure is
+// visible in a's metrics, and every job still reaches done somewhere.
+func TestLeaseFaultMatrix(t *testing.T) {
+	for _, site := range faultinject.LeaseSites() {
+		for seed := uint64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", site, seed), func(t *testing.T) {
+				in, err := faultinject.NewService(site, seed)
+				if err != nil {
+					t.Fatalf("NewService: %v", err)
+				}
+				hook := &PersistHook{OnLease: in.OnLease}
+				dir := t.TempDir()
+
+				// a reaps slowly so hand-offs land on b; b reaps eagerly.
+				ttl := 400 * time.Millisecond
+				runnerA := instantRunner()
+				switch site {
+				case faultinject.SiteLeaseRenewFail:
+					// Long enough for the keeper and checkpoint paths to
+					// attempt well past the trigger ordinal.
+					ttl = 500 * time.Millisecond
+					runnerA = tickRunner(1500*time.Millisecond, 10*time.Millisecond)
+				case faultinject.SiteLeaseExpireMidWrite:
+					// Runs until the lost lease cancels it (capped so a
+					// missed cancellation still ends the test).
+					runnerA = tickRunner(8*time.Second, 10*time.Millisecond)
+				}
+				qa := openClusterQueue(t, dir, "a", runnerA,
+					Cluster{LeaseTTL: ttl, ReapPoll: time.Minute}, hook)
+				qb := openClusterQueue(t, dir, "b", instantRunner(),
+					Cluster{LeaseTTL: ttl, ReapPoll: ttl / 3}, nil)
+
+				jobs := 1
+				if site == faultinject.SiteStaleEpochWrite {
+					// Fencing checks happen on persists; several instant
+					// jobs generate enough to pass any trigger ordinal.
+					jobs = 6
+				}
+				ids := make([]string, 0, jobs)
+				for i := 0; i < jobs; i++ {
+					j, _, _, err := qa.Submit(Spec{Kind: KindSecbench, Design: "sa", Trials: 1 + i})
+					if err != nil {
+						t.Fatalf("submit %d: %v", i, err)
+					}
+					ids = append(ids, j.ID)
+				}
+
+				for _, id := range ids {
+					final := waitTerminal(t, qb, id)
+					if final.State != StateDone {
+						t.Fatalf("job %s ended %s under site %s, want done", id, final.State, site)
+					}
+				}
+				if !in.Fired() {
+					t.Fatalf("site %s seed %d never fired", site, seed)
+				}
+
+				ma, mb := qa.Metrics(), qb.Metrics()
+				switch site {
+				case faultinject.SiteLeaseRenewFail:
+					// One failed renewal is absorbed: visible in the
+					// counter, no hand-off.
+					if ma.LeaseRenewFails < 1 {
+						t.Fatalf("LeaseRenewFails = %d, want >= 1 (%s)", ma.LeaseRenewFails, in.Detail())
+					}
+					if ma.Handoffs+mb.Handoffs != 0 {
+						t.Fatalf("a single failed renewal caused %d hand-off(s)", ma.Handoffs+mb.Handoffs)
+					}
+				case faultinject.SiteLeaseExpireMidWrite:
+					// The starved lease really expires: b adopts, a loses.
+					if mb.Handoffs < 1 {
+						t.Fatalf("no hand-off after a starved lease (%s)", in.Detail())
+					}
+					waitFor(t, "node a to account its lost lease", 10*time.Second, func() bool {
+						return qa.Metrics().LeasesLost >= 1
+					})
+				case faultinject.SiteStaleEpochWrite:
+					// The refused write is fenced and the job finishes
+					// under a fresh epoch elsewhere.
+					if ma.FencedWrites < 1 {
+						t.Fatalf("FencedWrites = %d, want >= 1 (%s)", ma.FencedWrites, in.Detail())
+					}
+					if ma.LeasesLost < 1 {
+						t.Fatalf("LeasesLost = %d, want >= 1 after the fenced abandon", ma.LeasesLost)
+					}
+				}
+			})
+		}
+	}
+}

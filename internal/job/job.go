@@ -175,6 +175,15 @@ type Job struct {
 	// Stalls counts the watchdog re-parks this job has consumed (also
 	// persisted, bounding a deterministically wedged runner).
 	Stalls int `json:"stalls,omitempty"`
+	// Handoffs counts the lease-expiry re-parks: how many times a reaper
+	// adopted this job from a dead or lapsed owner. Persisted so the chaos
+	// audit's executions budget (1 + kills + retries + stalls + handoffs)
+	// survives restarts, like Retries and Stalls.
+	Handoffs int `json:"handoffs,omitempty"`
+	// Lease is the current ownership record in cluster mode: which node may
+	// execute and persist this job, under which fencing epoch, until which
+	// deadline. Nil on single-node queues and on terminal records.
+	Lease *Lease `json:"lease,omitempty"`
 }
 
 // Event is one NDJSON line of a job's progress stream.
@@ -184,8 +193,10 @@ type Event struct {
 	// Type is "state" (State carries the new state, Error the reason for
 	// failures), "progress" (Units carries completed checkpoint units),
 	// "result" (Result carries the final payload), "retry" (Error carries
-	// the transient failure, Attempt the retry ordinal), or "stall"
-	// (Attempt carries the watchdog re-park ordinal).
+	// the transient failure, Attempt the retry ordinal), "stall"
+	// (Attempt carries the watchdog re-park ordinal), or "handoff"
+	// (Attempt carries the hand-off ordinal: the job's lease expired or was
+	// fenced and another node re-parked it).
 	Type   string          `json:"type"`
 	State  State           `json:"state,omitempty"`
 	Units  int             `json:"units,omitempty"`

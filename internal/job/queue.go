@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -60,6 +61,22 @@ type Metrics struct {
 	RejectedClient int64
 	// RejectedDraining counts submissions refused during shutdown.
 	RejectedDraining int64
+	// Handoffs counts expired-lease jobs this node's reaper claimed from a
+	// dead peer (cluster mode).
+	Handoffs int64
+	// FencedWrites counts durable writes refused because a newer lease
+	// epoch existed on disk — a zombie's torn record that never was.
+	FencedWrites int64
+	// LeaseRenewals and LeaseRenewFails count the keeper's renewal
+	// outcomes.
+	LeaseRenewals   int64
+	LeaseRenewFails int64
+	// LeasesLost counts jobs this node abandoned after its lease was
+	// superseded (the hand-off seen from the losing side).
+	LeasesLost int64
+	// LeasesHeld is the current number of live jobs this node owns a
+	// lease on (cluster mode).
+	LeasesHeld int
 	// Live is the current pending+running job count (the admission gauge).
 	Live int
 	// JobsByState counts the known jobs per state.
@@ -96,6 +113,11 @@ type Limits struct {
 	// PersistHook, when set, intercepts the queue's durable record writes —
 	// the fault-injection seam internal/faultinject's service sites use.
 	PersistHook *PersistHook
+	// Cluster enables multi-node operation over a shared directory: every
+	// execution runs under an epoch-fenced lease, expired leases are
+	// reaped and handed off, and stale-epoch writes are refused. The zero
+	// value keeps the single-daemon behaviour.
+	Cluster Cluster
 }
 
 // stallBudget bounds how many times the watchdog re-parks one job before
@@ -120,6 +142,9 @@ func (l Limits) withDefaults() Limits {
 			l.StallPoll = 10 * time.Millisecond
 		}
 	}
+	if l.Cluster.Node != "" {
+		l.Cluster = l.Cluster.withDefaults()
+	}
 	return l
 }
 
@@ -131,6 +156,13 @@ type PersistHook struct {
 	OnWrite func(path string, data []byte) ([]byte, error)
 	// OnRename may refuse the atomic rename that installs the record.
 	OnRename func(tmp, final string) error
+	// OnLease intercepts lease-protocol steps (cluster mode): op is
+	// "renew" when the keeper extends a lease deadline and "fence" when a
+	// durable write checks its epoch is still current. Returning an error
+	// fails that step — a refused renewal is skipped (the next tick tries
+	// again), a refused fence check makes the write behave exactly as if
+	// a newer epoch had been found.
+	OnLease func(op, id string, epoch uint64) error
 }
 
 // progressMark is the watchdog's view of one running job: the last Units
@@ -156,7 +188,8 @@ type Queue struct {
 	clients  map[string]int             // client -> live jobs attached
 	progress map[string]progressMark
 	stalled  map[string]bool
-	live     int // pending+running jobs, the admission gauge
+	fenced   map[string]bool // jobs whose lease was superseded mid-run
+	live     int             // pending+running jobs, the admission gauge
 	started  bool
 	drain    bool
 	metrics  Metrics
@@ -200,6 +233,7 @@ func OpenLimits(dir string, r Runner, lim Limits) (*Queue, error) {
 		clients:  map[string]int{},
 		progress: map[string]progressMark{},
 		stalled:  map[string]bool{},
+		fenced:   map[string]bool{},
 	}
 	q.root, q.stop = context.WithCancel(context.Background())
 	entries, err := os.ReadDir(dir)
@@ -227,39 +261,30 @@ func OpenLimits(dir string, r Runner, lim Limits) (*Queue, error) {
 		if err != nil {
 			return nil, fmt.Errorf("job: %w", err)
 		}
-		var j Job
-		if err := json.Unmarshal(raw, &j); err != nil {
+		j, err := decodeRecord(name, raw)
+		if err != nil {
 			if qerr := q.quarantine(name); qerr != nil {
 				return nil, qerr
 			}
 			continue
-		}
-		if j.ID == "" || strings.TrimSuffix(name, jobSuffix) != j.ID {
-			if qerr := q.quarantine(name); qerr != nil {
-				return nil, qerr
-			}
-			continue
-		}
-		if len(j.Result) > 0 {
-			// The record is stored indented for humans, which re-indents the
-			// embedded result payload. Re-compact it so a job served after a
-			// restart returns the exact bytes the runner produced.
-			var buf bytes.Buffer
-			if err := json.Compact(&buf, j.Result); err != nil {
-				if qerr := q.quarantine(name); qerr != nil {
-					return nil, qerr
-				}
-				continue
-			}
-			j.Result = append(json.RawMessage(nil), buf.Bytes()...)
 		}
 		if !j.State.Terminal() {
-			j.State = StatePending
-			q.metrics.Recovered++
-			// Best-effort: a transient write failure here must not stop the
-			// daemon from coming up — the record still reads as live on
-			// disk, and the next successful persist re-parks it.
-			_ = q.persist(&j)
+			if q.clustered() {
+				// Shared directory: only reclaim live jobs this node can
+				// prove ownership of (its own previous incarnation's, or
+				// orphans whose lease has lapsed). Everything else belongs
+				// to a living peer and stays out of local memory.
+				if !q.recoverCluster(&j) {
+					continue
+				}
+			} else {
+				j.State = StatePending
+				q.metrics.Recovered++
+				// Best-effort: a transient write failure here must not stop
+				// the daemon from coming up — the record still reads as
+				// live on disk, and the next successful persist re-parks it.
+				_ = q.persist(&j)
+			}
 		}
 		if !j.State.Terminal() {
 			q.live++
@@ -268,6 +293,56 @@ func OpenLimits(dir string, r Runner, lim Limits) (*Queue, error) {
 		q.order = append(q.order, j.ID)
 	}
 	return q, nil
+}
+
+// decodeRecord parses one durable job record, refusing IDs that disagree
+// with the filename and re-compacting the stored result (the record is
+// stored indented for humans, which re-indents the embedded payload; a
+// job served after a restart must return the exact bytes the runner
+// produced).
+func decodeRecord(name string, raw []byte) (Job, error) {
+	var j Job
+	if err := json.Unmarshal(raw, &j); err != nil {
+		return Job{}, err
+	}
+	if j.ID == "" || strings.TrimSuffix(name, jobSuffix) != j.ID {
+		return Job{}, fmt.Errorf("job: record %s names job %q", name, j.ID)
+	}
+	if len(j.Result) > 0 {
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, j.Result); err != nil {
+			return Job{}, err
+		}
+		j.Result = append(json.RawMessage(nil), buf.Bytes()...)
+	}
+	return j, nil
+}
+
+// recoverCluster decides what a starting node does with a live record in
+// the shared directory: a job healthily leased to a living peer is left
+// alone (false), anything this node can claim — its own dead
+// incarnation's jobs, lapsed leases, never-claimed orphans — is re-parked
+// pending under a fresh epoch (true).
+func (q *Queue) recoverCluster(j *Job) bool {
+	max, lease := q.diskEpoch(j.ID)
+	if max > 0 && lease.Node != q.lim.Cluster.Node && !lease.Expired(time.Now()) {
+		return false
+	}
+	nl, ok := q.claimLease(j.ID, max+1)
+	if !ok {
+		return false
+	}
+	if max > 0 && lease.Node != "" && lease.Node != q.lim.Cluster.Node {
+		// A peer's lapsed lease claimed at startup is a hand-off, not a
+		// plain resume.
+		j.Handoffs++
+		q.metrics.Handoffs++
+	}
+	j.State = StatePending
+	j.Lease = &nl
+	q.metrics.Recovered++
+	_ = q.persist(j) // best-effort, same contract as the single-node path
+	return true
 }
 
 // quarantine moves a corrupt record aside so the queue can keep serving.
@@ -298,6 +373,11 @@ func (q *Queue) Start() {
 	if q.lim.StallTimeout > 0 {
 		q.wg.Add(1)
 		go q.watchdog()
+	}
+	if q.clustered() {
+		q.wg.Add(2)
+		go q.keeper()
+		go q.reaper()
 	}
 }
 
@@ -342,14 +422,32 @@ func (q *Queue) SubmitFrom(client string, spec Spec) (Job, bool, bool, error) {
 			if err := q.admitLocked(client, id); err != nil {
 				return Job{}, false, false, err
 			}
-			q.metrics.Submissions++
 			prev := *j
+			if q.clustered() {
+				// Take ownership of the re-run up front: the claim both
+				// fences our pending write and arbitrates against a peer
+				// re-running the same job — the loser simply attaches.
+				max, _ := q.diskEpoch(id)
+				lease, won := q.claimLease(id, max+1)
+				if !won {
+					q.metrics.Submissions++
+					q.metrics.CoalesceHits++
+					q.dropLocalLocked(id)
+					if dj, ok := q.readRecordLocked(id); ok {
+						return dj, true, false, nil
+					}
+					return prev, true, false, nil
+				}
+				j.Lease = &lease
+			}
+			q.metrics.Submissions++
 			j.State = StatePending
 			j.Error = ""
 			j.Result = nil
 			j.Units = 0
 			j.Retries = 0
 			j.Stalls = 0
+			j.Handoffs = 0
 			if err := q.persist(j); err != nil {
 				*j = prev
 				return Job{}, false, false, err
@@ -369,6 +467,11 @@ func (q *Queue) SubmitFrom(client string, spec Spec) (Job, bool, bool, error) {
 			return *j, true, false, nil
 		}
 	}
+	if q.clustered() {
+		if j, coalesced, cached, handled, err := q.submitRemoteLocked(client, id); handled {
+			return j, coalesced, cached, err
+		}
+	}
 	if err := q.admitLocked(client, id); err != nil {
 		return Job{}, false, false, err
 	}
@@ -383,6 +486,67 @@ func (q *Queue) SubmitFrom(client string, spec Spec) (Job, bool, bool, error) {
 	q.order = append(q.order, id)
 	q.launchLocked(id)
 	return *j, false, false, nil
+}
+
+// submitRemoteLocked consults the shared directory for a job this node has
+// never seen: a submission may hit a record some peer wrote. handled=false
+// means no usable record exists and the caller should start fresh.
+// Callers hold q.mu.
+func (q *Queue) submitRemoteLocked(client, id string) (Job, bool, bool, bool, error) {
+	dj, ok := q.readRecordLocked(id)
+	if !ok {
+		return Job{}, false, false, false, nil
+	}
+	switch {
+	case dj.State == StateDone:
+		// A peer finished this campaign: adopt the record as a local cache
+		// entry — content addressing makes its result as good as our own.
+		q.metrics.Submissions++
+		dj.CacheHits++
+		q.metrics.CacheHits++
+		cp := dj
+		q.jobs[id] = &cp
+		q.order = append(q.order, id)
+		return dj, false, true, true, nil
+	case dj.State.Terminal():
+		// Failed or canceled elsewhere: re-run here if we win the claim.
+		if err := q.admitLocked(client, id); err != nil {
+			return Job{}, false, false, true, err
+		}
+		max, _ := q.diskEpoch(id)
+		lease, won := q.claimLease(id, max+1)
+		if !won {
+			q.metrics.Submissions++
+			q.metrics.CoalesceHits++
+			return dj, true, false, true, nil
+		}
+		dj.State = StatePending
+		dj.Error = ""
+		dj.Result = nil
+		dj.Units = 0
+		dj.Retries = 0
+		dj.Stalls = 0
+		dj.Handoffs = 0
+		dj.Lease = &lease
+		cp := dj
+		if err := q.persist(&cp); err != nil {
+			return Job{}, false, false, true, err
+		}
+		q.metrics.Submissions++
+		q.live++
+		q.attachLocked(client, id)
+		q.jobs[id] = &cp
+		q.order = append(q.order, id)
+		q.launchLocked(id)
+		return cp, false, false, true, nil
+	default:
+		// Live on a peer: the submission coalesces cluster-wide — the
+		// caller polls any node and reads the shared record. Per-client
+		// slots are not charged; the owning node accounts the execution.
+		q.metrics.Submissions++
+		q.metrics.CoalesceHits++
+		return dj, true, false, true, nil
+	}
 }
 
 // admitLocked applies both admission gates for a submission that starts
@@ -433,18 +597,28 @@ func (q *Queue) Get(id string) (Job, bool) {
 	defer q.mu.Unlock()
 	j, ok := q.jobs[id]
 	if !ok {
+		if q.clustered() {
+			// The record may live on a peer; the shared directory is the
+			// cluster's authoritative view, so read it fresh each time.
+			return q.readRecordLocked(id)
+		}
 		return Job{}, false
 	}
 	return *j, true
 }
 
-// List returns snapshots of every known job, in submission order.
+// List returns snapshots of every known job, in submission order. In
+// cluster mode, records owned by peers (absent from local memory) are
+// appended in ID order.
 func (q *Queue) List() []Job {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	out := make([]Job, 0, len(q.order))
 	for _, id := range q.order {
 		out = append(out, *q.jobs[id])
+	}
+	if q.clustered() {
+		out = append(out, q.listDiskLocked()...)
 	}
 	return out
 }
@@ -484,7 +658,10 @@ func (q *Queue) Cancel(id string) (bool, error) {
 		return true, nil
 	}
 	j.State = StateCanceled
-	_ = q.persist(j)
+	if perr := q.persist(j); errors.Is(perr, ErrStaleEpoch) {
+		q.abandonLocked(id)
+		return true, nil
+	}
 	q.publishLocked(id, Event{Type: "state", State: StateCanceled})
 	q.finishLocked(id)
 	return true, nil
@@ -499,6 +676,21 @@ func (q *Queue) Subscribe(id string) (<-chan Event, func(), error) {
 	defer q.mu.Unlock()
 	j, ok := q.jobs[id]
 	if !ok {
+		if q.clustered() {
+			// A peer's terminal record can be streamed from disk (result,
+			// then closing state — the live stream's terminal shape). Live
+			// remote jobs are the serve layer's to follow (it polls the
+			// shared record), so they stay ErrNotFound here.
+			if jr, found := q.readRecordLocked(id); found && jr.State.Terminal() {
+				ch := make(chan Event, 2)
+				if jr.State == StateDone {
+					ch <- Event{Job: jr.ID, Type: "result", Result: jr.Result}
+				}
+				ch <- Event{Job: jr.ID, Type: "state", State: jr.State, Error: jr.Error}
+				close(ch)
+				return ch, func() {}, nil
+			}
+		}
 		return nil, nil, ErrNotFound
 	}
 	ch := make(chan Event, 256)
@@ -537,6 +729,9 @@ func (q *Queue) Metrics() Metrics {
 	m.JobsByState = map[State]int{}
 	for _, j := range q.jobs {
 		m.JobsByState[j.State]++
+		if !j.State.Terminal() && j.Lease != nil && j.Lease.Node == q.lim.Cluster.Node {
+			m.LeasesHeld++
+		}
 	}
 	return m
 }
@@ -549,6 +744,20 @@ func (q *Queue) Metrics() Metrics {
 func (q *Queue) Close() {
 	q.mu.Lock()
 	q.drain = true
+	if q.clustered() {
+		// Expire the leases of parked jobs (awaiting a retry backoff or
+		// never launched) in place, so peers hand them off immediately
+		// instead of waiting out the TTL. Executing jobs release in their
+		// drain path once the checkpoint has flushed.
+		for _, j := range q.jobs {
+			if _, running := q.cancels[j.ID]; running {
+				continue
+			}
+			if !j.State.Terminal() && j.Lease != nil && j.Lease.Node == q.lim.Cluster.Node {
+				q.releaseLease(j)
+			}
+		}
+	}
 	q.mu.Unlock()
 	q.stop()
 	q.wg.Wait()
@@ -584,12 +793,24 @@ func (q *Queue) execute(ctx context.Context, id string) {
 		q.mu.Unlock()
 		return
 	}
+	if q.clustered() && !q.acquireLocked(j) {
+		// Lost the epoch claim: a peer owns this job now. Abandon it
+		// locally — reads fall through to the shared record.
+		q.abandonLocked(id)
+		q.mu.Unlock()
+		return
+	}
 	j.State = StateRunning
 	j.Executions++
 	q.metrics.Executions++
 	spec := j.Spec
 	q.progress[id] = progressMark{units: j.Units, at: time.Now()}
 	if err := q.persist(j); err != nil {
+		if errors.Is(err, ErrStaleEpoch) {
+			q.abandonLocked(id)
+			q.mu.Unlock()
+			return
+		}
 		q.settleFailureLocked(j, err)
 		q.mu.Unlock()
 		return
@@ -604,6 +825,12 @@ func (q *Queue) execute(ctx context.Context, id string) {
 			if jj, ok := q.jobs[id]; ok && jj.Units != ev.Units {
 				jj.Units = ev.Units
 				q.progress[id] = progressMark{units: ev.Units, at: time.Now()}
+				// Checkpoint progress doubles as lease renewal: an
+				// advancing job never loses its ownership to the TTL.
+				if q.clustered() && jj.Lease != nil && jj.Lease.Node == q.lim.Cluster.Node &&
+					time.Until(jj.Lease.Deadline) < q.lim.Cluster.LeaseTTL*2/3 {
+					q.renewLease(jj)
+				}
 			}
 		}
 		q.publishLocked(id, ev)
@@ -612,11 +839,22 @@ func (q *Queue) execute(ctx context.Context, id string) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	switch {
+	case q.fenced[id]:
+		// The keeper saw our epoch superseded and cancelled the run: the
+		// job belongs to a peer, so leave its record strictly alone.
+		q.abandonLocked(id)
 	case err == nil:
 		j.State = StateDone
 		j.Result = result
 		j.Error = ""
 		if perr := q.persist(j); perr != nil {
+			if errors.Is(perr, ErrStaleEpoch) {
+				// A zombie finishing after hand-off: the result is refused
+				// (the new owner will produce the identical bytes) and the
+				// record stays the new owner's.
+				q.abandonLocked(id)
+				return
+			}
 			q.settleFailureLocked(j, perr)
 			return
 		}
@@ -625,9 +863,13 @@ func (q *Queue) execute(ctx context.Context, id string) {
 		q.finishLocked(id)
 	case ctx.Err() != nil && q.drain:
 		// Daemon shutdown, not a user cancel: park the job for the next
-		// daemon to resume from its checkpoint.
+		// daemon to resume from its checkpoint, and hand the lease back so
+		// a peer's reaper can take over without waiting out the TTL.
 		j.State = StatePending
-		_ = q.persist(j)
+		if perr := q.persist(j); perr == nil && q.clustered() &&
+			j.Lease != nil && j.Lease.Node == q.lim.Cluster.Node {
+			q.releaseLease(j)
+		}
 		q.publishLocked(id, Event{Type: "state", State: StatePending})
 		q.closeSubsLocked(id)
 		delete(q.cancels, id)
@@ -637,7 +879,10 @@ func (q *Queue) execute(ctx context.Context, id string) {
 		q.settleStallLocked(j)
 	case ctx.Err() != nil:
 		j.State = StateCanceled
-		_ = q.persist(j)
+		if perr := q.persist(j); errors.Is(perr, ErrStaleEpoch) {
+			q.abandonLocked(id)
+			return
+		}
 		q.publishLocked(id, Event{Type: "state", State: StateCanceled})
 		q.finishLocked(id)
 	default:
@@ -656,7 +901,10 @@ func (q *Queue) settleFailureLocked(j *Job, err error) {
 		j.State = StatePending
 		j.Result = nil
 		j.Error = err.Error()
-		_ = q.persist(j)
+		if perr := q.persist(j); errors.Is(perr, ErrStaleEpoch) {
+			q.abandonLocked(j.ID)
+			return
+		}
 		q.publishLocked(j.ID, Event{Type: "retry", Error: err.Error(), Attempt: j.Retries})
 		q.publishLocked(j.ID, Event{Type: "state", State: StatePending})
 		delete(q.cancels, j.ID)
@@ -680,7 +928,10 @@ func (q *Queue) settleStallLocked(j *Job) {
 		return
 	}
 	j.State = StatePending
-	_ = q.persist(j)
+	if perr := q.persist(j); errors.Is(perr, ErrStaleEpoch) {
+		q.abandonLocked(j.ID)
+		return
+	}
 	q.publishLocked(j.ID, Event{Type: "stall", Attempt: j.Stalls})
 	q.publishLocked(j.ID, Event{Type: "state", State: StatePending})
 	delete(q.cancels, j.ID)
@@ -776,7 +1027,10 @@ func (q *Queue) watchdog() {
 func (q *Queue) failLocked(j *Job, err error) {
 	j.State = StateFailed
 	j.Error = err.Error()
-	_ = q.persist(j)
+	if perr := q.persist(j); errors.Is(perr, ErrStaleEpoch) {
+		q.abandonLocked(j.ID)
+		return
+	}
 	q.publishLocked(j.ID, Event{Type: "state", State: StateFailed, Error: j.Error})
 	q.finishLocked(j.ID)
 }
@@ -796,6 +1050,7 @@ func (q *Queue) finishLocked(id string) {
 	delete(q.cancels, id)
 	delete(q.progress, id)
 	delete(q.stalled, id)
+	delete(q.fenced, id)
 }
 
 // publishLocked fans an event out to the job's subscribers. Sends never
@@ -820,9 +1075,17 @@ func (q *Queue) closeSubsLocked(id string) {
 
 // persist writes a job record atomically (temp file + rename), the same
 // torn-write discipline as the checkpoint files. Failures are marked
-// transient: a disk hiccup is exactly what the retry budget is for.
+// transient: a disk hiccup is exactly what the retry budget is for — with
+// one exception: in cluster mode every write passes the fencing check
+// first, and ErrStaleEpoch is final, not transient (the job has a newer
+// owner; retrying this node's write can never be right).
 // Callers hold q.mu.
 func (q *Queue) persist(j *Job) error {
+	if q.clustered() {
+		if err := q.fenceLocked(j); err != nil {
+			return err
+		}
+	}
 	raw, err := json.MarshalIndent(j, "", "  ")
 	if err != nil {
 		return fmt.Errorf("job: %w", err)

@@ -1,0 +1,225 @@
+package serve
+
+// Cluster-mode request routing. Every node serves the full API; what
+// differs is where a request's work happens:
+//
+//   - Submissions are routed by the job's content address: the owner node
+//     is peers[fingerprint mod N], so identical specs land on the same
+//     node and coalesce in its memory exactly as they would on a single
+//     daemon. A node that is not the owner forwards the submission (one
+//     hop, loop-guarded); if the owner is unreachable it submits locally —
+//     the lease claim arbitrates, so the worst case is a coalesce miss,
+//     never a dual execution.
+//   - Reads (get, list, result) need no routing: the shared directory is
+//     the cluster's authoritative view and every queue answers from it.
+//   - Streams of a job another node is executing are followed from the
+//     shared record by polling: the follower emits progress and terminal
+//     events as the owner persists them. Polling survives the owner dying
+//     mid-stream — after the hand-off the new owner updates the same
+//     record and the follower never notices.
+//
+// /clusterz reports the node's own identity plus a liveness probe of every
+// peer, which is what the chaos harness and a load balancer both want to
+// know: who is in the cluster and who is answering right now.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"securetlb/internal/fingerprint"
+	"securetlb/internal/job"
+)
+
+// Cluster is the serve layer's view of the deployment: this node's
+// advertised address (also its lease identity) and every node's address.
+type Cluster struct {
+	// Node is this node's advertised host:port.
+	Node string
+	// Peers are all cluster node addresses; Node is added if absent. The
+	// set must agree across nodes for submission routing to agree.
+	Peers []string
+}
+
+// forwardHeader guards against forwarding loops: a submission carries it
+// after its one permitted hop, and the receiver then always serves locally.
+const forwardHeader = "X-TLB-Forwarded"
+
+// streamPoll is the follower's poll interval for remote jobs' streams.
+const streamPoll = 100 * time.Millisecond
+
+// EnableCluster switches the server into cluster mode: submission routing
+// by content address, remote stream following, and /clusterz. Call before
+// serving traffic.
+func (s *Server) EnableCluster(c Cluster) {
+	peers := append([]string(nil), c.Peers...)
+	found := false
+	for _, p := range peers {
+		if p == c.Node {
+			found = true
+			break
+		}
+	}
+	if !found {
+		peers = append(peers, c.Node)
+	}
+	sort.Strings(peers)
+	s.cluster = &Cluster{Node: c.Node, Peers: peers}
+	s.hc = &http.Client{Timeout: 30 * time.Second}
+	s.mux.HandleFunc("GET /clusterz", s.handleClusterz)
+}
+
+// owner maps a job ID to the node that should execute it. The ID is
+// already a fingerprint (16 hex digits of FNV-64a), so the content address
+// itself picks the owner; anything unparseable is re-digested first.
+func (s *Server) owner(id string) string {
+	h, err := strconv.ParseUint(id, 16, 64)
+	if err != nil {
+		h, _ = strconv.ParseUint(fingerprint.New().Field(id).Sum(), 16, 64)
+	}
+	return s.cluster.Peers[h%uint64(len(s.cluster.Peers))]
+}
+
+// forwardSubmit relays a submission to its owner node, preserving the
+// client identity so the per-client cap is charged to the real caller.
+// ok=false means the owner was unreachable and the caller should submit
+// locally instead.
+func (s *Server) forwardSubmit(w http.ResponseWriter, r *http.Request, body []byte, target string) bool {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		"http://"+target+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client-ID", clientID(r))
+	req.Header.Set(forwardHeader, s.cluster.Node)
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return false // owner down; local submission takes over
+	}
+	defer resp.Body.Close()
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+// followStream serves a remote job's NDJSON stream by polling the shared
+// record: progress deltas as the owner checkpoints, then the terminal
+// result/state pair in the live stream's shape.
+func (s *Server) followStream(w http.ResponseWriter, r *http.Request, id string) {
+	j, ok := s.queue.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, job.ErrNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev job.Event) bool {
+		ev.Job = id
+		if enc.Encode(ev) != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	lastState, lastUnits := job.State(""), -1
+	ticker := time.NewTicker(streamPoll)
+	defer ticker.Stop()
+	for {
+		if j.State != lastState && !j.State.Terminal() {
+			lastState = j.State
+			if !emit(job.Event{Type: "state", State: j.State, Error: j.Error}) {
+				return
+			}
+		}
+		if j.Units != lastUnits && j.Units > 0 {
+			lastUnits = j.Units
+			if !emit(job.Event{Type: "progress", Units: j.Units}) {
+				return
+			}
+		}
+		if j.State.Terminal() {
+			if j.State == job.StateDone {
+				if !emit(job.Event{Type: "result", Result: j.Result}) {
+					return
+				}
+			}
+			emit(job.Event{Type: "state", State: j.State, Error: j.Error})
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+		// The record may briefly vanish mid-rename; keep the last snapshot.
+		if jj, ok := s.queue.Get(id); ok {
+			j = jj
+		}
+	}
+}
+
+// ClusterStatus is the GET /clusterz reply.
+type ClusterStatus struct {
+	// Node is this node's identity (its advertised address).
+	Node string `json:"node"`
+	// Peers is the full routing set with a liveness probe per node.
+	Peers []PeerStatus `json:"peers"`
+	// LeasesHeld is how many live jobs this node currently owns.
+	LeasesHeld int `json:"leases_held"`
+	// Handoffs counts jobs this node adopted from dead or lapsed owners.
+	Handoffs int64 `json:"handoffs"`
+	// LeasesLost counts jobs this node lost to fencing or expiry.
+	LeasesLost int64 `json:"leases_lost"`
+	// FencedWrites counts stale record writes refused by this node's queue.
+	FencedWrites int64 `json:"fenced_writes"`
+}
+
+// PeerStatus is one node's row in /clusterz.
+type PeerStatus struct {
+	Node string `json:"node"`
+	Self bool   `json:"self"`
+	// Healthy is the result of a quick /healthz probe (always true for
+	// self: answering /clusterz is the proof).
+	Healthy bool `json:"healthy"`
+}
+
+func (s *Server) handleClusterz(w http.ResponseWriter, r *http.Request) {
+	m := s.queue.Metrics()
+	st := ClusterStatus{
+		Node:         s.cluster.Node,
+		LeasesHeld:   m.LeasesHeld,
+		Handoffs:     m.Handoffs,
+		LeasesLost:   m.LeasesLost,
+		FencedWrites: m.FencedWrites,
+	}
+	probe := &http.Client{Timeout: 500 * time.Millisecond}
+	for _, p := range s.cluster.Peers {
+		ps := PeerStatus{Node: p, Self: p == s.cluster.Node, Healthy: p == s.cluster.Node}
+		if !ps.Self {
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, "http://"+p+"/healthz", nil)
+			if err == nil {
+				if resp, err := probe.Do(req); err == nil {
+					resp.Body.Close()
+					ps.Healthy = resp.StatusCode == http.StatusOK
+				}
+			}
+		}
+		st.Peers = append(st.Peers, ps)
+	}
+	writeJSON(w, http.StatusOK, st)
+}

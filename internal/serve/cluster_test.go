@@ -1,0 +1,225 @@
+package serve
+
+// Tests for cluster-mode serving: /clusterz peer probing, content-address
+// submission routing with one-hop forwarding, remote job streaming from the
+// shared directory, and the Prometheus exposition metadata scrapers key on.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"securetlb/internal/job"
+	"securetlb/internal/pool"
+)
+
+// clusterNode is one of two in-process tlbserved nodes sharing a data
+// directory.
+type clusterNode struct {
+	ts   *httptest.Server
+	q    *job.Queue
+	s    *Server
+	addr string
+}
+
+// clusterPair builds a two-node cluster over one shared directory. The
+// listeners exist before the queues open so each node's identity is its
+// real address, exactly as cmd/tlbserved arranges it.
+func clusterPair(t *testing.T) (a, b *clusterNode) {
+	t.Helper()
+	dir := t.TempDir()
+	tsA := httptest.NewUnstartedServer(nil)
+	tsB := httptest.NewUnstartedServer(nil)
+	peers := []string{tsA.Listener.Addr().String(), tsB.Listener.Addr().String()}
+	mk := func(ts *httptest.Server, addr string) *clusterNode {
+		runner := &CampaignRunner{Dir: dir, Pool: pool.New(2)}
+		q, err := job.OpenLimits(dir, runner, job.Limits{
+			MaxPending: 64,
+			Cluster:    job.Cluster{Node: addr, LeaseTTL: 500 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatalf("open node %s: %v", addr, err)
+		}
+		s := New(q, runner)
+		s.EnableCluster(Cluster{Node: addr, Peers: peers})
+		ts.Config.Handler = s.Handler()
+		ts.Start()
+		q.Start()
+		t.Cleanup(func() {
+			ts.Close()
+			q.Close()
+		})
+		return &clusterNode{ts: ts, q: q, s: s, addr: addr}
+	}
+	return mk(tsA, peers[0]), mk(tsB, peers[1])
+}
+
+// routeFor splits the pair into the node owning spec's content address and
+// the other one.
+func routeFor(t *testing.T, a, b *clusterNode, spec job.Spec) (owner, other *clusterNode) {
+	t.Helper()
+	id, err := spec.Normalize().ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.s.owner(id) == a.addr {
+		return a, b
+	}
+	return b, a
+}
+
+// TestClusterzProbesPeers: /clusterz names every peer with a live health
+// probe, and a dead peer shows up unhealthy on the next poll.
+func TestClusterzProbesPeers(t *testing.T) {
+	a, b := clusterPair(t)
+	code, raw := getBody(t, a.ts.URL+"/clusterz")
+	if code != http.StatusOK {
+		t.Fatalf("clusterz: %d", code)
+	}
+	var st ClusterStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Node != a.addr || len(st.Peers) != 2 {
+		t.Fatalf("clusterz reports node %s with %d peers, want %s with 2", st.Node, len(st.Peers), a.addr)
+	}
+	for _, p := range st.Peers {
+		if !p.Healthy {
+			t.Fatalf("peer %s unhealthy while both nodes serve", p.Node)
+		}
+		if p.Self != (p.Node == a.addr) {
+			t.Fatalf("peer %s has self=%v", p.Node, p.Self)
+		}
+	}
+
+	b.ts.Close()
+	_, raw = getBody(t, a.ts.URL+"/clusterz")
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range st.Peers {
+		if p.Node == b.addr && p.Healthy {
+			t.Fatalf("peer %s still reported healthy after its listener closed", p.Node)
+		}
+		if p.Node == a.addr && !p.Healthy {
+			t.Fatal("the answering node reported itself unhealthy")
+		}
+	}
+}
+
+// TestSubmitForwardsToOwner: a submission posted to the wrong node is
+// forwarded one hop to its content-address owner, whose queue accounts the
+// work; the sender's queue never sees a submission.
+func TestSubmitForwardsToOwner(t *testing.T) {
+	a, b := clusterPair(t)
+	spec := job.Spec{Kind: job.KindSecbench, Design: "sa", Trials: 1}
+	owner, other := routeFor(t, a, b, spec)
+
+	code, out := postJSON(t, other.ts.URL, `{"kind":"secbench","design":"sa","trials":1}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("forwarded submission answered %d, want 202", code)
+	}
+	id, _ := out["id"].(string)
+	wantID, err := spec.Normalize().ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != wantID {
+		t.Fatalf("forwarded submission returned job %s, want %s", id, wantID)
+	}
+	if got := owner.q.Metrics().Submissions; got != 1 {
+		t.Fatalf("owner accounts %d submissions, want 1", got)
+	}
+	if got := other.q.Metrics().Submissions; got != 0 {
+		t.Fatalf("the forwarding node accounts %d submissions, want 0 (it must not also run the job)", got)
+	}
+	waitDone(t, other.ts.URL, id) // any node serves the read
+}
+
+// TestStreamFollowsRemoteJob: a node that never executed a job still
+// serves its NDJSON stream — from the shared record — ending in the
+// result/done pair with bytes identical to the owner's /result.
+func TestStreamFollowsRemoteJob(t *testing.T) {
+	a, b := clusterPair(t)
+	spec := job.Spec{Kind: job.KindSecbench, Design: "sa", Trials: 50}
+	owner, other := routeFor(t, a, b, spec)
+
+	code, out := postJSON(t, owner.ts.URL, `{"kind":"secbench","design":"sa","trials":50}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit to owner answered %d, want 202", code)
+	}
+	id, _ := out["id"].(string)
+
+	resp, err := http.Get(other.ts.URL + "/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("remote stream answered %d, want 200", resp.StatusCode)
+	}
+	var last job.State
+	var streamed json.RawMessage
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		var ev job.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad stream event %q: %v", sc.Text(), err)
+		}
+		switch ev.Type {
+		case "state":
+			last = ev.State
+		case "result":
+			streamed = ev.Result
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if last != job.StateDone {
+		t.Fatalf("remote stream ended in state %q, want done", last)
+	}
+	_, direct := getBody(t, owner.ts.URL+"/jobs/"+id+"/result")
+	if string(streamed) != string(direct) {
+		t.Fatalf("streamed result (%d bytes) differs from the owner's /result (%d bytes)",
+			len(streamed), len(direct))
+	}
+}
+
+// TestMetricsExpositionFormat: /metrics must carry the Prometheus text
+// exposition content type (version included — scrapers key their parser on
+// it) and, on a cluster node, the node identity and lease gauges.
+func TestMetricsExpositionFormat(t *testing.T) {
+	a, _ := clusterPair(t)
+	resp, err := http.Get(a.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	const want = "text/plain; version=0.0.4; charset=utf-8"
+	if got := resp.Header.Get("Content-Type"); got != want {
+		t.Fatalf("metrics Content-Type = %q, want %q", got, want)
+	}
+	var body strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		body.WriteString(sc.Text() + "\n")
+	}
+	for _, line := range []string{
+		fmt.Sprintf("tlbserved_node_info{node=%q} 1", a.addr),
+		"tlbserved_cluster_peers 2",
+		"tlbserved_leases_held ",
+		"tlbserved_handoffs_total ",
+		"tlbserved_fenced_writes_total ",
+	} {
+		if !strings.Contains(body.String(), line) {
+			t.Fatalf("metrics missing %q:\n%s", line, body.String())
+		}
+	}
+}

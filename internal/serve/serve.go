@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 
@@ -23,6 +25,8 @@ import (
 //	GET    /healthz          liveness (the process is up)
 //	GET    /readyz           readiness (the queue accepts new work; 503
 //	                         while draining or at the admission limit)
+//	GET    /clusterz         cluster mode only: node identity, peer
+//	                         liveness, lease/hand-off counters
 //
 // Submissions are attributed to a client identity — the X-Client-ID
 // header when present, else the connection's remote host — which the
@@ -34,6 +38,9 @@ type Server struct {
 	runner *CampaignRunner
 	pool   *pool.Pool
 	mux    *http.ServeMux
+	// cluster and hc are set by EnableCluster (nil on a single daemon).
+	cluster *Cluster
+	hc      *http.Client
 }
 
 // New builds the API over a queue executing on runner (whose pool the
@@ -82,12 +89,28 @@ func clientID(r *http.Request) string {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("reading spec: %w", err))
+		return
+	}
 	var spec job.Spec
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("parsing spec: %w", err))
 		return
+	}
+	if s.cluster != nil && r.Header.Get(forwardHeader) == "" {
+		if id, err := spec.ID(); err == nil {
+			if target := s.owner(id); target != s.cluster.Node {
+				if s.forwardSubmit(w, r, body, target) {
+					return
+				}
+				// Owner unreachable: serve locally. The lease claim keeps
+				// this sound; the cost is only a possible coalesce miss.
+			}
+		}
 	}
 	j, coalesced, cached, err := s.queue.SubmitFrom(clientID(r), spec)
 	switch {
@@ -155,6 +178,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	events, stop, err := s.queue.Subscribe(r.PathValue("id"))
 	if err != nil {
+		if s.cluster != nil {
+			// A live job another node is executing: follow its shared
+			// record instead of subscribing to local events.
+			s.followStream(w, r, r.PathValue("id"))
+			return
+		}
 		httpError(w, http.StatusNotFound, err)
 		return
 	}
@@ -196,7 +225,9 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m := s.queue.Metrics()
 	ready, _ := s.queue.Ready()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	// The Prometheus text exposition format's content type, version
+	// included — scrapers key their parser on it.
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	for _, st := range job.States() {
 		fmt.Fprintf(w, "tlbserved_jobs{state=%q} %d\n", st, m.JobsByState[st])
 	}
@@ -216,6 +247,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "tlbserved_quarantined_trials_total %d\n", s.runner.Quarantined())
 	fmt.Fprintf(w, "tlbserved_pool_workers %d\n", s.pool.Size())
 	fmt.Fprintf(w, "tlbserved_pool_in_flight %d\n", s.pool.InFlight())
+	if s.cluster != nil {
+		fmt.Fprintf(w, "tlbserved_node_info{node=%q} 1\n", s.cluster.Node)
+		fmt.Fprintf(w, "tlbserved_cluster_peers %d\n", len(s.cluster.Peers))
+		fmt.Fprintf(w, "tlbserved_leases_held %d\n", m.LeasesHeld)
+		fmt.Fprintf(w, "tlbserved_lease_renewals_total %d\n", m.LeaseRenewals)
+		fmt.Fprintf(w, "tlbserved_lease_renew_failures_total %d\n", m.LeaseRenewFails)
+		fmt.Fprintf(w, "tlbserved_leases_lost_total %d\n", m.LeasesLost)
+		fmt.Fprintf(w, "tlbserved_handoffs_total %d\n", m.Handoffs)
+		fmt.Fprintf(w, "tlbserved_fenced_writes_total %d\n", m.FencedWrites)
+	}
 }
 
 func boolGauge(b bool) int {
