@@ -44,7 +44,7 @@ race:
 bench:
 	$(GO) test -run xxx -bench 'RunVulnerability|RunAll(Serial|Parallel)' -benchtime 2x .
 	$(GO) test -run xxx -bench Clone ./internal/mem/ ./internal/cpu/
-	$(GO) test -run xxx -bench 'Table4SecurityEvalRF|Campaign(TraceReplay|FullExec)|Figure7(TraceReplay|FullExec)|Translate' \
+	$(GO) test -run xxx -bench 'Table4SecurityEval(RF|RI|FS)|Campaign(TraceReplay|FullExec)|Figure7(TraceReplay|FullExec)|Translate' \
 		-benchmem -benchtime 20x -count 5 . | $(GO) run ./cmd/benchjson -out BENCH_campaign.json
 
 # One-iteration pass over every benchmark: proves each still assembles its
@@ -73,12 +73,13 @@ faults:
 assert-smoke:
 	$(GO) run ./cmd/faultbench -trials 1 -vulns 1 -require-detect=false
 
-# Short native-fuzzing pass over the assembler and the binary program
-# decoder (the checked-in corpora under testdata/fuzz run in plain `go
-# test`; this explores beyond them).
+# Short native-fuzzing pass over the assembler, the binary program decoder
+# and the RI TLB's index cipher (the checked-in corpora under testdata/fuzz
+# run in plain `go test`; this explores beyond them).
 fuzz-smoke:
 	$(GO) test -fuzz FuzzAssemble -fuzztime $(FUZZTIME) ./internal/asm/
 	$(GO) test -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/isa/
+	$(GO) test -fuzz FuzzRandIdxCipher -fuzztime $(FUZZTIME) ./internal/tlb/
 
 # End-to-end daemon smoke: start tlbserved, submit a job over HTTP, SIGTERM
 # it mid-run, restart over the same data directory and require the resumed

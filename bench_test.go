@@ -92,6 +92,23 @@ func BenchmarkTable4SecurityEvalRFFullExec(b *testing.B) {
 	benchTable4(b, secbench.DesignRF, 120, 24, true)
 }
 
+// The RI and FS extension designs run the same scaled-down Table 4 campaign
+// with their replay/full-execution twins. Both defend 18 of 24: what remains
+// are exactly the six TLB-internal-collision patterns ending "… -> Vu -> Va
+// fast", where the victim's own re-access is timed and no cross-context step
+// sits between the priming access and the probe — nothing for the keyed
+// index to decorrelate and no switch for the flush to fire on. The RI TLB is
+// randomised like RF and gets the same trial count; FS is deterministic and
+// runs at the SA/SP depth.
+func BenchmarkTable4SecurityEvalRI(b *testing.B) { benchTable4(b, secbench.DesignRI, 120, 18, false) }
+func BenchmarkTable4SecurityEvalRIFullExec(b *testing.B) {
+	benchTable4(b, secbench.DesignRI, 120, 18, true)
+}
+func BenchmarkTable4SecurityEvalFS(b *testing.B) { benchTable4(b, secbench.DesignFS, 20, 18, false) }
+func BenchmarkTable4SecurityEvalFSFullExec(b *testing.B) {
+	benchTable4(b, secbench.DesignFS, 20, 18, true)
+}
+
 // --- trace-compiled campaign replay -------------------------------------------
 
 // benchCampaign is the replay-vs-full A/B pair over the default security
@@ -192,7 +209,7 @@ func BenchmarkFigure7fRFSecRSA(b *testing.B) { benchFigure7(b, perf.RF, true) }
 
 func BenchmarkTable5AreaModel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if len(area.Table5()) != 19 {
+		if len(area.Table5()) != 31 {
 			b.Fatal("table 5 broke")
 		}
 	}

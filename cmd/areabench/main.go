@@ -39,7 +39,7 @@ func main() {
 		return
 	}
 	fmt.Println("Table 5 — area model (calibrated to the ZC706 4W-32 SA baseline)")
-	rows := make([][]string, 0, 19)
+	rows := make([][]string, 0, 31)
 	for _, e := range area.Table5() {
 		rows = append(rows, []string{
 			e.Design.String(), e.Geometry,
@@ -50,18 +50,21 @@ func main() {
 	fmt.Print(report.Table(
 		[]string{"Design", "Config", "Slice LUTs", "dLUTs", "Slice Registers", "dRegs"}, rows))
 
-	fmt.Println("\nOverheads vs same-geometry SA (§6.6 headlines):")
-	for _, d := range []area.Design{area.SP, area.RF} {
+	fmt.Println("\nOverheads vs same-geometry SA (§6.6 headlines, plus the RI/FS extensions):")
+	for _, d := range []area.Design{area.SP, area.RF, area.RI, area.FS} {
 		lut, reg, err := area.OverheadPercent(d, "4W 32")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "areabench:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("  %s 4W-32: %s LUTs, %s registers", d, report.Pct(lut), report.Pct(reg))
-		if d == area.SP {
+		switch d {
+		case area.SP:
 			fmt.Printf("   (paper: +0.4%% / +0.1%%)\n")
-		} else {
+		case area.RF:
 			fmt.Printf("   (paper: +6.2%% / +5.5%%)\n")
+		default:
+			fmt.Printf("   (extension; no paper row)\n")
 		}
 	}
 }

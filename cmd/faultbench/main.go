@@ -1,7 +1,7 @@
 // Command faultbench runs the differential fault-injection matrix in one
 // invocation: for every registered fault site and every TLB design (SA, FA,
-// SP, RF — any design implementing tlb.TLB gets the battery for free via the
-// assertion layer) it executes a clean and a faulted security campaign over
+// SP, RF, RI, FS — any design implementing tlb.TLB gets the battery for free
+// via the assertion layer) it executes a clean and a faulted security campaign over
 // identical trial seeds and classifies each faulted trial as detected
 // (quarantined with a reported kind, broken down by the declarative
 // assertion that fired), benign (fault landed, outcome bit-identical to the

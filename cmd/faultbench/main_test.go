@@ -8,6 +8,7 @@ import (
 
 	"securetlb/internal/faultinject"
 	"securetlb/internal/model"
+	"securetlb/internal/secbench"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -94,8 +95,8 @@ func TestMatrixCoversAllDesignSiteCells(t *testing.T) {
 	want := 0
 	for _, s := range faultinject.MachineSites() {
 		ds := allDesigns()
-		if s.RFOnly() {
-			ds = ds[len(ds)-1:]
+		if s.RFOnly() || s.RIOnly() || s.FSOnly() {
+			ds = secbench.DesignsForSite(s)
 		}
 		for _, d := range ds {
 			want++

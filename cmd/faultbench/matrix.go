@@ -24,17 +24,18 @@ type matrixConfig struct {
 	// Sites to exercise; at-rest checkpoint sites are routed to the
 	// corruption verifier, everything else to differential campaigns.
 	Sites []faultinject.Site
-	// Designs every non-RF-only machine site runs on.
+	// Designs every design-agnostic machine site runs on (the
+	// design-specific sites run on their own design regardless).
 	Designs []secbench.Design
 	// RestSeeds is how many corrupted-checkpoint variants each at-rest site
 	// verifies.
 	RestSeeds uint64
 }
 
-// allDesigns is the full robustness battery: the paper's three designs plus
-// the fully-associative TLB, every one wrapped by the assertion layer.
+// allDesigns is the full robustness battery: every design in the arena (the
+// paper's three, FA, RI and FS), every one wrapped by the assertion layer.
 func allDesigns() []secbench.Design {
-	return []secbench.Design{secbench.DesignSA, secbench.DesignFA, secbench.DesignSP, secbench.DesignRF}
+	return secbench.AllDesigns()
 }
 
 // matrixRow is one aggregated (site, design) line of the report plus the
@@ -72,13 +73,14 @@ func splitSites(sites []faultinject.Site) (machine, rest []faultinject.Site) {
 }
 
 // buildSpecs expands the machine sites into the full site x design x
-// vulnerability cell list. RF-only sites run on the RF design alone.
+// vulnerability cell list. Design-specific sites (RF's RNG bias, RI's stuck
+// key, FS's dropped flush) run on their design alone.
 func buildSpecs(machine []faultinject.Site, designs []secbench.Design, vulns []model.Vulnerability) []cellSpec {
 	var specs []cellSpec
 	for _, s := range machine {
 		ds := designs
-		if s.RFOnly() {
-			ds = []secbench.Design{secbench.DesignRF}
+		if s.RFOnly() || s.RIOnly() || s.FSOnly() {
+			ds = secbench.DesignsForSite(s)
 		}
 		for _, d := range ds {
 			for _, v := range vulns {
@@ -101,6 +103,9 @@ func runMachineSites(mc matrixConfig, machine []faultinject.Site, vulns []model.
 		cfg.Trials = mc.Trials
 		cfg.Invariants = true
 		cfg.FaultSeed = mc.Seed
+		// The matrix vulnerabilities perform few fills per trial; a short
+		// re-key period keeps the RI re-key site reachable mid-trial.
+		cfg.RekeyFills = 2
 		cells[i], errs[i] = cfg.RunFaultCell(specs[i].vuln, true, specs[i].site, mc.Trials)
 	})
 	for _, err := range errs {

@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	design := flag.String("design", "all", "sa, sp, rf or all")
+	design := flag.String("design", "all", "designs to run: "+perf.DesignUsage())
 	decrypts := flag.Int("decrypts", 50, "RSA decryptions per run (paper: 50/100/150)")
 	sweep := flag.Bool("sweep", false, "run the paper's full 50/100/150 decryption sweep")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	secbench                       # all three designs, 500 trials each
+//	secbench                       # the paper's three designs, 500 trials each
+//	secbench -design full          # every design, including the RI/FS extensions
 //	secbench -design rf -trials 100
 //	secbench -emit "Ad -> Vu -> Ad" -mapped   # print one generated benchmark
 //	secbench -checkpoint run.json             # checkpoint progress as you go
@@ -39,7 +40,7 @@ import (
 )
 
 func main() {
-	design := flag.String("design", "all", "sa, sp, rf, fa or all (all = the paper's sa,sp,rf)")
+	design := flag.String("design", "all", "designs to run: "+secbench.DesignUsage())
 	trials := flag.Int("trials", 500, "trials per victim behaviour (paper: 500)")
 	extended := flag.Bool("extended", false, "run the Appendix B (Table 7) targeted-invalidation benchmarks instead of the base 24")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")

@@ -40,11 +40,12 @@ import (
 )
 
 func main() {
-	design := flag.String("tlb", "sa", "D-TLB design: sa, fa, sp, rf, 1e")
+	design := flag.String("tlb", "sa", "D-TLB design: sa, fa, sp, rf, ri, fs, 1e")
 	entries := flag.Int("entries", 32, "TLB entries")
 	ways := flag.Int("ways", 4, "TLB ways (ignored for fa/1e)")
 	victimWays := flag.Int("victim-ways", 0, "SP victim partition ways (default half)")
-	seed := flag.Uint64("seed", 1, "RF PRNG seed")
+	seed := flag.Uint64("seed", 1, "RF/RI PRNG seed")
+	rekeyFills := flag.Uint64("rekey-fills", 16, "RI re-key period in fills (0 disables re-keying)")
 	memLatency := flag.Uint64("mem-latency", 20, "memory access latency in cycles (walk = 3x)")
 	maxInstr := flag.Uint64("max-instr", 10_000_000, "instruction budget")
 	varFlush := flag.Bool("variable-flush", false, "enable Appendix B variable-timing invalidation")
@@ -52,7 +53,7 @@ func main() {
 	var client clientFlags
 	flag.StringVar(&client.server, "server", "", "tlbserved base URL; switches to client mode")
 	flag.StringVar(&client.campaign, "campaign", "", "campaign kind to submit: secbench or perf (client mode)")
-	flag.StringVar(&client.design, "design", "all", "campaign designs: sa, sp, rf or all (client mode)")
+	flag.StringVar(&client.design, "design", "all", "campaign designs: a comma-separated combination of sa, sp, rf, ri, fs (and fa for secbench), \"all\" or \"full\" (client mode)")
 	flag.IntVar(&client.trials, "trials", 0, "secbench trials per behaviour, 0 = server default (client mode)")
 	flag.BoolVar(&client.extended, "extended", false, "Appendix B benchmark set (client mode)")
 	flag.BoolVar(&client.invariants, "invariants", false, "enable runtime invariant checking (client mode)")
@@ -99,6 +100,10 @@ func main() {
 			return tlb.NewSP(*entries, *ways, vw, w)
 		case "rf":
 			return tlb.NewRF(*entries, *ways, w, *seed)
+		case "ri":
+			return tlb.NewRandIdx(*entries, *ways, w, *seed, *rekeyFills)
+		case "fs":
+			return tlb.NewFlushOnSwitch(*entries, *ways, w)
 		default:
 			return nil, fmt.Errorf("unknown TLB design %q", *design)
 		}

@@ -38,6 +38,10 @@ const (
 	SP
 	// RF is the Random-Fill TLB.
 	RF
+	// RI is the Randomized-Index TLB.
+	RI
+	// FS is the Flush-on-Switch TLB.
+	FS
 )
 
 // String names the design as in Table 5.
@@ -49,6 +53,10 @@ func (d Design) String() string {
 		return "SP TLB"
 	case RF:
 		return "RF TLB"
+	case RI:
+		return "RI TLB"
+	case FS:
+		return "FS TLB"
 	}
 	return "?"
 }
@@ -104,6 +112,19 @@ const (
 	// registers, control state.
 	regRFFixed = 1221.0
 	regSPFixed = 33.0
+	// RI additions: the 3-round index cipher (S-box and diffusion layers,
+	// replicated per round for single-cycle indexing), the re-key FSM, and
+	// the key / key-stream / fill-counter registers. The tag also widens to
+	// the full VPN (see entryBits): a keyed index stores no address bits.
+	lutRIFixed = 1740.0
+	regRIFixed = 178.0 // 64b key + 64b key stream + fill counter + FSM
+	// FS additions: current-context register and switch comparator,
+	// secure-region comparators, and the whole-array invalidate strobe
+	// fan-out.
+	lutFSFixed     = 96.0
+	lutFSRegionCmp = 2 * vpnBits * 1.4
+	lutFSPerEntry  = 0.25 // invalidate-strobe fan-out per entry
+	regFSFixed     = 92.0 // cur ASID + lastSecure + sbase/ssize/victim
 )
 
 // Core footprint outside the D-TLB, derived from the calibration points
@@ -124,6 +145,11 @@ func log2(n int) float64 {
 func entryBits(d Design, g Geometry) float64 {
 	nsets := g.Entries / g.Ways
 	tag := float64(vpnBits) - log2(nsets) // index bits are implicit
+	if d == RI {
+		// The keyed index is a cipher output, not address bits, so the
+		// full VPN must be stored and compared.
+		tag = float64(vpnBits)
+	}
 	bits := tag + ppnBits + asidBits + validBits + log2(g.Ways)
 	if d == RF {
 		bits += secBits
@@ -139,6 +165,10 @@ func tlbRegs(d Design, g Geometry) float64 {
 		r += regSPFixed
 	case RF:
 		r += regRFFixed
+	case RI:
+		r += regRIFixed
+	case FS:
+		r += regFSFixed
 	}
 	return r
 }
@@ -147,6 +177,9 @@ func tlbRegs(d Design, g Geometry) float64 {
 func tlbLUTs(d Design, g Geometry) float64 {
 	nsets := g.Entries / g.Ways
 	tag := float64(vpnBits) - log2(nsets)
+	if d == RI {
+		tag = float64(vpnBits) // full-VPN tags under a keyed index
+	}
 	cmp := float64(g.Ways) * (tag + asidBits + validBits) * lutPerCmpBit
 	mux := float64(g.Entries) * lutPerEntryMux
 	lru := float64(nsets) * float64(g.Ways) * log2(g.Ways) * lutPerLRUTerm
@@ -157,6 +190,10 @@ func tlbLUTs(d Design, g Geometry) float64 {
 		l += lutSPFixed + lutSPPerWay*float64(g.Ways)
 	case RF:
 		l += lutRFFixed + lutRFRegionCmp + lutRFPerEntry*float64(g.Entries)
+	case RI:
+		l += lutRIFixed
+	case FS:
+		l += lutFSFixed + lutFSRegionCmp + lutFSPerEntry*float64(g.Entries)
 	}
 	return l
 }
@@ -193,10 +230,12 @@ func Model(d Design, g Geometry) Estimate {
 	}
 }
 
-// Table5 computes the full table: every design × geometry.
+// Table5 computes the full table: every design × geometry. The paper's 19
+// configurations (SA with 1E, SP, RF) come first, extended by the RI and FS
+// rows.
 func Table5() []Estimate {
 	var rows []Estimate
-	for _, d := range []Design{SA, SP, RF} {
+	for _, d := range []Design{SA, SP, RF, RI, FS} {
 		for _, g := range Geometries(d) {
 			rows = append(rows, Model(d, g))
 		}

@@ -110,13 +110,56 @@ func TestFAPaysCAMWidth(t *testing.T) {
 
 func TestTable5Shape(t *testing.T) {
 	rows := Table5()
-	if len(rows) != 7+6+6 {
-		t.Errorf("rows = %d, want 19 (the paper's 19 configurations)", len(rows))
+	if len(rows) != 7+6+6+6+6 {
+		t.Errorf("rows = %d, want 31 (the paper's 19 configurations plus the RI and FS extensions)", len(rows))
 	}
-	if _, err := Find(rows, SP, "1E"); err == nil {
-		t.Error("SP has no 1E configuration")
+	for _, d := range []Design{SP, RF, RI, FS} {
+		if _, err := Find(rows, d, "1E"); err == nil {
+			t.Errorf("%s has no 1E configuration", d)
+		}
 	}
-	if Design(9).String() != "?" || SA.String() != "SA TLB" {
+	if Design(9).String() != "?" || SA.String() != "SA TLB" || RI.String() != "RI TLB" || FS.String() != "FS TLB" {
 		t.Error("design names wrong")
+	}
+}
+
+// TestRIAndFSOverheads pins the extension rows' qualitative story: the RI
+// TLB pays for its index cipher and full-VPN tags (a few percent of LUTs,
+// noticeably more than SP, comparable to RF), while the FS TLB is nearly
+// free in area — its security mechanism is an invalidate strobe, not state.
+func TestRIAndFSOverheads(t *testing.T) {
+	riLUT, riReg, err := OverheadPercent(RI, "4W 32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if riLUT < 3.0 || riLUT > 9.0 {
+		t.Errorf("RI LUT overhead = %.2f%%, want a few percent (cipher + wide tags)", riLUT)
+	}
+	if riReg < 0.5 || riReg > 5.0 {
+		t.Errorf("RI register overhead = %.2f%%, want small but nonzero", riReg)
+	}
+	fsLUT, fsReg, err := OverheadPercent(FS, "4W 32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fsLUT < 0.1 || fsLUT > 2.0 {
+		t.Errorf("FS LUT overhead = %.2f%%, want well under RF's", fsLUT)
+	}
+	if fsReg < 0.0 || fsReg > 1.0 {
+		t.Errorf("FS register overhead = %.2f%%, want near zero", fsReg)
+	}
+	rows := Table5()
+	for _, label := range []string{"FA 32", "2W 32", "4W 32", "FA 128", "2W 128", "4W 128"} {
+		sp, _ := Find(rows, SP, label)
+		ri, _ := Find(rows, RI, label)
+		fs, _ := Find(rows, FS, label)
+		rf, _ := Find(rows, RF, label)
+		if !(ri.LUTs > sp.LUTs) {
+			t.Errorf("%s: RI (%d LUTs) should exceed SP (%d)", label, ri.LUTs, sp.LUTs)
+		}
+		if !(fs.LUTs < rf.LUTs && fs.LUTs < ri.LUTs) {
+			t.Errorf("%s: FS (%d LUTs) should be the cheapest secure design (RF %d, RI %d)",
+				label, fs.LUTs, rf.LUTs, ri.LUTs)
+		}
 	}
 }

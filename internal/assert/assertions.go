@@ -18,6 +18,15 @@
 //     partition-confinement and no-cross-domain-eviction;
 //   - designs exposing a random-fill prediction (assert.RandomFillPredictor,
 //     the RF TLB) add rng-stream-integrity and no-fill-on-secure-miss;
+//   - designs exposing a cipher-keyed set mapping (assert.KeyedIndexer, the
+//     RI TLB) add rekey-completeness, and the monitor's set dispatch — used
+//     by set-index-consistency and every placement check — switches to the
+//     design's keyed mapping;
+//   - designs that flush themselves mid-stream (assert.AutoFlusher — the RI
+//     TLB's re-key flush, the FS TLB's switch and secure-exit flushes) move
+//     the transition-shape assertions to a flush-then-install arm, and a
+//     switch-flushing design additionally arms flush-completeness's
+//     per-access residency check (only the current context may be resident);
 //   - translation-cross-check joins any binding when Options.CrossCheck is
 //     set.
 //
@@ -76,6 +85,7 @@ const (
 	NameNoCrossDomainEviction = "no-cross-domain-eviction"
 	NameRNGStreamIntegrity    = "rng-stream-integrity"
 	NameNoFillOnSecureMiss    = "no-fill-on-secure-miss"
+	NameRekeyCompleteness     = "rekey-completeness"
 	NameTranslationCrossCheck = "translation-cross-check"
 )
 
@@ -120,6 +130,12 @@ func BindingFor(t tlb.TLB, crossCheck bool) Binding {
 	b.Assertions = append(b.Assertions, SingleTransition)
 	if _, ok := t.(RandomFillPredictor); ok {
 		b.Assertions = append(b.Assertions, RNGStreamIntegrity, NoFillOnSecureMiss)
+	}
+	if _, ok := t.(KeyedIndexer); ok {
+		// Before the structural checks, so a stuck key or incomplete re-key
+		// flush is named as the re-key breach it is rather than a generic
+		// placement anomaly.
+		b.Assertions = append(b.Assertions, RekeyCompleteness)
 	}
 	if _, ok := t.(Partitioner); ok {
 		// Displacement first, so evicting a resident cross-partition entry
@@ -194,11 +210,25 @@ var (
 	}
 
 	// FlushCompleteness: no entry matching the flushed key survives the
-	// flush.
+	// flush. On switch-flushing designs (the FS TLB) the per-access arm
+	// additionally requires that only the current context's entries are
+	// resident after any access — the residue a dropped switch or
+	// secure-exit flush would leave behind.
 	FlushCompleteness = Assertion{
 		Name:       NameFlushCompleteness,
 		Desc:       "no surviving entry matches the flushed key",
+		Check:      checkFlushResidency,
 		CheckFlush: checkFlushCompleteness,
+	}
+
+	// RekeyCompleteness (KeyedIndexer designs): a re-key advances the epoch
+	// by exactly one, installs exactly the key the key stream prescribes,
+	// and erases every pre-re-key entry; outside a re-key the key never
+	// moves.
+	RekeyCompleteness = Assertion{
+		Name:  NameRekeyCompleteness,
+		Desc:  "re-keys install the prescribed key and erase every stale entry; the key never moves otherwise",
+		Check: checkRekeyCompleteness,
 	}
 
 	// PartitionConfinement (Partitioner designs): every install lands inside
@@ -249,12 +279,16 @@ func Catalog() []Assertion {
 		SingleTransition, LRUFreshness, NoDuplicateTag, SetIndexConsistency,
 		SecBitConfinement, StatsTally, FlushCompleteness,
 		PartitionConfinement, NoCrossDomainEviction,
-		RNGStreamIntegrity, NoFillOnSecureMiss, TranslationCrossCheck,
+		RNGStreamIntegrity, NoFillOnSecureMiss,
+		RekeyCompleteness, TranslationCrossCheck,
 	}
 }
 
 func checkSingleTransition(a *Access) error {
 	m := a.m
+	if a.AutoFlush {
+		return a.checkAutoFlushTransition()
+	}
 	if a.Err != nil {
 		// Every error path leaves the array untouched.
 		if n := a.NDiffs(); n != 0 {
@@ -340,6 +374,48 @@ func checkSingleTransition(a *Access) error {
 	}
 }
 
+// checkAutoFlushTransition is single-transition's arm for an access the
+// design predicted would begin with a design-initiated full flush (a due
+// re-key, a fallback context switch, a secure-region exit). The pre-access
+// snapshot is then no basis for a diff — the legal transition is "erase
+// everything, then at most install the request": a hit is impossible, and
+// the post array may hold nothing but the fill this access performed.
+func (a *Access) checkAutoFlushTransition() error {
+	m := a.m
+	if a.Res.Hit {
+		return a.failf(NameSingleTransition, "hit on asid %d vpn %#x despite a pending design-initiated flush", a.ASID, a.VPN)
+	}
+	valid, idx := 0, -1
+	for i := range m.post {
+		if m.post[i].Valid {
+			valid++
+			idx = i
+		}
+	}
+	if a.Err != nil || !a.Res.Filled {
+		if valid != 0 {
+			e := m.post[idx]
+			return a.failf(NameSingleTransition, "design-initiated flush left %d entrie(s) resident, e.g. asid %d vpn %#x", valid, e.ASID, e.VPN)
+		}
+		return nil
+	}
+	if valid == 0 {
+		return a.failf(NameSingleTransition, "fill reported for asid %d vpn %#x after a design-initiated flush but the array is empty (dropped fill)", a.ASID, a.VPN)
+	}
+	if valid > 1 {
+		return a.failf(NameSingleTransition, "access after a design-initiated flush left %d valid entries (want only the requested fill)", valid)
+	}
+	e := m.post[idx]
+	if e.ASID != a.ASID || e.VPN != a.VPN || e.PPN != a.Res.PPN {
+		return a.failf(NameSingleTransition, "fill after a design-initiated flush installed asid %d vpn %#x ppn %#x, want asid %d vpn %#x ppn %#x",
+			e.ASID, e.VPN, e.PPN, a.ASID, a.VPN, a.Res.PPN)
+	}
+	if want := m.indexFor(a.ASID, a.VPN); idx/m.ways != want {
+		return a.failf(NameSingleTransition, "fill after a design-initiated flush landed in set %d, the design's mapping indexes set %d", idx/m.ways, want)
+	}
+	return nil
+}
+
 // checkEvictReport validates the Result's eviction fields against the
 // pre-access occupant of the install slot.
 func (a *Access) checkEvictReport(idx int) error {
@@ -372,6 +448,11 @@ func checkLRUFreshness(a *Access) error {
 		}
 	}
 	if a.Err != nil {
+		return nil
+	}
+	if a.AutoFlush {
+		// The array was rebuilt from empty this access: there is no
+		// pre-based victim choice or stamp ordering left to validate.
 		return nil
 	}
 	switch {
@@ -457,7 +538,7 @@ func checkSetIndexConsistency(a *Access) error {
 		if !e.Valid {
 			continue
 		}
-		if want := m.setIdx(e.VPN); i/m.ways != want {
+		if want := m.indexFor(e.ASID, e.VPN); i/m.ways != want {
 			return a.failf(NameSetIndexConsistency, "entry for vpn %#x resides in set %d, indexes set %d", e.VPN, i/m.ways, want)
 		}
 	}
@@ -514,6 +595,59 @@ func checkFlushCompleteness(f *FlushInfo) error {
 				return f.failf("vpn %#x (asid %d) survived FlushPageAllASIDs", f.VPN, e.ASID)
 			}
 		}
+	}
+	return nil
+}
+
+// checkFlushResidency is flush-completeness's per-access arm; it stands
+// down unless the design declares a switch flush. On the FS TLB every
+// context switch and secure-region exit erases the whole array, so at no
+// point after an access may an entry of another context be resident —
+// exactly the residue a dropped flush strobe leaves behind.
+func checkFlushResidency(a *Access) error {
+	m := a.m
+	if m.swf == nil {
+		return nil
+	}
+	for i := range m.post {
+		if e := &m.post[i]; e.Valid && e.ASID != a.ASID {
+			return a.failf(NameFlushCompleteness, "asid %d vpn %#x resident after an access by asid %d (switch flush incomplete)", e.ASID, e.VPN, a.ASID)
+		}
+	}
+	return nil
+}
+
+// checkRekeyCompleteness validates a keyed design's re-key machinery across
+// one access: the epoch and key are framed by the monitor before and after
+// the inner Translate, with PredKey holding the key a fault-free re-key
+// would draw.
+func checkRekeyCompleteness(a *Access) error {
+	if !a.KeyedOK {
+		return nil
+	}
+	m := a.m
+	if a.PostEpoch == a.PreEpoch {
+		if a.PostKey != a.PreKey {
+			return a.failf(NameRekeyCompleteness, "index key changed %#x -> %#x without an epoch advance", a.PreKey, a.PostKey)
+		}
+		if a.AutoFlush {
+			return a.failf(NameRekeyCompleteness, "due re-key did not happen (epoch stuck at %d)", a.PreEpoch)
+		}
+		return nil
+	}
+	if a.PostEpoch != a.PreEpoch+1 {
+		return a.failf(NameRekeyCompleteness, "epoch jumped %d -> %d across one access", a.PreEpoch, a.PostEpoch)
+	}
+	// The re-key must erase everything installed under the old key; the only
+	// entry that may be resident is the one this very access installed.
+	for i := range m.post {
+		e := &m.post[i]
+		if e.Valid && !(e.ASID == a.ASID && e.VPN == a.VPN) {
+			return a.failf(NameRekeyCompleteness, "asid %d vpn %#x survived the re-key flush", e.ASID, e.VPN)
+		}
+	}
+	if a.PostKey != a.PredKey {
+		return a.failf(NameRekeyCompleteness, "re-key installed key %#x, the key stream prescribes %#x (stuck key register)", a.PostKey, a.PredKey)
 	}
 	return nil
 }

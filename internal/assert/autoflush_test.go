@@ -1,0 +1,140 @@
+package assert
+
+import (
+	"errors"
+	"testing"
+
+	"securetlb/internal/tlb"
+)
+
+// TestMonitorRandIdxClean drives a wrapped RI TLB through hundreds of
+// accesses spanning dozens of re-keys, with the translation cross-check on:
+// a fault-free design must never trip an assertion, in particular not
+// rekey-completeness or the auto-flush arm of single-transition.
+func TestMonitorRandIdxClean(t *testing.T) {
+	w := testWalker()
+	ri, err := tlb.NewRandIdx(32, 8, w, 42, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Wrap(ri, w, Options{CrossCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := m.Binding().Names()
+	found := false
+	for _, n := range names {
+		if n == NameRekeyCompleteness {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("RI binding %v does not include %s", names, NameRekeyCompleteness)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := m.Translate(tlb.ASID(i%3), tlb.VPN(i%37)); err != nil {
+			t.Fatalf("access %d: %v", i, err)
+		}
+	}
+	if m.Checks != 500 {
+		t.Fatalf("Checks = %d, want 500", m.Checks)
+	}
+}
+
+// TestMonitorFlushOnSwitchClean drives a wrapped FS TLB through context
+// switches (via ObserveASID, the CSR path) and secure-region entries and
+// exits: the switch and secure-exit flushes must satisfy the whole binding,
+// including flush-completeness's per-access residency arm.
+func TestMonitorFlushOnSwitchClean(t *testing.T) {
+	w := testWalker()
+	fs, err := tlb.NewFlushOnSwitch(32, 8, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Wrap(fs, w, Options{CrossCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetVictim(1)
+	m.SetSecureRegion(0x100, 16)
+	for i := 0; i < 500; i++ {
+		asid := tlb.ASID(i / 50 % 3)
+		m.ObserveASID(asid)
+		vpn := tlb.VPN(i % 37)
+		if i%7 == 0 {
+			vpn = 0x100 + tlb.VPN(i%16) // dip into the secure region, forcing exits
+		}
+		if _, err := m.Translate(asid, vpn); err != nil {
+			t.Fatalf("access %d: %v", i, err)
+		}
+	}
+}
+
+// TestRekeyCompletenessCatchesStuckKey arms the randidx-key-stuck fault
+// (OnRekey returns the outgoing key) and checks the monitor names the breach
+// rekey-completeness: the array flushes but the mapping does not change, and
+// the installed key disagrees with the key stream's prescription.
+func TestRekeyCompletenessCatchesStuckKey(t *testing.T) {
+	w := testWalker()
+	ri, err := tlb.NewRandIdx(32, 8, w, 42, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Wrap(ri, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri.SetFaultHook(&tlb.FaultHook{OnRekey: func(old, next uint64) uint64 { return old }})
+	var got error
+	for i := 0; i < 100; i++ {
+		if _, err := m.Translate(1, tlb.VPN(i)); err != nil {
+			got = err
+			break
+		}
+	}
+	if !errors.Is(got, ErrViolation) {
+		t.Fatalf("stuck key register not caught: %v", got)
+	}
+	var v *Violation
+	if !errors.As(got, &v) || v.Assertion != NameRekeyCompleteness {
+		t.Fatalf("violation %v, want assertion %s", got, NameRekeyCompleteness)
+	}
+}
+
+// TestFlushCompletenessCatchesDroppedSwitchFlush arms the
+// flushsw-flush-dropped fault (OnAutoFlush returns false) across a context
+// switch and checks the monitor's ObserveASID post-check surfaces the stale
+// residency as a flush-completeness violation on the next access.
+func TestFlushCompletenessCatchesDroppedSwitchFlush(t *testing.T) {
+	w := testWalker()
+	fs, err := tlb.NewFlushOnSwitch(32, 8, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Wrap(fs, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ObserveASID(1)
+	for i := 0; i < 10; i++ {
+		if _, err := m.Translate(1, tlb.VPN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.SetFaultHook(&tlb.FaultHook{OnAutoFlush: func() bool { return false }})
+	m.ObserveASID(2)
+	var got error
+	for i := 0; i < 5; i++ {
+		if _, err := m.Translate(2, tlb.VPN(100+i)); err != nil {
+			got = err
+			break
+		}
+	}
+	if !errors.Is(got, ErrViolation) {
+		t.Fatalf("dropped switch flush not caught: %v", got)
+	}
+	var v *Violation
+	if !errors.As(got, &v) || v.Assertion != NameFlushCompleteness {
+		t.Fatalf("violation %v, want assertion %s", got, NameFlushCompleteness)
+	}
+}

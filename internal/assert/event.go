@@ -36,6 +36,12 @@ const (
 	// registers of paper §4.2.2.
 	KindSetVictim
 	KindSetSecureRegion
+	// KindContextSwitch is a CSR-delivered ASID change observed by the
+	// design (tlb.ASIDObserver).
+	KindContextSwitch
+	// KindAutoFlush is a design-initiated full flush: the FS TLB's
+	// switch/secure-exit flush or the RI TLB's re-key flush.
+	KindAutoFlush
 )
 
 var kindNames = [...]string{
@@ -52,6 +58,8 @@ var kindNames = [...]string{
 	KindFlushPageAll:    "flush-page-all",
 	KindSetVictim:       "set-victim",
 	KindSetSecureRegion: "set-secure-region",
+	KindContextSwitch:   "context-switch",
+	KindAutoFlush:       "auto-flush",
 }
 
 // String implements fmt.Stringer.

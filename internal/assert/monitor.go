@@ -31,6 +31,44 @@ type RandomFillPredictor interface {
 	PredictNextRandomFill(asid tlb.ASID, vpn tlb.VPN) (tlb.VPN, bool, error)
 }
 
+// KeyedIndexer is the capability exposing a randomized-index design's
+// cipher-keyed (ASID, VPN)-to-set mapping and its re-key machinery. A keyed
+// design deliberately does not declare SetMapper — its placement is not a
+// function of the VPN alone — so declaring this capability replaces the
+// monitor's unkeyed set dispatch AND binds the rekey-completeness assertion.
+type KeyedIndexer interface {
+	// KeyedSetIndex is the design's own keyed set mapping.
+	KeyedSetIndex(asid tlb.ASID, vpn tlb.VPN) int
+	// IndexKey returns the current epoch key.
+	IndexKey() uint64
+	// RekeyEpoch returns the re-key generation counter; it advances exactly
+	// when a re-key happens.
+	RekeyEpoch() uint64
+	// PendingRekey reports, side-effect-free, whether the next lookup will
+	// re-key before its probe.
+	PendingRekey() bool
+	// PredictNextKey replays the key stream's next draw on a clone of the
+	// generator: the key a fault-free re-key would install.
+	PredictNextKey() uint64
+}
+
+// AutoFlusher is the capability of designs that flush themselves from inside
+// Translate — the RI TLB's re-key flush and the FS TLB's switch/secure-exit
+// flush. PendingAutoFlush predicts, side-effect-free, whether the next
+// lookup for (asid, vpn) begins with a design-initiated full flush, letting
+// the transition-shape assertions switch to their flush-then-install arm.
+type AutoFlusher interface {
+	PendingAutoFlush(asid tlb.ASID, vpn tlb.VPN) bool
+}
+
+// switchFlusher is the capability of designs that flush on a CSR-delivered
+// context switch (the FS TLB). Declaring it arms the monitor's ObserveASID
+// post-check and the per-access arm of flush-completeness: after any access,
+// only the current context's entries may be resident.
+type switchFlusher interface {
+	PendingSwitchFlush(next tlb.ASID) bool
+}
+
 // victimReporter reports whether a security design currently has a victim
 // designated (SP and RF both expose HasVictim).
 type victimReporter interface {
@@ -84,6 +122,10 @@ type Monitor struct {
 	pred    RandomFillPredictor
 	vic     victimReporter
 	starver fillStarver
+	keyed   KeyedIndexer
+	auto    AutoFlusher
+	swf     switchFlusher
+	aobs    tlb.ASIDObserver
 
 	setIdx              func(tlb.VPN) int
 	entries, ways, sets int
@@ -138,6 +180,10 @@ func Wrap(t tlb.TLB, walker tlb.Walker, opts Options) (*Monitor, error) {
 	m.pred, _ = t.(RandomFillPredictor)
 	m.vic, _ = t.(victimReporter)
 	m.starver, _ = t.(fillStarver)
+	m.keyed, _ = t.(KeyedIndexer)
+	m.auto, _ = t.(AutoFlusher)
+	m.swf, _ = t.(switchFlusher)
+	m.aobs, _ = t.(tlb.ASIDObserver)
 	if sm, ok := t.(SetMapper); ok {
 		m.setIdx = sm.SetIndex
 	} else {
@@ -185,6 +231,15 @@ func (m *Monitor) domainOf(asid tlb.ASID, vpn tlb.VPN) Domain {
 	return DomainVictim
 }
 
+// indexFor is the monitor's set dispatch: the design's keyed mapping when it
+// declares one, its plain SetMapper (or the modulo fallback) otherwise.
+func (m *Monitor) indexFor(asid tlb.ASID, vpn tlb.VPN) int {
+	if m.keyed != nil {
+		return m.keyed.KeyedSetIndex(asid, vpn)
+	}
+	return m.setIdx(vpn)
+}
+
 // emit appends an event to the current operation's stream and feeds the tap.
 func (m *Monitor) emit(e Event) {
 	m.events = append(m.events, e)
@@ -209,6 +264,19 @@ type Access struct {
 	PredVPN  tlb.VPN
 	PredFill bool
 	PredOK   bool
+
+	// AutoFlush reports that the design predicted a design-initiated full
+	// flush at the start of this access (AutoFlusher capability): the
+	// transition-shape assertions switch to their flush-then-install arm.
+	AutoFlush bool
+
+	// PreEpoch/PostEpoch and PreKey/PostKey frame a keyed design's re-key
+	// state around the access; PredKey is the key a fault-free re-key would
+	// install. KeyedOK reports that the design declared a KeyedIndexer.
+	PreEpoch, PostEpoch uint64
+	PreKey, PostKey     uint64
+	PredKey             uint64
+	KeyedOK             bool
 
 	m      *Monitor
 	diffs  [4]int // flat indices that changed, capped (one is already the legal max)
@@ -237,7 +305,7 @@ func (a *Access) NDiffs() int { return a.ndiffs }
 // indexes.
 func (a *Access) findPost(asid tlb.ASID, vpn tlb.VPN) int {
 	m := a.m
-	s := m.setIdx(vpn)
+	s := m.indexFor(asid, vpn)
 	for w := 0; w < m.ways; w++ {
 		i := s*m.ways + w
 		e := &m.post[i]
@@ -314,6 +382,7 @@ func (m *Monitor) Translate(asid tlb.ASID, vpn tlb.VPN) (tlb.Result, error) {
 	a := &m.acc
 	a.ASID, a.VPN = asid, vpn
 	a.PredVPN, a.PredFill, a.PredOK = 0, false, false
+	a.AutoFlush, a.KeyedOK = false, false
 	if m.pred != nil {
 		// Predict the Random Fill Engine's draw before the access so a
 		// biased or stuck RNG is exposed by comparing prediction and
@@ -321,10 +390,25 @@ func (m *Monitor) Translate(asid tlb.ASID, vpn tlb.VPN) (tlb.Result, error) {
 		a.PredVPN, a.PredFill, _ = m.pred.PredictNextRandomFill(asid, vpn)
 		a.PredOK = true
 	}
+	if m.auto != nil {
+		a.AutoFlush = m.auto.PendingAutoFlush(asid, vpn)
+	}
+	if m.keyed != nil {
+		// Frame the re-key state before the access: the epoch and key now,
+		// and the key a fault-free re-key would draw next. Comparing the
+		// post-access key against the prediction exposes a stuck key
+		// register even though the array flush itself went through.
+		a.PreEpoch, a.PreKey = m.keyed.RekeyEpoch(), m.keyed.IndexKey()
+		a.PredKey = m.keyed.PredictNextKey()
+		a.KeyedOK = true
+	}
 
 	res, err := m.inner.Translate(asid, vpn)
 	m.post = m.insp.SnapshotAppend(m.post[:0])
 	m.Checks++
+	if m.keyed != nil {
+		a.PostEpoch, a.PostKey = m.keyed.RekeyEpoch(), m.keyed.IndexKey()
+	}
 
 	a.Res, a.Err = res, err
 	a.Domain = m.domainOf(asid, vpn)
@@ -355,7 +439,10 @@ func (m *Monitor) Translate(asid tlb.ASID, vpn tlb.VPN) (tlb.Result, error) {
 // deriveEvents translates one access's Result into the typed event stream.
 func (m *Monitor) deriveEvents(a *Access) {
 	m.events = m.events[:0]
-	set := m.setIdx(a.VPN)
+	if a.AutoFlush {
+		m.emit(Event{Kind: KindAutoFlush, ASID: a.ASID, VPN: a.VPN, Set: -1, Way: -1, Domain: a.Domain})
+	}
+	set := m.indexFor(a.ASID, a.VPN)
 	switch {
 	case a.Err != nil:
 		m.emit(Event{Kind: KindError, ASID: a.ASID, VPN: a.VPN, Set: set, Way: -1, Domain: a.Domain})
@@ -371,7 +458,7 @@ func (m *Monitor) deriveEvents(a *Access) {
 		case a.Res.RandomFilled:
 			// The RF TLB reports at most one eviction per access: the one
 			// its D' install caused.
-			rset, rway := m.setIdx(a.Res.RandomVPN), -1
+			rset, rway := m.indexFor(a.ASID, a.Res.RandomVPN), -1
 			if i := a.findPost(a.ASID, a.Res.RandomVPN); i >= 0 {
 				rset, rway = i/m.ways, i%m.ways
 			}
@@ -510,6 +597,37 @@ func (m *Monitor) SecureRegion() (tlb.VPN, uint64) {
 		return m.sec.SecureRegion()
 	}
 	return 0, 0
+}
+
+// ObserveASID implements tlb.ASIDObserver, forwarding the context switch to
+// the inner design when it observes switches and doing nothing otherwise (so
+// a wrapped design sees exactly the CSR traffic an unwrapped one would).
+// When the design declares a switch flush (switchFlusher), the monitor
+// predicts it before forwarding and verifies afterwards that the flush was
+// complete — the SIMF semantics say the erasure must happen at the switch
+// itself, not at some later access. Violations found here surface through
+// the next Translate, like the flush assertions.
+func (m *Monitor) ObserveASID(next tlb.ASID) {
+	if m.aobs == nil {
+		return
+	}
+	pending := m.swf != nil && m.swf.PendingSwitchFlush(next)
+	m.aobs.ObserveASID(next)
+	m.events = m.events[:0]
+	m.emit(Event{Kind: KindContextSwitch, ASID: next, Set: -1, Way: -1})
+	if !pending {
+		return
+	}
+	m.post = m.insp.SnapshotAppend(m.post[:0])
+	for i := range m.post {
+		if e := &m.post[i]; e.Valid {
+			m.recordPending(&Violation{
+				Assertion: NameFlushCompleteness, Design: m.design,
+				Detail: fmt.Sprintf("context switch to asid %d left asid %d vpn %#x resident (dropped switch flush)", next, e.ASID, e.VPN),
+			})
+			return
+		}
+	}
 }
 
 // CloneWith implements tlb.Cloner: the inner design is cloned onto the new

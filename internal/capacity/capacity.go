@@ -191,6 +191,44 @@ func RFTheory(v model.Vulnerability, params RFParams) (p1, p2 float64, err error
 	return p, p, nil
 }
 
+// RandIdxParams are the Randomized-Index TLB security-evaluation
+// parameters: the geometry whose keyed placement collisions set the residual
+// eviction probability.
+type RandIdxParams struct {
+	NSets, NWays int
+}
+
+// DefaultRandIdxParams mirror the campaign geometry (8-way, 32-entry).
+var DefaultRandIdxParams = RandIdxParams{NSets: 4, NWays: 8}
+
+// RandIdxTheory computes the theoretical (p1, p2) for a vulnerability under
+// the Randomized-Index TLB.
+//
+// Three regimes cover all 24 vulnerability types:
+//
+//   - the ten types ASID tagging already defends stay constant misses
+//     (p1 = p2 = 1);
+//   - the hit-based (fast) types leak exactly as on the SA TLB: the keyed
+//     index maps equal (ASID, VPN) pairs equally, so a same-context re-access
+//     to the same address still hits — index randomization cannot (and does
+//     not claim to) hide same-address reuse;
+//   - the eviction-based (slow) types are where the randomization bites: the
+//     probed entry is displaced only if the per-ASID keyed placements of two
+//     *different* pages collide, and with a fresh random key that collision
+//     probability ε = 1/(nsets·nways) is the same whether or not the
+//     victim's secret shares the probed page index — mapped and unmapped
+//     become indistinguishable, so C = 0.
+func RandIdxTheory(v model.Vulnerability, params RandIdxParams) (p1, p2 float64, err error) {
+	if !model.ObservationInformative(v.Pattern, model.DesignASID, v.Observation) {
+		return 1, 1, nil
+	}
+	if v.Observation == model.ObsFast {
+		return DeterministicTheory(v, model.DesignASID)
+	}
+	eps := 1 / (float64(params.NSets) * float64(params.NWays))
+	return eps, eps, nil
+}
+
 // TheoryRow bundles the theoretical columns of Table 4 for one
 // vulnerability.
 type TheoryRow struct {

@@ -281,8 +281,14 @@ func (c *Machine) Instret() uint64 { return c.instret }
 // ASID returns the current process ID.
 func (c *Machine) ASID() tlb.ASID { return c.asid }
 
-// SetASID switches the current process ID (as csrw process_id would).
-func (c *Machine) SetASID(a tlb.ASID) { c.asid = a }
+// SetASID switches the current process ID (as csrw process_id would),
+// notifying switch-observing TLB designs exactly like the CSR write path.
+func (c *Machine) SetASID(a tlb.ASID) {
+	c.asid = a
+	if o, ok := c.TLB.(tlb.ASIDObserver); ok {
+		o.ObserveASID(a)
+	}
+}
 
 // Halted reports whether the program has executed halt.
 func (c *Machine) Halted() bool { return c.halted }
@@ -524,6 +530,12 @@ func (c *Machine) writeCSR(csr uint16, v uint64) error {
 	switch csr {
 	case isa.CSRProcessID:
 		c.asid = tlb.ASID(v)
+		// Context switch: designs that flush (or otherwise react) on a
+		// switch see it at CSR-write time, before the incoming process's
+		// first access.
+		if o, ok := c.TLB.(tlb.ASIDObserver); ok {
+			o.ObserveASID(c.asid)
+		}
 	case isa.CSRSBase:
 		c.sbase = v
 		if st, ok := c.TLB.(tlb.SecureTLB); ok {

@@ -56,6 +56,15 @@ const (
 	// SiteRNGBias perturbs one Random Fill Engine draw (RF TLB only),
 	// breaking the uniformity the paper's security analysis assumes.
 	SiteRNGBias Site = "rf-rng-bias"
+	// SiteRandIdxKeyStuck makes one RI TLB re-key keep the outgoing key (RI
+	// TLB only): the array flushes but the index mapping never changes, so
+	// the periodic re-randomization the design's security rests on silently
+	// stops.
+	SiteRandIdxKeyStuck Site = "randidx-key-stuck"
+	// SiteFlushSwDropped drops one FS TLB design-initiated flush (FS TLB
+	// only): a lost invalidation strobe at a context switch or secure-region
+	// exit, leaving the previous context's entries observable.
+	SiteFlushSwDropped Site = "flushsw-flush-dropped"
 	// SiteWalkCorrupt flips one PPN bit in a successful page-table walk's
 	// result before the TLB sees it.
 	SiteWalkCorrupt Site = "ptw-walk-corrupt"
@@ -73,7 +82,8 @@ const (
 func Sites() []Site {
 	return []Site{
 		SiteTagFlip, SitePPNFlip, SiteSecFlip, SiteDropFill, SiteDupFill,
-		SiteStuckLRU, SiteRNGBias, SiteWalkCorrupt, SiteMemBitRot,
+		SiteStuckLRU, SiteRNGBias, SiteRandIdxKeyStuck, SiteFlushSwDropped,
+		SiteWalkCorrupt, SiteMemBitRot,
 		SiteCheckpointTruncate, SiteCheckpointBitRot,
 	}
 }
@@ -83,7 +93,8 @@ func Sites() []Site {
 func MachineSites() []Site {
 	return []Site{
 		SiteTagFlip, SitePPNFlip, SiteSecFlip, SiteDropFill, SiteDupFill,
-		SiteStuckLRU, SiteRNGBias, SiteWalkCorrupt, SiteMemBitRot,
+		SiteStuckLRU, SiteRNGBias, SiteRandIdxKeyStuck, SiteFlushSwDropped,
+		SiteWalkCorrupt, SiteMemBitRot,
 	}
 }
 
@@ -99,6 +110,12 @@ func ParseSite(s string) (Site, error) {
 
 // RFOnly reports whether the site is meaningful only on the RF design.
 func (s Site) RFOnly() bool { return s == SiteSecFlip || s == SiteRNGBias }
+
+// RIOnly reports whether the site is meaningful only on the RI design.
+func (s Site) RIOnly() bool { return s == SiteRandIdxKeyStuck }
+
+// FSOnly reports whether the site is meaningful only on the FS design.
+func (s Site) FSOnly() bool { return s == SiteFlushSwDropped }
 
 // splitmix64 is the seed-expansion step: successive calls on an evolving
 // state yield the independent decision streams an injector needs.
@@ -141,9 +158,9 @@ func New(site Site, seed uint64) *Injector {
 	// benchmarks, so the fault lands within a typical trial.
 	window := uint64(8)
 	switch site {
-	case SiteDropFill, SiteDupFill, SiteStuckLRU:
+	case SiteDropFill, SiteDupFill, SiteStuckLRU, SiteFlushSwDropped:
 		window = 4
-	case SiteRNGBias:
+	case SiteRNGBias, SiteRandIdxKeyStuck:
 		window = 2
 	case SiteWalkCorrupt:
 		window = 6
@@ -202,6 +219,26 @@ func (in *Injector) Arm(t tlb.TLB, pt *ptw.PageTables, m *mem.Memory) error {
 		}
 		in.insp = insp
 		insp.SetFaultHook(&tlb.FaultHook{OnRNGDraw: in.onRNGDraw})
+	case SiteRandIdxKeyStuck:
+		insp, ok := t.(tlb.Inspectable)
+		if !ok {
+			return fmt.Errorf("faultinject: %s needs an inspectable TLB, have %T", in.site, t)
+		}
+		if _, ok := t.(*tlb.RandIdx); !ok {
+			return fmt.Errorf("faultinject: %s applies only to the RI design, have %s", in.site, t.Name())
+		}
+		in.insp = insp
+		insp.SetFaultHook(&tlb.FaultHook{OnRekey: in.onRekey})
+	case SiteFlushSwDropped:
+		insp, ok := t.(tlb.Inspectable)
+		if !ok {
+			return fmt.Errorf("faultinject: %s needs an inspectable TLB, have %T", in.site, t)
+		}
+		if _, ok := t.(*tlb.FlushOnSwitch); !ok {
+			return fmt.Errorf("faultinject: %s applies only to the FS design, have %s", in.site, t.Name())
+		}
+		in.insp = insp
+		insp.SetFaultHook(&tlb.FaultHook{OnAutoFlush: in.onAutoFlush})
 	case SiteWalkCorrupt:
 		if pt == nil {
 			return fmt.Errorf("faultinject: %s needs page tables", in.site)
@@ -304,6 +341,24 @@ func (in *Injector) onRNGDraw(n, draw uint64) uint64 {
 	biased := draw ^ 1
 	in.fire("biased RFE draw %d: %d -> %d (window %d)", in.count, draw, biased, n)
 	return biased
+}
+
+func (in *Injector) onRekey(old, next uint64) uint64 {
+	in.count++
+	if in.fired || in.count != in.trigger {
+		return next
+	}
+	in.fire("stuck key register at re-key %d: kept %#x, dropped %#x", in.count, old, next)
+	return old
+}
+
+func (in *Injector) onAutoFlush() bool {
+	in.count++
+	if in.fired || in.count != in.trigger {
+		return true
+	}
+	in.fire("dropped design-initiated flush %d", in.count)
+	return false
 }
 
 func (in *Injector) onWalk(asid tlb.ASID, vpn tlb.VPN, ppn tlb.PPN) (tlb.PPN, error) {

@@ -20,6 +20,8 @@ import (
 	"fmt"
 
 	"securetlb/internal/fingerprint"
+	"securetlb/internal/perf"
+	"securetlb/internal/secbench"
 )
 
 // The package's sentinel errors.
@@ -52,7 +54,9 @@ const (
 type Spec struct {
 	// Kind selects the campaign family: KindSecbench or KindPerf.
 	Kind string `json:"kind"`
-	// Design selects the TLB designs: sa, sp, rf or all.
+	// Design selects the TLB designs: single codes, comma-separated
+	// combinations, "all" (the paper trio) or "full" (every design the
+	// kind's arena has).
 	Design string `json:"design"`
 	// Trials is the secbench trials-per-behaviour count (default 500).
 	Trials int `json:"trials,omitempty"`
@@ -93,24 +97,28 @@ func (s Spec) Normalize() Spec {
 	return s
 }
 
-// Validate rejects malformed specs. It assumes a normalised spec.
+// Validate rejects malformed specs. It assumes a normalised spec. The
+// design selector is validated by the kind's own arena (the secbench arena
+// has an FA row the perf arena doesn't), so a spec that validates is a spec
+// the runner can execute.
 func (s Spec) Validate() error {
 	switch s.Kind {
 	case KindSecbench:
 		if s.Trials <= 0 {
 			return fmt.Errorf("job: trials must be positive, got %d", s.Trials)
 		}
+		if _, err := secbench.ParseDesigns(s.Design); err != nil {
+			return fmt.Errorf("job: %v", err)
+		}
 	case KindPerf:
 		if s.Decrypts <= 0 {
 			return fmt.Errorf("job: decrypts must be positive, got %d", s.Decrypts)
 		}
+		if _, err := perf.ParseDesigns(s.Design); err != nil {
+			return fmt.Errorf("job: %v", err)
+		}
 	default:
 		return fmt.Errorf("job: unknown kind %q (want %q or %q)", s.Kind, KindSecbench, KindPerf)
-	}
-	switch s.Design {
-	case "sa", "sp", "rf", "all":
-	default:
-		return fmt.Errorf("job: unknown design %q (want sa, sp, rf or all)", s.Design)
 	}
 	return nil
 }

@@ -43,6 +43,13 @@ const (
 	// partitioned fills — an actor's fill can never evict the other actor's
 	// entry.
 	DesignPartitioned
+	// DesignFlushed models the FS TLB (SIMF-style): ASID-tagged hits plus a
+	// full flush at every context switch (the step's actor differs from the
+	// previous step's) and at every secure-region exit (the victim follows a
+	// secure access — to u or to the in-region shared address a — with a
+	// non-secure one). Nothing installed before a switch survives it, so no
+	// pattern that alternates actors can carry timing information.
+	DesignFlushed
 )
 
 // String names the design.
@@ -54,6 +61,8 @@ func (d Design) String() string {
 		return "asid"
 	case DesignPartitioned:
 		return "partitioned"
+	case DesignFlushed:
+		return "flushed"
 	}
 	return "design?"
 }
@@ -150,6 +159,13 @@ type blockSim struct {
 	// without partitioning use part 0 only.
 	blocks [2][2]content
 	nparts int
+
+	// lastActor/lastSecure drive DesignFlushed's flush triggers: the actor
+	// of the previous step (ActorNone before the first step and after a ★,
+	// when the running context is unknown) and whether the victim's previous
+	// access touched the secure region.
+	lastActor  Actor
+	lastSecure bool
 }
 
 func newBlockSim(d Design, s Scenario) *blockSim {
@@ -292,9 +308,57 @@ func (b *blockSim) lookup(actor Actor, target Class) lookupResult {
 	return lrMiss
 }
 
+// flushAll models a whole-TLB erasure from the design's own machinery (the
+// FS TLB's switch and secure-exit flushes): every block in every partition
+// becomes invalid, with no attacker-visible timing of its own.
+func (b *blockSim) flushAll() {
+	for l := 0; l < 2; l++ {
+		for p := 0; p < b.nparts; p++ {
+			b.blocks[l][p] = content{kind: kInvalid}
+		}
+	}
+}
+
+// victimSecure reports whether a step is a victim access inside the secure
+// region: the secret u always is, and the shared address a is exactly the
+// in-region page the victim's secure code touches (§4.2.2's x region).
+func victimSecure(s State) bool {
+	return s.Actor == ActorV && (s.Class == ClassU || s.Class == ClassA)
+}
+
+// preStep applies DesignFlushed's switch and secure-exit flushes before a
+// step executes, mirroring the FS TLB's ObserveASID-then-translate order: a
+// context switch flushes first, then a secure-region exit by the (already
+// current) victim flushes again before the access's own probe.
+func (b *blockSim) preStep(s State) {
+	if b.design != DesignFlushed {
+		return
+	}
+	if s == Star {
+		// Arbitrary unobserved activity: who ran last — and whether they
+		// left the secure region — is unknown.
+		b.lastActor, b.lastSecure = ActorNone, false
+		return
+	}
+	if s.Actor != b.lastActor {
+		if b.lastActor != ActorNone {
+			b.flushAll()
+		}
+		b.lastActor, b.lastSecure = s.Actor, false
+	}
+	if s.Class.IsAccess() {
+		sec := victimSecure(s)
+		if b.lastSecure && !sec {
+			b.flushAll()
+		}
+		b.lastSecure = sec
+	}
+}
+
 // apply performs one step, returning the observation a timing measurement of
 // that step would yield (only meaningful for step 3).
 func (b *blockSim) apply(s State) Observation {
+	b.preStep(s)
 	switch {
 	case s == Star:
 		for l := 0; l < 2; l++ {

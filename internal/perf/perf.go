@@ -35,6 +35,11 @@ const (
 	SP
 	// RF is the Random-Fill TLB.
 	RF
+	// RI is the Randomized-Index TLB (keyed set indexing, periodic re-key).
+	RI
+	// FS is the Flush-on-Switch TLB (full invalidation on context switches
+	// and secure-region exits).
+	FS
 )
 
 // String names the design.
@@ -46,6 +51,10 @@ func (d Design) String() string {
 		return "SP"
 	case RF:
 		return "RF"
+	case RI:
+		return "RI"
+	case FS:
+		return "FS"
 	}
 	return "?"
 }
@@ -80,6 +89,12 @@ const (
 	hitCycles        = 1
 	dataAccessCycles = 1
 	switchCycles     = 100 // context-switch overhead
+	// perfRekeyFills is the RI TLB's re-key period in the performance runs:
+	// long enough that re-key flushes are a small fraction of the fill
+	// stream (a whole-array turnover many times over), short enough that a
+	// multi-million-instruction run re-keys continually, so Figure 7's RI
+	// bars include the re-key cost instead of amortising it to zero.
+	perfRekeyFills = 4096
 )
 
 // flatWalker is the fast translation substrate for the performance runs: an
@@ -124,6 +139,21 @@ func BuildTLB(d Design, g Geometry, secure bool, seed uint64) (tlb.TLB, error) {
 			rf.SetSecureRegion(base, size)
 		}
 		return rf, nil
+	case RI:
+		return tlb.NewRandIdx(g.Entries, g.Ways, w, seed, perfRekeyFills)
+	case FS:
+		fs, err := tlb.NewFlushOnSwitch(g.Entries, g.Ways, w)
+		if err != nil {
+			return nil, err
+		}
+		if secure {
+			// The secure-region exit flush only arms when the victim and
+			// region are programmed; the switch flush is unconditional.
+			fs.SetVictim(victimASID)
+			base, size := victim.DefaultLayout.SecureRegion()
+			fs.SetSecureRegion(base, size)
+		}
+		return fs, nil
 	}
 	return nil, fmt.Errorf("perf: unknown design %d", d)
 }

@@ -36,7 +36,7 @@ func guardConfigs(t *testing.T) []struct {
 		{"mixture", func() workload.Generator { return workload.Povray() }},
 		{"streaming", func() workload.Generator { return workload.CactusADM() }},
 	}
-	for _, d := range []Design{SA, SP, RF} {
+	for _, d := range AllDesigns() {
 		for _, g := range Geometries() {
 			if g.Label == "1E" && d != SA {
 				continue
@@ -194,7 +194,7 @@ func TestStreamReplayFlushOnSwitch(t *testing.T) {
 // proves for Table 4: the published Figure 7 rows are identical with the
 // stream replay enabled and disabled, for every design.
 func TestFigure7TraceToggle(t *testing.T) {
-	for _, d := range []Design{SA, SP, RF} {
+	for _, d := range AllDesigns() {
 		t.Run(d.String(), func(t *testing.T) {
 			DisableTrace = true
 			full, err := Figure7(d, true, 2, 11)

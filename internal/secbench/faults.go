@@ -29,6 +29,22 @@ import (
 	"securetlb/internal/pool"
 )
 
+// DesignsForSite returns the designs a machine fault site applies to: the
+// design-specific sites (the RF TLB's RNG bias, the RI TLB's stuck key
+// register, the FS TLB's dropped flush strobe) run only on their design;
+// every other site runs on the full arena.
+func DesignsForSite(site faultinject.Site) []Design {
+	switch {
+	case site.RFOnly():
+		return []Design{DesignRF}
+	case site.RIOnly():
+		return []Design{DesignRI}
+	case site.FSOnly():
+		return []Design{DesignFS}
+	}
+	return AllDesigns()
+}
+
 // FaultCell is the outcome of one differential fault campaign: one site, one
 // vulnerability, one behaviour, Trials trials.
 type FaultCell struct {

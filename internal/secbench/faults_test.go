@@ -30,6 +30,9 @@ func matrixConfig(d Design) Config {
 	c.Trials = 12
 	c.Invariants = true
 	c.FaultSeed = 0xfa117
+	// The matrix vulnerability performs only a handful of fills per trial;
+	// re-keying every 2 fills makes the RI re-key site reachable mid-trial.
+	c.RekeyFills = 2
 	return c
 }
 
@@ -43,10 +46,7 @@ func TestFaultMatrix(t *testing.T) {
 	for _, site := range faultinject.MachineSites() {
 		site := site
 		t.Run(string(site), func(t *testing.T) {
-			designs := []Design{DesignSA, DesignFA, DesignSP, DesignRF}
-			if site.RFOnly() {
-				designs = []Design{DesignRF}
-			}
+			designs := DesignsForSite(site)
 			detected := 0
 			for _, d := range designs {
 				cfg := matrixConfig(d)
@@ -192,7 +192,7 @@ func TestCampaignWithFaultsQuarantines(t *testing.T) {
 // real benchmark traffic) and the statistics must equal the unchecked run.
 func TestInvariantsCleanCampaign(t *testing.T) {
 	v := matrixVuln(t)
-	for _, d := range []Design{DesignSA, DesignFA, DesignSP, DesignRF} {
+	for _, d := range AllDesigns() {
 		cfg := DefaultConfig(d)
 		cfg.Trials = 24
 		checked := cfg
@@ -236,10 +236,7 @@ func TestEverySiteCaughtByAnAssertion(t *testing.T) {
 				}
 				t.Fatalf("at-rest site %s never refused a corrupted checkpoint in 8 seeds", site)
 			}
-			designs := []Design{DesignSA, DesignFA, DesignSP, DesignRF}
-			if site.RFOnly() {
-				designs = []Design{DesignRF}
-			}
+			designs := DesignsForSite(site)
 			// Escalate the sampling depth before declaring a coverage hole:
 			// some sites need more trials for the trigger ordinal to land on
 			// an assertion-visible operation.
@@ -270,7 +267,7 @@ func TestEverySiteCaughtByAnAssertion(t *testing.T) {
 // design.
 func TestInvariantsDisableTraceBitIdentity(t *testing.T) {
 	v := matrixVuln(t)
-	for _, d := range []Design{DesignSA, DesignFA, DesignSP, DesignRF} {
+	for _, d := range AllDesigns() {
 		var ref *Result
 		for _, inv := range []bool{false, true} {
 			for _, noTrace := range []bool{false, true} {

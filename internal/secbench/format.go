@@ -15,23 +15,72 @@ import (
 	"securetlb/internal/report"
 )
 
-// ParseDesigns maps the CLI/API design selector to the designs it runs.
+// designCodes is the single source of truth for the design selector: every
+// front-end's -designs flag parses and documents itself from this list, in
+// this order.
+var designCodes = []struct {
+	code string
+	d    Design
+}{
+	{"sa", DesignSA},
+	{"sp", DesignSP},
+	{"rf", DesignRF},
+	{"fa", DesignFA},
+	{"ri", DesignRI},
+	{"fs", DesignFS},
+}
+
+// AllDesigns returns every design in the arena, in selector order.
+func AllDesigns() []Design {
+	out := make([]Design, len(designCodes))
+	for i, dc := range designCodes {
+		out[i] = dc.d
+	}
+	return out
+}
+
+// DesignUsage is the shared -designs flag help text.
+func DesignUsage() string {
+	codes := make([]string, len(designCodes))
+	for i, dc := range designCodes {
+		codes[i] = dc.code
+	}
+	return fmt.Sprintf("%s, a comma-separated combination, \"all\" (the paper's sa,sp,rf trio) or \"full\" (every design)",
+		strings.Join(codes, ", "))
+}
+
+// ParseDesigns maps the CLI/API design selector to the designs it runs:
+// single codes, comma-separated combinations ("sa,ri,fs"), "all" or "full".
 func ParseDesigns(s string) ([]Design, error) {
 	switch s {
-	case "sa":
-		return []Design{DesignSA}, nil
-	case "sp":
-		return []Design{DesignSP}, nil
-	case "rf":
-		return []Design{DesignRF}, nil
-	case "fa":
-		return []Design{DesignFA}, nil
 	case "all":
-		// "all" keeps meaning the paper's three Table 4 designs; the FA TLB
-		// is opt-in (it is a robustness-battery subject, not a paper row).
+		// "all" keeps meaning the paper's three Table 4 designs; the later
+		// arrivals (FA, RI, FS) are opt-in so checkpointed invocations keep
+		// their shape.
 		return []Design{DesignSA, DesignSP, DesignRF}, nil
+	case "full":
+		return AllDesigns(), nil
 	}
-	return nil, fmt.Errorf("unknown design %q (want sa, sp, rf, fa or all)", s)
+	var out []Design
+	seen := map[Design]bool{}
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		found := false
+		for _, dc := range designCodes {
+			if dc.code == tok {
+				if !seen[dc.d] {
+					out = append(out, dc.d)
+					seen[dc.d] = true
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown design %q (want %s)", tok, DesignUsage())
+		}
+	}
+	return out, nil
 }
 
 // Theory returns the analytical p1/p2 of §5.3.1 for one (design,
@@ -49,6 +98,10 @@ func Theory(d Design, v model.Vulnerability) (p1, p2 float64) {
 		// design for the analytical model: same LRU state machine as SA, one
 		// set instead of several.
 		p1, p2, _ = capacity.DeterministicTheory(v, model.DesignASID)
+	case DesignRI:
+		p1, p2, _ = capacity.RandIdxTheory(v, capacity.DefaultRandIdxParams)
+	case DesignFS:
+		p1, p2, _ = capacity.DeterministicTheory(v, model.DesignFlushed)
 	}
 	return p1, p2
 }

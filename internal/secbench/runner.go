@@ -135,6 +135,10 @@ type campKey struct {
 	fp   string
 	fuel uint64
 	inv  bool
+	// rekeyFills reaches the TLB's construction but not the program, so the
+	// progKey alone would alias templates built under different re-key
+	// schedules.
+	rekeyFills uint64
 }
 
 // campTemplate is one cache slot: a captured trace bound to a template
@@ -175,10 +179,11 @@ func (c Config) newReplayCampaign(v model.Vulnerability, mapped bool) (*campaign
 	}
 	pk := c.progKeyFor(v, mapped)
 	key := campKey{
-		pk:   pk,
-		fp:   c.progFingerprint(pk, prog),
-		fuel: c.fuel(),
-		inv:  c.Invariants,
+		pk:         pk,
+		fp:         c.progFingerprint(pk, prog),
+		fuel:       c.fuel(),
+		inv:        c.Invariants,
+		rekeyFills: c.RekeyFills,
 	}
 	entAny, ok := campCache.Load(key)
 	if !ok {
@@ -335,7 +340,7 @@ func (c Config) buildReplayTemplate(ent *campTemplate, prog *isa.Program) error 
 // decoding and executing the program; the two paths are bit-identical.
 type campaign struct {
 	machine *cpu.Machine
-	rf      *tlb.RF // non-nil for the RF design, for per-trial reseeding
+	rs      reseeder // non-nil for seeded designs (RF, RI), for per-trial reseeding
 
 	vm                 *trace.VM
 	tr                 *trace.Trace
@@ -450,12 +455,17 @@ func progStartsWithFlushAll(p *isa.Program) bool {
 	return false
 }
 
+// reseeder is the per-trial randomness reset the runner performs on seeded
+// designs: the RF TLB's fill PRNG and the RI TLB's key stream both restart
+// from the trial seed, making every trial a pure function of its index.
+type reseeder interface{ Reseed(seed uint64) }
+
 func wrapCampaign(mach *cpu.Machine) *campaign {
 	camp := &campaign{machine: mach}
-	// The RF design may sit under an assertion monitor; reseeding (and fault
-	// arming) must reach the raw design either way.
-	if rf, ok := assert.Unwrap(mach.TLB).(*tlb.RF); ok {
-		camp.rf = rf
+	// A seeded design may sit under an assertion monitor; reseeding (and
+	// fault arming) must reach the raw design either way.
+	if rs, ok := assert.Unwrap(mach.TLB).(reseeder); ok {
+		camp.rs = rs
 	}
 	return camp
 }
@@ -500,8 +510,8 @@ func (cp *campaign) runTrial(seed, fuel uint64) (miss bool, err error) {
 		cp.machine.TLB.FlushAll()
 	}
 	cp.machine.TLB.ResetStats()
-	if cp.rf != nil {
-		cp.rf.Reseed(seed)
+	if cp.rs != nil {
+		cp.rs.Reseed(seed)
 	}
 	code, err := cp.machine.Run(fuel)
 	if err != nil {
@@ -521,8 +531,8 @@ func (cp *campaign) replayTrial(seed, fuel uint64) (bool, error) {
 		cp.machine.TLB.FlushAll()
 	}
 	cp.machine.TLB.ResetStats()
-	if cp.rf != nil {
-		cp.rf.Reseed(seed)
+	if cp.rs != nil {
+		cp.rs.Reseed(seed)
 	}
 	code, err := cp.vm.Run(cp.tr, fuel)
 	if err != nil {
@@ -569,7 +579,7 @@ func (c Config) replayTrials(cp *campaign, v model.Vulnerability, mapped bool, l
 	misses := 0
 	vm, tr := cp.vm, cp.tr
 	tl := cp.machine.TLB
-	rf := cp.rf
+	rs := cp.rs
 	skipFlush := cp.skipPreFlush
 	prefix := cp.prefix
 	// The shard's first trial replays the whole trace — RunBody's register
@@ -580,8 +590,8 @@ func (c Config) replayTrials(cp *campaign, v model.Vulnerability, mapped bool, l
 			tl.FlushAll()
 		}
 		tl.ResetStats()
-		if rf != nil {
-			rf.Reseed(trialSeedFor(base, trial, mapped))
+		if rs != nil {
+			rs.Reseed(trialSeedFor(base, trial, mapped))
 		}
 		var code int64
 		var err error

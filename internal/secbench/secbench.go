@@ -62,6 +62,13 @@ const (
 	// Appended after the paper's three designs so the enum values above stay
 	// stable in checkpoints and saved configs.
 	DesignFA
+	// DesignRI is the Randomized-Index TLB (TLBcoat-style keyed set
+	// indexing with periodic re-keying). Appended after FA for the same
+	// checkpoint-stability reason.
+	DesignRI
+	// DesignFS is the Flush-on-Switch TLB (SIMF-style full invalidation on
+	// context switches and secure-region exits).
+	DesignFS
 )
 
 // String names the design as in the paper's tables.
@@ -75,6 +82,10 @@ func (d Design) String() string {
 		return "RF TLB"
 	case DesignFA:
 		return "FA TLB"
+	case DesignRI:
+		return "RI TLB"
+	case DesignFS:
+		return "FS TLB"
 	}
 	return "?"
 }
@@ -91,8 +102,12 @@ type Config struct {
 	// Trials is the number of runs per victim behaviour (the paper uses
 	// 500 mapped + 500 not-mapped).
 	Trials int
-	// BaseSeed seeds the RF TLB's PRNG; each trial derives its own seed.
+	// BaseSeed seeds the RF TLB's PRNG (and the RI TLB's key stream); each
+	// trial derives its own seed.
 	BaseSeed uint64
+	// RekeyFills is the RI TLB's re-key period in fills (0 disables
+	// periodic re-keying). Ignored by the other designs.
+	RekeyFills uint64
 	// Params supplies the secure-region sizes per vulnerability.
 	Params capacity.RFParams
 	// MemLatency is the per-level page walk cost in cycles.
@@ -144,6 +159,13 @@ func DefaultConfig(d Design) Config {
 	if d == DesignFA {
 		// Fully associative: one set holding every entry.
 		c.Ways = c.Entries
+	}
+	if d == DesignRI {
+		// A campaign trial performs a few dozen fills; re-keying every 16
+		// lands one or two re-keys inside the pattern, so the schedule (and
+		// the randidx-key-stuck fault site) is exercised mid-trial rather
+		// than being a dead knob.
+		c.RekeyFills = 16
 	}
 	return c
 }
@@ -460,6 +482,10 @@ func (c Config) NewTLB(w tlb.Walker, seed uint64) (tlb.TLB, error) {
 		return tlb.NewRF(c.Entries, c.Ways, w, seed)
 	case DesignFA:
 		return tlb.NewFullyAssoc(c.Entries, w)
+	case DesignRI:
+		return tlb.NewRandIdx(c.Entries, c.Ways, w, seed, c.RekeyFills)
+	case DesignFS:
+		return tlb.NewFlushOnSwitch(c.Entries, c.Ways, w)
 	}
 	return nil, fmt.Errorf("secbench: unknown design %d", c.Design)
 }

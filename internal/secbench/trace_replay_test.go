@@ -36,7 +36,7 @@ func replayTestVulns(t *testing.T) []model.Vulnerability {
 // conditions (DisableTrace, armed fault injection) route to full execution.
 func TestReplayCampaignActive(t *testing.T) {
 	v := model.Enumerate()[0]
-	for _, d := range []Design{DesignSA, DesignSP, DesignRF} {
+	for _, d := range AllDesigns() {
 		c := replayTestConfig(d)
 		camp, err := c.newCampaign(v, true)
 		if err != nil {
@@ -78,7 +78,7 @@ func TestReplayCampaignActive(t *testing.T) {
 // decode-and-execute, serially and under the trial-sharded parallel runner.
 func TestReplayMatchesFullExecution(t *testing.T) {
 	vulns := replayTestVulns(t)
-	for _, d := range []Design{DesignSA, DesignSP, DesignRF} {
+	for _, d := range AllDesigns() {
 		for _, inv := range []bool{false, true} {
 			for _, v := range vulns {
 				full := replayTestConfig(d)

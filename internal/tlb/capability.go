@@ -42,3 +42,56 @@ func (t *RF) PredictNextRandomFill(asid ASID, vpn VPN) (VPN, bool, error) {
 // starved and skipped. The assertion layer's suppressed-fill check stands
 // down while this is true.
 func (t *RF) RandomFillMayStarve() bool { return t.LazyFill }
+
+// KeyedSetIndex exposes the RI TLB's cipher-keyed (ASID, VPN)-to-set
+// mapping. The RI TLB deliberately does not bind the plain SetIndex
+// capability: its placement is not a function of the VPN alone, and an
+// assertion that assumed so would contradict the design it checks. The
+// key-aware checker must call this instead.
+func (t *RandIdx) KeyedSetIndex(asid ASID, vpn VPN) int { return t.index(asid, vpn) }
+
+// IndexKey exposes the current epoch key so the assertion layer can verify
+// a re-key actually changed (or kept) the mapping.
+func (t *RandIdx) IndexKey() uint64 { return t.key }
+
+// RekeyEpoch exposes the re-key generation counter; it advances exactly
+// when a re-key happens.
+func (t *RandIdx) RekeyEpoch() uint64 { return t.epoch }
+
+// PendingRekey reports whether the next lookup will re-key before its
+// probe. It is side-effect-free; the assertion layer calls it immediately
+// before Translate to predict the epoch transition.
+func (t *RandIdx) PendingRekey() bool { return t.rekeyDue() }
+
+// PredictNextKey replays the key stream's next draw on a clone of the
+// generator, leaving the live stream untouched: the key a fault-free
+// re-key would install. Comparing it against IndexKey after a re-key
+// exposes a stuck key register.
+func (t *RandIdx) PredictNextKey() uint64 {
+	g := *t.rng
+	return g.Uint64()
+}
+
+// PendingAutoFlush reports whether the next lookup for (asid, vpn) will
+// begin with a design-initiated full flush — for the RI TLB, a due re-key.
+func (t *RandIdx) PendingAutoFlush(asid ASID, vpn VPN) bool { return t.rekeyDue() }
+
+// PendingAutoFlush reports whether the next lookup for (asid, vpn) will
+// begin with a design-initiated full flush: a context switch the CSR path
+// has not yet delivered, or a secure-region exit by the current context.
+func (t *FlushOnSwitch) PendingAutoFlush(asid ASID, vpn VPN) bool {
+	if t.hasCur && asid != t.cur {
+		return true
+	}
+	return t.lastSecure && !t.secure(asid, vpn)
+}
+
+// PendingSwitchFlush reports whether an ObserveASID(next) call will flush
+// the array. The assertion layer uses it to check flush completeness at
+// the switch itself, where the SIMF semantics say the erasure must happen.
+func (t *FlushOnSwitch) PendingSwitchFlush(next ASID) bool {
+	return t.hasCur && next != t.cur
+}
+
+// SetIndex exposes the FS TLB's VPN-to-set mapping (see SetAssoc.SetIndex).
+func (t *FlushOnSwitch) SetIndex(vpn VPN) int { return t.geom.setIndex(vpn) }

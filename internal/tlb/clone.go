@@ -73,6 +73,28 @@ func (t *RF) CloneWith(w Walker) TLB {
 	return &n
 }
 
+// CloneWith implements Cloner. The clone's key stream continues the
+// original's PRNG state; campaigns that need per-trial reproducibility
+// reseed per trial as usual. Fault hooks are not inherited.
+func (t *RandIdx) CloneWith(w Walker) TLB {
+	n := *t
+	n.walker = w
+	n.sets, n.backing = cloneSets(t.sets, t.geom.entries, t.geom.ways)
+	rngCopy := *t.rng
+	n.rng = &rngCopy
+	n.hook = nil
+	return &n
+}
+
+// CloneWith implements Cloner. Fault hooks are not inherited.
+func (t *FlushOnSwitch) CloneWith(w Walker) TLB {
+	n := *t
+	n.walker = w
+	n.sets, n.backing = cloneSets(t.sets, t.geom.entries, t.geom.ways)
+	n.hook = nil
+	return &n
+}
+
 // CloneWith implements Cloner.
 func (t *Coalesced) CloneWith(w Walker) TLB {
 	n := *t

@@ -51,6 +51,19 @@ func TestCloneReplaysIdentically(t *testing.T) {
 			rf.SetSecureRegion(0x100, 16)
 			return rf
 		}},
+		{"RI", func() TLB {
+			// A short re-key period so the replayed pair crosses at least one
+			// re-key boundary: the clone must carry the key, epoch, fill
+			// counter and RNG position.
+			ri, _ := NewRandIdx(16, 4, w, 42, 8)
+			return ri
+		}},
+		{"FS", func() TLB {
+			fs, _ := NewFlushOnSwitch(16, 4, w)
+			fs.SetVictim(1)
+			fs.SetSecureRegion(0x100, 16)
+			return fs
+		}},
 		{"Coalesced", func() TLB { co, _ := NewCoalesced(16, 4, 4, w); return co }},
 		{"TwoLevel", func() TLB {
 			l2, _ := NewSetAssoc(32, 4, w)

@@ -80,6 +80,15 @@ type FaultHook struct {
 	// used. Out-of-window returns are deliberately not clamped — a stuck
 	// high bit in the RFE's random register produces exactly that.
 	OnRNGDraw func(n, draw uint64) uint64
+	// OnRekey may substitute the key an RI TLB re-key installs: it receives
+	// the outgoing key and the key-stream draw and returns the key actually
+	// loaded. Returning old models a stuck key register — the array flushes
+	// but the mapping does not change.
+	OnRekey func(old, next uint64) uint64
+	// OnAutoFlush is consulted before a design-initiated full flush (the FS
+	// TLB's switch/secure-exit flush); returning false drops the flush, a
+	// lost invalidation strobe.
+	OnAutoFlush func() bool
 }
 
 // fillAction consults h for the pending fill at (set, way); a nil hook (the
@@ -113,6 +122,23 @@ func (h *FaultHook) draw(n, v uint64) uint64 {
 		return v
 	}
 	return h.OnRNGDraw(n, v)
+}
+
+// rekey applies the OnRekey substitution to a re-key's key-stream draw.
+func (h *FaultHook) rekey(old, next uint64) uint64 {
+	if h == nil || h.OnRekey == nil {
+		return next
+	}
+	return h.OnRekey(old, next)
+}
+
+// autoFlushAllowed reports whether a design-initiated full flush goes
+// through.
+func (h *FaultHook) autoFlushAllowed() bool {
+	if h == nil || h.OnAutoFlush == nil {
+		return true
+	}
+	return h.OnAutoFlush()
 }
 
 // snapshotAppend converts a design's set array to EntrySnapshots, set-major.
@@ -183,8 +209,36 @@ func (t *RF) CorruptEntry(set, way int, f func(*EntrySnapshot)) bool {
 // SetFaultHook implements Inspectable.
 func (t *RF) SetFaultHook(h *FaultHook) { t.hook = h }
 
+// SnapshotAppend implements Inspectable.
+func (t *RandIdx) SnapshotAppend(dst []EntrySnapshot) []EntrySnapshot {
+	return snapshotAppend(dst, t.sets)
+}
+
+// CorruptEntry implements Inspectable.
+func (t *RandIdx) CorruptEntry(set, way int, f func(*EntrySnapshot)) bool {
+	return corruptEntry(t.sets, set, way, f)
+}
+
+// SetFaultHook implements Inspectable.
+func (t *RandIdx) SetFaultHook(h *FaultHook) { t.hook = h }
+
+// SnapshotAppend implements Inspectable.
+func (t *FlushOnSwitch) SnapshotAppend(dst []EntrySnapshot) []EntrySnapshot {
+	return snapshotAppend(dst, t.sets)
+}
+
+// CorruptEntry implements Inspectable.
+func (t *FlushOnSwitch) CorruptEntry(set, way int, f func(*EntrySnapshot)) bool {
+	return corruptEntry(t.sets, set, way, f)
+}
+
+// SetFaultHook implements Inspectable.
+func (t *FlushOnSwitch) SetFaultHook(h *FaultHook) { t.hook = h }
+
 var (
 	_ Inspectable = (*SetAssoc)(nil)
 	_ Inspectable = (*SP)(nil)
 	_ Inspectable = (*RF)(nil)
+	_ Inspectable = (*RandIdx)(nil)
+	_ Inspectable = (*FlushOnSwitch)(nil)
 )

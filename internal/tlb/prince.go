@@ -1,0 +1,99 @@
+package tlb
+
+// This file implements the small PRINCE-style block cipher the
+// RandomizedIndex TLB uses to key its set mapping (TLBcoat, "a randomized
+// TLB architecture"). The cipher is the classic 64-bit PRINCE round
+// structure — s-layer, involutive M' diffusion layer, round-constant and key
+// additions — truncated to three rounds: set indexing sits on the lookup
+// critical path, and three rounds already decorrelate the page-index bits an
+// attacker controls from the set the translation lands in, which is all the
+// randomization is asked to do.
+//
+// The cipher is a permutation of 64-bit blocks for every key: princeDecrypt
+// inverts princeEncrypt exactly (FuzzRandIdxCipher proves it). Only the
+// forward direction is used by the TLB itself; the inverse exists so the
+// permutation property is testable rather than assumed.
+
+// princeSbox is the PRINCE 4-bit s-box; princeSboxInv is its inverse.
+var princeSbox = [16]uint8{
+	0xB, 0xF, 0x3, 0x2, 0xA, 0xC, 0x9, 0x1, 0x6, 0x7, 0x8, 0x0, 0xE, 0x5, 0xD, 0x4,
+}
+
+var princeSboxInv = [16]uint8{
+	0xB, 0x7, 0x3, 0x2, 0xF, 0xD, 0x8, 0x9, 0xA, 0x6, 0x4, 0x0, 0x5, 0xE, 0xC, 0x1,
+}
+
+// princeM0 and princeM1 are the two 16×16 GF(2) matrices the PRINCE M'
+// layer is built from. Each is an involution, which makes the whole M'
+// layer self-inverse.
+var princeM0 = [16]uint32{
+	0x0111, 0x2220, 0x4404, 0x8088,
+	0x1011, 0x0222, 0x4440, 0x8808,
+	0x1101, 0x2022, 0x0444, 0x8880,
+	0x1110, 0x2202, 0x4044, 0x0888,
+}
+
+var princeM1 = [16]uint32{
+	0x1110, 0x2202, 0x4044, 0x0888,
+	0x0111, 0x2220, 0x4404, 0x8088,
+	0x1011, 0x0222, 0x4440, 0x8808,
+	0x1101, 0x2022, 0x0444, 0x8880,
+}
+
+// Round constants RC1 and RC2 of PRINCE (digits of π).
+const (
+	princeRC1 = 0x13198a2e03707344
+	princeRC2 = 0xa4093822299f31d0
+)
+
+// princeMul16 multiplies a 16-bit chunk by a GF(2) matrix.
+func princeMul16(in uint64, mat *[16]uint32) uint64 {
+	var out uint64
+	for i := 0; i < 16; i++ {
+		if in>>i&1 != 0 {
+			out ^= uint64(mat[i])
+		}
+	}
+	return out
+}
+
+// princeMPrime applies the involutive M' diffusion layer.
+func princeMPrime(x uint64) uint64 {
+	return princeMul16(x&0xffff, &princeM0) |
+		princeMul16(x>>16&0xffff, &princeM1)<<16 |
+		princeMul16(x>>32&0xffff, &princeM1)<<32 |
+		princeMul16(x>>48&0xffff, &princeM0)<<48
+}
+
+// princeSLayer substitutes every nibble through the s-box.
+func princeSLayer(x uint64) uint64 {
+	var out uint64
+	for i := 0; i < 64; i += 4 {
+		out |= uint64(princeSbox[x>>i&0xF]) << i
+	}
+	return out
+}
+
+// princeSLayerInv substitutes every nibble through the inverse s-box.
+func princeSLayerInv(x uint64) uint64 {
+	var out uint64
+	for i := 0; i < 64; i += 4 {
+		out |= uint64(princeSboxInv[x>>i&0xF]) << i
+	}
+	return out
+}
+
+// princeEncrypt runs the three-round forward permutation under key.
+func princeEncrypt(x, key uint64) uint64 {
+	x = princeSLayer(princeMPrime(x ^ key ^ princeRC1))
+	x = princeSLayer(princeMPrime(x ^ key ^ princeRC2))
+	return princeMPrime(princeSLayer(x ^ key))
+}
+
+// princeDecrypt inverts princeEncrypt: the rounds run backwards, M' is its
+// own inverse, and the s-layer uses the inverse s-box.
+func princeDecrypt(x, key uint64) uint64 {
+	x = princeSLayerInv(princeMPrime(x)) ^ key
+	x = princeMPrime(princeSLayerInv(x)) ^ key ^ princeRC2
+	return princeMPrime(princeSLayerInv(x)) ^ key ^ princeRC1
+}

@@ -161,6 +161,15 @@ type SecureTLB interface {
 	SecureRegion() (sbase VPN, ssize uint64)
 }
 
+// ASIDObserver is implemented by designs that react to context switches
+// themselves (the FS TLB's flush-on-switch). The CPU and the trace VM call
+// ObserveASID whenever the process-ID CSR is written, so the design sees
+// the switch at OS-write time — before the incoming process's first access
+// — rather than inferring it from a later lookup.
+type ASIDObserver interface {
+	ObserveASID(asid ASID)
+}
+
 // FastTranslator is an optional fast path a TLB design may provide: a
 // Translate that reports only the lookup latency, with the result returned
 // in registers instead of a Result struct copied across the interface

@@ -25,6 +25,7 @@ type VM struct {
 	fast  tlb.FastTranslator // dtlb's register-return fast path, or nil
 	ctr   tlb.CounterReader  // dtlb's counter fast path, or nil
 	sec   tlb.SecureTLB      // dtlb's security interface, or nil
+	obs   tlb.ASIDObserver   // dtlb's context-switch interface, or nil
 	itlb  tlb.TLB
 	ifast tlb.FastTranslator // itlb's fast path, or nil
 	prog  *isa.Program
@@ -50,6 +51,7 @@ func NewVM(dtlb, itlb tlb.TLB, prog *isa.Program, cfg cpu.Config) *VM {
 	if st, ok := dtlb.(tlb.SecureTLB); ok {
 		v.sec = st
 	}
+	v.obs, _ = dtlb.(tlb.ASIDObserver)
 	// The fast paths are semantically identical to Translate; wrappers that
 	// interpose on Translate (the invariant checker) deliberately don't
 	// implement them, so their interception stays complete.
@@ -201,6 +203,9 @@ func (v *VM) dispatch(ops []Op, left uint64) (int64, error) {
 			}
 		case KindSetASID:
 			v.asid = tlb.ASID(op.Arg)
+			if v.obs != nil {
+				v.obs.ObserveASID(v.asid)
+			}
 		case KindFlushAll:
 			v.dtlb.FlushAll()
 			v.cycles += v.cfg.FlushCycles
@@ -335,6 +340,9 @@ func (v *VM) writeCSR(csr uint16, val uint64) error {
 	switch csr {
 	case isa.CSRProcessID:
 		v.asid = tlb.ASID(val)
+		if v.obs != nil {
+			v.obs.ObserveASID(v.asid)
+		}
 	case isa.CSRSBase:
 		v.sbase = val
 		if v.sec != nil {

@@ -71,6 +71,19 @@ func NewRFTLB(entries, ways int, w Walker, seed uint64) (*tlb.RF, error) {
 	return tlb.NewRF(entries, ways, w, seed)
 }
 
+// NewRITLB returns the Randomized-Index (TLBcoat-style) extension TLB: set
+// indexing through a per-process keyed cipher, re-keyed every rekeyFills
+// fills (0 disables re-keying).
+func NewRITLB(entries, ways int, w Walker, seed, rekeyFills uint64) (*tlb.RandIdx, error) {
+	return tlb.NewRandIdx(entries, ways, w, seed, rekeyFills)
+}
+
+// NewFSTLB returns the Flush-on-Switch (SIMF-style) extension TLB: a plain
+// SA array flushed whole on every context switch and secure-region exit.
+func NewFSTLB(entries, ways int, w Walker) (*tlb.FlushOnSwitch, error) {
+	return tlb.NewFlushOnSwitch(entries, ways, w)
+}
+
 // Three-step model.
 type (
 	// Vulnerability is one row of Table 2 / Table 7.
